@@ -1,0 +1,28 @@
+"""Helpers shared by the benchmark modules (not collected by pytest)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+def run_and_report(experiment_id: str, scale: str, benchmark=None, seed: int = 0):
+    """Run one experiment, print its table and attach headline numbers to the benchmark."""
+    from repro.harness import run_experiment
+
+    table = run_experiment(experiment_id, scale=scale, seed=seed)
+    print()
+    print(table.to_text())
+    if benchmark is not None:
+        benchmark.extra_info["experiment"] = experiment_id
+        benchmark.extra_info["scale"] = scale
+        benchmark.extra_info["rows"] = len(table.rows)
+    return table
+
+
+def feed_all(sampler, elements, advance_time: bool = False):
+    """Feed a pre-built stream into a sampler (the timed kernel of several benches)."""
+    for element in elements:
+        if advance_time and hasattr(sampler, "advance_time"):
+            sampler.advance_time(element.timestamp)
+        sampler.append(element.value, element.timestamp)
+    return sampler

@@ -1,0 +1,37 @@
+"""Experiment E10 — the Ω(log n) lower-bound stream of Lemma 3.10.
+
+Regenerates the E10 table (memory words on the doubling-burst arrival pattern
+as the window size grows) and times ingest of the burst stream.
+Paper claim: Lemma 3.10 (lower bound) together with Theorem 3.9 (matching
+upper bound) — memory on this pattern must and does grow as log n.
+"""
+
+import pytest
+
+from _helpers import feed_all, run_and_report
+from repro.core import TimestampSamplerWR
+from repro.streams import arrivals
+from repro.streams.element import make_stream
+
+
+def _burst_stream(t0):
+    timestamps = arrivals.lower_bound_burst(t0, tail_length=2 * t0, scale=2**t0)
+    return make_stream(range(len(timestamps)), timestamps)
+
+
+STREAM_SMALL = _burst_stream(6)
+
+
+def test_e10_table(benchmark, scale):
+    table = benchmark.pedantic(
+        lambda: run_and_report("E10", scale), rounds=1, iterations=1, warmup_rounds=0
+    )
+    optimal_rows = sorted(
+        (row for row in table.as_dicts() if row["algorithm"] == "boz-ts-wr"),
+        key=lambda row: row["log2(window)"],
+    )
+    assert optimal_rows[0]["peak_words"] < optimal_rows[-1]["peak_words"]
+
+
+def test_e10_kernel_burst_ingest(benchmark):
+    benchmark(lambda: feed_all(TimestampSamplerWR(t0=6.0, k=1, rng=1), STREAM_SMALL, advance_time=True))

@@ -1,0 +1,39 @@
+"""Experiment E1 — sequence-window sampling WITH replacement, memory words.
+
+Regenerates the E1 table (optimal vs chain sampling vs full window buffer) and
+times the core kernel: feeding a window-sized stream through each algorithm.
+Paper claim: Theorem 2.1 — O(k) words, deterministic.
+"""
+
+import pytest
+
+from _helpers import feed_all, run_and_report
+from repro.baselines import BufferSamplerSeq, ChainSamplerWR
+from repro.core import SequenceSamplerWR
+from repro.streams.element import make_stream
+
+WINDOW = 2_000
+STREAM = make_stream(range(4 * WINDOW))
+
+
+def test_e1_table(benchmark, scale):
+    table = benchmark.pedantic(
+        lambda: run_and_report("E1", scale), rounds=1, iterations=1, warmup_rounds=0
+    )
+    optimal_rows = [row for row in table.as_dicts() if row["algorithm"] == "boz-optimal"]
+    assert optimal_rows
+    assert all(row["peak_var"] == 0 for row in optimal_rows)
+
+
+@pytest.mark.parametrize("k", [1, 16])
+def test_e1_kernel_optimal_ingest(benchmark, k):
+    benchmark(lambda: feed_all(SequenceSamplerWR(n=WINDOW, k=k, rng=1), STREAM))
+
+
+@pytest.mark.parametrize("k", [1, 16])
+def test_e1_kernel_chain_ingest(benchmark, k):
+    benchmark(lambda: feed_all(ChainSamplerWR(n=WINDOW, k=k, rng=1), STREAM))
+
+
+def test_e1_kernel_buffer_ingest(benchmark):
+    benchmark(lambda: feed_all(BufferSamplerSeq(n=WINDOW, k=16, rng=1), STREAM))

@@ -1,0 +1,39 @@
+"""Experiment E2 — sequence-window sampling WITHOUT replacement, memory words.
+
+Regenerates the E2 table (optimal vs Bernoulli over-sampling vs window buffer)
+and times ingest plus query for the optimal k-WoR sampler.
+Paper claim: Theorem 2.2 — O(k) words, deterministic, no failure probability.
+"""
+
+import pytest
+
+from _helpers import feed_all, run_and_report
+from repro.baselines import OversamplingSamplerSeqWOR
+from repro.core import SequenceSamplerWOR
+from repro.streams.element import make_stream
+
+WINDOW = 2_000
+STREAM = make_stream(range(4 * WINDOW))
+
+
+def test_e2_table(benchmark, scale):
+    table = benchmark.pedantic(
+        lambda: run_and_report("E2", scale), rounds=1, iterations=1, warmup_rounds=0
+    )
+    for row in table.as_dicts():
+        if row["algorithm"] == "boz-optimal":
+            assert row["failure_rate"] == 0
+
+
+@pytest.mark.parametrize("k", [8, 64])
+def test_e2_kernel_optimal_ingest(benchmark, k):
+    benchmark(lambda: feed_all(SequenceSamplerWOR(n=WINDOW, k=k, rng=2), STREAM))
+
+
+def test_e2_kernel_optimal_query(benchmark):
+    sampler = feed_all(SequenceSamplerWOR(n=WINDOW, k=64, rng=3), STREAM)
+    benchmark(sampler.sample)
+
+
+def test_e2_kernel_oversampling_ingest(benchmark):
+    benchmark(lambda: feed_all(OversamplingSamplerSeqWOR(n=WINDOW, k=64, rng=4), STREAM))

@@ -1,0 +1,52 @@
+"""Experiment E3 — timestamp-window sampling WITH replacement, memory words.
+
+Regenerates the E3 table (optimal covering-decomposition sampler vs BDM
+priority sampling, Poisson and bursty arrivals) and times ingest of both.
+Paper claim: Theorem 3.9 — O(log n) words per sample, deterministic in the
+arrival pattern; priority sampling matches only in expectation.
+"""
+
+import random
+
+import pytest
+
+from _helpers import feed_all, run_and_report
+from repro.baselines import PrioritySamplerWR
+from repro.core import TimestampSamplerWR
+from repro.streams.element import make_stream
+
+
+def _poisson_stream(length, seed=0):
+    source = random.Random(seed)
+    current, timestamps = 0.0, []
+    for _ in range(length):
+        current += source.expovariate(1.0)
+        timestamps.append(current)
+    return make_stream(range(length), timestamps)
+
+
+SPAN = 1_000.0
+STREAM = _poisson_stream(4_000)
+
+
+def test_e3_table(benchmark, scale):
+    table = benchmark.pedantic(
+        lambda: run_and_report("E3", scale), rounds=1, iterations=1, warmup_rounds=0
+    )
+    optimal_rows = [row for row in table.as_dicts() if row["algorithm"] == "boz-optimal"]
+    assert all(row["peak_var"] == 0 for row in optimal_rows)
+
+
+@pytest.mark.parametrize("k", [1, 8])
+def test_e3_kernel_optimal_ingest(benchmark, k):
+    benchmark(lambda: feed_all(TimestampSamplerWR(t0=SPAN, k=k, rng=1), STREAM, advance_time=True))
+
+
+@pytest.mark.parametrize("k", [1, 8])
+def test_e3_kernel_priority_ingest(benchmark, k):
+    benchmark(lambda: feed_all(PrioritySamplerWR(t0=SPAN, k=k, rng=1), STREAM, advance_time=True))
+
+
+def test_e3_kernel_optimal_query(benchmark):
+    sampler = feed_all(TimestampSamplerWR(t0=SPAN, k=8, rng=2), STREAM, advance_time=True)
+    benchmark(sampler.sample)

@@ -1,0 +1,54 @@
+"""Experiment E4 — timestamp-window sampling WITHOUT replacement, memory words.
+
+Regenerates the E4 table (optimal delayed-coverage + black-box reduction vs
+Gemulla-Lehner k-highest-priority vs over-sampling) and times ingest/query.
+Paper claim: Theorem 4.4 — O(k log n) words, deterministic, matching the
+Gemulla-Lehner lower bound.
+"""
+
+import random
+
+import pytest
+
+from _helpers import feed_all, run_and_report
+from repro.baselines import PrioritySamplerWOR
+from repro.core import TimestampSamplerWOR
+from repro.streams.element import make_stream
+
+
+def _poisson_stream(length, seed=0):
+    source = random.Random(seed)
+    current, timestamps = 0.0, []
+    for _ in range(length):
+        current += source.expovariate(1.0)
+        timestamps.append(current)
+    return make_stream(range(length), timestamps)
+
+
+SPAN = 1_000.0
+STREAM = _poisson_stream(3_000)
+
+
+def test_e4_table(benchmark, scale):
+    table = benchmark.pedantic(
+        lambda: run_and_report("E4", scale), rounds=1, iterations=1, warmup_rounds=0
+    )
+    for row in table.as_dicts():
+        if row["algorithm"] == "boz-optimal":
+            assert row["failure_rate"] == 0
+            assert row["peak_var"] == 0
+
+
+@pytest.mark.parametrize("k", [4, 8])
+def test_e4_kernel_optimal_ingest(benchmark, k):
+    benchmark(lambda: feed_all(TimestampSamplerWOR(t0=SPAN, k=k, rng=1), STREAM, advance_time=True))
+
+
+def test_e4_kernel_optimal_query(benchmark):
+    sampler = feed_all(TimestampSamplerWOR(t0=SPAN, k=8, rng=2), STREAM, advance_time=True)
+    benchmark(sampler.sample)
+
+
+@pytest.mark.parametrize("k", [4, 16])
+def test_e4_kernel_gemulla_lehner_ingest(benchmark, k):
+    benchmark(lambda: feed_all(PrioritySamplerWOR(t0=SPAN, k=k, rng=1), STREAM, advance_time=True))

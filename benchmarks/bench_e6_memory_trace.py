@@ -1,0 +1,45 @@
+"""Experiment E6 — deterministic vs randomized memory over time.
+
+Regenerates the E6 checkpoint table (the optimal sampler's trace is flat; the
+chain / over-sampling baselines wander and vary across runs) and times the
+per-arrival update including the memory read-out.
+Paper claim: the deterministic worst-case bounds are the paper's headline
+improvement over Babcock-Datar-Motwani.
+"""
+
+import pytest
+
+from _helpers import run_and_report
+from repro.baselines import ChainSamplerWR
+from repro.core import SequenceSamplerWR
+from repro.streams.element import make_stream
+
+STREAM = make_stream(range(5_000))
+
+
+def test_e6_table(benchmark, scale):
+    table = benchmark.pedantic(
+        lambda: run_and_report("E6", scale), rounds=1, iterations=1, warmup_rounds=0
+    )
+    rows = {row["algorithm"]: row for row in table.as_dicts()}
+    optimal = rows["boz-seq-wr"]
+    # Flat trace: every checkpoint equals the peak.
+    checkpoints = [optimal[key] for key in ("t@20%", "t@40%", "t@60%", "t@80%", "t@100%")]
+    assert len(set(checkpoints)) == 1
+    assert optimal["peak_var"] == 0
+
+
+def _ingest_with_memory_probe(sampler):
+    peak = 0
+    for element in STREAM:
+        sampler.append(element.value, element.timestamp)
+        peak = max(peak, sampler.memory_words())
+    return peak
+
+
+def test_e6_kernel_optimal_ingest_with_probe(benchmark):
+    benchmark(lambda: _ingest_with_memory_probe(SequenceSamplerWR(n=1_000, k=16, rng=1)))
+
+
+def test_e6_kernel_chain_ingest_with_probe(benchmark):
+    benchmark(lambda: _ingest_with_memory_probe(ChainSamplerWR(n=1_000, k=16, rng=1)))

@@ -1,0 +1,67 @@
+"""Experiment E7 — per-element update cost of every sampler.
+
+Regenerates the E7 throughput table and provides the canonical
+pytest-benchmark timings (per-element append cost) for all four optimal
+variants and the two main baselines — the numbers quoted in EXPERIMENTS.md.
+"""
+
+import random
+
+import pytest
+
+from _helpers import feed_all, run_and_report
+from repro.baselines import ChainSamplerWR, PrioritySamplerWR
+from repro.core import (
+    SequenceSamplerWOR,
+    SequenceSamplerWR,
+    TimestampSamplerWOR,
+    TimestampSamplerWR,
+)
+from repro.streams.element import make_stream
+
+
+def _poisson_stream(length, seed=0):
+    source = random.Random(seed)
+    current, timestamps = 0.0, []
+    for _ in range(length):
+        current += source.expovariate(1.0)
+        timestamps.append(current)
+    return make_stream(range(length), timestamps)
+
+
+SEQ_STREAM = make_stream(range(5_000))
+TS_STREAM = _poisson_stream(2_500)
+
+
+def test_e7_table(benchmark, scale):
+    table = benchmark.pedantic(
+        lambda: run_and_report("E7", scale), rounds=1, iterations=1, warmup_rounds=0
+    )
+    assert all(row["kelements_per_s"] > 0 for row in table.as_dicts())
+
+
+@pytest.mark.parametrize("k", [1, 16])
+def test_e7_seq_wr_append(benchmark, k):
+    benchmark(lambda: feed_all(SequenceSamplerWR(n=1_000, k=k, rng=1), SEQ_STREAM))
+
+
+@pytest.mark.parametrize("k", [8, 32])
+def test_e7_seq_wor_append(benchmark, k):
+    benchmark(lambda: feed_all(SequenceSamplerWOR(n=1_000, k=k, rng=1), SEQ_STREAM))
+
+
+def test_e7_chain_append(benchmark):
+    benchmark(lambda: feed_all(ChainSamplerWR(n=1_000, k=16, rng=1), SEQ_STREAM))
+
+
+@pytest.mark.parametrize("k", [1, 8])
+def test_e7_ts_wr_append(benchmark, k):
+    benchmark(lambda: feed_all(TimestampSamplerWR(t0=1_000.0, k=k, rng=1), TS_STREAM, advance_time=True))
+
+
+def test_e7_ts_wor_append(benchmark):
+    benchmark(lambda: feed_all(TimestampSamplerWOR(t0=1_000.0, k=8, rng=1), TS_STREAM, advance_time=True))
+
+
+def test_e7_priority_append(benchmark):
+    benchmark(lambda: feed_all(PrioritySamplerWR(t0=1_000.0, k=8, rng=1), TS_STREAM, advance_time=True))

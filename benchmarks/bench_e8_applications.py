@@ -1,0 +1,60 @@
+"""Experiment E8 — Section-5 applications over sliding windows.
+
+Regenerates the E8 table (frequency-moment F2, entropy and triangle-count
+estimation against the exact window statistics, including the biased naive
+baseline) and times the estimator update path.
+Paper claims: Theorem 5.1 and Corollaries 5.2, 5.3, 5.4.
+"""
+
+import pytest
+
+from _helpers import run_and_report
+from repro.applications import SlidingEntropyEstimator, SlidingFrequencyMoment, SlidingTriangleCounter
+from repro.streams import generators, graph
+
+VALUES = generators.take(generators.zipfian_integers(64, skew=1.3, rng=5), 8_000)
+EDGES = graph.erdos_renyi_edges(40, 0.5, rng=6)
+
+
+def test_e8_table(benchmark, scale):
+    table = benchmark.pedantic(
+        lambda: run_and_report("E8", scale), rounds=1, iterations=1, warmup_rounds=0
+    )
+    rows = table.as_dicts()
+    optimal_f2 = next(
+        row for row in rows if row["application"].startswith("F2") and row["sampler"] == "boz-seq-wr"
+    )
+    naive_f2 = next(row for row in rows if "naive" in row["sampler"])
+    assert optimal_f2["relative_error"] < naive_f2["relative_error"]
+
+
+def _run_f2():
+    estimator = SlidingFrequencyMoment(2.0, window="sequence", n=2_000, estimators=128, rng=1)
+    for value in VALUES:
+        estimator.append(value)
+    return estimator.estimate()
+
+
+def _run_entropy():
+    estimator = SlidingEntropyEstimator(window="sequence", n=2_000, estimators=128, rng=2)
+    for value in VALUES:
+        estimator.append(value)
+    return estimator.estimate_entropy()
+
+
+def _run_triangles():
+    counter = SlidingTriangleCounter(num_vertices=40, window="sequence", n=len(EDGES), estimators=256, rng=3)
+    counter.extend(EDGES)
+    return counter.estimate()
+
+
+def test_e8_kernel_frequency_moment(benchmark):
+    assert benchmark(_run_f2) > 0
+
+
+def test_e8_kernel_entropy(benchmark):
+    assert benchmark(_run_entropy) > 0
+
+
+def test_e8_kernel_triangles(benchmark):
+    assert benchmark(_run_triangles) >= 0

@@ -1,0 +1,40 @@
+"""Experiment E9 — independence of samples from disjoint windows (§1.3.4).
+
+Regenerates the E9 contingency-test table and times the paired-sampling kernel
+(one full run of a stream spanning two disjoint windows, with a sample taken
+in each).
+"""
+
+import pytest
+
+from _helpers import run_and_report
+from repro.core import SequenceSamplerWR
+from repro.streams.element import make_stream
+
+WINDOW = 64
+STREAM = make_stream(range(3 * WINDOW))
+
+
+def test_e9_table(benchmark, scale):
+    table = benchmark.pedantic(
+        lambda: run_and_report("E9", scale), rounds=1, iterations=1, warmup_rounds=0
+    )
+    for row in table.as_dicts():
+        assert row["independent?"] == "yes"
+        assert abs(row["correlation"]) < 0.2
+
+
+def _paired_samples(seed):
+    sampler = SequenceSamplerWR(n=WINDOW, k=1, rng=seed)
+    first = None
+    for position, element in enumerate(STREAM):
+        sampler.append(element.value, element.timestamp)
+        if position == 2 * WINDOW - 1:
+            first = sampler.sample()[0].index
+    second = sampler.sample()[0].index
+    return first, second
+
+
+def test_e9_kernel_paired_sampling(benchmark):
+    counter = iter(range(10_000_000))
+    benchmark(lambda: _paired_samples(next(counter)))

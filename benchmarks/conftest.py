@@ -1,0 +1,32 @@
+"""Shared configuration for the benchmark suite.
+
+Each ``bench_e*.py`` module regenerates one experiment from EXPERIMENTS.md:
+
+* it runs the corresponding E1–E10 experiment once (at the ``default`` scale
+  unless the ``SWSAMPLE_BENCH_SCALE`` environment variable says otherwise),
+  prints its result table and attaches the headline figures to
+  ``benchmark.extra_info``;
+* it also times a representative kernel with pytest-benchmark so the usual
+  timing statistics are collected.
+
+Run with ``pytest benchmarks/ --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import pytest
+
+# Make the src/ layout importable when the package is not installed.
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+
+@pytest.fixture(scope="session")
+def scale() -> str:
+    """Experiment scale used by the benchmark suite (default: 'default')."""
+    value = os.environ.get("SWSAMPLE_BENCH_SCALE", "default")
+    return value if value in ("smoke", "default", "full") else "default"

@@ -1,0 +1,15 @@
+"""Repository-level pytest configuration.
+
+Makes the ``src`` layout importable even when the package has not been
+installed (useful in offline environments where ``pip install -e .`` may not
+be able to resolve build dependencies).  When the package *is* installed the
+installed copy takes precedence only if it shadows the same path, so tests
+always exercise the working tree.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

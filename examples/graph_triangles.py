@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Counting triangles in a sliding window of a graph edge stream (Corollary 5.3).
+
+An interaction graph arrives edge by edge: first a community phase whose edges
+form many triangles, then a sparse random phase with almost none.  A
+sequence-based window over the last |community| edges is monitored with the
+Buriol-style sampling estimator driven by the paper's window sampler; once the
+community edges slide out of the window, the estimate collapses along with the
+exact count.
+
+Run:  python examples/graph_triangles.py
+"""
+
+from __future__ import annotations
+
+from repro.applications import SlidingTriangleCounter
+from repro.streams import graph
+from repro.windows import SequenceWindow
+
+NUM_VERTICES = 60
+ESTIMATORS = 4_000
+
+
+def build_edge_stream():
+    # Phase 1: a dense community on the first 30 vertices (many triangles).
+    community = graph.erdos_renyi_edges(30, 0.55, rng=31)
+    # Phase 2: sparse noise across all 60 vertices (few triangles).
+    noise = [edge for edge in graph.erdos_renyi_edges(NUM_VERTICES, 0.05, rng=32) if edge not in set(community)]
+    return community + noise, len(community)
+
+
+def exact_window_triangles(window_edges):
+    return graph.count_triangles(window_edges)
+
+
+def main() -> None:
+    edges, window_size = build_edge_stream()
+    counter = SlidingTriangleCounter(
+        num_vertices=NUM_VERTICES,
+        window="sequence",
+        n=window_size,
+        estimators=ESTIMATORS,
+        rng=33,
+    )
+    exact_window = SequenceWindow(window_size)
+
+    print(f"Edge stream: {len(edges)} edges, window = last {window_size} edges, "
+          f"{ESTIMATORS} sampling estimators\n")
+    checkpoints = {window_size, len(edges) // 2, len(edges)}
+    for position, (u, v) in enumerate(edges, start=1):
+        counter.add_edge(u, v)
+        exact_window.append((u, v))
+        if position in checkpoints:
+            exact = exact_window_triangles(exact_window.active_values())
+            estimate = counter.estimate()
+            error = abs(estimate - exact) / exact if exact else 0.0
+            print(f"after {position:5d} edges:")
+            print(f"  exact triangles in window   : {exact}")
+            print(f"  estimated triangles         : {estimate:10.1f}   (relative error {error:.2%})")
+            print(f"  estimator memory            : {counter.memory_words()} words "
+                  f"(vs {3 * exact_window.size} words for the exact window buffer)")
+            print()
+    print("When the dense community has slid out of the window the estimate drops with the")
+    print("exact count — the sampler forgets expired edges, a whole-stream reservoir would not.")
+
+
+if __name__ == "__main__":
+    main()

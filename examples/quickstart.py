@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Quickstart: maintain uniform random samples over sliding windows.
+
+This example walks through the four problem variants of the paper with a
+single synthetic stream each, printing the sample and the memory footprint
+(in the paper's word model) so you can see the Θ(k) / Θ(k log n) bounds with
+your own eyes.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import sliding_window_sampler
+
+
+def sequence_with_replacement() -> None:
+    print("=" * 72)
+    print("1. Fixed-size window, k samples WITH replacement   (Theorem 2.1)")
+    print("=" * 72)
+    n, k = 10_000, 8
+    sampler = sliding_window_sampler("sequence", n=n, k=k, replacement=True, rng=1)
+    for value in range(1_000_000):
+        sampler.append(value)
+    print(f"stream length : 1,000,000   window: last {n:,} elements   k = {k}")
+    print(f"sample        : {sorted(sampler.sample_values())}")
+    print(f"memory        : {sampler.memory_words()} words (independent of n and of stream length)")
+    print()
+
+
+def sequence_without_replacement() -> None:
+    print("=" * 72)
+    print("2. Fixed-size window, k samples WITHOUT replacement (Theorem 2.2)")
+    print("=" * 72)
+    n, k = 5_000, 12
+    sampler = sliding_window_sampler("sequence", n=n, k=k, replacement=False, rng=2)
+    for value in range(200_000):
+        sampler.append(value)
+    drawn = sorted(sampler.sample_values())
+    print(f"window: last {n:,} elements   k = {k}")
+    print(f"sample (all distinct, all recent): {drawn}")
+    print(f"memory        : {sampler.memory_words()} words")
+    print()
+
+
+def timestamp_with_replacement() -> None:
+    print("=" * 72)
+    print("3. Timestamp window, k samples WITH replacement    (Theorem 3.9)")
+    print("=" * 72)
+    t0, k = 60.0, 4  # keep the last minute
+    sampler = sliding_window_sampler("timestamp", t0=t0, k=k, replacement=True, rng=3)
+    clock = 0.0
+    source = random.Random(4)
+    for value in range(100_000):
+        clock += source.expovariate(50.0)  # ~50 events per second
+        sampler.append(value, timestamp=clock)
+    print(f"window: the last {t0:.0f} seconds (window size is unknown to the sampler!)")
+    print(f"clock now     : {clock:9.1f}s")
+    for element in sampler.sample():
+        print(f"  sampled value={element.value:<8} age={clock - element.timestamp:6.2f}s")
+    print(f"memory        : {sampler.memory_words()} words (Θ(k·log n), deterministic)")
+    print()
+
+
+def timestamp_without_replacement() -> None:
+    print("=" * 72)
+    print("4. Timestamp window, k samples WITHOUT replacement (Theorem 4.4)")
+    print("=" * 72)
+    t0, k = 30.0, 6
+    sampler = sliding_window_sampler("timestamp", t0=t0, k=k, replacement=False, rng=5)
+    clock = 0.0
+    source = random.Random(6)
+    for value in range(50_000):
+        clock += source.expovariate(20.0)
+        sampler.append(value, timestamp=clock)
+    drawn = sampler.sample()
+    print(f"window: the last {t0:.0f} seconds   k = {k}")
+    print(f"sample ({len(drawn)} distinct elements):")
+    for element in sorted(drawn, key=lambda e: e.index):
+        print(f"  value={element.value:<8} age={clock - element.timestamp:6.2f}s")
+    print(f"memory        : {sampler.memory_words()} words")
+    print()
+
+
+def main() -> None:
+    sequence_with_replacement()
+    sequence_without_replacement()
+    timestamp_with_replacement()
+    timestamp_without_replacement()
+    print("Done.  See examples/network_monitoring.py, examples/stock_ticks.py and")
+    print("examples/graph_triangles.py for application-level uses of the samplers.")
+
+
+if __name__ == "__main__":
+    main()

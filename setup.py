@@ -1,0 +1,14 @@
+"""Legacy setup script.
+
+Kept alongside ``pyproject.toml`` so that the package can be installed in
+fully offline environments (where PEP-517 build isolation cannot download
+build dependencies and the ``wheel`` package may be absent)::
+
+    pip install -e . --no-build-isolation --no-use-pep517
+
+All metadata lives in ``pyproject.toml``; this file only delegates.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,82 @@
+"""repro — optimal random sampling from sliding windows.
+
+A production-quality reproduction of
+
+    Vladimir Braverman, Rafail Ostrovsky, Carlo Zaniolo.
+    "Optimal sampling from sliding windows."
+    PODS 2009; Journal of Computer and System Sciences 78(1), 2012.
+
+The package provides:
+
+* :mod:`repro.core` — the paper's algorithms: Θ(k)-word samplers for
+  fixed-size windows and Θ(k log n)-word samplers for timestamp-based windows,
+  with and without replacement (Theorems 2.1, 2.2, 3.9, 4.4).
+* :mod:`repro.baselines` — the prior art they are compared against (chain
+  sampling, priority sampling, k-highest-priority sampling, over-sampling,
+  full-window buffers).
+* :mod:`repro.applications` — Section-5 corollaries: frequency moments,
+  entropy, triangle counting, quantiles and step-biased sampling over sliding
+  windows.
+* :mod:`repro.streams`, :mod:`repro.windows`, :mod:`repro.analysis` — the
+  substrates used by examples, tests and the experiment harness.
+* :mod:`repro.harness` — the experiment registry (E1–E10) behind the
+  benchmarks and EXPERIMENTS.md.
+
+Quickstart
+----------
+>>> from repro import sliding_window_sampler
+>>> sampler = sliding_window_sampler("sequence", n=1000, k=8, replacement=False, rng=7)
+>>> for value in range(10_000):
+...     sampler.append(value)
+>>> sorted(sampler.sample_values())  # doctest: +SKIP
+[9123, 9240, ...]          # eight distinct values, all from the last 1000
+>>> sampler.memory_words()  # doctest: +SKIP
+53                          # Θ(k), independent of n and of the stream length
+"""
+
+from .core import (
+    ALGORITHMS,
+    CandidateObserver,
+    OccurrenceCounter,
+    SampleCandidate,
+    SequenceSamplerWOR,
+    SequenceSamplerWR,
+    TimestampSamplerWOR,
+    TimestampSamplerWR,
+    WindowSampler,
+    algorithm_catalog,
+    sliding_window_sampler,
+)
+from .exceptions import (
+    ConfigurationError,
+    EmptyWindowError,
+    InsufficientSampleError,
+    SamplingFailureError,
+    StreamOrderError,
+    SWSampleError,
+)
+from .streams.element import StreamElement
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "sliding_window_sampler",
+    "algorithm_catalog",
+    "ALGORITHMS",
+    "WindowSampler",
+    "SequenceSamplerWR",
+    "SequenceSamplerWOR",
+    "TimestampSamplerWR",
+    "TimestampSamplerWOR",
+    "SampleCandidate",
+    "CandidateObserver",
+    "OccurrenceCounter",
+    "StreamElement",
+    "SWSampleError",
+    "EmptyWindowError",
+    "InsufficientSampleError",
+    "StreamOrderError",
+    "ConfigurationError",
+    "SamplingFailureError",
+]

@@ -1,0 +1,49 @@
+"""Verification and measurement substrate: uniformity tests, exact window
+statistics, memory profiling and independence diagnostics."""
+
+from .independence import IndependenceReport, assess_independence, chi_square_independence, pearson_correlation
+from .memory_profile import MemorySummary, MemoryTrace, profile_sampler, summarize_traces
+from .moments import (
+    distinct_count,
+    empirical_entropy,
+    entropy_norm,
+    frequency_moment,
+    frequency_vector,
+    relative_error,
+)
+from .statistics import chi_square_sf, mean, quantile, regularized_gamma_p, regularized_gamma_q, variance
+from .uniformity import (
+    UniformityReport,
+    assess_uniformity,
+    chi_square_uniformity,
+    ks_uniformity,
+    total_variation_from_uniform,
+)
+
+__all__ = [
+    "UniformityReport",
+    "assess_uniformity",
+    "chi_square_uniformity",
+    "ks_uniformity",
+    "total_variation_from_uniform",
+    "IndependenceReport",
+    "assess_independence",
+    "chi_square_independence",
+    "pearson_correlation",
+    "MemoryTrace",
+    "MemorySummary",
+    "profile_sampler",
+    "summarize_traces",
+    "frequency_vector",
+    "frequency_moment",
+    "empirical_entropy",
+    "entropy_norm",
+    "distinct_count",
+    "relative_error",
+    "chi_square_sf",
+    "regularized_gamma_p",
+    "regularized_gamma_q",
+    "mean",
+    "variance",
+    "quantile",
+]

@@ -1,0 +1,103 @@
+"""Empirical independence diagnostics.
+
+Section 1.3.4 of the paper argues that the algorithms produce *independent*
+samples for non-overlapping windows (a property inherited from the reservoir
+primitive).  These helpers test that claim empirically: given paired
+observations — e.g. the window position sampled in window A and the position
+sampled in a later, disjoint window B, over many independent runs — they
+measure association via a χ² contingency test and the sample correlation.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass
+from typing import Hashable, Sequence, Tuple
+
+from .statistics import chi_square_sf, mean
+
+__all__ = ["IndependenceReport", "chi_square_independence", "pearson_correlation", "assess_independence"]
+
+
+@dataclass(frozen=True)
+class IndependenceReport:
+    """Summary of an independence assessment over paired trials."""
+
+    trials: int
+    chi_square: float
+    degrees_of_freedom: int
+    p_value: float
+    correlation: float
+
+    @property
+    def passes(self) -> bool:
+        """Accept independence unless the χ² test rejects at the 0.1% level."""
+        return self.p_value >= 0.001
+
+
+def chi_square_independence(
+    pairs: Sequence[Tuple[Hashable, Hashable]],
+    left_categories: Sequence[Hashable],
+    right_categories: Sequence[Hashable],
+) -> Tuple[float, int, float]:
+    """Pearson χ² test of independence on a contingency table.
+
+    Returns ``(statistic, degrees_of_freedom, p_value)``.
+    """
+    if not pairs:
+        raise ValueError("pairs must be non-empty")
+    if not left_categories or not right_categories:
+        raise ValueError("category sets must be non-empty")
+    total = len(pairs)
+    joint: Counter = Counter(pairs)
+    left_marginal: Counter = Counter(pair[0] for pair in pairs)
+    right_marginal: Counter = Counter(pair[1] for pair in pairs)
+    statistic = 0.0
+    for left in left_categories:
+        for right in right_categories:
+            expected = left_marginal.get(left, 0) * right_marginal.get(right, 0) / total
+            if expected == 0:
+                continue
+            observed = joint.get((left, right), 0)
+            statistic += (observed - expected) ** 2 / expected
+    degrees_of_freedom = (len(left_categories) - 1) * (len(right_categories) - 1)
+    if degrees_of_freedom <= 0:
+        raise ValueError("need at least two categories on each side")
+    return statistic, degrees_of_freedom, chi_square_sf(statistic, degrees_of_freedom)
+
+
+def pearson_correlation(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Sample Pearson correlation coefficient (0 when either side is constant)."""
+    if len(xs) != len(ys):
+        raise ValueError("sequences must have equal length")
+    if len(xs) < 2:
+        raise ValueError("need at least two observations")
+    mean_x, mean_y = mean(list(xs)), mean(list(ys))
+    cov = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    var_x = sum((x - mean_x) ** 2 for x in xs)
+    var_y = sum((y - mean_y) ** 2 for y in ys)
+    if var_x == 0 or var_y == 0:
+        return 0.0
+    return cov / math.sqrt(var_x * var_y)
+
+
+def assess_independence(
+    pairs: Sequence[Tuple[Hashable, Hashable]],
+    left_categories: Sequence[Hashable],
+    right_categories: Sequence[Hashable],
+) -> IndependenceReport:
+    """Run the contingency χ² test plus a correlation check on numeric codes."""
+    statistic, dof, p_value = chi_square_independence(pairs, left_categories, right_categories)
+    left_codes = {category: position for position, category in enumerate(left_categories)}
+    right_codes = {category: position for position, category in enumerate(right_categories)}
+    xs = [float(left_codes[pair[0]]) for pair in pairs]
+    ys = [float(right_codes[pair[1]]) for pair in pairs]
+    correlation = pearson_correlation(xs, ys)
+    return IndependenceReport(
+        trials=len(pairs),
+        chi_square=statistic,
+        degrees_of_freedom=dof,
+        p_value=p_value,
+        correlation=correlation,
+    )

@@ -1,0 +1,113 @@
+"""Per-arrival memory traces.
+
+The paper's central quantitative claim is about *worst-case* memory: the new
+algorithms use a deterministic number of words at every instant, whereas the
+prior art is bounded only in expectation.  :class:`MemoryTrace` records a
+sampler's ``memory_words()`` after every arrival and summarises the trace
+(peak, mean, quantiles, variance across runs), which is what experiments
+E1–E4 and E6 report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence
+
+from .statistics import mean, quantile, variance
+
+__all__ = ["MemoryTrace", "MemorySummary", "profile_sampler", "summarize_traces"]
+
+
+@dataclass
+class MemoryTrace:
+    """The sequence of memory-word readings of one run."""
+
+    readings: List[int] = field(default_factory=list)
+
+    def record(self, words: int) -> None:
+        self.readings.append(int(words))
+
+    @property
+    def peak(self) -> int:
+        if not self.readings:
+            raise ValueError("empty memory trace")
+        return max(self.readings)
+
+    @property
+    def final(self) -> int:
+        if not self.readings:
+            raise ValueError("empty memory trace")
+        return self.readings[-1]
+
+    @property
+    def average(self) -> float:
+        return mean([float(reading) for reading in self.readings])
+
+    def quantile(self, q: float) -> float:
+        return quantile([float(reading) for reading in self.readings], q)
+
+    def __len__(self) -> int:
+        return len(self.readings)
+
+
+@dataclass(frozen=True)
+class MemorySummary:
+    """Aggregate view over one or several runs of the same configuration."""
+
+    runs: int
+    arrivals: int
+    peak: int
+    mean_words: float
+    p50: float
+    p99: float
+    peak_variance_across_runs: float
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "runs": self.runs,
+            "arrivals": self.arrivals,
+            "peak": self.peak,
+            "mean": round(self.mean_words, 2),
+            "p50": round(self.p50, 2),
+            "p99": round(self.p99, 2),
+            "peak_var": round(self.peak_variance_across_runs, 2),
+        }
+
+
+def profile_sampler(sampler, elements: Iterable, advance_time: bool = False) -> MemoryTrace:
+    """Feed ``elements`` into ``sampler`` and record memory after each arrival.
+
+    ``elements`` may be raw values or :class:`~repro.streams.element.StreamElement`
+    records; in the latter case timestamps are honoured and, when
+    ``advance_time`` is set, the sampler's clock is advanced before each append
+    (matching how a timestamp sampler is used in production).
+    """
+    from ..streams.element import StreamElement
+
+    trace = MemoryTrace()
+    for element in elements:
+        if isinstance(element, StreamElement):
+            if advance_time and hasattr(sampler, "advance_time"):
+                sampler.advance_time(element.timestamp)
+            sampler.append(element.value, element.timestamp)
+        else:
+            sampler.append(element)
+        trace.record(sampler.memory_words())
+    return trace
+
+
+def summarize_traces(traces: Sequence[MemoryTrace]) -> MemorySummary:
+    """Aggregate several runs into one summary row."""
+    if not traces:
+        raise ValueError("no traces to summarise")
+    all_readings = [float(reading) for trace in traces for reading in trace.readings]
+    peaks = [float(trace.peak) for trace in traces]
+    return MemorySummary(
+        runs=len(traces),
+        arrivals=len(traces[0]),
+        peak=int(max(peaks)),
+        mean_words=mean(all_readings),
+        p50=quantile(all_readings, 0.50),
+        p99=quantile(all_readings, 0.99),
+        peak_variance_across_runs=variance(peaks) if len(peaks) > 1 else 0.0,
+    )

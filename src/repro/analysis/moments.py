@@ -1,0 +1,73 @@
+"""Exact window statistics used as ground truth by the application experiments.
+
+The Section-5 corollaries estimate frequency moments, entropy and triangle
+counts over the window from samples; these helpers compute the exact values
+from the full window contents (supplied by the exact window trackers) so that
+estimation error can be measured.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Dict, Hashable, Iterable
+
+__all__ = [
+    "frequency_vector",
+    "frequency_moment",
+    "empirical_entropy",
+    "entropy_norm",
+    "distinct_count",
+    "relative_error",
+]
+
+
+def frequency_vector(values: Iterable[Hashable]) -> Dict[Hashable, int]:
+    """The frequency of every value in the window."""
+    return dict(Counter(values))
+
+
+def frequency_moment(values: Iterable[Hashable], order: float) -> float:
+    """The frequency moment ``F_order = sum_i x_i^order`` of the window.
+
+    ``order == 0`` gives the number of distinct values, ``order == 1`` the
+    window size, ``order == 2`` the self-join size used by experiment E8.
+    """
+    if order < 0:
+        raise ValueError("order must be non-negative")
+    frequencies = Counter(values)
+    if order == 0:
+        return float(len(frequencies))
+    return float(sum(count**order for count in frequencies.values()))
+
+
+def empirical_entropy(values: Iterable[Hashable]) -> float:
+    """The empirical (Shannon) entropy of the window, in bits:
+    ``H = -sum_i (x_i / N) log2(x_i / N)``."""
+    frequencies = Counter(values)
+    total = sum(frequencies.values())
+    if total == 0:
+        raise ValueError("entropy of an empty window")
+    entropy = 0.0
+    for count in frequencies.values():
+        probability = count / total
+        entropy -= probability * math.log2(probability)
+    return entropy
+
+
+def entropy_norm(values: Iterable[Hashable]) -> float:
+    """The entropy norm ``F_H = sum_i x_i log2(x_i)`` of the window."""
+    frequencies = Counter(values)
+    return float(sum(count * math.log2(count) for count in frequencies.values() if count > 0))
+
+
+def distinct_count(values: Iterable[Hashable]) -> int:
+    """Number of distinct values in the window (``F_0``)."""
+    return len(set(values))
+
+
+def relative_error(estimate: float, truth: float) -> float:
+    """``|estimate - truth| / truth`` with the convention 0/0 = 0."""
+    if truth == 0:
+        return 0.0 if estimate == 0 else float("inf")
+    return abs(estimate - truth) / abs(truth)

@@ -1,0 +1,130 @@
+"""Small, dependency-free statistical primitives.
+
+The analysis layer avoids a hard dependency on scipy so that the library's
+runtime requirements stay empty; the few special functions needed by the
+uniformity and independence tests (the regularized incomplete gamma function,
+hence the chi-square survival function) are implemented here with standard
+series / continued-fraction expansions, accurate to ~1e-10 over the ranges the
+tests use.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+__all__ = [
+    "regularized_gamma_p",
+    "regularized_gamma_q",
+    "chi_square_sf",
+    "mean",
+    "variance",
+    "quantile",
+]
+
+_MAX_ITERATIONS = 500
+_EPSILON = 1e-14
+
+
+def _lower_gamma_series(s: float, x: float) -> float:
+    """P(s, x) via the power series, valid for x < s + 1."""
+    term = 1.0 / s
+    total = term
+    for n in range(1, _MAX_ITERATIONS):
+        term *= x / (s + n)
+        total += term
+        if abs(term) < abs(total) * _EPSILON:
+            break
+    return total * math.exp(-x + s * math.log(x) - math.lgamma(s))
+
+
+def _upper_gamma_continued_fraction(s: float, x: float) -> float:
+    """Q(s, x) via Lentz's continued fraction, valid for x >= s + 1."""
+    tiny = 1e-300
+    b = x + 1.0 - s
+    c = 1.0 / tiny
+    d = 1.0 / b
+    h = d
+    for i in range(1, _MAX_ITERATIONS):
+        an = -i * (i - s)
+        b += 2.0
+        d = an * d + b
+        if abs(d) < tiny:
+            d = tiny
+        c = b + an / c
+        if abs(c) < tiny:
+            c = tiny
+        d = 1.0 / d
+        delta = d * c
+        h *= delta
+        if abs(delta - 1.0) < _EPSILON:
+            break
+    return h * math.exp(-x + s * math.log(x) - math.lgamma(s))
+
+
+def regularized_gamma_p(s: float, x: float) -> float:
+    """The regularized lower incomplete gamma function P(s, x)."""
+    if s <= 0:
+        raise ValueError("shape parameter must be positive")
+    if x < 0:
+        raise ValueError("x must be non-negative")
+    if x == 0:
+        return 0.0
+    if x < s + 1.0:
+        return min(1.0, max(0.0, _lower_gamma_series(s, x)))
+    return min(1.0, max(0.0, 1.0 - _upper_gamma_continued_fraction(s, x)))
+
+
+def regularized_gamma_q(s: float, x: float) -> float:
+    """The regularized upper incomplete gamma function Q(s, x) = 1 - P(s, x)."""
+    if s <= 0:
+        raise ValueError("shape parameter must be positive")
+    if x < 0:
+        raise ValueError("x must be non-negative")
+    if x == 0:
+        return 1.0
+    if x < s + 1.0:
+        return min(1.0, max(0.0, 1.0 - _lower_gamma_series(s, x)))
+    return min(1.0, max(0.0, _upper_gamma_continued_fraction(s, x)))
+
+
+def chi_square_sf(statistic: float, degrees_of_freedom: int) -> float:
+    """Survival function (p-value) of the chi-square distribution."""
+    if degrees_of_freedom <= 0:
+        raise ValueError("degrees of freedom must be positive")
+    if statistic < 0:
+        raise ValueError("the chi-square statistic is non-negative")
+    return regularized_gamma_q(degrees_of_freedom / 2.0, statistic / 2.0)
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean (raises on empty input)."""
+    if not values:
+        raise ValueError("mean of an empty sequence")
+    return sum(values) / len(values)
+
+
+def variance(values: Sequence[float]) -> float:
+    """Population variance (raises on empty input)."""
+    if not values:
+        raise ValueError("variance of an empty sequence")
+    centre = mean(values)
+    return sum((value - centre) ** 2 for value in values) / len(values)
+
+
+def quantile(values: Sequence[float], q: float) -> float:
+    """Empirical quantile with linear interpolation, ``q`` in [0, 1]."""
+    if not values:
+        raise ValueError("quantile of an empty sequence")
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("q must lie in [0, 1]")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    position = q * (len(ordered) - 1)
+    low = int(math.floor(position))
+    high = int(math.ceil(position))
+    if low == high:
+        return float(ordered[low])
+    weight = position - low
+    return float(ordered[low] * (1.0 - weight) + ordered[high] * weight)

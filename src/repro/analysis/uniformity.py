@@ -1,0 +1,135 @@
+"""Uniformity diagnostics for window samples.
+
+The correctness statement of every theorem in the paper is distributional:
+at any time, the sample is uniform over the active elements.  These helpers
+turn repeated independent trials into test statistics:
+
+* :func:`chi_square_uniformity` — Pearson χ² goodness-of-fit against the
+  uniform law over a known category set (window positions or values), with a
+  p-value from the dependency-free chi-square survival function.
+* :func:`total_variation_from_uniform` — the TV distance between the empirical
+  distribution and uniform (a scale-free effect size, more robust than a bare
+  p-value for benchmark tables).
+* :func:`ks_uniformity` — Kolmogorov–Smirnov statistic for samples mapped to
+  [0, 1) window fractions.
+* :class:`UniformityReport` — the bundle produced by :func:`assess_uniformity`.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Hashable, Sequence
+
+from .statistics import chi_square_sf
+
+__all__ = [
+    "chi_square_uniformity",
+    "total_variation_from_uniform",
+    "ks_uniformity",
+    "UniformityReport",
+    "assess_uniformity",
+]
+
+
+@dataclass(frozen=True)
+class UniformityReport:
+    """Summary of a uniformity assessment over repeated trials."""
+
+    trials: int
+    categories: int
+    chi_square: float
+    p_value: float
+    total_variation: float
+    max_abs_deviation: float
+
+    @property
+    def passes(self) -> bool:
+        """Conventional acceptance at the 0.1% significance level."""
+        return self.p_value >= 0.001
+
+
+def chi_square_uniformity(
+    observations: Sequence[Hashable],
+    categories: Sequence[Hashable],
+) -> tuple[float, float]:
+    """Pearson χ² statistic and p-value against the uniform distribution.
+
+    ``categories`` must enumerate the full support (e.g. every position of the
+    window); observations outside it raise ``ValueError``.
+    """
+    if not categories:
+        raise ValueError("categories must be non-empty")
+    if not observations:
+        raise ValueError("observations must be non-empty")
+    category_set = set(categories)
+    if len(category_set) != len(categories):
+        raise ValueError("categories must be distinct")
+    counts: Counter = Counter(observations)
+    unknown = set(counts) - category_set
+    if unknown:
+        raise ValueError(f"observations outside the category set: {sorted(unknown)[:5]}")
+    expected = len(observations) / len(categories)
+    statistic = sum(
+        (counts.get(category, 0) - expected) ** 2 / expected for category in categories
+    )
+    p_value = chi_square_sf(statistic, len(categories) - 1)
+    return statistic, p_value
+
+
+def total_variation_from_uniform(
+    observations: Sequence[Hashable],
+    categories: Sequence[Hashable],
+) -> float:
+    """Total-variation distance between the empirical law and the uniform law."""
+    if not categories:
+        raise ValueError("categories must be non-empty")
+    if not observations:
+        raise ValueError("observations must be non-empty")
+    counts: Counter = Counter(observations)
+    uniform_mass = 1.0 / len(categories)
+    total = len(observations)
+    distance = 0.0
+    for category in categories:
+        distance += abs(counts.get(category, 0) / total - uniform_mass)
+    # Mass observed outside the category set (should be zero for valid samplers)
+    # also contributes to the distance.
+    outside = sum(count for category, count in counts.items() if category not in set(categories))
+    distance += outside / total
+    return distance / 2.0
+
+
+def ks_uniformity(fractions: Sequence[float]) -> float:
+    """Kolmogorov–Smirnov statistic of values that should be U[0, 1)."""
+    if not fractions:
+        raise ValueError("fractions must be non-empty")
+    ordered = sorted(fractions)
+    n = len(ordered)
+    statistic = 0.0
+    for rank, value in enumerate(ordered, start=1):
+        if not 0.0 <= value <= 1.0:
+            raise ValueError("fractions must lie in [0, 1]")
+        statistic = max(statistic, abs(rank / n - value), abs(value - (rank - 1) / n))
+    return statistic
+
+
+def assess_uniformity(
+    observations: Sequence[Hashable],
+    categories: Sequence[Hashable],
+) -> UniformityReport:
+    """Run the χ² and TV diagnostics and bundle the results."""
+    statistic, p_value = chi_square_uniformity(observations, categories)
+    tv_distance = total_variation_from_uniform(observations, categories)
+    counts: Counter = Counter(observations)
+    expected = len(observations) / len(categories)
+    max_deviation = max(
+        abs(counts.get(category, 0) - expected) / len(observations) for category in categories
+    )
+    return UniformityReport(
+        trials=len(observations),
+        categories=len(categories),
+        chi_square=statistic,
+        p_value=p_value,
+        total_variation=tv_distance,
+        max_abs_deviation=max_deviation,
+    )

@@ -1,0 +1,28 @@
+"""Section-5 applications: sampling-based algorithms transferred to sliding
+windows by Theorem 5.1.
+
+Every estimator here consumes only the public sampler API (plus the
+candidate-observer hook), demonstrating the paper's claim that "a
+sampling-based algorithm ... can be immediately transformed to sliding windows
+by replacing the underlying sampling method with our algorithms".
+"""
+
+from .biased import StepBiasedSampler
+from .entropy import SlidingEntropyEstimator, entropy_estimate_from_counts, entropy_norm_estimate_from_counts
+from .frequency_moments import SlidingFrequencyMoment, ams_estimate_from_counts
+from .heavy_hitters import SlidingHeavyHitters
+from .quantiles import SlidingQuantileEstimator
+from .triangles import SlidingTriangleCounter, TriangleWatcher
+
+__all__ = [
+    "SlidingFrequencyMoment",
+    "ams_estimate_from_counts",
+    "SlidingEntropyEstimator",
+    "entropy_estimate_from_counts",
+    "entropy_norm_estimate_from_counts",
+    "SlidingTriangleCounter",
+    "TriangleWatcher",
+    "SlidingQuantileEstimator",
+    "SlidingHeavyHitters",
+    "StepBiasedSampler",
+]

@@ -1,0 +1,117 @@
+"""Step-biased sampling via nested sliding windows (§5, last paragraph).
+
+Biased sampling (Aggarwal 2006) favours recent elements.  The paper observes
+that *step* bias functions — piecewise-constant weights over recency — can be
+implemented by "maintaining samples over each window with different lengths and
+combining the samples with corresponding probabilities".
+:class:`StepBiasedSampler` does precisely that: it keeps one optimal window
+sampler per step length and, at query time, draws from step ``i`` with the
+probability implied by the requested step weights.
+
+With steps ``n_1 < n_2 < ... < n_m`` and weights ``w_1 >= w_2 >= ... >= w_m``,
+an element whose age is in ``(n_{i-1}, n_i]`` is returned with probability
+proportional to ``w_i`` — the canonical step-biased distribution.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence
+
+from ..core.facade import sliding_window_sampler
+from ..exceptions import ConfigurationError, EmptyWindowError
+from ..rng import RngLike, ensure_rng, spawn
+from ..streams.element import StreamElement
+
+__all__ = ["StepBiasedSampler"]
+
+
+class StepBiasedSampler:
+    """Step-biased sampling over nested sequence windows."""
+
+    def __init__(
+        self,
+        steps: Sequence[int],
+        weights: Sequence[float],
+        *,
+        algorithm: str = "optimal",
+        rng: RngLike = None,
+    ) -> None:
+        if not steps:
+            raise ConfigurationError("at least one window step is required")
+        if list(steps) != sorted(set(steps)):
+            raise ConfigurationError("steps must be strictly increasing")
+        if len(weights) != len(steps):
+            raise ConfigurationError("weights must match steps")
+        if any(weight < 0 for weight in weights) or sum(weights) <= 0:
+            raise ConfigurationError("weights must be non-negative and not all zero")
+        if list(weights) != sorted(weights, reverse=True):
+            raise ConfigurationError("weights must be non-increasing (recent steps weigh more)")
+        root = ensure_rng(rng)
+        self._steps = [int(step) for step in steps]
+        self._weights = [float(weight) for weight in weights]
+        self._samplers = [
+            sliding_window_sampler("sequence", n=step, k=1, replacement=True,
+                                   algorithm=algorithm, rng=spawn(root, position))
+            for position, step in enumerate(self._steps)
+        ]
+        self._choice_rng = spawn(root, len(self._steps) + 1)
+        self._arrivals = 0
+
+    @property
+    def steps(self) -> List[int]:
+        return list(self._steps)
+
+    def append(self, value: Any, timestamp: Optional[float] = None) -> None:
+        """Process one stream element (feeds every nested window)."""
+        for sampler in self._samplers:
+            sampler.append(value, timestamp)
+        self._arrivals += 1
+
+    def step_probabilities(self) -> List[float]:
+        """The probability of drawing from each step's window at query time.
+
+        Step ``i`` covers the band of ages ``(steps[i-1], steps[i]]``; its band
+        width times its weight, normalised, gives the draw probability.
+        """
+        band_widths = []
+        previous = 0
+        for step in self._steps:
+            effective = min(step, max(self._arrivals, 1))
+            band_widths.append(max(effective - previous, 0))
+            previous = effective
+        masses = [width * weight for width, weight in zip(band_widths, self._weights)]
+        total = sum(masses)
+        if total <= 0:
+            # Degenerate early-stream case: fall back to the innermost window.
+            masses = [1.0] + [0.0] * (len(self._steps) - 1)
+            total = 1.0
+        return [mass / total for mass in masses]
+
+    def sample_one(self) -> StreamElement:
+        """Draw one element according to the step-biased distribution."""
+        if self._arrivals == 0:
+            raise EmptyWindowError("no element has arrived yet")
+        probabilities = self.step_probabilities()
+        u = self._choice_rng.random()
+        cumulative = 0.0
+        chosen_index = len(self._samplers) - 1
+        for position, probability in enumerate(probabilities):
+            cumulative += probability
+            if u < cumulative:
+                chosen_index = position
+                break
+        # Rejection step: the chosen window covers *all* ages up to its step,
+        # but the band assigned to it excludes the more recent sub-windows.
+        # Resample until the drawn element's age falls in the band.
+        for _ in range(64):
+            element = self._samplers[chosen_index].sample_one()
+            age = self._arrivals - 1 - element.index
+            lower = 0 if chosen_index == 0 else self._steps[chosen_index - 1]
+            if age < lower:
+                continue
+            return element
+        # Extremely unlikely fallback: accept the innermost window's sample.
+        return self._samplers[0].sample_one()
+
+    def memory_words(self) -> int:
+        return sum(sampler.memory_words() for sampler in self._samplers)

@@ -1,0 +1,130 @@
+"""Frequency-moment estimation over sliding windows (Corollary 5.2).
+
+The Alon–Matias–Szegedy estimator is *sampling-based*: pick a uniform position
+``j`` of the data set, let ``r`` be the number of occurrences of the value at
+position ``j`` from ``j`` onwards, and output ``N * (r^order - (r-1)^order)``;
+its expectation is exactly the frequency moment ``F_order``.  Theorem 5.1 says
+such an algorithm transfers to sliding windows by swapping the sampler, which
+is literally what :class:`SlidingFrequencyMoment` does:
+
+* the uniform window position comes from one of the paper's with-replacement
+  samplers (``estimators`` independent copies);
+* the occurrence count ``r`` is maintained by an
+  :class:`~repro.core.tracking.OccurrenceCounter` observer riding on the
+  sampler's candidates — every arrival after a retained candidate that carries
+  the same value bumps the candidate's counter, so ``r`` is available in O(1)
+  at query time and the memory bound of the sampler is preserved.
+
+The default configuration targets sequence-based windows, where the window
+size ``N`` (needed by the estimator) is known exactly.  Timestamp windows are
+supported by passing ``window="timestamp"`` plus an explicit window-size
+callback (the paper's own applications face the same issue: the exact size of
+a timestamp window cannot be tracked in sublinear space, but any (1±ε)
+approximation — e.g. an exponential-histogram counter — slots in here).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional
+
+from ..core.facade import sliding_window_sampler
+from ..core.tracking import OccurrenceCounter
+from ..exceptions import ConfigurationError, EmptyWindowError
+from ..rng import RngLike
+
+__all__ = ["SlidingFrequencyMoment", "ams_estimate_from_counts"]
+
+
+def ams_estimate_from_counts(counts: List[int], window_size: int, order: float) -> float:
+    """The AMS estimate from the per-sample occurrence counts ``r``.
+
+    Each count contributes ``window_size * (r^order - (r-1)^order)``; the
+    estimates are averaged.
+    """
+    if not counts:
+        raise ValueError("no occurrence counts supplied")
+    if window_size <= 0:
+        raise ValueError("window size must be positive")
+    total = 0.0
+    for r in counts:
+        if r <= 0:
+            raise ValueError("occurrence counts must be positive")
+        total += window_size * (r**order - (r - 1) ** order)
+    return total / len(counts)
+
+
+class SlidingFrequencyMoment:
+    """Streaming (1±ε)-style estimator of ``F_order`` over a sliding window."""
+
+    def __init__(
+        self,
+        order: float = 2.0,
+        *,
+        window: str = "sequence",
+        n: Optional[int] = None,
+        t0: Optional[float] = None,
+        estimators: int = 64,
+        algorithm: str = "optimal",
+        rng: RngLike = None,
+        window_size_fn: Optional[Callable[[], int]] = None,
+    ) -> None:
+        if order < 1:
+            raise ConfigurationError("the AMS estimator requires order >= 1")
+        if estimators <= 0:
+            raise ConfigurationError("estimators must be positive")
+        self._order = float(order)
+        self._window = window
+        self._counter = OccurrenceCounter()
+        self._sampler = sliding_window_sampler(
+            window,
+            k=estimators,
+            n=n,
+            t0=t0,
+            replacement=True,
+            algorithm=algorithm,
+            rng=rng,
+            observer=self._counter,
+        )
+        self._n = n
+        self._window_size_fn = window_size_fn
+        if window == "timestamp" and window_size_fn is None:
+            raise ConfigurationError(
+                "timestamp windows need a window_size_fn (exact or approximate window size)"
+            )
+
+    @property
+    def order(self) -> float:
+        return self._order
+
+    @property
+    def sampler(self):
+        """The underlying window sampler (exposed for memory accounting)."""
+        return self._sampler
+
+    def append(self, value: Any, timestamp: Optional[float] = None) -> None:
+        """Process one window element."""
+        self._sampler.append(value, timestamp)
+
+    def advance_time(self, now: float) -> None:
+        """Advance the clock (timestamp windows only)."""
+        if hasattr(self._sampler, "advance_time"):
+            self._sampler.advance_time(now)
+
+    def _window_size(self) -> int:
+        if self._window_size_fn is not None:
+            return int(self._window_size_fn())
+        return min(self._n, self._sampler.total_arrivals)
+
+    def estimate(self) -> float:
+        """Current estimate of ``F_order`` over the window."""
+        window_size = self._window_size()
+        if window_size <= 0:
+            raise EmptyWindowError("window is empty")
+        candidates = self._sampler.sample_candidates()
+        counts = [OccurrenceCounter.count_of(candidate) for candidate in candidates]
+        return ams_estimate_from_counts(counts, window_size, self._order)
+
+    def memory_words(self) -> int:
+        """Memory of the estimator: the sampler plus one counter per candidate."""
+        extra_counters = sum(1 for _ in self._sampler.iter_candidates())
+        return self._sampler.memory_words() + extra_counters

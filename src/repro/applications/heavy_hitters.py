@@ -1,0 +1,114 @@
+"""Frequent-item (heavy-hitter) estimation over sliding windows.
+
+A uniform ``k``-sample without replacement of the window turns directly into a
+frequent-items report: the sample frequency of a value concentrates around its
+window frequency, so every value with window frequency at least ``phi`` is
+reported with high probability once ``k = Ω(1/phi · log(1/δ))``, and no value
+with frequency below ``phi/2`` is reported (the classic sample-and-count
+argument; see e.g. the Golab et al. frequent-items-over-windows line of work
+cited in the paper's introduction).
+
+Like every module in :mod:`repro.applications`, this estimator only consumes
+the public sampler API, so it runs on sequence or timestamp windows and on any
+backend accepted by :func:`repro.core.facade.sliding_window_sampler` —
+Theorem 5.1 in action.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..core.facade import sliding_window_sampler
+from ..exceptions import ConfigurationError, EmptyWindowError
+from ..rng import RngLike
+
+__all__ = ["SlidingHeavyHitters"]
+
+
+class SlidingHeavyHitters:
+    """Sample-based frequent-item reports over a sliding window.
+
+    Parameters
+    ----------
+    threshold:
+        Report values whose estimated window frequency is at least this
+        fraction (``phi``), e.g. ``0.05`` for "at least 5% of the window".
+    sample_size:
+        Number of without-replacement samples maintained.  For a reliable
+        report at threshold ``phi`` use at least a small multiple of
+        ``1 / phi``.
+    """
+
+    def __init__(
+        self,
+        threshold: float,
+        *,
+        window: str = "sequence",
+        n: Optional[int] = None,
+        t0: Optional[float] = None,
+        sample_size: int = 256,
+        algorithm: str = "optimal",
+        rng: RngLike = None,
+    ) -> None:
+        if not 0 < threshold < 1:
+            raise ConfigurationError("threshold must lie strictly between 0 and 1")
+        if sample_size <= 0:
+            raise ConfigurationError("sample_size must be positive")
+        self._threshold = float(threshold)
+        self._sampler = sliding_window_sampler(
+            window,
+            k=sample_size,
+            n=n,
+            t0=t0,
+            replacement=False,
+            algorithm=algorithm,
+            rng=rng,
+        )
+
+    @property
+    def threshold(self) -> float:
+        return self._threshold
+
+    @property
+    def sampler(self):
+        return self._sampler
+
+    def append(self, value: Any, timestamp: Optional[float] = None) -> None:
+        """Process one window element."""
+        self._sampler.append(value, timestamp)
+
+    def advance_time(self, now: float) -> None:
+        """Advance the clock (timestamp windows only)."""
+        if hasattr(self._sampler, "advance_time"):
+            self._sampler.advance_time(now)
+
+    def _sample_counts(self) -> Tuple[Counter, int]:
+        values = self._sampler.sample_values()
+        if not values:
+            raise EmptyWindowError("window is empty")
+        return Counter(values), len(values)
+
+    def estimated_frequencies(self) -> Dict[Any, float]:
+        """Estimated window frequency (fraction) of every sampled value."""
+        counts, size = self._sample_counts()
+        return {value: count / size for value, count in counts.items()}
+
+    def frequent_items(self, threshold: Optional[float] = None) -> List[Tuple[Any, float]]:
+        """Values whose estimated frequency meets the threshold, most frequent first."""
+        phi = self._threshold if threshold is None else float(threshold)
+        if not 0 < phi < 1:
+            raise ConfigurationError("threshold must lie strictly between 0 and 1")
+        frequencies = self.estimated_frequencies()
+        report = [(value, frequency) for value, frequency in frequencies.items() if frequency >= phi]
+        report.sort(key=lambda item: item[1], reverse=True)
+        return report
+
+    def estimate_frequency(self, value: Any) -> float:
+        """Estimated window frequency (fraction) of one specific value."""
+        counts, size = self._sample_counts()
+        return counts.get(value, 0) / size
+
+    def memory_words(self) -> int:
+        """Memory of the underlying sampler (the report itself is transient)."""
+        return self._sampler.memory_words()

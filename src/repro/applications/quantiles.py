@@ -1,0 +1,79 @@
+"""Quantile and rank estimation over sliding windows.
+
+The introduction of the paper motivates window sampling with exactly this kind
+of query: "what is the median latency over the last hour?".  A uniform
+``k``-sample without replacement of the window answers any quantile query with
+additive rank error O(n / sqrt(k)) with constant probability, so the estimator
+below simply wraps one of the paper's without-replacement samplers and reads
+quantiles off the sample.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+from ..analysis.statistics import quantile as empirical_quantile
+from ..core.facade import sliding_window_sampler
+from ..exceptions import ConfigurationError, EmptyWindowError
+from ..rng import RngLike
+
+__all__ = ["SlidingQuantileEstimator"]
+
+
+class SlidingQuantileEstimator:
+    """Sample-based quantile / rank estimates over a sliding window."""
+
+    def __init__(
+        self,
+        *,
+        window: str = "sequence",
+        n: Optional[int] = None,
+        t0: Optional[float] = None,
+        sample_size: int = 256,
+        algorithm: str = "optimal",
+        rng: RngLike = None,
+    ) -> None:
+        if sample_size <= 0:
+            raise ConfigurationError("sample_size must be positive")
+        self._sampler = sliding_window_sampler(
+            window,
+            k=sample_size,
+            n=n,
+            t0=t0,
+            replacement=False,
+            algorithm=algorithm,
+            rng=rng,
+        )
+
+    @property
+    def sampler(self):
+        return self._sampler
+
+    def append(self, value: Any, timestamp: Optional[float] = None) -> None:
+        self._sampler.append(value, timestamp)
+
+    def advance_time(self, now: float) -> None:
+        if hasattr(self._sampler, "advance_time"):
+            self._sampler.advance_time(now)
+
+    def _sample_values(self) -> List[float]:
+        values = [float(value) for value in self._sampler.sample_values()]
+        if not values:
+            raise EmptyWindowError("window is empty")
+        return values
+
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile (``q`` in [0, 1]) of the window values."""
+        return empirical_quantile(self._sample_values(), q)
+
+    def median(self) -> float:
+        """Estimate the window median."""
+        return self.quantile(0.5)
+
+    def rank_fraction(self, threshold: float) -> float:
+        """Estimate the fraction of window values that are <= ``threshold``."""
+        values = self._sample_values()
+        return sum(1 for value in values if value <= threshold) / len(values)
+
+    def memory_words(self) -> int:
+        return self._sampler.memory_words()

@@ -1,0 +1,27 @@
+"""Prior-art baselines the paper compares against.
+
+Chain sampling and priority sampling are the Babcock–Datar–Motwani (SODA'02)
+algorithms whose memory is optimal only *in expectation*; the k-highest
+priority scheme is Gemulla–Lehner (SIGMOD'08); over-sampling is the folklore
+approach criticised in the paper's abstract; the buffer samplers store the
+whole window; the whole-stream reservoir ignores expiry and is intentionally
+wrong.
+"""
+
+from .chain import ChainSamplerWR
+from .oversampling import OversamplingSamplerSeqWOR, OversamplingSamplerTsWOR
+from .priority import PrioritySamplerWR
+from .priority_wor import PrioritySamplerWOR
+from .vanilla_reservoir import WholeStreamReservoir
+from .window_buffer import BufferSamplerSeq, BufferSamplerTs
+
+__all__ = [
+    "ChainSamplerWR",
+    "PrioritySamplerWR",
+    "PrioritySamplerWOR",
+    "OversamplingSamplerSeqWOR",
+    "OversamplingSamplerTsWOR",
+    "BufferSamplerSeq",
+    "BufferSamplerTs",
+    "WholeStreamReservoir",
+]

@@ -1,0 +1,133 @@
+"""Chain sampling — Babcock, Datar and Motwani (SODA 2002).
+
+The prior-art algorithm for sampling *with replacement* from sequence-based
+windows, reimplemented as a comparison baseline.  For every independent sample
+the algorithm maintains a *chain* of elements: when an element at index ``j``
+is chosen as the sample, a uniformly random successor index in
+``[j+1, j+n]`` is drawn, and when that element arrives it is stored and given
+its own successor, and so on.  When the head of the chain expires the next
+stored element takes over, so a valid sample is always available.
+
+The catch — and the reason the paper improves on it — is that the chain length
+is a random variable: its expectation is O(1) per sample, it is O(log n) with
+high probability, but there is no deterministic bound.  ``memory_words()``
+therefore fluctuates from arrival to arrival and from run to run, which is
+exactly what experiment E1/E6 visualises.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Iterator, List, Optional
+
+from ..exceptions import EmptyWindowError
+from ..memory import MemoryMeter, WORD_MODEL
+from ..rng import RngLike, ensure_rng, spawn
+from ..core.base import SequenceWindowSampler
+from ..core.tracking import CandidateObserver, SampleCandidate
+
+__all__ = ["ChainSamplerWR"]
+
+
+class _Chain:
+    """One independent chain (one sample) of the BDM scheme."""
+
+    __slots__ = ("rng", "observer", "n", "links", "successor_index")
+
+    def __init__(self, n: int, rng, observer: Optional[CandidateObserver]) -> None:
+        self.n = n
+        self.rng = rng
+        self.observer = observer
+        self.links: Deque[SampleCandidate] = deque()
+        self.successor_index: Optional[int] = None
+
+    def _restart(self, candidate: SampleCandidate) -> None:
+        if self.observer is not None:
+            for link in self.links:
+                self.observer.on_discard(link)
+        self.links.clear()
+        self.links.append(candidate)
+        if self.observer is not None:
+            self.observer.on_select(candidate)
+        self.successor_index = self.rng.randint(candidate.index + 1, candidate.index + self.n)
+
+    def offer(self, value: Any, index: int, timestamp: float) -> None:
+        arrivals = index + 1
+        replace_probability = 1.0 / min(arrivals, self.n)
+        candidate = SampleCandidate(value=value, index=index, timestamp=timestamp)
+        if self.rng.random() < replace_probability:
+            self._restart(candidate)
+        elif self.successor_index is not None and index == self.successor_index:
+            self.links.append(candidate)
+            if self.observer is not None:
+                self.observer.on_select(candidate)
+            self.successor_index = self.rng.randint(index + 1, index + self.n)
+        # Expire the head(s): an element is outside the window once its index
+        # is <= index - n.
+        while self.links and self.links[0].index <= index - self.n:
+            expired = self.links.popleft()
+            if self.observer is not None:
+                self.observer.on_discard(expired)
+
+    def head(self) -> SampleCandidate:
+        if not self.links:
+            raise EmptyWindowError("chain is empty")
+        return self.links[0]
+
+    def iter_candidates(self) -> Iterator[SampleCandidate]:
+        yield from self.links
+
+    def memory_words(self) -> int:
+        meter = MemoryMeter(WORD_MODEL)
+        held = len(self.links)
+        meter.add_elements(held).add_indexes(held).add_timestamps(held)
+        meter.add_indexes()  # pending successor index
+        return meter.total
+
+
+class ChainSamplerWR(SequenceWindowSampler):
+    """k independent chain samples with replacement (BDM baseline)."""
+
+    algorithm = "bdm-chain-wr"
+    with_replacement = True
+    deterministic_memory = False
+
+    def __init__(
+        self,
+        n: int,
+        k: int = 1,
+        rng: RngLike = None,
+        observer: Optional[CandidateObserver] = None,
+    ) -> None:
+        super().__init__(n, k, observer)
+        root = ensure_rng(rng)
+        self._chains = [_Chain(self._n, spawn(root, lane), observer) for lane in range(self._k)]
+
+    def append(self, value: Any, timestamp: Optional[float] = None) -> None:
+        index = self._arrivals
+        ts = float(timestamp) if timestamp is not None else float(index)
+        for chain in self._chains:
+            chain.offer(value, index, ts)
+        self._arrivals += 1
+        self._notify_arrival(value, index, ts)
+
+    def sample_candidates(self) -> List[SampleCandidate]:
+        if self._arrivals == 0:
+            raise EmptyWindowError("no element has arrived yet")
+        return [chain.head() for chain in self._chains]
+
+    def iter_candidates(self) -> Iterator[SampleCandidate]:
+        for chain in self._chains:
+            yield from chain.iter_candidates()
+
+    def memory_words(self) -> int:
+        meter = MemoryMeter(WORD_MODEL)
+        meter.add_constants(2)  # n and k
+        meter.add_counters()  # arrival counter
+        for chain in self._chains:
+            meter.add_words(chain.memory_words())
+        return meter.total
+
+    def max_chain_length(self) -> int:
+        """Length of the longest chain (diagnostic used by experiment E6)."""
+        return max(len(chain.links) for chain in self._chains)

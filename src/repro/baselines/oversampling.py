@@ -1,0 +1,210 @@
+"""Bernoulli over-sampling — the folklore baseline the paper improves upon.
+
+"When k samples are required, the over-sampling method maintains k' > k
+samples in the hope that at least k samples are not expired" (paper, abstract).
+Concretely, every arriving element is retained independently with probability
+``p`` chosen so that the *expected* number of retained active elements is
+``oversample_factor · k · ln(window)``; retained elements are dropped once they
+expire.  A query answers with a uniform ``k``-subset of the retained active
+elements (a uniform subset of a Bernoulli sample is a uniform subset of the
+population), and **fails** when fewer than ``k`` candidates survive.
+
+Both disadvantages called out by the paper are visible here:
+
+(a) extra cost — the retained set is a factor ``Θ(log n)`` larger than ``k``;
+(b) randomized bounds — the memory footprint is Binomial, and with non-zero
+    probability the scheme fails to produce ``k`` samples at all
+    (:class:`~repro.exceptions.SamplingFailureError`).
+
+For timestamp windows the window size is unknown, so the retention probability
+must be tuned against an *expected* window size — a further weakness this
+baseline shares with every over-sampling deployment.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Any, Deque, Iterator, List, Optional
+
+from ..exceptions import EmptyWindowError, SamplingFailureError, StreamOrderError
+from ..memory import MemoryMeter, WORD_MODEL
+from ..rng import RngLike, ensure_rng
+from ..core.base import SequenceWindowSampler, TimestampWindowSampler
+from ..core.tracking import CandidateObserver, SampleCandidate
+
+__all__ = ["OversamplingSamplerSeqWOR", "OversamplingSamplerTsWOR"]
+
+
+def _retention_probability(k: int, window: float, oversample_factor: float) -> float:
+    """Retention probability targeting ``factor * k * ln(window)`` survivors."""
+    window = max(float(window), 2.0)
+    target = oversample_factor * k * math.log(window)
+    return min(1.0, target / window)
+
+
+class OversamplingSamplerSeqWOR(SequenceWindowSampler):
+    """Over-sampling baseline for sequence windows, without replacement."""
+
+    algorithm = "oversampling-seq-wor"
+    with_replacement = False
+    deterministic_memory = False
+
+    def __init__(
+        self,
+        n: int,
+        k: int = 1,
+        rng: RngLike = None,
+        observer: Optional[CandidateObserver] = None,
+        oversample_factor: float = 2.0,
+    ) -> None:
+        super().__init__(n, k, observer)
+        if oversample_factor <= 0:
+            raise ValueError("oversample_factor must be positive")
+        self._rng = ensure_rng(rng)
+        self._probability = _retention_probability(k, n, oversample_factor)
+        self._retained: Deque[SampleCandidate] = deque()
+
+    @property
+    def retention_probability(self) -> float:
+        return self._probability
+
+    def append(self, value: Any, timestamp: Optional[float] = None) -> None:
+        index = self._arrivals
+        ts = float(timestamp) if timestamp is not None else float(index)
+        if self._rng.random() < self._probability:
+            candidate = SampleCandidate(value=value, index=index, timestamp=ts)
+            self._retained.append(candidate)
+            if self._observer is not None:
+                self._observer.on_select(candidate)
+        self._arrivals += 1
+        self._prune()
+        self._notify_arrival(value, index, ts)
+
+    def _prune(self) -> None:
+        window_start = max(0, self._arrivals - self._n)
+        while self._retained and self._retained[0].index < window_start:
+            expired = self._retained.popleft()
+            if self._observer is not None:
+                self._observer.on_discard(expired)
+
+    def sample_candidates(self) -> List[SampleCandidate]:
+        if self._arrivals == 0:
+            raise EmptyWindowError("no element has arrived yet")
+        self._prune()
+        if len(self._retained) < self._k:
+            raise SamplingFailureError(
+                f"over-sampling kept only {len(self._retained)} candidates, k={self._k} required"
+            )
+        return self._rng.sample(list(self._retained), self._k)
+
+    def iter_candidates(self) -> Iterator[SampleCandidate]:
+        yield from self._retained
+
+    def memory_words(self) -> int:
+        meter = MemoryMeter(WORD_MODEL)
+        meter.add_constants(3)  # n, k, retention probability
+        meter.add_counters()
+        held = len(self._retained)
+        meter.add_elements(held).add_indexes(held).add_timestamps(held)
+        return meter.total
+
+    def retained_count(self) -> int:
+        self._prune()
+        return len(self._retained)
+
+
+class OversamplingSamplerTsWOR(TimestampWindowSampler):
+    """Over-sampling baseline for timestamp windows, without replacement.
+
+    Because the window size is unknown for timestamp windows, the retention
+    probability is tuned against ``expected_window`` — the caller's guess of
+    how many elements a window typically holds.  Under-estimating it blows up
+    memory; over-estimating it raises the failure probability.
+    """
+
+    algorithm = "oversampling-ts-wor"
+    with_replacement = False
+    deterministic_memory = False
+
+    def __init__(
+        self,
+        t0: float,
+        k: int = 1,
+        rng: RngLike = None,
+        observer: Optional[CandidateObserver] = None,
+        oversample_factor: float = 2.0,
+        expected_window: Optional[float] = None,
+    ) -> None:
+        super().__init__(t0, k, observer)
+        if oversample_factor <= 0:
+            raise ValueError("oversample_factor must be positive")
+        self._rng = ensure_rng(rng)
+        self._expected_window = float(expected_window) if expected_window is not None else float(t0)
+        self._probability = _retention_probability(k, self._expected_window, oversample_factor)
+        self._retained: Deque[SampleCandidate] = deque()
+        self._now = float("-inf")
+
+    @property
+    def retention_probability(self) -> float:
+        return self._probability
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def advance_time(self, now: float) -> None:
+        if now < self._now:
+            raise StreamOrderError(f"clock moved backwards: {now} < {self._now}")
+        self._now = float(now)
+        self._prune()
+
+    def append(self, value: Any, timestamp: Optional[float] = None) -> None:
+        index = self._arrivals
+        if timestamp is None:
+            ts = self._now if self._now != float("-inf") else 0.0
+        else:
+            ts = float(timestamp)
+        if ts < self._now:
+            raise StreamOrderError(f"timestamps must be non-decreasing: {ts} < {self._now}")
+        self._now = ts
+        if self._rng.random() < self._probability:
+            candidate = SampleCandidate(value=value, index=index, timestamp=ts)
+            self._retained.append(candidate)
+            if self._observer is not None:
+                self._observer.on_select(candidate)
+        self._arrivals += 1
+        self._prune()
+        self._notify_arrival(value, index, ts)
+
+    def _prune(self) -> None:
+        while self._retained and self._now - self._retained[0].timestamp >= self._t0:
+            expired = self._retained.popleft()
+            if self._observer is not None:
+                self._observer.on_discard(expired)
+
+    def sample_candidates(self) -> List[SampleCandidate]:
+        if self._arrivals == 0:
+            raise EmptyWindowError("no element has arrived yet")
+        self._prune()
+        if len(self._retained) < self._k:
+            raise SamplingFailureError(
+                f"over-sampling kept only {len(self._retained)} candidates, k={self._k} required"
+            )
+        return self._rng.sample(list(self._retained), self._k)
+
+    def iter_candidates(self) -> Iterator[SampleCandidate]:
+        yield from self._retained
+
+    def memory_words(self) -> int:
+        meter = MemoryMeter(WORD_MODEL)
+        meter.add_constants(3)  # t0, k, retention probability
+        meter.add_counters()
+        meter.add_timestamps()
+        held = len(self._retained)
+        meter.add_elements(held).add_indexes(held).add_timestamps(held)
+        return meter.total
+
+    def retained_count(self) -> int:
+        self._prune()
+        return len(self._retained)

@@ -1,0 +1,141 @@
+"""Priority sampling — Babcock, Datar and Motwani (SODA 2002).
+
+The prior-art algorithm for sampling *with replacement* from timestamp-based
+windows.  Every arriving element receives an independent uniform priority in
+``(0, 1)``; the sample is the active element with the highest priority.  It
+suffices to store the elements that are not *dominated* — those with no
+later-arriving element of higher priority — because a dominated element can
+never become the maximum of any future window.
+
+The number of stored elements is the number of right-to-left maxima of the
+priority sequence restricted to the window: O(log n) in expectation and with
+high probability, but again a random variable without a worst-case bound,
+which is the gap the paper closes (experiment E3).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Iterator, List, Optional
+
+from ..exceptions import EmptyWindowError, StreamOrderError
+from ..memory import MemoryMeter, WORD_MODEL
+from ..rng import RngLike, ensure_rng, spawn
+from ..core.base import TimestampWindowSampler
+from ..core.tracking import CandidateObserver, SampleCandidate
+
+__all__ = ["PrioritySamplerWR"]
+
+
+class _PriorityLane:
+    """One independent priority sample (the stored dominating elements)."""
+
+    __slots__ = ("rng", "observer", "t0", "entries")
+
+    def __init__(self, t0: float, rng, observer: Optional[CandidateObserver]) -> None:
+        self.t0 = t0
+        self.rng = rng
+        self.observer = observer
+        # Entries in arrival order; priorities are strictly decreasing.
+        self.entries: Deque[tuple] = deque()  # (priority, SampleCandidate)
+
+    def offer(self, value: Any, index: int, timestamp: float) -> None:
+        priority = self.rng.random()
+        while self.entries and self.entries[-1][0] < priority:
+            _, dominated = self.entries.pop()
+            if self.observer is not None:
+                self.observer.on_discard(dominated)
+        candidate = SampleCandidate(value=value, index=index, timestamp=timestamp)
+        self.entries.append((priority, candidate))
+        if self.observer is not None:
+            self.observer.on_select(candidate)
+
+    def expire(self, now: float) -> None:
+        while self.entries and now - self.entries[0][1].timestamp >= self.t0:
+            _, expired = self.entries.popleft()
+            if self.observer is not None:
+                self.observer.on_discard(expired)
+
+    def head(self, now: float) -> SampleCandidate:
+        self.expire(now)
+        if not self.entries:
+            raise EmptyWindowError("priority sample is empty")
+        return self.entries[0][1]
+
+    def iter_candidates(self) -> Iterator[SampleCandidate]:
+        for _, candidate in self.entries:
+            yield candidate
+
+    def memory_words(self) -> int:
+        meter = MemoryMeter(WORD_MODEL)
+        held = len(self.entries)
+        meter.add_elements(held).add_indexes(held).add_timestamps(held).add_priorities(held)
+        return meter.total
+
+
+class PrioritySamplerWR(TimestampWindowSampler):
+    """k independent priority samples with replacement (BDM baseline)."""
+
+    algorithm = "bdm-priority-wr"
+    with_replacement = True
+    deterministic_memory = False
+
+    def __init__(
+        self,
+        t0: float,
+        k: int = 1,
+        rng: RngLike = None,
+        observer: Optional[CandidateObserver] = None,
+    ) -> None:
+        super().__init__(t0, k, observer)
+        root = ensure_rng(rng)
+        self._lanes = [_PriorityLane(self._t0, spawn(root, lane), observer) for lane in range(self._k)]
+        self._now = float("-inf")
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def advance_time(self, now: float) -> None:
+        if now < self._now:
+            raise StreamOrderError(f"clock moved backwards: {now} < {self._now}")
+        self._now = float(now)
+        for lane in self._lanes:
+            lane.expire(self._now)
+
+    def append(self, value: Any, timestamp: Optional[float] = None) -> None:
+        index = self._arrivals
+        if timestamp is None:
+            ts = self._now if self._now != float("-inf") else 0.0
+        else:
+            ts = float(timestamp)
+        if ts < self._now:
+            raise StreamOrderError(f"timestamps must be non-decreasing: {ts} < {self._now}")
+        self._now = ts
+        for lane in self._lanes:
+            lane.offer(value, index, ts)
+            lane.expire(self._now)
+        self._arrivals += 1
+        self._notify_arrival(value, index, ts)
+
+    def sample_candidates(self) -> List[SampleCandidate]:
+        if self._arrivals == 0:
+            raise EmptyWindowError("no element has arrived yet")
+        return [lane.head(self._now) for lane in self._lanes]
+
+    def iter_candidates(self) -> Iterator[SampleCandidate]:
+        for lane in self._lanes:
+            yield from lane.iter_candidates()
+
+    def memory_words(self) -> int:
+        meter = MemoryMeter(WORD_MODEL)
+        meter.add_constants(2)  # t0 and k
+        meter.add_counters()
+        meter.add_timestamps()  # the clock
+        for lane in self._lanes:
+            meter.add_words(lane.memory_words())
+        return meter.total
+
+    def max_stored(self) -> int:
+        """Largest per-lane store (diagnostic for experiments E3/E6)."""
+        return max(len(lane.entries) for lane in self._lanes)

@@ -1,0 +1,134 @@
+"""k-highest-priority sampling — Gemulla and Lehner (SIGMOD 2008).
+
+The prior-art algorithm for sampling *without replacement* from
+timestamp-based windows: every element receives a uniform priority and the
+sample is the set of the ``k`` highest-priority active elements.  An element
+must be stored as long as fewer than ``k`` later-arriving elements have a
+higher priority (a later element always outlives an earlier one, so the count
+never needs to be revisited when elements expire).
+
+Expected memory is O(k log(n/k)) — optimal in expectation — but, as with chain
+and priority sampling, the footprint is a random variable.  Experiment E4
+contrasts it with the deterministic Θ(k log n) of Theorem 4.4.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Iterator, List, Optional
+
+from ..exceptions import EmptyWindowError, InsufficientSampleError, StreamOrderError
+from ..memory import MemoryMeter, WORD_MODEL
+from ..rng import RngLike, ensure_rng
+from ..core.base import TimestampWindowSampler
+from ..core.tracking import CandidateObserver, SampleCandidate
+
+__all__ = ["PrioritySamplerWOR"]
+
+
+class _Entry:
+    __slots__ = ("priority", "candidate", "dominated_by")
+
+    def __init__(self, priority: float, candidate: SampleCandidate) -> None:
+        self.priority = priority
+        self.candidate = candidate
+        self.dominated_by = 0  # number of later-arriving elements with higher priority
+
+
+class PrioritySamplerWOR(TimestampWindowSampler):
+    """The k highest-priority active elements (Gemulla–Lehner baseline)."""
+
+    algorithm = "gl-priority-wor"
+    with_replacement = False
+    deterministic_memory = False
+
+    def __init__(
+        self,
+        t0: float,
+        k: int = 1,
+        rng: RngLike = None,
+        observer: Optional[CandidateObserver] = None,
+        allow_partial: bool = True,
+    ) -> None:
+        super().__init__(t0, k, observer)
+        self._rng = ensure_rng(rng)
+        self._allow_partial = bool(allow_partial)
+        self._entries: Deque[_Entry] = deque()  # arrival order
+        self._now = float("-inf")
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def advance_time(self, now: float) -> None:
+        if now < self._now:
+            raise StreamOrderError(f"clock moved backwards: {now} < {self._now}")
+        self._now = float(now)
+        self._expire()
+
+    def append(self, value: Any, timestamp: Optional[float] = None) -> None:
+        index = self._arrivals
+        if timestamp is None:
+            ts = self._now if self._now != float("-inf") else 0.0
+        else:
+            ts = float(timestamp)
+        if ts < self._now:
+            raise StreamOrderError(f"timestamps must be non-decreasing: {ts} < {self._now}")
+        self._now = ts
+        priority = self._rng.random()
+        survivors: Deque[_Entry] = deque()
+        for entry in self._entries:
+            if entry.priority < priority:
+                entry.dominated_by += 1
+            if entry.dominated_by < self._k:
+                survivors.append(entry)
+            elif self._observer is not None:
+                self._observer.on_discard(entry.candidate)
+        candidate = SampleCandidate(value=value, index=index, timestamp=ts)
+        new_entry = _Entry(priority, candidate)
+        survivors.append(new_entry)
+        if self._observer is not None:
+            self._observer.on_select(candidate)
+        self._entries = survivors
+        self._expire()
+        self._arrivals += 1
+        self._notify_arrival(value, index, ts)
+
+    def _expire(self) -> None:
+        while self._entries and self._now - self._entries[0].candidate.timestamp >= self._t0:
+            expired = self._entries.popleft()
+            if self._observer is not None:
+                self._observer.on_discard(expired.candidate)
+
+    def sample_candidates(self) -> List[SampleCandidate]:
+        if self._arrivals == 0:
+            raise EmptyWindowError("no element has arrived yet")
+        self._expire()
+        if not self._entries:
+            raise EmptyWindowError("no active element in the window")
+        ranked = sorted(self._entries, key=lambda entry: entry.priority, reverse=True)
+        chosen = ranked[: self._k]
+        if len(chosen) < self._k and not self._allow_partial:
+            raise InsufficientSampleError(
+                f"window holds only {len(chosen)} elements, k={self._k} requested"
+            )
+        return [entry.candidate for entry in chosen]
+
+    def iter_candidates(self) -> Iterator[SampleCandidate]:
+        for entry in self._entries:
+            yield entry.candidate
+
+    def memory_words(self) -> int:
+        meter = MemoryMeter(WORD_MODEL)
+        meter.add_constants(2)  # t0 and k
+        meter.add_counters()
+        meter.add_timestamps()  # the clock
+        held = len(self._entries)
+        meter.add_elements(held).add_indexes(held).add_timestamps(held)
+        meter.add_priorities(held)
+        meter.add_counters(held)  # dominated_by counters
+        return meter.total
+
+    def stored_count(self) -> int:
+        """Number of stored entries (diagnostic for experiment E4)."""
+        return len(self._entries)

@@ -1,0 +1,87 @@
+"""Whole-stream reservoir sampling — the intentionally wrong baseline.
+
+The paper opens by explaining why classic reservoir sampling cannot be used on
+sliding windows: samples eventually expire and "the data has already been
+passed and cannot be sampled".  :class:`WholeStreamReservoir` keeps a plain
+reservoir over the entire stream while *pretending* to be a sequence-window
+sampler, so experiments can quantify how badly the naive approach fails:
+
+* its samples are uniform over the whole history, not over the window, so the
+  window-position uniformity test (E5) rejects it once the stream is longer
+  than the window;
+* window statistics computed from it (E8) are biased towards stale data.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Optional
+
+from ..exceptions import EmptyWindowError
+from ..memory import MemoryMeter, WORD_MODEL
+from ..rng import RngLike, ensure_rng, spawn
+from ..core.base import SequenceWindowSampler
+from ..core.reservoir import ReservoirWithoutReplacement, SingleReservoir
+from ..core.tracking import CandidateObserver, SampleCandidate
+
+__all__ = ["WholeStreamReservoir"]
+
+
+class WholeStreamReservoir(SequenceWindowSampler):
+    """Classic reservoir sampling over the whole stream, ignoring the window."""
+
+    algorithm = "whole-stream-reservoir"
+    deterministic_memory = True
+
+    def __init__(
+        self,
+        n: int,
+        k: int = 1,
+        replacement: bool = True,
+        rng: RngLike = None,
+        observer: Optional[CandidateObserver] = None,
+    ) -> None:
+        super().__init__(n, k, observer)
+        root = ensure_rng(rng)
+        self.with_replacement = bool(replacement)
+        if self.with_replacement:
+            self._reservoirs = [SingleReservoir(rng=spawn(root, lane), observer=observer) for lane in range(k)]
+            self._pool = None
+        else:
+            self._reservoirs = None
+            self._pool = ReservoirWithoutReplacement(k, rng=spawn(root, 0), observer=observer)
+
+    def append(self, value: Any, timestamp: Optional[float] = None) -> None:
+        index = self._arrivals
+        ts = float(timestamp) if timestamp is not None else float(index)
+        if self._reservoirs is not None:
+            for reservoir in self._reservoirs:
+                reservoir.offer(value, index, ts)
+        else:
+            self._pool.offer(value, index, ts)
+        self._arrivals += 1
+        self._notify_arrival(value, index, ts)
+
+    def sample_candidates(self) -> List[SampleCandidate]:
+        if self._arrivals == 0:
+            raise EmptyWindowError("no element has arrived yet")
+        if self._reservoirs is not None:
+            return [reservoir.sample() for reservoir in self._reservoirs]
+        return list(self._pool.sample())
+
+    def iter_candidates(self) -> Iterator[SampleCandidate]:
+        if self._reservoirs is not None:
+            for reservoir in self._reservoirs:
+                yield from reservoir.iter_candidates()
+        else:
+            yield from self._pool.iter_candidates()
+
+    def memory_words(self) -> int:
+        meter = MemoryMeter(WORD_MODEL)
+        meter.add_constants(2)
+        meter.add_counters()
+        if self._reservoirs is not None:
+            for reservoir in self._reservoirs:
+                meter.add_words(reservoir.memory_words())
+        else:
+            meter.add_words(self._pool.memory_words())
+        return meter.total

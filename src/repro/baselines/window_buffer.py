@@ -1,0 +1,144 @@
+"""Exact window buffer sampling — the Θ(n) memory strawman.
+
+Zhang, Li, Yu, Wang and Jiang (2005) adapt reservoir sampling to sliding
+windows by storing the window; the paper notes this "is applicable only for
+small windows".  The buffer samplers below store the whole window and sample
+from it exactly.  They serve two roles:
+
+* a correctness oracle: their output distribution is uniform by construction,
+  so they calibrate the statistical tests used on the sublinear samplers;
+* the memory upper extreme in experiments E1–E4 (Θ(n) words vs Θ(k) / Θ(k log n)).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Iterator, List, Optional
+
+from ..exceptions import EmptyWindowError, StreamOrderError
+from ..memory import MemoryMeter, WORD_MODEL
+from ..rng import RngLike, ensure_rng
+from ..core.base import SequenceWindowSampler, TimestampWindowSampler
+from ..core.tracking import CandidateObserver, SampleCandidate
+
+__all__ = ["BufferSamplerSeq", "BufferSamplerTs"]
+
+
+class BufferSamplerSeq(SequenceWindowSampler):
+    """Exact sampling from a fully stored sequence window."""
+
+    algorithm = "buffer-seq"
+    deterministic_memory = True
+
+    def __init__(
+        self,
+        n: int,
+        k: int = 1,
+        replacement: bool = True,
+        rng: RngLike = None,
+        observer: Optional[CandidateObserver] = None,
+    ) -> None:
+        super().__init__(n, k, observer)
+        self._rng = ensure_rng(rng)
+        self.with_replacement = bool(replacement)
+        self._buffer: Deque[SampleCandidate] = deque(maxlen=self._n)
+
+    def append(self, value: Any, timestamp: Optional[float] = None) -> None:
+        index = self._arrivals
+        ts = float(timestamp) if timestamp is not None else float(index)
+        self._buffer.append(SampleCandidate(value=value, index=index, timestamp=ts))
+        self._arrivals += 1
+        self._notify_arrival(value, index, ts)
+
+    def sample_candidates(self) -> List[SampleCandidate]:
+        if not self._buffer:
+            raise EmptyWindowError("window is empty")
+        population = list(self._buffer)
+        if self.with_replacement:
+            return [self._rng.choice(population) for _ in range(self._k)]
+        return self._rng.sample(population, min(self._k, len(population)))
+
+    def iter_candidates(self) -> Iterator[SampleCandidate]:
+        yield from self._buffer
+
+    def memory_words(self) -> int:
+        meter = MemoryMeter(WORD_MODEL)
+        meter.add_constants(2)
+        meter.add_counters()
+        held = len(self._buffer)
+        meter.add_elements(held).add_indexes(held).add_timestamps(held)
+        return meter.total
+
+
+class BufferSamplerTs(TimestampWindowSampler):
+    """Exact sampling from a fully stored timestamp window."""
+
+    algorithm = "buffer-ts"
+    deterministic_memory = True
+
+    def __init__(
+        self,
+        t0: float,
+        k: int = 1,
+        replacement: bool = True,
+        rng: RngLike = None,
+        observer: Optional[CandidateObserver] = None,
+    ) -> None:
+        super().__init__(t0, k, observer)
+        self._rng = ensure_rng(rng)
+        self.with_replacement = bool(replacement)
+        self._buffer: Deque[SampleCandidate] = deque()
+        self._now = float("-inf")
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def advance_time(self, now: float) -> None:
+        if now < self._now:
+            raise StreamOrderError(f"clock moved backwards: {now} < {self._now}")
+        self._now = float(now)
+        self._prune()
+
+    def append(self, value: Any, timestamp: Optional[float] = None) -> None:
+        index = self._arrivals
+        if timestamp is None:
+            ts = self._now if self._now != float("-inf") else 0.0
+        else:
+            ts = float(timestamp)
+        if ts < self._now:
+            raise StreamOrderError(f"timestamps must be non-decreasing: {ts} < {self._now}")
+        self._now = ts
+        self._buffer.append(SampleCandidate(value=value, index=index, timestamp=ts))
+        self._arrivals += 1
+        self._prune()
+        self._notify_arrival(value, index, ts)
+
+    def _prune(self) -> None:
+        while self._buffer and self._now - self._buffer[0].timestamp >= self._t0:
+            self._buffer.popleft()
+
+    def sample_candidates(self) -> List[SampleCandidate]:
+        self._prune()
+        if not self._buffer:
+            raise EmptyWindowError("window is empty")
+        population = list(self._buffer)
+        if self.with_replacement:
+            return [self._rng.choice(population) for _ in range(self._k)]
+        return self._rng.sample(population, min(self._k, len(population)))
+
+    def iter_candidates(self) -> Iterator[SampleCandidate]:
+        yield from self._buffer
+
+    def memory_words(self) -> int:
+        meter = MemoryMeter(WORD_MODEL)
+        meter.add_constants(2)
+        meter.add_counters()
+        meter.add_timestamps()
+        held = len(self._buffer)
+        meter.add_elements(held).add_indexes(held).add_timestamps(held)
+        return meter.total
+
+    def window_size(self) -> int:
+        self._prune()
+        return len(self._buffer)

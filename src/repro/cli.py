@@ -1,0 +1,126 @@
+"""Command-line interface.
+
+Installed as the ``swsample`` console script.  Three sub-commands:
+
+* ``swsample list`` — show the available algorithms, workloads and experiments;
+* ``swsample run`` — stream a workload through a sampler and print the sample
+  and memory footprint (a quick way to eyeball behaviour);
+* ``swsample experiment E3 --scale default`` — run one of the E1–E10
+  experiments and print its result table (add ``--markdown`` or ``--csv``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .core.facade import algorithm_catalog, sliding_window_sampler
+from .harness import available_experiments, run_experiment
+from .harness.experiments import EXPERIMENTS, SCALES
+from .streams.workloads import available_workloads, build_workload
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="swsample",
+        description="Optimal random sampling from sliding windows (Braverman-Ostrovsky-Zaniolo).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list algorithms, workloads and experiments")
+
+    run_parser = subparsers.add_parser("run", help="stream a workload through a sampler")
+    run_parser.add_argument("--window", choices=["sequence", "timestamp"], default="sequence")
+    run_parser.add_argument("--n", type=int, default=1000, help="window size (sequence windows)")
+    run_parser.add_argument("--t0", type=float, default=1000.0, help="window span (timestamp windows)")
+    run_parser.add_argument("-k", type=int, default=8, help="number of samples")
+    run_parser.add_argument("--without-replacement", action="store_true")
+    run_parser.add_argument("--algorithm", default="optimal", help="optimal or a baseline name")
+    run_parser.add_argument("--workload", default="uniform-sequence", choices=available_workloads())
+    run_parser.add_argument("--length", type=int, default=10_000, help="number of stream elements")
+    run_parser.add_argument("--seed", type=int, default=0)
+
+    experiment_parser = subparsers.add_parser("experiment", help="run one of the E1-E10 experiments")
+    experiment_parser.add_argument("experiment", help="experiment id, e.g. E3, or 'all'")
+    experiment_parser.add_argument("--scale", choices=list(SCALES), default="default")
+    experiment_parser.add_argument("--seed", type=int, default=0)
+    experiment_parser.add_argument("--markdown", action="store_true", help="print GitHub markdown")
+    experiment_parser.add_argument("--csv", metavar="PATH", help="also write the table as CSV")
+    return parser
+
+
+def _command_list() -> int:
+    print("Algorithms:")
+    for name, description in algorithm_catalog().items():
+        print(f"  {name:<14} {description}")
+    print("\nWorkloads:")
+    for name in available_workloads():
+        print(f"  {name}")
+    print("\nExperiments:")
+    for experiment_id in available_experiments():
+        _, summary = EXPERIMENTS[experiment_id]
+        print(f"  {experiment_id:<4} {summary}")
+    return 0
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    sampler = sliding_window_sampler(
+        args.window,
+        k=args.k,
+        n=args.n,
+        t0=args.t0,
+        replacement=not args.without_replacement,
+        algorithm=args.algorithm,
+        rng=args.seed,
+    )
+    stream = build_workload(args.workload, args.length, rng=args.seed)
+    for element in stream:
+        if args.window == "timestamp" and hasattr(sampler, "advance_time"):
+            sampler.advance_time(element.timestamp)
+        sampler.append(element.value, element.timestamp)
+    drawn = sampler.sample()
+    print(f"algorithm      : {sampler.algorithm}")
+    print(f"window         : {args.window} ({'n=' + str(args.n) if args.window == 'sequence' else 't0=' + str(args.t0)})")
+    print(f"stream length  : {args.length} ({args.workload})")
+    print(f"memory (words) : {sampler.memory_words()}")
+    print(f"sample ({len(drawn)} element{'s' if len(drawn) != 1 else ''}):")
+    for element in drawn:
+        print(f"  index={element.index:<10} t={element.timestamp:<12.3f} value={element.value!r}")
+    return 0
+
+
+def _command_experiment(args: argparse.Namespace) -> int:
+    if args.experiment.lower() == "all":
+        experiment_ids = available_experiments()
+    else:
+        experiment_ids = [args.experiment]
+    for experiment_id in experiment_ids:
+        table = run_experiment(experiment_id, scale=args.scale, seed=args.seed)
+        print(table.to_markdown() if args.markdown else table.to_text())
+        print()
+        if args.csv:
+            path = args.csv if len(experiment_ids) == 1 else f"{args.csv}.{experiment_id}.csv"
+            table.write_csv(path)
+            print(f"(csv written to {path})")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for the ``swsample`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return _command_list()
+    if args.command == "run":
+        return _command_run(args)
+    if args.command == "experiment":
+        return _command_experiment(args)
+    parser.error(f"unknown command {args.command!r}")  # pragma: no cover - argparse guards this
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,55 @@
+"""The paper's algorithms: optimal sampling from sliding windows.
+
+Public entry points
+-------------------
+* :class:`SequenceSamplerWR` / :class:`SequenceSamplerWOR` — Theorems 2.1/2.2,
+  Θ(k) words for fixed-size windows.
+* :class:`TimestampSamplerWR` / :class:`TimestampSamplerWOR` — Theorems 3.9/4.4,
+  Θ(k log n) words for timestamp-based windows.
+* :func:`sliding_window_sampler` — factory covering the paper's algorithms and
+  every baseline.
+* The building blocks (reservoirs, bucket structures, covering decompositions,
+  implicit events, the black-box reduction) are exported for reuse and for the
+  white-box tests that verify each lemma separately.
+"""
+
+from .base import SequenceWindowSampler, TimestampWindowSampler, WindowSampler
+from .bucket_structure import BucketStructure
+from .covering import CoveringDecomposition, WindowCoverage, canonical_boundaries, floor_log2
+from .facade import ALGORITHMS, algorithm_catalog, sliding_window_sampler
+from .implicit_events import combine_straddler_and_suffix, generate_x, generate_y
+from .reduction import build_k_sample, extend_without_replacement
+from .reservoir import ReservoirWithoutReplacement, SingleReservoir
+from .sequence import SequenceSamplerWOR, SequenceSamplerWR
+from .timestamp import TimestampSamplerWR
+from .timestamp_wor import TimestampSamplerWOR
+from .tracking import CandidateObserver, NullObserver, OccurrenceCounter, SampleCandidate
+
+__all__ = [
+    "WindowSampler",
+    "SequenceWindowSampler",
+    "TimestampWindowSampler",
+    "SequenceSamplerWR",
+    "SequenceSamplerWOR",
+    "TimestampSamplerWR",
+    "TimestampSamplerWOR",
+    "SingleReservoir",
+    "ReservoirWithoutReplacement",
+    "BucketStructure",
+    "CoveringDecomposition",
+    "WindowCoverage",
+    "canonical_boundaries",
+    "floor_log2",
+    "generate_y",
+    "generate_x",
+    "combine_straddler_and_suffix",
+    "extend_without_replacement",
+    "build_k_sample",
+    "SampleCandidate",
+    "CandidateObserver",
+    "NullObserver",
+    "OccurrenceCounter",
+    "sliding_window_sampler",
+    "algorithm_catalog",
+    "ALGORITHMS",
+]

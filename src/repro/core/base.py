@@ -1,0 +1,198 @@
+"""Abstract sampler interfaces shared by the paper's algorithms and the baselines.
+
+Two axes define the four problem variants of the paper:
+
+* **window type** — sequence-based (last ``n`` arrivals) vs timestamp-based
+  (last ``t0`` time units);
+* **replacement** — samples drawn with replacement (k independent uniform
+  samples) vs without replacement (a uniform k-subset).
+
+Every concrete sampler implements :class:`WindowSampler`.  Sequence-based
+samplers additionally derive from :class:`SequenceWindowSampler` (they expose
+``n``); timestamp-based ones derive from :class:`TimestampWindowSampler`
+(they expose ``t0`` and accept ``advance_time``).
+
+The uniform contract:
+
+* ``append(value, timestamp)`` — process one arriving stream element.
+* ``sample()`` — return the current window sample as a list of
+  :class:`~repro.streams.element.StreamElement`:  length ``k`` for
+  with-replacement samplers (duplicates possible), ``min(k, window size)``
+  distinct elements for without-replacement samplers.  Raises
+  :class:`~repro.exceptions.EmptyWindowError` when the window is empty.
+* ``memory_words()`` — the current footprint in the paper's word-RAM model.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Iterable, Iterator, List, Optional
+
+from ..exceptions import ConfigurationError
+from ..streams.element import StreamElement
+from .tracking import CandidateObserver, SampleCandidate, notify_arrival
+
+__all__ = [
+    "WindowSampler",
+    "SequenceWindowSampler",
+    "TimestampWindowSampler",
+    "candidate_to_element",
+]
+
+
+def candidate_to_element(candidate: SampleCandidate) -> StreamElement:
+    """Convert an internal candidate into the public element record."""
+    return StreamElement(value=candidate.value, index=candidate.index, timestamp=candidate.timestamp)
+
+
+class WindowSampler(abc.ABC):
+    """Common interface of every sliding-window sampler in the library."""
+
+    #: Human-readable algorithm name (used by the harness and the CLI).
+    algorithm: str = "abstract"
+    #: Whether samples are drawn with replacement.
+    with_replacement: bool = True
+    #: Whether the memory footprint is deterministic (the paper's algorithms)
+    #: or a random variable (the baselines it improves upon).
+    deterministic_memory: bool = True
+
+    def __init__(self, k: int, observer: Optional[CandidateObserver] = None) -> None:
+        if k <= 0:
+            raise ConfigurationError("sample size k must be positive")
+        self._k = int(k)
+        self._observer = observer
+        self._arrivals = 0
+
+    @property
+    def k(self) -> int:
+        """Number of samples maintained."""
+        return self._k
+
+    @property
+    def total_arrivals(self) -> int:
+        """Number of elements appended so far."""
+        return self._arrivals
+
+    @property
+    def observer(self) -> Optional[CandidateObserver]:
+        return self._observer
+
+    # -- stream ingestion -------------------------------------------------
+
+    @abc.abstractmethod
+    def append(self, value: Any, timestamp: Optional[float] = None) -> None:
+        """Process one arriving element.
+
+        For sequence-based samplers the timestamp is optional metadata; for
+        timestamp-based samplers a missing timestamp means "now" (the current
+        logical clock).
+        """
+
+    def extend(self, elements: Iterable[Any]) -> None:
+        """Append many elements.
+
+        Accepts either raw values or :class:`StreamElement` records (whose
+        timestamps are honoured).
+        """
+        for element in elements:
+            if isinstance(element, StreamElement):
+                self.append(element.value, element.timestamp)
+            else:
+                self.append(element)
+
+    # -- sampling ----------------------------------------------------------
+
+    @abc.abstractmethod
+    def sample_candidates(self) -> List[SampleCandidate]:
+        """Draw the current window sample as retained candidate records.
+
+        The returned objects are the sampler's internal candidates (not
+        copies), so any observer state attached to them — occurrence counters,
+        triangle watchers — is visible to the caller.  Most users should call
+        :meth:`sample` instead.
+        """
+
+    def sample(self) -> List[StreamElement]:
+        """Draw the current window sample (see module docstring for shape)."""
+        return [candidate_to_element(candidate) for candidate in self.sample_candidates()]
+
+    def sample_values(self) -> List[Any]:
+        """Values only, for callers that do not need indexes/timestamps."""
+        return [element.value for element in self.sample()]
+
+    def sample_one(self) -> StreamElement:
+        """Convenience accessor for ``k == 1`` samplers."""
+        drawn = self.sample()
+        if not drawn:
+            raise ConfigurationError("sampler returned an empty sample")
+        return drawn[0]
+
+    # -- introspection ------------------------------------------------------
+
+    @abc.abstractmethod
+    def memory_words(self) -> int:
+        """Current footprint in the paper's word-RAM model."""
+
+    @abc.abstractmethod
+    def iter_candidates(self) -> Iterator[SampleCandidate]:
+        """All candidates currently retained (used by observers, memory audits
+        and the Section-5 applications)."""
+
+    # -- observer plumbing ---------------------------------------------------
+
+    def _notify_arrival(self, value: Any, index: int, timestamp: float) -> None:
+        """Deliver an arrival to the attached observer for every retained
+        candidate strictly older than the arrival."""
+        notify_arrival(self._observer, self.iter_candidates(), value, index, timestamp)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(k={self._k}, arrivals={self._arrivals})"
+
+
+class SequenceWindowSampler(WindowSampler):
+    """Sampler over a sequence-based (fixed-size) window of the last ``n`` arrivals."""
+
+    def __init__(self, n: int, k: int, observer: Optional[CandidateObserver] = None) -> None:
+        super().__init__(k, observer)
+        if n <= 0:
+            raise ConfigurationError("window size n must be positive")
+        self._n = int(n)
+
+    @property
+    def n(self) -> int:
+        """Configured window size (number of most recent elements considered active)."""
+        return self._n
+
+    @property
+    def window_size(self) -> int:
+        """Number of currently active elements: ``min(n, arrivals)``."""
+        return min(self._n, self._arrivals)
+
+
+class TimestampWindowSampler(WindowSampler):
+    """Sampler over a timestamp-based window of span ``t0``.
+
+    An element with timestamp ``T(p)`` is active at time ``now`` iff
+    ``now - T(p) < t0``.  The logical clock advances via ``advance_time`` or
+    implicitly when an element with a larger timestamp is appended.
+    """
+
+    def __init__(self, t0: float, k: int, observer: Optional[CandidateObserver] = None) -> None:
+        super().__init__(k, observer)
+        if t0 <= 0:
+            raise ConfigurationError("window span t0 must be positive")
+        self._t0 = float(t0)
+
+    @property
+    def t0(self) -> float:
+        """Configured window span."""
+        return self._t0
+
+    @abc.abstractmethod
+    def advance_time(self, now: float) -> None:
+        """Move the logical clock forward to ``now`` (expiring old elements)."""
+
+    @property
+    @abc.abstractmethod
+    def now(self) -> float:
+        """Current logical time."""

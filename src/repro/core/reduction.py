@@ -1,0 +1,101 @@
+"""Black-box reduction: sampling without replacement from independent single
+samples (§4, Lemmas 4.2 and 4.3).
+
+Notation: ``S^j_i`` is a uniform ``i``-subset (sample without replacement) of
+the domain ``{1, ..., j}`` — or, in our setting, of the ``j`` oldest active
+elements of the window.
+
+* Lemma 4.2 (:func:`extend_without_replacement`): given an ``a``-subset
+  ``S^b_a`` of the first ``b`` elements and an *independent* single sample
+  ``S^{b+1}_1`` of the first ``b+1`` elements, a uniform ``(a+1)``-subset of
+  the first ``b+1`` elements is obtained by adding element ``b+1`` when the
+  single sample collides with the current subset and adding the single sample
+  otherwise.
+
+* Lemma 4.3 (:func:`build_k_sample`): chaining the rule over the independent
+  single samples ``S^{n-k+1}_1, ..., S^n_1`` (which is exactly what the k
+  delayed window samplers of §4 provide) produces a uniform k-subset ``S^n_k``
+  of the whole window.  The elements ``n-k+2, ..., n`` — the last ``k-1``
+  active elements — must be known explicitly, which is why the algorithm also
+  stores an auxiliary array of the last ``k`` elements.
+
+The functions are written over arbitrary hashable element keys so they can be
+unit-tested on literal integer domains (as in the paper's notation) and reused
+verbatim by :class:`~repro.core.timestamp_wor.TimestampSamplerWOR`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, TypeVar
+
+__all__ = ["extend_without_replacement", "build_k_sample"]
+
+T = TypeVar("T")
+
+
+def extend_without_replacement(
+    current: Sequence[T],
+    new_single: T,
+    newest_element: T,
+    key: Callable[[T], object] = lambda item: item,
+) -> List[T]:
+    """Lemma 4.2: extend ``S^b_a`` to ``S^{b+1}_{a+1}``.
+
+    Parameters
+    ----------
+    current:
+        The current subset ``S^b_a`` (``a`` distinct elements of the first
+        ``b``).
+    new_single:
+        ``S^{b+1}_1`` — a uniform single sample of the first ``b+1`` elements,
+        independent of ``current``.
+    newest_element:
+        The element ``b+1`` itself (the only element of the larger domain that
+        ``current`` can never contain).
+    key:
+        Identity function used for the collision test (defaults to the element
+        itself; the window samplers pass the stream index).
+    """
+    current_keys = {key(item) for item in current}
+    if len(current_keys) != len(current):
+        raise ValueError("current sample contains duplicate elements")
+    if key(new_single) in current_keys:
+        if key(newest_element) in current_keys:
+            raise ValueError("newest element already present in the current sample")
+        return list(current) + [newest_element]
+    return list(current) + [new_single]
+
+
+def build_k_sample(
+    singles: Sequence[T],
+    newest_elements: Sequence[T],
+    key: Callable[[T], object] = lambda item: item,
+) -> List[T]:
+    """Lemma 4.3: build ``S^n_k`` from independent single samples of nested domains.
+
+    Parameters
+    ----------
+    singles:
+        ``[S^{n-k+1}_1, S^{n-k+2}_1, ..., S^n_1]`` — independent single
+        samples of the ``k`` nested domains, smallest domain first.  In the
+        window setting ``singles[j]`` is the sample that ignores the last
+        ``k-1-j`` active elements.
+    newest_elements:
+        ``[element n-k+2, ..., element n]`` — the newest element of each
+        successive domain (length ``len(singles) - 1``).  In the window
+        setting these are the last ``k-1`` active elements, oldest first.
+    key:
+        Identity function used for collision tests.
+
+    Returns a uniform ``k``-subset of the largest domain, ordered as built.
+    """
+    if not singles:
+        return []
+    if len(newest_elements) != len(singles) - 1:
+        raise ValueError(
+            f"need exactly {len(singles) - 1} newest elements, got {len(newest_elements)}"
+        )
+    result: List[T] = [singles[0]]
+    for step, single in enumerate(singles[1:]):
+        result = extend_without_replacement(result, single, newest_elements[step], key=key)
+    return result

@@ -1,0 +1,203 @@
+"""Vitter's reservoir sampling — the one-pass primitive used inside buckets.
+
+The paper's algorithms (§2 and §3) maintain, for every bucket, a uniform
+random sample produced by "any one-pass algorithm (e.g., the reservoir
+sampling method)" [Vitter 1985].  Two flavours are needed:
+
+* :class:`SingleReservoir` — one uniform sample of everything offered so far
+  (used by the with-replacement schemes, one instance per independent sample).
+* :class:`ReservoirWithoutReplacement` — a uniform k-subset of everything
+  offered so far, or everything when fewer than ``k`` elements were offered
+  (used by the without-replacement scheme of §2.2).
+
+Both are exact (not approximate), use O(1) / O(k) words and support the
+candidate-observer hook of :mod:`repro.core.tracking`.
+
+The crucial property used by §1.3.4 (independence of disjoint windows) also
+holds here: the sample held after ``i`` offers is independent of which of the
+later offers replace it, because each replacement decision uses fresh
+randomness.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Iterator, List, Optional
+
+from ..exceptions import ConfigurationError, EmptyWindowError
+from ..memory import MemoryMeter, WORD_MODEL
+from ..rng import ensure_rng
+from .tracking import CandidateObserver, SampleCandidate
+
+__all__ = ["SingleReservoir", "ReservoirWithoutReplacement"]
+
+
+class SingleReservoir:
+    """A uniform single sample over an append-only stream of offers.
+
+    Classic Algorithm R with ``k = 1``: the ``m``-th offered element replaces
+    the current sample with probability ``1/m``.
+    """
+
+    def __init__(
+        self,
+        rng: Optional[random.Random] = None,
+        observer: Optional[CandidateObserver] = None,
+    ) -> None:
+        self._rng = ensure_rng(rng)
+        self._observer = observer
+        self._count = 0
+        self._candidate: Optional[SampleCandidate] = None
+
+    @property
+    def count(self) -> int:
+        """Number of elements offered so far."""
+        return self._count
+
+    @property
+    def is_empty(self) -> bool:
+        return self._candidate is None
+
+    @property
+    def candidate(self) -> Optional[SampleCandidate]:
+        """The currently retained candidate (``None`` before the first offer)."""
+        return self._candidate
+
+    def offer(self, value: Any, index: int, timestamp: float = 0.0) -> None:
+        """Offer one element to the reservoir."""
+        self._count += 1
+        if self._rng.random() < 1.0 / self._count:
+            self._replace(SampleCandidate(value=value, index=index, timestamp=timestamp))
+
+    def _replace(self, candidate: SampleCandidate) -> None:
+        if self._candidate is not None and self._observer is not None:
+            self._observer.on_discard(self._candidate)
+        self._candidate = candidate
+        if self._observer is not None:
+            self._observer.on_select(candidate)
+
+    def sample(self) -> SampleCandidate:
+        """The current uniform sample of all offered elements."""
+        if self._candidate is None:
+            raise EmptyWindowError("reservoir is empty")
+        return self._candidate
+
+    def iter_candidates(self) -> Iterator[SampleCandidate]:
+        if self._candidate is not None:
+            yield self._candidate
+
+    def memory_words(self) -> int:
+        """Footprint under the paper's word model: the stored candidate
+        (value, index, timestamp) plus the offer counter."""
+        meter = MemoryMeter(WORD_MODEL)
+        if self._candidate is not None:
+            meter.add_elements().add_indexes().add_timestamps()
+        meter.add_counters()
+        return meter.total
+
+    def reset(self) -> None:
+        """Forget everything (used when a bucket is discarded)."""
+        if self._candidate is not None and self._observer is not None:
+            self._observer.on_discard(self._candidate)
+        self._candidate = None
+        self._count = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SingleReservoir(count={self._count}, candidate={self._candidate})"
+
+
+class ReservoirWithoutReplacement:
+    """A uniform ``k``-subset of an append-only stream of offers.
+
+    Classic Algorithm R: the first ``k`` offers fill the reservoir; the
+    ``m``-th offer (``m > k``) enters with probability ``k/m``, evicting a
+    uniformly chosen slot.  When fewer than ``k`` elements have been offered
+    the reservoir simply holds all of them — exactly the behaviour §2.2 relies
+    on for partial buckets ("either X_B = C, if |C| < k, or X_B is a k-sample
+    of C").
+    """
+
+    def __init__(
+        self,
+        k: int,
+        rng: Optional[random.Random] = None,
+        observer: Optional[CandidateObserver] = None,
+    ) -> None:
+        if k <= 0:
+            raise ConfigurationError("k must be positive")
+        self._k = int(k)
+        self._rng = ensure_rng(rng)
+        self._observer = observer
+        self._count = 0
+        self._slots: List[SampleCandidate] = []
+
+    @property
+    def k(self) -> int:
+        return self._k
+
+    @property
+    def count(self) -> int:
+        """Number of elements offered so far."""
+        return self._count
+
+    @property
+    def size(self) -> int:
+        """Number of candidates currently held (``min(k, count)``)."""
+        return len(self._slots)
+
+    def offer(self, value: Any, index: int, timestamp: float = 0.0) -> None:
+        """Offer one element to the reservoir."""
+        self._count += 1
+        candidate = SampleCandidate(value=value, index=index, timestamp=timestamp)
+        if len(self._slots) < self._k:
+            self._slots.append(candidate)
+            if self._observer is not None:
+                self._observer.on_select(candidate)
+            return
+        if self._rng.random() < self._k / self._count:
+            victim = self._rng.randrange(self._k)
+            if self._observer is not None:
+                self._observer.on_discard(self._slots[victim])
+                self._observer.on_select(candidate)
+            self._slots[victim] = candidate
+
+    def sample(self) -> List[SampleCandidate]:
+        """The current uniform k-subset (or everything, if count < k)."""
+        return list(self._slots)
+
+    def subsample(self, size: int, rng: Optional[random.Random] = None) -> List[SampleCandidate]:
+        """A uniform ``size``-subset of the held k-subset.
+
+        A uniform subset of a uniform-without-replacement sample is itself a
+        uniform without-replacement sample of the underlying population — the
+        fact §2.2 uses to draw ``X_V^i`` from ``X_V``.
+        """
+        if size < 0:
+            raise ValueError("size must be non-negative")
+        if size > len(self._slots):
+            raise EmptyWindowError(
+                f"cannot draw {size} elements from a reservoir holding {len(self._slots)}"
+            )
+        chooser = rng if rng is not None else self._rng
+        return chooser.sample(self._slots, size)
+
+    def iter_candidates(self) -> Iterator[SampleCandidate]:
+        yield from self._slots
+
+    def memory_words(self) -> int:
+        """Footprint: 3 words per held candidate plus the offer counter."""
+        meter = MemoryMeter(WORD_MODEL)
+        held = len(self._slots)
+        meter.add_elements(held).add_indexes(held).add_timestamps(held)
+        meter.add_counters()
+        return meter.total
+
+    def reset(self) -> None:
+        if self._observer is not None:
+            for candidate in self._slots:
+                self._observer.on_discard(candidate)
+        self._slots.clear()
+        self._count = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ReservoirWithoutReplacement(k={self._k}, count={self._count}, held={len(self._slots)})"

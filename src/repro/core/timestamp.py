@@ -1,0 +1,122 @@
+"""Optimal sampling with replacement from timestamp-based windows (§3, Theorem 3.9).
+
+Each of the ``k`` independent samples is maintained by one
+:class:`~repro.core.covering.WindowCoverage` automaton (Lemma 3.5).  At query
+time the window sample is produced from the automaton's state:
+
+* **case 1** — the covering decomposition starts exactly at the earliest
+  active element: pick a bucket with probability proportional to its width and
+  output that bucket's ``R`` sample;
+* **case 2** — a straddling bucket precedes the decomposition: apply the
+  implicit-event machinery of §3.3 (Lemma 3.8) to combine the straddler's
+  sample with a uniform sample of the covered suffix.
+
+The memory footprint is Θ(k · log n(t)) words and is a deterministic function
+of the arrival pattern — never of the algorithm's coin flips — which is the
+paper's improvement over priority sampling.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Optional
+
+from ..exceptions import EmptyWindowError, StreamOrderError
+from ..memory import MemoryMeter, WORD_MODEL
+from ..rng import RngLike, ensure_rng, spawn
+from .base import TimestampWindowSampler
+from .covering import WindowCoverage
+from .tracking import CandidateObserver, SampleCandidate
+
+__all__ = ["TimestampSamplerWR"]
+
+
+class TimestampSamplerWR(TimestampWindowSampler):
+    """k samples *with replacement* from a timestamp window (Theorem 3.9).
+
+    ``append(value, timestamp)`` processes an arrival (the timestamp defaults
+    to the current clock); ``advance_time(now)`` moves the clock without an
+    arrival; ``sample()`` returns ``k`` elements, each uniform over the active
+    elements and mutually independent.
+    """
+
+    algorithm = "boz-ts-wr"
+    with_replacement = True
+    deterministic_memory = True
+
+    def __init__(
+        self,
+        t0: float,
+        k: int = 1,
+        rng: RngLike = None,
+        observer: Optional[CandidateObserver] = None,
+    ) -> None:
+        super().__init__(t0, k, observer)
+        root = ensure_rng(rng)
+        self._coverages = [WindowCoverage(self._t0, spawn(root, lane), observer) for lane in range(self._k)]
+        self._query_rng = spawn(root, self._k + 1)
+        self._now = float("-inf")
+
+    # -- clock -----------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def advance_time(self, now: float) -> None:
+        if now < self._now:
+            raise StreamOrderError(f"clock moved backwards: {now} < {self._now}")
+        self._now = float(now)
+        for coverage in self._coverages:
+            coverage.advance_time(self._now)
+
+    # -- ingestion ----------------------------------------------------------------
+
+    def append(self, value: Any, timestamp: Optional[float] = None) -> None:
+        index = self._arrivals
+        if timestamp is None:
+            ts = self._now if self._now != float("-inf") else 0.0
+        else:
+            ts = float(timestamp)
+        if ts < self._now:
+            raise StreamOrderError(f"timestamps must be non-decreasing: {ts} < {self._now}")
+        self._now = ts
+        for coverage in self._coverages:
+            coverage.observe(value, index, ts)
+        self._arrivals += 1
+        self._notify_arrival(value, index, ts)
+
+    # -- sampling -------------------------------------------------------------------
+
+    def sample_candidates(self) -> List[SampleCandidate]:
+        return [self._sample_coverage(coverage) for coverage in self._coverages]
+
+    def _sample_coverage(self, coverage: WindowCoverage) -> SampleCandidate:
+        if self._now != float("-inf"):
+            coverage.advance_time(self._now)
+        if coverage.is_empty:
+            raise EmptyWindowError("no active element in the window")
+        return coverage.draw_sample(self._query_rng)
+
+    @property
+    def window_is_empty(self) -> bool:
+        """Whether no stored element is currently active."""
+        if self._arrivals == 0:
+            return True
+        coverage = self._coverages[0]
+        coverage.advance_time(self._now)
+        return coverage.is_empty
+
+    # -- introspection ------------------------------------------------------------------
+
+    def iter_candidates(self) -> Iterator[SampleCandidate]:
+        for coverage in self._coverages:
+            yield from coverage.iter_candidates()
+
+    def memory_words(self) -> int:
+        meter = MemoryMeter(WORD_MODEL)
+        meter.add_constants(2)  # t0 and k
+        meter.add_counters()  # arrival counter
+        meter.add_timestamps()  # the clock
+        for coverage in self._coverages:
+            meter.add_words(coverage.memory_words())
+        return meter.total

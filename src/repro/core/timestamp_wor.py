@@ -1,0 +1,160 @@
+"""Optimal sampling without replacement from timestamp-based windows (§4, Theorem 4.4).
+
+The construction combines two ingredients:
+
+1. **Delayed with-replacement samplers.**  ``k`` independent copies of the §3
+   machinery are maintained, where copy ``i`` only receives an element once
+   ``i`` further elements have arrived (Lemma 4.1).  At any time, copy ``i``
+   therefore holds a uniform single sample ``R_i`` of *all active elements
+   except the last i*.
+
+2. **The black-box reduction** (Lemmas 4.2/4.3, :mod:`repro.core.reduction`).
+   Together with an auxiliary array of the last ``k`` arrived elements, the
+   nested-domain samples ``R_{k-1}, ..., R_0`` are stitched into a uniform
+   ``k``-subset of the whole window.
+
+Total memory: Θ(k + k·log n) words, deterministic — matching the Ω(k log n)
+lower bound of Gemulla and Lehner for timestamp windows.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Iterator, List, Optional
+
+from ..exceptions import EmptyWindowError, InsufficientSampleError, StreamOrderError
+from ..memory import MemoryMeter, WORD_MODEL
+from ..rng import RngLike, ensure_rng, spawn
+from .base import TimestampWindowSampler
+from .covering import WindowCoverage
+from .reduction import build_k_sample
+from .tracking import CandidateObserver, SampleCandidate
+
+__all__ = ["TimestampSamplerWOR"]
+
+
+class TimestampSamplerWOR(TimestampWindowSampler):
+    """k samples *without replacement* from a timestamp window (Theorem 4.4).
+
+    When the window currently holds fewer than ``k`` active elements the
+    sampler returns all of them (they are necessarily among the last ``k``
+    arrivals, which are stored verbatim); set ``allow_partial=False`` to raise
+    :class:`~repro.exceptions.InsufficientSampleError` instead.
+    """
+
+    algorithm = "boz-ts-wor"
+    with_replacement = False
+    deterministic_memory = True
+
+    def __init__(
+        self,
+        t0: float,
+        k: int = 1,
+        rng: RngLike = None,
+        observer: Optional[CandidateObserver] = None,
+        allow_partial: bool = True,
+    ) -> None:
+        super().__init__(t0, k, observer)
+        root = ensure_rng(rng)
+        self._allow_partial = bool(allow_partial)
+        # Coverage i receives elements delayed by i arrivals (Lemma 4.1).
+        self._coverages = [WindowCoverage(self._t0, spawn(root, lane), observer) for lane in range(self._k)]
+        self._query_rng = spawn(root, self._k + 1)
+        # Auxiliary array of the last k arrived elements (§4: "we maintain an
+        # auxiliary array with the last i elements ... we can use the same
+        # array for every i").
+        self._recent: Deque[SampleCandidate] = deque(maxlen=self._k)
+        self._now = float("-inf")
+
+    # -- clock ------------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def advance_time(self, now: float) -> None:
+        if now < self._now:
+            raise StreamOrderError(f"clock moved backwards: {now} < {self._now}")
+        self._now = float(now)
+        for coverage in self._coverages:
+            coverage.advance_time(self._now)
+
+    # -- ingestion ------------------------------------------------------------------
+
+    def append(self, value: Any, timestamp: Optional[float] = None) -> None:
+        index = self._arrivals
+        if timestamp is None:
+            ts = self._now if self._now != float("-inf") else 0.0
+        else:
+            ts = float(timestamp)
+        if ts < self._now:
+            raise StreamOrderError(f"timestamps must be non-decreasing: {ts} < {self._now}")
+        self._now = ts
+        self._recent.append(SampleCandidate(value=value, index=index, timestamp=ts))
+        # Feed each delayed copy the element that has now cleared its delay:
+        # copy i processes element index - i (if it exists).  The element is
+        # still in the auxiliary array because i < k.
+        recent_list = list(self._recent)
+        for delay, coverage in enumerate(self._coverages):
+            target = index - delay
+            if target < 0:
+                continue
+            delayed = recent_list[-(delay + 1)]
+            coverage.advance_time(self._now)
+            coverage.observe(delayed.value, delayed.index, delayed.timestamp)
+        self._arrivals += 1
+        self._notify_arrival(value, index, ts)
+
+    # -- sampling -----------------------------------------------------------------------
+
+    def sample_candidates(self) -> List[SampleCandidate]:
+        if self._arrivals == 0:
+            raise EmptyWindowError("no element has arrived yet")
+        if self._now != float("-inf"):
+            for coverage in self._coverages:
+                coverage.advance_time(self._now)
+        active_recent = [
+            candidate for candidate in self._recent if self._now - candidate.timestamp < self._t0
+        ]
+        window_has_k = len(self._recent) == self._k and len(active_recent) == self._k
+        if self._coverages[0].is_empty:
+            raise EmptyWindowError("no active element in the window")
+        if not window_has_k:
+            # Fewer than k active elements: they all sit in the auxiliary array.
+            if not active_recent:
+                raise EmptyWindowError("no active element in the window")
+            if len(active_recent) < self._k and not self._allow_partial:
+                raise InsufficientSampleError(
+                    f"window holds only {len(active_recent)} elements, k={self._k} requested"
+                )
+            return list(active_recent)
+        # Full reduction (Lemma 4.3): singles over nested domains, smallest first.
+        singles: List[SampleCandidate] = []
+        for delay in range(self._k - 1, -1, -1):
+            coverage = self._coverages[delay]
+            if coverage.is_empty:  # pragma: no cover - defensive; n >= k implies non-empty
+                raise EmptyWindowError("delayed coverage unexpectedly empty")
+            singles.append(coverage.draw_sample(self._query_rng))
+        # The newest element of each successive domain: the last k-1 active
+        # elements, oldest first — exactly recent[1:] when the buffer is full.
+        recent_list = list(self._recent)
+        newest_elements = recent_list[1:]
+        return build_k_sample(singles, newest_elements, key=lambda candidate: candidate.index)
+
+    # -- introspection ----------------------------------------------------------------------
+
+    def iter_candidates(self) -> Iterator[SampleCandidate]:
+        for coverage in self._coverages:
+            yield from coverage.iter_candidates()
+        yield from self._recent
+
+    def memory_words(self) -> int:
+        meter = MemoryMeter(WORD_MODEL)
+        meter.add_constants(2)  # t0 and k
+        meter.add_counters()  # arrival counter
+        meter.add_timestamps()  # the clock
+        held = len(self._recent)
+        meter.add_elements(held).add_indexes(held).add_timestamps(held)
+        for coverage in self._coverages:
+            meter.add_words(coverage.memory_words())
+        return meter.total

@@ -1,0 +1,62 @@
+"""Exception hierarchy for the sliding-window sampling library.
+
+All library-specific errors derive from :class:`SWSampleError` so that callers
+can catch every failure mode of the library with a single ``except`` clause
+while still being able to distinguish the individual conditions.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "SWSampleError",
+    "EmptyWindowError",
+    "InsufficientSampleError",
+    "StreamOrderError",
+    "ConfigurationError",
+    "SamplingFailureError",
+]
+
+
+class SWSampleError(Exception):
+    """Base class for every error raised by :mod:`repro`."""
+
+
+class EmptyWindowError(SWSampleError):
+    """Raised when a sample is requested but the current window is empty.
+
+    For sequence-based windows this only happens before the first element
+    arrives.  For timestamp-based windows it also happens when every stored
+    element has expired (no element arrived during the last ``t0`` time
+    units).
+    """
+
+
+class InsufficientSampleError(SWSampleError):
+    """Raised when a k-sample without replacement is requested but the window
+    currently holds fewer than ``k`` elements and the caller asked for strict
+    behaviour (``allow_partial=False``)."""
+
+
+class StreamOrderError(SWSampleError):
+    """Raised when elements are pushed with decreasing timestamps or when the
+    logical clock is moved backwards.
+
+    The sliding-window model assumes ``T(p_i) <= T(p_{i+1})`` (paper, §3.1);
+    violating this would silently corrupt every expiry decision, so the
+    library refuses the operation instead.
+    """
+
+
+class ConfigurationError(SWSampleError):
+    """Raised for invalid constructor arguments (``k <= 0``, ``n <= 0``,
+    ``t0 <= 0``, unknown algorithm names, ...)."""
+
+
+class SamplingFailureError(SWSampleError):
+    """Raised by *baseline* algorithms whose success is only probabilistic.
+
+    The over-sampling baseline, for example, may find fewer than ``k``
+    non-expired candidates; the paper cites exactly this failure mode as
+    disadvantage (b) of over-sampling.  The optimal algorithms of the paper
+    never raise this error.
+    """

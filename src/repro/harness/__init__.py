@@ -1,0 +1,24 @@
+"""Experiment harness: workload drivers, result tables and the E1–E10 registry."""
+
+from .experiments import EXPERIMENTS, SCALES, available_experiments, run_experiment
+from .runner import (
+    RunResult,
+    collect_position_samples,
+    collect_wor_inclusions,
+    measure_throughput,
+    run_memory_profile,
+)
+from .tables import ResultTable
+
+__all__ = [
+    "EXPERIMENTS",
+    "SCALES",
+    "available_experiments",
+    "run_experiment",
+    "ResultTable",
+    "RunResult",
+    "run_memory_profile",
+    "collect_position_samples",
+    "collect_wor_inclusions",
+    "measure_throughput",
+]

@@ -1,0 +1,144 @@
+"""Drivers that feed workloads into samplers and collect measurements.
+
+The functions here are the shared machinery behind the experiments (E1–E10):
+they run a sampler factory over a stream several times with different seeds
+and collect memory traces, sample draws, failure counts and wall-clock
+throughput.  Keeping them separate from the experiment definitions makes them
+reusable from the examples and from user code.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from ..analysis.memory_profile import MemorySummary, MemoryTrace, summarize_traces
+from ..exceptions import SamplingFailureError
+from ..streams.element import StreamElement
+
+__all__ = [
+    "SamplerFactory",
+    "RunResult",
+    "run_memory_profile",
+    "collect_position_samples",
+    "collect_wor_inclusions",
+    "measure_throughput",
+]
+
+#: A callable building a fresh sampler from a seed (one per run).
+SamplerFactory = Callable[[int], Any]
+
+
+@dataclass
+class RunResult:
+    """Everything collected from repeated runs of one configuration."""
+
+    traces: List[MemoryTrace] = field(default_factory=list)
+    sampling_failures: int = 0
+    queries: int = 0
+
+    def memory_summary(self) -> MemorySummary:
+        return summarize_traces(self.traces)
+
+    @property
+    def failure_rate(self) -> float:
+        if self.queries == 0:
+            return 0.0
+        return self.sampling_failures / self.queries
+
+
+def _feed(sampler: Any, element: StreamElement, advance_time: bool) -> None:
+    if advance_time and hasattr(sampler, "advance_time"):
+        sampler.advance_time(element.timestamp)
+    sampler.append(element.value, element.timestamp)
+
+
+def run_memory_profile(
+    factory: SamplerFactory,
+    elements: Sequence[StreamElement],
+    runs: int = 3,
+    base_seed: int = 0,
+    advance_time: bool = False,
+    query_every: Optional[int] = None,
+) -> RunResult:
+    """Run ``factory(seed)`` over ``elements`` ``runs`` times, recording memory.
+
+    When ``query_every`` is given, ``sample()`` is called every that many
+    arrivals and :class:`~repro.exceptions.SamplingFailureError` is counted
+    instead of propagated (the over-sampling baseline fails by design).
+    """
+    result = RunResult()
+    for run in range(runs):
+        sampler = factory(base_seed + run)
+        trace = MemoryTrace()
+        for position, element in enumerate(elements):
+            _feed(sampler, element, advance_time)
+            trace.record(sampler.memory_words())
+            if query_every and (position + 1) % query_every == 0:
+                result.queries += 1
+                try:
+                    sampler.sample()
+                except SamplingFailureError:
+                    result.sampling_failures += 1
+        result.traces.append(trace)
+    return result
+
+
+def collect_position_samples(
+    factory: SamplerFactory,
+    elements: Sequence[StreamElement],
+    seed: int = 0,
+    advance_time: bool = False,
+) -> Tuple[List[int], Any]:
+    """Feed the stream once and return the sampled stream *indexes*.
+
+    Intended for with-replacement samplers built with many independent lanes
+    (``k`` large): a single query then yields ``k`` independent draws, which
+    is the cheapest way to collect the uniformity statistics of experiment E5.
+    Returns ``(indexes, sampler)`` so callers can also inspect memory.
+    """
+    sampler = factory(seed)
+    for element in elements:
+        _feed(sampler, element, advance_time)
+    indexes = [drawn.index for drawn in sampler.sample()]
+    return indexes, sampler
+
+
+def collect_wor_inclusions(
+    factory: SamplerFactory,
+    elements: Sequence[StreamElement],
+    runs: int,
+    base_seed: int = 0,
+    advance_time: bool = False,
+) -> List[int]:
+    """Repeatedly run a without-replacement sampler and pool the sampled indexes.
+
+    Under correctness every window position appears with the same inclusion
+    probability ``k / n``, so the pooled indexes must be uniform over the
+    window — the statistic used by experiment E5 for the WoR variants.
+    """
+    pooled: List[int] = []
+    for run in range(runs):
+        sampler = factory(base_seed + run)
+        for element in elements:
+            _feed(sampler, element, advance_time)
+        pooled.extend(drawn.index for drawn in sampler.sample())
+    return pooled
+
+
+def measure_throughput(
+    factory: SamplerFactory,
+    elements: Sequence[StreamElement],
+    seed: int = 0,
+    advance_time: bool = False,
+) -> float:
+    """Elements processed per second for a single run (coarse, wall-clock)."""
+    sampler = factory(seed)
+    start = time.perf_counter()
+    for element in elements:
+        _feed(sampler, element, advance_time)
+    elapsed = time.perf_counter() - start
+    if elapsed <= 0:
+        return float("inf")
+    return len(elements) / elapsed

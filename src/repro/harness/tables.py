@@ -1,0 +1,108 @@
+"""Result tables produced by the experiment harness.
+
+Every experiment in :mod:`repro.harness.experiments` returns a
+:class:`ResultTable`; the benchmarks print it, the CLI prints it, and
+EXPERIMENTS.md quotes it.  The table is a thin, dependency-free container with
+aligned-text, markdown and CSV renderers.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+__all__ = ["ResultTable"]
+
+
+@dataclass
+class ResultTable:
+    """An experiment's output: a titled grid of rows plus free-form notes."""
+
+    experiment: str
+    title: str
+    columns: List[str]
+    rows: List[List[Any]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, *values: Any, **named: Any) -> None:
+        """Append a row given positionally or by column name."""
+        if values and named:
+            raise ValueError("pass the row either positionally or by name, not both")
+        if named:
+            unknown = set(named) - set(self.columns)
+            if unknown:
+                raise ValueError(f"unknown columns: {sorted(unknown)}")
+            row = [named.get(column, "") for column in self.columns]
+        else:
+            if len(values) != len(self.columns):
+                raise ValueError(f"expected {len(self.columns)} values, got {len(values)}")
+            row = list(values)
+        self.rows.append(row)
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    # -- rendering -------------------------------------------------------------
+
+    @staticmethod
+    def _format_cell(value: Any) -> str:
+        if isinstance(value, float):
+            if value == 0:
+                return "0"
+            if abs(value) >= 1000:
+                return f"{value:,.0f}"
+            if abs(value) >= 1:
+                return f"{value:.2f}"
+            return f"{value:.4f}"
+        return str(value)
+
+    def to_text(self) -> str:
+        """Aligned plain-text rendering (what the benchmarks print)."""
+        header = [str(column) for column in self.columns]
+        body = [[self._format_cell(cell) for cell in row] for row in self.rows]
+        widths = [len(column) for column in header]
+        for row in body:
+            for position, cell in enumerate(row):
+                widths[position] = max(widths[position], len(cell))
+        lines = [f"[{self.experiment}] {self.title}"]
+        lines.append("  ".join(column.ljust(width) for column, width in zip(header, widths)))
+        lines.append("  ".join("-" * width for width in widths))
+        for row in body:
+            lines.append("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def to_markdown(self) -> str:
+        """GitHub-flavoured markdown rendering (what EXPERIMENTS.md quotes)."""
+        lines = [f"**{self.experiment} — {self.title}**", ""]
+        lines.append("| " + " | ".join(str(column) for column in self.columns) + " |")
+        lines.append("|" + "|".join("---" for _ in self.columns) + "|")
+        for row in self.rows:
+            lines.append("| " + " | ".join(self._format_cell(cell) for cell in row) + " |")
+        for note in self.notes:
+            lines.append("")
+            lines.append(f"_note: {note}_")
+        return "\n".join(lines)
+
+    def to_csv(self) -> str:
+        """CSV rendering (one header row plus the data rows)."""
+        buffer = io.StringIO()
+        writer = csv.writer(buffer)
+        writer.writerow(self.columns)
+        for row in self.rows:
+            writer.writerow(row)
+        return buffer.getvalue()
+
+    def write_csv(self, path: str) -> None:
+        with open(path, "w", newline="") as handle:
+            handle.write(self.to_csv())
+
+    def as_dicts(self) -> List[Dict[str, Any]]:
+        """Rows as dictionaries keyed by column name."""
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.to_text()

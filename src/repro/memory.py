@@ -1,0 +1,111 @@
+"""Word-RAM memory accounting used throughout the library.
+
+The paper states every bound in *memory words*: "we assume that a single
+memory word is sufficient to store a stream element or its index or a
+timestamp" (§1.4).  Measuring Python object sizes would bury the asymptotic
+behaviour under interpreter overhead, so every sampler instead reports its
+footprint under the paper's model via ``memory_words()``.
+
+:class:`MemoryModel` centralises the per-field charges so that the accounting
+is identical across our algorithms and the baselines, and
+:class:`MemoryMeter` offers a tiny helper for summing the charges of a
+composite structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["MemoryModel", "MemoryMeter", "WORD_MODEL"]
+
+
+@dataclass(frozen=True)
+class MemoryModel:
+    """Charges (in words) for each kind of stored quantity.
+
+    The defaults implement the paper's model: one word per stored element
+    value, index, timestamp, priority (random key) or counter.  Constant-size
+    configuration (the window length ``n``, the sample size ``k``) is charged
+    through :attr:`constant_words` exactly once per sampler.
+    """
+
+    element_words: int = 1
+    index_words: int = 1
+    timestamp_words: int = 1
+    priority_words: int = 1
+    counter_words: int = 1
+    constant_words: int = 1
+
+    def element(self, count: int = 1) -> int:
+        """Words charged for ``count`` stored element values."""
+        return self.element_words * count
+
+    def index(self, count: int = 1) -> int:
+        """Words charged for ``count`` stored indexes."""
+        return self.index_words * count
+
+    def timestamp(self, count: int = 1) -> int:
+        """Words charged for ``count`` stored timestamps."""
+        return self.timestamp_words * count
+
+    def priority(self, count: int = 1) -> int:
+        """Words charged for ``count`` stored priorities / random keys."""
+        return self.priority_words * count
+
+    def counter(self, count: int = 1) -> int:
+        """Words charged for ``count`` live counters."""
+        return self.counter_words * count
+
+    def constant(self, count: int = 1) -> int:
+        """Words charged for ``count`` constant configuration values."""
+        return self.constant_words * count
+
+
+#: The shared default model (all charges equal to one word).
+WORD_MODEL = MemoryModel()
+
+
+@dataclass
+class MemoryMeter:
+    """Accumulates word charges for a composite data structure.
+
+    Example
+    -------
+    >>> meter = MemoryMeter()
+    >>> meter.add_elements(2).add_indexes(2).add_timestamps(1)
+    MemoryMeter(...)
+    >>> meter.total
+    5
+    """
+
+    model: MemoryModel = field(default_factory=lambda: WORD_MODEL)
+    total: int = 0
+
+    def add_elements(self, count: int = 1) -> "MemoryMeter":
+        self.total += self.model.element(count)
+        return self
+
+    def add_indexes(self, count: int = 1) -> "MemoryMeter":
+        self.total += self.model.index(count)
+        return self
+
+    def add_timestamps(self, count: int = 1) -> "MemoryMeter":
+        self.total += self.model.timestamp(count)
+        return self
+
+    def add_priorities(self, count: int = 1) -> "MemoryMeter":
+        self.total += self.model.priority(count)
+        return self
+
+    def add_counters(self, count: int = 1) -> "MemoryMeter":
+        self.total += self.model.counter(count)
+        return self
+
+    def add_constants(self, count: int = 1) -> "MemoryMeter":
+        self.total += self.model.constant(count)
+        return self
+
+    def add_words(self, count: int) -> "MemoryMeter":
+        """Add a raw word count (for sub-structures that already report words)."""
+        self.total += count
+        return self

@@ -1,0 +1,83 @@
+"""Deterministic random-number helpers.
+
+Every stochastic component of the library (samplers, baselines, stream
+generators, experiment harness) draws randomness from a ``random.Random``
+instance that is ultimately derived from a caller-provided seed.  This module
+centralises the conventions:
+
+* :func:`ensure_rng` normalises the ``rng``/``seed`` arguments accepted by all
+  public constructors.
+* :func:`spawn` derives independent child generators from a parent in a
+  reproducible way (used when one logical component needs several independent
+  sources, e.g. the ``k`` independent samplers of a k-WR scheme).
+* :func:`bernoulli` draws a biased coin, the primitive used by the implicit
+  event generation of §3.3.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Union
+
+__all__ = ["RngLike", "ensure_rng", "spawn", "bernoulli", "uniform_index"]
+
+#: Anything accepted as a source of randomness by public constructors.
+RngLike = Union[None, int, random.Random]
+
+# A fixed, arbitrary large odd constant used to decorrelate spawned child
+# generators from their parent while remaining fully deterministic.
+_SPAWN_MIX = 0x9E3779B97F4A7C15
+
+
+def ensure_rng(rng: RngLike = None) -> random.Random:
+    """Return a ``random.Random`` instance for ``rng``.
+
+    ``None`` yields a freshly seeded generator (non-deterministic), an ``int``
+    is treated as a seed, and an existing ``random.Random`` is returned
+    unchanged so that callers can share a generator between components when
+    they explicitly want to.
+    """
+    if rng is None:
+        return random.Random()
+    if isinstance(rng, random.Random):
+        return rng
+    if isinstance(rng, bool):  # bool is an int subclass; almost surely a bug.
+        raise TypeError("rng must be None, an int seed or a random.Random")
+    if isinstance(rng, int):
+        return random.Random(rng)
+    raise TypeError(f"rng must be None, an int seed or a random.Random, got {type(rng)!r}")
+
+
+def spawn(parent: random.Random, stream_id: int) -> random.Random:
+    """Derive an independent child generator from ``parent``.
+
+    The child is seeded from the parent's stream, mixed with ``stream_id`` so
+    that different ids give different, reproducible children.  Used to give
+    each of the ``k`` independent samplers of a k-sample its own source.
+    """
+    base = parent.getrandbits(64)
+    return random.Random((base ^ (stream_id * 2 + 1) * _SPAWN_MIX) & (2**64 - 1))
+
+
+def bernoulli(rng: random.Random, probability: float) -> bool:
+    """Return ``True`` with the given probability.
+
+    Probabilities are clamped to ``[0, 1]``; values outside that range by more
+    than a floating-point hair indicate a logic error and raise ``ValueError``.
+    """
+    if probability <= 0.0:
+        if probability < -1e-9:
+            raise ValueError(f"negative probability: {probability}")
+        return False
+    if probability >= 1.0:
+        if probability > 1.0 + 1e-9:
+            raise ValueError(f"probability larger than one: {probability}")
+        return True
+    return rng.random() < probability
+
+
+def uniform_index(rng: random.Random, lo: int, hi: int) -> int:
+    """Uniform integer in the inclusive range ``[lo, hi]``."""
+    if hi < lo:
+        raise ValueError(f"empty range [{lo}, {hi}]")
+    return rng.randint(lo, hi)

@@ -1,0 +1,12 @@
+"""Companion sketches for sliding windows.
+
+Currently: the Datar–Gionis–Indyk–Motwani exponential histogram, an
+approximate counter of the number of active elements in a timestamp window.
+The paper's algorithms deliberately avoid needing the window size; the
+Section-5 application estimators, however, use it as a scale factor, and this
+counter supplies a (1±ε) approximation in sub-linear space.
+"""
+
+from .exponential_histogram import ExponentialHistogramCounter
+
+__all__ = ["ExponentialHistogramCounter"]

@@ -1,0 +1,25 @@
+"""Stream substrates: elements, value generators, arrival processes, workloads.
+
+The samplers in :mod:`repro.core` consume ``(value, timestamp)`` pairs one at
+a time; this package provides everything needed to *produce* such streams for
+examples, tests and benchmarks.
+"""
+
+from .element import StreamElement, make_stream, values_of, indexes_of
+from . import arrivals, generators, graph, workloads
+from .workloads import Workload, WORKLOADS, available_workloads, build_workload
+
+__all__ = [
+    "StreamElement",
+    "make_stream",
+    "values_of",
+    "indexes_of",
+    "arrivals",
+    "generators",
+    "graph",
+    "workloads",
+    "Workload",
+    "WORKLOADS",
+    "available_workloads",
+    "build_workload",
+]

@@ -1,0 +1,161 @@
+"""Arrival-time processes for timestamp-based windows.
+
+Sequence-based windows only care about arrival order, but timestamp-based
+windows (§3) are defined by arrival *times*: an element ``p`` is active at
+time ``t`` iff ``t - T(p) < t0``.  The number of active elements ``n(t)`` is
+therefore governed by the arrival process, and the paper's bounds are
+functions of ``n``.  The processes below produce non-decreasing timestamp
+sequences covering the regimes discussed in the paper:
+
+* constant-rate arrivals (the sequence-based special case),
+* Poisson arrivals (asynchronous network/database workloads),
+* bursty on/off arrivals (many elements share one timestamp — the paper's
+  "items can arrive in bursts at a single step"),
+* a diurnal rate profile, and
+* the exact doubling burst pattern used in the Ω(log n) lower bound proof of
+  Lemma 3.10.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Iterator, List, Optional
+
+from ..rng import RngLike, ensure_rng
+
+__all__ = [
+    "constant_rate",
+    "poisson_arrivals",
+    "bursty_arrivals",
+    "diurnal_arrivals",
+    "lower_bound_burst",
+]
+
+
+def constant_rate(step: float = 1.0, start: float = 0.0, length: Optional[int] = None) -> Iterator[float]:
+    """One arrival every ``step`` time units.
+
+    With ``step=1`` a timestamp window of span ``t0`` holds exactly ``t0``
+    elements, which makes the timestamp algorithms directly comparable to the
+    sequence-based ones.
+    """
+    if step <= 0:
+        raise ValueError("step must be positive")
+    counter = itertools.count() if length is None else range(length)
+    for i in counter:
+        yield start + i * step
+
+
+def poisson_arrivals(
+    rate: float = 1.0,
+    start: float = 0.0,
+    rng: RngLike = None,
+    length: Optional[int] = None,
+) -> Iterator[float]:
+    """Poisson process arrivals with the given average ``rate`` per time unit."""
+    if rate <= 0:
+        raise ValueError("rate must be positive")
+    random_source = ensure_rng(rng)
+    current = float(start)
+    counter = itertools.count() if length is None else range(length)
+    for _ in counter:
+        current += random_source.expovariate(rate)
+        yield current
+
+
+def bursty_arrivals(
+    burst_size_mean: float = 20.0,
+    gap_mean: float = 10.0,
+    rng: RngLike = None,
+    length: Optional[int] = None,
+) -> Iterator[float]:
+    """On/off bursts: a geometric number of elements share a single timestamp,
+    then the clock jumps forward by an exponential gap.
+
+    This is the regime where timestamp-based windows genuinely differ from
+    sequence-based ones: ``n(t)`` swings wildly and many elements are tied in
+    time.
+    """
+    if burst_size_mean < 1:
+        raise ValueError("burst_size_mean must be at least 1")
+    if gap_mean <= 0:
+        raise ValueError("gap_mean must be positive")
+    random_source = ensure_rng(rng)
+    current = 0.0
+    produced = 0
+    success_probability = 1.0 / burst_size_mean
+    while True:
+        burst = 1 + _geometric(random_source, success_probability)
+        for _ in range(burst):
+            if length is not None and produced >= length:
+                return
+            yield current
+            produced += 1
+        if length is not None and produced >= length:
+            return
+        current += random_source.expovariate(1.0 / gap_mean)
+
+
+def _geometric(random_source, success_probability: float) -> int:
+    """Number of failures before the first success of a Bernoulli trial."""
+    failures = 0
+    while random_source.random() > success_probability:
+        failures += 1
+        if failures > 10_000_000:  # pragma: no cover - numerical safety net
+            break
+    return failures
+
+
+def diurnal_arrivals(
+    base_rate: float = 1.0,
+    amplitude: float = 0.8,
+    period: float = 1000.0,
+    rng: RngLike = None,
+    length: Optional[int] = None,
+) -> Iterator[float]:
+    """A non-homogeneous Poisson process whose rate oscillates sinusoidally.
+
+    Models day/night traffic patterns; the window population expands and
+    contracts smoothly, exercising the covering-decomposition maintenance
+    under both growth and shrinkage.
+    """
+    if base_rate <= 0:
+        raise ValueError("base_rate must be positive")
+    if not 0 <= amplitude < 1:
+        raise ValueError("amplitude must lie in [0, 1)")
+    if period <= 0:
+        raise ValueError("period must be positive")
+    random_source = ensure_rng(rng)
+    current = 0.0
+    counter = itertools.count() if length is None else range(length)
+    for _ in counter:
+        rate = base_rate * (1.0 + amplitude * math.sin(2 * math.pi * current / period))
+        rate = max(rate, base_rate * (1.0 - amplitude) * 0.5)
+        current += random_source.expovariate(rate)
+        yield current
+
+
+def lower_bound_burst(t0: int, tail_length: int = 0, scale: int = 1) -> List[float]:
+    """The arrival pattern from the Lemma 3.10 lower-bound proof.
+
+    For timestamps ``i = 0 .. 2*t0`` the stream delivers ``scale * 2**(2*t0-i)``
+    elements at time ``i``; afterwards exactly one element per timestamp for
+    ``tail_length`` further steps.  Any correct sampler must remember
+    candidates from Ω(log n) distinct timestamps with constant probability.
+
+    The exact pattern is exponentially large in ``t0``; keep ``t0`` small
+    (≤ 10) and use ``scale`` to thin it while preserving the doubling shape.
+    """
+    if t0 <= 0:
+        raise ValueError("t0 must be positive")
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    timestamps: List[float] = []
+    for i in range(2 * t0 + 1):
+        count = max(1, scale * (2 ** (2 * t0 - i)) // (2 ** t0))
+        timestamps.extend([float(i)] * count)
+    next_time = float(2 * t0 + 1)
+    for j in range(tail_length):
+        timestamps.append(next_time + j)
+    return timestamps

@@ -1,0 +1,96 @@
+"""The stream element record shared by every component.
+
+The paper's stream is a sequence ``p_0, p_1, ...`` where each element carries
+an arrival index and, for timestamp-based windows, an arrival timestamp
+``T(p_i)`` with ``T(p_i) <= T(p_{i+1})``.  :class:`StreamElement` bundles the
+three pieces (value, index, timestamp) so that samplers, window trackers and
+estimators all speak the same type.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Iterator, List, Sequence
+
+__all__ = ["StreamElement", "make_stream", "values_of", "indexes_of"]
+
+
+@dataclass(frozen=True, slots=True)
+class StreamElement:
+    """One element of a data stream.
+
+    Attributes
+    ----------
+    value:
+        The payload carried by the element (an int, a tuple for graph edges,
+        an arbitrary object for application streams).
+    index:
+        The 0-based arrival position in the stream (the paper's ``i`` in
+        ``p_i``).
+    timestamp:
+        The arrival time ``T(p_i)``.  For sequence-based windows the timestamp
+        is ignored and may simply equal the index.
+    """
+
+    value: Any
+    index: int
+    timestamp: float = 0.0
+
+    def is_active(self, now: float, window_span: float) -> bool:
+        """Whether the element is active at time ``now`` for a timestamp-based
+        window of span ``window_span`` (the paper's ``t0``): active iff
+        ``now - T(p) < t0``."""
+        return now - self.timestamp < window_span
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"StreamElement(value={self.value!r}, index={self.index}, t={self.timestamp})"
+
+
+def make_stream(
+    values: Iterable[Any],
+    timestamps: Iterable[float] | None = None,
+    start_index: int = 0,
+) -> List[StreamElement]:
+    """Build a list of :class:`StreamElement` from raw values.
+
+    When ``timestamps`` is omitted, the timestamp of each element equals its
+    index, which turns a sequence-based window of size ``n`` and a
+    timestamp-based window of span ``n`` into the same window — handy in tests.
+    """
+    elements: List[StreamElement] = []
+    if timestamps is None:
+        for offset, value in enumerate(values):
+            index = start_index + offset
+            elements.append(StreamElement(value=value, index=index, timestamp=float(index)))
+        return elements
+
+    ts_list = list(timestamps)
+    values_list = list(values)
+    if len(ts_list) != len(values_list):
+        raise ValueError(
+            f"values and timestamps must have equal length, got {len(values_list)} and {len(ts_list)}"
+        )
+    previous = float("-inf")
+    for offset, (value, ts) in enumerate(zip(values_list, ts_list)):
+        if ts < previous:
+            raise ValueError("timestamps must be non-decreasing")
+        previous = ts
+        elements.append(StreamElement(value=value, index=start_index + offset, timestamp=float(ts)))
+    return elements
+
+
+def values_of(elements: Sequence[StreamElement]) -> List[Any]:
+    """Extract the values of a sequence of elements (test/analysis helper)."""
+    return [element.value for element in elements]
+
+
+def indexes_of(elements: Sequence[StreamElement]) -> List[int]:
+    """Extract the indexes of a sequence of elements (test/analysis helper)."""
+    return [element.index for element in elements]
+
+
+def iter_with_indexes(values: Iterable[Any], start_index: int = 0) -> Iterator[StreamElement]:
+    """Lazily wrap raw values into :class:`StreamElement` records."""
+    for offset, value in enumerate(values):
+        index = start_index + offset
+        yield StreamElement(value=value, index=index, timestamp=float(index))

@@ -1,0 +1,224 @@
+"""Synthetic value generators.
+
+The paper motivates sliding windows with sensor feeds, stock-market tickers
+and network measurements (§1).  The generators below produce the value part of
+such streams; arrival times are produced separately by
+:mod:`repro.streams.arrivals` so that the same value process can be combined
+with different arrival processes.
+
+All generators are plain Python iterators over raw values.  They are infinite
+unless a ``length`` is given, deterministic under a seed, and dependency-free.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Iterable, Iterator, List, Optional, Sequence
+
+from ..rng import RngLike, ensure_rng
+
+__all__ = [
+    "uniform_integers",
+    "zipfian_integers",
+    "gaussian_walk",
+    "sensor_drift",
+    "categorical_bursts",
+    "ascending_integers",
+    "repeated_pattern",
+    "mixture",
+    "take",
+]
+
+
+def take(generator: Iterable[Any], count: int) -> List[Any]:
+    """Materialise the first ``count`` values of a generator."""
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    return list(itertools.islice(generator, count))
+
+
+def uniform_integers(domain: int, rng: RngLike = None, length: Optional[int] = None) -> Iterator[int]:
+    """Uniform integers from ``[0, domain)``.
+
+    The workhorse workload for uniformity and memory experiments: every value
+    is equally likely, so any bias observed in the sampler's output is a bias
+    of the sampler, not of the data.
+    """
+    if domain <= 0:
+        raise ValueError("domain must be positive")
+    random_source = ensure_rng(rng)
+    counter = itertools.count() if length is None else range(length)
+    for _ in counter:
+        yield random_source.randrange(domain)
+
+
+def zipfian_integers(
+    domain: int,
+    skew: float = 1.1,
+    rng: RngLike = None,
+    length: Optional[int] = None,
+) -> Iterator[int]:
+    """Zipf-distributed integers from ``[0, domain)`` with exponent ``skew``.
+
+    Heavy-tailed value distributions are the standard workload for frequency
+    moments and entropy estimation (Corollaries 5.2 and 5.4): a few values are
+    very frequent, most are rare.
+    """
+    if domain <= 0:
+        raise ValueError("domain must be positive")
+    if skew <= 0:
+        raise ValueError("skew must be positive")
+    random_source = ensure_rng(rng)
+    weights = [1.0 / (rank + 1) ** skew for rank in range(domain)]
+    total = sum(weights)
+    cumulative: List[float] = []
+    running = 0.0
+    for weight in weights:
+        running += weight / total
+        cumulative.append(running)
+    cumulative[-1] = 1.0
+
+    def draw() -> int:
+        u = random_source.random()
+        # Binary search over the cumulative distribution.
+        lo, hi = 0, domain - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if cumulative[mid] < u:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    counter = itertools.count() if length is None else range(length)
+    for _ in counter:
+        yield draw()
+
+
+def gaussian_walk(
+    start: float = 100.0,
+    volatility: float = 0.5,
+    rng: RngLike = None,
+    length: Optional[int] = None,
+) -> Iterator[float]:
+    """A Gaussian random walk — a toy model of a stock-price tick stream."""
+    if volatility < 0:
+        raise ValueError("volatility must be non-negative")
+    random_source = ensure_rng(rng)
+    price = float(start)
+    counter = itertools.count() if length is None else range(length)
+    for _ in counter:
+        price += random_source.gauss(0.0, volatility)
+        yield price
+
+
+def sensor_drift(
+    baseline: float = 20.0,
+    drift_per_step: float = 0.001,
+    noise: float = 0.2,
+    spike_probability: float = 0.001,
+    spike_magnitude: float = 15.0,
+    rng: RngLike = None,
+    length: Optional[int] = None,
+) -> Iterator[float]:
+    """A slowly drifting sensor reading with occasional spikes.
+
+    Models the "sensor measurement" workload from the paper's introduction:
+    the interesting statistics live in the recent window because the global
+    distribution drifts over time.
+    """
+    random_source = ensure_rng(rng)
+    counter = itertools.count() if length is None else range(length)
+    for step in counter:
+        value = baseline + drift_per_step * step + random_source.gauss(0.0, noise)
+        if random_source.random() < spike_probability:
+            value += spike_magnitude
+        yield value
+
+
+def categorical_bursts(
+    categories: Sequence[Any],
+    burst_length: int = 50,
+    rng: RngLike = None,
+    length: Optional[int] = None,
+) -> Iterator[Any]:
+    """Values arriving in bursts of a single category.
+
+    Useful for stressing uniformity: a sampler that over-weights recent
+    elements will over-represent the most recent burst.
+    """
+    if not categories:
+        raise ValueError("categories must be non-empty")
+    if burst_length <= 0:
+        raise ValueError("burst_length must be positive")
+    random_source = ensure_rng(rng)
+    produced = 0
+    while True:
+        category = random_source.choice(list(categories))
+        for _ in range(burst_length):
+            if length is not None and produced >= length:
+                return
+            yield category
+            produced += 1
+        if length is not None and produced >= length:
+            return
+
+
+def ascending_integers(start: int = 0, length: Optional[int] = None) -> Iterator[int]:
+    """The deterministic stream ``start, start+1, start+2, ...``.
+
+    Because value equals arrival order, the empirical distribution of sampled
+    *values* directly reveals the distribution over window *positions* — the
+    primary tool of the uniformity experiments (E5).
+    """
+    counter = itertools.count(start) if length is None else range(start, start + length)
+    for value in counter:
+        yield value
+
+
+def repeated_pattern(pattern: Sequence[Any], length: Optional[int] = None) -> Iterator[Any]:
+    """Cycle through ``pattern`` forever (or for ``length`` values)."""
+    if not pattern:
+        raise ValueError("pattern must be non-empty")
+    produced = 0
+    for value in itertools.cycle(pattern):
+        if length is not None and produced >= length:
+            return
+        yield value
+        produced += 1
+
+
+def mixture(
+    generators: Sequence[Iterator[Any]],
+    weights: Optional[Sequence[float]] = None,
+    rng: RngLike = None,
+    length: Optional[int] = None,
+) -> Iterator[Any]:
+    """Interleave several generators, picking the source of each element at
+    random according to ``weights``."""
+    if not generators:
+        raise ValueError("generators must be non-empty")
+    random_source = ensure_rng(rng)
+    if weights is None:
+        weights = [1.0] * len(generators)
+    if len(weights) != len(generators):
+        raise ValueError("weights must match generators")
+    total = float(sum(weights))
+    if total <= 0 or any(w < 0 for w in weights):
+        raise ValueError("weights must be non-negative and sum to a positive value")
+    normalised = [w / total for w in weights]
+    counter = itertools.count() if length is None else range(length)
+    sources = list(generators)
+    for _ in counter:
+        u = random_source.random()
+        cumulative = 0.0
+        chosen = sources[-1]
+        for source, weight in zip(sources, normalised):
+            cumulative += weight
+            if u < cumulative:
+                chosen = source
+                break
+        try:
+            yield next(chosen)
+        except StopIteration:
+            return

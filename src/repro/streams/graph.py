@@ -1,0 +1,158 @@
+"""Graph edge-stream generators for the triangle-counting application.
+
+Corollary 5.3 transfers the Buriol et al. triangle estimator to sliding
+windows.  The estimator consumes a stream of undirected edges ``(u, v)``;
+the generators below produce such streams with a known (computable) number of
+triangles so the estimator's error can be measured.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Set, Tuple
+
+from ..rng import RngLike, ensure_rng
+
+__all__ = [
+    "Edge",
+    "erdos_renyi_edges",
+    "planted_triangles_edges",
+    "power_law_edges",
+    "count_triangles",
+    "normalize_edge",
+]
+
+#: An undirected edge as an ordered pair of vertex ids.
+Edge = Tuple[int, int]
+
+
+def normalize_edge(u: int, v: int) -> Edge:
+    """Canonical (sorted) representation of an undirected edge."""
+    if u == v:
+        raise ValueError("self-loops are not allowed")
+    return (u, v) if u < v else (v, u)
+
+
+def erdos_renyi_edges(
+    num_vertices: int,
+    edge_probability: float,
+    rng: RngLike = None,
+    shuffle: bool = True,
+) -> List[Edge]:
+    """All edges of a G(n, p) random graph, in random arrival order."""
+    if num_vertices < 2:
+        raise ValueError("need at least two vertices")
+    if not 0 <= edge_probability <= 1:
+        raise ValueError("edge_probability must lie in [0, 1]")
+    random_source = ensure_rng(rng)
+    edges: List[Edge] = []
+    for u in range(num_vertices):
+        for v in range(u + 1, num_vertices):
+            if random_source.random() < edge_probability:
+                edges.append((u, v))
+    if shuffle:
+        random_source.shuffle(edges)
+    return edges
+
+
+def planted_triangles_edges(
+    num_triangles: int,
+    noise_edges: int = 0,
+    num_noise_vertices: int = 100,
+    rng: RngLike = None,
+    shuffle: bool = True,
+) -> List[Edge]:
+    """A graph made of ``num_triangles`` vertex-disjoint triangles plus random
+    noise edges among a separate vertex pool (noise edges may create a few
+    extra triangles; use :func:`count_triangles` for the exact count)."""
+    if num_triangles < 0:
+        raise ValueError("num_triangles must be non-negative")
+    random_source = ensure_rng(rng)
+    edges: List[Edge] = []
+    for t in range(num_triangles):
+        a, b, c = 3 * t, 3 * t + 1, 3 * t + 2
+        edges.extend([(a, b), (b, c), (a, c)])
+    noise_base = 3 * num_triangles
+    seen: Set[Edge] = set(edges)
+    attempts = 0
+    while len(edges) - 3 * num_triangles < noise_edges and attempts < noise_edges * 50 + 100:
+        attempts += 1
+        u = noise_base + random_source.randrange(num_noise_vertices)
+        v = noise_base + random_source.randrange(num_noise_vertices)
+        if u == v:
+            continue
+        edge = normalize_edge(u, v)
+        if edge in seen:
+            continue
+        seen.add(edge)
+        edges.append(edge)
+    if shuffle:
+        random_source.shuffle(edges)
+    return edges
+
+
+def power_law_edges(
+    num_vertices: int,
+    num_edges: int,
+    exponent: float = 2.0,
+    rng: RngLike = None,
+) -> List[Edge]:
+    """Edges whose endpoints are drawn from a power-law vertex distribution,
+    producing a few hubs and many triangles through them."""
+    if num_vertices < 2:
+        raise ValueError("need at least two vertices")
+    if num_edges < 0:
+        raise ValueError("num_edges must be non-negative")
+    random_source = ensure_rng(rng)
+    weights = [1.0 / (i + 1) ** exponent for i in range(num_vertices)]
+    total = sum(weights)
+    cumulative: List[float] = []
+    running = 0.0
+    for w in weights:
+        running += w / total
+        cumulative.append(running)
+    cumulative[-1] = 1.0
+
+    def draw_vertex() -> int:
+        u = random_source.random()
+        lo, hi = 0, num_vertices - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if cumulative[mid] < u:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    edges: List[Edge] = []
+    seen: Set[Edge] = set()
+    attempts = 0
+    while len(edges) < num_edges and attempts < 100 * num_edges + 1000:
+        attempts += 1
+        u, v = draw_vertex(), draw_vertex()
+        if u == v:
+            continue
+        edge = normalize_edge(u, v)
+        if edge in seen:
+            continue
+        seen.add(edge)
+        edges.append(edge)
+    return edges
+
+
+def count_triangles(edges: Sequence[Edge]) -> int:
+    """Exact number of triangles in the undirected graph given by ``edges``.
+
+    Uses the standard neighbour-intersection count; intended for the modest
+    graph sizes used in tests and experiments.
+    """
+    adjacency: dict[int, Set[int]] = {}
+    for u, v in edges:
+        a, b = normalize_edge(u, v)
+        adjacency.setdefault(a, set()).add(b)
+        adjacency.setdefault(b, set()).add(a)
+    triangles = 0
+    for u, v in {normalize_edge(u, v) for u, v in edges}:
+        common = adjacency.get(u, set()) & adjacency.get(v, set())
+        triangles += len(common)
+    # Every triangle is counted once per edge, i.e. three times.
+    return triangles // 3

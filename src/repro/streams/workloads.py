@@ -1,0 +1,141 @@
+"""Named, reproducible workload presets.
+
+A *workload* bundles a value generator with an arrival process and a length
+into a list of :class:`~repro.streams.element.StreamElement`, ready to be fed
+to a sampler.  Benchmarks, examples and tests refer to workloads by name so
+that every experiment in EXPERIMENTS.md is reproducible from a single seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from ..rng import RngLike, ensure_rng, spawn
+from . import arrivals, generators
+from .element import StreamElement, make_stream
+
+__all__ = ["Workload", "WORKLOADS", "build_workload", "available_workloads"]
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A named recipe for generating a stream."""
+
+    name: str
+    description: str
+    builder: Callable[[int, RngLike], List[StreamElement]]
+
+    def build(self, length: int, rng: RngLike = None) -> List[StreamElement]:
+        """Materialise ``length`` elements of this workload."""
+        if length <= 0:
+            raise ValueError("length must be positive")
+        return self.builder(length, rng)
+
+
+def _uniform_sequence(length: int, rng: RngLike) -> List[StreamElement]:
+    source = ensure_rng(rng)
+    values = generators.take(generators.uniform_integers(1024, rng=source), length)
+    return make_stream(values)
+
+
+def _ascending_sequence(length: int, rng: RngLike) -> List[StreamElement]:
+    values = generators.take(generators.ascending_integers(), length)
+    return make_stream(values)
+
+
+def _zipf_sequence(length: int, rng: RngLike) -> List[StreamElement]:
+    source = ensure_rng(rng)
+    values = generators.take(generators.zipfian_integers(256, skew=1.2, rng=source), length)
+    return make_stream(values)
+
+
+def _stock_ticks(length: int, rng: RngLike) -> List[StreamElement]:
+    source = ensure_rng(rng)
+    values = generators.take(generators.gaussian_walk(rng=spawn(source, 1)), length)
+    timestamps = generators.take(arrivals.poisson_arrivals(rate=2.0, rng=spawn(source, 2)), length)
+    return make_stream(values, timestamps)
+
+
+def _sensor_poisson(length: int, rng: RngLike) -> List[StreamElement]:
+    source = ensure_rng(rng)
+    values = generators.take(generators.sensor_drift(rng=spawn(source, 1)), length)
+    timestamps = generators.take(arrivals.poisson_arrivals(rate=1.0, rng=spawn(source, 2)), length)
+    return make_stream(values, timestamps)
+
+
+def _network_bursts(length: int, rng: RngLike) -> List[StreamElement]:
+    source = ensure_rng(rng)
+    values = generators.take(generators.zipfian_integers(512, skew=1.1, rng=spawn(source, 1)), length)
+    timestamps = generators.take(
+        arrivals.bursty_arrivals(burst_size_mean=25.0, gap_mean=8.0, rng=spawn(source, 2)), length
+    )
+    return make_stream(values, timestamps)
+
+
+def _diurnal_categorical(length: int, rng: RngLike) -> List[StreamElement]:
+    source = ensure_rng(rng)
+    values = generators.take(
+        generators.categorical_bursts(list(range(32)), burst_length=40, rng=spawn(source, 1)), length
+    )
+    timestamps = generators.take(
+        arrivals.diurnal_arrivals(base_rate=1.0, amplitude=0.7, period=length / 4.0, rng=spawn(source, 2)),
+        length,
+    )
+    return make_stream(values, timestamps)
+
+
+WORKLOADS: Dict[str, Workload] = {
+    workload.name: workload
+    for workload in [
+        Workload(
+            "uniform-sequence",
+            "Uniform integers, one arrival per tick (sequence-window workhorse).",
+            _uniform_sequence,
+        ),
+        Workload(
+            "ascending-sequence",
+            "Value equals arrival index; used for position-uniformity tests.",
+            _ascending_sequence,
+        ),
+        Workload(
+            "zipf-sequence",
+            "Zipfian values, one arrival per tick (frequency-moment / entropy workload).",
+            _zipf_sequence,
+        ),
+        Workload(
+            "stock-ticks",
+            "Gaussian-random-walk prices with Poisson arrival times.",
+            _stock_ticks,
+        ),
+        Workload(
+            "sensor-poisson",
+            "Drifting sensor readings with Poisson arrival times.",
+            _sensor_poisson,
+        ),
+        Workload(
+            "network-bursts",
+            "Zipfian packet sizes with bursty on/off arrivals (timestamp-window stress).",
+            _network_bursts,
+        ),
+        Workload(
+            "diurnal-categorical",
+            "Categorical bursts with a diurnal arrival rate.",
+            _diurnal_categorical,
+        ),
+    ]
+}
+
+
+def available_workloads() -> List[str]:
+    """Names of all registered workloads."""
+    return sorted(WORKLOADS)
+
+
+def build_workload(name: str, length: int, rng: RngLike = None) -> List[StreamElement]:
+    """Materialise ``length`` elements of the workload called ``name``."""
+    try:
+        workload = WORKLOADS[name]
+    except KeyError:
+        raise KeyError(f"unknown workload {name!r}; available: {', '.join(available_workloads())}") from None
+    return workload.build(length, rng)

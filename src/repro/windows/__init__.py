@@ -1,0 +1,12 @@
+"""Exact sliding-window trackers (verification substrate).
+
+These hold the full window contents and are used by tests, examples and the
+experiment harness as ground truth.  The memory-optimal samplers never touch
+them.
+"""
+
+from .base import WindowTracker
+from .sequence import SequenceWindow
+from .timestamp import TimestampWindow
+
+__all__ = ["WindowTracker", "SequenceWindow", "TimestampWindow"]

@@ -1,0 +1,57 @@
+"""Abstract window tracker interface.
+
+Window trackers store the *exact* contents of the sliding window.  They are a
+verification substrate: tests and experiments replay the same stream into a
+tracker and into a sampler, then compare the sampler's output distribution
+against the tracker's ground truth.  The samplers themselves never use these
+classes (that would defeat the whole point of sublinear-memory sampling).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, List, Optional, Sequence
+
+from ..streams.element import StreamElement
+
+__all__ = ["WindowTracker"]
+
+
+class WindowTracker(abc.ABC):
+    """Common interface of the exact sequence/timestamp window trackers."""
+
+    @abc.abstractmethod
+    def append(self, value: Any, timestamp: Optional[float] = None) -> StreamElement:
+        """Record the arrival of a new element and return its record."""
+
+    @abc.abstractmethod
+    def advance_time(self, now: float) -> None:
+        """Advance the logical clock (no-op for sequence windows)."""
+
+    @abc.abstractmethod
+    def active_elements(self) -> List[StreamElement]:
+        """The exact contents of the current window, oldest first."""
+
+    @property
+    @abc.abstractmethod
+    def size(self) -> int:
+        """Number of elements currently in the window."""
+
+    @property
+    @abc.abstractmethod
+    def total_arrivals(self) -> int:
+        """Number of elements that have ever arrived."""
+
+    def active_values(self) -> List[Any]:
+        """Values of the current window contents, oldest first."""
+        return [element.value for element in self.active_elements()]
+
+    def active_indexes(self) -> List[int]:
+        """Stream indexes of the current window contents, oldest first."""
+        return [element.index for element in self.active_elements()]
+
+    def extend(self, elements: Sequence[StreamElement]) -> None:
+        """Feed a pre-built stream (advancing time to each timestamp)."""
+        for element in elements:
+            self.advance_time(element.timestamp)
+            self.append(element.value, element.timestamp)

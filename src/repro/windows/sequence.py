@@ -1,0 +1,74 @@
+"""Exact sequence-based (fixed-size) window tracker.
+
+Keeps the last ``n`` arrived elements in a deque.  Used as ground truth for
+verifying the O(k)-memory samplers of Section 2; its own memory is Θ(n).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, List, Optional
+
+from ..exceptions import ConfigurationError
+from ..streams.element import StreamElement
+from .base import WindowTracker
+
+__all__ = ["SequenceWindow"]
+
+
+class SequenceWindow(WindowTracker):
+    """The exact contents of a fixed-size window of the last ``n`` elements."""
+
+    def __init__(self, n: int) -> None:
+        if n <= 0:
+            raise ConfigurationError("window size n must be positive")
+        self._n = int(n)
+        self._buffer: Deque[StreamElement] = deque(maxlen=self._n)
+        self._arrivals = 0
+
+    @property
+    def n(self) -> int:
+        """Configured window size."""
+        return self._n
+
+    @property
+    def size(self) -> int:
+        return len(self._buffer)
+
+    @property
+    def total_arrivals(self) -> int:
+        return self._arrivals
+
+    def append(self, value: Any, timestamp: Optional[float] = None) -> StreamElement:
+        element = StreamElement(
+            value=value,
+            index=self._arrivals,
+            timestamp=float(timestamp) if timestamp is not None else float(self._arrivals),
+        )
+        self._buffer.append(element)
+        self._arrivals += 1
+        return element
+
+    def advance_time(self, now: float) -> None:
+        """Sequence windows expire by arrival count only; time is irrelevant."""
+
+    def active_elements(self) -> List[StreamElement]:
+        return list(self._buffer)
+
+    def oldest_active_index(self) -> Optional[int]:
+        """Stream index of the oldest window element, or ``None`` when empty."""
+        if not self._buffer:
+            return None
+        return self._buffer[0].index
+
+    def contains_index(self, index: int) -> bool:
+        """Whether the element with the given stream index is still active."""
+        if self._arrivals == 0:
+            return False
+        return max(0, self._arrivals - self._n) <= index < self._arrivals
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SequenceWindow(n={self._n}, size={len(self._buffer)}, arrivals={self._arrivals})"

@@ -1,0 +1,104 @@
+"""Exact timestamp-based window tracker.
+
+Keeps every element whose timestamp is within ``t0`` of the current time.
+Used as ground truth for verifying the O(k log n)-memory samplers of
+Sections 3 and 4; its own memory is Θ(n(t)).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, List, Optional
+
+from ..exceptions import ConfigurationError, StreamOrderError
+from ..streams.element import StreamElement
+from .base import WindowTracker
+
+__all__ = ["TimestampWindow"]
+
+
+class TimestampWindow(WindowTracker):
+    """The exact contents of a timestamp window of span ``t0``.
+
+    An element ``p`` is active at time ``now`` iff ``now - T(p) < t0``
+    (paper §3).  The clock only moves forward; appends implicitly advance the
+    clock to the element's timestamp.
+    """
+
+    def __init__(self, t0: float) -> None:
+        if t0 <= 0:
+            raise ConfigurationError("window span t0 must be positive")
+        self._t0 = float(t0)
+        self._buffer: Deque[StreamElement] = deque()
+        self._arrivals = 0
+        self._now = float("-inf")
+
+    @property
+    def t0(self) -> float:
+        """Configured window span."""
+        return self._t0
+
+    @property
+    def now(self) -> float:
+        """Current logical time."""
+        return self._now
+
+    @property
+    def size(self) -> int:
+        self._expire()
+        return len(self._buffer)
+
+    @property
+    def total_arrivals(self) -> int:
+        return self._arrivals
+
+    def advance_time(self, now: float) -> None:
+        if now < self._now:
+            raise StreamOrderError(f"clock moved backwards: {now} < {self._now}")
+        self._now = float(now)
+        self._expire()
+
+    def append(self, value: Any, timestamp: Optional[float] = None) -> StreamElement:
+        ts = float(timestamp) if timestamp is not None else (self._now if self._now != float("-inf") else 0.0)
+        if self._buffer and ts < self._buffer[-1].timestamp:
+            raise StreamOrderError(
+                f"timestamps must be non-decreasing: {ts} < {self._buffer[-1].timestamp}"
+            )
+        if ts > self._now:
+            self._now = ts
+        element = StreamElement(value=value, index=self._arrivals, timestamp=ts)
+        self._arrivals += 1
+        self._buffer.append(element)
+        self._expire()
+        return element
+
+    def active_elements(self) -> List[StreamElement]:
+        self._expire()
+        return list(self._buffer)
+
+    def oldest_active_index(self) -> Optional[int]:
+        """Stream index of the oldest active element (the paper's ``l(t)``)."""
+        self._expire()
+        if not self._buffer:
+            return None
+        return self._buffer[0].index
+
+    def contains_index(self, index: int) -> bool:
+        """Whether the element with the given stream index is still active."""
+        self._expire()
+        if not self._buffer:
+            return False
+        return self._buffer[0].index <= index < self._arrivals
+
+    def _expire(self) -> None:
+        while self._buffer and self._now - self._buffer[0].timestamp >= self._t0:
+            self._buffer.popleft()
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"TimestampWindow(t0={self._t0}, size={len(self._buffer)}, "
+            f"arrivals={self._arrivals}, now={self._now})"
+        )

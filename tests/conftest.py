@@ -1,0 +1,53 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.streams.element import StreamElement, make_stream
+from repro.windows import SequenceWindow, TimestampWindow
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """A deterministic random source for tests."""
+    return random.Random(0xC0FFEE)
+
+
+@pytest.fixture
+def ascending_stream():
+    """A 500-element stream whose values equal their indexes (and timestamps)."""
+    return make_stream(range(500))
+
+
+@pytest.fixture
+def poisson_stream():
+    """A 500-element stream with Poisson arrival times (rate 1)."""
+    source = random.Random(17)
+    timestamps = []
+    current = 0.0
+    for _ in range(500):
+        current += source.expovariate(1.0)
+        timestamps.append(current)
+    return make_stream(range(500), timestamps)
+
+
+def feed(sampler, elements, advance_time: bool = False):
+    """Push a list of StreamElements through a sampler."""
+    for element in elements:
+        if advance_time and hasattr(sampler, "advance_time"):
+            sampler.advance_time(element.timestamp)
+        sampler.append(element.value, element.timestamp)
+    return sampler
+
+
+def active_indexes_sequence(n: int, arrivals: int):
+    """Ground-truth active index range for a sequence window."""
+    return list(range(max(0, arrivals - n), arrivals))
+
+
+def active_indexes_timestamp(elements, t0: float, now: float):
+    """Ground-truth active indexes for a timestamp window at time ``now``."""
+    return [element.index for element in elements if now - element.timestamp < t0]

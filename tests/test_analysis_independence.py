@@ -1,0 +1,72 @@
+"""Independence diagnostics (contingency χ² and correlation)."""
+
+import random
+
+import pytest
+
+from repro.analysis.independence import (
+    assess_independence,
+    chi_square_independence,
+    pearson_correlation,
+)
+
+
+class TestChiSquareIndependence:
+    def test_independent_pairs_pass(self):
+        source = random.Random(1)
+        pairs = [(source.randrange(4), source.randrange(4)) for _ in range(4_000)]
+        statistic, dof, p_value = chi_square_independence(pairs, range(4), range(4))
+        assert dof == 9
+        assert p_value > 0.001
+
+    def test_perfectly_dependent_pairs_fail(self):
+        source = random.Random(2)
+        pairs = []
+        for _ in range(2_000):
+            left = source.randrange(4)
+            pairs.append((left, left))
+        _, _, p_value = chi_square_independence(pairs, range(4), range(4))
+        assert p_value < 1e-9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            chi_square_independence([], range(2), range(2))
+        with pytest.raises(ValueError):
+            chi_square_independence([(0, 0)], [], range(2))
+        with pytest.raises(ValueError):
+            chi_square_independence([(0, 0)], [0], [0])  # zero degrees of freedom
+
+
+class TestPearsonCorrelation:
+    def test_perfect_positive(self):
+        xs = [1.0, 2.0, 3.0, 4.0]
+        assert pearson_correlation(xs, xs) == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        xs = [1.0, 2.0, 3.0, 4.0]
+        assert pearson_correlation(xs, list(reversed(xs))) == pytest.approx(-1.0)
+
+    def test_constant_side_is_zero(self):
+        assert pearson_correlation([1.0, 1.0, 1.0], [1.0, 2.0, 3.0]) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            pearson_correlation([1.0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            pearson_correlation([1.0], [1.0])
+
+
+class TestAssessIndependence:
+    def test_report_on_independent_data(self):
+        source = random.Random(3)
+        pairs = [(source.randrange(3), source.randrange(3)) for _ in range(3_000)]
+        report = assess_independence(pairs, list(range(3)), list(range(3)))
+        assert report.passes
+        assert abs(report.correlation) < 0.05
+        assert report.trials == 3_000
+
+    def test_report_on_dependent_data(self):
+        pairs = [(value % 3, value % 3) for value in range(900)]
+        report = assess_independence(pairs, list(range(3)), list(range(3)))
+        assert not report.passes
+        assert report.correlation > 0.9

@@ -1,0 +1,62 @@
+"""Memory-trace recording and summarisation."""
+
+import pytest
+
+from repro.analysis.memory_profile import MemoryTrace, profile_sampler, summarize_traces
+from repro.core import SequenceSamplerWR
+from repro.streams.element import make_stream
+
+
+class TestMemoryTrace:
+    def test_basic_statistics(self):
+        trace = MemoryTrace()
+        for value in [5, 7, 6, 9, 9]:
+            trace.record(value)
+        assert trace.peak == 9
+        assert trace.final == 9
+        assert trace.average == pytest.approx(7.2)
+        assert trace.quantile(0.5) == 7
+        assert len(trace) == 5
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryTrace().peak
+        with pytest.raises(ValueError):
+            MemoryTrace().final
+
+
+class TestProfileSampler:
+    def test_profile_records_one_reading_per_arrival(self):
+        sampler = SequenceSamplerWR(n=10, k=2, rng=1)
+        trace = profile_sampler(sampler, range(50))
+        assert len(trace) == 50
+        assert trace.peak >= trace.readings[0]
+
+    def test_profile_accepts_stream_elements(self):
+        sampler = SequenceSamplerWR(n=10, k=2, rng=1)
+        trace = profile_sampler(sampler, make_stream(range(30)))
+        assert len(trace) == 30
+
+
+class TestSummarize:
+    def test_summary_across_runs(self):
+        traces = []
+        for seed in range(3):
+            sampler = SequenceSamplerWR(n=20, k=2, rng=seed)
+            traces.append(profile_sampler(sampler, range(100)))
+        summary = summarize_traces(traces)
+        assert summary.runs == 3
+        assert summary.arrivals == 100
+        assert summary.peak >= summary.p99 >= summary.p50
+        assert summary.peak_variance_across_runs == 0.0  # deterministic sampler
+        as_dict = summary.as_dict()
+        assert set(as_dict) == {"runs", "arrivals", "peak", "mean", "p50", "p99", "peak_var"}
+
+    def test_empty_summary_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_traces([])
+
+    def test_single_run_variance_is_zero(self):
+        sampler = SequenceSamplerWR(n=20, k=2, rng=0)
+        summary = summarize_traces([profile_sampler(sampler, range(50))])
+        assert summary.peak_variance_across_runs == 0.0

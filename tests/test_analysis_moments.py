@@ -1,0 +1,75 @@
+"""Exact window statistics (frequency moments, entropy, distinct counts)."""
+
+import math
+
+import pytest
+
+from repro.analysis.moments import (
+    distinct_count,
+    empirical_entropy,
+    entropy_norm,
+    frequency_moment,
+    frequency_vector,
+    relative_error,
+)
+
+
+class TestFrequencyVectorAndMoments:
+    def test_frequency_vector(self):
+        assert frequency_vector(["a", "b", "a"]) == {"a": 2, "b": 1}
+
+    def test_f0_is_distinct_count(self):
+        values = [1, 1, 2, 3, 3, 3]
+        assert frequency_moment(values, 0) == 3
+        assert distinct_count(values) == 3
+
+    def test_f1_is_length(self):
+        values = [1, 1, 2, 3, 3, 3]
+        assert frequency_moment(values, 1) == 6
+
+    def test_f2_matches_hand_computation(self):
+        values = [1, 1, 2, 3, 3, 3]
+        assert frequency_moment(values, 2) == 4 + 1 + 9
+
+    def test_fractional_order(self):
+        values = ["x", "x", "y"]
+        assert frequency_moment(values, 1.5) == pytest.approx(2**1.5 + 1)
+
+    def test_negative_order_rejected(self):
+        with pytest.raises(ValueError):
+            frequency_moment([1], -1)
+
+
+class TestEntropy:
+    def test_uniform_distribution_entropy(self):
+        values = ["a", "b", "c", "d"] * 10
+        assert empirical_entropy(values) == pytest.approx(2.0)
+
+    def test_point_mass_entropy_is_zero(self):
+        assert empirical_entropy(["z"] * 50) == pytest.approx(0.0)
+
+    def test_entropy_of_empty_rejected(self):
+        with pytest.raises(ValueError):
+            empirical_entropy([])
+
+    def test_entropy_norm(self):
+        values = ["a"] * 4 + ["b"] * 2
+        assert entropy_norm(values) == pytest.approx(4 * math.log2(4) + 2 * math.log2(2))
+
+    def test_entropy_relationship(self):
+        """H = log2(N) - F_H / N for any distribution."""
+        values = [1, 1, 1, 2, 2, 3, 4, 4, 4, 4]
+        n = len(values)
+        assert empirical_entropy(values) == pytest.approx(math.log2(n) - entropy_norm(values) / n)
+
+
+class TestRelativeError:
+    def test_exact_match(self):
+        assert relative_error(10.0, 10.0) == 0.0
+
+    def test_simple_case(self):
+        assert relative_error(11.0, 10.0) == pytest.approx(0.1)
+
+    def test_zero_truth_conventions(self):
+        assert relative_error(0.0, 0.0) == 0.0
+        assert relative_error(1.0, 0.0) == float("inf")

@@ -1,0 +1,86 @@
+"""Dependency-free statistical primitives, cross-checked against scipy."""
+
+import math
+
+import pytest
+
+scipy_stats = pytest.importorskip("scipy.stats")
+
+from repro.analysis.statistics import (
+    chi_square_sf,
+    mean,
+    quantile,
+    regularized_gamma_p,
+    regularized_gamma_q,
+    variance,
+)
+
+
+class TestIncompleteGamma:
+    @pytest.mark.parametrize("s", [0.5, 1.0, 2.5, 10.0, 50.0])
+    @pytest.mark.parametrize("x", [0.1, 1.0, 5.0, 20.0, 80.0])
+    def test_p_matches_scipy(self, s, x):
+        assert regularized_gamma_p(s, x) == pytest.approx(scipy_stats.gamma.cdf(x, s), abs=1e-8)
+
+    @pytest.mark.parametrize("s", [0.5, 2.0, 7.0])
+    @pytest.mark.parametrize("x", [0.5, 3.0, 30.0])
+    def test_q_is_complement(self, s, x):
+        assert regularized_gamma_p(s, x) + regularized_gamma_q(s, x) == pytest.approx(1.0, abs=1e-10)
+
+    def test_edge_cases(self):
+        assert regularized_gamma_p(2.0, 0.0) == 0.0
+        assert regularized_gamma_q(2.0, 0.0) == 1.0
+        with pytest.raises(ValueError):
+            regularized_gamma_p(0.0, 1.0)
+        with pytest.raises(ValueError):
+            regularized_gamma_p(1.0, -1.0)
+
+
+class TestChiSquareSf:
+    @pytest.mark.parametrize("dof", [1, 3, 10, 50])
+    @pytest.mark.parametrize("statistic", [0.5, 2.0, 10.0, 60.0])
+    def test_matches_scipy(self, dof, statistic):
+        assert chi_square_sf(statistic, dof) == pytest.approx(
+            scipy_stats.chi2.sf(statistic, dof), abs=1e-8
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            chi_square_sf(1.0, 0)
+        with pytest.raises(ValueError):
+            chi_square_sf(-1.0, 3)
+
+    def test_monotone_in_statistic(self):
+        assert chi_square_sf(1.0, 5) > chi_square_sf(10.0, 5) > chi_square_sf(50.0, 5)
+
+
+class TestDescriptive:
+    def test_mean_and_variance(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert mean(values) == 2.5
+        assert variance(values) == pytest.approx(1.25)
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            mean([])
+        with pytest.raises(ValueError):
+            variance([])
+        with pytest.raises(ValueError):
+            quantile([], 0.5)
+
+    def test_quantile_interpolation(self):
+        values = [0.0, 10.0]
+        assert quantile(values, 0.0) == 0.0
+        assert quantile(values, 1.0) == 10.0
+        assert quantile(values, 0.5) == 5.0
+        assert quantile([7.0], 0.3) == 7.0
+
+    def test_quantile_matches_numpy_convention(self):
+        numpy = pytest.importorskip("numpy")
+        values = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0]
+        for q in (0.1, 0.25, 0.5, 0.9):
+            assert quantile(values, q) == pytest.approx(numpy.quantile(values, q))
+
+    def test_quantile_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            quantile([1.0], 1.5)

@@ -1,0 +1,85 @@
+"""Uniformity diagnostics (χ², TV distance, KS)."""
+
+import random
+
+import pytest
+
+from repro.analysis.uniformity import (
+    assess_uniformity,
+    chi_square_uniformity,
+    ks_uniformity,
+    total_variation_from_uniform,
+)
+
+
+class TestChiSquare:
+    def test_uniform_data_passes(self):
+        source = random.Random(1)
+        observations = [source.randrange(10) for _ in range(5_000)]
+        statistic, p_value = chi_square_uniformity(observations, list(range(10)))
+        assert p_value > 0.001
+
+    def test_skewed_data_fails(self):
+        observations = [0] * 900 + [1] * 100
+        statistic, p_value = chi_square_uniformity(observations, [0, 1, 2, 3])
+        assert p_value < 1e-6
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            chi_square_uniformity([], [0, 1])
+        with pytest.raises(ValueError):
+            chi_square_uniformity([0], [])
+        with pytest.raises(ValueError):
+            chi_square_uniformity([0, 5], [0, 1])  # observation outside support
+        with pytest.raises(ValueError):
+            chi_square_uniformity([0], [0, 0, 1])  # duplicate categories
+
+
+class TestTotalVariation:
+    def test_perfectly_uniform_is_zero(self):
+        observations = [0, 1, 2, 3] * 100
+        assert total_variation_from_uniform(observations, [0, 1, 2, 3]) == pytest.approx(0.0)
+
+    def test_point_mass_is_maximal(self):
+        observations = [0] * 100
+        distance = total_variation_from_uniform(observations, [0, 1, 2, 3])
+        assert distance == pytest.approx(0.75)
+
+    def test_mass_outside_support_counts(self):
+        observations = [9] * 50 + [0] * 50
+        distance = total_variation_from_uniform(observations, [0, 1])
+        assert distance > 0.4
+
+
+class TestKolmogorovSmirnov:
+    def test_uniform_fractions_have_small_statistic(self):
+        source = random.Random(2)
+        fractions = [source.random() for _ in range(2_000)]
+        assert ks_uniformity(fractions) < 0.05
+
+    def test_clustered_fractions_have_large_statistic(self):
+        fractions = [0.9 + 0.01 * i / 100 for i in range(100)]
+        assert ks_uniformity(fractions) > 0.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ks_uniformity([])
+        with pytest.raises(ValueError):
+            ks_uniformity([1.5])
+
+
+class TestAssessUniformity:
+    def test_report_fields(self):
+        source = random.Random(3)
+        observations = [source.randrange(8) for _ in range(4_000)]
+        report = assess_uniformity(observations, list(range(8)))
+        assert report.trials == 4_000
+        assert report.categories == 8
+        assert report.passes
+        assert 0 <= report.total_variation <= 1
+        assert report.max_abs_deviation < 0.05
+
+    def test_report_rejects_biased_sampler(self):
+        observations = [0] * 3_000 + [1] * 1_000
+        report = assess_uniformity(observations, [0, 1, 2])
+        assert not report.passes

@@ -1,0 +1,136 @@
+"""Cross-cutting API contract tests.
+
+Every sampler in the library — the paper's four optimal variants and every
+baseline — must satisfy the same behavioural contract: the `WindowSampler`
+interface, sane metadata, sensible reactions to edge cases, and docstrings on
+all public entry points.  Running the same assertions over the whole catalog
+keeps the backends genuinely interchangeable (which is what Theorem 5.1 needs).
+"""
+
+import inspect
+
+import pytest
+
+import repro
+from repro.core import base as core_base
+from repro.core.facade import sliding_window_sampler
+from repro.exceptions import EmptyWindowError
+from repro.streams.element import StreamElement
+
+# (label, factory kwargs) for every constructible sampler configuration.
+CONFIGURATIONS = [
+    ("seq-wr-optimal", dict(window="sequence", n=40, replacement=True, algorithm="optimal")),
+    ("seq-wor-optimal", dict(window="sequence", n=40, replacement=False, algorithm="optimal")),
+    ("ts-wr-optimal", dict(window="timestamp", t0=40.0, replacement=True, algorithm="optimal")),
+    ("ts-wor-optimal", dict(window="timestamp", t0=40.0, replacement=False, algorithm="optimal")),
+    ("seq-wr-chain", dict(window="sequence", n=40, replacement=True, algorithm="chain")),
+    ("ts-wr-priority", dict(window="timestamp", t0=40.0, replacement=True, algorithm="priority")),
+    ("ts-wor-priority", dict(window="timestamp", t0=40.0, replacement=False, algorithm="priority-wor")),
+    ("seq-wor-oversampling", dict(window="sequence", n=40, replacement=False, algorithm="oversampling")),
+    ("seq-wr-buffer", dict(window="sequence", n=40, replacement=True, algorithm="buffer")),
+    ("ts-wor-buffer", dict(window="timestamp", t0=40.0, replacement=False, algorithm="buffer")),
+    ("seq-wr-naive", dict(window="sequence", n=40, replacement=True, algorithm="whole-stream")),
+]
+
+
+def build(kwargs, k=3, seed=7):
+    return sliding_window_sampler(k=k, rng=seed, **kwargs)
+
+
+@pytest.mark.parametrize("label,kwargs", CONFIGURATIONS, ids=[c[0] for c in CONFIGURATIONS])
+class TestCommonContract:
+    def test_empty_window_raises_empty_window_error(self, label, kwargs):
+        sampler = build(kwargs)
+        with pytest.raises(EmptyWindowError):
+            sampler.sample()
+
+    def test_sample_returns_stream_elements(self, label, kwargs):
+        sampler = build(kwargs)
+        for value in range(200):
+            sampler.append(value, float(value))
+        drawn = sampler.sample()
+        assert 1 <= len(drawn) <= 3
+        assert all(isinstance(element, StreamElement) for element in drawn)
+        assert sampler.sample_values() is not None
+        assert isinstance(sampler.sample_one(), StreamElement)
+
+    def test_metadata_and_counters(self, label, kwargs):
+        sampler = build(kwargs)
+        assert sampler.k == 3
+        assert sampler.algorithm and sampler.algorithm != "abstract"
+        assert isinstance(sampler.with_replacement, bool)
+        assert isinstance(sampler.deterministic_memory, bool)
+        for value in range(50):
+            sampler.append(value, float(value))
+        assert sampler.total_arrivals == 50
+
+    def test_memory_words_positive_and_integer(self, label, kwargs):
+        sampler = build(kwargs)
+        for value in range(120):
+            sampler.append(value, float(value))
+            words = sampler.memory_words()
+            assert isinstance(words, int)
+            assert words > 0
+
+    def test_candidates_match_memory_scale(self, label, kwargs):
+        sampler = build(kwargs)
+        for value in range(120):
+            sampler.append(value, float(value))
+        candidates = list(sampler.iter_candidates())
+        # Every retained candidate costs at least one word.
+        assert sampler.memory_words() >= len(candidates)
+
+    def test_determinism_flag_is_honest(self, label, kwargs):
+        """Samplers advertising deterministic memory must have seed-independent footprints."""
+        def final_words(seed):
+            sampler = sliding_window_sampler(k=3, rng=seed, **kwargs)
+            for value in range(300):
+                sampler.append(value, float(value))
+            return sampler.memory_words()
+
+        baseline = build(kwargs)
+        if baseline.deterministic_memory:
+            assert len({final_words(seed) for seed in range(5)}) == 1
+
+
+class TestDocumentation:
+    """Every public class/function carries a docstring."""
+
+    @pytest.mark.parametrize(
+        "module_name",
+        [
+            "repro",
+            "repro.core",
+            "repro.core.sequence",
+            "repro.core.timestamp",
+            "repro.core.timestamp_wor",
+            "repro.core.covering",
+            "repro.core.implicit_events",
+            "repro.core.reduction",
+            "repro.baselines",
+            "repro.applications",
+            "repro.analysis",
+            "repro.streams",
+            "repro.windows",
+            "repro.harness",
+            "repro.sketches",
+        ],
+    )
+    def test_modules_and_public_members_have_docstrings(self, module_name):
+        import importlib
+
+        module = importlib.import_module(module_name)
+        assert module.__doc__ and module.__doc__.strip()
+        for name in getattr(module, "__all__", []):
+            member = getattr(module, name)
+            if inspect.isclass(member) or inspect.isfunction(member):
+                assert member.__doc__ and member.__doc__.strip(), f"{module_name}.{name} lacks a docstring"
+
+    def test_package_version_is_exposed(self):
+        assert repro.__version__
+
+    def test_base_sampler_public_methods_documented(self):
+        for name, member in inspect.getmembers(core_base.WindowSampler):
+            if name.startswith("_") or not callable(member):
+                continue
+            assert member.__doc__, f"WindowSampler.{name} lacks a docstring"

@@ -1,0 +1,79 @@
+"""Step-biased sampling over nested windows (§5)."""
+
+from collections import Counter
+
+import pytest
+
+from repro.applications import StepBiasedSampler
+from repro.exceptions import ConfigurationError, EmptyWindowError
+
+
+class TestConfiguration:
+    def test_steps_must_increase(self):
+        with pytest.raises(ConfigurationError):
+            StepBiasedSampler([100, 100], [0.5, 0.5])
+        with pytest.raises(ConfigurationError):
+            StepBiasedSampler([200, 100], [0.5, 0.5])
+
+    def test_weights_must_match_and_be_non_increasing(self):
+        with pytest.raises(ConfigurationError):
+            StepBiasedSampler([10, 20], [1.0])
+        with pytest.raises(ConfigurationError):
+            StepBiasedSampler([10, 20], [0.2, 0.8])
+        with pytest.raises(ConfigurationError):
+            StepBiasedSampler([10, 20], [-1.0, -2.0])
+
+    def test_empty_steps_rejected(self):
+        with pytest.raises(ConfigurationError):
+            StepBiasedSampler([], [])
+
+    def test_empty_stream_raises(self):
+        sampler = StepBiasedSampler([10], [1.0], rng=1)
+        with pytest.raises(EmptyWindowError):
+            sampler.sample_one()
+
+
+class TestDistribution:
+    def test_samples_come_only_from_the_outermost_window(self):
+        sampler = StepBiasedSampler([10, 100], [0.8, 0.2], rng=2)
+        for value in range(1_000):
+            sampler.append(value)
+        for _ in range(50):
+            element = sampler.sample_one()
+            assert element.index >= 900
+
+    def test_recent_band_is_oversampled(self):
+        steps, weights = [50, 500], [0.9, 0.1]
+        sampler = StepBiasedSampler(steps, weights, rng=3)
+        for value in range(2_000):
+            sampler.append(value)
+        recent_hits = 0
+        draws = 600
+        for _ in range(draws):
+            element = sampler.sample_one()
+            if element.index >= 2_000 - 50:
+                recent_hits += 1
+        # Under unbiased sampling the recent band would get 50/500 = 10% of draws;
+        # with 9x weight it should get ~50%.
+        assert recent_hits / draws > 0.3
+
+    def test_step_probabilities_sum_to_one(self):
+        sampler = StepBiasedSampler([10, 100, 1_000], [0.6, 0.3, 0.1], rng=4)
+        for value in range(5_000):
+            sampler.append(value)
+        probabilities = sampler.step_probabilities()
+        assert sum(probabilities) == pytest.approx(1.0)
+        assert len(probabilities) == 3
+
+    def test_early_stream_degenerates_gracefully(self):
+        sampler = StepBiasedSampler([10, 100], [0.7, 0.3], rng=5)
+        sampler.append("only")
+        element = sampler.sample_one()
+        assert element.value == "only"
+
+    def test_memory_is_sum_of_samplers(self):
+        sampler = StepBiasedSampler([10, 100], [0.7, 0.3], rng=6)
+        for value in range(500):
+            sampler.append(value)
+        assert sampler.memory_words() > 0
+        assert sampler.steps == [10, 100]

@@ -1,0 +1,100 @@
+"""Entropy estimation over sliding windows (Corollary 5.4)."""
+
+import math
+
+import pytest
+
+from repro.analysis import empirical_entropy, entropy_norm, relative_error
+from repro.applications import (
+    SlidingEntropyEstimator,
+    entropy_estimate_from_counts,
+    entropy_norm_estimate_from_counts,
+)
+from repro.exceptions import ConfigurationError, EmptyWindowError
+from repro.streams import generators
+from repro.windows import SequenceWindow
+
+
+class TestEstimatorsFromCounts:
+    def test_entropy_estimator_is_exact_in_expectation_small_case(self):
+        """Window = [a, a, b]: enumerate every equally likely (position, r) pair."""
+        window = ["a", "a", "b"]
+        n = len(window)
+        counts_by_position = []
+        for position, value in enumerate(window):
+            r = sum(1 for later in window[position:] if later == value)
+            counts_by_position.append(r)
+        estimate = sum(
+            entropy_estimate_from_counts([r], n) for r in counts_by_position
+        ) / n
+        assert estimate == pytest.approx(empirical_entropy(window))
+
+    def test_entropy_norm_estimator_is_exact_in_expectation_small_case(self):
+        window = ["a", "a", "a", "b"]
+        n = len(window)
+        estimates = []
+        for position, value in enumerate(window):
+            r = sum(1 for later in window[position:] if later == value)
+            estimates.append(entropy_norm_estimate_from_counts([r], n))
+        assert sum(estimates) / n == pytest.approx(entropy_norm(window))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            entropy_estimate_from_counts([], 10)
+        with pytest.raises(ValueError):
+            entropy_estimate_from_counts([1], 0)
+        with pytest.raises(ValueError):
+            entropy_norm_estimate_from_counts([], 5)
+
+
+class TestSlidingEntropyEstimator:
+    def test_configuration_validation(self):
+        with pytest.raises(ConfigurationError):
+            SlidingEntropyEstimator(window="sequence", n=10, estimators=0)
+        with pytest.raises(ConfigurationError):
+            SlidingEntropyEstimator(window="timestamp", t0=5.0)
+
+    def test_empty_window_raises(self):
+        estimator = SlidingEntropyEstimator(window="sequence", n=10, estimators=4, rng=1)
+        with pytest.raises(EmptyWindowError):
+            estimator.estimate_entropy()
+
+    def test_entropy_tracks_exact_value(self):
+        n = 1_000
+        estimator = SlidingEntropyEstimator(window="sequence", n=n, estimators=600, rng=2)
+        window = SequenceWindow(n)
+        for value in generators.take(generators.zipfian_integers(64, skew=1.2, rng=3), 5_000):
+            estimator.append(value)
+            window.append(value)
+        exact = empirical_entropy(window.active_values())
+        assert abs(estimator.estimate_entropy() - exact) < 0.35
+
+    def test_entropy_norm_tracks_exact_value(self):
+        n = 800
+        estimator = SlidingEntropyEstimator(window="sequence", n=n, estimators=600, rng=4)
+        window = SequenceWindow(n)
+        for value in generators.take(generators.zipfian_integers(32, skew=1.5, rng=5), 4_000):
+            estimator.append(value)
+            window.append(value)
+        exact = entropy_norm(window.active_values())
+        assert relative_error(estimator.estimate_entropy_norm(), exact) < 0.2
+
+    def test_low_entropy_window_detected(self):
+        """After the window fills with a single repeated value the estimate
+        collapses towards zero (the estimator is unbiased, so an individual
+        draw retains some sampling noise around zero)."""
+        estimator = SlidingEntropyEstimator(window="sequence", n=400, estimators=200, rng=6)
+        for value in generators.take(generators.uniform_integers(64, rng=7), 2_000):
+            estimator.append(value)
+        high_entropy_estimate = estimator.estimate_entropy()
+        for _ in range(400):  # the window is now a single repeated value
+            estimator.append("only")
+        low_entropy_estimate = estimator.estimate_entropy()
+        assert abs(low_entropy_estimate) < 0.75
+        assert low_entropy_estimate < high_entropy_estimate - 2.0
+
+    def test_memory_words_includes_counters(self):
+        estimator = SlidingEntropyEstimator(window="sequence", n=50, estimators=8, rng=8)
+        for value in range(100):
+            estimator.append(value % 5)
+        assert estimator.memory_words() > estimator.sampler.memory_words()

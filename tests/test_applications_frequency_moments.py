@@ -1,0 +1,95 @@
+"""Frequency-moment estimation over sliding windows (Corollary 5.2)."""
+
+import pytest
+
+from repro.analysis import frequency_moment, relative_error
+from repro.applications import SlidingFrequencyMoment, ams_estimate_from_counts
+from repro.exceptions import ConfigurationError, EmptyWindowError
+from repro.streams import generators
+from repro.windows import SequenceWindow
+
+
+class TestAmsEstimateFromCounts:
+    def test_single_count(self):
+        # One estimator, window size 10, r=3, order 2 -> 10*(9-4) = 50.
+        assert ams_estimate_from_counts([3], 10, 2.0) == 50.0
+
+    def test_average_over_estimators(self):
+        assert ams_estimate_from_counts([1, 3], 10, 2.0) == pytest.approx((10 + 50) / 2)
+
+    def test_first_moment_recovers_window_size(self):
+        # For order 1 every estimate equals the window size exactly.
+        assert ams_estimate_from_counts([1, 5, 9], 42, 1.0) == 42.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ams_estimate_from_counts([], 10, 2.0)
+        with pytest.raises(ValueError):
+            ams_estimate_from_counts([1], 0, 2.0)
+        with pytest.raises(ValueError):
+            ams_estimate_from_counts([0], 10, 2.0)
+
+
+class TestSlidingFrequencyMoment:
+    def test_configuration_validation(self):
+        with pytest.raises(ConfigurationError):
+            SlidingFrequencyMoment(0.5, window="sequence", n=10)
+        with pytest.raises(ConfigurationError):
+            SlidingFrequencyMoment(2.0, window="sequence", n=10, estimators=0)
+        with pytest.raises(ConfigurationError):
+            SlidingFrequencyMoment(2.0, window="timestamp", t0=10.0)  # needs window_size_fn
+
+    def test_empty_window_raises(self):
+        estimator = SlidingFrequencyMoment(2.0, window="sequence", n=10, estimators=4, rng=1)
+        with pytest.raises(EmptyWindowError):
+            estimator.estimate()
+
+    def test_f1_is_exact(self):
+        estimator = SlidingFrequencyMoment(1.0, window="sequence", n=50, estimators=8, rng=2)
+        for value in range(200):
+            estimator.append(value % 7)
+        assert estimator.estimate() == 50.0
+
+    def test_f2_tracks_exact_value_on_skewed_data(self):
+        n = 1_000
+        estimator = SlidingFrequencyMoment(2.0, window="sequence", n=n, estimators=400, rng=3)
+        window = SequenceWindow(n)
+        for value in generators.take(generators.zipfian_integers(32, skew=1.4, rng=4), 6_000):
+            estimator.append(value)
+            window.append(value)
+        exact = frequency_moment(window.active_values(), 2)
+        assert relative_error(estimator.estimate(), exact) < 0.15
+
+    def test_estimate_reflects_the_window_not_the_history(self):
+        """After the value distribution shifts, the estimate follows the window."""
+        n = 500
+        estimator = SlidingFrequencyMoment(2.0, window="sequence", n=n, estimators=300, rng=5)
+        window = SequenceWindow(n)
+        # Phase 1: constant values (huge F2), then phase 2: all-distinct values (minimal F2).
+        for _ in range(2_000):
+            estimator.append("constant")
+            window.append("constant")
+        for value in range(2_000):
+            estimator.append(value)
+            window.append(value)
+        exact = frequency_moment(window.active_values(), 2)
+        assert exact == n  # all distinct
+        assert relative_error(estimator.estimate(), exact) < 0.25
+
+    def test_timestamp_window_with_size_callback(self):
+        window = SequenceWindow(10_000)  # effectively everything stays active below
+        estimator = SlidingFrequencyMoment(
+            2.0, window="timestamp", t0=1_000.0, estimators=200, rng=6,
+            window_size_fn=lambda: window.size,
+        )
+        for value in generators.take(generators.zipfian_integers(16, rng=7), 800):
+            estimator.append(value)
+            window.append(value)
+        exact = frequency_moment(window.active_values(), 2)
+        assert relative_error(estimator.estimate(), exact) < 0.3
+
+    def test_memory_words_includes_counters(self):
+        estimator = SlidingFrequencyMoment(2.0, window="sequence", n=100, estimators=16, rng=8)
+        for value in range(500):
+            estimator.append(value % 3)
+        assert estimator.memory_words() > estimator.sampler.memory_words()

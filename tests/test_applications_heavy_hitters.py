@@ -1,0 +1,82 @@
+"""Frequent-item estimation over sliding windows."""
+
+import pytest
+
+from repro.applications import SlidingHeavyHitters
+from repro.exceptions import ConfigurationError, EmptyWindowError
+from repro.streams import generators
+
+
+class TestConfiguration:
+    def test_invalid_threshold_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SlidingHeavyHitters(0.0, window="sequence", n=10)
+        with pytest.raises(ConfigurationError):
+            SlidingHeavyHitters(1.0, window="sequence", n=10)
+
+    def test_invalid_sample_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SlidingHeavyHitters(0.1, window="sequence", n=10, sample_size=0)
+
+    def test_empty_window_raises(self):
+        tracker = SlidingHeavyHitters(0.1, window="sequence", n=10, sample_size=8, rng=1)
+        with pytest.raises(EmptyWindowError):
+            tracker.frequent_items()
+
+
+class TestReports:
+    def test_detects_a_planted_heavy_hitter(self):
+        tracker = SlidingHeavyHitters(0.2, window="sequence", n=2_000, sample_size=300, rng=2)
+        background = generators.uniform_integers(1_000, rng=3)
+        for position in range(6_000):
+            # Every third element is the heavy value "HOT" (~33% of the window).
+            tracker.append("HOT" if position % 3 == 0 else next(background))
+        report = tracker.frequent_items()
+        assert report, "expected at least one frequent item"
+        top_value, top_frequency = report[0]
+        assert top_value == "HOT"
+        assert abs(top_frequency - 1 / 3) < 0.12
+
+    def test_no_false_heavy_hitters_on_uniform_data(self):
+        tracker = SlidingHeavyHitters(0.2, window="sequence", n=1_000, sample_size=200, rng=4)
+        for value in generators.take(generators.uniform_integers(500, rng=5), 3_000):
+            tracker.append(value)
+        assert tracker.frequent_items() == []
+
+    def test_report_follows_the_window(self):
+        """A value that stops arriving stops being reported once it expires."""
+        tracker = SlidingHeavyHitters(0.5, window="sequence", n=500, sample_size=200, rng=6)
+        for _ in range(1_000):
+            tracker.append("OLD-HOT")
+        for value in generators.take(generators.uniform_integers(1_000, rng=7), 600):
+            tracker.append(value)
+        reported_values = [value for value, _ in tracker.frequent_items()]
+        assert "OLD-HOT" not in reported_values
+
+    def test_estimate_frequency_of_specific_value(self):
+        tracker = SlidingHeavyHitters(0.1, window="sequence", n=1_000, sample_size=400, rng=8)
+        for position in range(4_000):
+            tracker.append("A" if position % 2 == 0 else "B")
+        assert abs(tracker.estimate_frequency("A") - 0.5) < 0.12
+        assert tracker.estimate_frequency("never-seen") == 0.0
+
+    def test_custom_threshold_override(self):
+        tracker = SlidingHeavyHitters(0.9, window="sequence", n=500, sample_size=200, rng=9)
+        for position in range(1_500):
+            tracker.append("X" if position % 4 == 0 else position)
+        assert tracker.frequent_items() == []  # nothing reaches 90%
+        lowered = tracker.frequent_items(threshold=0.15)
+        assert any(value == "X" for value, _ in lowered)
+
+    def test_timestamp_window_variant(self):
+        tracker = SlidingHeavyHitters(0.3, window="timestamp", t0=200.0, sample_size=100, rng=10)
+        for index in range(1_000):
+            tracker.append("T" if index % 2 == 0 else index, timestamp=float(index))
+        values = [value for value, _ in tracker.frequent_items()]
+        assert "T" in values
+
+    def test_memory_is_reported(self):
+        tracker = SlidingHeavyHitters(0.1, window="sequence", n=100, sample_size=16, rng=11)
+        tracker.append("x")
+        assert tracker.memory_words() > 0
+        assert tracker.threshold == 0.1

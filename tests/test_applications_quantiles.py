@@ -1,0 +1,61 @@
+"""Quantile / rank estimation over sliding windows."""
+
+import random
+
+import pytest
+
+from repro.applications import SlidingQuantileEstimator
+from repro.exceptions import ConfigurationError, EmptyWindowError
+
+
+class TestConfiguration:
+    def test_invalid_sample_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SlidingQuantileEstimator(window="sequence", n=10, sample_size=0)
+
+    def test_empty_window_raises(self):
+        estimator = SlidingQuantileEstimator(window="sequence", n=10, sample_size=4, rng=1)
+        with pytest.raises(EmptyWindowError):
+            estimator.median()
+
+
+class TestEstimates:
+    def test_median_of_uniform_window(self):
+        estimator = SlidingQuantileEstimator(window="sequence", n=2_000, sample_size=400, rng=2)
+        source = random.Random(3)
+        for _ in range(6_000):
+            estimator.append(source.uniform(0.0, 100.0))
+        assert abs(estimator.median() - 50.0) < 8.0
+
+    def test_quantiles_are_monotone(self):
+        estimator = SlidingQuantileEstimator(window="sequence", n=1_000, sample_size=300, rng=4)
+        source = random.Random(5)
+        for _ in range(3_000):
+            estimator.append(source.gauss(0.0, 1.0))
+        assert estimator.quantile(0.1) <= estimator.quantile(0.5) <= estimator.quantile(0.9)
+
+    def test_quantile_follows_the_window_after_a_shift(self):
+        estimator = SlidingQuantileEstimator(window="sequence", n=500, sample_size=200, rng=6)
+        for _ in range(2_000):
+            estimator.append(0.0)
+        for _ in range(600):  # window now holds only the new regime
+            estimator.append(100.0)
+        assert estimator.median() == 100.0
+
+    def test_rank_fraction(self):
+        estimator = SlidingQuantileEstimator(window="sequence", n=1_000, sample_size=500, rng=7)
+        for value in range(5_000):
+            estimator.append(value % 100)
+        fraction = estimator.rank_fraction(49)
+        assert abs(fraction - 0.5) < 0.1
+
+    def test_timestamp_window_variant(self):
+        estimator = SlidingQuantileEstimator(window="timestamp", t0=100.0, sample_size=64, rng=8)
+        for index in range(1_000):
+            estimator.append(float(index % 10), timestamp=float(index))
+        assert 0.0 <= estimator.median() <= 9.0
+
+    def test_memory_is_reported(self):
+        estimator = SlidingQuantileEstimator(window="sequence", n=100, sample_size=16, rng=9)
+        estimator.append(1.0)
+        assert estimator.memory_words() > 0

@@ -1,0 +1,90 @@
+"""Triangle counting over sliding windows of an edge stream (Corollary 5.3)."""
+
+import pytest
+
+from repro.analysis import relative_error
+from repro.applications import SlidingTriangleCounter, TriangleWatcher
+from repro.core.tracking import SampleCandidate
+from repro.exceptions import ConfigurationError, EmptyWindowError
+from repro.streams import graph
+
+
+class TestTriangleWatcher:
+    def test_needs_at_least_three_vertices(self):
+        with pytest.raises(ConfigurationError):
+            TriangleWatcher(2)
+
+    def test_on_select_picks_a_third_vertex(self):
+        watcher = TriangleWatcher(5, rng=1)
+        candidate = SampleCandidate(value=(0, 1), index=0, timestamp=0.0)
+        watcher.on_select(candidate)
+        vertex = candidate.state[TriangleWatcher.VERTEX_KEY]
+        assert vertex not in (0, 1)
+        assert not TriangleWatcher.is_success(candidate)
+
+    def test_success_requires_both_closing_edges(self):
+        watcher = TriangleWatcher(4, rng=2)
+        candidate = SampleCandidate(value=(0, 1), index=0, timestamp=0.0)
+        watcher.on_select(candidate)
+        vertex = candidate.state[TriangleWatcher.VERTEX_KEY]
+        watcher.on_arrival(candidate, (0, vertex), 1, 1.0)
+        assert not TriangleWatcher.is_success(candidate)
+        watcher.on_arrival(candidate, (vertex, 1), 2, 2.0)
+        assert TriangleWatcher.is_success(candidate)
+
+    def test_unrelated_edges_are_ignored(self):
+        watcher = TriangleWatcher(10, rng=3)
+        candidate = SampleCandidate(value=(0, 1), index=0, timestamp=0.0)
+        watcher.on_select(candidate)
+        candidate.state[TriangleWatcher.VERTEX_KEY] = 5
+        watcher.on_arrival(candidate, (6, 7), 1, 1.0)
+        watcher.on_arrival(candidate, (0, 8), 2, 2.0)
+        assert not TriangleWatcher.is_success(candidate)
+
+
+class TestSlidingTriangleCounter:
+    def test_configuration_validation(self):
+        with pytest.raises(ConfigurationError):
+            SlidingTriangleCounter(num_vertices=10, window="sequence", n=10, estimators=0)
+        with pytest.raises(ConfigurationError):
+            SlidingTriangleCounter(num_vertices=10, window="timestamp", t0=10.0)
+
+    def test_empty_window_raises(self):
+        counter = SlidingTriangleCounter(num_vertices=10, window="sequence", n=10, estimators=4, rng=1)
+        with pytest.raises(EmptyWindowError):
+            counter.estimate()
+
+    def test_triangle_free_graph_estimates_zero(self):
+        # A star graph has no triangles; every watcher must fail.
+        counter = SlidingTriangleCounter(num_vertices=20, window="sequence", n=100, estimators=100, rng=2)
+        for leaf in range(1, 20):
+            counter.add_edge(0, leaf)
+        assert counter.estimate() == 0.0
+        assert counter.success_fraction() == 0.0
+
+    def test_dense_graph_estimate_tracks_truth(self):
+        edges = graph.erdos_renyi_edges(30, 0.6, rng=3)
+        exact = graph.count_triangles(edges)
+        counter = SlidingTriangleCounter(
+            num_vertices=30, window="sequence", n=len(edges), estimators=3_000, rng=4
+        )
+        counter.extend(edges)
+        assert relative_error(counter.estimate(), exact) < 0.25
+
+    def test_estimate_reflects_only_the_window(self):
+        """Triangles whose edges have slid out of the window stop being counted."""
+        triangle_edges = [(0, 1), (1, 2), (0, 2)]
+        counter = SlidingTriangleCounter(
+            num_vertices=20, window="sequence", n=3, estimators=500, rng=5
+        )
+        counter.extend(triangle_edges)
+        assert counter.estimate() > 0
+        # Push three triangle-free edges; the window now holds only them.
+        for edge in [(5, 6), (7, 8), (9, 10)]:
+            counter.add_edge(*edge)
+        assert counter.estimate() == 0.0
+
+    def test_memory_words_includes_watcher_state(self):
+        counter = SlidingTriangleCounter(num_vertices=10, window="sequence", n=20, estimators=8, rng=6)
+        counter.extend([(0, 1), (1, 2), (0, 2), (3, 4)])
+        assert counter.memory_words() > counter.sampler.memory_words()

@@ -1,0 +1,98 @@
+"""Arrival-time processes for timestamp windows."""
+
+import pytest
+
+from repro.streams import arrivals, generators
+
+
+def assert_non_decreasing(sequence):
+    assert all(later >= earlier for earlier, later in zip(sequence, sequence[1:]))
+
+
+class TestConstantRate:
+    def test_spacing(self):
+        times = generators.take(arrivals.constant_rate(step=2.0, start=1.0), 4)
+        assert times == [1.0, 3.0, 5.0, 7.0]
+
+    def test_length(self):
+        assert len(list(arrivals.constant_rate(length=9))) == 9
+
+    def test_invalid_step_raises(self):
+        with pytest.raises(ValueError):
+            next(arrivals.constant_rate(step=0))
+
+
+class TestPoissonArrivals:
+    def test_monotone_and_positive_gaps(self):
+        times = generators.take(arrivals.poisson_arrivals(rate=2.0, rng=1), 200)
+        assert_non_decreasing(times)
+        assert times[0] > 0
+
+    def test_rate_controls_density(self):
+        fast = generators.take(arrivals.poisson_arrivals(rate=10.0, rng=3), 1000)
+        slow = generators.take(arrivals.poisson_arrivals(rate=1.0, rng=3), 1000)
+        assert fast[-1] < slow[-1]
+
+    def test_invalid_rate_raises(self):
+        with pytest.raises(ValueError):
+            next(arrivals.poisson_arrivals(rate=0))
+
+    def test_deterministic_under_seed(self):
+        assert generators.take(arrivals.poisson_arrivals(rng=5), 10) == generators.take(
+            arrivals.poisson_arrivals(rng=5), 10
+        )
+
+
+class TestBurstyArrivals:
+    def test_monotone(self):
+        times = generators.take(arrivals.bursty_arrivals(rng=1), 500)
+        assert_non_decreasing(times)
+
+    def test_bursts_share_timestamps(self):
+        times = generators.take(arrivals.bursty_arrivals(burst_size_mean=30.0, gap_mean=100.0, rng=2), 300)
+        duplicates = len(times) - len(set(times))
+        assert duplicates > 50  # many elements share a timestamp within bursts
+
+    def test_respects_length(self):
+        assert len(list(arrivals.bursty_arrivals(rng=1, length=123))) == 123
+
+    def test_invalid_parameters_raise(self):
+        with pytest.raises(ValueError):
+            next(arrivals.bursty_arrivals(burst_size_mean=0.5))
+        with pytest.raises(ValueError):
+            next(arrivals.bursty_arrivals(gap_mean=0))
+
+
+class TestDiurnalArrivals:
+    def test_monotone(self):
+        times = generators.take(arrivals.diurnal_arrivals(rng=1), 500)
+        assert_non_decreasing(times)
+
+    def test_invalid_parameters_raise(self):
+        with pytest.raises(ValueError):
+            next(arrivals.diurnal_arrivals(base_rate=0))
+        with pytest.raises(ValueError):
+            next(arrivals.diurnal_arrivals(amplitude=1.5))
+        with pytest.raises(ValueError):
+            next(arrivals.diurnal_arrivals(period=0))
+
+
+class TestLowerBoundBurst:
+    def test_shape_matches_lemma_3_10(self):
+        t0 = 4
+        times = arrivals.lower_bound_burst(t0, tail_length=3, scale=2**t0)
+        assert_non_decreasing(times)
+        # Timestamp 0 carries 2^(2 t0) / 2^t0 * scale... the first step must be
+        # the largest burst and bursts must shrink geometrically.
+        counts = [times.count(float(step)) for step in range(2 * t0 + 1)]
+        assert counts[0] > counts[1] > counts[2]
+        assert counts[0] == 2 * counts[1]
+        # The tail has exactly one element per timestamp.
+        tail = [time for time in times if time > 2 * t0]
+        assert len(tail) == len(set(tail)) == 3
+
+    def test_invalid_parameters_raise(self):
+        with pytest.raises(ValueError):
+            arrivals.lower_bound_burst(0)
+        with pytest.raises(ValueError):
+            arrivals.lower_bound_burst(3, scale=0)

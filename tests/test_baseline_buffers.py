@@ -1,0 +1,94 @@
+"""Window-buffer samplers and the whole-stream reservoir baseline."""
+
+import pytest
+
+from repro.baselines import BufferSamplerSeq, BufferSamplerTs, WholeStreamReservoir
+from repro.exceptions import EmptyWindowError
+
+
+class TestBufferSequence:
+    def test_with_replacement_sample(self):
+        sampler = BufferSamplerSeq(n=10, k=5, replacement=True, rng=1)
+        for value in range(100):
+            sampler.append(value)
+        drawn = sampler.sample_values()
+        assert len(drawn) == 5
+        assert all(90 <= value < 100 for value in drawn)
+
+    def test_without_replacement_sample(self):
+        sampler = BufferSamplerSeq(n=10, k=5, replacement=False, rng=1)
+        for value in range(100):
+            sampler.append(value)
+        drawn = sampler.sample_values()
+        assert len(set(drawn)) == 5
+
+    def test_memory_is_linear_in_window(self):
+        small = BufferSamplerSeq(n=10, k=1, rng=1)
+        large = BufferSamplerSeq(n=1_000, k=1, rng=1)
+        for value in range(2_000):
+            small.append(value)
+            large.append(value)
+        assert large.memory_words() > 50 * small.memory_words()
+
+    def test_empty_raises(self):
+        with pytest.raises(EmptyWindowError):
+            BufferSamplerSeq(n=5, k=1, rng=1).sample()
+
+    def test_partial_window_without_replacement(self):
+        sampler = BufferSamplerSeq(n=100, k=10, replacement=False, rng=2)
+        for value in range(3):
+            sampler.append(value)
+        assert sorted(sampler.sample_values()) == [0, 1, 2]
+
+
+class TestBufferTimestamp:
+    def test_expiry(self):
+        sampler = BufferSamplerTs(t0=5.0, k=3, rng=1)
+        for index in range(50):
+            sampler.append(index, float(index))
+        assert sampler.window_size() == 5
+        for value in sampler.sample_values():
+            assert value >= 45
+
+    def test_empty_after_gap(self):
+        sampler = BufferSamplerTs(t0=5.0, k=1, rng=1)
+        sampler.append("a", 0.0)
+        sampler.advance_time(50.0)
+        with pytest.raises(EmptyWindowError):
+            sampler.sample()
+
+    def test_without_replacement_distinct(self):
+        sampler = BufferSamplerTs(t0=100.0, k=8, replacement=False, rng=2)
+        for index in range(60):
+            sampler.append(index, float(index))
+        drawn = sampler.sample_values()
+        assert len(set(drawn)) == 8
+
+
+class TestWholeStreamReservoir:
+    def test_it_is_intentionally_window_oblivious(self):
+        """Most of its samples fall outside the window on a long stream."""
+        sampler = WholeStreamReservoir(n=100, k=200, replacement=True, rng=3)
+        for value in range(10_000):
+            sampler.append(value)
+        in_window = sum(1 for drawn in sampler.sample() if drawn.index >= 9_900)
+        assert in_window < 50  # the window holds only 1% of the stream
+
+    def test_without_replacement_mode(self):
+        sampler = WholeStreamReservoir(n=100, k=10, replacement=False, rng=4)
+        for value in range(1_000):
+            sampler.append(value)
+        drawn = sampler.sample_values()
+        assert len(set(drawn)) == 10
+
+    def test_memory_is_constant(self):
+        sampler = WholeStreamReservoir(n=100, k=4, rng=5)
+        readings = set()
+        for value in range(5_000):
+            sampler.append(value)
+            readings.add(sampler.memory_words())
+        assert max(readings) <= 5 * 4 + 5
+
+    def test_empty_raises(self):
+        with pytest.raises(EmptyWindowError):
+            WholeStreamReservoir(n=5, k=1, rng=1).sample()

@@ -1,0 +1,84 @@
+"""Chain sampling baseline (Babcock-Datar-Motwani)."""
+
+from collections import Counter
+
+import pytest
+
+from repro.baselines import ChainSamplerWR
+from repro.exceptions import EmptyWindowError
+
+
+class TestBasicBehaviour:
+    def test_metadata(self):
+        sampler = ChainSamplerWR(n=10, k=2, rng=1)
+        assert sampler.with_replacement is True
+        assert sampler.deterministic_memory is False
+
+    def test_empty_window_raises(self):
+        with pytest.raises(EmptyWindowError):
+            ChainSamplerWR(n=5, k=1, rng=1).sample()
+
+    def test_sample_is_always_active(self):
+        sampler = ChainSamplerWR(n=40, k=3, rng=2)
+        for value in range(2_000):
+            sampler.append(value)
+            window_start = max(0, sampler.total_arrivals - 40)
+            for drawn in sampler.sample():
+                assert window_start <= drawn.index < sampler.total_arrivals
+
+    def test_chain_always_provides_a_sample(self):
+        """The chain invariant: when the head expires a successor is present."""
+        sampler = ChainSamplerWR(n=7, k=1, rng=3)
+        for value in range(500):
+            sampler.append(value)
+            assert len(sampler.sample()) == 1
+
+    def test_returns_k_samples(self):
+        sampler = ChainSamplerWR(n=10, k=5, rng=4)
+        for value in range(100):
+            sampler.append(value)
+        assert len(sampler.sample()) == 5
+
+
+class TestRandomizedMemory:
+    def test_memory_fluctuates_across_runs(self):
+        """The footprint is a random variable — the paper's criticism."""
+        def peak(seed):
+            sampler = ChainSamplerWR(n=200, k=4, rng=seed)
+            best = 0
+            for value in range(2_000):
+                sampler.append(value)
+                best = max(best, sampler.memory_words())
+            return best
+
+        peaks = {peak(seed) for seed in range(8)}
+        assert len(peaks) > 1
+
+    def test_expected_memory_is_small(self):
+        sampler = ChainSamplerWR(n=500, k=4, rng=5)
+        readings = []
+        for value in range(5_000):
+            sampler.append(value)
+            readings.append(sampler.memory_words())
+        average = sum(readings) / len(readings)
+        # Expected chain length is O(1); the average footprint stays near ~7 words/sample.
+        assert average < 20 * 4
+
+    def test_max_chain_length_diagnostic(self):
+        sampler = ChainSamplerWR(n=100, k=2, rng=6)
+        for value in range(1_000):
+            sampler.append(value)
+        assert sampler.max_chain_length() >= 1
+
+
+class TestUniformity:
+    def test_positions_roughly_uniform(self):
+        n, lanes, length = 15, 4_000, 95
+        sampler = ChainSamplerWR(n=n, k=lanes, rng=7)
+        for value in range(length):
+            sampler.append(value)
+        counts = Counter(drawn.index for drawn in sampler.sample())
+        window = range(length - n, length)
+        expected = lanes / n
+        for position in window:
+            assert abs(counts.get(position, 0) - expected) < 0.35 * expected

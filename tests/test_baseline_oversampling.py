@@ -1,0 +1,110 @@
+"""Bernoulli over-sampling baseline (the paper's motivating strawman)."""
+
+import pytest
+
+from repro.baselines import OversamplingSamplerSeqWOR, OversamplingSamplerTsWOR
+from repro.exceptions import EmptyWindowError, SamplingFailureError
+
+
+class TestSequenceVariant:
+    def test_metadata(self):
+        sampler = OversamplingSamplerSeqWOR(n=100, k=4, rng=1)
+        assert sampler.with_replacement is False
+        assert sampler.deterministic_memory is False
+        assert 0 < sampler.retention_probability <= 1
+
+    def test_empty_window_raises(self):
+        with pytest.raises(EmptyWindowError):
+            OversamplingSamplerSeqWOR(n=10, k=1, rng=1).sample()
+
+    def test_samples_are_distinct_and_active(self):
+        sampler = OversamplingSamplerSeqWOR(n=200, k=5, rng=2, oversample_factor=3.0)
+        for value in range(3_000):
+            sampler.append(value)
+        drawn = sampler.sample()
+        indexes = [element.index for element in drawn]
+        assert len(set(indexes)) == 5
+        assert all(index >= 3_000 - 200 for index in indexes)
+
+    def test_retained_candidates_are_pruned(self):
+        sampler = OversamplingSamplerSeqWOR(n=50, k=2, rng=3)
+        for value in range(2_000):
+            sampler.append(value)
+        assert all(candidate.index >= 1_950 for candidate in sampler.iter_candidates())
+
+    def test_failure_when_retention_too_low(self):
+        """With a tiny over-sampling factor the scheme cannot always deliver k
+        samples — the paper's disadvantage (b)."""
+        failures = 0
+        for seed in range(40):
+            sampler = OversamplingSamplerSeqWOR(n=500, k=8, rng=seed, oversample_factor=0.2)
+            for value in range(1_500):
+                sampler.append(value)
+            try:
+                sampler.sample()
+            except SamplingFailureError:
+                failures += 1
+        assert failures > 0
+
+    def test_memory_is_a_random_variable(self):
+        def peak(seed):
+            sampler = OversamplingSamplerSeqWOR(n=300, k=4, rng=seed)
+            best = 0
+            for value in range(1_200):
+                sampler.append(value)
+                best = max(best, sampler.memory_words())
+            return best
+
+        assert len({peak(seed) for seed in range(6)}) > 1
+
+    def test_invalid_factor_rejected(self):
+        with pytest.raises(ValueError):
+            OversamplingSamplerSeqWOR(n=10, k=1, oversample_factor=0)
+
+    def test_retained_count_diagnostic(self):
+        sampler = OversamplingSamplerSeqWOR(n=100, k=4, rng=5)
+        for value in range(500):
+            sampler.append(value)
+        assert sampler.retained_count() == sum(1 for _ in sampler.iter_candidates())
+
+
+class TestTimestampVariant:
+    def test_requires_positive_factor(self):
+        with pytest.raises(ValueError):
+            OversamplingSamplerTsWOR(t0=10.0, k=1, oversample_factor=-1)
+
+    def test_samples_are_active(self):
+        t0 = 100.0
+        sampler = OversamplingSamplerTsWOR(t0=t0, k=3, rng=6, oversample_factor=4.0, expected_window=100)
+        for index in range(2_000):
+            sampler.advance_time(float(index))
+            sampler.append(index, float(index))
+        drawn = sampler.sample()
+        assert len({element.index for element in drawn}) == 3
+        for element in drawn:
+            assert sampler.now - element.timestamp < t0
+
+    def test_expired_candidates_are_pruned(self):
+        sampler = OversamplingSamplerTsWOR(t0=10.0, k=1, rng=7, oversample_factor=5.0, expected_window=10)
+        for index in range(500):
+            sampler.append(index, float(index))
+        assert all(sampler.now - candidate.timestamp < 10.0 for candidate in sampler.iter_candidates())
+
+    def test_window_size_guess_matters(self):
+        """Guessing the window far too large lowers retention and induces failures."""
+        failures = 0
+        for seed in range(30):
+            sampler = OversamplingSamplerTsWOR(
+                t0=50.0, k=6, rng=seed, oversample_factor=1.0, expected_window=50_000
+            )
+            for index in range(500):
+                sampler.append(index, float(index))
+            try:
+                sampler.sample()
+            except SamplingFailureError:
+                failures += 1
+        assert failures > 0
+
+    def test_empty_window_raises(self):
+        with pytest.raises(EmptyWindowError):
+            OversamplingSamplerTsWOR(t0=5.0, k=1, rng=1).sample()

@@ -1,0 +1,104 @@
+"""Priority sampling baseline (Babcock-Datar-Motwani, timestamp windows)."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.baselines import PrioritySamplerWR
+from repro.exceptions import EmptyWindowError, StreamOrderError
+
+
+def poisson_elements(count, rate=1.0, seed=0):
+    source = random.Random(seed)
+    current = 0.0
+    out = []
+    for index in range(count):
+        current += source.expovariate(rate)
+        out.append((index, current))
+    return out
+
+
+class TestBasicBehaviour:
+    def test_metadata(self):
+        sampler = PrioritySamplerWR(t0=10.0, k=2, rng=1)
+        assert sampler.with_replacement is True
+        assert sampler.deterministic_memory is False
+
+    def test_empty_window_raises(self):
+        with pytest.raises(EmptyWindowError):
+            PrioritySamplerWR(t0=5.0, k=1, rng=1).sample()
+        sampler = PrioritySamplerWR(t0=5.0, k=1, rng=1)
+        sampler.append("a", 0.0)
+        sampler.advance_time(100.0)
+        with pytest.raises(EmptyWindowError):
+            sampler.sample()
+
+    def test_clock_ordering_enforced(self):
+        sampler = PrioritySamplerWR(t0=5.0, k=1, rng=1)
+        sampler.append("a", 3.0)
+        with pytest.raises(StreamOrderError):
+            sampler.append("b", 2.0)
+        with pytest.raises(StreamOrderError):
+            sampler.advance_time(1.0)
+
+    def test_samples_are_active(self):
+        t0 = 20.0
+        sampler = PrioritySamplerWR(t0=t0, k=3, rng=2)
+        for index, timestamp in poisson_elements(800, seed=3):
+            sampler.advance_time(timestamp)
+            sampler.append(index, timestamp)
+            for drawn in sampler.sample():
+                assert sampler.now - drawn.timestamp < t0
+
+    def test_stored_priorities_are_decreasing(self):
+        sampler = PrioritySamplerWR(t0=100.0, k=1, rng=4)
+        for index in range(300):
+            sampler.append(index, float(index))
+        lane = sampler._lanes[0]
+        priorities = [priority for priority, _ in lane.entries]
+        assert priorities == sorted(priorities, reverse=True)
+
+    def test_sample_is_the_highest_priority_active_element(self):
+        sampler = PrioritySamplerWR(t0=50.0, k=1, rng=5)
+        for index in range(200):
+            sampler.append(index, float(index))
+        lane = sampler._lanes[0]
+        head = sampler.sample()[0]
+        assert head.index == lane.entries[0][1].index
+
+
+class TestRandomizedMemory:
+    def test_memory_fluctuates_across_runs(self):
+        def peak(seed):
+            sampler = PrioritySamplerWR(t0=300.0, k=2, rng=seed)
+            best = 0
+            for index in range(2_000):
+                sampler.append(index, float(index))
+                best = max(best, sampler.memory_words())
+            return best
+
+        assert len({peak(seed) for seed in range(8)}) > 1
+
+    def test_expected_memory_is_logarithmic(self):
+        sampler = PrioritySamplerWR(t0=1_000.0, k=1, rng=6)
+        for index in range(3_000):
+            sampler.append(index, float(index))
+        # E[stored] = H(window) ~ ln(1000) ~ 7; allow generous slack.
+        assert sampler.max_stored() < 60
+
+
+class TestUniformity:
+    def test_positions_roughly_uniform(self):
+        t0, lanes = 12.0, 4_000
+        sampler = PrioritySamplerWR(t0=t0, k=lanes, rng=7)
+        arrivals = poisson_elements(120, rate=1.0, seed=8)
+        for index, timestamp in arrivals:
+            sampler.advance_time(timestamp)
+            sampler.append(index, timestamp)
+        final_time = arrivals[-1][1]
+        active = [index for index, timestamp in arrivals if final_time - timestamp < t0]
+        counts = Counter(drawn.index for drawn in sampler.sample())
+        expected = lanes / len(active)
+        for position in active:
+            assert abs(counts.get(position, 0) - expected) < 0.4 * expected + 10

@@ -1,0 +1,105 @@
+"""Gemulla-Lehner k-highest-priority baseline (timestamp windows, WoR)."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.baselines import PrioritySamplerWOR
+from repro.exceptions import EmptyWindowError, InsufficientSampleError
+
+
+def poisson_elements(count, rate=1.0, seed=0):
+    source = random.Random(seed)
+    current = 0.0
+    out = []
+    for index in range(count):
+        current += source.expovariate(rate)
+        out.append((index, current))
+    return out
+
+
+class TestBasicBehaviour:
+    def test_metadata(self):
+        sampler = PrioritySamplerWOR(t0=10.0, k=3, rng=1)
+        assert sampler.with_replacement is False
+        assert sampler.deterministic_memory is False
+
+    def test_empty_window_raises(self):
+        with pytest.raises(EmptyWindowError):
+            PrioritySamplerWOR(t0=5.0, k=2, rng=1).sample()
+
+    def test_no_duplicates_and_active(self):
+        t0 = 25.0
+        sampler = PrioritySamplerWOR(t0=t0, k=5, rng=2)
+        for index, timestamp in poisson_elements(600, seed=3):
+            sampler.advance_time(timestamp)
+            sampler.append(index, timestamp)
+            drawn = sampler.sample()
+            indexes = [element.index for element in drawn]
+            assert len(indexes) == len(set(indexes))
+            for element in drawn:
+                assert sampler.now - element.timestamp < t0
+
+    def test_small_window_returns_everything(self):
+        sampler = PrioritySamplerWOR(t0=2.5, k=10, rng=4)
+        for index in range(30):
+            sampler.append(index, float(index))
+        assert sorted(sampler.sample_values()) == [27, 28, 29]
+
+    def test_strict_mode(self):
+        sampler = PrioritySamplerWOR(t0=2.5, k=10, rng=5, allow_partial=False)
+        for index in range(30):
+            sampler.append(index, float(index))
+        with pytest.raises(InsufficientSampleError):
+            sampler.sample()
+
+    def test_k_samples_once_window_is_large(self):
+        sampler = PrioritySamplerWOR(t0=1_000.0, k=6, rng=6)
+        for index in range(300):
+            sampler.append(index, float(index))
+        assert len(sampler.sample()) == 6
+
+
+class TestMemoryAndStorage:
+    def test_stored_entries_bounded_but_random(self):
+        def peak(seed):
+            sampler = PrioritySamplerWOR(t0=500.0, k=4, rng=seed)
+            best = 0
+            for index in range(2_000):
+                sampler.append(index, float(index))
+                best = max(best, sampler.stored_count())
+            return best
+
+        peaks = [peak(seed) for seed in range(6)]
+        assert len(set(peaks)) > 1
+        # Expected storage is O(k log(n/k)) ~ 4 * log(500/4) ~ 20; allow slack.
+        assert max(peaks) < 150
+
+    def test_eviction_by_domination(self):
+        """An element with k later higher-priority elements must be dropped."""
+        sampler = PrioritySamplerWOR(t0=10_000.0, k=2, rng=7)
+        for index in range(3_000):
+            sampler.append(index, float(index))
+        # The stored count stays far below the window size (3000 active).
+        assert sampler.stored_count() < 300
+
+
+class TestInclusionUniformity:
+    def test_inclusion_probability_is_uniform(self):
+        t0, k = 9.0, 3
+        arrivals = poisson_elements(60, rate=1.0, seed=8)
+        final_time = arrivals[-1][1]
+        active = [index for index, timestamp in arrivals if final_time - timestamp < t0]
+        runs = 2_500
+        counts = Counter()
+        for seed in range(runs):
+            sampler = PrioritySamplerWOR(t0=t0, k=k, rng=seed)
+            for index, timestamp in arrivals:
+                sampler.advance_time(timestamp)
+                sampler.append(index, timestamp)
+            for drawn in sampler.sample():
+                counts[drawn.index] += 1
+        expected = runs * k / len(active)
+        for position in active:
+            assert abs(counts[position] - expected) < 0.25 * expected + 15

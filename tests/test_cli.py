@@ -1,0 +1,75 @@
+"""The swsample command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.window == "sequence"
+        assert args.k == 8
+        assert args.algorithm == "optimal"
+
+    def test_experiment_arguments(self):
+        args = build_parser().parse_args(["experiment", "E3", "--scale", "smoke", "--markdown"])
+        assert args.experiment == "E3"
+        assert args.scale == "smoke"
+        assert args.markdown is True
+
+
+class TestListCommand:
+    def test_lists_algorithms_workloads_experiments(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert "optimal" in output
+        assert "uniform-sequence" in output
+        assert "E10" in output
+
+
+class TestRunCommand:
+    def test_sequence_run(self, capsys):
+        exit_code = main(
+            ["run", "--window", "sequence", "--n", "100", "-k", "3", "--length", "1000", "--seed", "5"]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "memory (words)" in output
+        assert "sample (3 elements)" in output
+
+    def test_timestamp_run_with_baseline(self, capsys):
+        exit_code = main(
+            [
+                "run", "--window", "timestamp", "--t0", "50", "-k", "2",
+                "--workload", "sensor-poisson", "--length", "500", "--algorithm", "priority",
+            ]
+        )
+        assert exit_code == 0
+        assert "bdm-priority-wr" in capsys.readouterr().out
+
+    def test_without_replacement_run(self, capsys):
+        exit_code = main(
+            ["run", "--without-replacement", "--n", "50", "-k", "5", "--length", "300"]
+        )
+        assert exit_code == 0
+        assert "sample (5 elements)" in capsys.readouterr().out
+
+
+@pytest.mark.slow
+class TestExperimentCommand:
+    def test_experiment_text_output(self, capsys):
+        assert main(["experiment", "E10", "--scale", "smoke"]) == 0
+        output = capsys.readouterr().out
+        assert "[E10]" in output
+
+    def test_experiment_markdown_and_csv(self, capsys, tmp_path):
+        csv_path = tmp_path / "table.csv"
+        assert main(["experiment", "E10", "--scale", "smoke", "--markdown", "--csv", str(csv_path)]) == 0
+        output = capsys.readouterr().out
+        assert "**E10" in output
+        assert csv_path.exists()

@@ -1,0 +1,37 @@
+"""The exception hierarchy: every library error is a SWSampleError."""
+
+import pytest
+
+from repro.exceptions import (
+    ConfigurationError,
+    EmptyWindowError,
+    InsufficientSampleError,
+    SamplingFailureError,
+    StreamOrderError,
+    SWSampleError,
+)
+
+
+@pytest.mark.parametrize(
+    "exception_type",
+    [EmptyWindowError, InsufficientSampleError, StreamOrderError, ConfigurationError, SamplingFailureError],
+)
+def test_every_error_derives_from_base(exception_type):
+    assert issubclass(exception_type, SWSampleError)
+    assert issubclass(exception_type, Exception)
+
+
+def test_base_error_catches_all_library_errors():
+    for exception_type in (EmptyWindowError, StreamOrderError, SamplingFailureError):
+        with pytest.raises(SWSampleError):
+            raise exception_type("boom")
+
+
+def test_errors_carry_their_message():
+    error = EmptyWindowError("the window is empty")
+    assert "empty" in str(error)
+
+
+def test_distinct_errors_are_not_interchangeable():
+    assert not issubclass(EmptyWindowError, StreamOrderError)
+    assert not issubclass(StreamOrderError, EmptyWindowError)

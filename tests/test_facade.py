@@ -1,0 +1,129 @@
+"""The sliding_window_sampler factory and the algorithm catalog."""
+
+import pytest
+
+from repro.baselines import (
+    BufferSamplerSeq,
+    BufferSamplerTs,
+    ChainSamplerWR,
+    OversamplingSamplerSeqWOR,
+    OversamplingSamplerTsWOR,
+    PrioritySamplerWOR,
+    PrioritySamplerWR,
+    WholeStreamReservoir,
+)
+from repro.core import (
+    ALGORITHMS,
+    SequenceSamplerWOR,
+    SequenceSamplerWR,
+    TimestampSamplerWOR,
+    TimestampSamplerWR,
+    algorithm_catalog,
+    sliding_window_sampler,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestOptimalVariants:
+    @pytest.mark.parametrize(
+        "window,replacement,expected_type",
+        [
+            ("sequence", True, SequenceSamplerWR),
+            ("sequence", False, SequenceSamplerWOR),
+            ("timestamp", True, TimestampSamplerWR),
+            ("timestamp", False, TimestampSamplerWOR),
+        ],
+    )
+    def test_factory_builds_the_right_class(self, window, replacement, expected_type):
+        sampler = sliding_window_sampler(
+            window, k=2, n=10, t0=10.0, replacement=replacement, rng=1
+        )
+        assert isinstance(sampler, expected_type)
+        assert sampler.k == 2
+
+    def test_window_name_is_case_insensitive(self):
+        assert isinstance(sliding_window_sampler("SEQUENCE", n=5, rng=1), SequenceSamplerWR)
+
+    def test_missing_window_parameter_rejected(self):
+        with pytest.raises(ConfigurationError):
+            sliding_window_sampler("sequence", k=1)
+        with pytest.raises(ConfigurationError):
+            sliding_window_sampler("timestamp", k=1)
+
+    def test_unknown_window_rejected(self):
+        with pytest.raises(ConfigurationError):
+            sliding_window_sampler("hopping", n=5)
+
+    def test_extra_kwargs_are_forwarded(self):
+        sampler = sliding_window_sampler(
+            "sequence", n=10, k=5, replacement=False, allow_partial=False, rng=1
+        )
+        assert isinstance(sampler, SequenceSamplerWOR)
+
+
+class TestBaselines:
+    @pytest.mark.parametrize(
+        "algorithm,window,replacement,expected_type",
+        [
+            ("chain", "sequence", True, ChainSamplerWR),
+            ("priority", "timestamp", True, PrioritySamplerWR),
+            ("priority-wor", "timestamp", False, PrioritySamplerWOR),
+            ("oversampling", "sequence", False, OversamplingSamplerSeqWOR),
+            ("oversampling", "timestamp", False, OversamplingSamplerTsWOR),
+            ("buffer", "sequence", True, BufferSamplerSeq),
+            ("buffer", "timestamp", False, BufferSamplerTs),
+            ("whole-stream", "sequence", True, WholeStreamReservoir),
+        ],
+    )
+    def test_baseline_dispatch(self, algorithm, window, replacement, expected_type):
+        sampler = sliding_window_sampler(
+            window, k=2, n=20, t0=20.0, replacement=replacement, algorithm=algorithm, rng=1
+        )
+        assert isinstance(sampler, expected_type)
+
+    def test_incompatible_baseline_combinations_rejected(self):
+        with pytest.raises(ConfigurationError):
+            sliding_window_sampler("timestamp", t0=5.0, algorithm="chain")
+        with pytest.raises(ConfigurationError):
+            sliding_window_sampler("sequence", n=5, algorithm="priority")
+        with pytest.raises(ConfigurationError):
+            sliding_window_sampler("timestamp", t0=5.0, replacement=True, algorithm="priority-wor")
+        with pytest.raises(ConfigurationError):
+            sliding_window_sampler("sequence", n=5, replacement=True, algorithm="oversampling")
+        with pytest.raises(ConfigurationError):
+            sliding_window_sampler("timestamp", t0=5.0, algorithm="whole-stream")
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(ConfigurationError):
+            sliding_window_sampler("sequence", n=5, algorithm="quantum")
+
+
+class TestCatalog:
+    def test_catalog_covers_public_algorithms(self):
+        catalog = algorithm_catalog()
+        for name in ALGORITHMS:
+            assert name in catalog
+            assert catalog[name]
+
+    def test_every_factory_product_obeys_the_common_api(self):
+        configurations = [
+            ("sequence", True, "optimal"),
+            ("sequence", False, "optimal"),
+            ("timestamp", True, "optimal"),
+            ("timestamp", False, "optimal"),
+            ("sequence", True, "chain"),
+            ("timestamp", True, "priority"),
+            ("timestamp", False, "priority-wor"),
+            ("sequence", False, "buffer"),
+        ]
+        for window, replacement, algorithm in configurations:
+            sampler = sliding_window_sampler(
+                window, k=3, n=25, t0=25.0, replacement=replacement, algorithm=algorithm, rng=2
+            )
+            for value in range(120):
+                sampler.append(value, float(value))
+            drawn = sampler.sample()
+            assert 1 <= len(drawn) <= 3
+            assert sampler.memory_words() > 0
+            assert sampler.total_arrivals == 120
+            assert list(sampler.iter_candidates()) is not None

@@ -1,0 +1,153 @@
+"""Synthetic value generators."""
+
+import itertools
+
+import pytest
+
+from repro.streams import generators
+
+
+class TestTake:
+    def test_take_materialises_exactly_count(self):
+        assert generators.take(itertools.count(), 5) == [0, 1, 2, 3, 4]
+
+    def test_take_negative_raises(self):
+        with pytest.raises(ValueError):
+            generators.take(itertools.count(), -1)
+
+    def test_take_zero_is_empty(self):
+        assert generators.take(itertools.count(), 0) == []
+
+
+class TestUniformIntegers:
+    def test_values_within_domain(self):
+        values = generators.take(generators.uniform_integers(10, rng=1), 500)
+        assert all(0 <= value < 10 for value in values)
+
+    def test_deterministic_under_seed(self):
+        first = generators.take(generators.uniform_integers(100, rng=7), 50)
+        second = generators.take(generators.uniform_integers(100, rng=7), 50)
+        assert first == second
+
+    def test_length_limits_output(self):
+        assert len(list(generators.uniform_integers(10, rng=1, length=13))) == 13
+
+    def test_invalid_domain_raises(self):
+        with pytest.raises(ValueError):
+            next(generators.uniform_integers(0))
+
+    def test_roughly_uniform_coverage(self):
+        values = generators.take(generators.uniform_integers(4, rng=3), 8000)
+        for symbol in range(4):
+            frequency = values.count(symbol) / len(values)
+            assert abs(frequency - 0.25) < 0.03
+
+
+class TestZipfianIntegers:
+    def test_values_within_domain(self):
+        values = generators.take(generators.zipfian_integers(32, rng=1), 300)
+        assert all(0 <= value < 32 for value in values)
+
+    def test_skew_favours_small_values(self):
+        values = generators.take(generators.zipfian_integers(64, skew=1.5, rng=5), 5000)
+        assert values.count(0) > values.count(30)
+
+    def test_invalid_parameters_raise(self):
+        with pytest.raises(ValueError):
+            next(generators.zipfian_integers(0))
+        with pytest.raises(ValueError):
+            next(generators.zipfian_integers(10, skew=0))
+
+    def test_deterministic_under_seed(self):
+        assert generators.take(generators.zipfian_integers(16, rng=2), 20) == generators.take(
+            generators.zipfian_integers(16, rng=2), 20
+        )
+
+
+class TestGaussianWalk:
+    def test_starts_near_start_value(self):
+        values = generators.take(generators.gaussian_walk(start=50.0, volatility=0.1, rng=1), 5)
+        assert abs(values[0] - 50.0) < 1.0
+
+    def test_negative_volatility_raises(self):
+        with pytest.raises(ValueError):
+            next(generators.gaussian_walk(volatility=-1.0))
+
+    def test_zero_volatility_is_constant(self):
+        values = generators.take(generators.gaussian_walk(start=5.0, volatility=0.0, rng=1), 10)
+        assert all(value == 5.0 for value in values)
+
+
+class TestSensorDrift:
+    def test_drift_increases_baseline(self):
+        values = generators.take(
+            generators.sensor_drift(baseline=10.0, drift_per_step=1.0, noise=0.0, spike_probability=0.0, rng=1),
+            5,
+        )
+        assert values == [10.0, 11.0, 12.0, 13.0, 14.0]
+
+    def test_spikes_appear_when_forced(self):
+        values = generators.take(
+            generators.sensor_drift(noise=0.0, spike_probability=1.0, spike_magnitude=100.0, rng=1), 3
+        )
+        assert all(value > 50 for value in values)
+
+
+class TestCategoricalBursts:
+    def test_bursts_repeat_single_category(self):
+        values = generators.take(generators.categorical_bursts(["a", "b"], burst_length=5, rng=1), 10)
+        assert values[0:5].count(values[0]) == 5
+        assert values[5:10].count(values[5]) == 5
+
+    def test_respects_length(self):
+        values = list(generators.categorical_bursts(["a"], burst_length=3, rng=1, length=7))
+        assert len(values) == 7
+
+    def test_empty_categories_raise(self):
+        with pytest.raises(ValueError):
+            next(generators.categorical_bursts([], burst_length=3))
+
+    def test_bad_burst_length_raises(self):
+        with pytest.raises(ValueError):
+            next(generators.categorical_bursts(["a"], burst_length=0))
+
+
+class TestAscendingAndPattern:
+    def test_ascending_values_equal_offsets(self):
+        assert generators.take(generators.ascending_integers(), 4) == [0, 1, 2, 3]
+        assert generators.take(generators.ascending_integers(start=10), 3) == [10, 11, 12]
+
+    def test_ascending_with_length(self):
+        assert list(generators.ascending_integers(start=2, length=3)) == [2, 3, 4]
+
+    def test_repeated_pattern_cycles(self):
+        assert generators.take(generators.repeated_pattern([1, 2, 3]), 7) == [1, 2, 3, 1, 2, 3, 1]
+
+    def test_repeated_pattern_with_length(self):
+        assert list(generators.repeated_pattern([9], length=4)) == [9, 9, 9, 9]
+
+    def test_empty_pattern_raises(self):
+        with pytest.raises(ValueError):
+            next(generators.repeated_pattern([]))
+
+
+class TestMixture:
+    def test_mixture_draws_from_all_sources(self):
+        left = generators.repeated_pattern(["L"])
+        right = generators.repeated_pattern(["R"])
+        values = generators.take(generators.mixture([left, right], rng=1), 200)
+        assert "L" in values and "R" in values
+
+    def test_mixture_respects_weights(self):
+        left = generators.repeated_pattern(["L"])
+        right = generators.repeated_pattern(["R"])
+        values = generators.take(generators.mixture([left, right], weights=[0.9, 0.1], rng=2), 2000)
+        assert values.count("L") > values.count("R") * 3
+
+    def test_mixture_validation(self):
+        with pytest.raises(ValueError):
+            next(generators.mixture([]))
+        with pytest.raises(ValueError):
+            next(generators.mixture([generators.repeated_pattern([1])], weights=[1.0, 2.0]))
+        with pytest.raises(ValueError):
+            next(generators.mixture([generators.repeated_pattern([1])], weights=[-1.0]))

@@ -1,0 +1,84 @@
+"""Graph edge-stream generators and the exact triangle counter."""
+
+import pytest
+
+from repro.streams import graph
+
+
+class TestNormalizeEdge:
+    def test_sorted_output(self):
+        assert graph.normalize_edge(5, 2) == (2, 5)
+        assert graph.normalize_edge(2, 5) == (2, 5)
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            graph.normalize_edge(3, 3)
+
+
+class TestErdosRenyi:
+    def test_edge_probability_extremes(self):
+        assert graph.erdos_renyi_edges(10, 0.0, rng=1) == []
+        complete = graph.erdos_renyi_edges(10, 1.0, rng=1)
+        assert len(complete) == 45
+
+    def test_edges_are_valid_and_unique(self):
+        edges = graph.erdos_renyi_edges(20, 0.3, rng=2)
+        assert all(0 <= u < 20 and 0 <= v < 20 and u != v for u, v in edges)
+        normalized = {graph.normalize_edge(u, v) for u, v in edges}
+        assert len(normalized) == len(edges)
+
+    def test_invalid_parameters_raise(self):
+        with pytest.raises(ValueError):
+            graph.erdos_renyi_edges(1, 0.5)
+        with pytest.raises(ValueError):
+            graph.erdos_renyi_edges(5, 1.5)
+
+    def test_deterministic_under_seed(self):
+        assert graph.erdos_renyi_edges(15, 0.4, rng=9) == graph.erdos_renyi_edges(15, 0.4, rng=9)
+
+
+class TestPlantedTriangles:
+    def test_triangle_count_without_noise(self):
+        edges = graph.planted_triangles_edges(7, noise_edges=0, rng=1)
+        assert len(edges) == 21
+        assert graph.count_triangles(edges) == 7
+
+    def test_noise_edges_are_added(self):
+        edges = graph.planted_triangles_edges(3, noise_edges=10, num_noise_vertices=50, rng=2)
+        assert len(edges) >= 9 + 5  # at least half the requested noise fits
+
+    def test_negative_triangles_raise(self):
+        with pytest.raises(ValueError):
+            graph.planted_triangles_edges(-1)
+
+
+class TestPowerLawEdges:
+    def test_edge_count_and_validity(self):
+        edges = graph.power_law_edges(50, 100, rng=3)
+        assert len(edges) <= 100
+        assert all(u != v for u, v in edges)
+
+    def test_invalid_parameters_raise(self):
+        with pytest.raises(ValueError):
+            graph.power_law_edges(1, 10)
+        with pytest.raises(ValueError):
+            graph.power_law_edges(10, -1)
+
+
+class TestCountTriangles:
+    def test_triangle(self):
+        assert graph.count_triangles([(0, 1), (1, 2), (0, 2)]) == 1
+
+    def test_square_has_no_triangle(self):
+        assert graph.count_triangles([(0, 1), (1, 2), (2, 3), (3, 0)]) == 0
+
+    def test_k4_has_four_triangles(self):
+        edges = [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]
+        assert graph.count_triangles(edges) == 4
+
+    def test_duplicate_edges_do_not_double_count(self):
+        edges = [(0, 1), (1, 0), (1, 2), (0, 2)]
+        assert graph.count_triangles(edges) == 1
+
+    def test_empty_graph(self):
+        assert graph.count_triangles([]) == 0

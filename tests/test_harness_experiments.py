@@ -1,0 +1,94 @@
+"""The E1–E10 experiment registry (run at smoke scale)."""
+
+import pytest
+
+from repro.harness import EXPERIMENTS, available_experiments, run_experiment
+from repro.harness.tables import ResultTable
+
+
+class TestRegistry:
+    def test_all_ten_experiments_registered(self):
+        assert available_experiments() == [f"E{i}" for i in range(1, 11)]
+
+    def test_every_entry_has_a_summary(self):
+        for experiment_id, (function, summary) in EXPERIMENTS.items():
+            assert callable(function)
+            assert summary
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(KeyError):
+            run_experiment("E99")
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(ValueError):
+            run_experiment("E1", scale="galactic")
+
+    def test_lower_case_id_accepted(self):
+        table = run_experiment("e10", scale="smoke")
+        assert table.experiment == "E10"
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("experiment_id", [f"E{i}" for i in range(1, 11)])
+def test_experiment_runs_at_smoke_scale(experiment_id):
+    table = run_experiment(experiment_id, scale="smoke", seed=3)
+    assert isinstance(table, ResultTable)
+    assert table.rows, f"{experiment_id} produced no rows"
+    assert table.columns
+    assert table.notes
+    # Rendering never crashes.
+    assert table.to_text()
+    assert table.to_markdown()
+    assert table.to_csv()
+
+
+@pytest.mark.slow
+class TestExperimentShapes:
+    """Check the *qualitative* claims on the cheap smoke scale."""
+
+    def test_e1_optimal_has_zero_variance_and_smaller_peak_than_buffer(self):
+        table = run_experiment("E1", scale="smoke", seed=1)
+        rows = table.as_dicts()
+        optimal = [row for row in rows if row["algorithm"] == "boz-optimal"]
+        buffers = [row for row in rows if row["algorithm"] == "window-buffer"]
+        assert optimal and buffers
+        for row in optimal:
+            assert row["peak_var"] == 0
+            assert row["deterministic"] == "yes"
+        assert all(opt["peak"] < buf["peak"] for opt, buf in zip(optimal, buffers))
+
+    def test_e2_optimal_never_fails(self):
+        table = run_experiment("E2", scale="smoke", seed=1)
+        for row in table.as_dicts():
+            if row["algorithm"] == "boz-optimal":
+                assert row["failure_rate"] == 0
+                assert row["peak_var"] == 0
+
+    def test_e5_optimal_samplers_are_uniform_and_naive_is_not(self):
+        table = run_experiment("E5", scale="smoke", seed=1)
+        verdict = {row["sampler"]: row["uniform?"] for row in table.as_dicts()}
+        assert verdict["boz-seq-wr"] == "yes"
+        assert verdict["boz-ts-wr"] == "yes"
+        assert verdict["boz-seq-wor"] == "yes"
+        assert verdict["boz-ts-wor"] == "yes"
+        assert verdict["whole-stream (naive)"].startswith("NO")
+
+    def test_e8_optimal_beats_naive_on_f2(self):
+        table = run_experiment("E8", scale="smoke", seed=1)
+        rows = table.as_dicts()
+        optimal_error = next(
+            row["relative_error"] for row in rows
+            if row["application"].startswith("F2") and row["sampler"] == "boz-seq-wr"
+        )
+        naive_error = next(
+            row["relative_error"] for row in rows
+            if row["application"].startswith("F2") and "naive" in row["sampler"]
+        )
+        assert optimal_error < naive_error
+
+    def test_e10_memory_grows_with_log_window(self):
+        table = run_experiment("E10", scale="smoke", seed=1)
+        optimal_rows = [row for row in table.as_dicts() if row["algorithm"] == "boz-ts-wr"]
+        assert len(optimal_rows) >= 2
+        ordered = sorted(optimal_rows, key=lambda row: row["log2(window)"])
+        assert ordered[0]["peak_words"] < ordered[-1]["peak_words"]

@@ -1,0 +1,72 @@
+"""Workload drivers (memory profiling, sample collection, throughput)."""
+
+import pytest
+
+from repro.baselines import OversamplingSamplerSeqWOR
+from repro.core import SequenceSamplerWOR, SequenceSamplerWR, TimestampSamplerWR
+from repro.harness.runner import (
+    collect_position_samples,
+    collect_wor_inclusions,
+    measure_throughput,
+    run_memory_profile,
+)
+from repro.streams.element import make_stream
+
+
+@pytest.fixture
+def stream():
+    return make_stream(range(400))
+
+
+class TestRunMemoryProfile:
+    def test_traces_one_per_run(self, stream):
+        result = run_memory_profile(lambda seed: SequenceSamplerWR(n=50, k=2, rng=seed), stream, runs=3)
+        assert len(result.traces) == 3
+        assert all(len(trace) == 400 for trace in result.traces)
+        summary = result.memory_summary()
+        assert summary.runs == 3
+        assert summary.peak_variance_across_runs == 0.0
+
+    def test_failures_are_counted_not_raised(self, stream):
+        result = run_memory_profile(
+            lambda seed: OversamplingSamplerSeqWOR(n=300, k=12, rng=seed, oversample_factor=0.1),
+            stream,
+            runs=4,
+            query_every=50,
+        )
+        assert result.queries == 4 * 8
+        assert 0 <= result.sampling_failures <= result.queries
+        assert result.failure_rate == result.sampling_failures / result.queries
+
+    def test_failure_rate_zero_without_queries(self, stream):
+        result = run_memory_profile(lambda seed: SequenceSamplerWR(n=50, k=1, rng=seed), stream, runs=1)
+        assert result.failure_rate == 0.0
+
+    def test_advance_time_for_timestamp_samplers(self, stream):
+        result = run_memory_profile(
+            lambda seed: TimestampSamplerWR(t0=60.0, k=1, rng=seed), stream, runs=1, advance_time=True
+        )
+        assert result.traces[0].peak > 0
+
+
+class TestCollectors:
+    def test_collect_position_samples(self, stream):
+        indexes, sampler = collect_position_samples(
+            lambda seed: SequenceSamplerWR(n=40, k=500, rng=seed), stream, seed=3
+        )
+        assert len(indexes) == 500
+        assert all(360 <= index < 400 for index in indexes)
+        assert sampler.total_arrivals == 400
+
+    def test_collect_wor_inclusions(self, stream):
+        pooled = collect_wor_inclusions(
+            lambda seed: SequenceSamplerWOR(n=40, k=4, rng=seed), stream, runs=10, base_seed=5
+        )
+        assert len(pooled) == 40
+        assert all(360 <= index < 400 for index in pooled)
+
+
+class TestThroughput:
+    def test_positive_rate(self, stream):
+        rate = measure_throughput(lambda seed: SequenceSamplerWR(n=50, k=1, rng=seed), stream)
+        assert rate > 0

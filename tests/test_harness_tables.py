@@ -1,0 +1,68 @@
+"""ResultTable rendering."""
+
+import pytest
+
+from repro.harness.tables import ResultTable
+
+
+@pytest.fixture
+def table():
+    result = ResultTable("E0", "demo table", ["name", "value", "ratio"])
+    result.add_row("alpha", 1, 0.5)
+    result.add_row(name="beta", value=12_345, ratio=1.25)
+    result.add_note("a note")
+    return result
+
+
+class TestRowHandling:
+    def test_positional_and_named_rows(self, table):
+        assert len(table.rows) == 2
+        assert table.rows[1][0] == "beta"
+
+    def test_wrong_arity_rejected(self, table):
+        with pytest.raises(ValueError):
+            table.add_row("only-one")
+
+    def test_unknown_column_rejected(self, table):
+        with pytest.raises(ValueError):
+            table.add_row(name="x", bogus=1)
+
+    def test_mixed_positional_and_named_rejected(self, table):
+        with pytest.raises(ValueError):
+            table.add_row("x", value=1)
+
+    def test_as_dicts(self, table):
+        dicts = table.as_dicts()
+        assert dicts[0]["name"] == "alpha"
+        assert dicts[1]["value"] == 12_345
+
+
+class TestRendering:
+    def test_text_contains_title_and_rows(self, table):
+        text = table.to_text()
+        assert "[E0] demo table" in text
+        assert "alpha" in text
+        assert "note: a note" in text
+
+    def test_markdown_structure(self, table):
+        markdown = table.to_markdown()
+        assert markdown.startswith("**E0 — demo table**")
+        assert "| name | value | ratio |" in markdown
+        assert "| alpha | 1 | 0.5000 |" in markdown
+
+    def test_csv_round_trip(self, table, tmp_path):
+        csv_text = table.to_csv()
+        assert csv_text.splitlines()[0] == "name,value,ratio"
+        path = tmp_path / "out.csv"
+        table.write_csv(str(path))
+        assert path.read_text().splitlines()[1].startswith("alpha")
+
+    def test_float_formatting(self):
+        result = ResultTable("E0", "t", ["v"])
+        result.add_row(123456.0)
+        result.add_row(0.00123)
+        result.add_row(3.14159)
+        text = result.to_text()
+        assert "123,456" in text
+        assert "0.0012" in text
+        assert "3.14" in text

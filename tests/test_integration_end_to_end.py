@@ -1,0 +1,122 @@
+"""Integration tests: realistic pipelines built only from the public API."""
+
+import random
+
+import pytest
+
+from repro import sliding_window_sampler
+from repro.analysis import assess_uniformity, empirical_entropy, frequency_moment, relative_error
+from repro.applications import SlidingEntropyEstimator, SlidingFrequencyMoment, SlidingQuantileEstimator
+from repro.streams import build_workload
+from repro.windows import SequenceWindow, TimestampWindow
+
+
+class TestNetworkMonitoringPipeline:
+    """A bursty 'network' stream monitored through a timestamp window."""
+
+    @pytest.mark.slow
+    def test_pipeline(self):
+        stream = build_workload("network-bursts", 6_000, rng=3)
+        t0 = 40.0
+        sampler = sliding_window_sampler("timestamp", t0=t0, k=32, replacement=False, rng=4)
+        tracker = TimestampWindow(t0)
+        memory_peak = 0
+        for element in stream:
+            sampler.advance_time(element.timestamp)
+            tracker.advance_time(element.timestamp)
+            sampler.append(element.value, element.timestamp)
+            tracker.append(element.value, element.timestamp)
+            memory_peak = max(memory_peak, sampler.memory_words())
+        drawn = sampler.sample()
+        active = set(tracker.active_indexes())
+        assert {element.index for element in drawn} <= active
+        assert len(drawn) == min(32, len(active))
+        # Sub-linear memory: far below the ground-truth tracker (which stores
+        # every active element, thousands here).
+        assert memory_peak < 3 * len(active) or memory_peak < 6_000
+
+
+class TestStockTickerPipeline:
+    """Sequence-window quantile tracking on a price stream."""
+
+    def test_pipeline(self):
+        stream = build_workload("stock-ticks", 4_000, rng=7)
+        window_size = 500
+        quantiles = SlidingQuantileEstimator(window="sequence", n=window_size, sample_size=200, rng=8)
+        tracker = SequenceWindow(window_size)
+        for element in stream:
+            quantiles.append(element.value, element.timestamp)
+            tracker.append(element.value, element.timestamp)
+        exact_sorted = sorted(tracker.active_values())
+        exact_median = exact_sorted[len(exact_sorted) // 2]
+        spread = exact_sorted[-1] - exact_sorted[0]
+        assert abs(quantiles.median() - exact_median) < 0.25 * spread + 1e-9
+
+
+class TestAnalyticsDashboard:
+    """Frequency moments + entropy tracked simultaneously over one stream."""
+
+    @pytest.mark.slow
+    def test_pipeline(self):
+        stream = build_workload("zipf-sequence", 9_000, rng=11)
+        n = 1_500
+        f2 = SlidingFrequencyMoment(2.0, window="sequence", n=n, estimators=400, rng=12)
+        entropy = SlidingEntropyEstimator(window="sequence", n=n, estimators=400, rng=13)
+        tracker = SequenceWindow(n)
+        for element in stream:
+            f2.append(element.value)
+            entropy.append(element.value)
+            tracker.append(element.value)
+        window_values = tracker.active_values()
+        assert relative_error(f2.estimate(), frequency_moment(window_values, 2)) < 0.2
+        assert abs(entropy.estimate_entropy() - empirical_entropy(window_values)) < 0.5
+
+
+class TestSamplerSwapability:
+    """Theorem 5.1 in practice: the same pipeline runs with any sampler backend."""
+
+    @pytest.mark.parametrize("algorithm", ["optimal", "chain"])
+    def test_sequence_backends_agree_statistically(self, algorithm):
+        n, lanes, length = 25, 3_000, 140
+        sampler = sliding_window_sampler(
+            "sequence", n=n, k=lanes, replacement=True, algorithm=algorithm, rng=21
+        )
+        for value in range(length):
+            sampler.append(value)
+        window = list(range(length - n, length))
+        report = assess_uniformity([element.index for element in sampler.sample()], window)
+        assert report.passes
+
+    def test_switching_to_the_naive_backend_breaks_the_pipeline(self):
+        n, lanes, length = 25, 3_000, 140
+        sampler = sliding_window_sampler(
+            "sequence", n=n, k=lanes, replacement=True, algorithm="whole-stream", rng=22
+        )
+        for value in range(length):
+            sampler.append(value)
+        in_window = sum(1 for element in sampler.sample() if element.index >= length - n)
+        assert in_window < lanes * 0.5  # most samples are stale
+
+
+class TestLongRunStability:
+    def test_sequence_sampler_survives_long_streams_with_flat_memory(self):
+        sampler = sliding_window_sampler("sequence", n=100, k=4, replacement=False, rng=31)
+        readings = set()
+        for value in range(50_000):
+            sampler.append(value)
+            if value % 1_000 == 0:
+                readings.add(sampler.memory_words())
+        assert len(readings) <= 2  # fill-up phase, then constant
+
+    def test_timestamp_sampler_handles_idle_gaps(self):
+        sampler = sliding_window_sampler("timestamp", t0=10.0, k=2, replacement=True, rng=32)
+        clock = 0.0
+        source = random.Random(33)
+        for index in range(2_000):
+            clock += source.expovariate(1.0)
+            if index % 500 == 499:
+                clock += 100.0  # long silence: the window empties completely
+                sampler.advance_time(clock)
+            sampler.append(index, clock)
+            for element in sampler.sample():
+                assert clock - element.timestamp < 10.0

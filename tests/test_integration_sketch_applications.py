@@ -1,0 +1,81 @@
+"""Integration: application estimators on timestamp windows with an
+approximate (exponential-histogram) window-size counter.
+
+This is the full Corollary 5.2/5.4 stack: the optimal timestamp sampler
+supplies uniform positions, the candidate observer supplies occurrence counts,
+and the DGIM counter supplies the (1±ε) window size — no component stores the
+window.
+"""
+
+import random
+
+import pytest
+
+from repro.analysis import empirical_entropy, frequency_moment, relative_error
+from repro.applications import SlidingEntropyEstimator, SlidingFrequencyMoment
+from repro.sketches import ExponentialHistogramCounter
+from repro.streams import generators
+from repro.windows import TimestampWindow
+
+pytestmark = pytest.mark.slow
+
+
+def build_stream(length, seed):
+    values = generators.take(generators.zipfian_integers(48, skew=1.3, rng=seed), length)
+    source = random.Random(seed + 1)
+    clock = 0.0
+    stream = []
+    for value in values:
+        clock += source.expovariate(1.0)
+        stream.append((value, clock))
+    return stream
+
+
+class TestFrequencyMomentWithApproximateCount:
+    def test_f2_tracks_exact_value(self):
+        t0 = 1_500.0
+        counter = ExponentialHistogramCounter(t0, epsilon=0.05)
+        estimator = SlidingFrequencyMoment(
+            2.0,
+            window="timestamp",
+            t0=t0,
+            estimators=400,
+            rng=3,
+            window_size_fn=counter.estimate,
+        )
+        truth = TimestampWindow(t0)
+        for value, clock in build_stream(6_000, seed=5):
+            counter.advance_time(clock)
+            estimator.advance_time(clock)
+            truth.advance_time(clock)
+            counter.append(clock)
+            estimator.append(value, clock)
+            truth.append(value, clock)
+        exact = frequency_moment(truth.active_values(), 2)
+        assert relative_error(estimator.estimate(), exact) < 0.25
+        # The whole stack stays sub-linear: sampler + counters vs the Θ(n) window.
+        assert counter.memory_words() < truth.size
+        assert relative_error(counter.estimate(), truth.size) <= 0.05 + 1e-9
+
+
+class TestEntropyWithApproximateCount:
+    def test_entropy_tracks_exact_value(self):
+        t0 = 1_200.0
+        counter = ExponentialHistogramCounter(t0, epsilon=0.05)
+        estimator = SlidingEntropyEstimator(
+            window="timestamp",
+            t0=t0,
+            estimators=400,
+            rng=7,
+            window_size_fn=counter.estimate,
+        )
+        truth = TimestampWindow(t0)
+        for value, clock in build_stream(5_000, seed=11):
+            counter.advance_time(clock)
+            estimator.advance_time(clock)
+            truth.advance_time(clock)
+            counter.append(clock)
+            estimator.append(value, clock)
+            truth.append(value, clock)
+        exact = empirical_entropy(truth.active_values())
+        assert abs(estimator.estimate_entropy() - exact) < 0.5

@@ -1,0 +1,55 @@
+"""The word-RAM memory model and meter."""
+
+import pytest
+
+from repro.memory import WORD_MODEL, MemoryMeter, MemoryModel
+
+
+class TestMemoryModel:
+    def test_default_charges_one_word_each(self):
+        assert WORD_MODEL.element() == 1
+        assert WORD_MODEL.index() == 1
+        assert WORD_MODEL.timestamp() == 1
+        assert WORD_MODEL.priority() == 1
+        assert WORD_MODEL.counter() == 1
+        assert WORD_MODEL.constant() == 1
+
+    def test_counted_charges_scale_linearly(self):
+        assert WORD_MODEL.element(5) == 5
+        assert WORD_MODEL.index(3) == 3
+        assert WORD_MODEL.timestamp(0) == 0
+
+    def test_custom_model_charges(self):
+        model = MemoryModel(element_words=2, timestamp_words=3)
+        assert model.element(4) == 8
+        assert model.timestamp(2) == 6
+        assert model.index() == 1
+
+    def test_model_is_immutable(self):
+        with pytest.raises(AttributeError):
+            WORD_MODEL.element_words = 7  # type: ignore[misc]
+
+
+class TestMemoryMeter:
+    def test_empty_meter_is_zero(self):
+        assert MemoryMeter().total == 0
+
+    def test_chained_accumulation(self):
+        meter = MemoryMeter()
+        meter.add_elements(2).add_indexes(2).add_timestamps(1).add_counters(1)
+        assert meter.total == 6
+
+    def test_add_words_is_raw(self):
+        meter = MemoryMeter()
+        meter.add_words(13)
+        assert meter.total == 13
+
+    def test_meter_respects_custom_model(self):
+        meter = MemoryMeter(model=MemoryModel(element_words=4))
+        meter.add_elements(2).add_indexes(1)
+        assert meter.total == 9
+
+    def test_constants_and_priorities(self):
+        meter = MemoryMeter()
+        meter.add_constants(3).add_priorities(2)
+        assert meter.total == 5

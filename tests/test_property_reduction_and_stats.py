@@ -1,0 +1,81 @@
+"""Property-based tests for the black-box reduction and the statistics helpers."""
+
+import math
+import random
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.statistics import chi_square_sf, quantile, regularized_gamma_p, regularized_gamma_q
+from repro.core.reduction import build_k_sample, extend_without_replacement
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=30),   # b  (current domain size)
+    st.integers(min_value=1, max_value=10),   # a  (current subset size)
+    st.integers(min_value=0, max_value=2**31),
+)
+def test_extend_without_replacement_properties(b, a, seed):
+    assume(a <= b)
+    rng = random.Random(seed)
+    current = rng.sample(range(1, b + 1), a)
+    single = rng.randint(1, b + 1)
+    result = extend_without_replacement(current, single, b + 1)
+    assert len(result) == a + 1
+    assert len(set(result)) == a + 1
+    assert set(current) <= set(result)
+    assert all(1 <= element <= b + 1 for element in result)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=12),   # k
+    st.integers(min_value=1, max_value=40),   # extra domain beyond k
+    st.integers(min_value=0, max_value=2**31),
+)
+def test_build_k_sample_properties(k, extra, seed):
+    n = k + extra
+    rng = random.Random(seed)
+    singles = [rng.randint(1, n - k + 1 + j) for j in range(k)]
+    newest = [n - k + 1 + j for j in range(1, k)]
+    result = build_k_sample(singles, newest)
+    assert len(result) == k
+    assert len(set(result)) == k
+    assert all(1 <= element <= n for element in result)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.floats(min_value=0.1, max_value=80.0, allow_nan=False),
+    st.floats(min_value=0.0, max_value=200.0, allow_nan=False),
+)
+def test_regularized_gamma_complement_and_range(shape, x):
+    p = regularized_gamma_p(shape, x)
+    q = regularized_gamma_q(shape, x)
+    assert 0.0 <= p <= 1.0
+    assert 0.0 <= q <= 1.0
+    assert math.isclose(p + q, 1.0, abs_tol=1e-8)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.floats(min_value=0.0, max_value=300.0, allow_nan=False),
+    st.floats(min_value=0.0, max_value=300.0, allow_nan=False),
+    st.integers(min_value=1, max_value=200),
+)
+def test_chi_square_sf_is_monotone_decreasing(x1, x2, dof):
+    lo, hi = min(x1, x2), max(x1, x2)
+    assert chi_square_sf(lo, dof) >= chi_square_sf(hi, dof) - 1e-12
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.lists(st.floats(min_value=-1e6, max_value=1e6, allow_nan=False), min_size=1, max_size=60),
+    st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+)
+def test_quantile_is_bounded_and_monotone(values, q):
+    result = quantile(values, q)
+    assert min(values) <= result <= max(values)
+    assert quantile(values, 0.0) == min(values)
+    assert quantile(values, 1.0) == max(values)

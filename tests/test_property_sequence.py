@@ -1,0 +1,100 @@
+"""Property-based tests (hypothesis) for the sequence-window samplers.
+
+Invariants checked on arbitrary window sizes, sample sizes and stream lengths:
+
+* samples always lie inside the window and (for WoR) never repeat;
+* the memory footprint respects the Θ(k) bound at every prefix;
+* determinism: the same seed and stream give the same samples.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import SequenceSamplerWOR, SequenceSamplerWR
+
+configuration = st.tuples(
+    st.integers(min_value=1, max_value=60),    # n
+    st.integers(min_value=1, max_value=10),    # k
+    st.integers(min_value=1, max_value=300),   # stream length
+    st.integers(min_value=0, max_value=2**31), # seed
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(configuration)
+def test_wr_samples_always_in_window(config):
+    n, k, length, seed = config
+    sampler = SequenceSamplerWR(n=n, k=k, rng=seed)
+    for value in range(length):
+        sampler.append(value)
+        window_start = max(0, sampler.total_arrivals - n)
+        drawn = sampler.sample()
+        assert len(drawn) == k
+        for element in drawn:
+            assert window_start <= element.index < sampler.total_arrivals
+
+
+@settings(max_examples=60, deadline=None)
+@given(configuration)
+def test_wor_samples_distinct_and_in_window(config):
+    n, k, length, seed = config
+    sampler = SequenceSamplerWOR(n=n, k=k, rng=seed)
+    for value in range(length):
+        sampler.append(value)
+        window_start = max(0, sampler.total_arrivals - n)
+        window_size = sampler.total_arrivals - window_start
+        drawn = sampler.sample()
+        assert len(drawn) == min(k, window_size)
+        indexes = [element.index for element in drawn]
+        assert len(indexes) == len(set(indexes))
+        assert all(window_start <= index < sampler.total_arrivals for index in indexes)
+
+
+@settings(max_examples=40, deadline=None)
+@given(configuration)
+def test_wr_memory_bound_holds_on_every_prefix(config):
+    n, k, length, seed = config
+    sampler = SequenceSamplerWR(n=n, k=k, rng=seed)
+    for value in range(length):
+        sampler.append(value)
+        assert sampler.memory_words() <= 12 * k + 10
+
+
+@settings(max_examples=40, deadline=None)
+@given(configuration)
+def test_wor_memory_bound_holds_on_every_prefix(config):
+    n, k, length, seed = config
+    sampler = SequenceSamplerWOR(n=n, k=k, rng=seed)
+    for value in range(length):
+        sampler.append(value)
+        assert sampler.memory_words() <= 7 * k + 12
+
+
+@settings(max_examples=30, deadline=None)
+@given(configuration)
+def test_same_seed_same_samples(config):
+    n, k, length, seed = config
+
+    def run():
+        sampler = SequenceSamplerWOR(n=n, k=k, rng=seed)
+        for value in range(length):
+            sampler.append(value)
+        return sorted(sampler.sample_values())
+
+    assert run() == run()
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=40),
+    st.integers(min_value=1, max_value=8),
+    st.lists(st.integers(min_value=-1000, max_value=1000), min_size=1, max_size=200),
+    st.integers(min_value=0, max_value=2**31),
+)
+def test_wr_sampled_values_come_from_the_stream(n, k, values, seed):
+    sampler = SequenceSamplerWR(n=n, k=k, rng=seed)
+    for value in values:
+        sampler.append(value)
+    window_values = values[-n:]
+    for value in sampler.sample_values():
+        assert value in window_values

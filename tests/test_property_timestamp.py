@@ -1,0 +1,85 @@
+"""Property-based tests for the timestamp-window samplers (Theorems 3.9 / 4.4)."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import TimestampSamplerWOR, TimestampSamplerWR
+from repro.windows import TimestampWindow
+
+arrival_pattern = st.lists(
+    st.floats(min_value=0.0, max_value=4.0, allow_nan=False), min_size=1, max_size=150
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    arrival_pattern,
+    st.floats(min_value=0.5, max_value=30.0, allow_nan=False),
+    st.integers(min_value=1, max_value=5),
+    st.integers(min_value=0, max_value=2**31),
+)
+def test_ts_wr_samples_are_always_active(gaps, t0, k, seed):
+    sampler = TimestampSamplerWR(t0=t0, k=k, rng=seed)
+    tracker = TimestampWindow(t0)
+    now = 0.0
+    for index, gap in enumerate(gaps):
+        now += gap
+        sampler.advance_time(now)
+        tracker.advance_time(now)
+        sampler.append(index, now)
+        tracker.append(index, now)
+        active = set(tracker.active_indexes())
+        drawn = sampler.sample()
+        assert len(drawn) == k
+        for element in drawn:
+            assert element.index in active
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    arrival_pattern,
+    st.floats(min_value=0.5, max_value=30.0, allow_nan=False),
+    st.integers(min_value=1, max_value=5),
+    st.integers(min_value=0, max_value=2**31),
+)
+def test_ts_wor_samples_are_distinct_active_and_right_sized(gaps, t0, k, seed):
+    sampler = TimestampSamplerWOR(t0=t0, k=k, rng=seed)
+    tracker = TimestampWindow(t0)
+    now = 0.0
+    for index, gap in enumerate(gaps):
+        now += gap
+        sampler.advance_time(now)
+        tracker.advance_time(now)
+        sampler.append(index, now)
+        tracker.append(index, now)
+        active = set(tracker.active_indexes())
+        drawn = sampler.sample()
+        indexes = [element.index for element in drawn]
+        assert len(indexes) == len(set(indexes))
+        assert set(indexes) <= active
+        assert len(indexes) == min(k, len(active))
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    arrival_pattern,
+    st.floats(min_value=1.0, max_value=20.0, allow_nan=False),
+    st.integers(min_value=1, max_value=4),
+)
+def test_ts_wr_memory_is_independent_of_the_coin_flips(gaps, t0, k):
+    """The footprint must be a deterministic function of the arrival pattern."""
+
+    def trace(seed):
+        sampler = TimestampSamplerWR(t0=t0, k=k, rng=seed)
+        now = 0.0
+        readings = []
+        for index, gap in enumerate(gaps):
+            now += gap
+            sampler.advance_time(now)
+            sampler.append(index, now)
+            readings.append(sampler.memory_words())
+        return readings
+
+    assert trace(1) == trace(999)

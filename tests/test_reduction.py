@@ -1,0 +1,110 @@
+"""The black-box reduction — Lemmas 4.2 and 4.3 (§4).
+
+Tested directly on literal integer domains [1, j], matching the paper's
+notation, so the distributional statements can be verified exactly.
+"""
+
+import random
+from collections import Counter
+from itertools import combinations
+
+import pytest
+
+from repro.core.reduction import build_k_sample, extend_without_replacement
+
+
+class TestExtendWithoutReplacement:
+    def test_collision_adds_the_newest_element(self):
+        result = extend_without_replacement([3, 5], new_single=5, newest_element=9)
+        assert sorted(result) == [3, 5, 9]
+
+    def test_no_collision_adds_the_single(self):
+        result = extend_without_replacement([3, 5], new_single=7, newest_element=9)
+        assert sorted(result) == [3, 5, 7]
+
+    def test_duplicate_current_rejected(self):
+        with pytest.raises(ValueError):
+            extend_without_replacement([3, 3], new_single=1, newest_element=9)
+
+    def test_newest_already_present_rejected(self):
+        with pytest.raises(ValueError):
+            extend_without_replacement([9, 5], new_single=5, newest_element=9)
+
+    def test_custom_key(self):
+        current = [{"id": 1}, {"id": 2}]
+        result = extend_without_replacement(
+            current, new_single={"id": 2}, newest_element={"id": 7}, key=lambda item: item["id"]
+        )
+        assert {item["id"] for item in result} == {1, 2, 7}
+
+    def test_lemma_4_2_distribution(self):
+        """Starting from a uniform S^b_a and an independent uniform S^{b+1}_1,
+        the output must be a uniform (a+1)-subset of [1, b+1]."""
+        b, a = 5, 2
+        runs = 30_000
+        rng = random.Random(0)
+        counts = Counter()
+        for _ in range(runs):
+            current = tuple(sorted(rng.sample(range(1, b + 1), a)))
+            single = rng.randint(1, b + 1)
+            result = extend_without_replacement(list(current), single, b + 1)
+            counts[tuple(sorted(result))] += 1
+        subsets = list(combinations(range(1, b + 2), a + 1))
+        expected = runs / len(subsets)
+        assert set(counts) <= set(subsets)
+        for subset in subsets:
+            assert abs(counts[subset] - expected) < 0.15 * expected + 20, (subset, counts[subset])
+
+
+class TestBuildKSample:
+    def test_empty_inputs(self):
+        assert build_k_sample([], []) == []
+
+    def test_single_sample_passthrough(self):
+        assert build_k_sample([4], []) == [4]
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            build_k_sample([1, 2], [])
+
+    def test_result_size_and_distinctness(self):
+        rng = random.Random(1)
+        n, k = 10, 4
+        for _ in range(200):
+            singles = [rng.randint(1, n - k + 1 + j) for j in range(k)]
+            newest = [n - k + 1 + j for j in range(1, k)]
+            result = build_k_sample(singles, newest)
+            assert len(result) == k
+            assert len(set(result)) == k
+            assert all(1 <= element <= n for element in result)
+
+    def test_lemma_4_3_distribution(self):
+        """With independent uniform singles over nested domains the output is a
+        uniform k-subset of [1, n]."""
+        n, k = 7, 3
+        runs = 40_000
+        rng = random.Random(2)
+        counts = Counter()
+        for _ in range(runs):
+            singles = [rng.randint(1, n - k + 1 + j) for j in range(k)]
+            newest = [n - k + 1 + j for j in range(1, k)]
+            result = build_k_sample(singles, newest)
+            counts[tuple(sorted(result))] += 1
+        subsets = list(combinations(range(1, n + 1), k))
+        expected = runs / len(subsets)
+        for subset in subsets:
+            assert abs(counts[subset] - expected) < 0.2 * expected + 25, (subset, counts[subset])
+
+    def test_inclusion_probability_uniform(self):
+        n, k = 12, 5
+        runs = 20_000
+        rng = random.Random(3)
+        inclusion = Counter()
+        for _ in range(runs):
+            singles = [rng.randint(1, n - k + 1 + j) for j in range(k)]
+            newest = [n - k + 1 + j for j in range(1, k)]
+            for element in build_k_sample(singles, newest):
+                inclusion[element] += 1
+        expected = runs * k / n
+        for element in range(1, n + 1):
+            assert abs(inclusion[element] - expected) < 0.1 * expected, (element, inclusion[element])

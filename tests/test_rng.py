@@ -1,0 +1,91 @@
+"""Deterministic RNG helpers: seeding, spawning, bernoulli coins."""
+
+import random
+
+import pytest
+
+from repro.rng import bernoulli, ensure_rng, spawn, uniform_index
+
+
+class TestEnsureRng:
+    def test_int_seed_is_deterministic(self):
+        assert ensure_rng(42).random() == ensure_rng(42).random()
+
+    def test_different_seeds_differ(self):
+        assert ensure_rng(1).random() != ensure_rng(2).random()
+
+    def test_existing_generator_is_passed_through(self):
+        source = random.Random(7)
+        assert ensure_rng(source) is source
+
+    def test_none_gives_a_generator(self):
+        assert isinstance(ensure_rng(None), random.Random)
+
+    def test_bool_is_rejected(self):
+        with pytest.raises(TypeError):
+            ensure_rng(True)
+
+    def test_unknown_type_is_rejected(self):
+        with pytest.raises(TypeError):
+            ensure_rng("seed")
+
+
+class TestSpawn:
+    def test_spawn_is_deterministic(self):
+        a = spawn(random.Random(5), 3).random()
+        b = spawn(random.Random(5), 3).random()
+        assert a == b
+
+    def test_different_stream_ids_give_different_children(self):
+        parent = random.Random(5)
+        first = spawn(parent, 0)
+        parent = random.Random(5)
+        second = spawn(parent, 1)
+        assert first.random() != second.random()
+
+    def test_child_is_distinct_object(self):
+        parent = random.Random(5)
+        child = spawn(parent, 0)
+        assert child is not parent
+
+
+class TestBernoulli:
+    def test_probability_zero_never_fires(self):
+        source = random.Random(1)
+        assert not any(bernoulli(source, 0.0) for _ in range(100))
+
+    def test_probability_one_always_fires(self):
+        source = random.Random(1)
+        assert all(bernoulli(source, 1.0) for _ in range(100))
+
+    def test_invalid_probabilities_raise(self):
+        source = random.Random(1)
+        with pytest.raises(ValueError):
+            bernoulli(source, -0.5)
+        with pytest.raises(ValueError):
+            bernoulli(source, 1.5)
+
+    def test_empirical_rate_matches_probability(self):
+        source = random.Random(123)
+        trials = 20_000
+        hits = sum(bernoulli(source, 0.3) for _ in range(trials))
+        assert abs(hits / trials - 0.3) < 0.02
+
+    def test_tiny_numerical_overshoot_is_tolerated(self):
+        source = random.Random(1)
+        assert bernoulli(source, 1.0 + 1e-12) is True
+        assert bernoulli(source, -1e-12) is False
+
+
+class TestUniformIndex:
+    def test_bounds_are_inclusive(self):
+        source = random.Random(2)
+        draws = {uniform_index(source, 3, 5) for _ in range(500)}
+        assert draws == {3, 4, 5}
+
+    def test_empty_range_raises(self):
+        with pytest.raises(ValueError):
+            uniform_index(random.Random(2), 5, 4)
+
+    def test_single_point_range(self):
+        assert uniform_index(random.Random(2), 9, 9) == 9

@@ -1,0 +1,127 @@
+"""SequenceSamplerWOR — Theorem 2.2 (equivalent-width partitions, without replacement)."""
+
+from collections import Counter
+
+import pytest
+
+from repro.core import SequenceSamplerWOR
+from repro.exceptions import ConfigurationError, EmptyWindowError, InsufficientSampleError
+
+
+class TestConstruction:
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SequenceSamplerWOR(n=0, k=1)
+        with pytest.raises(ConfigurationError):
+            SequenceSamplerWOR(n=5, k=0)
+
+    def test_metadata_flags(self):
+        sampler = SequenceSamplerWOR(n=10, k=3, rng=1)
+        assert sampler.with_replacement is False
+        assert sampler.deterministic_memory is True
+        assert sampler.algorithm == "boz-seq-wor"
+
+
+class TestSampleShape:
+    def test_empty_window_raises(self):
+        with pytest.raises(EmptyWindowError):
+            SequenceSamplerWOR(n=5, k=2, rng=1).sample()
+
+    def test_no_duplicates_ever(self):
+        sampler = SequenceSamplerWOR(n=30, k=8, rng=2)
+        for value in range(1500):
+            sampler.append(value)
+            drawn = sampler.sample()
+            indexes = [element.index for element in drawn]
+            assert len(indexes) == len(set(indexes))
+
+    def test_every_sample_is_in_the_window(self):
+        sampler = SequenceSamplerWOR(n=40, k=6, rng=3)
+        for value in range(900):
+            sampler.append(value)
+            window_start = max(0, sampler.total_arrivals - 40)
+            for element in sampler.sample():
+                assert window_start <= element.index < sampler.total_arrivals
+
+    def test_returns_k_elements_once_window_filled(self):
+        sampler = SequenceSamplerWOR(n=20, k=5, rng=4)
+        for value in range(100):
+            sampler.append(value)
+        assert len(sampler.sample()) == 5
+
+    def test_partial_window_returns_everything(self):
+        sampler = SequenceSamplerWOR(n=100, k=10, rng=5)
+        for value in range(4):
+            sampler.append(value)
+        assert sorted(sampler.sample_values()) == [0, 1, 2, 3]
+
+    def test_strict_mode_raises_on_small_window(self):
+        sampler = SequenceSamplerWOR(n=100, k=10, rng=6, allow_partial=False)
+        for value in range(4):
+            sampler.append(value)
+        with pytest.raises(InsufficientSampleError):
+            sampler.sample()
+
+    def test_k_larger_than_n_returns_whole_window(self):
+        sampler = SequenceSamplerWOR(n=5, k=10, rng=7)
+        for value in range(50):
+            sampler.append(value)
+        assert sorted(sampler.sample_values()) == list(range(45, 50))
+
+    def test_exact_bucket_boundary(self):
+        sampler = SequenceSamplerWOR(n=10, k=4, rng=8)
+        for value in range(40):
+            sampler.append(value)
+        for element in sampler.sample():
+            assert 30 <= element.index < 40
+
+
+class TestMemoryBound:
+    @pytest.mark.parametrize("k", [1, 8, 32])
+    def test_memory_is_theta_k(self, k):
+        sampler = SequenceSamplerWOR(n=2000, k=k, rng=9)
+        peak = 0
+        for value in range(8000):
+            sampler.append(value)
+            peak = max(peak, sampler.memory_words())
+        assert peak <= 7 * k + 12
+
+    def test_memory_does_not_depend_on_stream_length(self):
+        sampler = SequenceSamplerWOR(n=100, k=8, rng=10)
+        for value in range(150):
+            sampler.append(value)
+        early = sampler.memory_words()
+        for value in range(5000):
+            sampler.append(value)
+        late = sampler.memory_words()
+        assert late <= early + 5
+
+
+class TestUniformInclusion:
+    def test_inclusion_probability_is_k_over_n(self):
+        n, k, stream_length, runs = 15, 4, 64, 3000
+        counts = Counter()
+        for seed in range(runs):
+            sampler = SequenceSamplerWOR(n=n, k=k, rng=seed)
+            for value in range(stream_length):
+                sampler.append(value)
+            for element in sampler.sample():
+                counts[element.index] += 1
+        window = range(stream_length - n, stream_length)
+        expected = runs * k / n
+        for position in window:
+            assert abs(counts[position] - expected) < 0.2 * expected
+
+    def test_pairs_are_not_clustered(self):
+        """A crude pairwise check: adjacent positions should not always co-occur."""
+        n, k, runs = 10, 2, 2000
+        co_occurrences = 0
+        for seed in range(runs):
+            sampler = SequenceSamplerWOR(n=n, k=k, rng=seed)
+            for value in range(37):
+                sampler.append(value)
+            drawn = sorted(element.index for element in sampler.sample())
+            if drawn[1] - drawn[0] == 1:
+                co_occurrences += 1
+        # For a uniform 2-subset of 10 positions, P(adjacent) = 9/45 = 0.2.
+        assert abs(co_occurrences / runs - 0.2) < 0.06

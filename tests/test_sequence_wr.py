@@ -1,0 +1,130 @@
+"""SequenceSamplerWR — Theorem 2.1 (equivalent-width partitions, with replacement)."""
+
+from collections import Counter
+
+import pytest
+
+from repro.core import SequenceSamplerWR
+from repro.exceptions import ConfigurationError, EmptyWindowError
+
+
+class TestConstruction:
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SequenceSamplerWR(n=0, k=1)
+        with pytest.raises(ConfigurationError):
+            SequenceSamplerWR(n=10, k=0)
+
+    def test_metadata_flags(self):
+        sampler = SequenceSamplerWR(n=10, k=2, rng=1)
+        assert sampler.with_replacement is True
+        assert sampler.deterministic_memory is True
+        assert sampler.algorithm == "boz-seq-wr"
+        assert sampler.n == 10
+        assert sampler.k == 2
+
+
+class TestBasicBehaviour:
+    def test_empty_window_raises(self):
+        with pytest.raises(EmptyWindowError):
+            SequenceSamplerWR(n=5, k=1, rng=1).sample()
+
+    def test_single_element_is_always_the_sample(self):
+        sampler = SequenceSamplerWR(n=5, k=3, rng=1)
+        sampler.append("only")
+        assert sampler.sample_values() == ["only", "only", "only"]
+
+    def test_sample_always_within_window(self):
+        sampler = SequenceSamplerWR(n=50, k=4, rng=2)
+        for value in range(2000):
+            sampler.append(value)
+            window_start = max(0, sampler.total_arrivals - 50)
+            for drawn in sampler.sample():
+                assert window_start <= drawn.index < sampler.total_arrivals
+                assert drawn.value == drawn.index  # value == index in this stream
+
+    def test_sample_returns_k_elements(self):
+        sampler = SequenceSamplerWR(n=10, k=7, rng=3)
+        for value in range(25):
+            sampler.append(value)
+        assert len(sampler.sample()) == 7
+
+    def test_window_size_property(self):
+        sampler = SequenceSamplerWR(n=10, k=1, rng=1)
+        for value in range(4):
+            sampler.append(value)
+        assert sampler.window_size == 4
+        for value in range(20):
+            sampler.append(value)
+        assert sampler.window_size == 10
+
+    def test_extend_accepts_stream_elements_and_raw_values(self, ascending_stream):
+        sampler = SequenceSamplerWR(n=100, k=1, rng=4)
+        sampler.extend(ascending_stream[:50])
+        sampler.extend(range(50, 60))
+        assert sampler.total_arrivals == 60
+
+    def test_exact_window_boundary(self):
+        """When arrivals is a multiple of n the window coincides with one bucket."""
+        sampler = SequenceSamplerWR(n=10, k=2, rng=5)
+        for value in range(30):  # exactly 3 buckets
+            sampler.append(value)
+        for drawn in sampler.sample():
+            assert 20 <= drawn.index < 30
+
+    def test_deterministic_under_seed(self):
+        def run(seed):
+            sampler = SequenceSamplerWR(n=20, k=3, rng=seed)
+            for value in range(500):
+                sampler.append(value)
+            return sampler.sample_values()
+
+        assert run(11) == run(11)
+        assert run(11) != run(12)
+
+
+class TestMemoryBound:
+    @pytest.mark.parametrize("k", [1, 4, 16])
+    def test_memory_is_theta_k_and_flat(self, k):
+        sampler = SequenceSamplerWR(n=1000, k=k, rng=6)
+        readings = set()
+        for value in range(5000):
+            sampler.append(value)
+            readings.add(sampler.memory_words())
+        # Bounded by a small constant times k, independent of n and stream length.
+        assert max(readings) <= 12 * k + 10
+        # Once the first bucket completed the footprint never changes.
+        stable = set()
+        for value in range(2000):
+            sampler.append(value)
+            stable.add(sampler.memory_words())
+        assert len(stable) == 1
+
+    def test_memory_independent_of_window_size(self):
+        """Once both windows have filled, the footprint does not depend on n."""
+        small = SequenceSamplerWR(n=100, k=8, rng=7)
+        large = SequenceSamplerWR(n=10_000, k=8, rng=7)
+        for value in range(25_000):
+            small.append(value)
+            large.append(value)
+        assert small.memory_words() == large.memory_words()
+
+
+class TestUniformity:
+    def test_positions_are_uniform_with_many_lanes(self):
+        n, lanes, stream_length = 20, 6000, 130
+        sampler = SequenceSamplerWR(n=n, k=lanes, rng=8)
+        for value in range(stream_length):
+            sampler.append(value)
+        window = list(range(stream_length - n, stream_length))
+        counts = Counter(drawn.index for drawn in sampler.sample())
+        assert set(counts) <= set(window)
+        expected = lanes / n
+        for position in window:
+            assert abs(counts.get(position, 0) - expected) < 0.35 * expected + 10
+
+    def test_lanes_are_not_identical(self):
+        sampler = SequenceSamplerWR(n=50, k=30, rng=9)
+        for value in range(200):
+            sampler.append(value)
+        assert len(set(sampler.sample_values())) > 1

@@ -1,0 +1,123 @@
+"""Exponential-histogram approximate window counting (DGIM substrate)."""
+
+import random
+
+import pytest
+
+from repro.exceptions import ConfigurationError, StreamOrderError
+from repro.sketches import ExponentialHistogramCounter
+from repro.windows import TimestampWindow
+
+
+class TestConstruction:
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ExponentialHistogramCounter(0.0)
+        with pytest.raises(ConfigurationError):
+            ExponentialHistogramCounter(10.0, epsilon=0.0)
+        with pytest.raises(ConfigurationError):
+            ExponentialHistogramCounter(10.0, epsilon=1.5)
+
+    def test_empty_counter_estimates_zero(self):
+        counter = ExponentialHistogramCounter(10.0)
+        assert counter.estimate() == 0
+        assert counter.lower_bound() == 0
+        assert counter.bucket_count == 0
+
+
+class TestOrdering:
+    def test_clock_cannot_go_backwards(self):
+        counter = ExponentialHistogramCounter(10.0)
+        counter.advance_time(5.0)
+        with pytest.raises(StreamOrderError):
+            counter.advance_time(4.0)
+
+    def test_timestamps_must_be_non_decreasing(self):
+        counter = ExponentialHistogramCounter(10.0)
+        counter.append(5.0)
+        with pytest.raises(StreamOrderError):
+            counter.append(4.0)
+
+
+class TestExactWhileSmall:
+    def test_count_is_exact_when_nothing_expired(self):
+        counter = ExponentialHistogramCounter(1_000.0, epsilon=0.1)
+        for index in range(200):
+            counter.append(float(index))
+        assert counter.estimate() == 200
+
+    def test_count_drops_to_zero_after_a_long_gap(self):
+        counter = ExponentialHistogramCounter(5.0)
+        for index in range(50):
+            counter.append(float(index))
+        counter.advance_time(1_000.0)
+        assert counter.estimate() == 0
+
+
+class TestApproximationGuarantee:
+    @pytest.mark.parametrize("epsilon", [0.05, 0.1, 0.25])
+    def test_relative_error_is_bounded(self, epsilon):
+        t0 = 500.0
+        counter = ExponentialHistogramCounter(t0, epsilon=epsilon)
+        tracker = TimestampWindow(t0)
+        source = random.Random(7)
+        clock = 0.0
+        for index in range(5_000):
+            clock += source.expovariate(1.0)
+            counter.advance_time(clock)
+            tracker.advance_time(clock)
+            counter.append(clock)
+            tracker.append(index, clock)
+            truth = tracker.size
+            estimate = counter.estimate()
+            if truth > 0:
+                assert abs(estimate - truth) <= max(1.0, epsilon * truth) * (1 + 1e-9), (
+                    index,
+                    estimate,
+                    truth,
+                )
+
+    def test_lower_bound_never_exceeds_truth(self):
+        t0 = 200.0
+        counter = ExponentialHistogramCounter(t0, epsilon=0.2)
+        tracker = TimestampWindow(t0)
+        source = random.Random(11)
+        clock = 0.0
+        for index in range(3_000):
+            clock += source.expovariate(1.0)
+            counter.advance_time(clock)
+            tracker.advance_time(clock)
+            counter.append(clock)
+            tracker.append(index, clock)
+            assert counter.lower_bound() <= tracker.size
+
+
+class TestMemory:
+    def test_memory_is_sublinear_in_window_size(self):
+        t0 = 50_000.0
+        counter = ExponentialHistogramCounter(t0, epsilon=0.1)
+        for index in range(20_000):
+            counter.append(float(index))
+        # The exact window would need ~20,000 words; the histogram needs a few hundred.
+        assert counter.memory_words() < 1_000
+        assert counter.bucket_count < 200
+
+    def test_bucket_sizes_grow_geometrically(self):
+        counter = ExponentialHistogramCounter(1e9, epsilon=0.1)
+        for index in range(10_000):
+            counter.append(float(index))
+        sizes = [bucket.size for bucket in counter._buckets]
+        assert max(sizes) >= 1_024  # large old buckets exist
+        # Each size class is bounded by the capacity.
+        for size in set(sizes):
+            assert sizes.count(size) <= counter._capacity
+
+
+class TestBurstArrivals:
+    def test_many_elements_at_one_timestamp(self):
+        counter = ExponentialHistogramCounter(10.0, epsilon=0.1)
+        for _ in range(500):
+            counter.append(0.0)
+        assert counter.estimate() == 500
+        counter.advance_time(10.0)
+        assert counter.estimate() == 0

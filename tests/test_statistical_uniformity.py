@@ -1,0 +1,167 @@
+"""End-to-end distributional tests — the empirical counterpart of the theorems.
+
+These are heavier than the unit tests (they repeat runs or use thousands of
+independent lanes) and are marked ``slow``.  They are the library's strongest
+correctness evidence: the output distribution of every sampler is compared
+against the uniform law over the *exact* window contents.
+"""
+
+import random
+
+import pytest
+
+from repro.analysis import assess_uniformity
+from repro.baselines import ChainSamplerWR, PrioritySamplerWOR, PrioritySamplerWR
+from repro.core import (
+    SequenceSamplerWOR,
+    SequenceSamplerWR,
+    TimestampSamplerWOR,
+    TimestampSamplerWR,
+)
+from repro.harness.runner import collect_position_samples, collect_wor_inclusions
+from repro.streams.element import make_stream
+from repro.windows import TimestampWindow
+
+pytestmark = pytest.mark.slow
+
+
+def poisson_stream(count, rate=1.0, seed=0):
+    source = random.Random(seed)
+    current = 0.0
+    timestamps = []
+    for _ in range(count):
+        current += source.expovariate(rate)
+        timestamps.append(current)
+    return make_stream(range(count), timestamps)
+
+
+SEQ_N = 48
+SEQ_LENGTH = 310          # not a multiple of n, so the window straddles buckets
+TS_SPAN = 37.0
+TS_LENGTH = 260
+
+
+class TestSequenceWindowUniformity:
+    def test_wr_uniform_over_positions(self):
+        stream = make_stream(range(SEQ_LENGTH))
+        indexes, _ = collect_position_samples(
+            lambda seed: SequenceSamplerWR(n=SEQ_N, k=8_000, rng=seed), stream, seed=11
+        )
+        window = list(range(SEQ_LENGTH - SEQ_N, SEQ_LENGTH))
+        report = assess_uniformity(indexes, window)
+        assert report.passes, report
+
+    def test_wor_uniform_inclusion(self):
+        stream = make_stream(range(SEQ_LENGTH))
+        pooled = collect_wor_inclusions(
+            lambda seed: SequenceSamplerWOR(n=SEQ_N, k=6, rng=seed), stream, runs=1_500, base_seed=50
+        )
+        window = list(range(SEQ_LENGTH - SEQ_N, SEQ_LENGTH))
+        report = assess_uniformity(pooled, window)
+        assert report.passes, report
+
+    def test_chain_baseline_is_also_uniform(self):
+        stream = make_stream(range(SEQ_LENGTH))
+        indexes, _ = collect_position_samples(
+            lambda seed: ChainSamplerWR(n=SEQ_N, k=8_000, rng=seed), stream, seed=13
+        )
+        window = list(range(SEQ_LENGTH - SEQ_N, SEQ_LENGTH))
+        assert assess_uniformity(indexes, window).passes
+
+    def test_wr_uniform_at_bucket_boundary(self):
+        """The degenerate case where the window coincides with one bucket."""
+        length = SEQ_N * 5  # arrivals a multiple of n
+        stream = make_stream(range(length))
+        indexes, _ = collect_position_samples(
+            lambda seed: SequenceSamplerWR(n=SEQ_N, k=8_000, rng=seed), stream, seed=17
+        )
+        window = list(range(length - SEQ_N, length))
+        assert assess_uniformity(indexes, window).passes
+
+
+class TestTimestampWindowUniformity:
+    def _active_window(self, stream, span):
+        tracker = TimestampWindow(span)
+        tracker.extend(stream)
+        return tracker.active_indexes()
+
+    def test_wr_uniform_over_positions_poisson(self):
+        stream = poisson_stream(TS_LENGTH, seed=21)
+        window = self._active_window(stream, TS_SPAN)
+        indexes, _ = collect_position_samples(
+            lambda seed: TimestampSamplerWR(t0=TS_SPAN, k=8_000, rng=seed),
+            stream,
+            seed=22,
+            advance_time=True,
+        )
+        assert assess_uniformity(indexes, window).passes
+
+    def test_wr_uniform_under_bursty_arrivals(self):
+        source = random.Random(31)
+        timestamps = []
+        current = 0.0
+        for _ in range(TS_LENGTH):
+            if source.random() < 0.1:
+                current += source.expovariate(0.2)
+            timestamps.append(current)
+        stream = make_stream(range(TS_LENGTH), timestamps)
+        window = self._active_window(stream, TS_SPAN)
+        indexes, _ = collect_position_samples(
+            lambda seed: TimestampSamplerWR(t0=TS_SPAN, k=8_000, rng=seed),
+            stream,
+            seed=32,
+            advance_time=True,
+        )
+        assert assess_uniformity(indexes, window).passes
+
+    def test_wor_uniform_inclusion(self):
+        stream = poisson_stream(150, seed=41)
+        window = self._active_window(stream, 23.0)
+        pooled = collect_wor_inclusions(
+            lambda seed: TimestampSamplerWOR(t0=23.0, k=4, rng=seed),
+            stream,
+            runs=1_500,
+            base_seed=1000,
+            advance_time=True,
+        )
+        assert assess_uniformity(pooled, window).passes
+
+    def test_priority_baselines_are_also_uniform(self):
+        stream = poisson_stream(TS_LENGTH, seed=51)
+        window = self._active_window(stream, TS_SPAN)
+        indexes, _ = collect_position_samples(
+            lambda seed: PrioritySamplerWR(t0=TS_SPAN, k=8_000, rng=seed),
+            stream,
+            seed=52,
+            advance_time=True,
+        )
+        assert assess_uniformity(indexes, window).passes
+        pooled = collect_wor_inclusions(
+            lambda seed: PrioritySamplerWOR(t0=TS_SPAN, k=4, rng=seed),
+            stream,
+            runs=1_000,
+            base_seed=2_000,
+            advance_time=True,
+        )
+        assert assess_uniformity(pooled, window).passes
+
+
+class TestIndependenceOfDisjointWindows:
+    def test_sequence_wr_samples_of_disjoint_windows_are_uncorrelated(self):
+        """§1.3.4: positions sampled in two non-overlapping windows are independent."""
+        from repro.analysis import assess_independence
+
+        n, runs, bins = 32, 1_200, 4
+        stream = make_stream(range(3 * n))
+        pairs = []
+        for run in range(runs):
+            sampler = SequenceSamplerWR(n=n, k=1, rng=10_000 + run)
+            first_bin = None
+            for position, element in enumerate(stream):
+                sampler.append(element.value, element.timestamp)
+                if position == 2 * n - 1:
+                    first_bin = (sampler.sample()[0].index - n) * bins // n
+            second_bin = (sampler.sample()[0].index - 2 * n) * bins // n
+            pairs.append((first_bin, second_bin))
+        report = assess_independence(pairs, list(range(bins)), list(range(bins)))
+        assert report.passes, report

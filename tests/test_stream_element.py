@@ -1,0 +1,60 @@
+"""StreamElement records and the make_stream helper."""
+
+import pytest
+
+from repro.streams.element import StreamElement, indexes_of, iter_with_indexes, make_stream, values_of
+
+
+class TestStreamElement:
+    def test_fields(self):
+        element = StreamElement(value="x", index=3, timestamp=7.5)
+        assert element.value == "x"
+        assert element.index == 3
+        assert element.timestamp == 7.5
+
+    def test_is_frozen(self):
+        element = StreamElement(value=1, index=0, timestamp=0.0)
+        with pytest.raises(Exception):
+            element.value = 2  # type: ignore[misc]
+
+    def test_activity_check(self):
+        element = StreamElement(value=1, index=0, timestamp=10.0)
+        assert element.is_active(now=14.9, window_span=5.0)
+        assert not element.is_active(now=15.0, window_span=5.0)
+        assert not element.is_active(now=20.0, window_span=5.0)
+
+
+class TestMakeStream:
+    def test_default_timestamps_equal_indexes(self):
+        stream = make_stream(["a", "b", "c"])
+        assert [element.index for element in stream] == [0, 1, 2]
+        assert [element.timestamp for element in stream] == [0.0, 1.0, 2.0]
+        assert values_of(stream) == ["a", "b", "c"]
+
+    def test_explicit_timestamps(self):
+        stream = make_stream([10, 20], timestamps=[1.5, 3.0])
+        assert [element.timestamp for element in stream] == [1.5, 3.0]
+        assert indexes_of(stream) == [0, 1]
+
+    def test_start_index_offset(self):
+        stream = make_stream([1, 2], start_index=100)
+        assert indexes_of(stream) == [100, 101]
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            make_stream([1, 2, 3], timestamps=[0.0, 1.0])
+
+    def test_decreasing_timestamps_raise(self):
+        with pytest.raises(ValueError):
+            make_stream([1, 2], timestamps=[5.0, 4.0])
+
+    def test_equal_timestamps_are_allowed(self):
+        stream = make_stream([1, 2, 3], timestamps=[2.0, 2.0, 2.0])
+        assert len(stream) == 3
+
+    def test_iter_with_indexes_is_lazy_and_consistent(self):
+        lazy = iter_with_indexes(iter(["x", "y"]))
+        first = next(lazy)
+        assert first.index == 0 and first.value == "x"
+        second = next(lazy)
+        assert second.index == 1 and second.timestamp == 1.0

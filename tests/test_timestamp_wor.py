@@ -1,0 +1,166 @@
+"""TimestampSamplerWOR — Theorem 4.4 (without replacement, timestamp windows)."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.core import TimestampSamplerWOR
+from repro.exceptions import ConfigurationError, EmptyWindowError, InsufficientSampleError, StreamOrderError
+from repro.windows import TimestampWindow
+
+
+def poisson_elements(count, rate=1.0, seed=0):
+    source = random.Random(seed)
+    current = 0.0
+    elements = []
+    for index in range(count):
+        current += source.expovariate(rate)
+        elements.append((index, current))
+    return elements
+
+
+class TestConstruction:
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TimestampSamplerWOR(t0=0.0, k=1)
+        with pytest.raises(ConfigurationError):
+            TimestampSamplerWOR(t0=5.0, k=0)
+
+    def test_metadata(self):
+        sampler = TimestampSamplerWOR(t0=5.0, k=4, rng=1)
+        assert sampler.with_replacement is False
+        assert sampler.deterministic_memory is True
+        assert sampler.algorithm == "boz-ts-wor"
+
+
+class TestSampleShape:
+    def test_empty_window_raises(self):
+        with pytest.raises(EmptyWindowError):
+            TimestampSamplerWOR(t0=5.0, k=2, rng=1).sample()
+        sampler = TimestampSamplerWOR(t0=5.0, k=2, rng=1)
+        sampler.append("a", 0.0)
+        sampler.advance_time(100.0)
+        with pytest.raises(EmptyWindowError):
+            sampler.sample()
+
+    def test_no_duplicates_ever(self):
+        sampler = TimestampSamplerWOR(t0=30.0, k=6, rng=2)
+        for index, timestamp in poisson_elements(700, seed=3):
+            sampler.advance_time(timestamp)
+            sampler.append(index, timestamp)
+            drawn = sampler.sample()
+            indexes = [element.index for element in drawn]
+            assert len(indexes) == len(set(indexes))
+
+    def test_samples_are_active(self):
+        t0 = 25.0
+        sampler = TimestampSamplerWOR(t0=t0, k=5, rng=3)
+        for index, timestamp in poisson_elements(600, seed=4):
+            sampler.advance_time(timestamp)
+            sampler.append(index, timestamp)
+            for drawn in sampler.sample():
+                assert sampler.now - drawn.timestamp < t0
+
+    def test_full_k_returned_when_window_large(self):
+        sampler = TimestampSamplerWOR(t0=1_000.0, k=7, rng=4)
+        for index in range(200):
+            sampler.append(index, float(index))
+        assert len(sampler.sample()) == 7
+
+    def test_small_window_returns_all_active(self):
+        sampler = TimestampSamplerWOR(t0=3.5, k=10, rng=5)
+        for index in range(50):
+            sampler.append(index, float(index))
+        # Window holds indexes 47, 48, 49 (ages 2, 1, 0 < 3.5).
+        assert sorted(sampler.sample_values()) == [46, 47, 48, 49]
+
+    def test_strict_mode_raises_on_small_window(self):
+        sampler = TimestampSamplerWOR(t0=2.0, k=10, rng=6, allow_partial=False)
+        for index in range(20):
+            sampler.append(index, float(index))
+        with pytest.raises(InsufficientSampleError):
+            sampler.sample()
+
+    def test_matches_ground_truth_tracker(self, poisson_stream):
+        t0 = 9.0
+        sampler = TimestampSamplerWOR(t0=t0, k=4, rng=7)
+        tracker = TimestampWindow(t0)
+        for element in poisson_stream:
+            sampler.advance_time(element.timestamp)
+            tracker.advance_time(element.timestamp)
+            sampler.append(element.value, element.timestamp)
+            tracker.append(element.value, element.timestamp)
+            active = set(tracker.active_indexes())
+            for drawn in sampler.sample():
+                assert drawn.index in active
+
+    def test_clock_cannot_go_backwards(self):
+        sampler = TimestampSamplerWOR(t0=5.0, k=2, rng=8)
+        sampler.append("a", 10.0)
+        with pytest.raises(StreamOrderError):
+            sampler.append("b", 9.0)
+        with pytest.raises(StreamOrderError):
+            sampler.advance_time(1.0)
+
+    def test_window_refills_after_emptying(self):
+        sampler = TimestampSamplerWOR(t0=5.0, k=3, rng=9)
+        for index in range(10):
+            sampler.append(index, float(index))
+        sampler.advance_time(500.0)
+        for index in range(10, 30):
+            sampler.append(index, 500.0 + index)
+        drawn = sampler.sample()
+        assert len(drawn) == 3
+        for element in drawn:
+            assert sampler.now - element.timestamp < 5.0
+
+
+class TestMemory:
+    def test_memory_scales_as_k_log_n(self):
+        def peak_for(k):
+            sampler = TimestampSamplerWOR(t0=2_000.0, k=k, rng=10)
+            peak = 0
+            for index in range(4_000):
+                sampler.append(index, float(index))
+                peak = max(peak, sampler.memory_words())
+            return peak
+
+        peak_small, peak_large = peak_for(2), peak_for(8)
+        # Linear-ish growth in k (each of the k delayed copies costs O(log n)).
+        assert peak_large < 5.5 * peak_small
+        assert peak_large > 2.0 * peak_small
+
+    def test_memory_identical_across_seeds(self):
+        def trace(seed):
+            sampler = TimestampSamplerWOR(t0=50.0, k=3, rng=seed)
+            readings = []
+            for index, timestamp in poisson_elements(400, seed=20):
+                sampler.advance_time(timestamp)
+                sampler.append(index, timestamp)
+                readings.append(sampler.memory_words())
+            return readings
+
+        assert trace(1) == trace(2)
+
+
+class TestInclusionUniformity:
+    def test_inclusion_probability_is_uniform(self):
+        t0 = 11.0
+        k = 3
+        arrivals = poisson_elements(70, rate=1.0, seed=30)
+        final_time = arrivals[-1][1]
+        active = [index for index, timestamp in arrivals if final_time - timestamp < t0]
+        assert len(active) > k
+        runs = 3_000
+        counts = Counter()
+        for seed in range(runs):
+            sampler = TimestampSamplerWOR(t0=t0, k=k, rng=seed)
+            for index, timestamp in arrivals:
+                sampler.advance_time(timestamp)
+                sampler.append(index, timestamp)
+            for drawn in sampler.sample():
+                counts[drawn.index] += 1
+        expected = runs * k / len(active)
+        for position in active:
+            assert abs(counts[position] - expected) < 0.2 * expected + 15, (position, counts[position])

@@ -1,0 +1,189 @@
+"""TimestampSamplerWR — Theorem 3.9 (with replacement, timestamp windows)."""
+
+import math
+import random
+from collections import Counter
+
+import pytest
+
+from repro.core import TimestampSamplerWR
+from repro.exceptions import ConfigurationError, EmptyWindowError, StreamOrderError
+from repro.windows import TimestampWindow
+
+
+def poisson_elements(count, rate=1.0, seed=0):
+    source = random.Random(seed)
+    current = 0.0
+    elements = []
+    for index in range(count):
+        current += source.expovariate(rate)
+        elements.append((index, current))
+    return elements
+
+
+class TestConstruction:
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TimestampSamplerWR(t0=0.0, k=1)
+        with pytest.raises(ConfigurationError):
+            TimestampSamplerWR(t0=10.0, k=0)
+
+    def test_metadata(self):
+        sampler = TimestampSamplerWR(t0=10.0, k=3, rng=1)
+        assert sampler.with_replacement is True
+        assert sampler.deterministic_memory is True
+        assert sampler.t0 == 10.0
+        assert sampler.algorithm == "boz-ts-wr"
+
+
+class TestClockAndOrdering:
+    def test_empty_window_raises(self):
+        with pytest.raises(EmptyWindowError):
+            TimestampSamplerWR(t0=5.0, k=1, rng=1).sample()
+
+    def test_clock_cannot_go_backwards(self):
+        sampler = TimestampSamplerWR(t0=5.0, k=1, rng=1)
+        sampler.advance_time(10.0)
+        with pytest.raises(StreamOrderError):
+            sampler.advance_time(9.0)
+
+    def test_timestamps_must_be_non_decreasing(self):
+        sampler = TimestampSamplerWR(t0=5.0, k=1, rng=1)
+        sampler.append("a", 3.0)
+        with pytest.raises(StreamOrderError):
+            sampler.append("b", 2.0)
+
+    def test_append_without_timestamp_uses_clock(self):
+        sampler = TimestampSamplerWR(t0=5.0, k=1, rng=1)
+        sampler.advance_time(7.0)
+        sampler.append("a")
+        assert sampler.sample()[0].timestamp == 7.0
+
+    def test_window_empties_when_no_recent_arrivals(self):
+        sampler = TimestampSamplerWR(t0=5.0, k=2, rng=1)
+        sampler.append("a", 0.0)
+        sampler.advance_time(100.0)
+        assert sampler.window_is_empty
+        with pytest.raises(EmptyWindowError):
+            sampler.sample()
+
+    def test_window_refills_after_emptying(self):
+        sampler = TimestampSamplerWR(t0=5.0, k=2, rng=1)
+        sampler.append("old", 0.0)
+        sampler.advance_time(100.0)
+        sampler.append("new", 100.0)
+        assert sampler.sample_values() == ["new", "new"]
+
+
+class TestSamplesAreActive:
+    def test_samples_always_in_window_constant_rate(self):
+        t0 = 23.0
+        sampler = TimestampSamplerWR(t0=t0, k=3, rng=2)
+        for index in range(600):
+            sampler.append(index, float(index))
+            for drawn in sampler.sample():
+                assert sampler.now - drawn.timestamp < t0
+
+    def test_samples_always_in_window_poisson(self):
+        t0 = 15.0
+        sampler = TimestampSamplerWR(t0=t0, k=2, rng=3)
+        for index, timestamp in poisson_elements(800, rate=1.0, seed=5):
+            sampler.advance_time(timestamp)
+            sampler.append(index, timestamp)
+            for drawn in sampler.sample():
+                assert sampler.now - drawn.timestamp < t0
+
+    def test_samples_always_in_window_bursty(self):
+        t0 = 3.0
+        sampler = TimestampSamplerWR(t0=t0, k=2, rng=4)
+        source = random.Random(6)
+        now = 0.0
+        index = 0
+        for burst in range(80):
+            for _ in range(source.randint(1, 20)):
+                sampler.append(index, now)
+                index += 1
+            for drawn in sampler.sample():
+                assert sampler.now - drawn.timestamp < t0
+            now += source.expovariate(0.5)
+            sampler.advance_time(now)
+
+    def test_matches_ground_truth_tracker(self, poisson_stream):
+        t0 = 11.0
+        sampler = TimestampSamplerWR(t0=t0, k=4, rng=7)
+        tracker = TimestampWindow(t0)
+        for element in poisson_stream:
+            sampler.advance_time(element.timestamp)
+            tracker.advance_time(element.timestamp)
+            sampler.append(element.value, element.timestamp)
+            tracker.append(element.value, element.timestamp)
+            active = set(tracker.active_indexes())
+            for drawn in sampler.sample():
+                assert drawn.index in active
+
+
+class TestMemory:
+    def test_memory_is_logarithmic_per_sample(self):
+        t0 = 5_000.0
+        sampler = TimestampSamplerWR(t0=t0, k=1, rng=8)
+        peak = 0
+        for index in range(5_000):
+            sampler.append(index, float(index))
+            peak = max(peak, sampler.memory_words())
+        # At most ~2·log2(n) + O(1) buckets of 10 words each (including the
+        # straddling bucket), plus constants — the Theorem 3.9 bound.
+        budget = 10 * (2 * math.ceil(math.log2(5_000)) + 3) + 14
+        assert peak <= budget
+
+    def test_memory_scales_linearly_in_k(self):
+        def peak_for(k):
+            sampler = TimestampSamplerWR(t0=500.0, k=k, rng=9)
+            peak = 0
+            for index in range(2_000):
+                sampler.append(index, float(index))
+                peak = max(peak, sampler.memory_words())
+            return peak
+
+        assert peak_for(4) < 4.8 * peak_for(1)
+        assert peak_for(8) < 2.5 * peak_for(4)
+
+    def test_memory_identical_across_seeds(self):
+        """The footprint is a deterministic function of the arrival pattern."""
+        def trace(seed):
+            sampler = TimestampSamplerWR(t0=100.0, k=2, rng=seed)
+            readings = []
+            for index, timestamp in poisson_elements(500, seed=13):
+                sampler.advance_time(timestamp)
+                sampler.append(index, timestamp)
+                readings.append(sampler.memory_words())
+            return readings
+
+        assert trace(1) == trace(2) == trace(3)
+
+
+class TestUniformity:
+    def test_positions_uniform_with_many_lanes(self):
+        t0 = 29.0
+        lanes = 6_000
+        sampler = TimestampSamplerWR(t0=t0, k=lanes, rng=10)
+        tracker = TimestampWindow(t0)
+        for index, timestamp in poisson_elements(300, rate=1.0, seed=11):
+            sampler.advance_time(timestamp)
+            tracker.advance_time(timestamp)
+            sampler.append(index, timestamp)
+            tracker.append(index, timestamp)
+        active = tracker.active_indexes()
+        counts = Counter(drawn.index for drawn in sampler.sample())
+        assert set(counts) <= set(active)
+        expected = lanes / len(active)
+        for position in active:
+            assert abs(counts.get(position, 0) - expected) < 0.4 * expected + 12
+
+    def test_deterministic_under_seed(self):
+        def run(seed):
+            sampler = TimestampSamplerWR(t0=20.0, k=3, rng=seed)
+            for index, timestamp in poisson_elements(200, seed=14):
+                sampler.append(index, timestamp)
+            return sampler.sample_values()
+
+        assert run(21) == run(21)

@@ -1,0 +1,76 @@
+"""Sample candidates and observer hooks (the §5 application plumbing)."""
+
+from repro.core.tracking import (
+    CandidateObserver,
+    NullObserver,
+    OccurrenceCounter,
+    SampleCandidate,
+    notify_arrival,
+)
+
+
+class TestSampleCandidate:
+    def test_fields_and_state(self):
+        candidate = SampleCandidate(value="v", index=4, timestamp=1.5)
+        assert candidate.value == "v"
+        assert candidate.state == {}
+        candidate.state["key"] = 1
+        assert candidate.state["key"] == 1
+
+    def test_clone_copies_state_deeply_enough(self):
+        candidate = SampleCandidate(value=1, index=0, timestamp=0.0, state={"count": 3})
+        clone = candidate.clone()
+        clone.state["count"] = 99
+        assert candidate.state["count"] == 3
+        assert clone.value == candidate.value
+
+
+class TestObserverBaseClasses:
+    def test_default_callbacks_do_nothing(self):
+        observer = CandidateObserver()
+        candidate = SampleCandidate(value=1, index=0, timestamp=0.0)
+        observer.on_select(candidate)
+        observer.on_arrival(candidate, 2, 1, 1.0)
+        observer.on_discard(candidate)
+        assert candidate.state == {}
+
+    def test_null_observer_is_an_observer(self):
+        assert isinstance(NullObserver(), CandidateObserver)
+
+
+class TestOccurrenceCounter:
+    def test_counts_only_matching_later_values(self):
+        observer = OccurrenceCounter()
+        candidate = SampleCandidate(value="a", index=0, timestamp=0.0)
+        observer.on_select(candidate)
+        observer.on_arrival(candidate, "a", 1, 1.0)
+        observer.on_arrival(candidate, "b", 2, 2.0)
+        observer.on_arrival(candidate, "a", 3, 3.0)
+        assert OccurrenceCounter.count_of(candidate) == 3  # itself + two later "a"s
+
+    def test_count_without_selection_defaults_to_one(self):
+        candidate = SampleCandidate(value="a", index=0, timestamp=0.0)
+        assert OccurrenceCounter.count_of(candidate) == 1
+
+    def test_counter_survives_missing_on_select(self):
+        observer = OccurrenceCounter()
+        candidate = SampleCandidate(value=5, index=0, timestamp=0.0)
+        observer.on_arrival(candidate, 5, 1, 1.0)
+        assert OccurrenceCounter.count_of(candidate) == 2
+
+
+class TestNotifyArrival:
+    def test_skips_the_arriving_element_itself(self):
+        observer = OccurrenceCounter()
+        old = SampleCandidate(value="x", index=0, timestamp=0.0)
+        new = SampleCandidate(value="x", index=5, timestamp=5.0)
+        observer.on_select(old)
+        observer.on_select(new)
+        notify_arrival(observer, [old, new], "x", 5, 5.0)
+        assert OccurrenceCounter.count_of(old) == 2
+        assert OccurrenceCounter.count_of(new) == 1  # its own arrival is not counted
+
+    def test_none_observer_is_a_noop(self):
+        candidate = SampleCandidate(value="x", index=0, timestamp=0.0)
+        notify_arrival(None, [candidate], "x", 1, 1.0)
+        assert candidate.state == {}

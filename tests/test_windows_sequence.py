@@ -1,0 +1,85 @@
+"""Exact sequence-window tracker (ground truth substrate)."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.windows import SequenceWindow
+
+
+class TestConstruction:
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SequenceWindow(0)
+        with pytest.raises(ConfigurationError):
+            SequenceWindow(-3)
+
+    def test_initial_state(self):
+        window = SequenceWindow(5)
+        assert window.size == 0
+        assert window.total_arrivals == 0
+        assert window.active_elements() == []
+        assert window.oldest_active_index() is None
+
+
+class TestAppend:
+    def test_window_holds_last_n(self):
+        window = SequenceWindow(3)
+        for value in range(10):
+            window.append(value)
+        assert window.active_values() == [7, 8, 9]
+        assert window.active_indexes() == [7, 8, 9]
+        assert window.size == 3
+        assert window.total_arrivals == 10
+
+    def test_partial_window(self):
+        window = SequenceWindow(10)
+        for value in range(4):
+            window.append(value)
+        assert window.active_values() == [0, 1, 2, 3]
+        assert len(window) == 4
+
+    def test_append_returns_element_record(self):
+        window = SequenceWindow(2)
+        element = window.append("x", timestamp=4.5)
+        assert element.value == "x"
+        assert element.index == 0
+        assert element.timestamp == 4.5
+
+    def test_default_timestamp_is_index(self):
+        window = SequenceWindow(2)
+        window.append("a")
+        element = window.append("b")
+        assert element.timestamp == 1.0
+
+
+class TestQueries:
+    def test_contains_index(self):
+        window = SequenceWindow(3)
+        for value in range(6):
+            window.append(value)
+        assert not window.contains_index(2)
+        assert window.contains_index(3)
+        assert window.contains_index(5)
+        assert not window.contains_index(6)
+
+    def test_contains_index_empty(self):
+        assert not SequenceWindow(3).contains_index(0)
+
+    def test_oldest_active_index(self):
+        window = SequenceWindow(4)
+        for value in range(9):
+            window.append(value)
+        assert window.oldest_active_index() == 5
+
+    def test_advance_time_is_noop(self):
+        window = SequenceWindow(2)
+        window.append(1)
+        window.advance_time(1e9)
+        assert window.size == 1
+
+    def test_extend_with_stream_elements(self):
+        from repro.streams.element import make_stream
+
+        window = SequenceWindow(5)
+        window.extend(make_stream(range(12)))
+        assert window.active_values() == [7, 8, 9, 10, 11]

@@ -1,0 +1,111 @@
+"""Exact timestamp-window tracker (ground truth substrate)."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError, StreamOrderError
+from repro.windows import TimestampWindow
+
+
+class TestConstruction:
+    def test_invalid_span_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TimestampWindow(0)
+        with pytest.raises(ConfigurationError):
+            TimestampWindow(-1.0)
+
+    def test_initial_state(self):
+        window = TimestampWindow(10.0)
+        assert window.size == 0
+        assert window.total_arrivals == 0
+        assert window.oldest_active_index() is None
+
+
+class TestExpiry:
+    def test_elements_expire_after_span(self):
+        window = TimestampWindow(5.0)
+        window.append("a", timestamp=0.0)
+        window.append("b", timestamp=3.0)
+        window.append("c", timestamp=4.0)
+        assert window.active_values() == ["a", "b", "c"]
+        window.advance_time(5.0)  # "a" is now exactly t0 old -> expired
+        assert window.active_values() == ["b", "c"]
+        window.advance_time(8.5)
+        assert window.active_values() == ["c"]
+        window.advance_time(9.0)
+        assert window.active_values() == []
+
+    def test_append_implicitly_advances_clock(self):
+        window = TimestampWindow(2.0)
+        window.append(1, timestamp=0.0)
+        window.append(2, timestamp=10.0)
+        assert window.active_values() == [2]
+        assert window.now == 10.0
+
+    def test_burst_of_equal_timestamps(self):
+        window = TimestampWindow(1.0)
+        for value in range(5):
+            window.append(value, timestamp=3.0)
+        assert window.size == 5
+        window.advance_time(4.0)
+        assert window.size == 0
+
+    def test_window_can_empty_and_refill(self):
+        window = TimestampWindow(1.0)
+        window.append("old", timestamp=0.0)
+        window.advance_time(100.0)
+        assert window.size == 0
+        window.append("new", timestamp=100.0)
+        assert window.active_values() == ["new"]
+
+
+class TestOrderEnforcement:
+    def test_clock_cannot_go_backwards(self):
+        window = TimestampWindow(5.0)
+        window.advance_time(10.0)
+        with pytest.raises(StreamOrderError):
+            window.advance_time(9.0)
+
+    def test_timestamps_must_be_non_decreasing(self):
+        window = TimestampWindow(5.0)
+        window.append(1, timestamp=4.0)
+        with pytest.raises(StreamOrderError):
+            window.append(2, timestamp=3.0)
+
+    def test_equal_timestamps_are_fine(self):
+        window = TimestampWindow(5.0)
+        window.append(1, timestamp=4.0)
+        window.append(2, timestamp=4.0)
+        assert window.size == 2
+
+
+class TestQueries:
+    def test_contains_index(self):
+        window = TimestampWindow(3.0)
+        window.append("a", timestamp=0.0)
+        window.append("b", timestamp=2.0)
+        window.append("c", timestamp=4.0)
+        assert not window.contains_index(0)  # expired at now=4
+        assert window.contains_index(1)
+        assert window.contains_index(2)
+        assert not window.contains_index(99)
+
+    def test_oldest_active_index(self):
+        window = TimestampWindow(3.0)
+        window.append("a", timestamp=0.0)
+        window.append("b", timestamp=2.5)
+        window.advance_time(3.1)
+        assert window.oldest_active_index() == 1
+
+    def test_extend_with_stream_elements(self, poisson_stream):
+        window = TimestampWindow(7.0)
+        window.extend(poisson_stream)
+        final_time = poisson_stream[-1].timestamp
+        expected = [e.value for e in poisson_stream if final_time - e.timestamp < 7.0]
+        assert window.active_values() == expected
+
+    def test_len_reflects_expiry(self):
+        window = TimestampWindow(1.0)
+        window.append(1, timestamp=0.0)
+        assert len(window) == 1
+        window.advance_time(2.0)
+        assert len(window) == 0

@@ -1,0 +1,51 @@
+"""Named workload presets."""
+
+import pytest
+
+from repro.streams import StreamElement, available_workloads, build_workload
+from repro.streams.workloads import WORKLOADS
+
+
+class TestRegistry:
+    def test_all_names_listed(self):
+        names = available_workloads()
+        assert "uniform-sequence" in names
+        assert "network-bursts" in names
+        assert names == sorted(names)
+
+    def test_every_workload_has_a_description(self):
+        for workload in WORKLOADS.values():
+            assert workload.description
+
+    def test_unknown_name_raises_with_suggestions(self):
+        with pytest.raises(KeyError, match="unknown workload"):
+            build_workload("does-not-exist", 10)
+
+
+class TestBuild:
+    @pytest.mark.parametrize("name", sorted(WORKLOADS))
+    def test_build_produces_requested_length(self, name):
+        stream = build_workload(name, 200, rng=3)
+        assert len(stream) == 200
+        assert all(isinstance(element, StreamElement) for element in stream)
+
+    @pytest.mark.parametrize("name", sorted(WORKLOADS))
+    def test_timestamps_are_non_decreasing(self, name):
+        stream = build_workload(name, 300, rng=5)
+        timestamps = [element.timestamp for element in stream]
+        assert all(later >= earlier for earlier, later in zip(timestamps, timestamps[1:]))
+
+    @pytest.mark.parametrize("name", sorted(WORKLOADS))
+    def test_indexes_are_sequential(self, name):
+        stream = build_workload(name, 50, rng=7)
+        assert [element.index for element in stream] == list(range(50))
+
+    def test_build_is_deterministic_under_seed(self):
+        first = build_workload("stock-ticks", 100, rng=11)
+        second = build_workload("stock-ticks", 100, rng=11)
+        assert [element.value for element in first] == [element.value for element in second]
+        assert [element.timestamp for element in first] == [element.timestamp for element in second]
+
+    def test_zero_length_rejected(self):
+        with pytest.raises(ValueError):
+            build_workload("uniform-sequence", 0)
