@@ -1,0 +1,93 @@
+"""Experiment E11 — keyed-engine ingest throughput at fleet scale.
+
+Drives ≥1M keyed records spread over ≥10k keys through
+:class:`repro.engine.ShardedEngine` in one run, timing the batched ingest
+path (stable-hash routing + per-key Θ(k) sampler updates) and reporting the
+fleet's aggregate word-RAM footprint.  Also times the two auxiliary paths a
+production deployment exercises continuously: cross-key aggregation and
+checkpoint serialisation.
+
+Run with ``pytest benchmarks/bench_e11_engine.py --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import SamplerSpec, ShardedEngine, load_checkpoint, save_checkpoint
+from repro.streams.workloads import build_keyed_workload
+
+RECORDS = 1_000_000
+KEYS = 10_000
+SHARDS = 8
+
+
+def _spec() -> SamplerSpec:
+    return SamplerSpec(window="sequence", n=256, k=4, replacement=True)
+
+
+@pytest.fixture(scope="module")
+def records():
+    # One warm-up record per key (a Zipf tail this long leaves a handful of
+    # keys undrawn even in 1M records), then the skewed bulk.  The warm-up
+    # uses the bare (key, value) record form, the bulk the 3-field form.
+    warmup = [(key, key % 1024) for key in range(KEYS)]
+    bulk = build_keyed_workload("keyed-zipf", RECORDS - len(warmup), num_keys=KEYS, rng=11)
+    return warmup + bulk
+
+
+def test_e11_engine_ingest_1m_records(benchmark, records):
+    """The headline number: 1M keyed records through 10k per-key samplers."""
+
+    def ingest():
+        engine = ShardedEngine(_spec(), shards=SHARDS, seed=3)
+        engine.ingest(records)
+        return engine
+
+    engine = benchmark.pedantic(ingest, rounds=1, iterations=1, warmup_rounds=0)
+    assert engine.total_arrivals >= 1_000_000
+    assert engine.key_count >= 10_000
+    benchmark.extra_info["records"] = engine.total_arrivals
+    benchmark.extra_info["keys"] = engine.key_count
+    benchmark.extra_info["memory_words"] = engine.memory_words()
+    benchmark.extra_info["words_per_key"] = engine.memory_words() / engine.key_count
+    print(
+        f"\n[E11] {engine.total_arrivals:,} records, {engine.key_count:,} keys, "
+        f"{engine.shards} shards, fleet memory {engine.memory_words():,} words "
+        f"(~{engine.memory_words() // engine.key_count} words/key)"
+    )
+
+
+@pytest.fixture(scope="module")
+def loaded_engine(records):
+    engine = ShardedEngine(_spec(), shards=SHARDS, seed=3)
+    engine.ingest(records)
+    return engine
+
+
+def test_e11_engine_aggregates(benchmark, loaded_engine):
+    """Cross-key aggregation cost over the full 10k-key fleet."""
+
+    def aggregate():
+        hottest = loaded_engine.hottest_keys(10)
+        merged = loaded_engine.merged_frequent_items(0.01, top=10)
+        return hottest, merged
+
+    hottest, merged = benchmark(aggregate)
+    assert len(hottest) == 10
+    assert merged, "the Zipf head must clear a 1% frequency threshold"
+
+
+def test_e11_engine_checkpoint_round_trip(benchmark, loaded_engine, tmp_path):
+    """Serialise + restore the whole fleet; restored samples must be identical."""
+    path = tmp_path / "engine.ckpt"
+
+    def round_trip():
+        save_checkpoint(loaded_engine, path)
+        return load_checkpoint(path)
+
+    restored = benchmark.pedantic(round_trip, rounds=1, iterations=1, warmup_rounds=0)
+    assert restored.key_count == loaded_engine.key_count
+    probe = [key for key, _ in loaded_engine.hottest_keys(50)]
+    assert all(restored.sample(key) == loaded_engine.sample(key) for key in probe)
+    benchmark.extra_info["checkpoint_bytes"] = path.stat().st_size

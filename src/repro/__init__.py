@@ -22,6 +22,27 @@ The package provides:
 * :mod:`repro.harness` — the experiment registry (E1–E10) behind the
   benchmarks and EXPERIMENTS.md.
 
+Engine
+------
+:mod:`repro.engine` scales the per-stream guarantees to keyed, multi-tenant
+traffic: a :class:`~repro.engine.SamplerSpec` describes one per-key sampler, a
+:class:`~repro.engine.KeyedSamplerPool` lazily maintains one sampler per key
+(deterministically seeded, with LRU/TTL eviction and aggregate word-RAM
+accounting) and a :class:`~repro.engine.ShardedEngine` hash-partitions keys
+over shards behind a batched ``ingest``, answering per-key sample queries and
+cross-key aggregates (hottest keys, merged frequent items, per-key frequency
+moments).  Every sampler supports ``state_dict()`` / ``load_state_dict()``,
+and :func:`~repro.engine.save_checkpoint` / :func:`~repro.engine.load_checkpoint`
+persist the whole fleet so a restarted engine resumes with identical samples
+and identical future randomness.
+
+>>> from repro import SamplerSpec, ShardedEngine
+>>> engine = ShardedEngine(SamplerSpec(window="sequence", n=500, k=4), shards=4, seed=7)
+>>> engine.ingest([("alice", 1), ("bob", 2), ("alice", 3)])
+3
+>>> engine.sample_values("alice")  # doctest: +SKIP
+[3, 1, 3, 3]
+
 Quickstart
 ----------
 >>> from repro import sliding_window_sampler
@@ -47,6 +68,13 @@ from .core import (
     algorithm_catalog,
     sliding_window_sampler,
 )
+from .engine import (
+    KeyedSamplerPool,
+    SamplerSpec,
+    ShardedEngine,
+    load_checkpoint,
+    save_checkpoint,
+)
 from .exceptions import (
     ConfigurationError,
     EmptyWindowError,
@@ -55,12 +83,18 @@ from .exceptions import (
     StreamOrderError,
     SWSampleError,
 )
-from .streams.element import StreamElement
+from .streams.element import KeyedRecord, StreamElement
 
 __version__ = "1.0.0"
 
 __all__ = [
     "__version__",
+    "SamplerSpec",
+    "KeyedSamplerPool",
+    "ShardedEngine",
+    "save_checkpoint",
+    "load_checkpoint",
+    "KeyedRecord",
     "sliding_window_sampler",
     "algorithm_catalog",
     "ALGORITHMS",

@@ -127,4 +127,8 @@ def quantile(values: Sequence[float], q: float) -> float:
     if low == high:
         return float(ordered[low])
     weight = position - low
-    return float(ordered[low] * (1.0 - weight) + ordered[high] * weight)
+    interpolated = ordered[low] * (1.0 - weight) + ordered[high] * weight
+    # The two rounded products can sum to one ulp outside the bracket (e.g.
+    # interpolating between equal tiny values); clamp to keep the result
+    # within [ordered[low], ordered[high]].
+    return float(min(max(interpolated, ordered[low]), ordered[high]))

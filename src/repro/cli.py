@@ -1,10 +1,12 @@
 """Command-line interface.
 
-Installed as the ``swsample`` console script.  Three sub-commands:
+Installed as the ``swsample`` console script.  Four sub-commands:
 
 * ``swsample list`` — show the available algorithms, workloads and experiments;
 * ``swsample run`` — stream a workload through a sampler and print the sample
   and memory footprint (a quick way to eyeball behaviour);
+* ``swsample engine`` — drive a keyed workload through the sharded multi-stream
+  engine, print fleet statistics, and optionally checkpoint/resume it;
 * ``swsample experiment E3 --scale default`` — run one of the E1–E10
   experiments and print its result table (add ``--markdown`` or ``--csv``).
 """
@@ -13,12 +15,18 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import List, Optional
 
 from .core.facade import algorithm_catalog, sliding_window_sampler
 from .harness import available_experiments, run_experiment
 from .harness.experiments import EXPERIMENTS, SCALES
-from .streams.workloads import available_workloads, build_workload
+from .streams.workloads import (
+    available_keyed_workloads,
+    available_workloads,
+    build_keyed_workload,
+    build_workload,
+)
 
 __all__ = ["main", "build_parser"]
 
@@ -43,6 +51,26 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--length", type=int, default=10_000, help="number of stream elements")
     run_parser.add_argument("--seed", type=int, default=0)
 
+    engine_parser = subparsers.add_parser(
+        "engine", help="drive a keyed workload through the sharded multi-stream engine"
+    )
+    engine_parser.add_argument("--window", choices=["sequence", "timestamp"], default="sequence")
+    engine_parser.add_argument("--n", type=int, default=500, help="per-key window size (sequence)")
+    engine_parser.add_argument("--t0", type=float, default=500.0, help="per-key window span (timestamp)")
+    engine_parser.add_argument("-k", type=int, default=4, help="samples per key")
+    engine_parser.add_argument("--without-replacement", action="store_true")
+    engine_parser.add_argument("--algorithm", default="optimal", help="optimal or a baseline name")
+    engine_parser.add_argument("--workload", default="keyed-zipf", choices=available_keyed_workloads())
+    engine_parser.add_argument("--records", type=int, default=100_000, help="records to ingest")
+    engine_parser.add_argument("--keys", type=int, default=1_000, help="size of the keyspace")
+    engine_parser.add_argument("--shards", type=int, default=4, help="hash partitions")
+    engine_parser.add_argument("--max-keys-per-shard", type=int, default=None, help="LRU cap per shard")
+    engine_parser.add_argument("--idle-ttl", type=int, default=None, help="evict keys idle this many ticks")
+    engine_parser.add_argument("--top", type=int, default=5, help="hottest keys to report")
+    engine_parser.add_argument("--seed", type=int, default=0)
+    engine_parser.add_argument("--checkpoint", metavar="PATH", help="write an engine checkpoint at the end")
+    engine_parser.add_argument("--resume", metavar="PATH", help="resume from an engine checkpoint first")
+
     experiment_parser = subparsers.add_parser("experiment", help="run one of the E1-E10 experiments")
     experiment_parser.add_argument("experiment", help="experiment id, e.g. E3, or 'all'")
     experiment_parser.add_argument("--scale", choices=list(SCALES), default="default")
@@ -58,6 +86,9 @@ def _command_list() -> int:
         print(f"  {name:<14} {description}")
     print("\nWorkloads:")
     for name in available_workloads():
+        print(f"  {name}")
+    print("\nKeyed workloads (swsample engine):")
+    for name in available_keyed_workloads():
         print(f"  {name}")
     print("\nExperiments:")
     for experiment_id in available_experiments():
@@ -92,6 +123,66 @@ def _command_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_engine(args: argparse.Namespace) -> int:
+    from .engine import SamplerSpec, ShardedEngine, load_checkpoint, save_checkpoint
+
+    if args.resume:
+        engine = load_checkpoint(args.resume)
+        print(f"resumed         : {args.resume} ({engine.key_count} keys, {engine.total_arrivals} records)")
+    else:
+        spec = SamplerSpec(
+            window=args.window,
+            k=args.k,
+            n=args.n if args.window == "sequence" else None,
+            t0=args.t0 if args.window == "timestamp" else None,
+            replacement=not args.without_replacement,
+            algorithm=args.algorithm,
+        )
+        engine = ShardedEngine(
+            spec,
+            shards=args.shards,
+            seed=args.seed,
+            max_keys_per_shard=args.max_keys_per_shard,
+            idle_ttl=args.idle_ttl,
+        )
+    if args.checkpoint and engine.spec.algorithm != "optimal":
+        print(
+            "error: --checkpoint requires --algorithm optimal"
+            " (baseline samplers do not support state snapshots)",
+            file=sys.stderr,
+        )
+        return 2
+    records = build_keyed_workload(args.workload, args.records, num_keys=args.keys, rng=args.seed)
+    if engine.spec.is_timestamp and engine.now != float("-inf"):
+        # Synthetic workload clocks restart at zero; a resumed engine's clock
+        # must keep moving forward, so shift the batch past it.
+        offset = engine.now
+        records = [(record.key, record.value, record.timestamp + offset) for record in records]
+    started = time.perf_counter()
+    ingested = engine.ingest(records)
+    elapsed = time.perf_counter() - started
+    rate = ingested / elapsed if elapsed > 0 else float("inf")
+    print(f"spec            : {engine.spec.describe()}")
+    print(f"workload        : {args.workload} ({ingested} records over {args.keys} keys)")
+    print(f"shards          : {engine.shards}")
+    print(f"ingest          : {elapsed:.3f}s ({rate / 1000.0:.1f} krec/s)")
+    print(f"live keys       : {engine.key_count} ({engine.evictions} evicted)")
+    print(f"memory (words)  : {engine.memory_words()}")
+    hottest = engine.hottest_keys(args.top)
+    print(f"hottest {args.top} keys  :")
+    for key, arrivals in hottest:
+        print(f"  {key!r:<12} {arrivals} arrivals")
+    if hottest:
+        key = hottest[0][0]
+        print(f"sample of hottest key {key!r}: {engine.sample_values(key)}")
+    merged = engine.merged_frequent_items(0.01, top=args.top)
+    print(f"merged frequent values (>=1%): {[(value, round(freq, 4)) for value, freq in merged]}")
+    if args.checkpoint:
+        path = save_checkpoint(engine, args.checkpoint)
+        print(f"checkpoint      : {path}")
+    return 0
+
+
 def _command_experiment(args: argparse.Namespace) -> int:
     if args.experiment.lower() == "all":
         experiment_ids = available_experiments()
@@ -116,6 +207,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_list()
     if args.command == "run":
         return _command_run(args)
+    if args.command == "engine":
+        return _command_engine(args)
     if args.command == "experiment":
         return _command_experiment(args)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover - argparse guards this

@@ -26,10 +26,11 @@ The uniform contract:
 from __future__ import annotations
 
 import abc
-from typing import Any, Iterable, Iterator, List, Optional
+from typing import Any, Dict, Iterable, Iterator, List, Optional
 
 from ..exceptions import ConfigurationError
 from ..streams.element import StreamElement
+from .serialization import STATE_FORMAT, require_state_fields
 from .tracking import CandidateObserver, SampleCandidate, notify_arrival
 
 __all__ = [
@@ -88,12 +89,22 @@ class WindowSampler(abc.ABC):
         logical clock).
         """
 
-    def extend(self, elements: Iterable[Any]) -> None:
+    def extend(self, elements: Iterable[Any], *, time_value_pairs: bool = False) -> None:
         """Append many elements.
 
-        Accepts either raw values or :class:`StreamElement` records (whose
-        timestamps are honoured).
+        Accepts raw values or :class:`StreamElement` records (whose timestamps
+        are honoured).  With ``time_value_pairs=True`` every item must instead
+        be a ``(timestamp, value)`` pair — the keyword spells out the order
+        because it is the reverse of ``append(value, timestamp)`` — so
+        timestamp-window samplers can be batch-fed from ``(time, payload)``
+        feeds without wrapping each record in a :class:`StreamElement`.  The
+        pair interpretation is opt-in because tuples are legitimate stream
+        *values* (e.g. graph edges).
         """
+        if time_value_pairs:
+            for timestamp, value in elements:
+                self.append(value, timestamp)
+            return
         for element in elements:
             if isinstance(element, StreamElement):
                 self.append(element.value, element.timestamp)
@@ -137,6 +148,56 @@ class WindowSampler(abc.ABC):
     def iter_candidates(self) -> Iterator[SampleCandidate]:
         """All candidates currently retained (used by observers, memory audits
         and the Section-5 applications)."""
+
+    # -- checkpointing -------------------------------------------------------
+
+    def state_dict(self) -> Dict[str, Any]:
+        """Snapshot the sampler's full state as plain Python containers.
+
+        The snapshot captures every retained candidate (including observer
+        scratch state) and the exact position of every internal random
+        generator, so a sampler restored via :meth:`load_state_dict` produces
+        *identical* samples and identical future behaviour under an identical
+        suffix of the stream.  Observers are wiring, not state: they are not
+        serialised and stay attached to whatever sampler loads the snapshot.
+        """
+        return {
+            "format": STATE_FORMAT,
+            "type": type(self).__name__,
+            "algorithm": self.algorithm,
+            "k": self._k,
+            "arrivals": self._arrivals,
+            "payload": self._encode_state(),
+        }
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        """Restore the state captured by :meth:`state_dict` in place.
+
+        The receiving sampler must have been constructed with the same shape
+        (class and ``k``; subclasses additionally check ``n`` / ``t0``);
+        mismatches raise :class:`~repro.exceptions.ConfigurationError`.
+        """
+        require_state_fields(state, ("format", "type", "k", "arrivals", "payload"), type(self).__name__)
+        if state["format"] != STATE_FORMAT:
+            raise ConfigurationError(
+                f"unsupported snapshot format {state['format']!r} (expected {STATE_FORMAT})"
+            )
+        if state["type"] != type(self).__name__:
+            raise ConfigurationError(
+                f"snapshot was taken from {state['type']}, cannot load into {type(self).__name__}"
+            )
+        if int(state["k"]) != self._k:
+            raise ConfigurationError(f"snapshot has k={state['k']}, sampler has k={self._k}")
+        self._decode_state(state["payload"])
+        self._arrivals = int(state["arrivals"])
+
+    def _encode_state(self) -> Dict[str, Any]:
+        """Subclass hook: encode algorithm-specific state (see state_dict)."""
+        raise NotImplementedError(f"{type(self).__name__} does not support checkpointing")
+
+    def _decode_state(self, payload: Dict[str, Any]) -> None:
+        """Subclass hook: restore algorithm-specific state in place."""
+        raise NotImplementedError(f"{type(self).__name__} does not support checkpointing")
 
     # -- observer plumbing ---------------------------------------------------
 

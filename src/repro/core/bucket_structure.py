@@ -20,9 +20,10 @@ operator): the merged sample is either constituent's sample with probability
 from __future__ import annotations
 
 import random
-from typing import Any, Iterator, Optional
+from typing import Any, Dict, Iterator, Optional
 
 from ..memory import MemoryMeter, WORD_MODEL
+from .serialization import decode_candidate, encode_candidate, require_state_fields
 from .tracking import CandidateObserver, SampleCandidate
 
 __all__ = ["BucketStructure"]
@@ -119,6 +120,34 @@ class BucketStructure:
             first_timestamp=left.first_timestamp,
             r_sample=r_sample,
             q_sample=q_sample,
+        )
+
+    def state_dict(self) -> Dict[str, Any]:
+        """Snapshot: boundaries, first element, and the R/Q samples."""
+        return {
+            "start": self.start,
+            "end": self.end,
+            "first_value": self.first_value,
+            "first_timestamp": self.first_timestamp,
+            "r_sample": encode_candidate(self.r_sample),
+            "q_sample": encode_candidate(self.q_sample),
+        }
+
+    @classmethod
+    def from_state_dict(cls, state: Dict[str, Any]) -> "BucketStructure":
+        """Rebuild a bucket structure captured by :meth:`state_dict`."""
+        require_state_fields(
+            state,
+            ("start", "end", "first_value", "first_timestamp", "r_sample", "q_sample"),
+            "BucketStructure",
+        )
+        return cls(
+            start=int(state["start"]),
+            end=int(state["end"]),
+            first_value=state["first_value"],
+            first_timestamp=float(state["first_timestamp"]),
+            r_sample=decode_candidate(state["r_sample"]),
+            q_sample=decode_candidate(state["q_sample"]),
         )
 
     # -- geometry ---------------------------------------------------------------

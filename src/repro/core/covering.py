@@ -29,15 +29,42 @@ Both states use ``O(log n(t))`` memory words.
 from __future__ import annotations
 
 import random
-from typing import Any, Iterator, List, Optional, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from ..exceptions import EmptyWindowError, StreamOrderError
 from ..memory import MemoryMeter, WORD_MODEL
 from ..rng import ensure_rng
 from .bucket_structure import BucketStructure
+from .serialization import decode_rng_into, encode_rng, require_state_fields
 from .tracking import CandidateObserver, SampleCandidate
 
-__all__ = ["floor_log2", "canonical_boundaries", "CoveringDecomposition", "WindowCoverage"]
+__all__ = [
+    "floor_log2",
+    "canonical_boundaries",
+    "estimate_active_count",
+    "CoveringDecomposition",
+    "WindowCoverage",
+]
+
+
+def estimate_active_count(coverage: "WindowCoverage", now: float) -> int:
+    """Estimated number of active elements ``n(t)`` from one coverage automaton.
+
+    Exact in case 1 of Lemma 3.5 (the decomposition starts at the earliest
+    active element); in case 2 the straddling bucket holds an unknown number
+    of active elements, so half its width is added — the error is at most
+    half the straddler width, itself at most half the total.  Exact tracking
+    is impossible in sublinear space for timestamp windows; this bound is the
+    per-key weight used by the engine's merged cross-key estimates.
+    """
+    if now != float("-inf"):
+        coverage.advance_time(now)
+    if coverage.is_empty:
+        return 0
+    count = coverage.decomposition.covered_width
+    if coverage.straddler is not None:
+        count += coverage.straddler.width // 2
+    return count
 
 
 def floor_log2(x: int) -> int:
@@ -250,6 +277,18 @@ class CoveringDecomposition:
             meter.add_words(bucket.memory_words())
         return meter.total
 
+    def state_dict(self) -> Dict[str, Any]:
+        """Snapshot: the bucket structures, oldest first.
+
+        The generator is owned by the enclosing :class:`WindowCoverage` (or
+        sampler) and is serialised there, not here.
+        """
+        return {"buckets": [bucket.state_dict() for bucket in self._buckets]}
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        require_state_fields(state, ("buckets",), "CoveringDecomposition")
+        self._buckets = [BucketStructure.from_state_dict(encoded) for encoded in state["buckets"]]
+
     def is_canonical(self) -> bool:
         """Whether the stored boundaries equal Definition 3.1's (test helper)."""
         if not self._buckets:
@@ -419,6 +458,25 @@ class WindowCoverage:
         )
 
     # -- bookkeeping ------------------------------------------------------------------------------
+
+    def state_dict(self) -> Dict[str, Any]:
+        """Snapshot: clock, straddler, suffix decomposition, generator."""
+        return {
+            "now": self._now,
+            "straddler": None if self._straddler is None else self._straddler.state_dict(),
+            "decomposition": self._decomposition.state_dict(),
+            "rng": encode_rng(self._rng),
+        }
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        require_state_fields(state, ("now", "straddler", "decomposition", "rng"), "WindowCoverage")
+        self._now = float(state["now"])
+        self._straddler = (
+            None if state["straddler"] is None else BucketStructure.from_state_dict(state["straddler"])
+        )
+        decode_rng_into(self._rng, state["rng"])
+        self._decomposition = CoveringDecomposition(self._rng, self._observer)
+        self._decomposition.load_state_dict(state["decomposition"])
 
     def iter_candidates(self) -> Iterator[SampleCandidate]:
         if self._straddler is not None:

@@ -22,11 +22,20 @@ randomness.
 from __future__ import annotations
 
 import random
-from typing import Any, Iterator, List, Optional
+from typing import Any, Dict, Iterator, List, Optional
 
 from ..exceptions import ConfigurationError, EmptyWindowError
 from ..memory import MemoryMeter, WORD_MODEL
 from ..rng import ensure_rng
+from .serialization import (
+    decode_candidate,
+    decode_optional_candidate,
+    decode_rng_into,
+    encode_candidate,
+    encode_optional_candidate,
+    encode_rng,
+    require_state_fields,
+)
 from .tracking import CandidateObserver, SampleCandidate
 
 __all__ = ["SingleReservoir", "ReservoirWithoutReplacement"]
@@ -101,6 +110,20 @@ class SingleReservoir:
             self._observer.on_discard(self._candidate)
         self._candidate = None
         self._count = 0
+
+    def state_dict(self) -> Dict[str, Any]:
+        """Snapshot: offer count, retained candidate, generator position."""
+        return {
+            "count": self._count,
+            "candidate": encode_optional_candidate(self._candidate),
+            "rng": encode_rng(self._rng),
+        }
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        require_state_fields(state, ("count", "candidate", "rng"), "SingleReservoir")
+        self._count = int(state["count"])
+        self._candidate = decode_optional_candidate(state["candidate"])
+        decode_rng_into(self._rng, state["rng"])
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"SingleReservoir(count={self._count}, candidate={self._candidate})"
@@ -198,6 +221,23 @@ class ReservoirWithoutReplacement:
                 self._observer.on_discard(candidate)
         self._slots.clear()
         self._count = 0
+
+    def state_dict(self) -> Dict[str, Any]:
+        """Snapshot: offer count, held slots (in order), generator position."""
+        return {
+            "k": self._k,
+            "count": self._count,
+            "slots": [encode_candidate(candidate) for candidate in self._slots],
+            "rng": encode_rng(self._rng),
+        }
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        require_state_fields(state, ("k", "count", "slots", "rng"), "ReservoirWithoutReplacement")
+        if int(state["k"]) != self._k:
+            raise ConfigurationError(f"snapshot has k={state['k']}, reservoir has k={self._k}")
+        self._count = int(state["count"])
+        self._slots = [decode_candidate(encoded) for encoded in state["slots"]]
+        decode_rng_into(self._rng, state["rng"])
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"ReservoirWithoutReplacement(k={self._k}, count={self._count}, held={len(self._slots)})"

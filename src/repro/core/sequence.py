@@ -22,13 +22,22 @@ and never fail: a valid sample is available whenever the window is non-empty.
 from __future__ import annotations
 
 import random
-from typing import Any, Iterator, List, Optional
+from typing import Any, Dict, Iterator, List, Optional
 
-from ..exceptions import EmptyWindowError
+from ..exceptions import ConfigurationError, EmptyWindowError
 from ..memory import MemoryMeter, WORD_MODEL
 from ..rng import RngLike, ensure_rng, spawn
 from .base import SequenceWindowSampler
 from .reservoir import ReservoirWithoutReplacement, SingleReservoir
+from .serialization import (
+    decode_candidate,
+    decode_optional_candidate,
+    decode_rng_into,
+    encode_candidate,
+    encode_optional_candidate,
+    encode_rng,
+    require_state_fields,
+)
 from .tracking import CandidateObserver, SampleCandidate
 
 __all__ = ["SequenceSamplerWR", "SequenceSamplerWOR"]
@@ -83,6 +92,26 @@ class _SingleSampleLane:
         meter.add_words(self.partial.memory_words())
         meter.add_counters()  # partial bucket id
         return meter.total
+
+    def state_dict(self) -> Dict[str, Any]:
+        # The lane's generator is the partial reservoir's generator (the same
+        # object), so it travels inside the reservoir's snapshot.
+        return {
+            "active_sample": encode_optional_candidate(self.active_sample),
+            "active_bucket": self.active_bucket,
+            "partial": self.partial.state_dict(),
+            "partial_bucket": self.partial_bucket,
+        }
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        require_state_fields(
+            state, ("active_sample", "active_bucket", "partial", "partial_bucket"), "_SingleSampleLane"
+        )
+        self.active_sample = decode_optional_candidate(state["active_sample"])
+        self.active_bucket = None if state["active_bucket"] is None else int(state["active_bucket"])
+        self.partial = SingleReservoir(rng=self.rng, observer=self.observer)
+        self.partial.load_state_dict(state["partial"])
+        self.partial_bucket = None if state["partial_bucket"] is None else int(state["partial_bucket"])
 
 
 class SequenceSamplerWR(SequenceWindowSampler):
@@ -161,6 +190,27 @@ class SequenceSamplerWR(SequenceWindowSampler):
         for lane in self._lanes:
             meter.add_words(lane.memory_words())
         return meter.total
+
+    # -- checkpointing --------------------------------------------------------
+
+    def _encode_state(self) -> Dict[str, Any]:
+        return {
+            "n": self._n,
+            "lanes": [lane.state_dict() for lane in self._lanes],
+            "query_rng": encode_rng(self._query_rng),
+        }
+
+    def _decode_state(self, payload: Dict[str, Any]) -> None:
+        require_state_fields(payload, ("n", "lanes", "query_rng"), type(self).__name__)
+        if int(payload["n"]) != self._n:
+            raise ConfigurationError(f"snapshot has n={payload['n']}, sampler has n={self._n}")
+        if len(payload["lanes"]) != len(self._lanes):
+            raise ConfigurationError(
+                f"snapshot has {len(payload['lanes'])} lanes, sampler has {len(self._lanes)}"
+            )
+        for lane, lane_state in zip(self._lanes, payload["lanes"]):
+            lane.load_state_dict(lane_state)
+        decode_rng_into(self._query_rng, payload["query_rng"])
 
 
 class SequenceSamplerWOR(SequenceWindowSampler):
@@ -267,3 +317,38 @@ class SequenceSamplerWOR(SequenceWindowSampler):
         meter.add_counters(2)  # bucket ids
         meter.add_words(self._partial.memory_words())
         return meter.total
+
+    # -- checkpointing --------------------------------------------------------------
+
+    def _encode_state(self) -> Dict[str, Any]:
+        return {
+            "n": self._n,
+            "active_slots": [encode_candidate(candidate) for candidate in self._active_slots],
+            "active_bucket": self._active_bucket,
+            "partial": self._partial.state_dict(),
+            "partial_bucket": self._partial_bucket,
+            "query_rng": encode_rng(self._query_rng),
+        }
+
+    def _decode_state(self, payload: Dict[str, Any]) -> None:
+        require_state_fields(
+            payload,
+            ("n", "active_slots", "active_bucket", "partial", "partial_bucket", "query_rng"),
+            type(self).__name__,
+        )
+        if int(payload["n"]) != self._n:
+            raise ConfigurationError(f"snapshot has n={payload['n']}, sampler has n={self._n}")
+        self._active_slots = [decode_candidate(encoded) for encoded in payload["active_slots"]]
+        self._active_bucket = (
+            None if payload["active_bucket"] is None else int(payload["active_bucket"])
+        )
+        # The partial reservoir shares ``_reservoir_rng``; loading its snapshot
+        # also restores that shared generator's position.
+        self._partial = ReservoirWithoutReplacement(
+            self._k, rng=self._reservoir_rng, observer=self._observer
+        )
+        self._partial.load_state_dict(payload["partial"])
+        self._partial_bucket = (
+            None if payload["partial_bucket"] is None else int(payload["partial_bucket"])
+        )
+        decode_rng_into(self._query_rng, payload["query_rng"])

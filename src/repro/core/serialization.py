@@ -1,0 +1,95 @@
+"""Snapshot encoding helpers shared by every checkpointable structure.
+
+Samplers expose ``state_dict()`` / ``load_state_dict()`` (mirroring the
+familiar torch convention) so that a keyed engine can checkpoint thousands of
+per-key samplers and a restarted process can resume with *identical* sample
+state — including the exact position of every pseudo-random generator, so the
+restored sampler's future coin flips match the original's flip for flip.
+
+The helpers below encode the two primitives every snapshot is built from:
+
+* ``random.Random`` generator states (a Mersenne-Twister state vector), and
+* :class:`~repro.core.tracking.SampleCandidate` records, including the
+  observer scratch ``state`` dict so application estimators (occurrence
+  counters, triangle watchers) survive a restore.
+
+Encoded states are plain Python containers (lists, dicts, numbers, plus the
+stream element values themselves), so a snapshot can be pickled, msgpacked or
+JSON-encoded by whatever persistence layer sits on top.  Observers themselves
+are *not* part of a snapshot — they are wiring, reattached by the caller that
+rebuilds the sampler — only the per-candidate state they accumulated is.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, List, Optional
+
+from ..exceptions import ConfigurationError
+from .tracking import SampleCandidate
+
+__all__ = [
+    "STATE_FORMAT",
+    "encode_rng",
+    "decode_rng_into",
+    "encode_candidate",
+    "decode_candidate",
+    "encode_optional_candidate",
+    "decode_optional_candidate",
+    "require_state_fields",
+]
+
+#: Version tag stamped into every ``state_dict`` (bump on incompatible change).
+STATE_FORMAT = 1
+
+
+def encode_rng(rng: random.Random) -> List[Any]:
+    """Encode a generator's internal state as plain lists."""
+    version, internal, gauss_next = rng.getstate()
+    return [version, list(internal), gauss_next]
+
+
+def decode_rng_into(rng: random.Random, encoded: List[Any]) -> None:
+    """Restore a generator's state in place from :func:`encode_rng` output."""
+    try:
+        version, internal, gauss_next = encoded
+        rng.setstate((version, tuple(internal), gauss_next))
+    except (TypeError, ValueError) as error:
+        raise ConfigurationError(f"invalid rng state in snapshot: {error}") from error
+
+
+def encode_candidate(candidate: SampleCandidate) -> Dict[str, Any]:
+    """Encode a retained candidate, including its observer scratch state."""
+    return {
+        "value": candidate.value,
+        "index": candidate.index,
+        "timestamp": candidate.timestamp,
+        "state": dict(candidate.state),
+    }
+
+
+def decode_candidate(encoded: Dict[str, Any]) -> SampleCandidate:
+    """Rebuild a candidate from :func:`encode_candidate` output."""
+    return SampleCandidate(
+        value=encoded["value"],
+        index=int(encoded["index"]),
+        timestamp=float(encoded["timestamp"]),
+        state=dict(encoded.get("state", {})),
+    )
+
+
+def encode_optional_candidate(candidate: Optional[SampleCandidate]) -> Optional[Dict[str, Any]]:
+    return None if candidate is None else encode_candidate(candidate)
+
+
+def decode_optional_candidate(encoded: Optional[Dict[str, Any]]) -> Optional[SampleCandidate]:
+    return None if encoded is None else decode_candidate(encoded)
+
+
+def require_state_fields(state: Dict[str, Any], fields: tuple, context: str) -> None:
+    """Validate that a snapshot dict carries every expected field."""
+    if not isinstance(state, dict):
+        raise ConfigurationError(f"{context}: snapshot must be a dict, got {type(state).__name__}")
+    missing = [name for name in fields if name not in state]
+    if missing:
+        raise ConfigurationError(f"{context}: snapshot is missing fields {missing}")

@@ -18,13 +18,14 @@ paper's improvement over priority sampling.
 
 from __future__ import annotations
 
-from typing import Any, Iterator, List, Optional
+from typing import Any, Dict, Iterator, List, Optional
 
-from ..exceptions import EmptyWindowError, StreamOrderError
+from ..exceptions import ConfigurationError, EmptyWindowError, StreamOrderError
 from ..memory import MemoryMeter, WORD_MODEL
 from ..rng import RngLike, ensure_rng, spawn
 from .base import TimestampWindowSampler
-from .covering import WindowCoverage
+from .covering import WindowCoverage, estimate_active_count
+from .serialization import decode_rng_into, encode_rng, require_state_fields
 from .tracking import CandidateObserver, SampleCandidate
 
 __all__ = ["TimestampSamplerWR"]
@@ -106,6 +107,12 @@ class TimestampSamplerWR(TimestampWindowSampler):
         coverage.advance_time(self._now)
         return coverage.is_empty
 
+    def active_count_estimate(self) -> int:
+        """Estimated number of currently active elements ``n(t)``
+        (:func:`~repro.core.covering.estimate_active_count` on the first
+        automaton's covering decomposition)."""
+        return estimate_active_count(self._coverages[0], self._now)
+
     # -- introspection ------------------------------------------------------------------
 
     def iter_candidates(self) -> Iterator[SampleCandidate]:
@@ -120,3 +127,26 @@ class TimestampSamplerWR(TimestampWindowSampler):
         for coverage in self._coverages:
             meter.add_words(coverage.memory_words())
         return meter.total
+
+    # -- checkpointing ------------------------------------------------------------------
+
+    def _encode_state(self) -> Dict[str, Any]:
+        return {
+            "t0": self._t0,
+            "now": self._now,
+            "coverages": [coverage.state_dict() for coverage in self._coverages],
+            "query_rng": encode_rng(self._query_rng),
+        }
+
+    def _decode_state(self, payload: Dict[str, Any]) -> None:
+        require_state_fields(payload, ("t0", "now", "coverages", "query_rng"), type(self).__name__)
+        if float(payload["t0"]) != self._t0:
+            raise ConfigurationError(f"snapshot has t0={payload['t0']}, sampler has t0={self._t0}")
+        if len(payload["coverages"]) != len(self._coverages):
+            raise ConfigurationError(
+                f"snapshot has {len(payload['coverages'])} coverages, sampler has {len(self._coverages)}"
+            )
+        self._now = float(payload["now"])
+        for coverage, coverage_state in zip(self._coverages, payload["coverages"]):
+            coverage.load_state_dict(coverage_state)
+        decode_rng_into(self._query_rng, payload["query_rng"])

@@ -20,14 +20,21 @@ lower bound of Gemulla and Lehner for timestamp windows.
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Deque, Iterator, List, Optional
+from typing import Any, Deque, Dict, Iterator, List, Optional
 
-from ..exceptions import EmptyWindowError, InsufficientSampleError, StreamOrderError
+from ..exceptions import ConfigurationError, EmptyWindowError, InsufficientSampleError, StreamOrderError
 from ..memory import MemoryMeter, WORD_MODEL
 from ..rng import RngLike, ensure_rng, spawn
 from .base import TimestampWindowSampler
-from .covering import WindowCoverage
+from .covering import WindowCoverage, estimate_active_count
 from .reduction import build_k_sample
+from .serialization import (
+    decode_candidate,
+    decode_rng_into,
+    encode_candidate,
+    encode_rng,
+    require_state_fields,
+)
 from .tracking import CandidateObserver, SampleCandidate
 
 __all__ = ["TimestampSamplerWOR"]
@@ -143,6 +150,12 @@ class TimestampSamplerWOR(TimestampWindowSampler):
 
     # -- introspection ----------------------------------------------------------------------
 
+    def active_count_estimate(self) -> int:
+        """Estimated number of currently active elements ``n(t)``
+        (:func:`~repro.core.covering.estimate_active_count` on the undelayed
+        copy — delay 0 — which observes every arrival)."""
+        return estimate_active_count(self._coverages[0], self._now)
+
     def iter_candidates(self) -> Iterator[SampleCandidate]:
         for coverage in self._coverages:
             yield from coverage.iter_candidates()
@@ -158,3 +171,32 @@ class TimestampSamplerWOR(TimestampWindowSampler):
         for coverage in self._coverages:
             meter.add_words(coverage.memory_words())
         return meter.total
+
+    # -- checkpointing -----------------------------------------------------------------------
+
+    def _encode_state(self) -> Dict[str, Any]:
+        return {
+            "t0": self._t0,
+            "now": self._now,
+            "recent": [encode_candidate(candidate) for candidate in self._recent],
+            "coverages": [coverage.state_dict() for coverage in self._coverages],
+            "query_rng": encode_rng(self._query_rng),
+        }
+
+    def _decode_state(self, payload: Dict[str, Any]) -> None:
+        require_state_fields(
+            payload, ("t0", "now", "recent", "coverages", "query_rng"), type(self).__name__
+        )
+        if float(payload["t0"]) != self._t0:
+            raise ConfigurationError(f"snapshot has t0={payload['t0']}, sampler has t0={self._t0}")
+        if len(payload["coverages"]) != len(self._coverages):
+            raise ConfigurationError(
+                f"snapshot has {len(payload['coverages'])} coverages, sampler has {len(self._coverages)}"
+            )
+        self._now = float(payload["now"])
+        self._recent = deque(
+            (decode_candidate(encoded) for encoded in payload["recent"]), maxlen=self._k
+        )
+        for coverage, coverage_state in zip(self._coverages, payload["coverages"]):
+            coverage.load_state_dict(coverage_state)
+        decode_rng_into(self._query_rng, payload["query_rng"])

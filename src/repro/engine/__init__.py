@@ -1,0 +1,43 @@
+"""Keyed, sharded multi-stream sampling engine.
+
+The paper's samplers serve one logical stream each.  Production keyed traffic
+— clickstreams, per-flow packet feeds, per-topic event buses — is millions of
+logical streams multiplexed on one feed.  This package turns the paper's
+per-stream Θ(k) / Θ(k log n) guarantees into a fleet-scale, per-tenant memory
+budget:
+
+* :class:`SamplerSpec` — a declarative description of the per-key sampler
+  (window type and parameter, ``k``, replacement, algorithm), shared by every
+  key and serialisable into checkpoints.
+* :class:`KeyedSamplerPool` — lazily creates one sampler per key (each with a
+  deterministic key-derived seed), keeps LRU order, enforces a ``max_keys``
+  budget and an idle-key TTL, and aggregates ``memory_words()`` across keys.
+* :class:`ShardedEngine` — hash-partitions keys over N shards, routes batched
+  records (:meth:`ShardedEngine.ingest`), answers per-key sample queries and
+  cross-key aggregates (hottest keys, merged frequent items, per-key AMS
+  frequency moments), and checkpoints/restores the whole fleet of samplers
+  bit-for-bit via the samplers' ``state_dict`` layer.
+* :func:`save_checkpoint` / :func:`load_checkpoint` — engine-level checkpoint
+  files; a restarted engine resumes with identical per-key samples and
+  identical future randomness.
+
+Sharding is by a *stable* hash (:func:`stable_key_hash`), never Python's
+salted ``hash()``, so routing — and therefore every per-key sampler's
+randomness — is reproducible across processes and restarts.
+"""
+
+from .checkpoint import load_checkpoint, save_checkpoint
+from .engine import ShardedEngine
+from .hashing import stable_key_bytes, stable_key_hash
+from .pool import KeyedSamplerPool
+from .spec import SamplerSpec
+
+__all__ = [
+    "SamplerSpec",
+    "KeyedSamplerPool",
+    "ShardedEngine",
+    "save_checkpoint",
+    "load_checkpoint",
+    "stable_key_hash",
+    "stable_key_bytes",
+]

@@ -1,0 +1,73 @@
+"""Engine checkpoint files: durable snapshot/restore for the whole fleet.
+
+A checkpoint is the engine's ``state_dict`` wrapped in a small envelope
+(magic string + format version) and pickled.  Pickle is the right tool here:
+stream values are arbitrary Python objects, snapshots contain ``inf`` clock
+values that JSON cannot express, and checkpoints are produced and consumed by
+the same trusted process — they are recovery state, not an interchange
+format.  Writes are atomic (temp file + ``os.replace``) so a crash mid-write
+never corrupts the previous checkpoint.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from typing import Union
+
+from ..exceptions import ConfigurationError
+from .engine import ShardedEngine
+
+__all__ = ["save_checkpoint", "load_checkpoint", "CHECKPOINT_MAGIC", "CHECKPOINT_VERSION"]
+
+CHECKPOINT_MAGIC = "swsample-engine-checkpoint"
+CHECKPOINT_VERSION = 1
+
+
+def save_checkpoint(engine: ShardedEngine, path: Union[str, os.PathLike]) -> str:
+    """Write the engine's full state to ``path`` atomically.
+
+    Returns the path written.  The snapshot captures every live per-key
+    sampler bit for bit (candidates, counters, generator positions), so
+    :func:`load_checkpoint` resumes with identical samples *and* identical
+    future randomness.
+    """
+    path = os.fspath(path)
+    envelope = {
+        "magic": CHECKPOINT_MAGIC,
+        "version": CHECKPOINT_VERSION,
+        "engine": engine.state_dict(),
+    }
+    directory = os.path.dirname(os.path.abspath(path)) or "."
+    descriptor, temp_path = tempfile.mkstemp(prefix=".ckpt-", dir=directory)
+    try:
+        with os.fdopen(descriptor, "wb") as handle:
+            pickle.dump(envelope, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(temp_path, path)
+    except BaseException:
+        try:
+            os.unlink(temp_path)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def load_checkpoint(path: Union[str, os.PathLike]) -> ShardedEngine:
+    """Rebuild a full engine from a :func:`save_checkpoint` file.
+
+    Only load checkpoints you (or a process you trust) wrote: like every
+    pickle, a checkpoint file can execute code when loaded.
+    """
+    path = os.fspath(path)
+    with open(path, "rb") as handle:
+        envelope = pickle.load(handle)
+    if not isinstance(envelope, dict) or envelope.get("magic") != CHECKPOINT_MAGIC:
+        raise ConfigurationError(f"{path} is not a swsample engine checkpoint")
+    if envelope.get("version") != CHECKPOINT_VERSION:
+        raise ConfigurationError(
+            f"unsupported checkpoint version {envelope.get('version')!r}"
+            f" (expected {CHECKPOINT_VERSION})"
+        )
+    return ShardedEngine.from_state_dict(envelope["engine"])

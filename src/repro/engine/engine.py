@@ -1,0 +1,478 @@
+"""The sharded keyed engine: batched ingest, per-key queries, aggregates.
+
+:class:`ShardedEngine` hash-partitions the keyspace over N
+:class:`~repro.engine.pool.KeyedSamplerPool` shards.  Shard routing uses the
+stable hash of :mod:`repro.engine.hashing` with a fixed salt, so a key's
+shard is a pure function of ``(key, shard_count)`` — independent of the
+engine seed, of ingest order, and of process restarts.
+
+The shard layer exists for scale-out: each shard is an independent ingest
+point with its own eviction bookkeeping, so later PRs can pin shards to
+threads or processes without touching the per-key machinery.  Within this PR
+it already pays for itself by bounding per-shard key-table sizes and by
+making eviction sweeps shard-local.
+
+Cross-key aggregates reuse the Section-5 application estimators: merged
+frequent items use the sample-and-count heavy-hitter argument (one weighted
+pool over every key's window sample), and per-key frequency moments feed the
+samplers' :class:`~repro.core.tracking.OccurrenceCounter` statistics through
+:func:`repro.applications.ams_estimate_from_counts`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import Counter
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
+
+from ..core.base import SequenceWindowSampler, WindowSampler
+from ..core.serialization import STATE_FORMAT, require_state_fields
+from ..core.tracking import OccurrenceCounter
+from ..exceptions import (
+    ConfigurationError,
+    EmptyWindowError,
+    InsufficientSampleError,
+    SamplingFailureError,
+    StreamOrderError,
+)
+from ..streams.element import StreamElement
+from .hashing import stable_key_hash
+from .pool import KeyedSamplerPool
+from .spec import SamplerSpec
+
+__all__ = ["ShardedEngine"]
+
+#: Fixed salt for shard routing (kept distinct from the per-key seed salt so
+#: shard placement and sampler randomness are independent hash families).
+_ROUTE_SALT = 0x51A2DED
+
+
+class ShardedEngine:
+    """Thousands of per-key sliding-window samplers behind one ingest API.
+
+    Parameters
+    ----------
+    spec:
+        The per-key sampler recipe (shared by every key).
+    shards:
+        Number of hash partitions.
+    seed:
+        Root seed; per-key sampler seeds are derived from it and a stable
+        hash of the key, so results are reproducible end to end.
+    max_keys_per_shard, idle_ttl:
+        Eviction policy, enforced independently by each shard's pool (see
+        :class:`~repro.engine.pool.KeyedSamplerPool`).
+    track_occurrences:
+        Attach an :class:`~repro.core.tracking.OccurrenceCounter` to every
+        per-key sampler, enabling :meth:`per_key_moments` /
+        :meth:`aggregate_moment` at one extra word per retained candidate.
+    """
+
+    def __init__(
+        self,
+        spec: SamplerSpec,
+        *,
+        shards: int = 4,
+        seed: int = 0,
+        max_keys_per_shard: Optional[int] = None,
+        idle_ttl: Optional[int] = None,
+        track_occurrences: bool = False,
+    ) -> None:
+        if shards <= 0:
+            raise ConfigurationError("shards must be positive")
+        self._spec = spec
+        self._shards = int(shards)
+        self._seed = int(seed)
+        self._max_keys_per_shard = max_keys_per_shard
+        self._idle_ttl = idle_ttl
+        self._track_occurrences = bool(track_occurrences)
+        observer_factory = OccurrenceCounter if self._track_occurrences else None
+        self._pools = [
+            KeyedSamplerPool(
+                spec,
+                seed=self._seed,
+                max_keys=max_keys_per_shard,
+                idle_ttl=idle_ttl,
+                observer_factory=observer_factory,
+            )
+            for _ in range(self._shards)
+        ]
+        self._now = float("-inf")
+
+    # -- topology ------------------------------------------------------------
+
+    @property
+    def spec(self) -> SamplerSpec:
+        return self._spec
+
+    @property
+    def shards(self) -> int:
+        return self._shards
+
+    @property
+    def seed(self) -> int:
+        return self._seed
+
+    @property
+    def pools(self) -> Tuple[KeyedSamplerPool, ...]:
+        """The per-shard pools (read-only view)."""
+        return tuple(self._pools)
+
+    @property
+    def now(self) -> float:
+        """The engine's logical clock: the latest timestamp ingested or
+        advanced to.  Only meaningful for timestamp-window specs (stays
+        ``-inf`` otherwise — sequence windows have no clock)."""
+        return self._now
+
+    def shard_of(self, key: Any) -> int:
+        """The shard index that owns ``key`` (stable across processes)."""
+        return stable_key_hash(key, salt=_ROUTE_SALT) % self._shards
+
+    def _pool_of(self, key: Any) -> KeyedSamplerPool:
+        # Deliberately uncached: a routing memo would silently retain every
+        # key ever seen (including evicted ones) outside the memory budget
+        # the engine exists to enforce.  One BLAKE2b over a short key costs
+        # well under a microsecond.
+        return self._pools[stable_key_hash(key, salt=_ROUTE_SALT) % self._shards]
+
+    # -- ingest --------------------------------------------------------------
+
+    def ingest(self, records: Iterable[Any]) -> int:
+        """Route a batch of keyed records to their per-key samplers.
+
+        Every record is a :class:`~repro.streams.element.KeyedRecord` or a
+        plain ``(key, value)`` / ``(key, value, timestamp)`` tuple.  Returns
+        the number of records ingested.
+
+        For timestamp-window specs, timestamps must be **globally**
+        non-decreasing across the whole feed — the engine runs one logical
+        clock, so every key's window expires against the same "now" (a key
+        that goes quiet for ``t0`` has an empty window), and queries may
+        safely advance any key's sampler to that clock.  A missing timestamp
+        means "now": the record is stamped with the engine's clock (zero
+        before any timestamped record).  Sequence-window specs treat
+        timestamps as inert metadata and skip the contract.  An out-of-order
+        or malformed record raises mid-batch; everything before it has been
+        ingested and the clock reflects exactly the ingested prefix.
+        """
+        count = 0
+        clocked = self._spec.is_timestamp
+        now = self._now
+        try:
+            for record in records:
+                if isinstance(record, (str, bytes)):
+                    # Strings are sized and unpackable, so they would silently
+                    # shred into per-character records.
+                    raise ConfigurationError(
+                        f"keyed records must be (key, value[, timestamp]) tuples, got {record!r}"
+                    )
+                try:
+                    width = len(record)
+                except TypeError:
+                    raise ConfigurationError(
+                        f"keyed records must be (key, value[, timestamp]) tuples, got {record!r}"
+                    ) from None
+                if width == 3:
+                    key, value, timestamp = record
+                elif width == 2:
+                    key, value = record
+                    timestamp = None
+                else:
+                    raise ConfigurationError(
+                        f"keyed records must have 2 or 3 fields, got {width}: {record!r}"
+                    )
+                if clocked:
+                    if timestamp is None:
+                        # "Now" must be the engine's clock, not the key-local
+                        # sampler's (a fresh key's sampler has seen no time).
+                        timestamp = now if now != float("-inf") else 0.0
+                    else:
+                        try:
+                            timestamp = float(timestamp)
+                        except (TypeError, ValueError):
+                            raise ConfigurationError(
+                                f"record timestamp must be a number, got {timestamp!r}"
+                            ) from None
+                        if timestamp < now:
+                            raise StreamOrderError(
+                                f"batch timestamps must be globally non-decreasing: {timestamp} < {now}"
+                            )
+                    self._pool_of(key).append(key, value, timestamp)
+                    now = timestamp
+                else:
+                    self._pool_of(key).append(key, value, timestamp)
+                count += 1
+        finally:
+            self._now = now
+        return count
+
+    def append(self, key: Any, value: Any, timestamp: Optional[float] = None) -> None:
+        """Single-record convenience form of :meth:`ingest` (same contract)."""
+        self.ingest(((key, value, timestamp),))
+
+    def advance_time(self, now: float) -> None:
+        """Broadcast a clock advance to every key's timestamp sampler.
+
+        O(live keys); per-key queries already advance lazily, so this is only
+        needed when a caller wants every shard's expiry state settled at once
+        (e.g. right before a checkpoint of a quiescent engine).
+        """
+        if now > self._now:
+            self._now = now
+        for pool in self._pools:
+            pool.advance_time(now)
+
+    # -- per-key queries -----------------------------------------------------
+
+    def sampler_for(self, key: Any) -> WindowSampler:
+        """The key's live sampler (read-only; ``KeyError`` when absent —
+        samplers are created by ingest, never by lookup)."""
+        return self._pool_of(key).sampler_for(key)
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self._pool_of(key)
+
+    def sample(self, key: Any) -> List[StreamElement]:
+        """The current window sample of one key.
+
+        Raises ``KeyError`` for a key with no live sampler (never seen, or
+        evicted) and :class:`~repro.exceptions.EmptyWindowError` when the
+        key's window has expired.
+        """
+        sampler = self._pool_of(key).sampler_for(key)
+        if self._spec.is_timestamp and self._now != float("-inf"):
+            sampler.advance_time(self._now)
+        return sampler.sample()
+
+    def sample_values(self, key: Any) -> List[Any]:
+        """Values-only form of :meth:`sample`."""
+        return [element.value for element in self.sample(key)]
+
+    # -- fleet introspection ---------------------------------------------------
+
+    @property
+    def key_count(self) -> int:
+        """Number of live per-key samplers across all shards."""
+        return sum(len(pool) for pool in self._pools)
+
+    @property
+    def total_arrivals(self) -> int:
+        """Total records ingested (including records of evicted keys)."""
+        return sum(pool.ticks for pool in self._pools)
+
+    @property
+    def evictions(self) -> int:
+        """Total keys evicted across all shards."""
+        return sum(pool.evictions for pool in self._pools)
+
+    def keys(self) -> List[Any]:
+        """Every live key (shard by shard; no global order guarantee)."""
+        result: List[Any] = []
+        for pool in self._pools:
+            result.extend(pool.keys())
+        return result
+
+    def items(self) -> Iterator[Tuple[Any, WindowSampler]]:
+        """Iterate ``(key, sampler)`` over every live key."""
+        for pool in self._pools:
+            yield from pool.items()
+
+    def memory_words(self) -> int:
+        """Aggregate word-RAM footprint of the whole fleet."""
+        return sum(pool.memory_words() for pool in self._pools)
+
+    # -- cross-key aggregates --------------------------------------------------
+
+    #: Per-key sampling failures that must not take down a fleet aggregate:
+    #: expired windows, strict (allow_partial=False) windows below k, and the
+    #: probabilistic failures of baseline backends.  The affected key is
+    #: skipped; every other key still contributes.
+    _SKIPPABLE_SAMPLE_ERRORS = (EmptyWindowError, InsufficientSampleError, SamplingFailureError)
+
+    def hottest_keys(self, top: int = 10) -> List[Tuple[Any, int]]:
+        """The ``top`` keys by lifetime arrival count, hottest first.
+
+        Counts are per-sampler arrivals, so they reset when a key is evicted
+        and recreated — by construction the engine retains no state at all
+        for evicted keys.
+        """
+        if top <= 0:
+            raise ConfigurationError("top must be positive")
+        pairs = ((key, sampler.total_arrivals) for key, sampler in self.items())
+        return heapq.nlargest(top, pairs, key=lambda pair: pair[1])
+
+    def _window_size_estimate(self, sampler: WindowSampler, sample_len: int) -> int:
+        # Sequence windows know their active size exactly.  The optimal
+        # timestamp samplers expose a covering-decomposition bound (exact in
+        # Lemma 3.5 case 1, within half the straddler width in case 2).
+        # Baseline timestamp samplers have neither, so each falls back to its
+        # sample size — a crude equal-ish weight, documented approximation.
+        if isinstance(sampler, SequenceWindowSampler):
+            return sampler.window_size
+        estimate = getattr(sampler, "active_count_estimate", None)
+        if estimate is not None:
+            return estimate()
+        return sample_len
+
+    def merged_frequent_items(
+        self, threshold: float, *, top: Optional[int] = None
+    ) -> List[Tuple[Any, float]]:
+        """Frequent values across *all* keys' windows, most frequent first.
+
+        Pools every key's window sample, weighting each key by its (estimated)
+        window size, and reports values whose estimated global frequency
+        reaches ``threshold`` — the same sample-and-count estimate as
+        :class:`repro.applications.SlidingHeavyHitters`, lifted from one
+        window to the union of every key's window.
+        """
+        if not 0 < threshold < 1:
+            raise ConfigurationError("threshold must lie strictly between 0 and 1")
+        pooled: Counter = Counter()
+        total_weight = 0.0
+        for _, sampler in self.items():
+            if self._spec.is_timestamp and self._now != float("-inf"):
+                sampler.advance_time(self._now)
+            try:
+                values = sampler.sample_values()
+            except self._SKIPPABLE_SAMPLE_ERRORS:
+                continue
+            if not values:
+                continue
+            weight = self._window_size_estimate(sampler, len(values)) / len(values)
+            for value in values:
+                pooled[value] += weight
+            total_weight += weight * len(values)
+        if total_weight == 0.0:
+            return []
+        report = [
+            (value, mass / total_weight)
+            for value, mass in pooled.items()
+            if mass / total_weight >= threshold
+        ]
+        report.sort(key=lambda item: item[1], reverse=True)
+        return report if top is None else report[:top]
+
+    def per_key_moments(self, order: float) -> Dict[Any, float]:
+        """Per-key AMS frequency-moment estimates ``F_order`` (Corollary 5.2).
+
+        Requires ``track_occurrences=True`` (the observer maintains each
+        candidate's occurrence count ``r``), a with-replacement spec (the AMS
+        position sample must be uniform and independent) and a sequence
+        window (whose exact size the estimator needs).  Keys with empty
+        windows are omitted.
+        """
+        if not self._track_occurrences:
+            raise ConfigurationError(
+                "per-key moments need track_occurrences=True at engine construction"
+            )
+        if not self._spec.replacement:
+            raise ConfigurationError("per-key moments need a with-replacement spec")
+        if self._spec.is_timestamp:
+            raise ConfigurationError(
+                "per-key moments need a sequence window (timestamp window sizes are not tracked)"
+            )
+        from ..applications import ams_estimate_from_counts
+
+        estimates: Dict[Any, float] = {}
+        for key, sampler in self.items():
+            try:
+                counts = [
+                    OccurrenceCounter.count_of(candidate)
+                    for candidate in sampler.sample_candidates()
+                ]
+            except self._SKIPPABLE_SAMPLE_ERRORS:
+                continue
+            window_size = self._window_size_estimate(sampler, len(counts))
+            if not counts or window_size <= 0:
+                continue
+            estimates[key] = ams_estimate_from_counts(counts, window_size, order)
+        return estimates
+
+    def aggregate_moment(self, order: float) -> float:
+        """The summed per-key moment — ``sum_key F_order(key's window)``.
+
+        Values are namespaced per key (the same payload under two keys counts
+        as two tenants' values), which is the per-tenant analytics reading of
+        "total moment" and keeps the sum exact in expectation.
+        """
+        return sum(self.per_key_moments(order).values())
+
+    # -- checkpointing ---------------------------------------------------------
+
+    def state_dict(self) -> Dict[str, Any]:
+        """Snapshot the engine: topology, policy and every shard's pool."""
+        return {
+            "format": STATE_FORMAT,
+            "spec": self._spec.to_dict(),
+            "shards": self._shards,
+            "seed": self._seed,
+            "max_keys_per_shard": self._max_keys_per_shard,
+            "idle_ttl": self._idle_ttl,
+            "track_occurrences": self._track_occurrences,
+            "now": self._now,
+            "pools": [pool.state_dict() for pool in self._pools],
+        }
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        """Restore an engine snapshot in place (topology must match)."""
+        require_state_fields(
+            state,
+            ("format", "spec", "shards", "seed", "now", "pools"),
+            "ShardedEngine",
+        )
+        if state["format"] != STATE_FORMAT:
+            raise ConfigurationError(
+                f"unsupported snapshot format {state['format']!r} (expected {STATE_FORMAT})"
+            )
+        if SamplerSpec.from_dict(state["spec"]) != self._spec:
+            raise ConfigurationError("snapshot spec does not match this engine's spec")
+        if int(state["shards"]) != self._shards:
+            raise ConfigurationError(
+                f"snapshot has {state['shards']} shards, engine has {self._shards}"
+                " (resharding a snapshot is not supported)"
+            )
+        if int(state["seed"]) != self._seed:
+            raise ConfigurationError(
+                f"snapshot seed {state['seed']} does not match engine seed {self._seed}"
+            )
+        for field in ("max_keys_per_shard", "idle_ttl", "track_occurrences"):
+            if field in state and state[field] != getattr(self, f"_{field}"):
+                raise ConfigurationError(
+                    f"snapshot {field}={state[field]!r} does not match this engine's"
+                    f" {getattr(self, f'_{field}')!r} (restore via from_state_dict, or"
+                    " build the engine with the snapshot's policy)"
+                )
+        if len(state["pools"]) != self._shards:
+            raise ConfigurationError(
+                f"snapshot carries {len(state['pools'])} pool states for {state['shards']}"
+                " declared shards — corrupt checkpoint"
+            )
+        for pool, pool_state in zip(self._pools, state["pools"]):
+            pool.load_state_dict(pool_state)
+        self._now = float(state["now"])
+
+    @classmethod
+    def from_state_dict(cls, state: Dict[str, Any]) -> "ShardedEngine":
+        """Rebuild a full engine from :meth:`state_dict` output."""
+        require_state_fields(
+            state,
+            ("format", "spec", "shards", "seed", "now", "pools"),
+            "ShardedEngine",
+        )
+        engine = cls(
+            SamplerSpec.from_dict(state["spec"]),
+            shards=int(state["shards"]),
+            seed=int(state["seed"]),
+            max_keys_per_shard=state.get("max_keys_per_shard"),
+            idle_ttl=state.get("idle_ttl"),
+            track_occurrences=bool(state.get("track_occurrences", False)),
+        )
+        engine.load_state_dict(state)
+        return engine
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ShardedEngine(shards={self._shards}, keys={self.key_count}, "
+            f"arrivals={self.total_arrivals}, spec={self._spec.describe()!r})"
+        )

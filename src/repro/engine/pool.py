@@ -1,0 +1,271 @@
+"""A pool of lazily-created per-key samplers with eviction and accounting.
+
+One :class:`KeyedSamplerPool` owns every sampler of one shard.  Samplers are
+created on a key's first record, seeded deterministically from the pool seed
+and a stable hash of the key — so key ``"alice"`` gets the *same* sampler
+randomness no matter when she first appears, which shard count the engine
+runs with, or how often the process restarts.
+
+Memory is the whole point of the paper, so the pool treats it as a budget:
+
+* ``max_keys`` caps the number of live samplers, evicting the least recently
+  *ingested* key when a new key would exceed the cap (LRU);
+* ``idle_ttl`` evicts keys that have not received a record for the given
+  number of pool-wide ingest ticks (swept opportunistically every
+  ``sweep_interval`` ticks, or explicitly via :meth:`sweep`);
+* :meth:`memory_words` aggregates the per-sampler word-RAM footprints plus
+  the pool's own bookkeeping, giving the per-tenant budget arithmetic
+  ``keys × Θ(k)`` (sequence) / ``keys × Θ(k log n)`` (timestamp) in one call.
+
+Eviction discards sampler state irrevocably — a returning key starts a fresh
+window, exactly like a new key.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+
+from ..core.base import WindowSampler
+from ..core.serialization import STATE_FORMAT, require_state_fields
+from ..core.tracking import CandidateObserver
+from ..exceptions import ConfigurationError
+from ..memory import MemoryMeter, WORD_MODEL
+from .hashing import stable_key_hash
+from .spec import SamplerSpec
+
+__all__ = ["KeyedSamplerPool"]
+
+#: Salt mixed into per-key sampler seeds so they are independent of the hash
+#: family used for shard routing.
+_SEED_SALT = 0x5EEDFACE
+
+
+class _KeyEntry:
+    """Per-key bookkeeping: the sampler and its last-ingest tick."""
+
+    __slots__ = ("sampler", "last_tick")
+
+    def __init__(self, sampler: WindowSampler, last_tick: int) -> None:
+        self.sampler = sampler
+        self.last_tick = last_tick
+
+
+class KeyedSamplerPool:
+    """Per-key samplers behind one ingest point, with LRU/TTL eviction."""
+
+    def __init__(
+        self,
+        spec: SamplerSpec,
+        *,
+        seed: int = 0,
+        max_keys: Optional[int] = None,
+        idle_ttl: Optional[int] = None,
+        sweep_interval: int = 4096,
+        observer_factory: Optional[Callable[[], CandidateObserver]] = None,
+    ) -> None:
+        if max_keys is not None and max_keys <= 0:
+            raise ConfigurationError("max_keys must be positive (or None for no cap)")
+        if idle_ttl is not None and idle_ttl <= 0:
+            raise ConfigurationError("idle_ttl must be positive (or None for no TTL)")
+        if sweep_interval <= 0:
+            raise ConfigurationError("sweep_interval must be positive")
+        self._spec = spec
+        self._seed = int(seed)
+        self._max_keys = max_keys
+        self._idle_ttl = idle_ttl
+        self._sweep_interval = int(sweep_interval)
+        self._observer_factory = observer_factory
+        self._entries: "OrderedDict[Any, _KeyEntry]" = OrderedDict()
+        self._ticks = 0
+        self._evictions = 0
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def spec(self) -> SamplerSpec:
+        return self._spec
+
+    @property
+    def seed(self) -> int:
+        return self._seed
+
+    @property
+    def ticks(self) -> int:
+        """Total records ingested by this pool (including evicted keys')."""
+        return self._ticks
+
+    @property
+    def evictions(self) -> int:
+        """Number of keys evicted so far (LRU cap plus TTL sweeps)."""
+        return self._evictions
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self._entries
+
+    def keys(self) -> List[Any]:
+        """Live keys, least recently ingested first."""
+        return list(self._entries)
+
+    def items(self) -> Iterator[Tuple[Any, WindowSampler]]:
+        """Iterate ``(key, sampler)`` pairs (least recently ingested first)."""
+        for key, entry in self._entries.items():
+            yield key, entry.sampler
+
+    # -- sampler lifecycle ---------------------------------------------------
+
+    def _sampler_seed(self, key: Any) -> int:
+        return stable_key_hash(key, salt=self._seed ^ _SEED_SALT)
+
+    def _create(self, key: Any) -> _KeyEntry:
+        observer = self._observer_factory() if self._observer_factory is not None else None
+        sampler = self._spec.build(rng=self._sampler_seed(key), observer=observer)
+        entry = _KeyEntry(sampler, self._ticks)
+        if self._max_keys is not None and len(self._entries) >= self._max_keys:
+            self._entries.popitem(last=False)  # least recently ingested
+            self._evictions += 1
+        self._entries[key] = entry
+        return entry
+
+    def sampler_for(self, key: Any) -> WindowSampler:
+        """The key's live sampler; raises ``KeyError`` when there is none.
+
+        Strictly read-only: samplers are created by ingest, never by lookup,
+        so a probe of an unknown key (a dashboard querying a typo) can
+        neither allocate memory nor — at the ``max_keys`` cap — evict a live
+        key's window state.  Lookups also do not refresh the key's LRU/TTL
+        position, so read-heavy queries cannot keep a dead key alive.
+        """
+        entry = self._entries.get(key)
+        if entry is None:
+            raise KeyError(f"no live sampler for key {key!r} (never ingested, or evicted)")
+        return entry.sampler
+
+    def discard(self, key: Any) -> bool:
+        """Drop one key's sampler outright. Returns whether it existed."""
+        if self._entries.pop(key, None) is None:
+            return False
+        self._evictions += 1
+        return True
+
+    # -- ingest --------------------------------------------------------------
+
+    def append(self, key: Any, value: Any, timestamp: Optional[float] = None) -> None:
+        """Route one record to its key's sampler (creating it if needed)."""
+        entry = self._entries.get(key)
+        if entry is None:
+            entry = self._create(key)
+        elif self._max_keys is not None:
+            self._entries.move_to_end(key)
+        entry.sampler.append(value, timestamp)
+        self._ticks += 1
+        entry.last_tick = self._ticks
+        if self._idle_ttl is not None and self._ticks % self._sweep_interval == 0:
+            self.sweep()
+
+    def sweep(self) -> int:
+        """Evict every key idle for more than ``idle_ttl`` ticks.
+
+        Returns the number of keys evicted.  A no-op when no TTL is set.
+        """
+        if self._idle_ttl is None:
+            return 0
+        horizon = self._ticks - self._idle_ttl
+        stale = [key for key, entry in self._entries.items() if entry.last_tick < horizon]
+        for key in stale:
+            del self._entries[key]
+        self._evictions += len(stale)
+        return len(stale)
+
+    def advance_time(self, now: float) -> None:
+        """Broadcast a clock advance to every timestamp-window sampler."""
+        for entry in self._entries.values():
+            sampler = entry.sampler
+            if hasattr(sampler, "advance_time"):
+                sampler.advance_time(now)
+
+    # -- accounting ----------------------------------------------------------
+
+    def memory_words(self) -> int:
+        """Aggregate word-RAM footprint: every live sampler plus bookkeeping.
+
+        Bookkeeping charges one word per key (the last-ingest tick) and the
+        pool's two counters; the per-key *key itself* is charged one element
+        word, mirroring how the samplers charge stored values.
+        """
+        meter = MemoryMeter(WORD_MODEL)
+        meter.add_counters(2)  # tick and eviction counters
+        for entry in self._entries.values():
+            meter.add_elements()  # the key
+            meter.add_counters()  # last-ingest tick
+            meter.add_words(entry.sampler.memory_words())
+        return meter.total
+
+    def memory_words_by_key(self) -> Dict[Any, int]:
+        """Per-key sampler footprints (budget attribution / hottest-memory)."""
+        return {key: entry.sampler.memory_words() for key, entry in self._entries.items()}
+
+    # -- checkpointing -------------------------------------------------------
+
+    def state_dict(self) -> Dict[str, Any]:
+        """Snapshot the pool: config fingerprint plus every live sampler.
+
+        Keys are stored in LRU order so a restored pool evicts in the same
+        order as the original would have.
+        """
+        return {
+            "format": STATE_FORMAT,
+            "spec": self._spec.to_dict(),
+            "seed": self._seed,
+            "ticks": self._ticks,
+            "evictions": self._evictions,
+            "entries": [
+                {"key": key, "last_tick": entry.last_tick, "sampler": entry.sampler.state_dict()}
+                for key, entry in self._entries.items()
+            ],
+        }
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        """Restore a pool snapshot in place (replacing all live samplers)."""
+        require_state_fields(
+            state, ("format", "spec", "seed", "ticks", "evictions", "entries"), "KeyedSamplerPool"
+        )
+        if state["format"] != STATE_FORMAT:
+            raise ConfigurationError(
+                f"unsupported snapshot format {state['format']!r} (expected {STATE_FORMAT})"
+            )
+        if SamplerSpec.from_dict(state["spec"]) != self._spec:
+            raise ConfigurationError("snapshot spec does not match this pool's spec")
+        if int(state["seed"]) != self._seed:
+            raise ConfigurationError(
+                f"snapshot seed {state['seed']} does not match pool seed {self._seed}"
+                " (future keys would draw different randomness)"
+            )
+        entries: "OrderedDict[Any, _KeyEntry]" = OrderedDict()
+        for encoded in state["entries"]:
+            require_state_fields(encoded, ("key", "last_tick", "sampler"), "KeyedSamplerPool entry")
+            key = encoded["key"]
+            observer = self._observer_factory() if self._observer_factory is not None else None
+            sampler = self._spec.build(rng=self._sampler_seed(key), observer=observer)
+            sampler.load_state_dict(encoded["sampler"])
+            entries[key] = _KeyEntry(sampler, int(encoded["last_tick"]))
+        # A snapshot may come from a pool with a looser (or no) cap; enforce
+        # this pool's budget immediately rather than leaking the overshoot
+        # forever (inserts evict one-for-one and would never drain it).
+        overflow = 0
+        if self._max_keys is not None:
+            while len(entries) > self._max_keys:
+                entries.popitem(last=False)
+                overflow += 1
+        self._entries = entries
+        self._ticks = int(state["ticks"])
+        self._evictions = int(state["evictions"]) + overflow
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"KeyedSamplerPool(keys={len(self._entries)}, ticks={self._ticks}, "
+            f"evictions={self._evictions})"
+        )

@@ -10,9 +10,9 @@ estimators all speak the same type.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Iterable, Iterator, List, Sequence
+from typing import Any, Iterable, Iterator, List, NamedTuple, Optional, Sequence
 
-__all__ = ["StreamElement", "make_stream", "values_of", "indexes_of"]
+__all__ = ["StreamElement", "KeyedRecord", "make_stream", "values_of", "indexes_of"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -44,6 +44,22 @@ class StreamElement:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"StreamElement(value={self.value!r}, index={self.index}, t={self.timestamp})"
+
+
+class KeyedRecord(NamedTuple):
+    """One record of a *keyed* stream: many logical streams multiplexed on one
+    feed, distinguished by ``key`` (a user id, flow tuple, topic name, ...).
+
+    :class:`~repro.engine.ShardedEngine` demultiplexes such records onto
+    per-key sliding-window samplers.  Being a ``NamedTuple``, a record is
+    interchangeable with a plain ``(key, value, timestamp)`` (or two-field
+    ``(key, value)``) tuple, so high-volume producers can skip the class
+    entirely.
+    """
+
+    key: Any
+    value: Any
+    timestamp: Optional[float] = None
 
 
 def make_stream(

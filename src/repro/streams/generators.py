@@ -19,6 +19,7 @@ from ..rng import RngLike, ensure_rng
 
 __all__ = [
     "uniform_integers",
+    "zipfian_cumulative",
     "zipfian_integers",
     "gaussian_walk",
     "sensor_drift",
@@ -52,6 +53,27 @@ def uniform_integers(domain: int, rng: RngLike = None, length: Optional[int] = N
         yield random_source.randrange(domain)
 
 
+def zipfian_cumulative(domain: int, skew: float) -> List[float]:
+    """The normalised cumulative Zipf distribution over ``[0, domain)``.
+
+    Shared by :func:`zipfian_integers` (per-draw binary search) and the keyed
+    workload builders (batch draws via ``random.choices(cum_weights=...)``).
+    """
+    if domain <= 0:
+        raise ValueError("domain must be positive")
+    if skew <= 0:
+        raise ValueError("skew must be positive")
+    weights = [1.0 / (rank + 1) ** skew for rank in range(domain)]
+    total = sum(weights)
+    cumulative: List[float] = []
+    running = 0.0
+    for weight in weights:
+        running += weight / total
+        cumulative.append(running)
+    cumulative[-1] = 1.0
+    return cumulative
+
+
 def zipfian_integers(
     domain: int,
     skew: float = 1.1,
@@ -64,19 +86,8 @@ def zipfian_integers(
     moments and entropy estimation (Corollaries 5.2 and 5.4): a few values are
     very frequent, most are rare.
     """
-    if domain <= 0:
-        raise ValueError("domain must be positive")
-    if skew <= 0:
-        raise ValueError("skew must be positive")
     random_source = ensure_rng(rng)
-    weights = [1.0 / (rank + 1) ** skew for rank in range(domain)]
-    total = sum(weights)
-    cumulative: List[float] = []
-    running = 0.0
-    for weight in weights:
-        running += weight / total
-        cumulative.append(running)
-    cumulative[-1] = 1.0
+    cumulative = zipfian_cumulative(domain, skew)
 
     def draw() -> int:
         u = random_source.random()

@@ -13,9 +13,18 @@ from typing import Callable, Dict, List
 
 from ..rng import RngLike, ensure_rng, spawn
 from . import arrivals, generators
-from .element import StreamElement, make_stream
+from .element import KeyedRecord, StreamElement, make_stream
 
-__all__ = ["Workload", "WORKLOADS", "build_workload", "available_workloads"]
+__all__ = [
+    "Workload",
+    "WORKLOADS",
+    "build_workload",
+    "available_workloads",
+    "KeyedWorkload",
+    "KEYED_WORKLOADS",
+    "build_keyed_workload",
+    "available_keyed_workloads",
+]
 
 
 @dataclass(frozen=True)
@@ -130,6 +139,115 @@ WORKLOADS: Dict[str, Workload] = {
 def available_workloads() -> List[str]:
     """Names of all registered workloads."""
     return sorted(WORKLOADS)
+
+
+# ---------------------------------------------------------------------------
+# Keyed workloads — multiplexed streams for the engine
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class KeyedWorkload:
+    """A named recipe for a *keyed* stream (many logical streams on one feed).
+
+    The builder receives ``(length, num_keys, rng)`` and returns a list of
+    :class:`~repro.streams.element.KeyedRecord`, timestamps non-decreasing.
+    The key-popularity profile is the interesting axis here: real keyed
+    traffic (users, flows, topics) is rarely uniform, and the engine's
+    eviction and aggregation behaviour depends on the skew.
+    """
+
+    name: str
+    description: str
+    builder: Callable[[int, int, RngLike], List[KeyedRecord]]
+
+    def build(self, length: int, num_keys: int, rng: RngLike = None) -> List[KeyedRecord]:
+        """Materialise ``length`` records spread over ``num_keys`` keys."""
+        if length <= 0:
+            raise ValueError("length must be positive")
+        if num_keys <= 0:
+            raise ValueError("num_keys must be positive")
+        return self.builder(length, num_keys, rng)
+
+
+def _assemble(keys: List[int], values: List[int]) -> List[KeyedRecord]:
+    return [
+        KeyedRecord(key, value, float(index))
+        for index, (key, value) in enumerate(zip(keys, values))
+    ]
+
+
+def _keyed_uniform(length: int, num_keys: int, rng: RngLike) -> List[KeyedRecord]:
+    source = ensure_rng(rng)
+    keys = source.choices(range(num_keys), k=length)
+    values = source.choices(range(1024), k=length)
+    return _assemble(keys, values)
+
+
+def _keyed_zipf(length: int, num_keys: int, rng: RngLike) -> List[KeyedRecord]:
+    source = ensure_rng(rng)
+    keys = source.choices(
+        range(num_keys), cum_weights=generators.zipfian_cumulative(num_keys, 1.1), k=length
+    )
+    values = source.choices(
+        range(1024), cum_weights=generators.zipfian_cumulative(1024, 1.2), k=length
+    )
+    return _assemble(keys, values)
+
+
+def _keyed_hotset(length: int, num_keys: int, rng: RngLike) -> List[KeyedRecord]:
+    source = ensure_rng(rng)
+    hot = max(1, num_keys // 10)
+    # The hot tenth of the keyspace receives ~90% of the traffic.
+    hot_weight = 9.0 * (num_keys - hot) / hot if num_keys > hot else 1.0
+    cumulative: List[float] = []
+    running = 0.0
+    for key in range(num_keys):
+        running += hot_weight if key < hot else 1.0
+        cumulative.append(running)
+    keys = source.choices(range(num_keys), cum_weights=cumulative, k=length)
+    values = source.choices(range(1024), k=length)
+    return _assemble(keys, values)
+
+
+KEYED_WORKLOADS: Dict[str, KeyedWorkload] = {
+    workload.name: workload
+    for workload in [
+        KeyedWorkload(
+            "keyed-uniform",
+            "Every key equally likely; uniform values (eviction-neutral baseline).",
+            _keyed_uniform,
+        ),
+        KeyedWorkload(
+            "keyed-zipf",
+            "Zipfian key popularity and Zipfian values (realistic tenant skew).",
+            _keyed_zipf,
+        ),
+        KeyedWorkload(
+            "keyed-hotset",
+            "A hot tenth of the keyspace takes ~90% of traffic (cache-adversarial).",
+            _keyed_hotset,
+        ),
+    ]
+}
+
+
+def available_keyed_workloads() -> List[str]:
+    """Names of all registered keyed workloads."""
+    return sorted(KEYED_WORKLOADS)
+
+
+def build_keyed_workload(
+    name: str, length: int, *, num_keys: int, rng: RngLike = None
+) -> List[KeyedRecord]:
+    """Materialise ``length`` keyed records of the workload called ``name``."""
+    try:
+        workload = KEYED_WORKLOADS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown keyed workload {name!r}; available: {', '.join(available_keyed_workloads())}"
+        ) from None
+    return workload.build(length, num_keys, rng)
 
 
 def build_workload(name: str, length: int, rng: RngLike = None) -> List[StreamElement]:

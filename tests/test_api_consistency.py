@@ -114,6 +114,7 @@ class TestDocumentation:
             "repro.windows",
             "repro.harness",
             "repro.sketches",
+            "repro.engine",
         ],
     )
     def test_modules_and_public_members_have_docstrings(self, module_name):
@@ -134,3 +135,44 @@ class TestDocumentation:
             if name.startswith("_") or not callable(member):
                 continue
             assert member.__doc__, f"WindowSampler.{name} lacks a docstring"
+
+
+class TestExtendPairs:
+    """extend(..., time_value_pairs=True) batch-feeds (timestamp, value) records."""
+
+    @pytest.mark.parametrize("label,kwargs", CONFIGURATIONS, ids=[c[0] for c in CONFIGURATIONS])
+    def test_pairs_mode_equals_manual_appends(self, label, kwargs):
+        feed = [(float(index), index * 11) for index in range(80)]
+        batched = build(kwargs)
+        batched.extend(feed, time_value_pairs=True)
+        manual = build(kwargs)
+        for timestamp, value in feed:
+            manual.append(value, timestamp)
+        assert batched.total_arrivals == manual.total_arrivals == 80
+        assert batched.sample() == manual.sample()
+
+    def test_pairs_mode_honours_timestamps(self):
+        sampler = build(dict(window="timestamp", t0=5.0, replacement=True, algorithm="optimal"))
+        sampler.extend([(0.0, "a"), (3.0, "b"), (100.0, "c")], time_value_pairs=True)
+        assert sampler.now == 100.0
+        # Only the last element is still active in the 5-unit window.
+        assert sampler.sample_values() == ["c", "c", "c"]
+
+    def test_default_mode_still_treats_tuples_as_values(self):
+        sampler = build(dict(window="sequence", n=40, replacement=True, algorithm="optimal"))
+        edges = [(1, 2), (2, 3), (3, 1)]
+        sampler.extend(edges)
+        assert sampler.total_arrivals == 3
+        assert sampler.sample_values()[0] in edges
+
+
+class TestVersionSync:
+    def test_pyproject_version_matches_package(self):
+        import os
+        import re
+
+        pyproject = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "pyproject.toml")
+        with open(pyproject, "r", encoding="utf-8") as handle:
+            match = re.search(r'^version\s*=\s*"([^"]+)"', handle.read(), re.MULTILINE)
+        assert match, "pyproject.toml lacks a project version"
+        assert match.group(1) == repro.__version__

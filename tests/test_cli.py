@@ -29,6 +29,7 @@ class TestListCommand:
         output = capsys.readouterr().out
         assert "optimal" in output
         assert "uniform-sequence" in output
+        assert "keyed-zipf" in output
         assert "E10" in output
 
 
@@ -58,6 +59,63 @@ class TestRunCommand:
         )
         assert exit_code == 0
         assert "sample (5 elements)" in capsys.readouterr().out
+
+
+class TestEngineCommand:
+    def test_engine_run_reports_fleet_statistics(self, capsys):
+        exit_code = main(
+            ["engine", "--records", "5000", "--keys", "50", "--shards", "2", "-k", "3", "--seed", "9"]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "live keys       : 50" in output
+        assert "memory (words)" in output
+        assert "hottest 5 keys" in output
+        assert "merged frequent values" in output
+
+    def test_engine_checkpoint_then_resume(self, capsys, tmp_path):
+        path = str(tmp_path / "engine.ckpt")
+        assert main(["engine", "--records", "2000", "--keys", "20", "--checkpoint", path]) == 0
+        assert "checkpoint      : " in capsys.readouterr().out
+        assert main(["engine", "--resume", path, "--records", "1000", "--keys", "20"]) == 0
+        output = capsys.readouterr().out
+        assert "resumed" in output
+        assert "(20 keys, 2000 records)" in output
+
+    def test_engine_checkpoint_with_baseline_algorithm_is_refused(self, capsys, tmp_path):
+        exit_code = main(
+            ["engine", "--algorithm", "chain", "--records", "100", "--keys", "5",
+             "--checkpoint", str(tmp_path / "nope.ckpt")]
+        )
+        assert exit_code == 2
+        assert "baseline samplers do not support state snapshots" in capsys.readouterr().err
+        assert not (tmp_path / "nope.ckpt").exists()
+
+    def test_engine_eviction_budget(self, capsys):
+        exit_code = main(
+            ["engine", "--records", "3000", "--keys", "100", "--shards", "2",
+             "--max-keys-per-shard", "10", "--workload", "keyed-uniform"]
+        )
+        assert exit_code == 0
+        assert "evicted" in capsys.readouterr().out
+
+    def test_engine_timestamp_window(self, capsys):
+        exit_code = main(
+            ["engine", "--window", "timestamp", "--t0", "100", "--records", "2000",
+             "--keys", "20", "--without-replacement"]
+        )
+        assert exit_code == 0
+        assert "t0=100" in capsys.readouterr().out
+
+    def test_engine_timestamp_resume_continues_the_clock(self, capsys, tmp_path):
+        path = str(tmp_path / "ts.ckpt")
+        args = ["engine", "--window", "timestamp", "--t0", "200", "--records", "2000", "--keys", "20"]
+        assert main(args + ["--checkpoint", path]) == 0
+        capsys.readouterr()
+        # The resumed batch's timestamps must be shifted past the restored
+        # clock, not restart at zero (which would raise StreamOrderError).
+        assert main(["engine", "--resume", path, "--records", "1000", "--keys", "20"]) == 0
+        assert "resumed" in capsys.readouterr().out
 
 
 @pytest.mark.slow

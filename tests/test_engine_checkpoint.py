@@ -1,0 +1,169 @@
+"""Engine snapshot/restore: state dicts and checkpoint files.
+
+The acceptance bar: a checkpoint/restore round trip yields *identical*
+per-key samples — and, because generator positions are captured, identical
+behaviour on any identical suffix of the stream.
+"""
+
+import pickle
+
+import pytest
+
+from repro.engine import (
+    KeyedSamplerPool,
+    SamplerSpec,
+    ShardedEngine,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.exceptions import ConfigurationError
+from repro.streams.workloads import build_keyed_workload
+
+
+def make_engine(spec=None, **overrides):
+    config = dict(shards=3, seed=17, max_keys_per_shard=64, idle_ttl=100_000)
+    config.update(overrides)
+    if spec is None:
+        spec = SamplerSpec(window="sequence", n=40, k=4, replacement=False)
+    return ShardedEngine(spec, **config)
+
+
+class TestPoolStateDict:
+    def test_round_trip_preserves_samples_ticks_and_order(self):
+        pool = KeyedSamplerPool(SamplerSpec(window="sequence", n=10, k=2), seed=3, max_keys=8)
+        for index in range(300):
+            pool.append(f"key-{index % 10}", index)
+        restored = KeyedSamplerPool(SamplerSpec(window="sequence", n=10, k=2), seed=3, max_keys=8)
+        restored.load_state_dict(pool.state_dict())
+        assert restored.keys() == pool.keys()  # LRU order preserved
+        assert restored.ticks == pool.ticks
+        assert restored.evictions == pool.evictions
+        for key in pool.keys():
+            assert restored.sampler_for(key).sample() == pool.sampler_for(key).sample()
+
+    def test_restore_enforces_this_pools_key_cap(self):
+        spec = SamplerSpec(window="sequence", n=10, k=2)
+        uncapped = KeyedSamplerPool(spec, seed=3)
+        for index in range(20):
+            uncapped.append(f"key-{index}", index)
+        capped = KeyedSamplerPool(spec, seed=3, max_keys=5)
+        capped.load_state_dict(uncapped.state_dict())
+        assert len(capped) == 5
+        assert capped.evictions == 15
+        # The most recently ingested keys survive.
+        assert capped.keys() == [f"key-{index}" for index in range(15, 20)]
+        capped.append("fresh", 1)
+        assert len(capped) == 5  # the cap holds under further inserts
+
+    def test_spec_and_seed_mismatches_rejected(self):
+        pool = KeyedSamplerPool(SamplerSpec(window="sequence", n=10, k=2), seed=3)
+        pool.append("a", 1)
+        state = pool.state_dict()
+        other_spec = KeyedSamplerPool(SamplerSpec(window="sequence", n=11, k=2), seed=3)
+        with pytest.raises(ConfigurationError):
+            other_spec.load_state_dict(state)
+        other_seed = KeyedSamplerPool(SamplerSpec(window="sequence", n=10, k=2), seed=4)
+        with pytest.raises(ConfigurationError):
+            other_seed.load_state_dict(state)
+
+
+class TestEngineStateDict:
+    def test_round_trip_is_identical_now_and_in_the_future(self):
+        engine = make_engine()
+        records = build_keyed_workload("keyed-zipf", 20_000, num_keys=150, rng=2)
+        engine.ingest(records)
+
+        restored = ShardedEngine.from_state_dict(engine.state_dict())
+        assert restored.key_count == engine.key_count
+        assert restored.total_arrivals == engine.total_arrivals
+        assert restored.memory_words() == engine.memory_words()
+        for key in engine.keys():
+            assert pickle.dumps(restored.sample(key)) == pickle.dumps(engine.sample(key))
+
+        suffix = build_keyed_workload("keyed-zipf", 5_000, num_keys=150, rng=8)
+        engine.ingest(suffix)
+        restored.ingest(suffix)
+        for key, _ in engine.hottest_keys(25):
+            assert restored.sample(key) == engine.sample(key)
+
+    def test_topology_mismatches_rejected(self):
+        engine = make_engine()
+        engine.append("a", 1)
+        state = engine.state_dict()
+        with pytest.raises(ConfigurationError):
+            make_engine(shards=4).load_state_dict(state)
+        with pytest.raises(ConfigurationError):
+            make_engine(seed=99).load_state_dict(state)
+        with pytest.raises(ConfigurationError):
+            make_engine(spec=SamplerSpec(window="sequence", n=41, k=4, replacement=False)).load_state_dict(state)
+
+    def test_truncated_pool_list_rejected(self):
+        engine = make_engine()
+        engine.ingest([(f"key-{index}", index) for index in range(40)])
+        state = engine.state_dict()
+        state["pools"] = state["pools"][:1]  # corrupt: fewer pools than shards
+        with pytest.raises(ConfigurationError):
+            ShardedEngine.from_state_dict(state)
+
+    def test_eviction_policy_mismatches_rejected(self):
+        engine = make_engine()
+        engine.append("a", 1)
+        state = engine.state_dict()
+        with pytest.raises(ConfigurationError):
+            make_engine(max_keys_per_shard=10).load_state_dict(state)
+        with pytest.raises(ConfigurationError):
+            make_engine(idle_ttl=5).load_state_dict(state)
+        with pytest.raises(ConfigurationError):
+            make_engine(track_occurrences=True).load_state_dict(state)
+
+    def test_eviction_policy_survives_a_restore(self):
+        engine = make_engine(max_keys_per_shard=2, idle_ttl=None)
+        engine.ingest([(f"key-{index}", index) for index in range(50)])
+        restored = ShardedEngine.from_state_dict(engine.state_dict())
+        assert restored.key_count == engine.key_count <= 2 * engine.shards
+        restored.ingest([(f"new-{index}", index) for index in range(50)])
+        assert restored.key_count <= 2 * restored.shards
+
+
+class TestCheckpointFiles:
+    def test_file_round_trip_with_timestamp_windows(self, tmp_path):
+        spec = SamplerSpec(window="timestamp", t0=30.0, k=3, replacement=True)
+        engine = make_engine(spec=spec)
+        engine.ingest(
+            [(f"flow-{index % 9}", index, index * 0.25) for index in range(4_000)]
+        )
+        path = save_checkpoint(engine, tmp_path / "engine.ckpt")
+        restored = load_checkpoint(path)
+        assert restored.now == engine.now
+        for key in engine.keys():
+            assert restored.sample(key) == engine.sample(key)
+
+    def test_save_overwrites_atomically(self, tmp_path):
+        engine = make_engine()
+        engine.append("a", 1)
+        path = tmp_path / "engine.ckpt"
+        save_checkpoint(engine, path)
+        engine.append("a", 2)
+        save_checkpoint(engine, path)
+        assert load_checkpoint(path).sampler_for("a").total_arrivals == 2
+        assert list(tmp_path.iterdir()) == [path]  # no temp files left behind
+
+    def test_garbage_files_are_rejected(self, tmp_path):
+        not_a_checkpoint = tmp_path / "garbage.ckpt"
+        not_a_checkpoint.write_bytes(pickle.dumps({"magic": "something-else"}))
+        with pytest.raises(ConfigurationError):
+            load_checkpoint(not_a_checkpoint)
+        wrong_version = tmp_path / "future.ckpt"
+        wrong_version.write_bytes(
+            pickle.dumps({"magic": "swsample-engine-checkpoint", "version": 999, "engine": {}})
+        )
+        with pytest.raises(ConfigurationError):
+            load_checkpoint(wrong_version)
+
+    def test_occurrence_tracking_survives_checkpoint(self, tmp_path):
+        spec = SamplerSpec(window="sequence", n=25, k=3, replacement=True)
+        engine = make_engine(spec=spec, track_occurrences=True)
+        engine.ingest([("a", value) for value in range(100)])
+        path = save_checkpoint(engine, tmp_path / "engine.ckpt")
+        restored = load_checkpoint(path)
+        assert restored.per_key_moments(1.0) == engine.per_key_moments(1.0) == {"a": 25.0}

@@ -98,6 +98,62 @@ class TestBaselines:
             sliding_window_sampler("sequence", n=5, algorithm="quantum")
 
 
+class TestConfigurationErrorBranches:
+    """Every invalid window/algorithm/replacement combination is refused."""
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            # chain: sequence + WR only
+            dict(window="sequence", n=5, replacement=False, algorithm="chain"),
+            dict(window="timestamp", t0=5.0, replacement=True, algorithm="chain"),
+            # priority: timestamp + WR only
+            dict(window="timestamp", t0=5.0, replacement=False, algorithm="priority"),
+            dict(window="sequence", n=5, replacement=True, algorithm="priority"),
+            # priority-wor: timestamp + WoR only
+            dict(window="timestamp", t0=5.0, replacement=True, algorithm="priority-wor"),
+            dict(window="sequence", n=5, replacement=False, algorithm="priority-wor"),
+            # oversampling: WoR only (either window)
+            dict(window="sequence", n=5, replacement=True, algorithm="oversampling"),
+            dict(window="timestamp", t0=5.0, replacement=True, algorithm="oversampling"),
+            # whole-stream: exposed as a sequence sampler only
+            dict(window="timestamp", t0=5.0, replacement=True, algorithm="whole-stream"),
+            dict(window="timestamp", t0=5.0, replacement=False, algorithm="whole-stream"),
+        ],
+        ids=[
+            "chain-wor", "chain-ts", "priority-wor-flag", "priority-seq",
+            "priority-wor-wr-flag", "priority-wor-seq", "oversampling-wr-seq",
+            "oversampling-wr-ts", "whole-stream-ts-wr", "whole-stream-ts-wor",
+        ],
+    )
+    def test_incompatible_combination_raises(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            sliding_window_sampler(rng=1, **kwargs)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(window="sequence", n=5, k=0),
+            dict(window="sequence", n=0, k=1),
+            dict(window="sequence", n=-3, k=1),
+            dict(window="timestamp", t0=0.0, k=1),
+            dict(window="timestamp", t0=-1.0, k=1),
+        ],
+        ids=["k-zero", "n-zero", "n-negative", "t0-zero", "t0-negative"],
+    )
+    def test_invalid_numeric_parameters_raise(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            sliding_window_sampler(rng=1, **kwargs)
+
+    def test_error_messages_name_the_offending_choice(self):
+        with pytest.raises(ConfigurationError, match="chain"):
+            sliding_window_sampler("timestamp", t0=5.0, algorithm="chain")
+        with pytest.raises(ConfigurationError, match="quantum"):
+            sliding_window_sampler("sequence", n=5, algorithm="quantum")
+        with pytest.raises(ConfigurationError, match="hopping"):
+            sliding_window_sampler("hopping", n=5)
+
+
 class TestCatalog:
     def test_catalog_covers_public_algorithms(self):
         catalog = algorithm_catalog()
