@@ -73,8 +73,12 @@ def main() -> None:
     print()
 
     with tempfile.TemporaryDirectory() as directory:
+        # Checkpoints are directories now: a JSON manifest plus one
+        # digest-verified segment file per shard (see repro.engine.checkpoint).
         path = save_checkpoint(engine, os.path.join(directory, "engine.ckpt"))
-        size_kb = os.path.getsize(path) / 1024.0
+        size_kb = sum(
+            os.path.getsize(os.path.join(path, name)) for name in os.listdir(path)
+        ) / 1024.0
         restored = load_checkpoint(path)
         probe = [user for user, _ in engine.hottest_keys(25)]
         matches = sum(engine.sample(user) == restored.sample(user) for user in probe)

@@ -43,6 +43,37 @@ and identical future randomness.
 >>> engine.sample_values("alice")  # doctest: +SKIP
 [3, 1, 3, 3]
 
+Scaling & persistence
+---------------------
+Two layers take the engine from one thread and one pickle to fleet scale:
+
+* **Parallel shard executors.**  :class:`~repro.engine.ParallelEngine` drives
+  the same shards from ``workers`` threads behind bounded per-shard queues
+  with producer backpressure.  Because each shard is owned by exactly one
+  worker and per-key sampler seeds are key-derived, parallel ingest is
+  *bit-identical* to serial ingest — ``workers`` changes throughput, never
+  samples.  Queries (``sample``, aggregates, ``state_dict``) flush through a
+  drain barrier first, so readers always observe a consistent fleet, and the
+  public surface is thread-safe for concurrent producers and readers.
+  Streaming feeds plug in via :func:`~repro.engine.ingest_jsonl` (JSONL from
+  a file, pipe or stdin, in bounded batches — ``swsample engine --input``).
+
+* **Incremental checkpoints.**  :func:`~repro.engine.save_checkpoint` writes
+  a checkpoint *directory*: one digest-verified segment file per shard plus
+  a JSON manifest (format documented in :mod:`repro.engine.checkpoint`).
+  Repeat saves rewrite only the shards whose state changed; a damaged or
+  missing segment fails loudly on load; and worker count is orthogonal to
+  the manifest, so a fleet saved under 4 workers restores under 1 or 16 —
+  with identical samples and identical future randomness.
+
+>>> from repro import ParallelEngine
+>>> with ParallelEngine(SamplerSpec(window="sequence", n=500, k=4),
+...                     shards=8, workers=4, seed=7) as fleet:
+...     fleet.ingest([("alice", 1), ("bob", 2), ("alice", 3)])
+...     fleet.sample_values("alice")  # doctest: +SKIP
+3
+[3, 1, 3, 3]
+
 Quickstart
 ----------
 >>> from repro import sliding_window_sampler
@@ -70,14 +101,18 @@ from .core import (
 )
 from .engine import (
     KeyedSamplerPool,
+    ParallelEngine,
     SamplerSpec,
     ShardedEngine,
     load_checkpoint,
     save_checkpoint,
+    write_checkpoint,
 )
 from .exceptions import (
+    CheckpointError,
     ConfigurationError,
     EmptyWindowError,
+    ExecutorError,
     InsufficientSampleError,
     SamplingFailureError,
     StreamOrderError,
@@ -92,8 +127,10 @@ __all__ = [
     "SamplerSpec",
     "KeyedSamplerPool",
     "ShardedEngine",
+    "ParallelEngine",
     "save_checkpoint",
     "load_checkpoint",
+    "write_checkpoint",
     "KeyedRecord",
     "sliding_window_sampler",
     "algorithm_catalog",
@@ -113,4 +150,6 @@ __all__ = [
     "StreamOrderError",
     "ConfigurationError",
     "SamplingFailureError",
+    "CheckpointError",
+    "ExecutorError",
 ]

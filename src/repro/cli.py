@@ -5,8 +5,10 @@ Installed as the ``swsample`` console script.  Four sub-commands:
 * ``swsample list`` — show the available algorithms, workloads and experiments;
 * ``swsample run`` — stream a workload through a sampler and print the sample
   and memory footprint (a quick way to eyeball behaviour);
-* ``swsample engine`` — drive a keyed workload through the sharded multi-stream
-  engine, print fleet statistics, and optionally checkpoint/resume it;
+* ``swsample engine`` — drive a keyed workload (or a JSONL stream from a file
+  or stdin via ``--input``) through the sharded multi-stream engine, serially
+  or on worker threads (``--workers``), print fleet statistics, and optionally
+  checkpoint/resume it (incremental checkpoint directories);
 * ``swsample experiment E3 --scale default`` — run one of the E1–E10
   experiments and print its result table (add ``--markdown`` or ``--csv``).
 """
@@ -19,6 +21,8 @@ import time
 from typing import List, Optional
 
 from .core.facade import algorithm_catalog, sliding_window_sampler
+from .engine.source import DEFAULT_BATCH_SIZE
+from .exceptions import ConfigurationError, SWSampleError
 from .harness import available_experiments, run_experiment
 from .harness.experiments import EXPERIMENTS, SCALES
 from .streams.workloads import (
@@ -64,6 +68,19 @@ def build_parser() -> argparse.ArgumentParser:
     engine_parser.add_argument("--records", type=int, default=100_000, help="records to ingest")
     engine_parser.add_argument("--keys", type=int, default=1_000, help="size of the keyspace")
     engine_parser.add_argument("--shards", type=int, default=4, help="hash partitions")
+    engine_parser.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="drive shards from N worker threads (default: serial engine)",
+    )
+    engine_parser.add_argument(
+        "--input", metavar="PATH",
+        help="stream JSONL records from PATH ('-' for stdin) instead of a synthetic workload;"
+        ' lines are {"key":..., "value":..., "timestamp":...} objects or [key, value, ts] arrays',
+    )
+    engine_parser.add_argument(
+        "--batch-size", type=int, default=DEFAULT_BATCH_SIZE,
+        help="records per ingest batch for --input streams",
+    )
     engine_parser.add_argument("--max-keys-per-shard", type=int, default=None, help="LRU cap per shard")
     engine_parser.add_argument("--idle-ttl", type=int, default=None, help="evict keys idle this many ticks")
     engine_parser.add_argument("--top", type=int, default=5, help="hottest keys to report")
@@ -124,10 +141,28 @@ def _command_run(args: argparse.Namespace) -> int:
 
 
 def _command_engine(args: argparse.Namespace) -> int:
-    from .engine import SamplerSpec, ShardedEngine, load_checkpoint, save_checkpoint
+    from .engine import (
+        ParallelEngine,
+        SamplerSpec,
+        ShardedEngine,
+        ingest_jsonl,
+        load_checkpoint,
+        write_checkpoint,
+    )
 
+    workers = args.workers
+    if workers is not None and workers <= 0:
+        print("error: --workers must be positive", file=sys.stderr)
+        return 2
+    if args.batch_size <= 0:
+        print("error: --batch-size must be positive", file=sys.stderr)
+        return 2
     if args.resume:
-        engine = load_checkpoint(args.resume)
+        try:
+            engine = load_checkpoint(args.resume, workers=workers)
+        except (OSError, ConfigurationError) as error:
+            print(f"error: cannot resume from {args.resume}: {error}", file=sys.stderr)
+            return 2
         print(f"resumed         : {args.resume} ({engine.key_count} keys, {engine.total_arrivals} records)")
     else:
         spec = SamplerSpec(
@@ -138,49 +173,83 @@ def _command_engine(args: argparse.Namespace) -> int:
             replacement=not args.without_replacement,
             algorithm=args.algorithm,
         )
-        engine = ShardedEngine(
-            spec,
+        config = dict(
             shards=args.shards,
             seed=args.seed,
             max_keys_per_shard=args.max_keys_per_shard,
             idle_ttl=args.idle_ttl,
         )
-    if args.checkpoint and engine.spec.algorithm != "optimal":
-        print(
-            "error: --checkpoint requires --algorithm optimal"
-            " (baseline samplers do not support state snapshots)",
-            file=sys.stderr,
-        )
-        return 2
-    records = build_keyed_workload(args.workload, args.records, num_keys=args.keys, rng=args.seed)
-    if engine.spec.is_timestamp and engine.now != float("-inf"):
-        # Synthetic workload clocks restart at zero; a resumed engine's clock
-        # must keep moving forward, so shift the batch past it.
-        offset = engine.now
-        records = [(record.key, record.value, record.timestamp + offset) for record in records]
-    started = time.perf_counter()
-    ingested = engine.ingest(records)
-    elapsed = time.perf_counter() - started
-    rate = ingested / elapsed if elapsed > 0 else float("inf")
-    print(f"spec            : {engine.spec.describe()}")
-    print(f"workload        : {args.workload} ({ingested} records over {args.keys} keys)")
-    print(f"shards          : {engine.shards}")
-    print(f"ingest          : {elapsed:.3f}s ({rate / 1000.0:.1f} krec/s)")
-    print(f"live keys       : {engine.key_count} ({engine.evictions} evicted)")
-    print(f"memory (words)  : {engine.memory_words()}")
-    hottest = engine.hottest_keys(args.top)
-    print(f"hottest {args.top} keys  :")
-    for key, arrivals in hottest:
-        print(f"  {key!r:<12} {arrivals} arrivals")
-    if hottest:
-        key = hottest[0][0]
-        print(f"sample of hottest key {key!r}: {engine.sample_values(key)}")
-    merged = engine.merged_frequent_items(0.01, top=args.top)
-    print(f"merged frequent values (>=1%): {[(value, round(freq, 4)) for value, freq in merged]}")
-    if args.checkpoint:
-        path = save_checkpoint(engine, args.checkpoint)
-        print(f"checkpoint      : {path}")
-    return 0
+        if workers is not None:
+            engine = ParallelEngine(spec, workers=workers, **config)
+        else:
+            engine = ShardedEngine(spec, **config)
+    try:
+        if args.checkpoint and engine.spec.algorithm != "optimal":
+            print(
+                "error: --checkpoint requires --algorithm optimal"
+                " (baseline samplers do not support state snapshots)",
+                file=sys.stderr,
+            )
+            return 2
+        started = time.perf_counter()
+        if args.input:
+            try:
+                if args.input == "-":
+                    ingested = ingest_jsonl(engine, sys.stdin, batch_size=args.batch_size)
+                else:
+                    with open(args.input, "r", encoding="utf-8") as handle:
+                        ingested = ingest_jsonl(engine, handle, batch_size=args.batch_size)
+            except OSError as error:
+                print(f"error: cannot read --input {args.input}: {error}", file=sys.stderr)
+                return 2
+            except SWSampleError as error:
+                print(f"error: bad record in --input {args.input}: {error}", file=sys.stderr)
+                return 2
+            source = args.input if args.input != "-" else "stdin"
+            key_space = "streamed"
+        else:
+            records = build_keyed_workload(args.workload, args.records, num_keys=args.keys, rng=args.seed)
+            if engine.spec.is_timestamp and engine.now != float("-inf"):
+                # Synthetic workload clocks restart at zero; a resumed engine's clock
+                # must keep moving forward, so shift the batch past it.
+                offset = engine.now
+                records = [(record.key, record.value, record.timestamp + offset) for record in records]
+            ingested = engine.ingest(records)
+            source = args.workload
+            key_space = str(args.keys)
+        engine.flush()
+        elapsed = time.perf_counter() - started
+        rate = ingested / elapsed if elapsed > 0 else float("inf")
+        print(f"spec            : {engine.spec.describe()}")
+        print(f"workload        : {source} ({ingested} records over {key_space} keys)")
+        print(f"shards          : {engine.shards}"
+              + (f" ({engine.workers} workers)" if workers is not None else ""))
+        print(f"ingest          : {elapsed:.3f}s ({rate / 1000.0:.1f} krec/s)")
+        print(f"live keys       : {engine.key_count} ({engine.evictions} evicted)")
+        print(f"memory (words)  : {engine.memory_words()}")
+        hottest = engine.hottest_keys(args.top)
+        print(f"hottest {args.top} keys  :")
+        for key, arrivals in hottest:
+            print(f"  {key!r:<12} {arrivals} arrivals")
+        if hottest:
+            key = hottest[0][0]
+            print(f"sample of hottest key {key!r}: {engine.sample_values(key)}")
+        merged = engine.merged_frequent_items(0.01, top=args.top)
+        print(f"merged frequent values (>=1%): {[(value, round(freq, 4)) for value, freq in merged]}")
+        if args.checkpoint:
+            try:
+                result = write_checkpoint(engine, args.checkpoint)
+            except (OSError, ConfigurationError) as error:
+                print(f"error: cannot checkpoint to {args.checkpoint}: {error}", file=sys.stderr)
+                return 2
+            print(
+                f"checkpoint      : {result.path} ({result.segments_written} segments written,"
+                f" {result.segments_reused} reused)"
+            )
+        return 0
+    finally:
+        if workers is not None:
+            engine.close()
 
 
 def _command_experiment(args: argparse.Namespace) -> int:

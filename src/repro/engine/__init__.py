@@ -11,33 +11,57 @@ budget:
   key and serialisable into checkpoints.
 * :class:`KeyedSamplerPool` — lazily creates one sampler per key (each with a
   deterministic key-derived seed), keeps LRU order, enforces a ``max_keys``
-  budget and an idle-key TTL, and aggregates ``memory_words()`` across keys.
+  budget and an idle-key TTL, attaches DGIM window-size counters to
+  timestamp samplers that cannot bound their own active count, and
+  aggregates ``memory_words()`` across keys.
 * :class:`ShardedEngine` — hash-partitions keys over N shards, routes batched
   records (:meth:`ShardedEngine.ingest`), answers per-key sample queries and
   cross-key aggregates (hottest keys, merged frequent items, per-key AMS
   frequency moments), and checkpoints/restores the whole fleet of samplers
   bit-for-bit via the samplers' ``state_dict`` layer.
-* :func:`save_checkpoint` / :func:`load_checkpoint` — engine-level checkpoint
-  files; a restarted engine resumes with identical per-key samples and
-  identical future randomness.
+* :class:`ParallelEngine` — the same engine with its shards driven by worker
+  threads behind bounded per-shard queues: batched ingest is validated and
+  clock-stamped by the producer, applied concurrently by shard owners, and
+  every query flushes through a drain barrier first, so parallel ingest is
+  bit-identical to serial ingest (``workers`` is a pure throughput knob).
+* :func:`save_checkpoint` / :func:`load_checkpoint` /
+  :func:`write_checkpoint` — incremental per-shard checkpoint directories
+  (JSON manifest + digest-verified segment files); repeat saves rewrite only
+  the shards that changed, and a manifest loads under any worker count.
+* :func:`jsonl_records` / :func:`batched` / :func:`ingest_jsonl` — streaming
+  ingest sources: JSONL lines from a file, pipe or stdin, fed to an engine
+  in bounded batches (the ``swsample engine --input`` path).
 
 Sharding is by a *stable* hash (:func:`stable_key_hash`), never Python's
 salted ``hash()``, so routing — and therefore every per-key sampler's
 randomness — is reproducible across processes and restarts.
 """
 
-from .checkpoint import load_checkpoint, save_checkpoint
+from .checkpoint import (
+    CheckpointResult,
+    load_checkpoint,
+    save_checkpoint,
+    write_checkpoint,
+)
 from .engine import ShardedEngine
+from .executor import ParallelEngine
 from .hashing import stable_key_bytes, stable_key_hash
 from .pool import KeyedSamplerPool
+from .source import batched, ingest_jsonl, jsonl_records
 from .spec import SamplerSpec
 
 __all__ = [
     "SamplerSpec",
     "KeyedSamplerPool",
     "ShardedEngine",
+    "ParallelEngine",
     "save_checkpoint",
     "load_checkpoint",
+    "write_checkpoint",
+    "CheckpointResult",
+    "jsonl_records",
+    "batched",
+    "ingest_jsonl",
     "stable_key_hash",
     "stable_key_bytes",
 ]

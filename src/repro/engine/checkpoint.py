@@ -1,73 +1,453 @@
-"""Engine checkpoint files: durable snapshot/restore for the whole fleet.
+"""Incremental per-shard engine checkpoints: manifest + segment files.
 
-A checkpoint is the engine's ``state_dict`` wrapped in a small envelope
-(magic string + format version) and pickled.  Pickle is the right tool here:
-stream values are arbitrary Python objects, snapshots contain ``inf`` clock
-values that JSON cannot express, and checkpoints are produced and consumed by
-the same trusted process — they are recovery state, not an interchange
-format.  Writes are atomic (temp file + ``os.replace``) so a crash mid-write
-never corrupts the previous checkpoint.
+A checkpoint is a **directory** (PR 1's single whole-fleet pickle is still
+readable, see *Legacy format* below) holding one segment file per shard plus
+a manifest:
+
+.. code-block:: text
+
+    engine.ckpt/
+        MANIFEST.json
+        shard-00000-3fb17c2a90d1.seg
+        shard-00001-88aa01c0e3f2.seg
+        ...
+
+Manifest format (``MANIFEST.json``)
+-----------------------------------
+A JSON object (Python's ``json`` dialect: the engine clock may legitimately
+be ``-Infinity`` before any timestamped record, which ``json`` round-trips):
+
+``magic``
+    Always ``"swsample-engine-checkpoint"``.
+``version``
+    Checkpoint layout version; this module writes ``2``.
+``engine``
+    The fleet's topology and policy, everything but the per-shard state:
+    ``spec`` (the :meth:`~repro.engine.SamplerSpec.to_dict` recipe),
+    ``shards``, ``seed``, ``max_keys_per_shard``, ``idle_ttl``,
+    ``track_occurrences``, ``now`` (the logical clock) and ``format`` (the
+    sampler ``state_dict`` format version).  Worker count is deliberately
+    **not** recorded: workers drive shards but own no state, so a manifest
+    written with 4 workers loads into 1 or 16.
+``segments``
+    One entry per shard, in shard order: ``shard`` (index), ``file``
+    (segment filename, relative to the directory), ``sha256`` (hex digest of
+    the segment bytes, verified on load) and ``bytes`` (segment size).
+
+Segment files
+-------------
+``shard-<index>-<digest12>.seg`` is the pickled envelope
+``{"magic": "swsample-engine-segment", "version": 2, "shard": i,
+"pool": <KeyedSamplerPool.state_dict()>}``.  Pickle is the right tool for
+the *state* (stream values are arbitrary Python objects); the manifest stays
+JSON so operators can inspect a checkpoint with ``cat``.  Only load
+checkpoints a process you trust wrote — pickle can execute code.
+
+Incrementality
+--------------
+Each pool carries a monotone mutation ``generation``.  The writer remembers,
+per engine instance, the generation it last wrote for each shard *to this
+directory*; on the next save, shards whose generation is unchanged keep
+their existing segment (the manifest re-references it) and only dirty shards
+are re-pickled.  Loading seeds that memory, so a just-restored engine's
+first save also rewrites nothing.  The memo is in-process only — a fresh
+process saving over a directory it did not write rewrites every segment,
+which is the conservative (always correct) behaviour.
+
+Crash safety
+------------
+New segments are written under fresh digest-suffixed names, then the
+manifest is atomically replaced (temp file + ``os.replace``), then segments
+referenced by neither the new manifest nor the one it replaced are
+garbage-collected (along with ``.ckpt-*`` temp files orphaned by interrupted
+saves).  A crash at any point leaves the directory loadable: before the
+manifest swap the old manifest still references the old (untouched)
+segments; after it, the new ones.  Keeping the immediately-prior
+generation's segments also protects a concurrent reader that parsed the old
+manifest just before the swap; a reader racing two consecutive saves can
+still observe a missing segment, so serialise loads against saves if that
+window matters.
+
+Legacy format
+-------------
+PR 1 wrote a single pickled file.  :func:`load_checkpoint` still reads those
+(version 1); :func:`save_checkpoint` always writes the directory layout.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
 import os
 import pickle
 import tempfile
-from typing import Union
+import weakref
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple, Union
 
-from ..exceptions import ConfigurationError
+from ..core.serialization import STATE_FORMAT
+from ..exceptions import CheckpointError, ConfigurationError
 from .engine import ShardedEngine
+from .executor import ParallelEngine
 
-__all__ = ["save_checkpoint", "load_checkpoint", "CHECKPOINT_MAGIC", "CHECKPOINT_VERSION"]
+__all__ = [
+    "save_checkpoint",
+    "load_checkpoint",
+    "write_checkpoint",
+    "CheckpointResult",
+    "CHECKPOINT_MAGIC",
+    "CHECKPOINT_VERSION",
+    "SEGMENT_MAGIC",
+    "MANIFEST_NAME",
+]
 
 CHECKPOINT_MAGIC = "swsample-engine-checkpoint"
-CHECKPOINT_VERSION = 1
+SEGMENT_MAGIC = "swsample-engine-segment"
+CHECKPOINT_VERSION = 2
+#: The PR-1 single-file pickle layout (still loadable).
+LEGACY_CHECKPOINT_VERSION = 1
+MANIFEST_NAME = "MANIFEST.json"
+
+#: Per-engine, in-process record of the last save: directory plus, per shard,
+#: the pool generation and the segment digest written there.  Reuse requires
+#: *both* to match — the generation says this engine's pool is unchanged, the
+#: digest says the segment on disk is the one this engine wrote (another
+#: engine saving to the same directory must not be silently trusted).  Weak
+#: keys so the memo never outlives engines.
+_SAVE_MEMO: "weakref.WeakKeyDictionary[ShardedEngine, Tuple[str, List[Tuple[int, str]]]]" = (
+    weakref.WeakKeyDictionary()
+)
 
 
-def save_checkpoint(engine: ShardedEngine, path: Union[str, os.PathLike]) -> str:
-    """Write the engine's full state to ``path`` atomically.
+@dataclass(frozen=True)
+class CheckpointResult:
+    """What one :func:`write_checkpoint` call did."""
 
-    Returns the path written.  The snapshot captures every live per-key
-    sampler bit for bit (candidates, counters, generator positions), so
-    :func:`load_checkpoint` resumes with identical samples *and* identical
-    future randomness.
-    """
-    path = os.fspath(path)
-    envelope = {
-        "magic": CHECKPOINT_MAGIC,
-        "version": CHECKPOINT_VERSION,
-        "engine": engine.state_dict(),
-    }
-    directory = os.path.dirname(os.path.abspath(path)) or "."
+    path: str
+    segments_written: int
+    segments_reused: int
+    bytes_written: int
+
+    @property
+    def segments_total(self) -> int:
+        return self.segments_written + self.segments_reused
+
+
+def _atomic_write(directory: str, final_path: str, data: bytes) -> None:
     descriptor, temp_path = tempfile.mkstemp(prefix=".ckpt-", dir=directory)
     try:
         with os.fdopen(descriptor, "wb") as handle:
-            pickle.dump(envelope, handle, protocol=pickle.HIGHEST_PROTOCOL)
-        os.replace(temp_path, path)
+            handle.write(data)
+        os.replace(temp_path, final_path)
     except BaseException:
         try:
             os.unlink(temp_path)
         except OSError:
             pass
         raise
-    return path
 
 
-def load_checkpoint(path: Union[str, os.PathLike]) -> ShardedEngine:
-    """Rebuild a full engine from a :func:`save_checkpoint` file.
+def _read_manifest(path: str) -> Optional[Dict[str, Any]]:
+    """The parsed manifest in ``path``, or ``None`` when absent/unreadable.
 
-    Only load checkpoints you (or a process you trust) wrote: like every
-    pickle, a checkpoint file can execute code when loaded.
+    Used by the *writer* to look up reusable segments, so damage degrades to
+    a full rewrite instead of an error; the loader validates separately and
+    loudly."""
+    manifest_path = os.path.join(path, MANIFEST_NAME)
+    try:
+        with open(manifest_path, "r", encoding="utf-8") as handle:
+            manifest = json.load(handle)
+    except (OSError, ValueError):
+        return None
+    if not isinstance(manifest, dict) or manifest.get("magic") != CHECKPOINT_MAGIC:
+        return None
+    return manifest
+
+
+def write_checkpoint(engine: ShardedEngine, path: Union[str, os.PathLike]) -> CheckpointResult:
+    """Write ``engine``'s state to the directory ``path``, incrementally.
+
+    Creates the directory if needed.  Shards unchanged since this engine's
+    previous save to the same directory keep their segment files; only dirty
+    shards are re-serialised.  Returns a :class:`CheckpointResult` with the
+    written/reused split (benchmarks assert on it).
     """
-    path = os.fspath(path)
+    path = os.path.abspath(os.fspath(path))
+    if os.path.exists(path) and not os.path.isdir(path):
+        raise CheckpointError(
+            f"{path} exists and is not a directory — checkpoints are directories now;"
+            " remove the old single-file checkpoint first"
+        )
+    os.makedirs(path, exist_ok=True)
+    # The guard flushes (parallel engines) and keeps concurrent producers out
+    # for the duration of the save, so the pickled pools and the recorded
+    # generations describe one consistent fleet.
+    with engine._checkpoint_guard():
+        engine.flush()
+        return _write_checkpoint_locked(engine, path)
+
+
+def _write_checkpoint_locked(engine: ShardedEngine, path: str) -> CheckpointResult:
+    memo = _SAVE_MEMO.get(engine)
+    previous_manifest = _read_manifest(path)
+    previous_entries: Dict[int, Dict[str, Any]] = {}
+    if previous_manifest is not None:
+        for entry in previous_manifest.get("segments", []):
+            if isinstance(entry, dict) and "shard" in entry:
+                previous_entries[int(entry["shard"])] = entry
+    saved: List[Tuple[int, str]] = memo[1] if memo is not None and memo[0] == path else []
+
+    pools = engine.pools
+    segments: List[Dict[str, Any]] = []
+    memo_entries: List[Tuple[int, str]] = []
+    written = 0
+    reused = 0
+    bytes_written = 0
+    for index, pool in enumerate(pools):
+        generation = pool.generation
+        entry = previous_entries.get(index)
+        if entry is not None and index < len(saved):
+            saved_generation, saved_digest = saved[index]
+            segment_path = os.path.join(path, str(entry.get("file", "")))
+            if (
+                saved_generation == generation
+                # The digest pins the on-disk segment to the bytes *this*
+                # engine wrote: a foreign engine's save to the same
+                # directory changes the digest and forces a rewrite here.
+                and entry.get("sha256") == saved_digest
+                and os.path.isfile(segment_path)
+                and os.path.getsize(segment_path) == entry.get("bytes")
+            ):
+                segments.append(entry)
+                memo_entries.append((generation, saved_digest))
+                reused += 1
+                continue
+        envelope = {
+            "magic": SEGMENT_MAGIC,
+            "version": CHECKPOINT_VERSION,
+            "shard": index,
+            "pool": pool.state_dict(),
+        }
+        data = pickle.dumps(envelope, protocol=pickle.HIGHEST_PROTOCOL)
+        digest = hashlib.sha256(data).hexdigest()
+        filename = f"shard-{index:05d}-{digest[:12]}.seg"
+        _atomic_write(path, os.path.join(path, filename), data)
+        segments.append({"shard": index, "file": filename, "sha256": digest, "bytes": len(data)})
+        memo_entries.append((generation, digest))
+        written += 1
+        bytes_written += len(data)
+
+    manifest = {
+        "magic": CHECKPOINT_MAGIC,
+        "version": CHECKPOINT_VERSION,
+        "engine": {
+            "format": STATE_FORMAT,
+            "spec": engine.spec.to_dict(),
+            "shards": engine.shards,
+            "seed": engine.seed,
+            "max_keys_per_shard": engine._max_keys_per_shard,
+            "idle_ttl": engine._idle_ttl,
+            "track_occurrences": engine._track_occurrences,
+            "now": engine.now,
+        },
+        "segments": segments,
+    }
+    try:
+        encoded = json.dumps(manifest, indent=2).encode("utf-8")
+    except (TypeError, ValueError) as error:
+        raise CheckpointError(
+            f"engine configuration is not JSON-encodable for the manifest: {error}"
+        ) from error
+    _atomic_write(path, os.path.join(path, MANIFEST_NAME), encoded)
+
+    # GC: drop segment files referenced by neither the fresh manifest nor the
+    # one it replaced.  Retaining the immediately-prior generation keeps a
+    # reader that parsed the old manifest just before the swap loadable; a
+    # reader racing *two* consecutive saves can still lose — serialise loads
+    # against saves if that window matters.  Orphaned temp files from
+    # interrupted saves (.ckpt-*) are swept too.
+    referenced = {str(entry["file"]) for entry in segments}
+    if previous_manifest is not None:
+        for entry in previous_manifest.get("segments", []):
+            if isinstance(entry, dict) and "file" in entry:
+                referenced.add(str(entry["file"]))
+    for name in os.listdir(path):
+        stale_segment = name.startswith("shard-") and name.endswith(".seg")
+        stale_temp = name.startswith(".ckpt-")
+        if (stale_segment and name not in referenced) or stale_temp:
+            try:
+                os.unlink(os.path.join(path, name))
+            except OSError:
+                pass
+
+    _SAVE_MEMO[engine] = (path, memo_entries)
+    return CheckpointResult(
+        path=path, segments_written=written, segments_reused=reused, bytes_written=bytes_written
+    )
+
+
+def save_checkpoint(engine: ShardedEngine, path: Union[str, os.PathLike]) -> str:
+    """Write the engine's full state to the checkpoint directory ``path``.
+
+    Returns the path written.  The snapshot captures every live per-key
+    sampler bit for bit (candidates, counters, generator positions), so
+    :func:`load_checkpoint` resumes with identical samples *and* identical
+    future randomness.  Thin wrapper over :func:`write_checkpoint`.
+    """
+    return write_checkpoint(engine, path).path
+
+
+def _load_segment(path: str, entry: Dict[str, Any], shards: int) -> Tuple[int, Dict[str, Any]]:
+    if not isinstance(entry, dict) or not {"shard", "file", "sha256", "bytes"} <= set(entry):
+        raise CheckpointError(f"malformed segment entry in manifest: {entry!r}")
+    index = int(entry["shard"])
+    if not 0 <= index < shards:
+        raise CheckpointError(f"manifest references shard {index} of a {shards}-shard engine")
+    filename = str(entry["file"])
+    if os.path.sep in filename or filename != os.path.basename(filename):
+        raise CheckpointError(f"segment filename {filename!r} escapes the checkpoint directory")
+    segment_path = os.path.join(path, filename)
+    try:
+        with open(segment_path, "rb") as handle:
+            data = handle.read()
+    except OSError as error:
+        raise CheckpointError(
+            f"shard {index} segment {filename!r} is missing or unreadable: {error}"
+        ) from error
+    digest = hashlib.sha256(data).hexdigest()
+    if digest != entry["sha256"]:
+        raise CheckpointError(
+            f"shard {index} segment {filename!r} is corrupt:"
+            f" sha256 {digest[:12]}… does not match the manifest"
+        )
+    try:
+        envelope = pickle.loads(data)
+    except Exception as error:  # digest matched, so this is a writer bug / tamper
+        raise CheckpointError(
+            f"shard {index} segment {filename!r} does not unpickle: {error}"
+        ) from error
+    if (
+        not isinstance(envelope, dict)
+        or envelope.get("magic") != SEGMENT_MAGIC
+        or envelope.get("version") != CHECKPOINT_VERSION
+        or envelope.get("shard") != index
+    ):
+        raise CheckpointError(f"shard {index} segment {filename!r} has a malformed envelope")
+    return index, envelope["pool"]
+
+
+def _load_directory_checkpoint(
+    path: str, workers: Optional[int]
+) -> ShardedEngine:
+    manifest_path = os.path.join(path, MANIFEST_NAME)
+    try:
+        with open(manifest_path, "r", encoding="utf-8") as handle:
+            manifest = json.load(handle)
+    except OSError as error:
+        raise CheckpointError(f"{path} has no readable {MANIFEST_NAME}: {error}") from error
+    except ValueError as error:
+        raise CheckpointError(f"{manifest_path} is not valid JSON: {error}") from error
+    if not isinstance(manifest, dict) or manifest.get("magic") != CHECKPOINT_MAGIC:
+        raise CheckpointError(f"{path} is not a swsample engine checkpoint")
+    if manifest.get("version") != CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"unsupported checkpoint version {manifest.get('version')!r}"
+            f" (expected {CHECKPOINT_VERSION})"
+        )
+    meta = manifest.get("engine")
+    if not isinstance(meta, dict):
+        raise CheckpointError(f"{manifest_path} carries no engine metadata")
+    missing = [field for field in ("spec", "shards", "seed", "now") if meta.get(field) is None]
+    if missing:
+        raise CheckpointError(f"{manifest_path} engine metadata is missing {missing}")
+    shards = int(meta["shards"])
+    entries = manifest.get("segments")
+    if not isinstance(entries, list) or len(entries) != shards:
+        raise CheckpointError(
+            f"manifest lists {len(entries) if isinstance(entries, list) else 'no'}"
+            f" segments for {shards} declared shards — corrupt checkpoint"
+        )
+    pool_states: List[Optional[Dict[str, Any]]] = [None] * shards
+    digests: List[str] = [""] * shards
+    for entry in entries:
+        index, pool_state = _load_segment(path, entry, shards)
+        if pool_states[index] is not None:
+            raise CheckpointError(f"manifest references shard {index} twice")
+        pool_states[index] = pool_state
+        digests[index] = str(entry["sha256"])
+    state = {
+        "format": meta.get("format", STATE_FORMAT),
+        "spec": meta.get("spec"),
+        "shards": shards,
+        "seed": meta.get("seed"),
+        "max_keys_per_shard": meta.get("max_keys_per_shard"),
+        "idle_ttl": meta.get("idle_ttl"),
+        "track_occurrences": meta.get("track_occurrences", False),
+        "now": meta.get("now"),
+        "pools": pool_states,
+    }
+    if workers is None:
+        engine = ShardedEngine.from_state_dict(state)
+    else:
+        from .spec import SamplerSpec
+
+        engine = ParallelEngine(
+            SamplerSpec.from_dict(state["spec"]),
+            workers=workers,
+            shards=shards,
+            seed=int(state["seed"]),
+            max_keys_per_shard=state["max_keys_per_shard"],
+            idle_ttl=state["idle_ttl"],
+            track_occurrences=bool(state["track_occurrences"]),
+        )
+        engine.load_state_dict(state)
+    # Seed the incremental-save memo: a just-restored engine's state *is*
+    # the on-disk state, so its next save to this directory rewrites nothing
+    # — unless someone else's save changes the digests in between.
+    _SAVE_MEMO[engine] = (
+        path,
+        [(pool.generation, digests[index]) for index, pool in enumerate(engine.pools)],
+    )
+    return engine
+
+
+def _load_legacy_checkpoint(path: str) -> ShardedEngine:
     with open(path, "rb") as handle:
         envelope = pickle.load(handle)
     if not isinstance(envelope, dict) or envelope.get("magic") != CHECKPOINT_MAGIC:
-        raise ConfigurationError(f"{path} is not a swsample engine checkpoint")
-    if envelope.get("version") != CHECKPOINT_VERSION:
-        raise ConfigurationError(
+        raise CheckpointError(f"{path} is not a swsample engine checkpoint")
+    if envelope.get("version") != LEGACY_CHECKPOINT_VERSION:
+        raise CheckpointError(
             f"unsupported checkpoint version {envelope.get('version')!r}"
-            f" (expected {CHECKPOINT_VERSION})"
+            f" (expected {LEGACY_CHECKPOINT_VERSION} for single-file checkpoints)"
         )
     return ShardedEngine.from_state_dict(envelope["engine"])
+
+
+def load_checkpoint(
+    path: Union[str, os.PathLike], *, workers: Optional[int] = None
+) -> ShardedEngine:
+    """Rebuild an engine from a checkpoint directory (or a legacy file).
+
+    ``workers=None`` returns a serial :class:`ShardedEngine`; any positive
+    ``workers`` returns a :class:`~repro.engine.ParallelEngine` driving the
+    same shard states — worker count is orthogonal to the checkpoint, so a
+    manifest saved under one worker count loads into any other.
+
+    Every segment's SHA-256 digest is verified against the manifest before a
+    single sampler is rebuilt: a missing, truncated or bit-flipped segment
+    fails loudly with :class:`~repro.exceptions.CheckpointError` rather than
+    resurrecting part of a fleet.
+
+    Only load checkpoints you (or a process you trust) wrote: like every
+    pickle, segment files can execute code when loaded.
+    """
+    path = os.path.abspath(os.fspath(path))
+    if os.path.isdir(path):
+        return _load_directory_checkpoint(path, workers)
+    if workers is not None:
+        raise ConfigurationError(
+            "workers= is only supported for directory checkpoints"
+            " (legacy single-file checkpoints load serial engines)"
+        )
+    return _load_legacy_checkpoint(path)

@@ -47,6 +47,60 @@ __all__ = ["ShardedEngine"]
 _ROUTE_SALT = 0x51A2DED
 
 
+def _unpack_record(record: Any) -> Tuple[Any, Any, Optional[float]]:
+    """Normalise one keyed record to ``(key, value, timestamp_or_None)``.
+
+    Shared by the serial and parallel ingest paths so both enforce the same
+    record contract.  Clock semantics (stamping missing timestamps, the
+    global non-decreasing check) stay with the caller.
+    """
+    if isinstance(record, (str, bytes)):
+        # Strings are sized and unpackable, so they would silently shred
+        # into per-character records.
+        raise ConfigurationError(
+            f"keyed records must be (key, value[, timestamp]) tuples, got {record!r}"
+        )
+    try:
+        width = len(record)
+    except TypeError:
+        raise ConfigurationError(
+            f"keyed records must be (key, value[, timestamp]) tuples, got {record!r}"
+        ) from None
+    if width == 3:
+        key, value, timestamp = record
+        return key, value, timestamp
+    if width == 2:
+        key, value = record
+        return key, value, None
+    raise ConfigurationError(
+        f"keyed records must have 2 or 3 fields, got {width}: {record!r}"
+    )
+
+
+def _stamp_timestamp(timestamp: Any, now: float) -> float:
+    """Apply the global clock contract to one clocked record's timestamp.
+
+    A missing timestamp means "now" (zero before any timestamped record);
+    an explicit one must be numeric and globally non-decreasing.  Shared by
+    the serial and parallel ingest paths — one contract, one implementation.
+    """
+    if timestamp is None:
+        # "Now" must be the engine's clock, not the key-local sampler's
+        # (a fresh key's sampler has seen no time).
+        return now if now != float("-inf") else 0.0
+    try:
+        timestamp = float(timestamp)
+    except (TypeError, ValueError):
+        raise ConfigurationError(
+            f"record timestamp must be a number, got {timestamp!r}"
+        ) from None
+    if timestamp < now:
+        raise StreamOrderError(
+            f"batch timestamps must be globally non-decreasing: {timestamp} < {now}"
+        )
+    return timestamp
+
+
 class ShardedEngine:
     """Thousands of per-key sliding-window samplers behind one ingest API.
 
@@ -161,43 +215,9 @@ class ShardedEngine:
         now = self._now
         try:
             for record in records:
-                if isinstance(record, (str, bytes)):
-                    # Strings are sized and unpackable, so they would silently
-                    # shred into per-character records.
-                    raise ConfigurationError(
-                        f"keyed records must be (key, value[, timestamp]) tuples, got {record!r}"
-                    )
-                try:
-                    width = len(record)
-                except TypeError:
-                    raise ConfigurationError(
-                        f"keyed records must be (key, value[, timestamp]) tuples, got {record!r}"
-                    ) from None
-                if width == 3:
-                    key, value, timestamp = record
-                elif width == 2:
-                    key, value = record
-                    timestamp = None
-                else:
-                    raise ConfigurationError(
-                        f"keyed records must have 2 or 3 fields, got {width}: {record!r}"
-                    )
+                key, value, timestamp = _unpack_record(record)
                 if clocked:
-                    if timestamp is None:
-                        # "Now" must be the engine's clock, not the key-local
-                        # sampler's (a fresh key's sampler has seen no time).
-                        timestamp = now if now != float("-inf") else 0.0
-                    else:
-                        try:
-                            timestamp = float(timestamp)
-                        except (TypeError, ValueError):
-                            raise ConfigurationError(
-                                f"record timestamp must be a number, got {timestamp!r}"
-                            ) from None
-                        if timestamp < now:
-                            raise StreamOrderError(
-                                f"batch timestamps must be globally non-decreasing: {timestamp} < {now}"
-                            )
+                    timestamp = _stamp_timestamp(timestamp, now)
                     self._pool_of(key).append(key, value, timestamp)
                     now = timestamp
                 else:
@@ -223,6 +243,23 @@ class ShardedEngine:
         for pool in self._pools:
             pool.advance_time(now)
 
+    def flush(self) -> None:
+        """Wait until every ingested record is applied.  The serial engine
+        applies records synchronously, so this is a no-op; the parallel
+        executor overrides it with a real drain barrier.  Callers that may
+        hold either engine flavour can call it unconditionally."""
+
+    def _checkpoint_guard(self):
+        """Context manager under which pool state may be read consistently.
+
+        The serial engine needs no locking (single caller by contract); the
+        parallel executor overrides this to hold its API lock across the
+        whole save so concurrent producers cannot tear a checkpoint.
+        """
+        import contextlib
+
+        return contextlib.nullcontext()
+
     # -- per-key queries -----------------------------------------------------
 
     def sampler_for(self, key: Any) -> WindowSampler:
@@ -240,9 +277,20 @@ class ShardedEngine:
         evicted) and :class:`~repro.exceptions.EmptyWindowError` when the
         key's window has expired.
         """
-        sampler = self._pool_of(key).sampler_for(key)
+        pool = self._pool_of(key)
+        sampler = pool.sampler_for(key)
         if self._spec.is_timestamp and self._now != float("-inf"):
+            # The lazy advance mutates checkpointable state (clock fields,
+            # expiry) only when this sampler's clock actually moves.
+            changed = getattr(sampler, "now", None) != self._now
             sampler.advance_time(self._now)
+            counter = pool.counter_for(key)
+            if counter is not None:
+                if counter.now != self._now:
+                    changed = True
+                counter.advance_time(self._now)
+            if changed:
+                pool.mark_dirty()
         return sampler.sample()
 
     def sample_values(self, key: Any) -> List[Any]:
@@ -302,17 +350,25 @@ class ShardedEngine:
         pairs = ((key, sampler.total_arrivals) for key, sampler in self.items())
         return heapq.nlargest(top, pairs, key=lambda pair: pair[1])
 
-    def _window_size_estimate(self, sampler: WindowSampler, sample_len: int) -> int:
+    def _window_size_estimate(
+        self, sampler: WindowSampler, sample_len: int, counter: Optional[Any] = None
+    ) -> int:
         # Sequence windows know their active size exactly.  The optimal
         # timestamp samplers expose a covering-decomposition bound (exact in
         # Lemma 3.5 case 1, within half the straddler width in case 2).
-        # Baseline timestamp samplers have neither, so each falls back to its
-        # sample size — a crude equal-ish weight, documented approximation.
+        # Baseline timestamp samplers have neither, so the pool attaches a
+        # per-key exponential-histogram counter (DGIM) whose (1 ± ε) estimate
+        # stands in; the bare sample size remains only as the last-resort
+        # fallback for counter-less legacy snapshots mid-refill.
         if isinstance(sampler, SequenceWindowSampler):
             return sampler.window_size
         estimate = getattr(sampler, "active_count_estimate", None)
         if estimate is not None:
             return estimate()
+        if counter is not None:
+            estimated = counter.estimate()
+            if estimated > 0:
+                return estimated
         return sample_len
 
     def merged_frequent_items(
@@ -328,21 +384,24 @@ class ShardedEngine:
         """
         if not 0 < threshold < 1:
             raise ConfigurationError("threshold must lie strictly between 0 and 1")
+        self.flush()
         pooled: Counter = Counter()
         total_weight = 0.0
-        for _, sampler in self.items():
-            if self._spec.is_timestamp and self._now != float("-inf"):
-                sampler.advance_time(self._now)
-            try:
-                values = sampler.sample_values()
-            except self._SKIPPABLE_SAMPLE_ERRORS:
-                continue
-            if not values:
-                continue
-            weight = self._window_size_estimate(sampler, len(values)) / len(values)
-            for value in values:
-                pooled[value] += weight
-            total_weight += weight * len(values)
+        clocked = self._spec.is_timestamp and self._now != float("-inf")
+        for pool in self._pools:
+            if clocked:
+                pool.advance_time(self._now)
+            for _, sampler, counter in pool.entries():
+                try:
+                    values = sampler.sample_values()
+                except self._SKIPPABLE_SAMPLE_ERRORS:
+                    continue
+                if not values:
+                    continue
+                weight = self._window_size_estimate(sampler, len(values), counter) / len(values)
+                for value in values:
+                    pooled[value] += weight
+                total_weight += weight * len(values)
         if total_weight == 0.0:
             return []
         report = [

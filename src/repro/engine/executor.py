@@ -1,0 +1,368 @@
+"""Worker-backed parallel shard executors.
+
+:class:`ParallelEngine` drives the shards of a :class:`ShardedEngine` from a
+pool of worker threads.  The design exploits the invariant the shard layer
+was built for: shards are *independent* ingest points — no sampler, eviction
+list or counter is shared between two shards — so per-shard work can proceed
+concurrently as long as each shard's records are applied in arrival order by
+exactly one worker at a time.
+
+Topology
+--------
+Shard ``i`` is owned by worker ``i % workers`` for the life of the engine.
+Single ownership is what makes parallel ingest deterministic: a shard's
+batches are applied sequentially, in dispatch order, by one thread, so every
+key sees its records in exactly the order a serial engine would have applied
+them — and because per-key sampler seeds are key-derived (not order-derived),
+``workers=1`` and ``workers=8`` produce bit-identical sampler states.
+Workers are orthogonal to shard *state*: a checkpoint written by an engine
+with 4 workers loads into an engine with 1 or 16.
+
+Dataflow
+--------
+``ingest()`` validates records and runs the global clock contract on the
+caller's thread (exactly the serial engine's semantics), partitions them into
+per-shard sub-batches, and hands each sub-batch to its shard's owner through
+that worker's queue.  Two mechanisms bound memory and provide backpressure:
+
+* a per-shard counting semaphore caps the number of *in-flight sub-batches*
+  per shard at ``queue_depth`` — a producer outrunning a hot shard blocks on
+  that shard's semaphore until the worker catches up;
+* sub-batches are dispatched every ``max_batch`` records per shard, so one
+  huge ``ingest()`` call streams through bounded buffers instead of being
+  materialised per shard in full.
+
+``flush()`` is the drain barrier: it waits until every dispatched sub-batch
+has been fully applied, then re-raises any worker failure.  Every query and
+aggregate (``sample``, ``keys``, ``hottest_keys``, ``state_dict``, …)
+flushes first, so readers always observe a consistent fleet.
+
+Thread-safety contract: the engine's public surface is serialised by one
+caller lock, so any number of application threads may ``ingest``/``sample``/
+``advance_time`` concurrently; the worker fleet runs outside that lock and
+drains shard queues in parallel.
+
+A note on speed: on CPython with the GIL, pure-Python sampler updates do not
+run concurrently, so thread workers mainly buy ingest/query pipelining and
+the scale-out architecture (the worker loop is process-pool-shaped: one
+owner per shard, message-passing only).  On free-threaded builds the same
+code parallelises for real.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import queue
+import threading
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
+
+from ..core.base import WindowSampler
+from ..exceptions import ConfigurationError, ExecutorError
+from ..streams.element import StreamElement
+from .engine import ShardedEngine, _stamp_timestamp, _unpack_record
+from .spec import SamplerSpec
+
+__all__ = ["ParallelEngine"]
+
+#: Worker-queue sentinel asking the worker to exit its loop.
+_SHUTDOWN = object()
+
+
+class ParallelEngine(ShardedEngine):
+    """A :class:`ShardedEngine` whose shards are driven by worker threads.
+
+    Parameters
+    ----------
+    workers:
+        Worker-thread count (default: ``min(shards, cpu_count)``).  Each
+        worker owns the shards congruent to its index modulo ``workers``.
+    queue_depth:
+        Maximum in-flight sub-batches per shard before ``ingest`` blocks
+        (backpressure toward the producer).
+    max_batch:
+        Records per dispatched sub-batch; one large ``ingest`` call streams
+        through the queues in ``max_batch``-sized pieces per shard.
+
+    All remaining parameters are inherited from :class:`ShardedEngine`.
+    """
+
+    def __init__(
+        self,
+        spec: SamplerSpec,
+        *,
+        workers: Optional[int] = None,
+        queue_depth: int = 8,
+        max_batch: int = 4096,
+        shards: int = 4,
+        seed: int = 0,
+        max_keys_per_shard: Optional[int] = None,
+        idle_ttl: Optional[int] = None,
+        track_occurrences: bool = False,
+    ) -> None:
+        super().__init__(
+            spec,
+            shards=shards,
+            seed=seed,
+            max_keys_per_shard=max_keys_per_shard,
+            idle_ttl=idle_ttl,
+            track_occurrences=track_occurrences,
+        )
+        if workers is None:
+            workers = min(self.shards, os.cpu_count() or 1)
+        if workers <= 0:
+            raise ConfigurationError("workers must be positive")
+        if queue_depth <= 0:
+            raise ConfigurationError("queue_depth must be positive")
+        if max_batch <= 0:
+            raise ConfigurationError("max_batch must be positive")
+        self._workers = int(min(workers, self.shards))
+        self._queue_depth = int(queue_depth)
+        self._max_batch = int(max_batch)
+        self._closed = False
+        self._failure: Optional[BaseException] = None
+        # Caller lock: serialises the public surface (ingest/flush/queries)
+        # across application threads.  RLock because queries call flush().
+        self._api_lock = threading.RLock()
+        # Drain barrier state: number of dispatched-but-unapplied sub-batches.
+        self._drain = threading.Condition()
+        self._pending = 0
+        # Backpressure: per-shard cap on in-flight sub-batches.
+        self._shard_slots = [
+            threading.BoundedSemaphore(self._queue_depth) for _ in range(self.shards)
+        ]
+        # One FIFO per worker; a shard's sub-batches all land in its owner's
+        # queue, preserving per-shard (hence per-key) order.
+        self._inboxes: List["queue.Queue"] = [queue.Queue() for _ in range(self._workers)]
+        self._threads = [
+            threading.Thread(
+                target=self._worker_loop,
+                args=(self._inboxes[index],),
+                name=f"swsample-shard-worker-{index}",
+                daemon=True,
+            )
+            for index in range(self._workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # -- worker fleet --------------------------------------------------------
+
+    @property
+    def workers(self) -> int:
+        return self._workers
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def _worker_loop(self, inbox: "queue.Queue") -> None:
+        while True:
+            message = inbox.get()
+            if message is _SHUTDOWN:
+                return
+            shard, batch = message
+            try:
+                if self._failure is None:
+                    pool = self._pools[shard]
+                    append = pool.append
+                    for key, value, timestamp in batch:
+                        append(key, value, timestamp)
+            except BaseException as error:  # surfaced at the next barrier
+                if self._failure is None:
+                    self._failure = error
+            finally:
+                self._shard_slots[shard].release()
+                with self._drain:
+                    self._pending -= 1
+                    if self._pending == 0:
+                        self._drain.notify_all()
+
+    def _dispatch(self, shard: int, batch: List[Tuple[Any, Any, Optional[float]]]) -> None:
+        self._shard_slots[shard].acquire()  # blocks: per-shard backpressure
+        with self._drain:
+            self._pending += 1
+        self._inboxes[shard % self._workers].put((shard, batch))
+
+    def _check_alive(self) -> None:
+        if self._closed:
+            raise ExecutorError("engine is closed")
+
+    def _raise_failure(self) -> None:
+        # A worker failure is sticky: sub-batches queued behind the failing
+        # one are skipped, so the fleet may have lost arrivals — the engine
+        # refuses all further work rather than serving from suspect state.
+        if self._failure is not None:
+            raise ExecutorError(
+                f"a shard worker failed while applying records: {self._failure!r}"
+            ) from self._failure
+
+    # -- ingest --------------------------------------------------------------
+
+    def ingest(self, records: Iterable[Any]) -> int:
+        """Validate, clock-stamp and dispatch a batch to the shard workers.
+
+        Same record and clock contract as :meth:`ShardedEngine.ingest`; on a
+        mid-batch error the validated prefix is dispatched (and will be
+        applied) before the error propagates.  Returns the number of records
+        dispatched — call :meth:`flush` (or any query) for a barrier.
+        """
+        with self._api_lock:
+            self._check_alive()
+            self._raise_failure()
+            clocked = self._spec.is_timestamp
+            now = self._now
+            count = 0
+            buffers: Dict[int, List[Tuple[Any, Any, Optional[float]]]] = {}
+            try:
+                for record in records:
+                    key, value, timestamp = _unpack_record(record)
+                    if clocked:
+                        timestamp = _stamp_timestamp(timestamp, now)
+                        now = timestamp
+                    shard = self.shard_of(key)
+                    buffer = buffers.get(shard)
+                    if buffer is None:
+                        buffer = buffers[shard] = []
+                    buffer.append((key, value, timestamp))
+                    count += 1
+                    if len(buffer) >= self._max_batch:
+                        del buffers[shard]
+                        self._dispatch(shard, buffer)
+            finally:
+                self._now = now
+                for shard, buffer in buffers.items():
+                    self._dispatch(shard, buffer)
+            return count
+
+    def flush(self) -> None:
+        """Block until every dispatched record has been applied, then
+        re-raise any worker failure.  The consistency barrier for queries."""
+        with self._api_lock:
+            with self._drain:
+                self._drain.wait_for(lambda: self._pending == 0)
+            self._raise_failure()
+
+    def close(self) -> None:
+        """Drain outstanding work and stop the worker threads (idempotent).
+
+        A closed engine still answers queries — its fleet state is final —
+        but refuses further ``ingest``.
+        """
+        with self._api_lock:
+            if self._closed:
+                return
+            try:
+                with self._drain:
+                    self._drain.wait_for(lambda: self._pending == 0)
+            finally:
+                self._closed = True
+                for inbox in self._inboxes:
+                    inbox.put(_SHUTDOWN)
+                for thread in self._threads:
+                    thread.join()
+            self._raise_failure()
+
+    def __enter__(self) -> "ParallelEngine":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # -- queries (all barrier first) -----------------------------------------
+
+    def advance_time(self, now: float) -> None:
+        with self._api_lock:
+            self.flush()
+            super().advance_time(now)
+
+    def sampler_for(self, key: Any) -> WindowSampler:
+        with self._api_lock:
+            self.flush()
+            return super().sampler_for(key)
+
+    def __contains__(self, key: Any) -> bool:
+        with self._api_lock:
+            self.flush()
+            return super().__contains__(key)
+
+    def sample(self, key: Any) -> List[StreamElement]:
+        with self._api_lock:
+            self.flush()
+            return super().sample(key)
+
+    @property
+    def key_count(self) -> int:
+        with self._api_lock:
+            self.flush()
+            return super().key_count
+
+    @property
+    def total_arrivals(self) -> int:
+        with self._api_lock:
+            self.flush()
+            return super().total_arrivals
+
+    @property
+    def evictions(self) -> int:
+        with self._api_lock:
+            self.flush()
+            return super().evictions
+
+    def keys(self) -> List[Any]:
+        with self._api_lock:
+            self.flush()
+            return super().keys()
+
+    def items(self) -> Iterator[Tuple[Any, WindowSampler]]:
+        # Materialised under the lock: a lazy generator would walk the pools'
+        # dicts after the lock is released, racing concurrent ingest.
+        with self._api_lock:
+            self.flush()
+            return iter(list(super().items()))
+
+    def memory_words(self) -> int:
+        with self._api_lock:
+            self.flush()
+            return super().memory_words()
+
+    def merged_frequent_items(
+        self, threshold: float, *, top: Optional[int] = None
+    ) -> List[Tuple[Any, float]]:
+        with self._api_lock:
+            # The base implementation flushes before touching pools.
+            return super().merged_frequent_items(threshold, top=top)
+
+    def hottest_keys(self, top: int = 10) -> List[Tuple[Any, int]]:
+        with self._api_lock:
+            return super().hottest_keys(top)  # items() supplies the barrier
+
+    def per_key_moments(self, order: float) -> Dict[Any, float]:
+        with self._api_lock:
+            return super().per_key_moments(order)
+
+    # -- checkpointing -------------------------------------------------------
+
+    @contextlib.contextmanager
+    def _checkpoint_guard(self):
+        # The whole save happens inside the API lock: producers queue behind
+        # it, and the flush guarantees the pools are fully applied and still.
+        with self._api_lock:
+            self.flush()
+            yield
+
+    def state_dict(self) -> Dict[str, Any]:
+        with self._api_lock:
+            self.flush()
+            return super().state_dict()
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        with self._api_lock:
+            self.flush()
+            super().load_state_dict(state)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ParallelEngine(workers={self._workers}, shards={self.shards}, "
+            f"spec={self._spec.describe()!r})"
+        )

@@ -31,6 +31,7 @@ from ..core.serialization import STATE_FORMAT, require_state_fields
 from ..core.tracking import CandidateObserver
 from ..exceptions import ConfigurationError
 from ..memory import MemoryMeter, WORD_MODEL
+from ..sketches import ExponentialHistogramCounter
 from .hashing import stable_key_hash
 from .spec import SamplerSpec
 
@@ -40,15 +41,27 @@ __all__ = ["KeyedSamplerPool"]
 #: family used for shard routing.
 _SEED_SALT = 0x5EEDFACE
 
+#: Relative error of the per-key window-size counters attached to timestamp
+#: samplers that cannot bound their own active count (the baselines).
+_COUNTER_EPSILON = 0.1
+
 
 class _KeyEntry:
-    """Per-key bookkeeping: the sampler and its last-ingest tick."""
+    """Per-key bookkeeping: the sampler, its last-ingest tick, and (for
+    timestamp samplers without an ``active_count_estimate`` of their own) an
+    exponential-histogram window-size counter."""
 
-    __slots__ = ("sampler", "last_tick")
+    __slots__ = ("sampler", "last_tick", "counter")
 
-    def __init__(self, sampler: WindowSampler, last_tick: int) -> None:
+    def __init__(
+        self,
+        sampler: WindowSampler,
+        last_tick: int,
+        counter: Optional[ExponentialHistogramCounter] = None,
+    ) -> None:
         self.sampler = sampler
         self.last_tick = last_tick
+        self.counter = counter
 
 
 class KeyedSamplerPool:
@@ -79,6 +92,11 @@ class KeyedSamplerPool:
         self._entries: "OrderedDict[Any, _KeyEntry]" = OrderedDict()
         self._ticks = 0
         self._evictions = 0
+        self._generation = 0
+        # Whether per-key samplers need a companion window-size counter
+        # (timestamp spec, sampler lacks active_count_estimate).  Decided
+        # lazily at the first sampler build — None means "not yet known".
+        self._needs_counter: Optional[bool] = None if spec.is_timestamp else False
 
     # -- introspection -------------------------------------------------------
 
@@ -100,6 +118,19 @@ class KeyedSamplerPool:
         """Number of keys evicted so far (LRU cap plus TTL sweeps)."""
         return self._evictions
 
+    @property
+    def generation(self) -> int:
+        """Monotone mutation counter: bumps on every state change (append,
+        eviction, clock advance, snapshot restore).  The incremental
+        checkpoint writer compares it against the generation it last wrote
+        for this shard to decide whether the segment needs rewriting."""
+        return self._generation
+
+    def mark_dirty(self) -> None:
+        """Record an out-of-band mutation (e.g. the engine advanced one of
+        this pool's samplers directly during a query)."""
+        self._generation += 1
+
     def __len__(self) -> int:
         return len(self._entries)
 
@@ -115,6 +146,23 @@ class KeyedSamplerPool:
         for key, entry in self._entries.items():
             yield key, entry.sampler
 
+    def entries(
+        self,
+    ) -> Iterator[Tuple[Any, WindowSampler, Optional[ExponentialHistogramCounter]]]:
+        """Iterate ``(key, sampler, window_size_counter)`` triples.
+
+        The counter is ``None`` for sequence windows and for timestamp
+        samplers that expose their own ``active_count_estimate`` (the optimal
+        algorithms' covering-decomposition bound)."""
+        for key, entry in self._entries.items():
+            yield key, entry.sampler, entry.counter
+
+    def counter_for(self, key: Any) -> Optional[ExponentialHistogramCounter]:
+        """The key's window-size counter, or ``None`` (no counter attached,
+        or no live sampler for the key)."""
+        entry = self._entries.get(key)
+        return entry.counter if entry is not None else None
+
     # -- sampler lifecycle ---------------------------------------------------
 
     def _sampler_seed(self, key: Any) -> int:
@@ -123,7 +171,17 @@ class KeyedSamplerPool:
     def _create(self, key: Any) -> _KeyEntry:
         observer = self._observer_factory() if self._observer_factory is not None else None
         sampler = self._spec.build(rng=self._sampler_seed(key), observer=observer)
-        entry = _KeyEntry(sampler, self._ticks)
+        if self._needs_counter is None:
+            # Decided once per pool: the optimal timestamp samplers bound
+            # their own active count (Lemma 3.5's covering decomposition);
+            # baseline timestamp samplers need the DGIM counter companion.
+            self._needs_counter = not hasattr(sampler, "active_count_estimate")
+        counter = (
+            ExponentialHistogramCounter(self._spec.t0, epsilon=_COUNTER_EPSILON)
+            if self._needs_counter
+            else None
+        )
+        entry = _KeyEntry(sampler, self._ticks, counter)
         if self._max_keys is not None and len(self._entries) >= self._max_keys:
             self._entries.popitem(last=False)  # least recently ingested
             self._evictions += 1
@@ -149,6 +207,7 @@ class KeyedSamplerPool:
         if self._entries.pop(key, None) is None:
             return False
         self._evictions += 1
+        self._generation += 1
         return True
 
     # -- ingest --------------------------------------------------------------
@@ -161,7 +220,10 @@ class KeyedSamplerPool:
         elif self._max_keys is not None:
             self._entries.move_to_end(key)
         entry.sampler.append(value, timestamp)
+        if entry.counter is not None:
+            entry.counter.append(timestamp)
         self._ticks += 1
+        self._generation += 1
         entry.last_tick = self._ticks
         if self._idle_ttl is not None and self._ticks % self._sweep_interval == 0:
             self.sweep()
@@ -178,14 +240,31 @@ class KeyedSamplerPool:
         for key in stale:
             del self._entries[key]
         self._evictions += len(stale)
+        if stale:
+            self._generation += 1
         return len(stale)
 
     def advance_time(self, now: float) -> None:
-        """Broadcast a clock advance to every timestamp-window sampler."""
+        """Broadcast a clock advance to every timestamp-window sampler.
+
+        Only bumps the checkpoint generation when some sampler's clock
+        actually moves (a re-advance to the current time leaves every
+        snapshot byte unchanged, so clean shards stay checkpoint-clean)."""
+        changed = False
         for entry in self._entries.values():
             sampler = entry.sampler
             if hasattr(sampler, "advance_time"):
+                # Samplers without a readable clock are advanced blind, so
+                # they must be considered dirtied (conservative).
+                if getattr(sampler, "now", None) != now:
+                    changed = True
                 sampler.advance_time(now)
+            if entry.counter is not None:
+                if entry.counter.now != now:
+                    changed = True
+                entry.counter.advance_time(now)
+        if changed:
+            self._generation += 1
 
     # -- accounting ----------------------------------------------------------
 
@@ -202,6 +281,8 @@ class KeyedSamplerPool:
             meter.add_elements()  # the key
             meter.add_counters()  # last-ingest tick
             meter.add_words(entry.sampler.memory_words())
+            if entry.counter is not None:
+                meter.add_words(entry.counter.memory_words())
         return meter.total
 
     def memory_words_by_key(self) -> Dict[Any, int]:
@@ -223,7 +304,14 @@ class KeyedSamplerPool:
             "ticks": self._ticks,
             "evictions": self._evictions,
             "entries": [
-                {"key": key, "last_tick": entry.last_tick, "sampler": entry.sampler.state_dict()}
+                {
+                    "key": key,
+                    "last_tick": entry.last_tick,
+                    "sampler": entry.sampler.state_dict(),
+                    "counter": (
+                        entry.counter.state_dict() if entry.counter is not None else None
+                    ),
+                }
                 for key, entry in self._entries.items()
             ],
         }
@@ -251,7 +339,17 @@ class KeyedSamplerPool:
             observer = self._observer_factory() if self._observer_factory is not None else None
             sampler = self._spec.build(rng=self._sampler_seed(key), observer=observer)
             sampler.load_state_dict(encoded["sampler"])
-            entries[key] = _KeyEntry(sampler, int(encoded["last_tick"]))
+            if self._needs_counter is None:
+                self._needs_counter = not hasattr(sampler, "active_count_estimate")
+            counter = None
+            if self._needs_counter:
+                counter = ExponentialHistogramCounter(self._spec.t0, epsilon=_COUNTER_EPSILON)
+                encoded_counter = encoded.get("counter")
+                if encoded_counter is not None:
+                    counter.load_state_dict(encoded_counter)
+                # A snapshot from a build without counters restores with an
+                # empty counter: estimates recover as the window refills.
+            entries[key] = _KeyEntry(sampler, int(encoded["last_tick"]), counter)
         # A snapshot may come from a pool with a looser (or no) cap; enforce
         # this pool's budget immediately rather than leaking the overshoot
         # forever (inserts evict one-for-one and would never drain it).
@@ -263,6 +361,7 @@ class KeyedSamplerPool:
         self._entries = entries
         self._ticks = int(state["ticks"])
         self._evictions = int(state["evictions"]) + overflow
+        self._generation += 1
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -14,6 +14,8 @@ __all__ = [
     "StreamOrderError",
     "ConfigurationError",
     "SamplingFailureError",
+    "CheckpointError",
+    "ExecutorError",
 ]
 
 
@@ -60,3 +62,21 @@ class SamplingFailureError(SWSampleError):
     disadvantage (b) of over-sampling.  The optimal algorithms of the paper
     never raise this error.
     """
+
+
+class CheckpointError(ConfigurationError):
+    """Raised when a checkpoint on disk cannot be trusted: a missing or
+    corrupt shard segment, a digest mismatch, a malformed manifest, or a
+    version this build does not understand.
+
+    Subclasses :class:`ConfigurationError` so callers that treated every
+    bad-checkpoint condition as a configuration problem keep working, while
+    recovery tooling can distinguish "the file is damaged" from "the
+    arguments are wrong".
+    """
+
+
+class ExecutorError(SWSampleError):
+    """Raised when the parallel engine cannot make progress: a shard worker
+    died with an exception (re-raised at the next ingest/flush/query), or an
+    operation was attempted on a closed engine."""

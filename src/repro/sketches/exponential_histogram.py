@@ -25,8 +25,9 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Optional
+from typing import Any, Deque, Dict, Optional
 
+from ..core.serialization import STATE_FORMAT, require_state_fields
 from ..exceptions import ConfigurationError, StreamOrderError
 from ..memory import MemoryMeter, WORD_MODEL
 
@@ -165,6 +166,49 @@ class ExponentialHistogramCounter:
         if self._now - oldest.oldest_timestamp < self._t0:
             return total
         return total - oldest.size + 1
+
+    # -- checkpointing ---------------------------------------------------------
+
+    def state_dict(self) -> Dict[str, Any]:
+        """Snapshot the counter (buckets, clock, arrival count).
+
+        The histogram is deterministic — no generator state to capture — so a
+        restored counter continues producing exactly the estimates the
+        original would have.
+        """
+        return {
+            "format": STATE_FORMAT,
+            "t0": self._t0,
+            "epsilon": self._epsilon,
+            "now": self._now,
+            "arrivals": self._arrivals,
+            "buckets": [
+                [bucket.size, bucket.newest_timestamp, bucket.oldest_timestamp]
+                for bucket in self._buckets
+            ],
+        }
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        """Restore a snapshot in place (window span and ε must match)."""
+        require_state_fields(
+            state,
+            ("format", "t0", "epsilon", "now", "arrivals", "buckets"),
+            "ExponentialHistogramCounter",
+        )
+        if state["format"] != STATE_FORMAT:
+            raise ConfigurationError(
+                f"unsupported snapshot format {state['format']!r} (expected {STATE_FORMAT})"
+            )
+        if float(state["t0"]) != self._t0 or float(state["epsilon"]) != self._epsilon:
+            raise ConfigurationError(
+                "snapshot (t0, epsilon) does not match this counter's configuration"
+            )
+        self._now = float(state["now"])
+        self._arrivals = int(state["arrivals"])
+        self._buckets = deque(
+            _Bucket(size=int(size), newest_timestamp=float(newest), oldest_timestamp=float(oldest))
+            for size, newest, oldest in state["buckets"]
+        )
 
     def memory_words(self) -> int:
         """Footprint: three words per bucket (size + two timestamps) plus constants."""

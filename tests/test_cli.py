@@ -1,5 +1,9 @@
 """The swsample command-line interface."""
 
+import io
+import json
+import sys
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -131,3 +135,84 @@ class TestExperimentCommand:
         output = capsys.readouterr().out
         assert "**E10" in output
         assert csv_path.exists()
+
+
+class TestEngineStreamingAndWorkers:
+    def test_engine_with_workers_reports_worker_count(self, capsys):
+        exit_code = main(
+            ["engine", "--records", "3000", "--keys", "30", "--shards", "4", "--workers", "2"]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "shards          : 4 (2 workers)" in output
+        assert "live keys       : 30" in output
+
+    def test_engine_workers_match_serial_sample(self, capsys):
+        args = ["engine", "--records", "3000", "--keys", "30", "--shards", "4", "--seed", "6"]
+        assert main(args) == 0
+        serial = capsys.readouterr().out
+        assert main(args + ["--workers", "3"]) == 0
+        parallel = capsys.readouterr().out
+        extract = lambda text: [line for line in text.splitlines() if "sample of hottest" in line]
+        assert extract(serial) == extract(parallel)
+
+    def test_engine_rejects_bad_workers_and_batch_size(self, capsys):
+        assert main(["engine", "--records", "100", "--keys", "5", "--workers", "0"]) == 2
+        assert "--workers must be positive" in capsys.readouterr().err
+        assert main(["engine", "--records", "100", "--keys", "5", "--batch-size", "0"]) == 2
+        assert "--batch-size must be positive" in capsys.readouterr().err
+
+    def test_engine_ingests_jsonl_file(self, capsys, tmp_path):
+        stream = tmp_path / "records.jsonl"
+        stream.write_text(
+            "\n".join(json.dumps({"key": f"u{i % 7}", "value": i % 3}) for i in range(500))
+        )
+        exit_code = main(["engine", "--input", str(stream), "--shards", "2", "-k", "2"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert f"workload        : {stream} (500 records over streamed keys)" in output
+        assert "live keys       : 7" in output
+
+    def test_engine_ingests_jsonl_stdin(self, capsys, monkeypatch):
+        lines = io.StringIO(
+            "\n".join(json.dumps([f"u{i % 5}", i]) for i in range(200)) + "\n"
+        )
+        monkeypatch.setattr(sys, "stdin", lines)
+        exit_code = main(["engine", "--input", "-", "--workers", "2"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "workload        : stdin (200 records over streamed keys)" in output
+
+    def test_engine_jsonl_checkpoint_resume_round_trip(self, capsys, tmp_path):
+        stream = tmp_path / "records.jsonl"
+        stream.write_text(
+            "\n".join(json.dumps({"key": f"u{i % 7}", "value": i}) for i in range(400))
+        )
+        path = str(tmp_path / "engine.ckpt")
+        assert main(["engine", "--input", str(stream), "--workers", "2", "--checkpoint", path]) == 0
+        assert "segments written" in capsys.readouterr().out
+        assert main(["engine", "--resume", path, "--records", "100", "--keys", "7"]) == 0
+        assert "(7 keys, 400 records)" in capsys.readouterr().out
+
+    def test_engine_missing_input_file_is_a_friendly_error(self, capsys):
+        assert main(["engine", "--input", "/nonexistent/feed.jsonl"]) == 2
+        assert "cannot read --input" in capsys.readouterr().err
+
+    def test_engine_missing_resume_checkpoint_is_a_friendly_error(self, capsys):
+        assert main(["engine", "--resume", "/nonexistent/engine.ckpt", "--records", "10", "--keys", "2"]) == 2
+        assert "cannot resume" in capsys.readouterr().err
+
+    def test_engine_malformed_jsonl_is_a_friendly_error(self, capsys, tmp_path):
+        stream = tmp_path / "bad.jsonl"
+        stream.write_text('["a", 1]\n{broken\n')
+        assert main(["engine", "--input", str(stream)]) == 2
+        err = capsys.readouterr().err
+        assert "bad record" in err and "line 2" in err
+
+    def test_engine_baseline_checkpoint_refusal_closes_workers(self, capsys):
+        import threading
+        before = threading.active_count()
+        assert main(["engine", "--algorithm", "chain", "--records", "100", "--keys", "5",
+                     "--workers", "2", "--checkpoint", "/tmp/never.ckpt"]) == 2
+        assert "requires --algorithm optimal" in capsys.readouterr().err
+        assert threading.active_count() == before  # worker threads joined

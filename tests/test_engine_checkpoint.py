@@ -5,18 +5,23 @@ per-key samples — and, because generator positions are captured, identical
 behaviour on any identical suffix of the stream.
 """
 
+import hashlib
+import json
+import os
 import pickle
 
 import pytest
 
 from repro.engine import (
     KeyedSamplerPool,
+    ParallelEngine,
     SamplerSpec,
     ShardedEngine,
     load_checkpoint,
     save_checkpoint,
+    write_checkpoint,
 )
-from repro.exceptions import ConfigurationError
+from repro.exceptions import CheckpointError, ConfigurationError
 from repro.streams.workloads import build_keyed_workload
 
 
@@ -167,3 +172,289 @@ class TestCheckpointFiles:
         path = save_checkpoint(engine, tmp_path / "engine.ckpt")
         restored = load_checkpoint(path)
         assert restored.per_key_moments(1.0) == engine.per_key_moments(1.0) == {"a": 25.0}
+
+
+#: The paper's four optimal samplers — every crash-recovery property below
+#: must hold for each of them.
+OPTIMAL_SPECS = [
+    pytest.param(SamplerSpec(window="sequence", n=40, k=4, replacement=True), id="seq-wr"),
+    pytest.param(SamplerSpec(window="sequence", n=40, k=4, replacement=False), id="seq-wor"),
+    pytest.param(SamplerSpec(window="timestamp", t0=60.0, k=3, replacement=True), id="ts-wr"),
+    pytest.param(SamplerSpec(window="timestamp", t0=60.0, k=3, replacement=False), id="ts-wor"),
+]
+
+
+def spec_records(spec, count, seed=4):
+    if spec.is_timestamp:
+        return [(f"key-{index % 19}", index % 7, index * 0.5) for index in range(count)]
+    return [
+        (record.key, record.value)
+        for record in build_keyed_workload("keyed-zipf", count, num_keys=19, rng=seed)
+    ]
+
+
+class TestIncrementalCheckpoints:
+    """Per-shard segments + manifest: only dirty shards rewrite."""
+
+    def test_layout_manifest_and_segments(self, tmp_path):
+        engine = make_engine()
+        engine.ingest([(f"key-{index}", index) for index in range(500)])
+        result = write_checkpoint(engine, tmp_path / "engine.ckpt")
+        root = tmp_path / "engine.ckpt"
+        assert root.is_dir()
+        manifest = json.loads((root / "MANIFEST.json").read_text())
+        assert manifest["magic"] == "swsample-engine-checkpoint"
+        assert manifest["version"] == 2
+        assert manifest["engine"]["shards"] == engine.shards
+        assert len(manifest["segments"]) == engine.shards
+        assert result.segments_written == engine.shards
+        for entry in manifest["segments"]:
+            segment = root / entry["file"]
+            assert segment.is_file()
+            assert segment.stat().st_size == entry["bytes"]
+            assert hashlib.sha256(segment.read_bytes()).hexdigest() == entry["sha256"]
+
+    def test_clean_resave_rewrites_nothing(self, tmp_path):
+        engine = make_engine()
+        engine.ingest([(f"key-{index}", index) for index in range(500)])
+        path = tmp_path / "engine.ckpt"
+        write_checkpoint(engine, path)
+        again = write_checkpoint(engine, path)
+        assert again.segments_written == 0
+        assert again.segments_reused == engine.shards
+        assert load_checkpoint(path).state_dict() == engine.state_dict()
+
+    def test_only_dirty_shards_rewrite(self, tmp_path):
+        engine = make_engine()
+        engine.ingest([(f"key-{index}", index) for index in range(500)])
+        path = tmp_path / "engine.ckpt"
+        write_checkpoint(engine, path)
+        key = "key-3"
+        engine.append(key, 12345)
+        result = write_checkpoint(engine, path)
+        assert result.segments_written == 1
+        assert result.segments_reused == engine.shards - 1
+        restored = load_checkpoint(path)
+        assert restored.sample(key) == engine.sample(key)
+        assert restored.state_dict() == engine.state_dict()
+
+    def test_restored_engine_resaves_incrementally(self, tmp_path):
+        engine = make_engine()
+        engine.ingest([(f"key-{index}", index) for index in range(500)])
+        path = tmp_path / "engine.ckpt"
+        write_checkpoint(engine, path)
+        restored = load_checkpoint(path)
+        # The loader seeds the save memo: a just-restored engine's state IS
+        # the on-disk state, so an immediate re-save writes nothing.
+        result = write_checkpoint(restored, path)
+        assert result.segments_written == 0
+        restored.append("key-3", 1)
+        assert write_checkpoint(restored, path).segments_written == 1
+
+    def test_saving_to_a_new_directory_is_a_full_save(self, tmp_path):
+        engine = make_engine()
+        engine.ingest([(f"key-{index}", index) for index in range(200)])
+        write_checkpoint(engine, tmp_path / "first.ckpt")
+        elsewhere = write_checkpoint(engine, tmp_path / "second.ckpt")
+        assert elsewhere.segments_written == engine.shards
+        assert load_checkpoint(tmp_path / "second.ckpt").state_dict() == engine.state_dict()
+
+    def test_stale_segments_are_garbage_collected(self, tmp_path):
+        engine = make_engine()
+        path = tmp_path / "engine.ckpt"
+        manifests = []
+        for round_number in range(3):
+            engine.ingest(
+                [(f"key-{index}", index) for index in range(200 * round_number, 200 * (round_number + 1))]
+            )
+            write_checkpoint(engine, path)
+            manifests.append(json.loads((path / "MANIFEST.json").read_text()))
+        files = lambda manifest: {entry["file"] for entry in manifest["segments"]}
+        on_disk = {name for name in os.listdir(path) if name.endswith(".seg")}
+        # The current and the immediately-prior generation are retained (so a
+        # reader that parsed the old manifest mid-save still loads) ...
+        assert files(manifests[-1]) <= on_disk
+        # ... but generation n-2's segments are gone.
+        assert not (files(manifests[0]) - files(manifests[1])) & on_disk
+        assert on_disk <= files(manifests[-1]) | files(manifests[-2])
+
+    def test_interrupted_save_temp_files_are_swept(self, tmp_path):
+        engine = make_engine()
+        engine.ingest([(f"key-{index}", index) for index in range(100)])
+        path = tmp_path / "engine.ckpt"
+        write_checkpoint(engine, path)
+        (path / ".ckpt-orphan").write_bytes(b"left behind by a crash")
+        engine.append("key-0", 1)
+        write_checkpoint(engine, path)
+        assert not (path / ".ckpt-orphan").exists()
+
+    def test_two_engines_sharing_a_directory_never_cross_contaminate(self, tmp_path):
+        # Segment reuse is pinned by digest: after engine B overwrites shard
+        # segments, clean engine A must notice its segments are gone and
+        # rewrite them rather than silently re-referencing B's state.
+        path = tmp_path / "engine.ckpt"
+        a = make_engine()
+        a.ingest([(f"key-{index}", index) for index in range(200)])
+        write_checkpoint(a, path)
+        b = load_checkpoint(path)
+        b.append("key-3", 999)
+        write_checkpoint(b, path)
+        result = write_checkpoint(a, path)  # A unchanged, but disk is B's
+        assert result.segments_written >= 1
+        assert load_checkpoint(path).state_dict() == a.state_dict()
+
+    def test_refuses_to_overwrite_a_foreign_file(self, tmp_path):
+        target = tmp_path / "taken"
+        target.write_text("not a checkpoint")
+        engine = make_engine()
+        engine.append("a", 1)
+        with pytest.raises(CheckpointError):
+            write_checkpoint(engine, target)
+
+    def test_timestamp_query_dirties_the_shard_it_advances(self, tmp_path):
+        spec = SamplerSpec(window="timestamp", t0=30.0, k=3, replacement=True)
+        engine = make_engine(spec=spec)
+        engine.ingest([(f"flow-{index % 9}", index, index * 0.25) for index in range(2_000)])
+        path = tmp_path / "engine.ckpt"
+        write_checkpoint(engine, path)
+        # flow-4's last record is not the stream's last, so its sampler clock
+        # lags the engine clock: the query's lazy advance mutates it.
+        assert engine.sampler_for("flow-4").now < engine.now
+        engine.sample("flow-4")
+        result = write_checkpoint(engine, path)
+        # Precise dirtiness: only the queried key's shard rewrites.
+        assert result.segments_written == 1
+        assert load_checkpoint(path).state_dict() == engine.state_dict()
+
+    def test_querying_an_up_to_date_key_keeps_shards_clean(self, tmp_path):
+        spec = SamplerSpec(window="timestamp", t0=30.0, k=3, replacement=True)
+        engine = make_engine(spec=spec)
+        engine.ingest([(f"flow-{index % 9}", index, index * 0.25) for index in range(2_000)])
+        path = tmp_path / "engine.ckpt"
+        write_checkpoint(engine, path)
+        # The final record belongs to flow-1 (1999 % 9 == 1), so its sampler
+        # clock equals the engine clock and the query changes nothing.
+        assert engine.sampler_for("flow-1").now == engine.now
+        engine.sample("flow-1")
+        assert write_checkpoint(engine, path).segments_written == 0
+
+
+class TestCrashRecovery:
+    """Checkpoint mid-stream, damage the directory, and recovery semantics."""
+
+    @pytest.mark.parametrize("spec", OPTIMAL_SPECS)
+    def test_corrupt_segment_fails_loudly(self, spec, tmp_path):
+        engine = make_engine(spec=spec)
+        engine.ingest(spec_records(spec, 3_000))
+        path = tmp_path / "engine.ckpt"
+        write_checkpoint(engine, path)
+        manifest = json.loads((path / "MANIFEST.json").read_text())
+        victim = path / manifest["segments"][1]["file"]
+        blob = bytearray(victim.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF  # flip one bit mid-file
+        victim.write_bytes(bytes(blob))
+        with pytest.raises(CheckpointError, match="corrupt"):
+            load_checkpoint(path)
+
+    @pytest.mark.parametrize("spec", OPTIMAL_SPECS)
+    def test_missing_segment_fails_loudly(self, spec, tmp_path):
+        engine = make_engine(spec=spec)
+        engine.ingest(spec_records(spec, 3_000))
+        path = tmp_path / "engine.ckpt"
+        write_checkpoint(engine, path)
+        manifest = json.loads((path / "MANIFEST.json").read_text())
+        (path / manifest["segments"][0]["file"]).unlink()
+        with pytest.raises(CheckpointError, match="missing"):
+            load_checkpoint(path)
+
+    def test_truncated_segment_fails_loudly(self, tmp_path):
+        engine = make_engine()
+        engine.ingest([(f"key-{index}", index) for index in range(500)])
+        path = tmp_path / "engine.ckpt"
+        write_checkpoint(engine, path)
+        manifest = json.loads((path / "MANIFEST.json").read_text())
+        victim = path / manifest["segments"][0]["file"]
+        victim.write_bytes(victim.read_bytes()[:-20])
+        with pytest.raises(CheckpointError):
+            load_checkpoint(path)
+
+    def test_malformed_manifest_fails_loudly(self, tmp_path):
+        engine = make_engine()
+        engine.append("a", 1)
+        path = tmp_path / "engine.ckpt"
+        write_checkpoint(engine, path)
+        (path / "MANIFEST.json").write_text("{ not json")
+        with pytest.raises(CheckpointError):
+            load_checkpoint(path)
+        (path / "MANIFEST.json").write_text(json.dumps({"magic": "nope"}))
+        with pytest.raises(CheckpointError):
+            load_checkpoint(path)
+        (path / "MANIFEST.json").write_text(
+            json.dumps({"magic": "swsample-engine-checkpoint", "version": 99})
+        )
+        with pytest.raises(CheckpointError):
+            load_checkpoint(path)
+
+    def test_segment_paths_may_not_escape_the_directory(self, tmp_path):
+        engine = make_engine()
+        engine.append("a", 1)
+        path = tmp_path / "engine.ckpt"
+        write_checkpoint(engine, path)
+        manifest = json.loads((path / "MANIFEST.json").read_text())
+        manifest["segments"][0]["file"] = "../outside.seg"
+        (path / "MANIFEST.json").write_text(json.dumps(manifest))
+        with pytest.raises(CheckpointError, match="escapes"):
+            load_checkpoint(path)
+
+    @pytest.mark.parametrize("spec", OPTIMAL_SPECS)
+    def test_clean_restore_is_byte_identical_with_identical_future(self, spec, tmp_path):
+        """Checkpoint mid-stream; the restored fleet must match byte for
+        byte *and* draw the same randomness on an identical suffix."""
+        prefix = spec_records(spec, 2_500)
+        suffix = spec_records(spec, 800, seed=9)
+        if spec.is_timestamp:  # keep the suffix clock moving forward
+            shift = prefix[-1][2]
+            suffix = [(key, value, timestamp + shift) for key, value, timestamp in suffix]
+        engine = make_engine(spec=spec)
+        engine.ingest(prefix)
+        path = tmp_path / "engine.ckpt"
+        write_checkpoint(engine, path)
+        restored = load_checkpoint(path)
+        assert pickle.dumps(restored.state_dict()) == pickle.dumps(engine.state_dict())
+        engine.ingest(suffix)
+        restored.ingest(suffix)
+        assert restored.state_dict() == engine.state_dict()
+        for key in engine.keys():
+            assert restored.sample(key) == engine.sample(key)
+
+    @pytest.mark.parametrize("spec", OPTIMAL_SPECS)
+    def test_restore_into_parallel_engine(self, spec, tmp_path):
+        engine = make_engine(spec=spec)
+        engine.ingest(spec_records(spec, 2_000))
+        path = tmp_path / "engine.ckpt"
+        write_checkpoint(engine, path)
+        restored = load_checkpoint(path, workers=2)
+        try:
+            assert isinstance(restored, ParallelEngine)
+            assert restored.workers >= 1
+            assert restored.state_dict() == engine.state_dict()
+        finally:
+            restored.close()
+
+    def test_legacy_single_file_checkpoints_still_load(self, tmp_path):
+        engine = make_engine()
+        engine.ingest([(f"key-{index}", index) for index in range(300)])
+        legacy = tmp_path / "legacy.ckpt"
+        legacy.write_bytes(
+            pickle.dumps(
+                {
+                    "magic": "swsample-engine-checkpoint",
+                    "version": 1,
+                    "engine": engine.state_dict(),
+                }
+            )
+        )
+        restored = load_checkpoint(legacy)
+        assert restored.state_dict() == engine.state_dict()
+        with pytest.raises(ConfigurationError):
+            load_checkpoint(legacy, workers=2)  # workers need directories

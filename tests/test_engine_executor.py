@@ -1,0 +1,266 @@
+"""Parallel shard executors: determinism, backpressure, barriers, stress.
+
+The load-bearing claim of :class:`repro.engine.ParallelEngine` is that
+``workers`` is a pure throughput knob: because each shard is owned by exactly
+one worker (per-shard FIFO order) and per-key sampler seeds are key-derived
+(not order-derived), parallel ingest must be *bit-identical* to serial
+ingest — same samples, same generator positions, same future randomness.
+These tests pin that claim down, then exercise the concurrency machinery:
+bounded queues, the drain barrier, failure propagation, close semantics, and
+a multi-threaded ingest/sample/advance_time stress run.
+"""
+
+import threading
+
+import pytest
+
+from repro.engine import ParallelEngine, SamplerSpec, ShardedEngine
+from repro.exceptions import (
+    ConfigurationError,
+    EmptyWindowError,
+    ExecutorError,
+    StreamOrderError,
+)
+from repro.streams.workloads import build_keyed_workload
+
+SEQ_SPEC = SamplerSpec(window="sequence", n=32, k=4, replacement=True)
+TS_SPEC = SamplerSpec(window="timestamp", t0=64.0, k=3, replacement=False)
+
+
+def keyed_records(count, keys=37, seed=5):
+    return [(record.key, record.value) for record in
+            build_keyed_workload("keyed-zipf", count, num_keys=keys, rng=seed)]
+
+
+class TestConstruction:
+    def test_rejects_nonpositive_workers(self):
+        with pytest.raises(ConfigurationError):
+            ParallelEngine(SEQ_SPEC, workers=0)
+
+    def test_rejects_nonpositive_queue_depth_and_batch(self):
+        with pytest.raises(ConfigurationError):
+            ParallelEngine(SEQ_SPEC, workers=1, queue_depth=0)
+        with pytest.raises(ConfigurationError):
+            ParallelEngine(SEQ_SPEC, workers=1, max_batch=0)
+
+    def test_workers_clamped_to_shard_count(self):
+        with ParallelEngine(SEQ_SPEC, shards=2, workers=16) as engine:
+            assert engine.workers == 2
+
+    def test_context_manager_closes(self):
+        with ParallelEngine(SEQ_SPEC, shards=2, workers=2) as engine:
+            engine.ingest([("a", 1)])
+        assert engine.closed
+        engine.close()  # idempotent
+        with pytest.raises(ExecutorError):
+            engine.ingest([("a", 2)])
+
+    def test_closed_engine_still_answers_queries(self):
+        with ParallelEngine(SEQ_SPEC, shards=2, workers=2, seed=9) as engine:
+            engine.ingest([("a", value) for value in range(100)])
+        assert engine.total_arrivals == 100
+        assert len(engine.sample("a")) == 4
+
+
+class TestDeterminism:
+    """workers=1 and workers=4 must produce identical fleets, bit for bit."""
+
+    @pytest.mark.parametrize("spec", [SEQ_SPEC, TS_SPEC], ids=["sequence", "timestamp"])
+    def test_parallel_equals_serial_state(self, spec):
+        if spec.is_timestamp:
+            records = [
+                (f"key-{index % 23}", index % 11, index * 0.5) for index in range(6_000)
+            ]
+        else:
+            records = keyed_records(6_000, keys=23)
+        serial = ShardedEngine(spec, shards=8, seed=13)
+        serial.ingest(records)
+        with ParallelEngine(spec, shards=8, seed=13, workers=4, max_batch=64) as parallel:
+            parallel.ingest(records)
+            # state_dict captures every candidate, counter and generator
+            # position, so equality here means identical samples *and*
+            # identical future randomness.
+            assert parallel.state_dict() == serial.state_dict()
+            assert parallel.now == serial.now
+
+    def test_one_worker_equals_many_workers(self):
+        records = keyed_records(4_000)
+        states = []
+        for workers in (1, 4):
+            with ParallelEngine(
+                SEQ_SPEC, shards=8, seed=21, workers=workers, max_batch=32
+            ) as engine:
+                for start in range(0, len(records), 500):
+                    engine.ingest(records[start : start + 500])
+                states.append(engine.state_dict())
+        assert states[0] == states[1]
+
+    def test_per_key_samples_match_serial(self):
+        records = keyed_records(3_000)
+        serial = ShardedEngine(SEQ_SPEC, shards=4, seed=2)
+        serial.ingest(records)
+        with ParallelEngine(SEQ_SPEC, shards=4, seed=2, workers=3) as parallel:
+            parallel.ingest(records)
+            assert sorted(map(str, parallel.keys())) == sorted(map(str, serial.keys()))
+            for key in serial.keys():
+                assert parallel.sample(key) == serial.sample(key)
+
+    def test_aggregates_match_serial(self):
+        records = keyed_records(3_000)
+        serial = ShardedEngine(SEQ_SPEC, shards=4, seed=2)
+        serial.ingest(records)
+        with ParallelEngine(SEQ_SPEC, shards=4, seed=2, workers=4) as parallel:
+            parallel.ingest(records)
+            assert parallel.hottest_keys(5) == serial.hottest_keys(5)
+            assert parallel.merged_frequent_items(0.02) == serial.merged_frequent_items(0.02)
+
+
+class TestClockContract:
+    def test_missing_timestamps_stamped_with_engine_clock(self):
+        with ParallelEngine(TS_SPEC, shards=2, workers=2, seed=1) as engine:
+            engine.ingest([("a", 1, 10.0), ("b", 2)])  # b stamped at 10.0
+            assert engine.now == 10.0
+            serial = ShardedEngine(TS_SPEC, shards=2, seed=1)
+            serial.ingest([("a", 1, 10.0), ("b", 2)])
+            assert engine.state_dict() == serial.state_dict()
+
+    def test_out_of_order_batch_raises_and_keeps_prefix(self):
+        with ParallelEngine(TS_SPEC, shards=2, workers=2, seed=1) as engine:
+            with pytest.raises(StreamOrderError):
+                engine.ingest([("a", 1, 5.0), ("b", 2, 9.0), ("c", 3, 4.0)])
+            assert engine.now == 9.0
+            assert engine.total_arrivals == 2  # the validated prefix landed
+
+    def test_advance_time_is_a_barrier(self):
+        with ParallelEngine(TS_SPEC, shards=2, workers=2, seed=1) as engine:
+            engine.ingest([("a", value, float(value)) for value in range(200)])
+            engine.advance_time(1_000.0)
+            with pytest.raises(EmptyWindowError):
+                engine.sample("a")
+
+
+class TestBackpressureAndBarrier:
+    def test_tiny_queues_lose_nothing(self):
+        # queue_depth=1 and max_batch=8 force constant producer blocking.
+        with ParallelEngine(
+            SEQ_SPEC, shards=4, workers=2, seed=3, queue_depth=1, max_batch=8
+        ) as engine:
+            records = keyed_records(5_000, keys=50)
+            assert engine.ingest(records) == 5_000
+            assert engine.total_arrivals == 5_000
+
+    def test_flush_is_reentrant_and_repeatable(self):
+        with ParallelEngine(SEQ_SPEC, shards=2, workers=2) as engine:
+            engine.ingest([("a", 1)])
+            engine.flush()
+            engine.flush()
+            assert engine.total_arrivals == 1
+
+    def test_worker_failure_surfaces_and_sticks(self, monkeypatch):
+        engine = ParallelEngine(SEQ_SPEC, shards=2, workers=2, seed=3)
+        try:
+            boom = RuntimeError("sampler invariant violated")
+
+            def broken_append(key, value, timestamp=None):
+                raise boom
+
+            monkeypatch.setattr(engine._pools[0], "append", broken_append)
+            monkeypatch.setattr(engine._pools[1], "append", broken_append)
+            engine.ingest([("a", 1), ("b", 2)])
+            with pytest.raises(ExecutorError):
+                engine.flush()
+            # Failures are sticky: the fleet may have lost arrivals, so the
+            # engine refuses further work instead of serving suspect state.
+            with pytest.raises(ExecutorError):
+                engine.ingest([("c", 3)])
+        finally:
+            try:
+                engine.close()
+            except ExecutorError:
+                pass
+        assert engine.closed
+
+
+class TestThreadedStress:
+    def test_concurrent_ingest_sample_advance_loses_nothing(self):
+        """Four producers, a sampler thread and a clock thread interleave;
+        every arrival must land and nothing may deadlock."""
+        producers = 4
+        batches = 30
+        batch_size = 100
+        engine = ParallelEngine(
+            TS_SPEC, shards=8, workers=4, seed=11, queue_depth=2, max_batch=64
+        )
+        errors = []
+        stop = threading.Event()
+
+        def produce(worker_index):
+            try:
+                for batch_number in range(batches):
+                    records = [
+                        (f"p{worker_index}-k{record % 13}", record)
+                        for record in range(batch_size)
+                    ]
+                    engine.ingest(records)  # stamped at the engine clock
+            except BaseException as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        def read():
+            while not stop.is_set():
+                try:
+                    engine.sample(f"p0-k{len(errors) % 13}")
+                except (KeyError, EmptyWindowError):
+                    pass
+                engine.hottest_keys(3)
+
+        def tick():
+            now = 0.0
+            while not stop.is_set():
+                now += 1.0
+                engine.advance_time(now)
+
+        threads = [
+            threading.Thread(target=produce, args=(index,)) for index in range(producers)
+        ] + [threading.Thread(target=read), threading.Thread(target=tick)]
+        for thread in threads:
+            thread.start()
+        for thread in threads[:producers]:
+            thread.join(timeout=60)
+            assert not thread.is_alive(), "producer deadlocked"
+        stop.set()
+        for thread in threads[producers:]:
+            thread.join(timeout=60)
+            assert not thread.is_alive(), "reader/clock thread deadlocked"
+        try:
+            assert not errors, f"worker raised: {errors!r}"
+            assert engine.total_arrivals == producers * batches * batch_size
+        finally:
+            engine.close()
+
+
+class TestSnapshotOrthogonality:
+    def test_state_roundtrips_across_worker_counts(self):
+        records = keyed_records(2_000)
+        with ParallelEngine(SEQ_SPEC, shards=4, seed=8, workers=4) as source:
+            source.ingest(records)
+            state = source.state_dict()
+        with ParallelEngine(SEQ_SPEC, shards=4, seed=8, workers=1) as narrow:
+            narrow.load_state_dict(state)
+            assert narrow.state_dict() == state
+        serial = ShardedEngine.from_state_dict(state)
+        assert serial.state_dict() == state
+
+    def test_restored_engine_continues_identically(self):
+        records = keyed_records(2_000)
+        suffix = keyed_records(500, seed=99)
+        with ParallelEngine(SEQ_SPEC, shards=4, seed=8, workers=2) as source:
+            source.ingest(records)
+            state = source.state_dict()
+            source.ingest(suffix)
+            expected = source.state_dict()
+        with ParallelEngine(SEQ_SPEC, shards=4, seed=8, workers=4) as resumed:
+            resumed.load_state_dict(state)
+            resumed.ingest(suffix)
+            # Identical future randomness: the restored fleet's suffix run
+            # reproduces the original bit for bit.
+            assert resumed.state_dict() == expected

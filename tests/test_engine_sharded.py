@@ -305,3 +305,75 @@ class TestKeyedWorkloads:
         records = build_keyed_workload("keyed-hotset", 5000, num_keys=100, rng=9)
         hot_traffic = sum(record.key < 10 for record in records)
         assert hot_traffic > 0.8 * len(records)
+
+
+class TestWindowSizeCounters:
+    """Per-key DGIM counters back the window-size weights of timestamp
+    samplers that cannot bound their own active count (the baselines)."""
+
+    def test_baseline_timestamp_keys_get_counters(self):
+        spec = SamplerSpec(window="timestamp", t0=100.0, k=4, algorithm="priority")
+        engine = seq_engine(spec=spec)
+        engine.ingest([("flow", index, float(index)) for index in range(50)])
+        pool = engine.pools[engine.shard_of("flow")]
+        counter = pool.counter_for("flow")
+        assert counter is not None
+        assert counter.estimate() == 50  # exact while the window is young
+
+    def test_optimal_and_sequence_keys_get_no_counter(self):
+        optimal_ts = seq_engine(spec=SamplerSpec(window="timestamp", t0=100.0, k=4))
+        optimal_ts.ingest([("a", 1, 1.0)])
+        assert optimal_ts.pools[optimal_ts.shard_of("a")].counter_for("a") is None
+        sequence = seq_engine()
+        sequence.ingest([("a", 1)])
+        assert sequence.pools[sequence.shard_of("a")].counter_for("a") is None
+
+    def test_counter_tracks_true_active_count_within_epsilon(self):
+        spec = SamplerSpec(window="timestamp", t0=64.0, k=4, algorithm="priority")
+        engine = seq_engine(spec=spec)
+        # One record per unit of time: at time T the true active count is
+        # min(T+1, 64) (elements with timestamp > T - 64).
+        engine.ingest([("flow", index, float(index)) for index in range(1_000)])
+        counter = engine.pools[engine.shard_of("flow")].counter_for("flow")
+        truth = 64
+        estimate = counter.estimate()
+        assert abs(estimate - truth) <= max(1.0, 0.1 * truth), (estimate, truth)
+
+    def test_counters_expire_with_advance_time(self):
+        spec = SamplerSpec(window="timestamp", t0=10.0, k=2, algorithm="priority")
+        engine = seq_engine(spec=spec)
+        engine.ingest([("flow", index, float(index)) for index in range(20)])
+        engine.advance_time(1_000.0)
+        assert engine.pools[engine.shard_of("flow")].counter_for("flow").estimate() == 0
+
+    def test_merged_frequent_items_weight_baseline_keys_by_counter(self):
+        # Both tenants answer k=4 samples; without the counters they would
+        # carry equal weight and X would tie Y.  The dense tenant has 100
+        # active elements vs the sparse tenant's 1, so Y must dominate.
+        spec = SamplerSpec(window="timestamp", t0=10_000.0, k=4, algorithm="priority")
+        engine = seq_engine(spec=spec)
+        records = [("dense", "Y", float(index)) for index in range(100)]
+        records.append(("sparse", "X", 100.0))
+        engine.ingest(records)
+        frequencies = dict(engine.merged_frequent_items(0.001))
+        assert frequencies["Y"] > 0.9
+        assert frequencies["X"] < 0.1
+
+    def test_window_size_estimate_fallback_chain(self):
+        # Priority of evidence: the sampler's own covering bound, then the
+        # DGIM counter, then (counter empty, e.g. restored from a PR-1 era
+        # snapshot mid-refill) the bare sample length.
+        from repro.sketches import ExponentialHistogramCounter
+
+        spec = SamplerSpec(window="timestamp", t0=50.0, k=2, algorithm="priority")
+        engine = seq_engine(spec=spec)
+        engine.ingest([("flow", index, float(index)) for index in range(30)])
+        sampler = engine.sampler_for("flow")
+        assert not hasattr(sampler, "active_count_estimate")
+        full = ExponentialHistogramCounter(50.0)
+        for timestamp in range(30):
+            full.append(float(timestamp))
+        assert engine._window_size_estimate(sampler, 2, full) == full.estimate() == 30
+        empty = ExponentialHistogramCounter(50.0)
+        assert engine._window_size_estimate(sampler, 2, empty) == 2
+        assert engine._window_size_estimate(sampler, 2, None) == 2

@@ -1,0 +1,102 @@
+"""Streaming ingest sources: JSONL parsing, batching, engine wiring."""
+
+import json
+
+import pytest
+
+from repro.engine import (
+    ParallelEngine,
+    SamplerSpec,
+    ShardedEngine,
+    batched,
+    ingest_jsonl,
+    jsonl_records,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestJsonlRecords:
+    def test_object_and_array_forms(self):
+        lines = [
+            '{"key": "alice", "value": 1}',
+            '{"key": "bob", "value": 2, "timestamp": 3.5}',
+            '["carol", 7]',
+            '["dave", 8, 9.0]',
+        ]
+        assert list(jsonl_records(lines)) == [
+            ("alice", 1),
+            ("bob", 2, 3.5),
+            ("carol", 7),
+            ("dave", 8, 9.0),
+        ]
+
+    def test_blank_lines_skipped(self):
+        assert list(jsonl_records(["", "  \n", '["a", 1]', "\n"])) == [("a", 1)]
+
+    def test_array_keys_become_tuples(self):
+        records = list(jsonl_records(['{"key": ["tenant", 4], "value": 1}', '[["t", 5], 2]']))
+        assert records == [(("tenant", 4), 1), (("t", 5), 2)]
+        # ... so they are routable stream keys.
+        engine = ShardedEngine(SamplerSpec(window="sequence", n=8, k=1))
+        engine.ingest(records)
+        assert engine.key_count == 2
+
+    def test_invalid_json_reports_line_number(self):
+        with pytest.raises(ConfigurationError, match="line 2"):
+            list(jsonl_records(['["a", 1]', "{nope"]))
+
+    def test_wrong_shapes_rejected(self):
+        with pytest.raises(ConfigurationError, match="'key' and 'value'"):
+            list(jsonl_records(['{"value": 1}']))
+        with pytest.raises(ConfigurationError, match="2 or 3 items"):
+            list(jsonl_records(['["only-key"]']))
+        with pytest.raises(ConfigurationError, match="object or an array"):
+            list(jsonl_records(["42"]))
+
+    def test_prefix_yields_before_the_failure(self):
+        produced = []
+        with pytest.raises(ConfigurationError):
+            for record in jsonl_records(['["a", 1]', "broken"]):
+                produced.append(record)
+        assert produced == [("a", 1)]
+
+
+class TestBatched:
+    def test_slices_evenly_and_keeps_remainder(self):
+        assert list(batched(range(7), 3)) == [[0, 1, 2], [3, 4, 5], [6]]
+        assert list(batched([], 3)) == []
+
+    def test_rejects_nonpositive_size(self):
+        with pytest.raises(ConfigurationError):
+            list(batched([1], 0))
+
+
+class TestIngestJsonl:
+    def lines(self, count):
+        return [json.dumps({"key": f"u{i % 9}", "value": i}) for i in range(count)]
+
+    def test_streams_into_serial_engine(self):
+        engine = ShardedEngine(SamplerSpec(window="sequence", n=16, k=2), shards=2)
+        assert ingest_jsonl(engine, self.lines(1_000), batch_size=64) == 1_000
+        assert engine.total_arrivals == 1_000
+        assert engine.key_count == 9
+
+    def test_streams_into_parallel_engine(self):
+        with ParallelEngine(
+            SamplerSpec(window="sequence", n=16, k=2), shards=4, workers=2
+        ) as engine:
+            assert ingest_jsonl(engine, self.lines(1_000), batch_size=64) == 1_000
+            assert engine.total_arrivals == 1_000
+
+    def test_limit_caps_the_stream(self):
+        engine = ShardedEngine(SamplerSpec(window="sequence", n=16, k=2), shards=2)
+        assert ingest_jsonl(engine, self.lines(1_000), batch_size=64, limit=100) == 100
+        assert engine.total_arrivals == 100
+
+    def test_matches_direct_ingest(self):
+        lines = self.lines(500)
+        streamed = ShardedEngine(SamplerSpec(window="sequence", n=16, k=2), shards=2, seed=4)
+        ingest_jsonl(streamed, lines, batch_size=37)
+        direct = ShardedEngine(SamplerSpec(window="sequence", n=16, k=2), shards=2, seed=4)
+        direct.ingest([(f"u{i % 9}", i) for i in range(500)])
+        assert streamed.state_dict() == direct.state_dict()

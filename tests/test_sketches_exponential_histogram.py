@@ -121,3 +121,41 @@ class TestBurstArrivals:
         assert counter.estimate() == 500
         counter.advance_time(10.0)
         assert counter.estimate() == 0
+
+
+class TestCheckpointing:
+    def test_state_round_trip_continues_identically(self):
+        t0 = 300.0
+        counter = ExponentialHistogramCounter(t0, epsilon=0.1)
+        source = random.Random(23)
+        clock = 0.0
+        for _ in range(2_000):
+            clock += source.expovariate(1.0)
+            counter.append(clock)
+        restored = ExponentialHistogramCounter(t0, epsilon=0.1)
+        restored.load_state_dict(counter.state_dict())
+        assert restored.estimate() == counter.estimate()
+        assert restored.bucket_count == counter.bucket_count
+        assert restored.total_arrivals == counter.total_arrivals
+        # The counter is deterministic, so both copies stay equal forever.
+        for _ in range(500):
+            clock += source.expovariate(1.0)
+            counter.append(clock)
+            restored.append(clock)
+            assert restored.estimate() == counter.estimate()
+
+    def test_mismatched_configuration_rejected(self):
+        counter = ExponentialHistogramCounter(100.0, epsilon=0.1)
+        counter.append(1.0)
+        state = counter.state_dict()
+        with pytest.raises(ConfigurationError):
+            ExponentialHistogramCounter(200.0, epsilon=0.1).load_state_dict(state)
+        with pytest.raises(ConfigurationError):
+            ExponentialHistogramCounter(100.0, epsilon=0.2).load_state_dict(state)
+
+    def test_malformed_state_rejected(self):
+        counter = ExponentialHistogramCounter(100.0)
+        with pytest.raises(ConfigurationError):
+            counter.load_state_dict({"format": 1})
+        with pytest.raises(ConfigurationError):
+            counter.load_state_dict({**counter.state_dict(), "format": 999})
