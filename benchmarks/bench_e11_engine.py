@@ -14,6 +14,13 @@ checkpoint serialisation — and, since PR 2, the two scaling layers:
   parallelism — run on a free-threaded build (or enough cores) to see the
   ingest path scale; the sweep exists to keep the dispatch overhead honest
   and the architecture measured.
+* a **process-workers sweep** over :class:`repro.engine.ProcessEngine`
+  (1/2/4 worker processes).  Process workers *do* clear the GIL — sampler
+  updates run on real cores — but only when cores exist: on a single-core
+  container the sweep is flat and pays record-pickling freight on top, so
+  each run prints the detected core count next to its throughput.  The
+  safety net stays the same: the process fleet must be bit-identical to
+  the serial fleet.
 * **incremental checkpoints**: a second save after touching ~1% of keys
   (clustered on ≤10% of shards) must rewrite ≤10% of the shard segments.
 
@@ -22,10 +29,13 @@ Run with ``pytest benchmarks/bench_e11_engine.py --benchmark-only``.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.engine import (
     ParallelEngine,
+    ProcessEngine,
     SamplerSpec,
     ShardedEngine,
     load_checkpoint,
@@ -139,6 +149,49 @@ def test_e11_parallel_matches_serial_fleet(records):
     with ParallelEngine(_spec(), shards=SHARDS, seed=3, workers=4) as parallel:
         parallel.ingest(records[:100_000])
         assert parallel.state_dict() == serial.state_dict()
+
+
+@pytest.mark.parametrize("workers", [1, 2, 4])
+def test_e11_process_ingest_workers_sweep(benchmark, records, workers):
+    """The same 1M-record fleet through 1/2/4 shard-worker *processes*.
+
+    Unlike threads, process workers run sampler updates on real cores — but
+    the speed-up is bounded by the cores actually present, and every record
+    pays pickling freight across the queue.  The caveat is printed with the
+    number so a flat sweep on a 1-core container reads as what it is.
+    """
+
+    def ingest():
+        with ProcessEngine(_spec(), shards=SHARDS, seed=3, workers=workers) as engine:
+            engine.ingest(records)
+            engine.flush()
+            return engine.total_arrivals
+
+    arrivals = benchmark.pedantic(ingest, rounds=1, iterations=1, warmup_rounds=0)
+    assert arrivals >= 1_000_000
+    cores = os.cpu_count() or 1
+    benchmark.extra_info["workers"] = workers
+    benchmark.extra_info["executor"] = "process"
+    benchmark.extra_info["cores"] = cores
+    print(
+        f"\n[E11] process sweep: workers={workers} on {cores} core(s) — "
+        + (
+            "single-core host: expect a flat sweep (no CPU parallelism to"
+            " claim; numbers measure dispatch + pickling overhead)"
+            if cores == 1
+            else "multi-core host: sampler updates run concurrently"
+        )
+    )
+
+
+def test_e11_process_matches_serial_fleet(records):
+    """Safety net under the process sweep: bit-identical through worker
+    processes (same invariant E5/E9 rest on, crossing a pickle boundary)."""
+    serial = ShardedEngine(_spec(), shards=SHARDS, seed=3)
+    serial.ingest(records[:100_000])
+    with ProcessEngine(_spec(), shards=SHARDS, seed=3, workers=4) as process:
+        process.ingest(records[:100_000])
+        assert process.state_dict() == serial.state_dict()
 
 
 def test_e11_incremental_checkpoint_rewrites_only_dirty_shards(benchmark, records, tmp_path):

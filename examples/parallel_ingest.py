@@ -1,22 +1,28 @@
 #!/usr/bin/env python3
-"""Parallel shard executors + incremental checkpoints, end to end.
+"""Worker-backed shard executors + incremental checkpoints, end to end.
 
 A day in the life of a production fleet:
 
-1. stream a JSONL click feed through a :class:`repro.engine.ParallelEngine`
-   (worker threads drive the shards behind bounded per-shard queues);
-2. prove the parallel fleet is *bit-identical* to a serial one — workers are
-   a throughput knob, never a correctness knob;
+1. stream a JSONL click feed through a worker-backed engine — worker
+   *threads* (:class:`repro.engine.ParallelEngine`) by default, or worker
+   *processes* (:class:`repro.engine.ProcessEngine`, shards resident in the
+   workers, GIL cleared) with ``--executor process``;
+2. prove the worker-backed fleet is *bit-identical* to a serial one —
+   workers (and the executor flavour) are a throughput knob, never a
+   correctness knob;
 3. take an incremental checkpoint, absorb a hot-tenant burst that touches a
-   few shards, checkpoint again and watch only the dirty segments rewrite;
-4. restore under a different worker count (workers are orthogonal to the
-   manifest) and keep ingesting.
+   few shards, checkpoint again and watch only the dirty segments rewrite
+   (under ``--executor process`` each worker process writes its own
+   segments);
+4. restore under a different worker count and the *other* executor flavour
+   (both are orthogonal to the manifest) and keep ingesting.
 
-Run:  python examples/parallel_ingest.py
+Run:  python examples/parallel_ingest.py [--executor thread|process]
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import os
 import random
@@ -24,6 +30,7 @@ import tempfile
 
 from repro.engine import (
     ParallelEngine,
+    ProcessEngine,
     SamplerSpec,
     ShardedEngine,
     ingest_jsonl,
@@ -37,6 +44,8 @@ PAGES = ["/home", "/search", "/cart", "/checkout", "/help", "/deals"]
 SHARDS = 32
 SPEC = SamplerSpec(window="sequence", n=128, k=6, replacement=True)
 
+EXECUTORS = {"thread": ParallelEngine, "process": ProcessEngine}
+
 
 def jsonl_feed(length: int, seed: int):
     """The wire form a real feed arrives in: one JSON document per line."""
@@ -49,27 +58,43 @@ def jsonl_feed(length: int, seed: int):
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--executor",
+        choices=sorted(EXECUTORS),
+        default="thread",
+        help="worker flavour driving the shards (default: thread)",
+    )
+    args = parser.parse_args()
+    engine_class = EXECUTORS[args.executor]
+    other = "process" if args.executor == "thread" else "thread"
+
     print("=" * 72)
-    print("Parallel shard executors + incremental checkpoints")
+    print(f"{args.executor.capitalize()}-worker shard executors + incremental checkpoints")
     print("=" * 72)
 
-    with ParallelEngine(SPEC, shards=SHARDS, workers=4, seed=42) as fleet:
+    with engine_class(SPEC, shards=SHARDS, workers=4, seed=42) as fleet:
         ingested = ingest_jsonl(fleet, jsonl_feed(CLICKS, seed=7), batch_size=4096)
         fleet.flush()
         print(f"streamed      : {ingested:,} JSONL clicks over {fleet.key_count:,} users")
-        print(f"topology      : {fleet.shards} shards / {fleet.workers} workers")
+        print(f"topology      : {fleet.shards} shards / {fleet.workers} {args.executor} workers")
 
         serial = ShardedEngine(SPEC, shards=SHARDS, seed=42)
         serial.ingest(_tuples(jsonl_feed(CLICKS, seed=7)))
         identical = fleet.state_dict() == serial.state_dict()
-        print(f"determinism   : parallel fleet bit-identical to serial fleet: {identical}")
+        print(f"determinism   : {args.executor} fleet bit-identical to serial fleet: {identical}")
         assert identical
 
         with tempfile.TemporaryDirectory() as directory:
             path = os.path.join(directory, "fleet.ckpt")
             first = write_checkpoint(fleet, path)
-            print(f"checkpoint #1 : {first.segments_written} segments written "
-                  f"({first.bytes_written // 1024} KiB)")
+            writer = (
+                "each worker process wrote its own shards"
+                if args.executor == "process"
+                else "written from the coordinator's pools"
+            )
+            print(f"checkpoint #1 : {first.segments_written} segments "
+                  f"({first.bytes_written // 1024} KiB; {writer})")
 
             # A hot tenant bursts: every record lands on one user, one shard.
             fleet.ingest([("user-0", "/deals")] * 500)
@@ -78,11 +103,13 @@ def main() -> None:
                   f"{second.segments_reused} reused after a 1-user burst")
             assert second.segments_written == 1
 
-            resumed = load_checkpoint(path, workers=2)  # different worker count
+            # Different worker count AND the other executor flavour: both
+            # are orthogonal to the manifest.
+            resumed = load_checkpoint(path, workers=2, executor=other)
             try:
                 match = resumed.sample("user-0") == fleet.sample("user-0")
-                print(f"restore       : 2-worker fleet from a 4-worker manifest, "
-                      f"hot user's sample identical: {match}")
+                print(f"restore       : 2 {other}-worker fleet from a 4 "
+                      f"{args.executor}-worker manifest, hot user's sample identical: {match}")
                 assert match
                 resumed.ingest([("user-1", "/home")] * 100)
                 print(f"resume        : restored fleet keeps ingesting "
@@ -92,7 +119,7 @@ def main() -> None:
 
     print()
     print("Workers change wall-clock, never samples; checkpoints pay only for")
-    print("the shards that changed.")
+    print("the shards that changed — whichever executor wrote them.")
 
 
 def _tuples(lines):

@@ -45,7 +45,7 @@ and identical future randomness.
 
 Scaling & persistence
 ---------------------
-Two layers take the engine from one thread and one pickle to fleet scale:
+Three layers take the engine from one thread and one pickle to fleet scale:
 
 * **Parallel shard executors.**  :class:`~repro.engine.ParallelEngine` drives
   the same shards from ``workers`` threads behind bounded per-shard queues
@@ -58,13 +58,27 @@ Two layers take the engine from one thread and one pickle to fleet scale:
   Streaming feeds plug in via :func:`~repro.engine.ingest_jsonl` (JSONL from
   a file, pipe or stdin, in bounded batches — ``swsample engine --input``).
 
+* **Process shard workers.**  :class:`~repro.engine.ProcessEngine` runs the
+  identical dataflow on worker *processes* — shards are resident in the
+  workers (built there from the engine recipe), records arrive over bounded
+  multiprocessing queues, queries are answered worker-side through a
+  request/reply protocol, and each worker writes its own checkpoint
+  segments.  This is the executor that clears the GIL ceiling: CPU-bound
+  sampler updates scale across cores, and ingest stays bit-identical to the
+  serial and thread engines (``swsample engine --workers N --executor
+  process``).  A worker process that dies raises a sticky
+  :class:`~repro.exceptions.WorkerFailure` instead of serving from a fleet
+  that may have lost arrivals.
+
 * **Incremental checkpoints.**  :func:`~repro.engine.save_checkpoint` writes
   a checkpoint *directory*: one digest-verified segment file per shard plus
   a JSON manifest (format documented in :mod:`repro.engine.checkpoint`).
   Repeat saves rewrite only the shards whose state changed; a damaged or
-  missing segment fails loudly on load; and worker count is orthogonal to
-  the manifest, so a fleet saved under 4 workers restores under 1 or 16 —
-  with identical samples and identical future randomness.
+  missing segment fails loudly on load; and worker count *and executor
+  flavour* are orthogonal to the manifest, so a fleet saved by 4 process
+  workers restores serially, or under 16 threads — with identical samples
+  and identical future randomness
+  (``load_checkpoint(path, workers=N, executor="thread"|"process")``).
 
 >>> from repro import ParallelEngine
 >>> with ParallelEngine(SamplerSpec(window="sequence", n=500, k=4),
@@ -102,6 +116,7 @@ from .core import (
 from .engine import (
     KeyedSamplerPool,
     ParallelEngine,
+    ProcessEngine,
     SamplerSpec,
     ShardedEngine,
     load_checkpoint,
@@ -117,6 +132,7 @@ from .exceptions import (
     SamplingFailureError,
     StreamOrderError,
     SWSampleError,
+    WorkerFailure,
 )
 from .streams.element import KeyedRecord, StreamElement
 
@@ -128,6 +144,7 @@ __all__ = [
     "KeyedSamplerPool",
     "ShardedEngine",
     "ParallelEngine",
+    "ProcessEngine",
     "save_checkpoint",
     "load_checkpoint",
     "write_checkpoint",
@@ -152,4 +169,5 @@ __all__ = [
     "SamplingFailureError",
     "CheckpointError",
     "ExecutorError",
+    "WorkerFailure",
 ]

@@ -7,8 +7,9 @@ Installed as the ``swsample`` console script.  Four sub-commands:
   and memory footprint (a quick way to eyeball behaviour);
 * ``swsample engine`` — drive a keyed workload (or a JSONL stream from a file
   or stdin via ``--input``) through the sharded multi-stream engine, serially
-  or on worker threads (``--workers``), print fleet statistics, and optionally
-  checkpoint/resume it (incremental checkpoint directories);
+  or on workers (``--workers N --executor thread|process``; process workers
+  own their shards outright and scale across cores), print fleet statistics,
+  and optionally checkpoint/resume it (incremental checkpoint directories);
 * ``swsample experiment E3 --scale default`` — run one of the E1–E10
   experiments and print its result table (add ``--markdown`` or ``--csv``).
 """
@@ -70,7 +71,12 @@ def build_parser() -> argparse.ArgumentParser:
     engine_parser.add_argument("--shards", type=int, default=4, help="hash partitions")
     engine_parser.add_argument(
         "--workers", type=int, default=None, metavar="N",
-        help="drive shards from N worker threads (default: serial engine)",
+        help="drive shards from N workers (default: serial engine)",
+    )
+    engine_parser.add_argument(
+        "--executor", choices=["thread", "process"], default=None,
+        help="worker flavour for --workers: 'thread' (pipelining; the default)"
+        " or 'process' (shards resident in worker processes — scales across cores)",
     )
     engine_parser.add_argument(
         "--input", metavar="PATH",
@@ -143,8 +149,10 @@ def _command_run(args: argparse.Namespace) -> int:
 def _command_engine(args: argparse.Namespace) -> int:
     from .engine import (
         ParallelEngine,
+        ProcessEngine,
         SamplerSpec,
         ShardedEngine,
+        checkpoint_shards,
         ingest_jsonl,
         load_checkpoint,
         write_checkpoint,
@@ -154,17 +162,55 @@ def _command_engine(args: argparse.Namespace) -> int:
     if workers is not None and workers <= 0:
         print("error: --workers must be positive", file=sys.stderr)
         return 2
+    if args.executor is not None and workers is None:
+        # Catches e.g. `--input - --executor process` with the worker count
+        # forgotten: without --workers the engine is serial and the executor
+        # flavour would be silently ignored.
+        print(
+            f"error: --executor {args.executor} requires --workers N"
+            " (without workers the engine runs serially)",
+            file=sys.stderr,
+        )
+        return 2
+    executor = args.executor or "thread"
     if args.batch_size <= 0:
         print("error: --batch-size must be positive", file=sys.stderr)
         return 2
     if args.resume:
+        # Validate the worker count against the manifest before paying for
+        # the restore; legacy single-file checkpoints (shard count unknown
+        # without unpickling) fall back to the post-load check below.
+        if workers is not None:
+            known_shards = checkpoint_shards(args.resume)
+            if known_shards is not None and workers > known_shards:
+                print(
+                    f"error: --workers {workers} exceeds the checkpoint's"
+                    f" {known_shards} shards (each worker owns at least one shard)",
+                    file=sys.stderr,
+                )
+                return 2
         try:
-            engine = load_checkpoint(args.resume, workers=workers)
+            engine = load_checkpoint(args.resume, workers=workers, executor=executor)
         except (OSError, ConfigurationError) as error:
             print(f"error: cannot resume from {args.resume}: {error}", file=sys.stderr)
             return 2
+        if workers is not None and workers > engine.shards:
+            message = (
+                f"error: --workers {workers} exceeds the checkpoint's"
+                f" {engine.shards} shards (each worker owns at least one shard)"
+            )
+            engine.close()
+            print(message, file=sys.stderr)
+            return 2
         print(f"resumed         : {args.resume} ({engine.key_count} keys, {engine.total_arrivals} records)")
     else:
+        if workers is not None and workers > args.shards:
+            print(
+                f"error: --workers {workers} exceeds --shards {args.shards}"
+                " (each worker owns at least one shard; extra workers would sit idle)",
+                file=sys.stderr,
+            )
+            return 2
         spec = SamplerSpec(
             window=args.window,
             k=args.k,
@@ -180,7 +226,8 @@ def _command_engine(args: argparse.Namespace) -> int:
             idle_ttl=args.idle_ttl,
         )
         if workers is not None:
-            engine = ParallelEngine(spec, workers=workers, **config)
+            engine_class = ProcessEngine if executor == "process" else ParallelEngine
+            engine = engine_class(spec, workers=workers, **config)
         else:
             engine = ShardedEngine(spec, **config)
     try:
@@ -223,7 +270,7 @@ def _command_engine(args: argparse.Namespace) -> int:
         print(f"spec            : {engine.spec.describe()}")
         print(f"workload        : {source} ({ingested} records over {key_space} keys)")
         print(f"shards          : {engine.shards}"
-              + (f" ({engine.workers} workers)" if workers is not None else ""))
+              + (f" ({engine.workers} {executor} workers)" if workers is not None else ""))
         print(f"ingest          : {elapsed:.3f}s ({rate / 1000.0:.1f} krec/s)")
         print(f"live keys       : {engine.key_count} ({engine.evictions} evicted)")
         print(f"memory (words)  : {engine.memory_words()}")

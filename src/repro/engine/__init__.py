@@ -24,10 +24,19 @@ budget:
   clock-stamped by the producer, applied concurrently by shard owners, and
   every query flushes through a drain barrier first, so parallel ingest is
   bit-identical to serial ingest (``workers`` is a pure throughput knob).
+* :class:`ProcessEngine` — the same dataflow on worker *processes*: each
+  worker owns its shards' pools outright (built in-process from the engine
+  recipe), records travel over bounded multiprocessing queues, queries run
+  worker-side via a request/reply protocol, and checkpoints are written by
+  the workers themselves as per-shard segments.  Clears the GIL ceiling —
+  CPU-bound sampler updates scale across cores — while staying
+  bit-identical to the serial and thread engines.  A dead worker process
+  surfaces as a sticky :class:`~repro.exceptions.WorkerFailure`.
 * :func:`save_checkpoint` / :func:`load_checkpoint` /
   :func:`write_checkpoint` — incremental per-shard checkpoint directories
   (JSON manifest + digest-verified segment files); repeat saves rewrite only
-  the shards that changed, and a manifest loads under any worker count.
+  the shards that changed, and a manifest loads under any worker count and
+  any executor (serial / thread / process).
 * :func:`jsonl_records` / :func:`batched` / :func:`ingest_jsonl` — streaming
   ingest sources: JSONL lines from a file, pipe or stdin, fed to an engine
   in bounded batches (the ``swsample engine --input`` path).
@@ -39,12 +48,13 @@ randomness — is reproducible across processes and restarts.
 
 from .checkpoint import (
     CheckpointResult,
+    checkpoint_shards,
     load_checkpoint,
     save_checkpoint,
     write_checkpoint,
 )
 from .engine import ShardedEngine
-from .executor import ParallelEngine
+from .executor import ParallelEngine, ProcessEngine
 from .hashing import stable_key_bytes, stable_key_hash
 from .pool import KeyedSamplerPool
 from .source import batched, ingest_jsonl, jsonl_records
@@ -55,9 +65,11 @@ __all__ = [
     "KeyedSamplerPool",
     "ShardedEngine",
     "ParallelEngine",
+    "ProcessEngine",
     "save_checkpoint",
     "load_checkpoint",
     "write_checkpoint",
+    "checkpoint_shards",
     "CheckpointResult",
     "jsonl_records",
     "batched",

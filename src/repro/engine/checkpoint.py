@@ -43,6 +43,21 @@ the *state* (stream values are arbitrary Python objects); the manifest stays
 JSON so operators can inspect a checkpoint with ``cat``.  Only load
 checkpoints a process you trust wrote — pickle can execute code.
 
+Who writes the segments
+-----------------------
+Segments are written by whatever owns the shard's pool, via
+:func:`write_shard_segment`: the coordinator for serial
+:class:`~repro.engine.ShardedEngine` and thread-backed
+:class:`~repro.engine.ParallelEngine` fleets, and the **worker processes
+themselves** for :class:`~repro.engine.ProcessEngine` — each worker pickles
+and atomically writes its resident shards (in parallel across workers) and
+ships back only the manifest entries, which the coordinator stitches into
+one ``MANIFEST.json``.  The format on disk is identical either way, which
+is why a checkpoint round-trips under any executor and any worker count.
+A worker that dies mid-save leaves the directory loadable (the manifest
+swap never happened) and the save fails loudly with
+:class:`~repro.exceptions.CheckpointError`.
+
 Incrementality
 --------------
 Each pool carries a monotone mutation ``generation``.  The writer remembers,
@@ -88,18 +103,25 @@ from typing import Any, Dict, List, Optional, Tuple, Union
 from ..core.serialization import STATE_FORMAT
 from ..exceptions import CheckpointError, ConfigurationError
 from .engine import ShardedEngine
-from .executor import ParallelEngine
+from .executor import ParallelEngine, ProcessEngine
+from .pool import KeyedSamplerPool
+from .spec import SamplerSpec
 
 __all__ = [
     "save_checkpoint",
     "load_checkpoint",
     "write_checkpoint",
+    "write_shard_segment",
+    "checkpoint_shards",
     "CheckpointResult",
     "CHECKPOINT_MAGIC",
     "CHECKPOINT_VERSION",
     "SEGMENT_MAGIC",
     "MANIFEST_NAME",
 ]
+
+#: Worker-backed engine classes selectable by :func:`load_checkpoint`.
+_EXECUTORS = {"thread": ParallelEngine, "process": ProcessEngine}
 
 CHECKPOINT_MAGIC = "swsample-engine-checkpoint"
 SEGMENT_MAGIC = "swsample-engine-segment"
@@ -164,6 +186,60 @@ def _read_manifest(path: str) -> Optional[Dict[str, Any]]:
     return manifest
 
 
+def write_shard_segment(
+    path: str, index: int, pool: KeyedSamplerPool, reuse: Optional[Tuple[int, str, Dict[str, Any]]]
+) -> Dict[str, Any]:
+    """Write (or reuse) shard ``index``'s segment file under ``path``.
+
+    ``reuse`` is the save memo's candidate for this shard — a
+    ``(saved_generation, saved_digest, previous_manifest_entry)`` triple, or
+    ``None`` when this engine has not saved this shard here before.  The
+    segment is reused only when the pool's generation still matches *and*
+    the on-disk file is verifiably the one this engine wrote (digest pinned
+    in the previous manifest, size intact); anything less rewrites.
+
+    Runs wherever the pool lives: on the coordinator for serial and
+    thread-backed engines, **inside the owning worker process** for
+    :class:`~repro.engine.ProcessEngine` — workers persist their own
+    resident shards and ship back only the returned manifest entry.
+    """
+    generation = pool.generation
+    if reuse is not None:
+        saved_generation, saved_digest, entry = reuse
+        segment_path = os.path.join(path, str(entry.get("file", "")))
+        if (
+            saved_generation == generation
+            # The digest pins the on-disk segment to the bytes *this*
+            # engine wrote: a foreign engine's save to the same
+            # directory changes the digest and forces a rewrite here.
+            and entry.get("sha256") == saved_digest
+            and os.path.isfile(segment_path)
+            and os.path.getsize(segment_path) == entry.get("bytes")
+        ):
+            return {
+                "entry": dict(entry),
+                "generation": generation,
+                "written": False,
+                "bytes": 0,
+            }
+    envelope = {
+        "magic": SEGMENT_MAGIC,
+        "version": CHECKPOINT_VERSION,
+        "shard": index,
+        "pool": pool.state_dict(),
+    }
+    data = pickle.dumps(envelope, protocol=pickle.HIGHEST_PROTOCOL)
+    digest = hashlib.sha256(data).hexdigest()
+    filename = f"shard-{index:05d}-{digest[:12]}.seg"
+    _atomic_write(path, os.path.join(path, filename), data)
+    return {
+        "entry": {"shard": index, "file": filename, "sha256": digest, "bytes": len(data)},
+        "generation": generation,
+        "written": True,
+        "bytes": len(data),
+    }
+
+
 def write_checkpoint(engine: ShardedEngine, path: Union[str, os.PathLike]) -> CheckpointResult:
     """Write ``engine``'s state to the directory ``path``, incrementally.
 
@@ -179,11 +255,10 @@ def write_checkpoint(engine: ShardedEngine, path: Union[str, os.PathLike]) -> Ch
             " remove the old single-file checkpoint first"
         )
     os.makedirs(path, exist_ok=True)
-    # The guard flushes (parallel engines) and keeps concurrent producers out
-    # for the duration of the save, so the pickled pools and the recorded
-    # generations describe one consistent fleet.
+    # The guard flushes (worker-backed engines) and keeps concurrent
+    # producers out for the duration of the save, so the written pools and
+    # the recorded generations describe one consistent fleet.
     with engine._checkpoint_guard():
-        engine.flush()
         return _write_checkpoint_locked(engine, path)
 
 
@@ -197,45 +272,28 @@ def _write_checkpoint_locked(engine: ShardedEngine, path: str) -> CheckpointResu
                 previous_entries[int(entry["shard"])] = entry
     saved: List[Tuple[int, str]] = memo[1] if memo is not None and memo[0] == path else []
 
-    pools = engine.pools
-    segments: List[Dict[str, Any]] = []
-    memo_entries: List[Tuple[int, str]] = []
-    written = 0
-    reused = 0
-    bytes_written = 0
-    for index, pool in enumerate(pools):
-        generation = pool.generation
+    plan: Dict[int, Tuple[int, str, Dict[str, Any]]] = {}
+    for index in range(engine.shards):
         entry = previous_entries.get(index)
         if entry is not None and index < len(saved):
             saved_generation, saved_digest = saved[index]
-            segment_path = os.path.join(path, str(entry.get("file", "")))
-            if (
-                saved_generation == generation
-                # The digest pins the on-disk segment to the bytes *this*
-                # engine wrote: a foreign engine's save to the same
-                # directory changes the digest and forces a rewrite here.
-                and entry.get("sha256") == saved_digest
-                and os.path.isfile(segment_path)
-                and os.path.getsize(segment_path) == entry.get("bytes")
-            ):
-                segments.append(entry)
-                memo_entries.append((generation, saved_digest))
-                reused += 1
-                continue
-        envelope = {
-            "magic": SEGMENT_MAGIC,
-            "version": CHECKPOINT_VERSION,
-            "shard": index,
-            "pool": pool.state_dict(),
-        }
-        data = pickle.dumps(envelope, protocol=pickle.HIGHEST_PROTOCOL)
-        digest = hashlib.sha256(data).hexdigest()
-        filename = f"shard-{index:05d}-{digest[:12]}.seg"
-        _atomic_write(path, os.path.join(path, filename), data)
-        segments.append({"shard": index, "file": filename, "sha256": digest, "bytes": len(data)})
-        memo_entries.append((generation, digest))
-        written += 1
-        bytes_written += len(data)
+            plan[index] = (saved_generation, saved_digest, entry)
+
+    # Each shard's owner writes (or re-references) its segment: the local
+    # pools for serial/thread engines, the worker processes for
+    # ProcessEngine.
+    results = engine._checkpoint_segments(path, plan)
+    if len(results) != engine.shards:
+        raise CheckpointError(
+            f"engine produced {len(results)} segments for {engine.shards} shards"
+        )
+    segments = [result["entry"] for result in results]
+    memo_entries = [
+        (result["generation"], str(result["entry"]["sha256"])) for result in results
+    ]
+    written = sum(1 for result in results if result["written"])
+    reused = len(results) - written
+    bytes_written = sum(result["bytes"] for result in results)
 
     manifest = {
         "magic": CHECKPOINT_MAGIC,
@@ -336,8 +394,39 @@ def _load_segment(path: str, entry: Dict[str, Any], shards: int) -> Tuple[int, D
     return index, envelope["pool"]
 
 
+def _engine_from_state(
+    state: Dict[str, Any], workers: Optional[int], executor: str
+) -> ShardedEngine:
+    """Build a serial, thread- or process-backed engine and load ``state``.
+
+    Worker-backed engines are closed again on a failed load so a bad
+    checkpoint can never leak worker threads or processes.
+    """
+    if workers is None:
+        return ShardedEngine.from_state_dict(state)
+    engine_class = _EXECUTORS[executor]
+    engine = engine_class(
+        SamplerSpec.from_dict(state["spec"]),
+        workers=workers,
+        shards=int(state["shards"]),
+        seed=int(state["seed"]),
+        max_keys_per_shard=state.get("max_keys_per_shard"),
+        idle_ttl=state.get("idle_ttl"),
+        track_occurrences=bool(state.get("track_occurrences", False)),
+    )
+    try:
+        engine.load_state_dict(state)
+    except BaseException:
+        try:
+            engine.close()
+        except Exception:
+            pass
+        raise
+    return engine
+
+
 def _load_directory_checkpoint(
-    path: str, workers: Optional[int]
+    path: str, workers: Optional[int], executor: str
 ) -> ShardedEngine:
     manifest_path = os.path.join(path, MANIFEST_NAME)
     try:
@@ -386,32 +475,23 @@ def _load_directory_checkpoint(
         "now": meta.get("now"),
         "pools": pool_states,
     }
-    if workers is None:
-        engine = ShardedEngine.from_state_dict(state)
-    else:
-        from .spec import SamplerSpec
-
-        engine = ParallelEngine(
-            SamplerSpec.from_dict(state["spec"]),
-            workers=workers,
-            shards=shards,
-            seed=int(state["seed"]),
-            max_keys_per_shard=state["max_keys_per_shard"],
-            idle_ttl=state["idle_ttl"],
-            track_occurrences=bool(state["track_occurrences"]),
-        )
-        engine.load_state_dict(state)
+    engine = _engine_from_state(state, workers, executor)
     # Seed the incremental-save memo: a just-restored engine's state *is*
     # the on-disk state, so its next save to this directory rewrites nothing
     # — unless someone else's save changes the digests in between.
     _SAVE_MEMO[engine] = (
         path,
-        [(pool.generation, digests[index]) for index, pool in enumerate(engine.pools)],
+        [
+            (generation, digests[index])
+            for index, generation in enumerate(engine._segment_generations())
+        ],
     )
     return engine
 
 
-def _load_legacy_checkpoint(path: str) -> ShardedEngine:
+def _load_legacy_checkpoint(
+    path: str, workers: Optional[int], executor: str
+) -> ShardedEngine:
     with open(path, "rb") as handle:
         envelope = pickle.load(handle)
     if not isinstance(envelope, dict) or envelope.get("magic") != CHECKPOINT_MAGIC:
@@ -421,18 +501,49 @@ def _load_legacy_checkpoint(path: str) -> ShardedEngine:
             f"unsupported checkpoint version {envelope.get('version')!r}"
             f" (expected {LEGACY_CHECKPOINT_VERSION} for single-file checkpoints)"
         )
-    return ShardedEngine.from_state_dict(envelope["engine"])
+    return _engine_from_state(envelope["engine"], workers, executor)
+
+
+def checkpoint_shards(path: Union[str, os.PathLike]) -> Optional[int]:
+    """The shard count a checkpoint was written with, from the manifest
+    alone — no segment is read, no engine is built.  Returns ``None`` when
+    it cannot be determined cheaply (legacy single-file checkpoints, or a
+    damaged manifest, which :func:`load_checkpoint` will diagnose loudly).
+
+    Lets callers validate topology-dependent choices (e.g. a worker count)
+    before paying for a full restore.
+    """
+    path = os.path.abspath(os.fspath(path))
+    if not os.path.isdir(path):
+        return None
+    manifest = _read_manifest(path)
+    if manifest is None:
+        return None
+    meta = manifest.get("engine")
+    if not isinstance(meta, dict) or meta.get("shards") is None:
+        return None
+    try:
+        return int(meta["shards"])
+    except (TypeError, ValueError):
+        return None
 
 
 def load_checkpoint(
-    path: Union[str, os.PathLike], *, workers: Optional[int] = None
+    path: Union[str, os.PathLike],
+    *,
+    workers: Optional[int] = None,
+    executor: str = "thread",
 ) -> ShardedEngine:
     """Rebuild an engine from a checkpoint directory (or a legacy file).
 
     ``workers=None`` returns a serial :class:`ShardedEngine`; any positive
-    ``workers`` returns a :class:`~repro.engine.ParallelEngine` driving the
-    same shard states — worker count is orthogonal to the checkpoint, so a
-    manifest saved under one worker count loads into any other.
+    ``workers`` returns a worker-backed engine driving the same shard
+    states — a thread-backed :class:`~repro.engine.ParallelEngine` by
+    default, or a process-backed :class:`~repro.engine.ProcessEngine` with
+    ``executor="process"``.  Worker count and executor flavour are both
+    orthogonal to the checkpoint, so a manifest saved under one loads into
+    any other; legacy single-file (v1) checkpoints restore into all three
+    flavours too.
 
     Every segment's SHA-256 digest is verified against the manifest before a
     single sampler is rebuilt: a missing, truncated or bit-flipped segment
@@ -442,12 +553,11 @@ def load_checkpoint(
     Only load checkpoints you (or a process you trust) wrote: like every
     pickle, segment files can execute code when loaded.
     """
+    if executor not in _EXECUTORS:
+        raise ConfigurationError(
+            f"executor must be one of {sorted(_EXECUTORS)}, got {executor!r}"
+        )
     path = os.path.abspath(os.fspath(path))
     if os.path.isdir(path):
-        return _load_directory_checkpoint(path, workers)
-    if workers is not None:
-        raise ConfigurationError(
-            "workers= is only supported for directory checkpoints"
-            " (legacy single-file checkpoints load serial engines)"
-        )
-    return _load_legacy_checkpoint(path)
+        return _load_directory_checkpoint(path, workers, executor)
+    return _load_legacy_checkpoint(path, workers, executor)

@@ -77,6 +77,137 @@ def _unpack_record(record: Any) -> Tuple[Any, Any, Optional[float]]:
     )
 
 
+#: Per-key sampling failures that must not take down a fleet aggregate:
+#: expired windows, strict (allow_partial=False) windows below k, and the
+#: probabilistic failures of baseline backends.  The affected key is
+#: skipped; every other key still contributes.
+_SKIPPABLE_SAMPLE_ERRORS = (EmptyWindowError, InsufficientSampleError, SamplingFailureError)
+
+
+def _window_size_estimate(
+    sampler: WindowSampler, sample_len: int, counter: Optional[Any] = None
+) -> int:
+    """Best available active-window-size estimate for one sampler.
+
+    Sequence windows know their active size exactly.  The optimal timestamp
+    samplers expose a covering-decomposition bound (exact in Lemma 3.5 case
+    1, within half the straddler width in case 2).  Baseline timestamp
+    samplers have neither, so the pool attaches a per-key
+    exponential-histogram counter (DGIM) whose (1 ± ε) estimate stands in;
+    the bare sample size remains only as the last-resort fallback for
+    counter-less legacy snapshots mid-refill.
+    """
+    if isinstance(sampler, SequenceWindowSampler):
+        return sampler.window_size
+    estimate = getattr(sampler, "active_count_estimate", None)
+    if estimate is not None:
+        return estimate()
+    if counter is not None:
+        estimated = counter.estimate()
+        if estimated > 0:
+            return estimated
+    return sample_len
+
+
+def _advance_and_sample(
+    pool: KeyedSamplerPool, key: Any, now: float, clocked: bool
+) -> List[StreamElement]:
+    """One key's window sample, with the engine-clock lazy advance applied.
+
+    Shared by the serial query path and the shard-worker loop, so an
+    engine-hosted sampler sees exactly the same advance/mark-dirty sequence
+    whether its pool lives on the caller's thread or in a worker process.
+    """
+    sampler = pool.sampler_for(key)
+    if clocked and now != float("-inf"):
+        # The lazy advance mutates checkpointable state (clock fields,
+        # expiry) only when this sampler's clock actually moves.
+        changed = getattr(sampler, "now", None) != now
+        sampler.advance_time(now)
+        counter = pool.counter_for(key)
+        if counter is not None:
+            if counter.now != now:
+                changed = True
+            counter.advance_time(now)
+        if changed:
+            pool.mark_dirty()
+    return sampler.sample()
+
+
+def _hottest_partial(
+    pools: Iterable[KeyedSamplerPool], top: int
+) -> List[Tuple[Any, int]]:
+    """The ``top`` hottest keys across ``pools`` (one worker's share)."""
+    pairs = (
+        (key, sampler.total_arrivals) for pool in pools for key, sampler in pool.items()
+    )
+    return heapq.nlargest(top, pairs, key=lambda pair: pair[1])
+
+
+def _frequent_partial(
+    pools: Iterable[KeyedSamplerPool], now: float, clocked: bool
+) -> Tuple[Counter, float]:
+    """The merged-frequent-items accumulator over ``pools``.
+
+    Returns ``(pooled_mass, total_weight)``; partials from disjoint shard
+    sets merge additively, which is what lets worker processes compute their
+    share locally and ship only the counters.
+    """
+    pooled: Counter = Counter()
+    total_weight = 0.0
+    for pool in pools:
+        if clocked:
+            pool.advance_time(now)
+        for _, sampler, counter in pool.entries():
+            try:
+                values = sampler.sample_values()
+            except _SKIPPABLE_SAMPLE_ERRORS:
+                continue
+            if not values:
+                continue
+            weight = _window_size_estimate(sampler, len(values), counter) / len(values)
+            for value in values:
+                pooled[value] += weight
+            total_weight += weight * len(values)
+    return pooled, total_weight
+
+
+def _frequent_report(
+    pooled: Counter, total_weight: float, threshold: float, top: Optional[int]
+) -> List[Tuple[Any, float]]:
+    """Turn a merged-frequent-items accumulator into the sorted report."""
+    if total_weight == 0.0:
+        return []
+    report = [
+        (value, mass / total_weight)
+        for value, mass in pooled.items()
+        if mass / total_weight >= threshold
+    ]
+    report.sort(key=lambda item: item[1], reverse=True)
+    return report if top is None else report[:top]
+
+
+def _moment_partial(pools: Iterable[KeyedSamplerPool], order: float) -> Dict[Any, float]:
+    """Per-key AMS moment estimates over ``pools`` (one worker's share)."""
+    from ..applications import ams_estimate_from_counts
+
+    estimates: Dict[Any, float] = {}
+    for pool in pools:
+        for key, sampler in pool.items():
+            try:
+                counts = [
+                    OccurrenceCounter.count_of(candidate)
+                    for candidate in sampler.sample_candidates()
+                ]
+            except _SKIPPABLE_SAMPLE_ERRORS:
+                continue
+            window_size = _window_size_estimate(sampler, len(counts))
+            if not counts or window_size <= 0:
+                continue
+            estimates[key] = ams_estimate_from_counts(counts, window_size, order)
+    return estimates
+
+
 def _stamp_timestamp(timestamp: Any, now: float) -> float:
     """Apply the global clock contract to one clocked record's timestamp.
 
@@ -140,18 +271,24 @@ class ShardedEngine:
         self._max_keys_per_shard = max_keys_per_shard
         self._idle_ttl = idle_ttl
         self._track_occurrences = bool(track_occurrences)
+        self._pools = self._create_pools()
+        self._now = float("-inf")
+
+    def _create_pools(self) -> List[KeyedSamplerPool]:
+        """Build the per-shard pools.  :class:`ProcessEngine` overrides this
+        to return no pools at all — its shards are resident in worker
+        processes, built there by the same recipe."""
         observer_factory = OccurrenceCounter if self._track_occurrences else None
-        self._pools = [
+        return [
             KeyedSamplerPool(
-                spec,
+                self._spec,
                 seed=self._seed,
-                max_keys=max_keys_per_shard,
-                idle_ttl=idle_ttl,
+                max_keys=self._max_keys_per_shard,
+                idle_ttl=self._idle_ttl,
                 observer_factory=observer_factory,
             )
             for _ in range(self._shards)
         ]
-        self._now = float("-inf")
 
     # -- topology ------------------------------------------------------------
 
@@ -277,21 +414,9 @@ class ShardedEngine:
         evicted) and :class:`~repro.exceptions.EmptyWindowError` when the
         key's window has expired.
         """
-        pool = self._pool_of(key)
-        sampler = pool.sampler_for(key)
-        if self._spec.is_timestamp and self._now != float("-inf"):
-            # The lazy advance mutates checkpointable state (clock fields,
-            # expiry) only when this sampler's clock actually moves.
-            changed = getattr(sampler, "now", None) != self._now
-            sampler.advance_time(self._now)
-            counter = pool.counter_for(key)
-            if counter is not None:
-                if counter.now != self._now:
-                    changed = True
-                counter.advance_time(self._now)
-            if changed:
-                pool.mark_dirty()
-        return sampler.sample()
+        return _advance_and_sample(
+            self._pool_of(key), key, self._now, self._spec.is_timestamp
+        )
 
     def sample_values(self, key: Any) -> List[Any]:
         """Values-only form of :meth:`sample`."""
@@ -332,11 +457,13 @@ class ShardedEngine:
 
     # -- cross-key aggregates --------------------------------------------------
 
-    #: Per-key sampling failures that must not take down a fleet aggregate:
-    #: expired windows, strict (allow_partial=False) windows below k, and the
-    #: probabilistic failures of baseline backends.  The affected key is
-    #: skipped; every other key still contributes.
-    _SKIPPABLE_SAMPLE_ERRORS = (EmptyWindowError, InsufficientSampleError, SamplingFailureError)
+    #: Kept as a class attribute for introspection; the shared aggregate
+    #: helpers above use the module-level tuple directly.
+    _SKIPPABLE_SAMPLE_ERRORS = _SKIPPABLE_SAMPLE_ERRORS
+
+    #: Delegates to the module-level helper so worker loops (which have no
+    #: engine) and the engine share one estimator.
+    _window_size_estimate = staticmethod(_window_size_estimate)
 
     def hottest_keys(self, top: int = 10) -> List[Tuple[Any, int]]:
         """The ``top`` keys by lifetime arrival count, hottest first.
@@ -347,29 +474,8 @@ class ShardedEngine:
         """
         if top <= 0:
             raise ConfigurationError("top must be positive")
-        pairs = ((key, sampler.total_arrivals) for key, sampler in self.items())
-        return heapq.nlargest(top, pairs, key=lambda pair: pair[1])
-
-    def _window_size_estimate(
-        self, sampler: WindowSampler, sample_len: int, counter: Optional[Any] = None
-    ) -> int:
-        # Sequence windows know their active size exactly.  The optimal
-        # timestamp samplers expose a covering-decomposition bound (exact in
-        # Lemma 3.5 case 1, within half the straddler width in case 2).
-        # Baseline timestamp samplers have neither, so the pool attaches a
-        # per-key exponential-histogram counter (DGIM) whose (1 ± ε) estimate
-        # stands in; the bare sample size remains only as the last-resort
-        # fallback for counter-less legacy snapshots mid-refill.
-        if isinstance(sampler, SequenceWindowSampler):
-            return sampler.window_size
-        estimate = getattr(sampler, "active_count_estimate", None)
-        if estimate is not None:
-            return estimate()
-        if counter is not None:
-            estimated = counter.estimate()
-            if estimated > 0:
-                return estimated
-        return sample_len
+        self.flush()
+        return _hottest_partial(self._pools, top)
 
     def merged_frequent_items(
         self, threshold: float, *, top: Optional[int] = None
@@ -385,42 +491,11 @@ class ShardedEngine:
         if not 0 < threshold < 1:
             raise ConfigurationError("threshold must lie strictly between 0 and 1")
         self.flush()
-        pooled: Counter = Counter()
-        total_weight = 0.0
         clocked = self._spec.is_timestamp and self._now != float("-inf")
-        for pool in self._pools:
-            if clocked:
-                pool.advance_time(self._now)
-            for _, sampler, counter in pool.entries():
-                try:
-                    values = sampler.sample_values()
-                except self._SKIPPABLE_SAMPLE_ERRORS:
-                    continue
-                if not values:
-                    continue
-                weight = self._window_size_estimate(sampler, len(values), counter) / len(values)
-                for value in values:
-                    pooled[value] += weight
-                total_weight += weight * len(values)
-        if total_weight == 0.0:
-            return []
-        report = [
-            (value, mass / total_weight)
-            for value, mass in pooled.items()
-            if mass / total_weight >= threshold
-        ]
-        report.sort(key=lambda item: item[1], reverse=True)
-        return report if top is None else report[:top]
+        pooled, total_weight = _frequent_partial(self._pools, self._now, clocked)
+        return _frequent_report(pooled, total_weight, threshold, top)
 
-    def per_key_moments(self, order: float) -> Dict[Any, float]:
-        """Per-key AMS frequency-moment estimates ``F_order`` (Corollary 5.2).
-
-        Requires ``track_occurrences=True`` (the observer maintains each
-        candidate's occurrence count ``r``), a with-replacement spec (the AMS
-        position sample must be uniform and independent) and a sequence
-        window (whose exact size the estimator needs).  Keys with empty
-        windows are omitted.
-        """
+    def _check_moment_config(self) -> None:
         if not self._track_occurrences:
             raise ConfigurationError(
                 "per-key moments need track_occurrences=True at engine construction"
@@ -431,22 +506,19 @@ class ShardedEngine:
             raise ConfigurationError(
                 "per-key moments need a sequence window (timestamp window sizes are not tracked)"
             )
-        from ..applications import ams_estimate_from_counts
 
-        estimates: Dict[Any, float] = {}
-        for key, sampler in self.items():
-            try:
-                counts = [
-                    OccurrenceCounter.count_of(candidate)
-                    for candidate in sampler.sample_candidates()
-                ]
-            except self._SKIPPABLE_SAMPLE_ERRORS:
-                continue
-            window_size = self._window_size_estimate(sampler, len(counts))
-            if not counts or window_size <= 0:
-                continue
-            estimates[key] = ams_estimate_from_counts(counts, window_size, order)
-        return estimates
+    def per_key_moments(self, order: float) -> Dict[Any, float]:
+        """Per-key AMS frequency-moment estimates ``F_order`` (Corollary 5.2).
+
+        Requires ``track_occurrences=True`` (the observer maintains each
+        candidate's occurrence count ``r``), a with-replacement spec (the AMS
+        position sample must be uniform and independent) and a sequence
+        window (whose exact size the estimator needs).  Keys with empty
+        windows are omitted.
+        """
+        self._check_moment_config()
+        self.flush()
+        return _moment_partial(self._pools, order)
 
     def aggregate_moment(self, order: float) -> float:
         """The summed per-key moment — ``sum_key F_order(key's window)``.
@@ -459,8 +531,9 @@ class ShardedEngine:
 
     # -- checkpointing ---------------------------------------------------------
 
-    def state_dict(self) -> Dict[str, Any]:
-        """Snapshot the engine: topology, policy and every shard's pool."""
+    def _state_header(self) -> Dict[str, Any]:
+        """The topology/policy half of :meth:`state_dict` (everything but
+        the pools) — shared with executors whose pools live elsewhere."""
         return {
             "format": STATE_FORMAT,
             "spec": self._spec.to_dict(),
@@ -470,11 +543,29 @@ class ShardedEngine:
             "idle_ttl": self._idle_ttl,
             "track_occurrences": self._track_occurrences,
             "now": self._now,
+        }
+
+    def state_dict(self) -> Dict[str, Any]:
+        """Snapshot the engine: topology, policy and every shard's pool."""
+        return {
+            **self._state_header(),
             "pools": [pool.state_dict() for pool in self._pools],
         }
 
     def load_state_dict(self, state: Dict[str, Any]) -> None:
         """Restore an engine snapshot in place (topology must match)."""
+        self._validate_state(state)
+        for pool, pool_state in zip(self._pools, state["pools"]):
+            pool.load_state_dict(pool_state)
+        self._now = float(state["now"])
+
+    def _validate_state(self, state: Dict[str, Any]) -> None:
+        """Check a snapshot against this engine's topology and policy.
+
+        Shared by the in-process restore above and by executors that ship
+        pool states elsewhere (worker processes) instead of loading them
+        into local pools.
+        """
         require_state_fields(
             state,
             ("format", "spec", "shards", "seed", "now", "pools"),
@@ -507,9 +598,28 @@ class ShardedEngine:
                 f"snapshot carries {len(state['pools'])} pool states for {state['shards']}"
                 " declared shards — corrupt checkpoint"
             )
-        for pool, pool_state in zip(self._pools, state["pools"]):
-            pool.load_state_dict(pool_state)
-        self._now = float(state["now"])
+
+    # -- checkpoint hooks ------------------------------------------------------
+
+    def _checkpoint_segments(self, path: str, plan: Dict[int, Any]) -> List[Dict[str, Any]]:
+        """Write (or reuse) one checkpoint segment per shard under ``path``.
+
+        ``plan`` maps shard index to the reuse candidate recorded by the last
+        save (see :func:`repro.engine.checkpoint.write_shard_segment`).  The
+        serial and thread engines write from their in-process pools;
+        :class:`ProcessEngine` overrides this so each worker *process* writes
+        its own shards' segments and ships back only the manifest entries.
+        """
+        from .checkpoint import write_shard_segment  # lazy: avoids an import cycle
+
+        return [
+            write_shard_segment(path, index, pool, plan.get(index))
+            for index, pool in enumerate(self._pools)
+        ]
+
+    def _segment_generations(self) -> List[int]:
+        """Current per-shard checkpoint generations (memo seeding on load)."""
+        return [pool.generation for pool in self._pools]
 
     @classmethod
     def from_state_dict(cls, state: Dict[str, Any]) -> "ShardedEngine":

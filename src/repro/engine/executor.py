@@ -1,90 +1,348 @@
-"""Worker-backed parallel shard executors.
+"""Worker-backed parallel shard executors: threads and processes.
 
-:class:`ParallelEngine` drives the shards of a :class:`ShardedEngine` from a
-pool of worker threads.  The design exploits the invariant the shard layer
-was built for: shards are *independent* ingest points — no sampler, eviction
-list or counter is shared between two shards — so per-shard work can proceed
-concurrently as long as each shard's records are applied in arrival order by
-exactly one worker at a time.
+Two executors drive the shards of a :class:`ShardedEngine` from a worker
+fleet.  Both exploit the invariant the shard layer was built for: shards are
+*independent* ingest points — no sampler, eviction list or counter is shared
+between two shards — so per-shard work can proceed concurrently as long as
+each shard's records are applied in arrival order by exactly one worker.
 
-Topology
---------
+* :class:`ParallelEngine` — worker **threads**.  Shards stay in the
+  coordinator's address space; workers buy ingest/query pipelining (and real
+  parallelism on free-threaded builds), queries read the pools directly
+  after a drain barrier.
+* :class:`ProcessEngine` — worker **processes**.  Each worker process
+  *owns* its shards' pools outright: records are shipped over bounded
+  multiprocessing queues, queries run worker-side via a request/reply
+  protocol (the pools are never pickled on the hot path), and checkpoints
+  are written by the workers themselves as per-shard segment files.  This
+  clears the GIL ceiling: per-record sampler updates run on as many cores
+  as there are workers.
+
+Topology (both executors)
+-------------------------
 Shard ``i`` is owned by worker ``i % workers`` for the life of the engine.
 Single ownership is what makes parallel ingest deterministic: a shard's
-batches are applied sequentially, in dispatch order, by one thread, so every
+batches are applied sequentially, in dispatch order, by one worker, so every
 key sees its records in exactly the order a serial engine would have applied
 them — and because per-key sampler seeds are key-derived (not order-derived),
-``workers=1`` and ``workers=8`` produce bit-identical sampler states.
-Workers are orthogonal to shard *state*: a checkpoint written by an engine
-with 4 workers loads into an engine with 1 or 16.
+``workers=1``, ``workers=8``, threads and processes all produce bit-identical
+sampler states.  Workers are orthogonal to shard *state*: a checkpoint
+written by an engine with 4 process workers loads into a serial engine, or
+into a thread engine with 16 workers.
 
 Dataflow
 --------
 ``ingest()`` validates records and runs the global clock contract on the
 caller's thread (exactly the serial engine's semantics), partitions them into
-per-shard sub-batches, and hands each sub-batch to its shard's owner through
-that worker's queue.  Two mechanisms bound memory and provide backpressure:
+per-shard sub-batches, and hands each sub-batch to the shard's owner.  Memory
+stays bounded in both transports:
 
-* a per-shard counting semaphore caps the number of *in-flight sub-batches*
-  per shard at ``queue_depth`` — a producer outrunning a hot shard blocks on
-  that shard's semaphore until the worker catches up;
-* sub-batches are dispatched every ``max_batch`` records per shard, so one
-  huge ``ingest()`` call streams through bounded buffers instead of being
-  materialised per shard in full.
+* threads: a per-shard counting semaphore caps in-flight sub-batches per
+  shard at ``queue_depth``;
+* processes: each worker's inbox is a bounded ``multiprocessing.Queue`` of
+  ``queue_depth`` messages — a producer outrunning a worker blocks in
+  ``put`` until the worker catches up.
 
-``flush()`` is the drain barrier: it waits until every dispatched sub-batch
-has been fully applied, then re-raises any worker failure.  Every query and
-aggregate (``sample``, ``keys``, ``hottest_keys``, ``state_dict``, …)
-flushes first, so readers always observe a consistent fleet.
+``flush()`` is the drain barrier: threads wait on a pending-count condition;
+processes send a barrier token down every (FIFO) inbox and wait for the
+replies, which also carry any worker-side failure.  Every query and
+aggregate flushes first, so readers always observe a consistent fleet.
 
-Thread-safety contract: the engine's public surface is serialised by one
+Both transports drive the same :class:`_ShardWorkerLoop` — the executors
+differ only in how messages travel and where the pools live.
+
+Failure model
+-------------
+A worker failure is **sticky**: once a worker thread raises, or a worker
+process dies (crash, OOM kill, SIGKILL), the fleet may have lost arrivals,
+so the engine raises :class:`~repro.exceptions.WorkerFailure` on all further
+ingest, flushes and queries instead of serving from suspect state.  Recover
+by loading the last checkpoint into a fresh engine.  ``close()`` always
+reaps worker processes (shutdown message, then join, then terminate/kill),
+and a finalizer terminates them even if the engine is garbage-collected
+without ``close()`` — no orphaned processes.
+
+Thread-safety contract: each engine's public surface is serialised by one
 caller lock, so any number of application threads may ``ingest``/``sample``/
-``advance_time`` concurrently; the worker fleet runs outside that lock and
-drains shard queues in parallel.
-
-A note on speed: on CPython with the GIL, pure-Python sampler updates do not
-run concurrently, so thread workers mainly buy ingest/query pipelining and
-the scale-out architecture (the worker loop is process-pool-shaped: one
-owner per shard, message-passing only).  On free-threaded builds the same
-code parallelises for real.
+``advance_time`` concurrently; the worker fleet runs outside that lock.
 """
 
 from __future__ import annotations
 
 import contextlib
+import heapq
+import multiprocessing
 import os
+import pickle
 import queue
 import threading
+import weakref
+from collections import Counter
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
 
 from ..core.base import WindowSampler
-from ..exceptions import ConfigurationError, ExecutorError
+from ..core.tracking import OccurrenceCounter
+from ..exceptions import (
+    CheckpointError,
+    ConfigurationError,
+    ExecutorError,
+    WorkerFailure,
+)
 from ..streams.element import StreamElement
-from .engine import ShardedEngine, _stamp_timestamp, _unpack_record
+from .engine import (
+    ShardedEngine,
+    _advance_and_sample,
+    _frequent_partial,
+    _frequent_report,
+    _hottest_partial,
+    _moment_partial,
+    _stamp_timestamp,
+    _unpack_record,
+)
+from .pool import KeyedSamplerPool
 from .spec import SamplerSpec
 
-__all__ = ["ParallelEngine"]
+__all__ = ["ParallelEngine", "ProcessEngine"]
 
-#: Worker-queue sentinel asking the worker to exit its loop.
-_SHUTDOWN = object()
+#: How often blocked queue operations wake up to check worker liveness.
+_POLL_INTERVAL = 0.2
+#: How long ``close()`` waits for a worker process to exit before escalating
+#: to ``terminate()`` (and then ``kill()``).
+_JOIN_TIMEOUT = 5.0
+#: Worker-side inbox poll period (lets an orphaned worker notice that its
+#: coordinator process died and exit instead of blocking forever).
+_WORKER_POLL = 1.0
 
 
-class ParallelEngine(ShardedEngine):
-    """A :class:`ShardedEngine` whose shards are driven by worker threads.
+class _FailureBox:
+    """Holder for the first worker failure.  Thread workers share one box
+    (any failure poisons the fleet, exactly the pre-refactor semantics); a
+    worker process naturally has a private box and reports through barrier
+    replies instead."""
 
-    Parameters
-    ----------
-    workers:
-        Worker-thread count (default: ``min(shards, cpu_count)``).  Each
-        worker owns the shards congruent to its index modulo ``workers``.
-    queue_depth:
-        Maximum in-flight sub-batches per shard before ``ingest`` blocks
-        (backpressure toward the producer).
-    max_batch:
-        Records per dispatched sub-batch; one large ``ingest`` call streams
-        through the queues in ``max_batch``-sized pieces per shard.
+    __slots__ = ("error",)
 
-    All remaining parameters are inherited from :class:`ShardedEngine`.
+    def __init__(self) -> None:
+        self.error: Optional[BaseException] = None
+
+
+def _picklable(error: BaseException) -> BaseException:
+    """The error itself if it survives pickling, else a stand-in carrying
+    its repr — a worker process must never die trying to report a failure."""
+    try:
+        pickle.loads(pickle.dumps(error))
+        return error
+    except Exception:
+        return ExecutorError(f"worker-side error (unpicklable): {error!r}")
+
+
+class _ShardWorkerLoop:
+    """Transport-agnostic owner of a disjoint set of shard pools.
+
+    One loop instance drives its pools from an inbox of messages.  The same
+    loop runs on a worker thread (pools shared with the coordinator, queries
+    answered by the coordinator directly) and inside a worker process (pools
+    resident here, queries answered over the reply queue).
+
+    Message vocabulary (plain tuples, picklable for the process transport):
+
+    ``("apply", shard, batch)``
+        Apply one sub-batch of ``(key, value, timestamp)`` records.  No
+        reply; completion is observed via ``on_applied`` (threads) or the
+        next barrier (processes).  Skipped once the fleet has failed.
+    ``("shutdown",)``
+        Exit the loop.
+    ``("barrier", rid)``
+        Reply ``("barrier", rid, failure_repr_or_None)``.  Because the inbox
+        is FIFO, the reply proves every earlier ``apply`` has been applied.
+    ``(op, rid, *args)``
+        Request/reply query — replies ``("ok", rid, value)`` or
+        ``("error", rid, exception)``.
+    """
+
+    def __init__(
+        self,
+        pools: Dict[int, KeyedSamplerPool],
+        spec: SamplerSpec,
+        failures: Optional[_FailureBox] = None,
+        on_applied: Optional[Any] = None,
+    ) -> None:
+        #: Insertion order is ascending shard index (the constructor sorts),
+        #: so iteration over ``pools.values()`` matches the serial engine's
+        #: shard order for this worker's share.
+        self.pools = dict(sorted(pools.items()))
+        self.spec = spec
+        self.clocked = spec.is_timestamp
+        self.failures = failures if failures is not None else _FailureBox()
+        self.on_applied = on_applied
+
+    def run(
+        self,
+        inbox: Any,
+        replies: Any,
+        poll_interval: Optional[float] = None,
+        parent_pid: Optional[int] = None,
+    ) -> None:
+        while True:
+            if poll_interval is None:
+                message = inbox.get()
+            else:
+                try:
+                    message = inbox.get(timeout=poll_interval)
+                except queue.Empty:
+                    if parent_pid is not None and os.getppid() != parent_pid:
+                        return  # orphaned: the coordinator process is gone
+                    continue
+            kind = message[0]
+            if kind == "apply":
+                self._apply(message[1], message[2])
+                continue
+            if kind == "shutdown":
+                return
+            if kind == "barrier":
+                failure = self.failures.error
+                replies.put(
+                    ("barrier", message[1], None if failure is None else repr(failure))
+                )
+                continue
+            rid = message[1]
+            try:
+                value = self._execute(kind, *message[2:])
+            except BaseException as error:
+                replies.put(("error", rid, _picklable(error)))
+                continue
+            replies.put(("ok", rid, value))
+
+    def _apply(self, shard: int, batch: List[Tuple[Any, Any, Optional[float]]]) -> None:
+        try:
+            if self.failures.error is None:
+                append = self.pools[shard].append
+                for key, value, timestamp in batch:
+                    append(key, value, timestamp)
+        except BaseException as error:  # surfaced at the next barrier
+            if self.failures.error is None:
+                self.failures.error = error
+        finally:
+            if self.on_applied is not None:
+                self.on_applied(shard)
+
+    # -- request/reply operations (the process-transport query surface) ------
+
+    def _execute(self, op: str, *args: Any) -> Any:
+        pools = self.pools
+        if op == "stats":
+            return (
+                sum(len(pool) for pool in pools.values()),
+                sum(pool.ticks for pool in pools.values()),
+                sum(pool.evictions for pool in pools.values()),
+                sum(pool.memory_words() for pool in pools.values()),
+            )
+        if op == "keys":
+            return {shard: pool.keys() for shard, pool in pools.items()}
+        if op == "generations":
+            return {shard: pool.generation for shard, pool in pools.items()}
+        if op == "contains":
+            shard, key = args
+            return key in pools[shard]
+        if op == "sample":
+            shard, key, now = args
+            return _advance_and_sample(pools[shard], key, now, self.clocked)
+        if op == "sampler":
+            shard, key = args
+            # The sampler object itself travels back (pickled by the queue
+            # for processes): the caller receives a detached copy.
+            return pools[shard].sampler_for(key)
+        if op == "items":
+            return {
+                shard: list(pool.items()) for shard, pool in pools.items()
+            }
+        if op == "advance":
+            (now,) = args
+            for pool in pools.values():
+                pool.advance_time(now)
+            return None
+        if op == "hottest":
+            (top,) = args
+            return _hottest_partial(pools.values(), top)
+        if op == "frequent":
+            now, clocked = args
+            pooled, total_weight = _frequent_partial(pools.values(), now, clocked)
+            return dict(pooled), total_weight
+        if op == "moments":
+            (order,) = args
+            return _moment_partial(pools.values(), order)
+        if op == "get_state":
+            return {shard: pool.state_dict() for shard, pool in pools.items()}
+        if op == "set_state":
+            (states,) = args
+            for shard, pool_state in states.items():
+                pools[shard].load_state_dict(pool_state)
+            return None  # generations are fetched by the "generations" op
+        if op == "checkpoint":
+            path, plan = args
+            from .checkpoint import write_shard_segment  # lazy: import cycle
+
+            return {
+                shard: write_shard_segment(path, shard, pool, plan.get(shard))
+                for shard, pool in pools.items()
+            }
+        raise ExecutorError(f"unknown worker operation {op!r}")
+
+
+def _process_worker_main(config: Dict[str, Any], inbox: Any, replies: Any) -> None:
+    """Entry point of one shard-worker process.
+
+    Builds this worker's pools from the engine recipe (same constructor, same
+    seed — so a process-resident pool is bit-identical to the pool a serial
+    engine would have built) and serves the message loop until shutdown, a
+    torn pipe, or coordinator death.
+    """
+    spec = SamplerSpec.from_dict(config["spec"])
+    observer_factory = OccurrenceCounter if config["track_occurrences"] else None
+    pools = {
+        shard: KeyedSamplerPool(
+            spec,
+            seed=config["seed"],
+            max_keys=config["max_keys_per_shard"],
+            idle_ttl=config["idle_ttl"],
+            observer_factory=observer_factory,
+        )
+        for shard in config["shard_indexes"]
+    }
+    loop = _ShardWorkerLoop(pools, spec)
+    try:
+        loop.run(
+            inbox,
+            replies,
+            poll_interval=_WORKER_POLL,
+            parent_pid=config["parent_pid"],
+        )
+    except (EOFError, OSError, KeyboardInterrupt):  # pragma: no cover - torn pipes
+        pass
+
+
+def _reap_processes(processes: List[Any]) -> None:
+    """Terminate (then kill) any still-running worker processes.  Installed
+    as a ``weakref.finalize`` callback so an engine dropped without
+    ``close()`` still leaves no orphans behind."""
+    for process in processes:
+        if process.is_alive():
+            process.terminate()
+    for process in processes:
+        if process.is_alive():
+            process.join(timeout=1.0)
+            if process.is_alive():  # pragma: no cover - terminate() sufficed so far
+                process.kill()
+
+
+class _WorkerBackedEngine(ShardedEngine):
+    """Coordinator machinery shared by the thread and process executors.
+
+    Owns the public-surface lock, the record validation / clock-stamping /
+    partitioning half of ``ingest`` (identical for both transports), and the
+    flush-before-every-query discipline.  Subclasses supply the transport:
+    :meth:`_dispatch`, :meth:`_barrier`, :meth:`_raise_failure` and
+    :meth:`close`.
     """
 
     def __init__(
@@ -120,31 +378,16 @@ class ParallelEngine(ShardedEngine):
         self._queue_depth = int(queue_depth)
         self._max_batch = int(max_batch)
         self._closed = False
-        self._failure: Optional[BaseException] = None
         # Caller lock: serialises the public surface (ingest/flush/queries)
         # across application threads.  RLock because queries call flush().
         self._api_lock = threading.RLock()
-        # Drain barrier state: number of dispatched-but-unapplied sub-batches.
-        self._drain = threading.Condition()
-        self._pending = 0
-        # Backpressure: per-shard cap on in-flight sub-batches.
-        self._shard_slots = [
-            threading.BoundedSemaphore(self._queue_depth) for _ in range(self.shards)
-        ]
-        # One FIFO per worker; a shard's sub-batches all land in its owner's
-        # queue, preserving per-shard (hence per-key) order.
-        self._inboxes: List["queue.Queue"] = [queue.Queue() for _ in range(self._workers)]
-        self._threads = [
-            threading.Thread(
-                target=self._worker_loop,
-                args=(self._inboxes[index],),
-                name=f"swsample-shard-worker-{index}",
-                daemon=True,
+        #: Shard indexes owned by each worker (``shard % workers`` routing).
+        self._shard_sets: List[Tuple[int, ...]] = [
+            tuple(
+                shard for shard in range(self.shards) if shard % self._workers == index
             )
             for index in range(self._workers)
         ]
-        for thread in self._threads:
-            thread.start()
 
     # -- worker fleet --------------------------------------------------------
 
@@ -156,46 +399,24 @@ class ParallelEngine(ShardedEngine):
     def closed(self) -> bool:
         return self._closed
 
-    def _worker_loop(self, inbox: "queue.Queue") -> None:
-        while True:
-            message = inbox.get()
-            if message is _SHUTDOWN:
-                return
-            shard, batch = message
-            try:
-                if self._failure is None:
-                    pool = self._pools[shard]
-                    append = pool.append
-                    for key, value, timestamp in batch:
-                        append(key, value, timestamp)
-            except BaseException as error:  # surfaced at the next barrier
-                if self._failure is None:
-                    self._failure = error
-            finally:
-                self._shard_slots[shard].release()
-                with self._drain:
-                    self._pending -= 1
-                    if self._pending == 0:
-                        self._drain.notify_all()
-
-    def _dispatch(self, shard: int, batch: List[Tuple[Any, Any, Optional[float]]]) -> None:
-        self._shard_slots[shard].acquire()  # blocks: per-shard backpressure
-        with self._drain:
-            self._pending += 1
-        self._inboxes[shard % self._workers].put((shard, batch))
+    def _worker_of(self, shard: int) -> int:
+        return shard % self._workers
 
     def _check_alive(self) -> None:
         if self._closed:
             raise ExecutorError("engine is closed")
 
+    def _dispatch(self, shard: int, batch: List[Tuple[Any, Any, Optional[float]]]) -> None:
+        raise NotImplementedError
+
+    def _barrier(self) -> None:
+        raise NotImplementedError
+
     def _raise_failure(self) -> None:
-        # A worker failure is sticky: sub-batches queued behind the failing
-        # one are skipped, so the fleet may have lost arrivals — the engine
-        # refuses all further work rather than serving from suspect state.
-        if self._failure is not None:
-            raise ExecutorError(
-                f"a shard worker failed while applying records: {self._failure!r}"
-            ) from self._failure
+        raise NotImplementedError
+
+    def close(self) -> None:
+        raise NotImplementedError
 
     # -- ingest --------------------------------------------------------------
 
@@ -239,37 +460,20 @@ class ParallelEngine(ShardedEngine):
         """Block until every dispatched record has been applied, then
         re-raise any worker failure.  The consistency barrier for queries."""
         with self._api_lock:
-            with self._drain:
-                self._drain.wait_for(lambda: self._pending == 0)
+            self._barrier()
             self._raise_failure()
 
-    def close(self) -> None:
-        """Drain outstanding work and stop the worker threads (idempotent).
-
-        A closed engine still answers queries — its fleet state is final —
-        but refuses further ``ingest``.
-        """
-        with self._api_lock:
-            if self._closed:
-                return
-            try:
-                with self._drain:
-                    self._drain.wait_for(lambda: self._pending == 0)
-            finally:
-                self._closed = True
-                for inbox in self._inboxes:
-                    inbox.put(_SHUTDOWN)
-                for thread in self._threads:
-                    thread.join()
-            self._raise_failure()
-
-    def __enter__(self) -> "ParallelEngine":
+    def __enter__(self) -> "_WorkerBackedEngine":
         return self
 
     def __exit__(self, *exc_info: Any) -> None:
         self.close()
 
-    # -- queries (all barrier first) -----------------------------------------
+    # -- queries (all barrier first; thread-transport defaults) --------------
+    #
+    # These defaults serve the thread executor: after the barrier the pools
+    # are quiescent and local, so the serial implementations apply verbatim.
+    # ProcessEngine overrides every one of them with request/reply versions.
 
     def advance_time(self, now: float) -> None:
         with self._api_lock:
@@ -335,7 +539,7 @@ class ParallelEngine(ShardedEngine):
 
     def hottest_keys(self, top: int = 10) -> List[Tuple[Any, int]]:
         with self._api_lock:
-            return super().hottest_keys(top)  # items() supplies the barrier
+            return super().hottest_keys(top)  # the base flushes first
 
     def per_key_moments(self, order: float) -> Dict[Any, float]:
         with self._api_lock:
@@ -348,7 +552,15 @@ class ParallelEngine(ShardedEngine):
         # The whole save happens inside the API lock: producers queue behind
         # it, and the flush guarantees the pools are fully applied and still.
         with self._api_lock:
-            self.flush()
+            try:
+                self.flush()
+            except ExecutorError as error:
+                # To its caller a save that cannot happen is a checkpoint
+                # failure, whichever executor the fleet runs on — same
+                # translation as ProcessEngine's guard.
+                raise CheckpointError(
+                    f"cannot checkpoint this fleet: {error}"
+                ) from error
             yield
 
     def state_dict(self) -> Dict[str, Any]:
@@ -361,8 +573,633 @@ class ParallelEngine(ShardedEngine):
             self.flush()
             super().load_state_dict(state)
 
+    def _segment_generations(self) -> List[int]:
+        with self._api_lock:
+            self.flush()
+            return super()._segment_generations()
+
+
+class ParallelEngine(_WorkerBackedEngine):
+    """A :class:`ShardedEngine` whose shards are driven by worker threads.
+
+    Parameters
+    ----------
+    workers:
+        Worker-thread count (default: ``min(shards, cpu_count)``).  Each
+        worker owns the shards congruent to its index modulo ``workers``.
+    queue_depth:
+        Maximum in-flight sub-batches per shard before ``ingest`` blocks
+        (backpressure toward the producer).
+    max_batch:
+        Records per dispatched sub-batch; one large ``ingest`` call streams
+        through the queues in ``max_batch``-sized pieces per shard.
+
+    All remaining parameters are inherited from :class:`ShardedEngine`.
+
+    A note on speed: on CPython with the GIL, pure-Python sampler updates do
+    not run concurrently, so thread workers mainly buy ingest/query
+    pipelining.  :class:`ProcessEngine` runs the identical dataflow on worker
+    *processes* and does scale across cores.
+    """
+
+    def __init__(
+        self,
+        spec: SamplerSpec,
+        *,
+        workers: Optional[int] = None,
+        queue_depth: int = 8,
+        max_batch: int = 4096,
+        shards: int = 4,
+        seed: int = 0,
+        max_keys_per_shard: Optional[int] = None,
+        idle_ttl: Optional[int] = None,
+        track_occurrences: bool = False,
+    ) -> None:
+        super().__init__(
+            spec,
+            workers=workers,
+            queue_depth=queue_depth,
+            max_batch=max_batch,
+            shards=shards,
+            seed=seed,
+            max_keys_per_shard=max_keys_per_shard,
+            idle_ttl=idle_ttl,
+            track_occurrences=track_occurrences,
+        )
+        # One failure box shared by every loop: any worker failure poisons
+        # the whole fleet (arrivals may have been lost).
+        self._failures = _FailureBox()
+        # Drain barrier state: number of dispatched-but-unapplied sub-batches.
+        self._drain = threading.Condition()
+        self._pending = 0
+        # Backpressure: per-shard cap on in-flight sub-batches.
+        self._shard_slots = [
+            threading.BoundedSemaphore(self._queue_depth) for _ in range(self.shards)
+        ]
+        # One FIFO per worker; a shard's sub-batches all land in its owner's
+        # queue, preserving per-shard (hence per-key) order.
+        self._inboxes: List["queue.Queue"] = [queue.Queue() for _ in range(self._workers)]
+        self._loops = [
+            _ShardWorkerLoop(
+                {shard: self._pools[shard] for shard in self._shard_sets[index]},
+                self._spec,
+                failures=self._failures,
+                on_applied=self._on_applied,
+            )
+            for index in range(self._workers)
+        ]
+        self._threads = [
+            threading.Thread(
+                target=self._loops[index].run,
+                args=(self._inboxes[index], None),
+                name=f"swsample-shard-worker-{index}",
+                daemon=True,
+            )
+            for index in range(self._workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    def _on_applied(self, shard: int) -> None:
+        self._shard_slots[shard].release()
+        with self._drain:
+            self._pending -= 1
+            if self._pending == 0:
+                self._drain.notify_all()
+
+    def _dispatch(self, shard: int, batch: List[Tuple[Any, Any, Optional[float]]]) -> None:
+        self._shard_slots[shard].acquire()  # blocks: per-shard backpressure
+        with self._drain:
+            self._pending += 1
+        self._inboxes[self._worker_of(shard)].put(("apply", shard, batch))
+
+    def _barrier(self) -> None:
+        with self._drain:
+            self._drain.wait_for(lambda: self._pending == 0)
+
+    def _raise_failure(self) -> None:
+        # A worker failure is sticky: sub-batches queued behind the failing
+        # one are skipped, so the fleet may have lost arrivals — the engine
+        # refuses all further work rather than serving from suspect state.
+        error = self._failures.error
+        if error is not None:
+            raise WorkerFailure(
+                f"a shard worker failed while applying records: {error!r}"
+            ) from error
+
+    def close(self) -> None:
+        """Drain outstanding work and stop the worker threads (idempotent).
+
+        A closed engine still answers queries — its fleet state is final and
+        lives in this process — but refuses further ``ingest``.
+        """
+        with self._api_lock:
+            if self._closed:
+                return
+            try:
+                self._barrier()
+            finally:
+                self._closed = True
+                for inbox in self._inboxes:
+                    inbox.put(("shutdown",))
+                for thread in self._threads:
+                    thread.join()
+            self._raise_failure()
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"ParallelEngine(workers={self._workers}, shards={self.shards}, "
+            f"spec={self._spec.describe()!r})"
+        )
+
+
+class ProcessEngine(_WorkerBackedEngine):
+    """A :class:`ShardedEngine` whose shards are *resident in worker
+    processes* — the executor that clears the GIL ceiling.
+
+    Each worker process builds its shards' pools from the engine recipe
+    (spec, seed, eviction policy) at spawn, applies the sub-batches shipped
+    to it over a bounded multiprocessing queue, and answers queries through
+    a request/reply protocol: ``sample``/aggregate requests are computed
+    *inside* the owning worker and only the results travel back, so the
+    pools are never pickled on the hot path.  Because shard ownership,
+    per-shard ordering and per-key seeding are identical to the serial and
+    thread engines, process ingest is bit-identical to both.
+
+    Keys and values must be picklable (they cross a process boundary); the
+    same is already required of anything checkpointable.
+
+    Differences from :class:`ParallelEngine`:
+
+    * backpressure is per *worker* (a bounded inbox of ``queue_depth``
+      messages) rather than per shard;
+    * ``sampler_for`` returns a **detached copy** of the key's sampler (the
+      live object stays in its worker);
+    * a *closed* engine cannot answer queries — its state lived in the
+      worker processes; query or ``state_dict()``/checkpoint before
+      ``close()``;
+    * a dead worker process (crash, OOM kill, SIGKILL) surfaces as a sticky
+      :class:`~repro.exceptions.WorkerFailure` at the next ingest, flush or
+      query instead of a hang.
+
+    ``mp_context`` selects the multiprocessing start method (``"fork"``,
+    ``"spawn"``, ``"forkserver"``; default: the platform default).
+    """
+
+    def __init__(
+        self,
+        spec: SamplerSpec,
+        *,
+        workers: Optional[int] = None,
+        queue_depth: int = 8,
+        max_batch: int = 4096,
+        mp_context: Optional[str] = None,
+        shards: int = 4,
+        seed: int = 0,
+        max_keys_per_shard: Optional[int] = None,
+        idle_ttl: Optional[int] = None,
+        track_occurrences: bool = False,
+    ) -> None:
+        super().__init__(
+            spec,
+            workers=workers,
+            queue_depth=queue_depth,
+            max_batch=max_batch,
+            shards=shards,
+            seed=seed,
+            max_keys_per_shard=max_keys_per_shard,
+            idle_ttl=idle_ttl,
+            track_occurrences=track_occurrences,
+        )
+        context = multiprocessing.get_context(mp_context)
+        self._failure: Optional[str] = None
+        self._request_counter = 0
+        self._unbarriered = False
+        self._stats_cache: Optional[Tuple[int, int, int, int]] = None
+        config = {
+            "spec": spec.to_dict(),
+            "seed": self._seed,
+            "max_keys_per_shard": self._max_keys_per_shard,
+            "idle_ttl": self._idle_ttl,
+            "track_occurrences": self._track_occurrences,
+            "parent_pid": os.getpid(),
+        }
+        self._inboxes = []
+        self._replies = []
+        self._processes = []
+        try:
+            for index in range(self._workers):
+                inbox = context.Queue(maxsize=self._queue_depth)
+                replies = context.Queue()
+                process = context.Process(
+                    target=_process_worker_main,
+                    args=(
+                        {**config, "shard_indexes": self._shard_sets[index]},
+                        inbox,
+                        replies,
+                    ),
+                    name=f"swsample-shard-worker-{index}",
+                    daemon=True,
+                )
+                self._inboxes.append(inbox)
+                self._replies.append(replies)
+                self._processes.append(process)
+                process.start()
+        except BaseException:
+            _reap_processes(self._processes)
+            raise
+        # Belt and braces against orphans: terminate the fleet even if the
+        # engine is garbage-collected (or the interpreter exits) without a
+        # close() call.
+        self._finalizer = weakref.finalize(self, _reap_processes, list(self._processes))
+
+    def _create_pools(self) -> List[KeyedSamplerPool]:
+        # The shards live in the worker processes; the coordinator keeps
+        # none.  Any base-class code path that would touch local pools must
+        # have been overridden — `pools` below makes a miss fail loudly.
+        return []
+
+    @property
+    def pools(self) -> Tuple[KeyedSamplerPool, ...]:
+        raise ExecutorError(
+            "a ProcessEngine's shards are resident in its worker processes;"
+            " use the query/aggregate/state_dict surface instead of raw pools"
+        )
+
+    # -- transport -----------------------------------------------------------
+
+    def _next_rid(self) -> int:
+        self._request_counter += 1
+        return self._request_counter
+
+    def _note_failure(self, text: str) -> None:
+        if self._failure is None:
+            self._failure = text
+
+    def _raise_failure(self) -> None:
+        if self._failure is not None:
+            raise WorkerFailure(
+                f"a shard worker failed; the fleet may have lost arrivals:"
+                f" {self._failure}"
+            )
+
+    def _ensure_alive(self, index: int) -> None:
+        process = self._processes[index]
+        if not process.is_alive():
+            self._note_failure(
+                f"worker process {index} (pid {process.pid}) died"
+                f" with exit code {process.exitcode}"
+            )
+            self._raise_failure()
+
+    #: Ops that cannot change any fleet total.  Everything else ("apply",
+    #: "advance", "set_state", and the lazy-clock-advancing "sample"/
+    #: "frequent") invalidates the cached stats.
+    _NONMUTATING_OPS = frozenset(
+        {"barrier", "stats", "keys", "generations", "contains", "sampler",
+         "items", "hottest", "moments", "get_state", "checkpoint"}
+    )
+
+    def _send(self, index: int, message: Tuple[Any, ...]) -> None:
+        if message[0] not in self._NONMUTATING_OPS:
+            self._stats_cache = None
+        while True:
+            try:
+                self._inboxes[index].put(message, timeout=_POLL_INTERVAL)
+                return
+            except queue.Full:
+                self._ensure_alive(index)  # raises once the worker is gone
+
+    def _receive(self, index: int, rid: int) -> Tuple[Any, ...]:
+        while True:
+            try:
+                reply = self._replies[index].get(timeout=_POLL_INTERVAL)
+            except queue.Empty:
+                self._ensure_alive(index)
+                continue
+            if reply[1] != rid:
+                # Stale reply from an exchange interrupted by a failure;
+                # everything after a failure raises anyway, so just drop it.
+                continue
+            return reply
+
+    def _request(self, index: int, op: str, *args: Any) -> Any:
+        rid = self._next_rid()
+        self._send(index, (op, rid) + args)
+        reply = self._receive(index, rid)
+        if reply[0] == "error":
+            raise reply[2]
+        return reply[2]
+
+    def _broadcast(self, op: str, *args: Any) -> List[Any]:
+        """Fan one request out to every worker; collect replies in worker
+        order.  Workers compute concurrently — the sends all complete before
+        the first receive blocks."""
+        rid = self._next_rid()
+        for index in range(self._workers):
+            self._send(index, (op, rid) + args)
+        results: List[Any] = []
+        errors: List[BaseException] = []
+        for index in range(self._workers):
+            reply = self._receive(index, rid)
+            if reply[0] == "error":
+                errors.append(reply[2])
+            else:
+                results.append(reply[2])
+        if errors:
+            raise errors[0]
+        return results
+
+    def _merged(self, op: str, *args: Any) -> Dict[int, Any]:
+        """Broadcast an op whose replies are per-shard dicts; merge them."""
+        merged: Dict[int, Any] = {}
+        for result in self._broadcast(op, *args):
+            merged.update(result)
+        return merged
+
+    # -- dataflow ------------------------------------------------------------
+
+    def _dispatch(self, shard: int, batch: List[Tuple[Any, Any, Optional[float]]]) -> None:
+        self._send(self._worker_of(shard), ("apply", shard, batch))
+        self._unbarriered = True
+
+    def _barrier(self) -> None:
+        if self._failure is not None or not self._unbarriered:
+            return  # sticky failures re-raise in flush(); nothing in flight
+        rid = self._next_rid()
+        for index in range(self._workers):
+            self._send(index, ("barrier", rid))
+        for index in range(self._workers):
+            reply = self._receive(index, rid)
+            if reply[2] is not None:
+                self._note_failure(
+                    f"a shard worker failed while applying records: {reply[2]}"
+                )
+        self._unbarriered = False
+
+    def close(self) -> None:
+        """Drain outstanding work and reap the worker processes (idempotent).
+
+        Unlike the thread engine, a closed :class:`ProcessEngine` cannot
+        answer queries — its shard state lived in the workers.  Checkpoint
+        (or ``state_dict()``) before closing if the state matters.
+        """
+        with self._api_lock:
+            if self._closed:
+                return
+            try:
+                if self._failure is None:
+                    self._barrier()
+            finally:
+                self._closed = True
+                self._shutdown_fleet()
+            self._raise_failure()
+
+    def _shutdown_fleet(self) -> None:
+        for inbox in self._inboxes:
+            try:
+                inbox.put(("shutdown",), timeout=_POLL_INTERVAL)
+            except (queue.Full, ValueError, OSError):
+                pass  # dead or wedged worker: escalate to terminate below
+        for process in self._processes:
+            process.join(timeout=_JOIN_TIMEOUT)
+        _reap_processes(self._processes)
+        self._finalizer.detach()  # fleet reaped; nothing left for GC to do
+        for channel in self._inboxes + self._replies:
+            channel.close()
+            # The queue feeder thread would otherwise block interpreter exit
+            # if a dead worker left pipe buffers full.
+            channel.cancel_join_thread()
+
+    # -- queries (request/reply; workers compute, results travel) ------------
+
+    def _check_query(self) -> None:
+        if self._closed:
+            raise ExecutorError(
+                "engine is closed — a ProcessEngine's shards lived in its"
+                " worker processes; query (or checkpoint) before close()"
+            )
+        self._raise_failure()
+
+    def advance_time(self, now: float) -> None:
+        with self._api_lock:
+            self._check_query()
+            self.flush()
+            if now > self._now:
+                self._now = now
+            self._broadcast("advance", now)
+
+    def sampler_for(self, key: Any) -> WindowSampler:
+        """A **detached copy** of the key's sampler (read-only; ``KeyError``
+        when absent).  The live sampler stays resident in its worker —
+        mutating the copy does not touch fleet state."""
+        with self._api_lock:
+            self._check_query()
+            self.flush()
+            shard = self.shard_of(key)
+            return self._request(self._worker_of(shard), "sampler", shard, key)
+
+    def __contains__(self, key: Any) -> bool:
+        with self._api_lock:
+            self._check_query()
+            self.flush()
+            shard = self.shard_of(key)
+            return self._request(self._worker_of(shard), "contains", shard, key)
+
+    def sample(self, key: Any) -> List[StreamElement]:
+        with self._api_lock:
+            self._check_query()
+            self.flush()
+            shard = self.shard_of(key)
+            return self._request(
+                self._worker_of(shard), "sample", shard, key, self._now
+            )
+
+    def _stats(self) -> Tuple[int, int, int, int]:
+        # One broadcast returns all four fleet totals; they are cached until
+        # the next mutating message so the common read-them-all pattern
+        # (key_count, evictions, memory_words back to back) pays one IPC
+        # round trip instead of three.
+        self._check_query()
+        self.flush()
+        if self._stats_cache is None:
+            totals = (0, 0, 0, 0)
+            for partial in self._broadcast("stats"):
+                totals = tuple(a + b for a, b in zip(totals, partial))
+            self._stats_cache = totals  # type: ignore[assignment]
+        return self._stats_cache
+
+    @property
+    def key_count(self) -> int:
+        with self._api_lock:
+            return self._stats()[0]
+
+    @property
+    def total_arrivals(self) -> int:
+        with self._api_lock:
+            return self._stats()[1]
+
+    @property
+    def evictions(self) -> int:
+        with self._api_lock:
+            return self._stats()[2]
+
+    def memory_words(self) -> int:
+        with self._api_lock:
+            return self._stats()[3]
+
+    def keys(self) -> List[Any]:
+        with self._api_lock:
+            self._check_query()
+            self.flush()
+            by_shard = self._merged("keys")
+            result: List[Any] = []
+            for shard in range(self._shards):
+                result.extend(by_shard.get(shard, []))
+            return result
+
+    def items(self) -> Iterator[Tuple[Any, WindowSampler]]:
+        """Iterate ``(key, sampler)`` over every live key — the samplers are
+        **detached copies** (see :meth:`sampler_for`), yielded in the serial
+        engine's shard order."""
+        with self._api_lock:
+            self._check_query()
+            self.flush()
+            by_shard = self._merged("items")
+            result: List[Tuple[Any, WindowSampler]] = []
+            for shard in range(self._shards):
+                result.extend(by_shard.get(shard, []))
+            return iter(result)
+
+    def hottest_keys(self, top: int = 10) -> List[Tuple[Any, int]]:
+        """Same counts as the serial engine; like
+        :meth:`merged_frequent_items`, keys *tied* on arrival count may
+        order differently (each worker ranks its own shards, the merge is
+        stable per worker, not per shard)."""
+        if top <= 0:
+            raise ConfigurationError("top must be positive")
+        with self._api_lock:
+            self._check_query()
+            self.flush()
+            partials = self._broadcast("hottest", top)
+        pairs = (pair for partial in partials for pair in partial)
+        return heapq.nlargest(top, pairs, key=lambda pair: pair[1])
+
+    def merged_frequent_items(
+        self, threshold: float, *, top: Optional[int] = None
+    ) -> List[Tuple[Any, float]]:
+        if not 0 < threshold < 1:
+            raise ConfigurationError("threshold must lie strictly between 0 and 1")
+        with self._api_lock:
+            self._check_query()
+            self.flush()
+            clocked = self._spec.is_timestamp and self._now != float("-inf")
+            pooled: Counter = Counter()
+            total_weight = 0.0
+            for partial, weight in self._broadcast("frequent", self._now, clocked):
+                for value, mass in partial.items():
+                    pooled[value] += mass
+                total_weight += weight
+        return _frequent_report(pooled, total_weight, threshold, top)
+
+    def per_key_moments(self, order: float) -> Dict[Any, float]:
+        self._check_moment_config()
+        with self._api_lock:
+            self._check_query()
+            self.flush()
+            estimates: Dict[Any, float] = {}
+            for partial in self._broadcast("moments", order):
+                estimates.update(partial)
+            return estimates
+
+    # -- state & checkpointing -----------------------------------------------
+
+    def state_dict(self) -> Dict[str, Any]:
+        with self._api_lock:
+            self._check_query()
+            self.flush()
+            by_shard = self._merged("get_state")
+            return {
+                **self._state_header(),
+                "pools": [by_shard[shard] for shard in range(self._shards)],
+            }
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        with self._api_lock:
+            self._check_query()
+            self.flush()
+            self._validate_state(state)
+            # Send-all-then-receive (the _broadcast pattern, with per-worker
+            # payloads): every worker deserialises and loads its shards
+            # concurrently, so restore latency is the slowest worker's, not
+            # the sum.
+            rid = self._next_rid()
+            for index in range(self._workers):
+                self._send(
+                    index,
+                    (
+                        "set_state",
+                        rid,
+                        {shard: state["pools"][shard] for shard in self._shard_sets[index]},
+                    ),
+                )
+            errors: List[BaseException] = []
+            for index in range(self._workers):
+                reply = self._receive(index, rid)
+                if reply[0] == "error":
+                    errors.append(reply[2])
+            if errors:
+                raise errors[0]
+            self._now = float(state["now"])
+
+    def _segment_generations(self) -> List[int]:
+        with self._api_lock:
+            self._check_query()
+            self.flush()
+            by_shard = self._merged("generations")
+            return [by_shard[shard] for shard in range(self._shards)]
+
+    @contextlib.contextmanager
+    def _checkpoint_guard(self):
+        with self._api_lock:
+            try:
+                self._check_query()
+                self.flush()
+            except ExecutorError as error:
+                # A checkpoint attempt against a dead or closed fleet is a
+                # checkpoint failure to its caller, whatever the root cause.
+                raise CheckpointError(f"cannot checkpoint this fleet: {error}") from error
+            yield
+
+    def _checkpoint_segments(self, path: str, plan: Dict[int, Any]) -> List[Dict[str, Any]]:
+        # Workers persist their own resident shards — the pickling happens
+        # in parallel across processes and only manifest entries come back.
+        rid = self._next_rid()
+        try:
+            for index in range(self._workers):
+                worker_plan = {
+                    shard: plan[shard]
+                    for shard in self._shard_sets[index]
+                    if shard in plan
+                }
+                self._send(index, ("checkpoint", rid, path, worker_plan))
+            by_shard: Dict[int, Dict[str, Any]] = {}
+            for index in range(self._workers):
+                reply = self._receive(index, rid)
+                if reply[0] == "error":
+                    raise reply[2]
+                by_shard.update(reply[2])
+        except CheckpointError:
+            raise
+        except (ExecutorError, OSError) as error:
+            raise CheckpointError(
+                f"checkpoint failed: a worker could not write its shard"
+                f" segments ({error})"
+            ) from error
+        return [by_shard[shard] for shard in range(self._shards)]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ProcessEngine(workers={self._workers}, shards={self.shards}, "
             f"spec={self._spec.describe()!r})"
         )

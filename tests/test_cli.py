@@ -144,7 +144,7 @@ class TestEngineStreamingAndWorkers:
         )
         assert exit_code == 0
         output = capsys.readouterr().out
-        assert "shards          : 4 (2 workers)" in output
+        assert "shards          : 4 (2 thread workers)" in output
         assert "live keys       : 30" in output
 
     def test_engine_workers_match_serial_sample(self, capsys):
@@ -161,6 +161,80 @@ class TestEngineStreamingAndWorkers:
         assert "--workers must be positive" in capsys.readouterr().err
         assert main(["engine", "--records", "100", "--keys", "5", "--batch-size", "0"]) == 2
         assert "--batch-size must be positive" in capsys.readouterr().err
+
+    def test_engine_rejects_more_workers_than_shards(self, capsys):
+        # Pre-PR-3 this silently clamped; now the misconfiguration is loud.
+        assert main(
+            ["engine", "--records", "100", "--keys", "5", "--shards", "2", "--workers", "8"]
+        ) == 2
+        assert "--workers 8 exceeds --shards 2" in capsys.readouterr().err
+
+    def test_engine_rejects_resume_workers_beyond_checkpoint_shards(self, capsys, tmp_path):
+        path = str(tmp_path / "engine.ckpt")
+        assert main(["engine", "--records", "500", "--keys", "10", "--shards", "2",
+                     "--checkpoint", path]) == 0
+        capsys.readouterr()
+        assert main(["engine", "--resume", path, "--records", "100", "--keys", "10",
+                     "--workers", "8"]) == 2
+        assert "exceeds the checkpoint's 2 shards" in capsys.readouterr().err
+
+    def test_engine_rejects_resume_workers_beyond_legacy_checkpoint_shards(
+        self, capsys, tmp_path
+    ):
+        # Legacy v1 files carry no manifest to peek at, so the rejection
+        # comes from the post-load fallback check.
+        import pickle
+
+        from repro.engine import SamplerSpec, ShardedEngine
+
+        engine = ShardedEngine(SamplerSpec(window="sequence", n=500, k=4), shards=2, seed=0)
+        engine.ingest([(f"u{i % 5}", i) for i in range(100)])
+        legacy = tmp_path / "legacy.ckpt"
+        legacy.write_bytes(pickle.dumps({
+            "magic": "swsample-engine-checkpoint", "version": 1,
+            "engine": engine.state_dict(),
+        }))
+        assert main(["engine", "--resume", str(legacy), "--records", "100",
+                     "--keys", "5", "--workers", "8"]) == 2
+        assert "exceeds the checkpoint's 2 shards" in capsys.readouterr().err
+
+    def test_engine_rejects_executor_without_workers(self, capsys, monkeypatch):
+        # The classic stdin misconfiguration: a process executor requested
+        # for a streaming ingest but the worker count forgotten — the
+        # executor flag would be silently ignored by a serial engine.
+        lines = io.StringIO(json.dumps(["u1", 1]) + "\n")
+        monkeypatch.setattr(sys, "stdin", lines)
+        assert main(["engine", "--input", "-", "--executor", "process"]) == 2
+        err = capsys.readouterr().err
+        assert "--executor process requires --workers" in err
+
+    def test_engine_process_executor_runs_and_reports(self, capsys):
+        exit_code = main(
+            ["engine", "--records", "2000", "--keys", "20", "--shards", "4",
+             "--workers", "2", "--executor", "process", "--seed", "3"]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "shards          : 4 (2 process workers)" in output
+        assert "live keys       : 20" in output
+
+    def test_engine_process_executor_matches_serial_sample(self, capsys):
+        args = ["engine", "--records", "3000", "--keys", "30", "--shards", "4", "--seed", "6"]
+        assert main(args) == 0
+        serial = capsys.readouterr().out
+        assert main(args + ["--workers", "2", "--executor", "process"]) == 0
+        parallel = capsys.readouterr().out
+        extract = lambda text: [line for line in text.splitlines() if "sample of hottest" in line]
+        assert extract(serial) == extract(parallel)
+
+    def test_engine_process_checkpoint_resume_round_trip(self, capsys, tmp_path):
+        path = str(tmp_path / "engine.ckpt")
+        assert main(["engine", "--records", "2000", "--keys", "20", "--workers", "2",
+                     "--executor", "process", "--checkpoint", path]) == 0
+        assert "segments written" in capsys.readouterr().out
+        assert main(["engine", "--resume", path, "--records", "1000", "--keys", "20",
+                     "--workers", "2", "--executor", "process"]) == 0
+        assert "(20 keys, 2000 records)" in capsys.readouterr().out
 
     def test_engine_ingests_jsonl_file(self, capsys, tmp_path):
         stream = tmp_path / "records.jsonl"

@@ -15,6 +15,7 @@ import pytest
 from repro.engine import (
     KeyedSamplerPool,
     ParallelEngine,
+    ProcessEngine,
     SamplerSpec,
     ShardedEngine,
     load_checkpoint,
@@ -456,5 +457,102 @@ class TestCrashRecovery:
         )
         restored = load_checkpoint(legacy)
         assert restored.state_dict() == engine.state_dict()
-        with pytest.raises(ConfigurationError):
-            load_checkpoint(legacy, workers=2)  # workers need directories
+        # Since PR 3 a legacy file also restores into worker-backed engines
+        # (the v1 envelope carries the same full state a directory does).
+        threaded = load_checkpoint(legacy, workers=2)
+        try:
+            assert isinstance(threaded, ParallelEngine)
+            assert threaded.state_dict() == engine.state_dict()
+        finally:
+            threaded.close()
+
+    def test_unknown_executor_is_rejected(self, tmp_path):
+        engine = make_engine()
+        engine.append("a", 1)
+        path = tmp_path / "engine.ckpt"
+        write_checkpoint(engine, path)
+        with pytest.raises(ConfigurationError, match="executor"):
+            load_checkpoint(path, workers=2, executor="greenlet")
+
+
+#: (loader kwargs, expected engine class) — the serial/thread/process axis
+#: of the restore matrix.
+RESTORE_TARGETS = [
+    pytest.param({}, ShardedEngine, id="serial"),
+    pytest.param({"workers": 2}, ParallelEngine, id="thread"),
+    pytest.param({"workers": 2, "executor": "process"}, ProcessEngine, id="process"),
+]
+
+
+class TestMixedRestoreMatrix:
+    """Every checkpoint format loads into every engine flavour.
+
+    Two formats (the PR-1 v1 single-file pickle and the PR-2 directory
+    layout) × three targets (serial, thread workers, process workers) ×
+    the paper's four optimal samplers — all 24 paths must restore the
+    identical fleet, because operators upgrade executors and formats at
+    different times.
+    """
+
+    @staticmethod
+    def _write_legacy(engine, path):
+        path.write_bytes(
+            pickle.dumps(
+                {
+                    "magic": "swsample-engine-checkpoint",
+                    "version": 1,
+                    "engine": engine.state_dict(),
+                }
+            )
+        )
+        return path
+
+    @pytest.mark.parametrize("spec", OPTIMAL_SPECS)
+    @pytest.mark.parametrize("loader_kwargs,engine_class", RESTORE_TARGETS)
+    def test_directory_checkpoint_loads_into_every_flavour(
+        self, spec, loader_kwargs, engine_class, tmp_path
+    ):
+        engine = make_engine(spec=spec)
+        engine.ingest(spec_records(spec, 2_000))
+        path = tmp_path / "engine.ckpt"
+        write_checkpoint(engine, path)
+        restored = load_checkpoint(path, **loader_kwargs)
+        try:
+            assert isinstance(restored, engine_class)
+            assert restored.state_dict() == engine.state_dict()
+        finally:
+            if loader_kwargs:
+                restored.close()
+
+    @pytest.mark.parametrize("spec", OPTIMAL_SPECS)
+    @pytest.mark.parametrize("loader_kwargs,engine_class", RESTORE_TARGETS)
+    def test_legacy_v1_file_loads_into_every_flavour(
+        self, spec, loader_kwargs, engine_class, tmp_path
+    ):
+        engine = make_engine(spec=spec)
+        engine.ingest(spec_records(spec, 2_000))
+        legacy = self._write_legacy(engine, tmp_path / "legacy.ckpt")
+        restored = load_checkpoint(legacy, **loader_kwargs)
+        try:
+            assert isinstance(restored, engine_class)
+            assert restored.state_dict() == engine.state_dict()
+        finally:
+            if loader_kwargs:
+                restored.close()
+
+    def test_restored_flavours_continue_identically(self, tmp_path):
+        """The upgrade path end to end: a serial v1 snapshot restored into a
+        process fleet keeps drawing the randomness the serial engine would
+        have drawn."""
+        spec = SamplerSpec(window="sequence", n=40, k=4, replacement=True)
+        engine = make_engine(spec=spec)
+        engine.ingest(spec_records(spec, 2_000))
+        legacy = self._write_legacy(engine, tmp_path / "legacy.ckpt")
+        suffix = spec_records(spec, 600, seed=9)
+        restored = load_checkpoint(legacy, workers=2, executor="process")
+        try:
+            restored.ingest(suffix)
+            engine.ingest(suffix)
+            assert restored.state_dict() == engine.state_dict()
+        finally:
+            restored.close()

@@ -156,6 +156,29 @@ class TestBackpressureAndBarrier:
             engine.flush()
             assert engine.total_arrivals == 1
 
+    def test_checkpoint_of_failed_fleet_is_a_checkpoint_error(self, monkeypatch, tmp_path):
+        # Same contract as ProcessEngine: a save that cannot happen is a
+        # CheckpointError to its caller, whichever executor runs the fleet.
+        from repro.engine import write_checkpoint
+        from repro.exceptions import CheckpointError
+
+        engine = ParallelEngine(SEQ_SPEC, shards=2, workers=2, seed=3)
+        try:
+            monkeypatch.setattr(
+                engine._pools[0], "append", lambda *args: (_ for _ in ()).throw(RuntimeError("boom"))
+            )
+            monkeypatch.setattr(
+                engine._pools[1], "append", lambda *args: (_ for _ in ()).throw(RuntimeError("boom"))
+            )
+            engine.ingest([("a", 1), ("b", 2)])
+            with pytest.raises(CheckpointError):
+                write_checkpoint(engine, tmp_path / "engine.ckpt")
+        finally:
+            try:
+                engine.close()
+            except ExecutorError:
+                pass
+
     def test_worker_failure_surfaces_and_sticks(self, monkeypatch):
         engine = ParallelEngine(SEQ_SPEC, shards=2, workers=2, seed=3)
         try:
