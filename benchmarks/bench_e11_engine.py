@@ -17,10 +17,16 @@ checkpoint serialisation — and, since PR 2, the two scaling layers:
 * a **process-workers sweep** over :class:`repro.engine.ProcessEngine`
   (1/2/4 worker processes).  Process workers *do* clear the GIL — sampler
   updates run on real cores — but only when cores exist: on a single-core
-  container the sweep is flat and pays record-pickling freight on top, so
-  each run prints the detected core count next to its throughput.  The
+  container the sweep is flat, so each run prints the detected core count
+  *and* the per-stage transport breakdown (encode / dispatch / decode /
+  apply seconds from :meth:`ProcessEngine.transport_report`) next to its
+  throughput — the caveat comes with numbers, not just a caption.  The
   safety net stays the same: the process fleet must be bit-identical to
   the serial fleet.
+* a **batched-path comparison**: the serial 1M-record ingest through the
+  per-record reference loop, the grouped batched path (bit-identical), and
+  the ``fast=True`` skip-sampling path — the three numbers
+  ``benchmarks/record.py`` tracks in ``BENCH_E11.json``.
 * **incremental checkpoints**: a second save after touching ~1% of keys
   (clustered on ≤10% of shards) must rewrite ≤10% of the shard segments.
 
@@ -88,6 +94,27 @@ def test_e11_engine_ingest_1m_records(benchmark, records):
         f"{engine.shards} shards, fleet memory {engine.memory_words():,} words "
         f"(~{engine.memory_words() // engine.key_count} words/key)"
     )
+
+
+def test_e11_engine_fast_ingest_1m_records(benchmark, records):
+    """The same fleet with ``SamplerSpec(fast=True)``: skip-sampling ingest.
+
+    Not bit-identical to the default path (by design), so the assertion is
+    structural: same arrivals, same keys, valid per-key samples.  The
+    statistical guarantees are gated in ``tests/test_batched_ingest.py``.
+    """
+
+    def ingest():
+        spec = SamplerSpec(window="sequence", n=256, k=4, replacement=True, fast=True)
+        engine = ShardedEngine(spec, shards=SHARDS, seed=3)
+        engine.ingest(records)
+        return engine
+
+    engine = benchmark.pedantic(ingest, rounds=1, iterations=1, warmup_rounds=0)
+    assert engine.total_arrivals >= 1_000_000
+    assert engine.key_count >= 10_000
+    assert len(engine.sample(0)) == 4
+    benchmark.extra_info["fast"] = True
 
 
 @pytest.fixture(scope="module")
@@ -165,22 +192,33 @@ def test_e11_process_ingest_workers_sweep(benchmark, records, workers):
         with ProcessEngine(_spec(), shards=SHARDS, seed=3, workers=workers) as engine:
             engine.ingest(records)
             engine.flush()
-            return engine.total_arrivals
+            return engine.total_arrivals, engine.transport_report()
 
-    arrivals = benchmark.pedantic(ingest, rounds=1, iterations=1, warmup_rounds=0)
+    arrivals, report = benchmark.pedantic(ingest, rounds=1, iterations=1, warmup_rounds=0)
     assert arrivals >= 1_000_000
     cores = os.cpu_count() or 1
     benchmark.extra_info["workers"] = workers
     benchmark.extra_info["executor"] = "process"
     benchmark.extra_info["cores"] = cores
+    for stage in ("encode_seconds", "dispatch_seconds", "decode_seconds", "apply_seconds"):
+        benchmark.extra_info[stage] = round(report[stage], 3)
+    benchmark.extra_info["encoded_bytes_per_record"] = round(
+        report["encoded_bytes"] / report["records"], 2
+    )
     print(
         f"\n[E11] process sweep: workers={workers} on {cores} core(s) — "
         + (
-            "single-core host: expect a flat sweep (no CPU parallelism to"
-            " claim; numbers measure dispatch + pickling overhead)"
+            "single-core host: expect a flat sweep (no CPU parallelism to claim)"
             if cores == 1
             else "multi-core host: sampler updates run concurrently"
         )
+    )
+    print(
+        f"[E11]   stages: encode {report['encode_seconds']:.2f}s"
+        f" | dispatch {report['dispatch_seconds']:.2f}s (incl. backpressure)"
+        f" | decode {report['decode_seconds']:.2f}s"
+        f" | apply {report['apply_seconds']:.2f}s (summed over workers)"
+        f" | {report['encoded_bytes'] / report['records']:.1f} B/rec on the wire"
     )
 
 

@@ -88,6 +88,38 @@ Three layers take the engine from one thread and one pickle to fleet scale:
 3
 [3, 1, 3, 3]
 
+Performance
+-----------
+The ingest hot path is batched at every layer, with the per-element code
+kept only as the reference semantics:
+
+* **Samplers** expose ``process_batch(values, timestamps)``.  The default
+  mode hoists attribute lookups and generator bindings out of the inner
+  loop while consuming randomness exactly like an ``append`` loop — states,
+  samples and checkpoints are bit-identical.  Constructing a sampler (or a
+  :class:`~repro.engine.SamplerSpec`) with ``fast=True`` switches the
+  sequence samplers to skip-counting (the Vitter Algorithm-Z lineage): one
+  geometric skip per reservoir *acceptance* instead of one coin per
+  element — distributionally exact (gated by χ² and KS suites), but not
+  bit-identical, and rejected by the baseline algorithms.
+* **Engines** group each ingest batch per key in a single pass (hashing
+  each distinct key once per chunk) and feed every key's run through its
+  sampler's batched path; engines with an eviction policy fall back to
+  per-record routing so LRU/TTL decisions never change.  Worker-backed
+  engines apply the same grouping inside each shard worker.
+* **Process transport** packs each dispatched sub-batch into one columnar
+  struct-packed buffer (:mod:`repro.engine.transport`) instead of pickling
+  tuple lists — roughly half the bytes per record on typical int-keyed
+  feeds — and :meth:`~repro.engine.ProcessEngine.transport_report` breaks
+  ingest cost into encode / dispatch / decode / apply stages.
+
+The measured trajectory lives in ``BENCH_E7.json`` / ``BENCH_E11.json`` at
+the repo root, written by ``benchmarks/record.py`` (per-sampler and
+fleet-scale throughput for the per-record, batched and fast paths, plus
+transport bytes/record; see that module's docstring for how to read and
+regenerate them).  CI's ``bench-smoke`` job fails on a >25% regression of
+any guarded metric against those committed baselines.
+
 Quickstart
 ----------
 >>> from repro import sliding_window_sampler

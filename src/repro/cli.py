@@ -79,6 +79,17 @@ def build_parser() -> argparse.ArgumentParser:
         " or 'process' (shards resident in worker processes — scales across cores)",
     )
     engine_parser.add_argument(
+        "--max-batch", type=int, default=None, metavar="N",
+        help="records per sub-batch dispatched to each shard worker (requires"
+        " --workers; default 4096)",
+    )
+    engine_parser.add_argument(
+        "--fast", action="store_true",
+        help="use the skip-sampling batched ingest path (optimal algorithm only:"
+        " geometric skips instead of per-element coins; statistically exact but"
+        " not bit-identical to the default path)",
+    )
+    engine_parser.add_argument(
         "--input", metavar="PATH",
         help="stream JSONL records from PATH ('-' for stdin) instead of a synthetic workload;"
         ' lines are {"key":..., "value":..., "timestamp":...} objects or [key, value, ts] arrays',
@@ -176,6 +187,24 @@ def _command_engine(args: argparse.Namespace) -> int:
     if args.batch_size <= 0:
         print("error: --batch-size must be positive", file=sys.stderr)
         return 2
+    if args.max_batch is not None:
+        if args.max_batch <= 0:
+            print("error: --max-batch must be positive", file=sys.stderr)
+            return 2
+        if workers is None:
+            print(
+                "error: --max-batch requires --workers N (the serial engine"
+                " applies batches directly, without dispatch sub-batching)",
+                file=sys.stderr,
+            )
+            return 2
+    if args.fast and args.resume:
+        print(
+            "error: --fast cannot be combined with --resume (the sampler recipe"
+            " travels inside the checkpoint and must be restored unchanged)",
+            file=sys.stderr,
+        )
+        return 2
     if args.resume:
         # Validate the worker count against the manifest before paying for
         # the restore; legacy single-file checkpoints (shard count unknown
@@ -190,7 +219,9 @@ def _command_engine(args: argparse.Namespace) -> int:
                 )
                 return 2
         try:
-            engine = load_checkpoint(args.resume, workers=workers, executor=executor)
+            engine = load_checkpoint(
+                args.resume, workers=workers, executor=executor, max_batch=args.max_batch
+            )
         except (OSError, ConfigurationError) as error:
             print(f"error: cannot resume from {args.resume}: {error}", file=sys.stderr)
             return 2
@@ -211,14 +242,20 @@ def _command_engine(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return 2
-        spec = SamplerSpec(
-            window=args.window,
-            k=args.k,
-            n=args.n if args.window == "sequence" else None,
-            t0=args.t0 if args.window == "timestamp" else None,
-            replacement=not args.without_replacement,
-            algorithm=args.algorithm,
-        )
+        try:
+            spec = SamplerSpec(
+                window=args.window,
+                k=args.k,
+                n=args.n if args.window == "sequence" else None,
+                t0=args.t0 if args.window == "timestamp" else None,
+                replacement=not args.without_replacement,
+                algorithm=args.algorithm,
+                fast=args.fast,
+            )
+        except ConfigurationError as error:
+            # e.g. --fast with a baseline algorithm: fail loudly up front.
+            print(f"error: {error}", file=sys.stderr)
+            return 2
         config = dict(
             shards=args.shards,
             seed=args.seed,
@@ -227,6 +264,8 @@ def _command_engine(args: argparse.Namespace) -> int:
         )
         if workers is not None:
             engine_class = ProcessEngine if executor == "process" else ParallelEngine
+            if args.max_batch is not None:
+                config["max_batch"] = args.max_batch
             engine = engine_class(spec, workers=workers, **config)
         else:
             engine = ShardedEngine(spec, **config)

@@ -26,9 +26,9 @@ The uniform contract:
 from __future__ import annotations
 
 import abc
-from typing import Any, Dict, Iterable, Iterator, List, Optional
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence
 
-from ..exceptions import ConfigurationError
+from ..exceptions import ConfigurationError, StreamOrderError
 from ..streams.element import StreamElement
 from .serialization import STATE_FORMAT, require_state_fields
 from .tracking import CandidateObserver, SampleCandidate, notify_arrival
@@ -38,7 +38,66 @@ __all__ = [
     "SequenceWindowSampler",
     "TimestampWindowSampler",
     "candidate_to_element",
+    "check_batch_lengths",
+    "coerce_batch_timestamps",
 ]
+
+
+def check_batch_lengths(
+    values: Sequence[Any], timestamps: Optional[Sequence[Optional[float]]]
+) -> None:
+    """Reject a batch whose timestamp column does not match its values.
+
+    Shared by every ``process_batch`` implementation so the misuse fails
+    loudly and identically everywhere, instead of a silent ``zip``
+    truncation (base path) or a bare ``IndexError`` (batched paths).
+    """
+    if timestamps is not None and len(timestamps) != len(values):
+        raise ConfigurationError(
+            f"process_batch timestamps must match values in length:"
+            f" {len(timestamps)} != {len(values)}"
+        )
+
+
+def coerce_batch_timestamps(
+    count: int,
+    timestamps: Optional[Sequence[Optional[float]]],
+    now: float,
+) -> List[float]:
+    """Validate and normalise one batch's timestamps for a clocked sampler.
+
+    Applies the per-element ``append`` contract to a whole batch: a missing
+    timestamp means "now" (zero before any timestamped element), explicit
+    timestamps must be numeric and non-decreasing starting from the
+    sampler's current clock ``now``.  Unlike the per-element path, the whole
+    batch is validated *before* any element is applied, so a mid-batch
+    :class:`~repro.exceptions.StreamOrderError` leaves the sampler untouched.
+    """
+    stamps = [0.0] * count
+    previous = now
+    if timestamps is None:
+        fill = previous if previous != float("-inf") else 0.0
+        for position in range(count):
+            stamps[position] = fill
+        return stamps
+    for position in range(count):
+        raw = timestamps[position]
+        if raw is None:
+            ts = previous if previous != float("-inf") else 0.0
+        else:
+            try:
+                ts = float(raw)
+            except (TypeError, ValueError):
+                raise ConfigurationError(
+                    f"batch timestamp must be a number, got {raw!r}"
+                ) from None
+            if ts < previous:
+                raise StreamOrderError(
+                    f"timestamps must be non-decreasing: {ts} < {previous}"
+                )
+        stamps[position] = ts
+        previous = ts
+    return stamps
 
 
 def candidate_to_element(candidate: SampleCandidate) -> StreamElement:
@@ -110,6 +169,36 @@ class WindowSampler(abc.ABC):
                 self.append(element.value, element.timestamp)
             else:
                 self.append(element)
+
+    def process_batch(
+        self,
+        values: Sequence[Any],
+        timestamps: Optional[Sequence[Optional[float]]] = None,
+    ) -> int:
+        """Append a whole batch of elements; returns the number appended.
+
+        ``values`` is a sequence of payloads; ``timestamps`` is either
+        ``None`` (every element uses the per-element default) or a sequence
+        of the same length whose entries may individually be ``None``.
+
+        This base implementation simply loops :meth:`append`; the optimal
+        samplers override it with a batched fast path that hoists attribute
+        lookups out of the inner loop and — with ``fast=True`` at
+        construction — replaces per-element coin flips with geometric skip
+        draws.  The default (``fast=False``) overrides are **bit-identical**
+        to the equivalent ``append`` loop: same retained candidates, same
+        generator positions, same checkpoints.
+        """
+        check_batch_lengths(values, timestamps)
+        if timestamps is None:
+            append = self.append
+            for value in values:
+                append(value)
+        else:
+            append = self.append
+            for value, timestamp in zip(values, timestamps):
+                append(value, timestamp)
+        return len(values)
 
     # -- sampling ----------------------------------------------------------
 

@@ -80,6 +80,7 @@ def sliding_window_sampler(
     algorithm: str = "optimal",
     rng: RngLike = None,
     observer: Optional[CandidateObserver] = None,
+    fast: bool = False,
     **kwargs: Any,
 ) -> WindowSampler:
     """Create a sliding-window sampler.
@@ -103,6 +104,12 @@ def sliding_window_sampler(
     observer:
         Optional :class:`~repro.core.tracking.CandidateObserver` for the
         Section-5 applications.
+    fast:
+        Enable the skip-sampling batched ingest mode on the optimal samplers
+        (``process_batch`` draws geometric skips instead of per-element
+        coins — distributionally exact, but not bit-identical to the default
+        path).  Baselines do not support it and raise
+        :class:`~repro.exceptions.ConfigurationError`.
     kwargs:
         Extra keyword arguments passed to the concrete sampler (for example
         ``allow_partial`` or a baseline's over-sampling factor).
@@ -121,9 +128,14 @@ def sliding_window_sampler(
     if algorithm == "optimal":
         sampler_class = _optimal_sampler_class(window, replacement)
         if window == "sequence":
-            return sampler_class(n=n, k=k, rng=rng, observer=observer, **kwargs)
-        return sampler_class(t0=t0, k=k, rng=rng, observer=observer, **kwargs)
+            return sampler_class(n=n, k=k, rng=rng, observer=observer, fast=fast, **kwargs)
+        return sampler_class(t0=t0, k=k, rng=rng, observer=observer, fast=fast, **kwargs)
 
+    if fast:
+        raise ConfigurationError(
+            f"fast (skip-sampling) batched ingest is only supported by the optimal"
+            f" samplers, not by algorithm={algorithm!r}"
+        )
     baselines = _baseline_classes()
     if algorithm == "chain":
         if window != "sequence" or not replacement:

@@ -21,8 +21,9 @@ randomness.
 
 from __future__ import annotations
 
+import math
 import random
-from typing import Any, Dict, Iterator, List, Optional
+from typing import Any, Dict, Iterator, List, Optional, Sequence
 
 from ..exceptions import ConfigurationError, EmptyWindowError
 from ..memory import MemoryMeter, WORD_MODEL
@@ -39,6 +40,20 @@ from .serialization import (
 from .tracking import CandidateObserver, SampleCandidate
 
 __all__ = ["SingleReservoir", "ReservoirWithoutReplacement"]
+
+
+def _slice_timestamp(
+    timestamps: Optional[Sequence[Optional[float]]], position: int, index: int
+) -> float:
+    """Resolve one element's timestamp inside a batched offer.
+
+    Mirrors the sequence samplers' ``append`` contract: a missing timestamp
+    defaults to the element's arrival index.
+    """
+    if timestamps is None:
+        return float(index)
+    raw = timestamps[position]
+    return float(index) if raw is None else float(raw)
 
 
 class SingleReservoir:
@@ -84,6 +99,85 @@ class SingleReservoir:
         self._candidate = candidate
         if self._observer is not None:
             self._observer.on_select(candidate)
+
+    def offer_slice(
+        self,
+        values: Sequence[Any],
+        base_index: int,
+        lo: int,
+        hi: int,
+        timestamps: Optional[Sequence[Optional[float]]] = None,
+        fast: bool = False,
+    ) -> None:
+        """Offer ``values[lo:hi]`` (stream indexes ``base_index + lo`` on) in
+        one call — the batched form of :meth:`offer`.
+
+        The default mode consumes the generator exactly like per-element
+        :meth:`offer` calls would (one coin per offer), so the resulting
+        state — candidate, count *and* generator position — is bit-identical
+        to the per-element path.  ``fast=True`` instead draws one inverse-CDF
+        skip per *acceptance* (Vitter's skip-counting idea specialised to
+        k = 1: the next accepted offer number is ``ceil(m / u)`` for
+        ``u ~ U(0, 1)``), which is distributionally exact but advances the
+        generator differently.  A redrawn skip that overshoots the slice is
+        simply discarded: the conditional law of the next acceptance given
+        "none so far" is the fresh-draw law, so per-slice redraws stay exact.
+
+        With an observer attached the per-element path is used regardless of
+        ``fast`` so selection/discard notifications keep firing.
+        """
+        if self._observer is not None:
+            for position in range(lo, hi):
+                index = base_index + position
+                self.offer(values[position], index, _slice_timestamp(timestamps, position, index))
+            return
+        rng_random = self._rng.random
+        count = self._count
+        candidate = self._candidate
+        if fast:
+            position = lo
+            if count == 0 and position < hi:
+                # The first offer is accepted with probability 1/1.
+                index = base_index + position
+                candidate = SampleCandidate(
+                    value=values[position],
+                    index=index,
+                    timestamp=_slice_timestamp(timestamps, position, index),
+                )
+                count = 1
+                position += 1
+            ceil = math.ceil
+            while position < hi:
+                u = rng_random()
+                if u <= 0.0:
+                    count += hi - position
+                    break
+                accept_at = ceil(count / u)  # offer number of the next acceptance
+                target = position + (accept_at - count - 1)  # its slice position
+                if target >= hi:
+                    count += hi - position  # whole remainder skipped
+                    break
+                count = accept_at
+                position = target
+                index = base_index + position
+                candidate = SampleCandidate(
+                    value=values[position],
+                    index=index,
+                    timestamp=_slice_timestamp(timestamps, position, index),
+                )
+                position += 1
+        else:
+            for position in range(lo, hi):
+                count += 1
+                if rng_random() < 1.0 / count:
+                    index = base_index + position
+                    candidate = SampleCandidate(
+                        value=values[position],
+                        index=index,
+                        timestamp=_slice_timestamp(timestamps, position, index),
+                    )
+        self._count = count
+        self._candidate = candidate
 
     def sample(self) -> SampleCandidate:
         """The current uniform sample of all offered elements."""
@@ -183,6 +277,114 @@ class ReservoirWithoutReplacement:
                 self._observer.on_discard(self._slots[victim])
                 self._observer.on_select(candidate)
             self._slots[victim] = candidate
+
+    def offer_slice(
+        self,
+        values: Sequence[Any],
+        base_index: int,
+        lo: int,
+        hi: int,
+        timestamps: Optional[Sequence[Optional[float]]] = None,
+        fast: bool = False,
+    ) -> None:
+        """Offer ``values[lo:hi]`` (stream indexes ``base_index + lo`` on) in
+        one call — the batched form of :meth:`offer`.
+
+        The default mode consumes the generator exactly like per-element
+        :meth:`offer` calls (one coin per offer past the fill phase, plus one
+        victim draw per acceptance), so the resulting state is bit-identical
+        to the per-element path.  ``fast=True`` draws one skip per
+        *acceptance* instead (the skip-counting of Vitter's Algorithm Z
+        lineage): the number of rejected offers before the next acceptance
+        has survival function ``q(j) = prod_{i=m+1}^{j} (1 - k/i)``, inverted
+        here by an exponential-then-binary search on its log-gamma closed
+        form.  Distributionally exact, but the generator advances
+        differently.  Skips that overshoot the slice are discarded, which is
+        exact because the skip law is memoryless across redraws.
+
+        With an observer attached the per-element path is used regardless of
+        ``fast`` so selection/discard notifications keep firing.
+        """
+        if self._observer is not None:
+            for position in range(lo, hi):
+                index = base_index + position
+                self.offer(values[position], index, _slice_timestamp(timestamps, position, index))
+            return
+        slots = self._slots
+        k = self._k
+        count = self._count
+        position = lo
+        # Fill phase: the first k offers enter without randomness, exactly as
+        # in :meth:`offer`.
+        while position < hi and len(slots) < k:
+            count += 1
+            index = base_index + position
+            slots.append(
+                SampleCandidate(
+                    value=values[position],
+                    index=index,
+                    timestamp=_slice_timestamp(timestamps, position, index),
+                )
+            )
+            position += 1
+        if position >= hi:
+            # The slice ended inside the fill phase (count may still be < k,
+            # where the survival function below is undefined).
+            self._count = count
+            return
+        rng_random = self._rng.random
+        randrange = self._rng.randrange
+        if fast:
+            log = math.log
+            lgamma = math.lgamma
+            # G(x) = ln Gamma(x+1-k) - ln Gamma(x+1); q(j) = exp(G(j) - G(m)).
+            g_count = lgamma(count + 1 - k) - lgamma(count + 1)
+            while position < hi:
+                u = rng_random()
+                if u <= 0.0:
+                    count += hi - position
+                    break
+                target_log = g_count + log(u)
+                # Smallest j > count with G(j) < target_log: exponential
+                # bracketing then bisection (G is strictly decreasing).
+                low = count
+                high = count + 1
+                step = 1
+                while lgamma(high + 1 - k) - lgamma(high + 1) >= target_log:
+                    low = high
+                    step += step
+                    high = count + step
+                while high - low > 1:
+                    mid = (low + high) >> 1
+                    if lgamma(mid + 1 - k) - lgamma(mid + 1) >= target_log:
+                        low = mid
+                    else:
+                        high = mid
+                target = position + (high - count - 1)  # slice position of acceptance
+                if target >= hi:
+                    count += hi - position  # whole remainder skipped
+                    break
+                count = high
+                position = target
+                index = base_index + position
+                slots[randrange(k)] = SampleCandidate(
+                    value=values[position],
+                    index=index,
+                    timestamp=_slice_timestamp(timestamps, position, index),
+                )
+                position += 1
+                g_count = lgamma(count + 1 - k) - lgamma(count + 1)
+        else:
+            for position in range(position, hi):
+                count += 1
+                if rng_random() < k / count:
+                    index = base_index + position
+                    slots[randrange(k)] = SampleCandidate(
+                        value=values[position],
+                        index=index,
+                        timestamp=_slice_timestamp(timestamps, position, index),
+                    )
+        self._count = count
 
     def sample(self) -> List[SampleCandidate]:
         """The current uniform k-subset (or everything, if count < k)."""

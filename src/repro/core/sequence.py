@@ -22,12 +22,12 @@ and never fail: a valid sample is available whenever the window is non-empty.
 from __future__ import annotations
 
 import random
-from typing import Any, Dict, Iterator, List, Optional
+from typing import Any, Dict, Iterator, List, Optional, Sequence
 
 from ..exceptions import ConfigurationError, EmptyWindowError
 from ..memory import MemoryMeter, WORD_MODEL
 from ..rng import RngLike, ensure_rng, spawn
-from .base import SequenceWindowSampler
+from .base import SequenceWindowSampler, check_batch_lengths
 from .reservoir import ReservoirWithoutReplacement, SingleReservoir
 from .serialization import (
     decode_candidate,
@@ -133,9 +133,11 @@ class SequenceSamplerWR(SequenceWindowSampler):
         k: int = 1,
         rng: RngLike = None,
         observer: Optional[CandidateObserver] = None,
+        fast: bool = False,
     ) -> None:
         super().__init__(n, k, observer)
         root = ensure_rng(rng)
+        self._fast = bool(fast)
         self._lanes = [_SingleSampleLane(spawn(root, lane), observer) for lane in range(self._k)]
         self._query_rng = spawn(root, self._k + 1)
 
@@ -149,6 +151,46 @@ class SequenceSamplerWR(SequenceWindowSampler):
             lane.offer(value, index, ts, bucket)
         self._arrivals += 1
         self._notify_arrival(value, index, ts)
+
+    def process_batch(
+        self,
+        values: Sequence[Any],
+        timestamps: Optional[Sequence[Optional[float]]] = None,
+    ) -> int:
+        """Batched :meth:`append`: lane-major, with per-bucket slices.
+
+        Each lane owns an independent generator, so feeding the whole batch
+        through lane 0, then lane 1, ... consumes every generator exactly as
+        the element-major ``append`` loop would — the default path is
+        bit-identical to it.  With ``fast=True`` each lane's reservoir draws
+        geometric skips instead of per-element coins (see
+        :meth:`SingleReservoir.offer_slice`).  Observer-carrying samplers
+        fall back to the per-element loop so arrival notifications keep
+        their element-major order.
+        """
+        check_batch_lengths(values, timestamps)
+        count = len(values)
+        if count == 0:
+            return 0
+        if self._observer is not None:
+            return super().process_batch(values, timestamps)
+        n = self._n
+        start = self._arrivals
+        fast = self._fast
+        for lane in self._lanes:
+            position = 0
+            while position < count:
+                index = start + position
+                bucket = index // n
+                if lane.partial_bucket is None:
+                    lane.partial_bucket = bucket
+                elif bucket != lane.partial_bucket:
+                    lane.roll_over(bucket)
+                segment_end = min(count, position + n - index % n)
+                lane.partial.offer_slice(values, start, position, segment_end, timestamps, fast)
+                position = segment_end
+        self._arrivals = start + count
+        return count
 
     # -- sampling -----------------------------------------------------------
 
@@ -238,10 +280,12 @@ class SequenceSamplerWOR(SequenceWindowSampler):
         rng: RngLike = None,
         observer: Optional[CandidateObserver] = None,
         allow_partial: bool = True,
+        fast: bool = False,
     ) -> None:
         super().__init__(n, k, observer)
         root = ensure_rng(rng)
         self._allow_partial = bool(allow_partial)
+        self._fast = bool(fast)
         self._reservoir_rng = spawn(root, 0)
         self._query_rng = spawn(root, 1)
         self._active_slots: List[SampleCandidate] = []
@@ -262,6 +306,42 @@ class SequenceSamplerWOR(SequenceWindowSampler):
         self._partial.offer(value, index, ts)
         self._arrivals += 1
         self._notify_arrival(value, index, ts)
+
+    def process_batch(
+        self,
+        values: Sequence[Any],
+        timestamps: Optional[Sequence[Optional[float]]] = None,
+    ) -> int:
+        """Batched :meth:`append` over per-bucket slices of the batch.
+
+        The default path is bit-identical to the ``append`` loop (same coins,
+        same victims, same generator position); ``fast=True`` switches the
+        bucket reservoir to skip-counting (see
+        :meth:`ReservoirWithoutReplacement.offer_slice`).  Observer-carrying
+        samplers fall back to the per-element loop.
+        """
+        check_batch_lengths(values, timestamps)
+        count = len(values)
+        if count == 0:
+            return 0
+        if self._observer is not None:
+            return super().process_batch(values, timestamps)
+        n = self._n
+        start = self._arrivals
+        fast = self._fast
+        position = 0
+        while position < count:
+            index = start + position
+            bucket = index // n
+            if self._partial_bucket is None:
+                self._partial_bucket = bucket
+            elif bucket != self._partial_bucket:
+                self._roll_over(bucket)
+            segment_end = min(count, position + n - index % n)
+            self._partial.offer_slice(values, start, position, segment_end, timestamps, fast)
+            position = segment_end
+        self._arrivals = start + count
+        return count
 
     def _roll_over(self, new_bucket: int) -> None:
         if self._observer is not None:

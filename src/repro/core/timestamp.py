@@ -18,12 +18,12 @@ paper's improvement over priority sampling.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterator, List, Optional
+from typing import Any, Dict, Iterator, List, Optional, Sequence
 
 from ..exceptions import ConfigurationError, EmptyWindowError, StreamOrderError
 from ..memory import MemoryMeter, WORD_MODEL
 from ..rng import RngLike, ensure_rng, spawn
-from .base import TimestampWindowSampler
+from .base import TimestampWindowSampler, check_batch_lengths, coerce_batch_timestamps
 from .covering import WindowCoverage, estimate_active_count
 from .serialization import decode_rng_into, encode_rng, require_state_fields
 from .tracking import CandidateObserver, SampleCandidate
@@ -50,9 +50,14 @@ class TimestampSamplerWR(TimestampWindowSampler):
         k: int = 1,
         rng: RngLike = None,
         observer: Optional[CandidateObserver] = None,
+        fast: bool = False,
     ) -> None:
         super().__init__(t0, k, observer)
         root = ensure_rng(rng)
+        #: Accepted for API symmetry with the sequence samplers; the covering
+        #: automata have no per-element coin to skip, so the batched path is
+        #: the same (bit-identical) one either way.
+        self._fast = bool(fast)
         self._coverages = [WindowCoverage(self._t0, spawn(root, lane), observer) for lane in range(self._k)]
         self._query_rng = spawn(root, self._k + 1)
         self._now = float("-inf")
@@ -85,6 +90,35 @@ class TimestampSamplerWR(TimestampWindowSampler):
             coverage.observe(value, index, ts)
         self._arrivals += 1
         self._notify_arrival(value, index, ts)
+
+    def process_batch(
+        self,
+        values: Sequence[Any],
+        timestamps: Optional[Sequence[Optional[float]]] = None,
+    ) -> int:
+        """Batched :meth:`append`: timestamps are validated up front, then the
+        batch is fed lane-major (each covering automaton owns an independent
+        generator, so the result is bit-identical to the ``append`` loop).
+
+        Unlike per-element appends, an out-of-order timestamp raises
+        *before* any element is applied.  Observer-carrying samplers fall
+        back to the per-element loop.
+        """
+        check_batch_lengths(values, timestamps)
+        count = len(values)
+        if count == 0:
+            return 0
+        if self._observer is not None:
+            return super().process_batch(values, timestamps)
+        stamps = coerce_batch_timestamps(count, timestamps, self._now)
+        start = self._arrivals
+        for coverage in self._coverages:
+            observe = coverage.observe
+            for position in range(count):
+                observe(values[position], start + position, stamps[position])
+        self._now = stamps[-1]
+        self._arrivals = start + count
+        return count
 
     # -- sampling -------------------------------------------------------------------
 

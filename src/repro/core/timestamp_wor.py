@@ -20,12 +20,12 @@ lower bound of Gemulla and Lehner for timestamp windows.
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Deque, Dict, Iterator, List, Optional
+from typing import Any, Deque, Dict, Iterator, List, Optional, Sequence
 
 from ..exceptions import ConfigurationError, EmptyWindowError, InsufficientSampleError, StreamOrderError
 from ..memory import MemoryMeter, WORD_MODEL
 from ..rng import RngLike, ensure_rng, spawn
-from .base import TimestampWindowSampler
+from .base import TimestampWindowSampler, check_batch_lengths, coerce_batch_timestamps
 from .covering import WindowCoverage, estimate_active_count
 from .reduction import build_k_sample
 from .serialization import (
@@ -60,10 +60,15 @@ class TimestampSamplerWOR(TimestampWindowSampler):
         rng: RngLike = None,
         observer: Optional[CandidateObserver] = None,
         allow_partial: bool = True,
+        fast: bool = False,
     ) -> None:
         super().__init__(t0, k, observer)
         root = ensure_rng(rng)
         self._allow_partial = bool(allow_partial)
+        #: Accepted for API symmetry with the sequence samplers; the covering
+        #: automata have no per-element coin to skip, so the batched path is
+        #: the same (bit-identical) one either way.
+        self._fast = bool(fast)
         # Coverage i receives elements delayed by i arrivals (Lemma 4.1).
         self._coverages = [WindowCoverage(self._t0, spawn(root, lane), observer) for lane in range(self._k)]
         self._query_rng = spawn(root, self._k + 1)
@@ -111,6 +116,50 @@ class TimestampSamplerWOR(TimestampWindowSampler):
             coverage.observe(delayed.value, delayed.index, delayed.timestamp)
         self._arrivals += 1
         self._notify_arrival(value, index, ts)
+
+    def process_batch(
+        self,
+        values: Sequence[Any],
+        timestamps: Optional[Sequence[Optional[float]]] = None,
+    ) -> int:
+        """Batched :meth:`append` for the delayed-copies construction.
+
+        Copy ``i`` observes element ``index - i`` at every arrival, so the
+        batch is fed lane-major against a materialised view of the auxiliary
+        array's evolution (old buffer + batch): each coverage automaton owns
+        an independent generator and sees exactly the per-element sequence,
+        making the result bit-identical to the ``append`` loop.  Timestamps
+        are validated up front (an out-of-order one raises before any element
+        is applied); observer-carrying samplers fall back to the per-element
+        loop.
+        """
+        check_batch_lengths(values, timestamps)
+        count = len(values)
+        if count == 0:
+            return 0
+        if self._observer is not None:
+            return super().process_batch(values, timestamps)
+        stamps = coerce_batch_timestamps(count, timestamps, self._now)
+        start = self._arrivals
+        held = list(self._recent)
+        combined = held + [
+            SampleCandidate(value=values[position], index=start + position, timestamp=stamps[position])
+            for position in range(count)
+        ]
+        base = len(held)
+        for delay, coverage in enumerate(self._coverages):
+            advance = coverage.advance_time
+            observe = coverage.observe
+            for position in range(count):
+                if start + position - delay < 0:
+                    continue
+                delayed = combined[base + position - delay]
+                advance(stamps[position])
+                observe(delayed.value, delayed.index, delayed.timestamp)
+        self._recent.extend(combined[base:])
+        self._now = stamps[-1]
+        self._arrivals = start + count
+        return count
 
     # -- sampling -----------------------------------------------------------------------
 

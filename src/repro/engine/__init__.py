@@ -40,6 +40,19 @@ budget:
 * :func:`jsonl_records` / :func:`batched` / :func:`ingest_jsonl` — streaming
   ingest sources: JSONL lines from a file, pipe or stdin, fed to an engine
   in bounded batches (the ``swsample engine --input`` path).
+* :func:`encode_batch` / :func:`decode_batch` — the columnar record
+  transport: record sub-batches crossing the :class:`ProcessEngine` process
+  boundary are struct-packed into one compact buffer per sub-batch instead
+  of pickled tuple-by-tuple (format documented in
+  :mod:`repro.engine.transport`).
+
+The whole ingest path is batched end to end: ``ingest()`` partitions records
+per shard (hashing each distinct key once per chunk),
+:meth:`KeyedSamplerPool.extend_batch` groups each shard sub-batch per key,
+and every optimal sampler applies a key's run through its ``process_batch``
+fast path — bit-identical to per-record appends by default, and with
+``SamplerSpec(fast=True)`` switching the sequence samplers to geometric
+skip-sampling (statistically exact, χ²/KS-gated, not bit-identical).
 
 Sharding is by a *stable* hash (:func:`stable_key_hash`), never Python's
 salted ``hash()``, so routing — and therefore every per-key sampler's
@@ -59,6 +72,7 @@ from .hashing import stable_key_bytes, stable_key_hash
 from .pool import KeyedSamplerPool
 from .source import batched, ingest_jsonl, jsonl_records
 from .spec import SamplerSpec
+from .transport import decode_batch, encode_batch
 
 __all__ = [
     "SamplerSpec",
@@ -74,6 +88,8 @@ __all__ = [
     "jsonl_records",
     "batched",
     "ingest_jsonl",
+    "encode_batch",
+    "decode_batch",
     "stable_key_hash",
     "stable_key_bytes",
 ]

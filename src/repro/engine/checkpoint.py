@@ -395,7 +395,10 @@ def _load_segment(path: str, entry: Dict[str, Any], shards: int) -> Tuple[int, D
 
 
 def _engine_from_state(
-    state: Dict[str, Any], workers: Optional[int], executor: str
+    state: Dict[str, Any],
+    workers: Optional[int],
+    executor: str,
+    max_batch: Optional[int] = None,
 ) -> ShardedEngine:
     """Build a serial, thread- or process-backed engine and load ``state``.
 
@@ -405,9 +408,11 @@ def _engine_from_state(
     if workers is None:
         return ShardedEngine.from_state_dict(state)
     engine_class = _EXECUTORS[executor]
+    extra = {} if max_batch is None else {"max_batch": max_batch}
     engine = engine_class(
         SamplerSpec.from_dict(state["spec"]),
         workers=workers,
+        **extra,
         shards=int(state["shards"]),
         seed=int(state["seed"]),
         max_keys_per_shard=state.get("max_keys_per_shard"),
@@ -426,7 +431,10 @@ def _engine_from_state(
 
 
 def _load_directory_checkpoint(
-    path: str, workers: Optional[int], executor: str
+    path: str,
+    workers: Optional[int],
+    executor: str,
+    max_batch: Optional[int] = None,
 ) -> ShardedEngine:
     manifest_path = os.path.join(path, MANIFEST_NAME)
     try:
@@ -475,7 +483,7 @@ def _load_directory_checkpoint(
         "now": meta.get("now"),
         "pools": pool_states,
     }
-    engine = _engine_from_state(state, workers, executor)
+    engine = _engine_from_state(state, workers, executor, max_batch)
     # Seed the incremental-save memo: a just-restored engine's state *is*
     # the on-disk state, so its next save to this directory rewrites nothing
     # — unless someone else's save changes the digests in between.
@@ -490,7 +498,10 @@ def _load_directory_checkpoint(
 
 
 def _load_legacy_checkpoint(
-    path: str, workers: Optional[int], executor: str
+    path: str,
+    workers: Optional[int],
+    executor: str,
+    max_batch: Optional[int] = None,
 ) -> ShardedEngine:
     with open(path, "rb") as handle:
         envelope = pickle.load(handle)
@@ -501,7 +512,7 @@ def _load_legacy_checkpoint(
             f"unsupported checkpoint version {envelope.get('version')!r}"
             f" (expected {LEGACY_CHECKPOINT_VERSION} for single-file checkpoints)"
         )
-    return _engine_from_state(envelope["engine"], workers, executor)
+    return _engine_from_state(envelope["engine"], workers, executor, max_batch)
 
 
 def checkpoint_shards(path: Union[str, os.PathLike]) -> Optional[int]:
@@ -533,6 +544,7 @@ def load_checkpoint(
     *,
     workers: Optional[int] = None,
     executor: str = "thread",
+    max_batch: Optional[int] = None,
 ) -> ShardedEngine:
     """Rebuild an engine from a checkpoint directory (or a legacy file).
 
@@ -540,10 +552,11 @@ def load_checkpoint(
     ``workers`` returns a worker-backed engine driving the same shard
     states — a thread-backed :class:`~repro.engine.ParallelEngine` by
     default, or a process-backed :class:`~repro.engine.ProcessEngine` with
-    ``executor="process"``.  Worker count and executor flavour are both
-    orthogonal to the checkpoint, so a manifest saved under one loads into
-    any other; legacy single-file (v1) checkpoints restore into all three
-    flavours too.
+    ``executor="process"``.  ``max_batch`` tunes the restored worker-backed
+    engine's dispatch sub-batch size (ignored for serial restores).  Worker
+    count and executor flavour are both orthogonal to the checkpoint, so a
+    manifest saved under one loads into any other; legacy single-file (v1)
+    checkpoints restore into all three flavours too.
 
     Every segment's SHA-256 digest is verified against the manifest before a
     single sampler is rebuilt: a missing, truncated or bit-flipped segment
@@ -559,5 +572,5 @@ def load_checkpoint(
         )
     path = os.path.abspath(os.fspath(path))
     if os.path.isdir(path):
-        return _load_directory_checkpoint(path, workers, executor)
-    return _load_legacy_checkpoint(path, workers, executor)
+        return _load_directory_checkpoint(path, workers, executor, max_batch)
+    return _load_legacy_checkpoint(path, workers, executor, max_batch)

@@ -46,6 +46,13 @@ __all__ = ["ShardedEngine"]
 #: shard placement and sampler randomness are independent hash families).
 _ROUTE_SALT = 0x51A2DED
 
+#: Records buffered by the serial ingest path before the per-shard batches
+#: are flushed into the pools.  Bounds the transient partitioning memory on
+#: arbitrarily long record iterables; pool state is chunk-boundary-invariant
+#: (see :meth:`KeyedSamplerPool.extend_batch`), so the value only affects
+#: locality, never results.
+_INGEST_CHUNK = 32768
+
 
 def _unpack_record(record: Any) -> Tuple[Any, Any, Optional[float]]:
     """Normalise one keyed record to ``(key, value, timestamp_or_None)``.
@@ -346,22 +353,153 @@ class ShardedEngine:
         timestamps as inert metadata and skip the contract.  An out-of-order
         or malformed record raises mid-batch; everything before it has been
         ingested and the clock reflects exactly the ingested prefix.
+
+        Internally the batch is grouped per key in a single pass (hashing
+        each distinct key once per chunk, not once per record) and each key's
+        run of records is applied through its sampler's batched
+        ``process_batch`` path — for pools without an eviction policy the
+        result is identical to per-record routing.  Engines with a
+        ``max_keys_per_shard``/``idle_ttl`` policy partition per shard
+        instead and route through :meth:`KeyedSamplerPool.extend_batch`,
+        whose per-record fallback keeps eviction decisions exact.
         """
+        if self._max_keys_per_shard is None and self._idle_ttl is None:
+            return self._ingest_grouped(records)
+        return self._ingest_partitioned(records)
+
+    def _ingest_grouped(self, records: Iterable[Any]) -> int:
+        """The eviction-free hot path: one grouping pass, batched samplers."""
         count = 0
         clocked = self._spec.is_timestamp
         now = self._now
+        shard_count = self._shards
+        route = stable_key_hash
+        # NOTE: the inlined record-unpack + clock-stamp block below is
+        # mirrored in _WorkerBackedEngine.ingest (executor.py) — both inline
+        # it because a shared helper costs a function call per record on the
+        # hottest loop in the codebase.  Change one, change the other.
+        # key -> [shard, last pool-local position, values, stamps-or-None];
+        # one flat dict per chunk, so each distinct key is hashed once.
+        groups: Dict[Any, List[Any]] = {}
+        get_group = groups.get
+        shard_counts = [0] * shard_count
+        pending = 0
+        # Sized chunks bound the transient grouping memory on unbounded
+        # iterables; list inputs are already materialised, so one chunk.
+        chunk_limit = len(records) if isinstance(records, (list, tuple)) else _INGEST_CHUNK
+        try:
+            for record in records:
+                if isinstance(record, tuple):
+                    width = len(record)
+                    if width == 3:
+                        key, value, timestamp = record
+                    elif width == 2:
+                        key, value = record
+                        timestamp = None
+                    else:
+                        raise ConfigurationError(
+                            f"keyed records must have 2 or 3 fields, got {width}: {record!r}"
+                        )
+                else:
+                    key, value, timestamp = _unpack_record(record)
+                if clocked:
+                    if type(timestamp) is float and timestamp >= now:
+                        now = timestamp
+                    else:
+                        timestamp = _stamp_timestamp(timestamp, now)
+                        now = timestamp
+                group = get_group(key)
+                if group is None:
+                    shard = route(key, salt=_ROUTE_SALT) % shard_count
+                    position = shard_counts[shard] = shard_counts[shard] + 1
+                    groups[key] = [
+                        shard,
+                        position,
+                        [value],
+                        None if timestamp is None else [timestamp],
+                    ]
+                else:
+                    shard = group[0]
+                    group[1] = shard_counts[shard] = shard_counts[shard] + 1
+                    group[2].append(value)
+                    stamps = group[3]
+                    if stamps is not None:
+                        stamps.append(timestamp)
+                    elif timestamp is not None:
+                        # Back-fill the missing prefix; mixed runs are rare.
+                        group[3] = [None] * (len(group[2]) - 1) + [timestamp]
+                count += 1
+                pending += 1
+                if pending >= chunk_limit:
+                    self._flush_groups(groups, shard_counts)
+                    pending = 0
+        finally:
+            self._now = now
+            if pending or groups:
+                self._flush_groups(groups, shard_counts)
+        return count
+
+    def _flush_groups(self, groups: Dict[Any, List[Any]], shard_counts: List[int]) -> None:
+        """Hand one chunk's per-key groups to their shards' pools.
+
+        The chunk state is consumed *before* the pools run, so a pool error
+        mid-flush can never lead to the same group being applied twice (the
+        ``finally`` in :meth:`_ingest_grouped` re-flushes on error paths).
+        """
+        per_shard: List[List[Tuple[Any, int, List[Any], Optional[List[Any]]]]] = [
+            [] for _ in shard_counts
+        ]
+        for key, (shard, last, values, stamps) in groups.items():
+            per_shard[shard].append((key, last, values, stamps))
+        groups.clear()
+        for shard, shard_groups in enumerate(per_shard):
+            if shard_groups:
+                count = shard_counts[shard]
+                shard_counts[shard] = 0
+                self._pools[shard].extend_grouped(shard_groups, count)
+
+    def _ingest_partitioned(self, records: Iterable[Any]) -> int:
+        """Ingest for engines with an eviction policy: partition per shard,
+        let :meth:`KeyedSamplerPool.extend_batch` keep per-record eviction
+        semantics exact."""
+        count = 0
+        clocked = self._spec.is_timestamp
+        now = self._now
+        pools = self._pools
+        shard_count = self._shards
+        route = stable_key_hash
+        # Per-chunk shard memo: repeated keys in a hot batch hash once.  It
+        # is cleared at every chunk flush, so — unlike a persistent routing
+        # cache — it cannot retain evicted keys outside the memory budget.
+        shard_memo: Dict[Any, int] = {}
+        buffers: Dict[int, List[Tuple[Any, Any, Optional[float]]]] = {}
+        pending = 0
         try:
             for record in records:
                 key, value, timestamp = _unpack_record(record)
                 if clocked:
                     timestamp = _stamp_timestamp(timestamp, now)
-                    self._pool_of(key).append(key, value, timestamp)
                     now = timestamp
-                else:
-                    self._pool_of(key).append(key, value, timestamp)
+                shard = shard_memo.get(key, -1)
+                if shard < 0:
+                    shard = shard_memo[key] = route(key, salt=_ROUTE_SALT) % shard_count
+                buffer = buffers.get(shard)
+                if buffer is None:
+                    buffer = buffers[shard] = []
+                buffer.append((key, value, timestamp))
                 count += 1
+                pending += 1
+                if pending >= _INGEST_CHUNK:
+                    while buffers:
+                        index, chunk = buffers.popitem()
+                        pools[index].extend_batch(chunk)
+                    shard_memo.clear()
+                    pending = 0
         finally:
             self._now = now
+            while buffers:
+                index, chunk = buffers.popitem()
+                pools[index].extend_batch(chunk)
         return count
 
     def append(self, key: Any, value: Any, timestamp: Optional[float] = None) -> None:

@@ -76,6 +76,7 @@ import os
 import pickle
 import queue
 import threading
+import time
 import weakref
 from collections import Counter
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
@@ -90,6 +91,7 @@ from ..exceptions import (
 )
 from ..streams.element import StreamElement
 from .engine import (
+    _ROUTE_SALT,
     ShardedEngine,
     _advance_and_sample,
     _frequent_partial,
@@ -99,8 +101,10 @@ from .engine import (
     _stamp_timestamp,
     _unpack_record,
 )
+from .hashing import stable_key_hash
 from .pool import KeyedSamplerPool
 from .spec import SamplerSpec
+from .transport import decode_batch, encode_batch
 
 __all__ = ["ParallelEngine", "ProcessEngine"]
 
@@ -150,6 +154,11 @@ class _ShardWorkerLoop:
         Apply one sub-batch of ``(key, value, timestamp)`` records.  No
         reply; completion is observed via ``on_applied`` (threads) or the
         next barrier (processes).  Skipped once the fleet has failed.
+    ``("applyc", shard, buffer)``
+        Columnar form of ``apply``: the sub-batch travels as one
+        struct-packed buffer (see :mod:`repro.engine.transport`) and is
+        decoded worker-side.  Used by the process transport to cut pickling
+        freight.
     ``("shutdown",)``
         Exit the loop.
     ``("barrier", rid)``
@@ -175,6 +184,11 @@ class _ShardWorkerLoop:
         self.clocked = spec.is_timestamp
         self.failures = failures if failures is not None else _FailureBox()
         self.on_applied = on_applied
+        # Per-stage transport accounting, reported through the "perf" op.
+        self.decode_seconds = 0.0
+        self.apply_seconds = 0.0
+        self.applied_batches = 0
+        self.applied_records = 0
 
     def run(
         self,
@@ -197,6 +211,12 @@ class _ShardWorkerLoop:
             if kind == "apply":
                 self._apply(message[1], message[2])
                 continue
+            if kind == "applyc":
+                started = time.perf_counter()
+                batch = decode_batch(message[2])
+                self.decode_seconds += time.perf_counter() - started
+                self._apply(message[1], batch)
+                continue
             if kind == "shutdown":
                 return
             if kind == "barrier":
@@ -214,15 +234,19 @@ class _ShardWorkerLoop:
             replies.put(("ok", rid, value))
 
     def _apply(self, shard: int, batch: List[Tuple[Any, Any, Optional[float]]]) -> None:
+        started = time.perf_counter()
         try:
             if self.failures.error is None:
-                append = self.pools[shard].append
-                for key, value, timestamp in batch:
-                    append(key, value, timestamp)
+                # One pool call for the whole sub-batch: the pool groups
+                # records per key and feeds each sampler's batched path.
+                self.pools[shard].extend_batch(batch)
         except BaseException as error:  # surfaced at the next barrier
             if self.failures.error is None:
                 self.failures.error = error
         finally:
+            self.apply_seconds += time.perf_counter() - started
+            self.applied_batches += 1
+            self.applied_records += len(batch)
             if self.on_applied is not None:
                 self.on_applied(shard)
 
@@ -241,6 +265,13 @@ class _ShardWorkerLoop:
             return {shard: pool.keys() for shard, pool in pools.items()}
         if op == "generations":
             return {shard: pool.generation for shard, pool in pools.items()}
+        if op == "perf":
+            return {
+                "decode_seconds": self.decode_seconds,
+                "apply_seconds": self.apply_seconds,
+                "batches": self.applied_batches,
+                "records": self.applied_records,
+            }
         if op == "contains":
             shard, key = args
             return key in pools[shard]
@@ -434,20 +465,49 @@ class _WorkerBackedEngine(ShardedEngine):
             clocked = self._spec.is_timestamp
             now = self._now
             count = 0
+            max_batch = self._max_batch
+            shard_count = self.shards
+            route = stable_key_hash
+            # NOTE: the inlined record-unpack + clock-stamp block below
+            # mirrors ShardedEngine._ingest_grouped (engine.py) — both
+            # inline it because a shared helper costs a function call per
+            # record on the hottest loop.  Change one, change the other.
+            # Per-batch shard memo (bounded: cleared once it outgrows a
+            # dispatch window) so hot keys hash once, not once per record.
+            shard_memo: Dict[Any, int] = {}
             buffers: Dict[int, List[Tuple[Any, Any, Optional[float]]]] = {}
             try:
                 for record in records:
-                    key, value, timestamp = _unpack_record(record)
+                    if isinstance(record, tuple):
+                        width = len(record)
+                        if width == 3:
+                            key, value, timestamp = record
+                        elif width == 2:
+                            key, value = record
+                            timestamp = None
+                        else:
+                            raise ConfigurationError(
+                                f"keyed records must have 2 or 3 fields, got {width}: {record!r}"
+                            )
+                    else:
+                        key, value, timestamp = _unpack_record(record)
                     if clocked:
-                        timestamp = _stamp_timestamp(timestamp, now)
-                        now = timestamp
-                    shard = self.shard_of(key)
+                        if type(timestamp) is float and timestamp >= now:
+                            now = timestamp
+                        else:
+                            timestamp = _stamp_timestamp(timestamp, now)
+                            now = timestamp
+                    shard = shard_memo.get(key, -1)
+                    if shard < 0:
+                        if len(shard_memo) >= 65536:
+                            shard_memo.clear()
+                        shard = shard_memo[key] = route(key, salt=_ROUTE_SALT) % shard_count
                     buffer = buffers.get(shard)
                     if buffer is None:
                         buffer = buffers[shard] = []
                     buffer.append((key, value, timestamp))
                     count += 1
-                    if len(buffer) >= self._max_batch:
+                    if len(buffer) >= max_batch:
                         del buffers[shard]
                         self._dispatch(shard, buffer)
             finally:
@@ -744,6 +804,15 @@ class ProcessEngine(_WorkerBackedEngine):
 
     ``mp_context`` selects the multiprocessing start method (``"fork"``,
     ``"spawn"``, ``"forkserver"``; default: the platform default).
+
+    ``transport`` selects how record sub-batches cross the process boundary:
+    ``"columnar"`` (the default) struct-packs each sub-batch into one
+    compact buffer (:mod:`repro.engine.transport`) so the queue pickles a
+    single ``bytes`` object instead of thousands of small tuples;
+    ``"pickle"`` ships the raw tuple list (the pre-columnar wire form, kept
+    for comparison and as an escape hatch).  Results are bit-identical
+    either way; :meth:`transport_report` breaks the cost down per stage
+    (encode / dispatch / decode / apply).
     """
 
     def __init__(
@@ -754,6 +823,7 @@ class ProcessEngine(_WorkerBackedEngine):
         queue_depth: int = 8,
         max_batch: int = 4096,
         mp_context: Optional[str] = None,
+        transport: str = "columnar",
         shards: int = 4,
         seed: int = 0,
         max_keys_per_shard: Optional[int] = None,
@@ -771,11 +841,22 @@ class ProcessEngine(_WorkerBackedEngine):
             idle_ttl=idle_ttl,
             track_occurrences=track_occurrences,
         )
+        if transport not in ("columnar", "pickle"):
+            raise ConfigurationError(
+                f"transport must be 'columnar' or 'pickle', got {transport!r}"
+            )
         context = multiprocessing.get_context(mp_context)
+        self._transport = transport
         self._failure: Optional[str] = None
         self._request_counter = 0
         self._unbarriered = False
         self._stats_cache: Optional[Tuple[int, int, int, int]] = None
+        # Coordinator-side transport accounting (see transport_report()).
+        self._encode_seconds = 0.0
+        self._encoded_bytes = 0
+        self._dispatch_seconds = 0.0
+        self._dispatched_batches = 0
+        self._dispatched_records = 0
         config = {
             "spec": spec.to_dict(),
             "seed": self._seed,
@@ -853,11 +934,11 @@ class ProcessEngine(_WorkerBackedEngine):
             self._raise_failure()
 
     #: Ops that cannot change any fleet total.  Everything else ("apply",
-    #: "advance", "set_state", and the lazy-clock-advancing "sample"/
-    #: "frequent") invalidates the cached stats.
+    #: "applyc", "advance", "set_state", and the lazy-clock-advancing
+    #: "sample"/"frequent") invalidates the cached stats.
     _NONMUTATING_OPS = frozenset(
         {"barrier", "stats", "keys", "generations", "contains", "sampler",
-         "items", "hottest", "moments", "get_state", "checkpoint"}
+         "items", "hottest", "moments", "get_state", "checkpoint", "perf"}
     )
 
     def _send(self, index: int, message: Tuple[Any, ...]) -> None:
@@ -920,8 +1001,50 @@ class ProcessEngine(_WorkerBackedEngine):
     # -- dataflow ------------------------------------------------------------
 
     def _dispatch(self, shard: int, batch: List[Tuple[Any, Any, Optional[float]]]) -> None:
-        self._send(self._worker_of(shard), ("apply", shard, batch))
+        perf = time.perf_counter
+        if self._transport == "columnar":
+            started = perf()
+            payload = encode_batch(batch)
+            self._encode_seconds += perf() - started
+            self._encoded_bytes += len(payload)
+            message: Tuple[Any, ...] = ("applyc", shard, payload)
+        else:
+            message = ("apply", shard, batch)
+        self._dispatched_batches += 1
+        self._dispatched_records += len(batch)
+        started = perf()
+        self._send(self._worker_of(shard), message)
+        self._dispatch_seconds += perf() - started
         self._unbarriered = True
+
+    def transport_report(self) -> Dict[str, Any]:
+        """Cumulative per-stage transport cost of this fleet's ingest path.
+
+        Returns a dict with the coordinator-side stages (``encode_seconds``
+        — columnar packing; ``dispatch_seconds`` — time spent handing
+        messages to the bounded inboxes, which includes any backpressure
+        stalls) and the worker-side stages summed over the fleet
+        (``decode_seconds``, ``apply_seconds``), plus batch/record/byte
+        counters.  ``encoded_bytes`` is 0 under the ``"pickle"`` transport.
+        """
+        with self._api_lock:
+            self._check_query()
+            self.flush()
+            decode_seconds = 0.0
+            apply_seconds = 0.0
+            for partial in self._broadcast("perf"):
+                decode_seconds += partial["decode_seconds"]
+                apply_seconds += partial["apply_seconds"]
+            return {
+                "transport": self._transport,
+                "batches": self._dispatched_batches,
+                "records": self._dispatched_records,
+                "encoded_bytes": self._encoded_bytes,
+                "encode_seconds": self._encode_seconds,
+                "dispatch_seconds": self._dispatch_seconds,
+                "decode_seconds": decode_seconds,
+                "apply_seconds": apply_seconds,
+            }
 
     def _barrier(self) -> None:
         if self._failure is not None or not self._unbarriered:

@@ -24,7 +24,7 @@ window, exactly like a new key.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..core.base import WindowSampler
 from ..core.serialization import STATE_FORMAT, require_state_fields
@@ -214,19 +214,113 @@ class KeyedSamplerPool:
 
     def append(self, key: Any, value: Any, timestamp: Optional[float] = None) -> None:
         """Route one record to its key's sampler (creating it if needed)."""
-        entry = self._entries.get(key)
+        entries = self._entries  # bound once: this is the pool's hottest path
+        entry = entries.get(key)
         if entry is None:
             entry = self._create(key)
         elif self._max_keys is not None:
-            self._entries.move_to_end(key)
+            entries.move_to_end(key)
         entry.sampler.append(value, timestamp)
         if entry.counter is not None:
             entry.counter.append(timestamp)
-        self._ticks += 1
+        ticks = self._ticks + 1
+        self._ticks = ticks
         self._generation += 1
-        entry.last_tick = self._ticks
-        if self._idle_ttl is not None and self._ticks % self._sweep_interval == 0:
+        entry.last_tick = ticks
+        if self._idle_ttl is not None and ticks % self._sweep_interval == 0:
             self.sweep()
+
+    def extend_batch(self, batch: Sequence[Tuple[Any, Any, Optional[float]]]) -> int:
+        """Route a batch of ``(key, value, timestamp)`` records in one call.
+
+        Records are grouped per key first, so each key's dict lookup, LRU
+        touch and sampler-attribute resolution happen once per batch instead
+        of once per record, and the key's sampler ingests its records through
+        :meth:`~repro.core.base.WindowSampler.process_batch`.  For an
+        *unbounded* pool (no ``max_keys``, no ``idle_ttl``) the resulting
+        state — samplers, tick bookkeeping, entry order, checkpoint bytes —
+        is identical to per-record :meth:`append` calls, and is independent
+        of how a record stream is chunked into batches.  Pools with an
+        eviction policy fall back to the per-record path, because eviction
+        decisions are defined record by record (which key the LRU victim is
+        can depend on the exact interleaving).
+
+        Returns the number of records routed.
+        """
+        count = len(batch)
+        if count == 0:
+            return 0
+        if self._max_keys is not None or self._idle_ttl is not None:
+            append = self.append
+            for key, value, timestamp in batch:
+                append(key, value, timestamp)
+            return count
+        # Group per key: [last 1-based position, values, timestamps, any_ts].
+        groups: Dict[Any, List[Any]] = {}
+        get_group = groups.get
+        position = 0
+        for key, value, timestamp in batch:
+            position += 1
+            group = get_group(key)
+            if group is None:
+                groups[key] = [position, [value], [timestamp], timestamp is not None]
+            else:
+                group[0] = position
+                group[1].append(value)
+                group[2].append(timestamp)
+                if timestamp is not None:
+                    group[3] = True
+        self.extend_grouped(
+            [
+                (key, last, values, stamps if any_ts else None)
+                for key, (last, values, stamps, any_ts) in groups.items()
+            ],
+            count,
+        )
+        return count
+
+    def extend_grouped(
+        self,
+        groups: Sequence[Tuple[Any, int, List[Any], Optional[List[Optional[float]]]]],
+        count: int,
+    ) -> None:
+        """Apply pre-grouped per-key record runs (the engine's fastest path).
+
+        ``groups`` holds ``(key, last_position, values, timestamps_or_None)``
+        entries, where ``last_position`` is the 1-based position (within this
+        pool's slice of the batch, in arrival order) of the key's last
+        record, and ``count`` is the total number of records across all
+        groups.  Only valid for pools without an eviction policy — callers
+        that may hold a capped/TTL pool must go through
+        :meth:`extend_batch`, which enforces the fallback.
+        """
+        if self._max_keys is not None or self._idle_ttl is not None:
+            raise ConfigurationError(
+                "extend_grouped requires an eviction-free pool; use extend_batch"
+            )
+        entries = self._entries
+        base = self._ticks
+        create = self._create
+        for key, last, values, stamps in groups:
+            entry = entries.get(key)
+            if entry is None:
+                entry = create(key)
+            if len(values) == 1:
+                entry.sampler.append(values[0], None if stamps is None else stamps[0])
+            else:
+                entry.sampler.process_batch(values, stamps)
+            counter = entry.counter
+            if counter is not None:
+                counter_append = counter.append
+                if stamps is None:
+                    for _ in values:
+                        counter_append(None)
+                else:
+                    for timestamp in stamps:
+                        counter_append(timestamp)
+            entry.last_tick = base + last
+        self._ticks = base + count
+        self._generation += 1
 
     def sweep(self) -> int:
         """Evict every key idle for more than ``idle_ttl`` ticks.

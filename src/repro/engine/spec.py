@@ -37,6 +37,10 @@ class SamplerSpec:
     t0: Optional[float] = None
     replacement: bool = True
     algorithm: str = "optimal"
+    #: Enable the skip-sampling batched ingest mode (optimal algorithm only):
+    #: ``process_batch`` draws geometric skips instead of per-element coins.
+    #: Distributionally exact, but not bit-identical to the default path.
+    fast: bool = False
     #: Normalised to a sorted tuple of ``(name, value)`` pairs so the frozen
     #: spec stays hashable (usable in sets / as dict keys); accepts a mapping.
     options: Any = field(default_factory=tuple)
@@ -44,6 +48,7 @@ class SamplerSpec:
     def __post_init__(self) -> None:
         object.__setattr__(self, "window", str(self.window).lower())
         object.__setattr__(self, "algorithm", str(self.algorithm).lower())
+        object.__setattr__(self, "fast", bool(self.fast))
         if self.window not in ("sequence", "timestamp"):
             raise ConfigurationError(
                 f"window must be 'sequence' or 'timestamp', got {self.window!r}"
@@ -56,6 +61,11 @@ class SamplerSpec:
         else:
             if self.t0 is None or self.t0 <= 0:
                 raise ConfigurationError("timestamp windows require a positive window span t0")
+        if self.fast and self.algorithm != "optimal":
+            raise ConfigurationError(
+                f"fast=True (skip-sampling batched ingest) requires algorithm='optimal';"
+                f" the {self.algorithm!r} baseline does not support it"
+            )
         object.__setattr__(self, "options", tuple(sorted(dict(self.options).items())))
 
     @property
@@ -82,6 +92,7 @@ class SamplerSpec:
             algorithm=self.algorithm,
             rng=rng,
             observer=observer,
+            fast=self.fast,
             **dict(self.options),
         )
 
@@ -94,12 +105,17 @@ class SamplerSpec:
             "t0": self.t0,
             "replacement": self.replacement,
             "algorithm": self.algorithm,
+            "fast": self.fast,
             "options": dict(self.options),
         }
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "SamplerSpec":
-        """Rebuild a spec from :meth:`to_dict` output."""
+        """Rebuild a spec from :meth:`to_dict` output.
+
+        Snapshots written before the batched fast path existed carry no
+        ``fast`` key; they load as ``fast=False`` (the bit-exact default).
+        """
         if not isinstance(data, Mapping):
             raise ConfigurationError(f"spec snapshot must be a mapping, got {type(data).__name__}")
         return cls(
@@ -109,6 +125,7 @@ class SamplerSpec:
             t0=data.get("t0"),
             replacement=bool(data.get("replacement", True)),
             algorithm=data.get("algorithm", "optimal"),
+            fast=bool(data.get("fast", False)),
             options=dict(data.get("options", {})),
         )
 
@@ -116,4 +133,5 @@ class SamplerSpec:
         """A one-line human-readable summary (used by the CLI)."""
         window = f"n={self.n}" if self.window == "sequence" else f"t0={self.t0}"
         mode = "WR" if self.replacement else "WoR"
-        return f"{self.window} window ({window}), k={self.k} {mode}, algorithm={self.algorithm}"
+        suffix = ", fast" if self.fast else ""
+        return f"{self.window} window ({window}), k={self.k} {mode}, algorithm={self.algorithm}{suffix}"

@@ -162,6 +162,53 @@ class TestEngineStreamingAndWorkers:
         assert main(["engine", "--records", "100", "--keys", "5", "--batch-size", "0"]) == 2
         assert "--batch-size must be positive" in capsys.readouterr().err
 
+    def test_engine_fast_flag_runs_and_reports(self, capsys):
+        assert main(["engine", "--records", "2000", "--keys", "50", "--fast", "--seed", "3"]) == 0
+        output = capsys.readouterr().out
+        assert "fast" in output  # spec.describe() carries the marker
+
+    def test_engine_rejects_fast_with_baselines(self, capsys):
+        assert main(
+            ["engine", "--records", "100", "--keys", "5", "--fast", "--algorithm", "chain"]
+        ) == 2
+        assert "algorithm='optimal'" in capsys.readouterr().err
+
+    def test_engine_rejects_fast_with_resume(self, capsys, tmp_path):
+        path = str(tmp_path / "engine.ckpt")
+        assert main(["engine", "--records", "500", "--keys", "10", "--checkpoint", path]) == 0
+        capsys.readouterr()
+        assert main(["engine", "--resume", path, "--records", "100", "--fast"]) == 2
+        assert "--fast cannot be combined with --resume" in capsys.readouterr().err
+
+    def test_engine_max_batch_requires_workers(self, capsys):
+        assert main(["engine", "--records", "100", "--keys", "5", "--max-batch", "64"]) == 2
+        assert "--max-batch requires --workers" in capsys.readouterr().err
+        assert main(
+            ["engine", "--records", "100", "--keys", "5", "--workers", "2", "--max-batch", "0"]
+        ) == 2
+        assert "--max-batch must be positive" in capsys.readouterr().err
+
+    def test_engine_max_batch_reaches_resumed_engines(self, capsys, tmp_path):
+        path = str(tmp_path / "engine.ckpt")
+        assert main(["engine", "--records", "500", "--keys", "10", "--checkpoint", path]) == 0
+        capsys.readouterr()
+        from repro.engine import load_checkpoint
+
+        engine = load_checkpoint(path, workers=2, max_batch=64)
+        try:
+            assert engine._max_batch == 64
+        finally:
+            engine.close()
+        assert main(["engine", "--resume", path, "--records", "100", "--workers", "2",
+                     "--max-batch", "64"]) == 0
+
+    def test_engine_max_batch_with_workers_runs(self, capsys):
+        assert main(
+            ["engine", "--records", "2000", "--keys", "50", "--workers", "2",
+             "--max-batch", "128", "--seed", "3"]
+        ) == 0
+        assert "2 thread workers" in capsys.readouterr().out
+
     def test_engine_rejects_more_workers_than_shards(self, capsys):
         # Pre-PR-3 this silently clamped; now the misconfiguration is loud.
         assert main(

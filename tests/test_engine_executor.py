@@ -165,10 +165,10 @@ class TestBackpressureAndBarrier:
         engine = ParallelEngine(SEQ_SPEC, shards=2, workers=2, seed=3)
         try:
             monkeypatch.setattr(
-                engine._pools[0], "append", lambda *args: (_ for _ in ()).throw(RuntimeError("boom"))
+                engine._pools[0], "extend_batch", lambda *args: (_ for _ in ()).throw(RuntimeError("boom"))
             )
             monkeypatch.setattr(
-                engine._pools[1], "append", lambda *args: (_ for _ in ()).throw(RuntimeError("boom"))
+                engine._pools[1], "extend_batch", lambda *args: (_ for _ in ()).throw(RuntimeError("boom"))
             )
             engine.ingest([("a", 1), ("b", 2)])
             with pytest.raises(CheckpointError):
@@ -184,11 +184,11 @@ class TestBackpressureAndBarrier:
         try:
             boom = RuntimeError("sampler invariant violated")
 
-            def broken_append(key, value, timestamp=None):
+            def broken_extend(batch):
                 raise boom
 
-            monkeypatch.setattr(engine._pools[0], "append", broken_append)
-            monkeypatch.setattr(engine._pools[1], "append", broken_append)
+            monkeypatch.setattr(engine._pools[0], "extend_batch", broken_extend)
+            monkeypatch.setattr(engine._pools[1], "extend_batch", broken_extend)
             engine.ingest([("a", 1), ("b", 2)])
             with pytest.raises(ExecutorError):
                 engine.flush()

@@ -1,0 +1,126 @@
+"""The columnar record transport: exact round-trips and real freight savings.
+
+:class:`~repro.engine.ProcessEngine` ships record sub-batches as one
+struct-packed buffer per sub-batch (:mod:`repro.engine.transport`).  Two
+things must hold for the engine's bit-identity story to survive the wire:
+``decode(encode(batch)) == batch`` for every batch the engine can dispatch,
+and the engine's results must not depend on which transport carried the
+records.  The freight claim (fewer bytes per record than pickling the tuple
+list) is asserted for the engine's typical record shapes.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.engine import ProcessEngine, SamplerSpec, ShardedEngine, decode_batch, encode_batch
+from repro.exceptions import ConfigurationError
+
+
+def round_trip(batch):
+    encoded = encode_batch(batch)
+    assert isinstance(encoded, bytes)
+    decoded = decode_batch(encoded)
+    assert decoded == batch
+    return encoded
+
+
+class TestRoundTrip:
+    def test_int_columns_pack_to_narrowest_width(self):
+        batch = [(key % 100, key % 1024, None) for key in range(500)]
+        encoded = round_trip(batch)
+        # keys fit int8, values int16, timestamps are the 1-byte None tag:
+        # ~3 bytes of column payload per record plus constant framing.
+        assert len(encoded) < 500 * 4 + 64
+
+    def test_wide_ints_floats_and_strings(self):
+        round_trip([(1 << 40, -(1 << 40), 0.5), (2, 3, 1e300)])
+        round_trip([("alice", "x" * 1000, 1.0), ("böb", "", 2.0)])
+        round_trip([("", "", None)])
+
+    def test_heterogeneous_columns_fall_back_to_pickle(self):
+        batch = [
+            (("composite", 1), {"payload": 2}, 1.5),
+            (True, None, 2.5),  # bool must survive as bool, not int
+            (3, [1, 2], None),
+        ]
+        decoded = decode_batch(encode_batch(batch))
+        assert decoded == batch
+        assert decoded[1][0] is True
+
+    def test_bigints_fall_back_to_pickle(self):
+        round_trip([(1 << 100, -(1 << 80), None)])
+
+    def test_empty_batch(self):
+        assert decode_batch(encode_batch([])) == []
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(ValueError, match="magic"):
+            decode_batch(b"NOPE" + b"\x00" * 8)
+
+    def test_float_columns_round_trip_exactly(self):
+        batch = [(0, 0, 0.1 + 0.2), (1, 1, 2.0**-1074), (2, 2, 1.7976931348623157e308)]
+        assert decode_batch(encode_batch(batch)) == batch
+
+
+class TestFreight:
+    def test_int_records_beat_pickle_by_2x(self):
+        """The E11 record shape: small int keys/values, no timestamps."""
+        batch = [(key % 10_000, key % 1024, None) for key in range(4096)]
+        columnar = len(encode_batch(batch)) / len(batch)
+        pickled = len(pickle.dumps(batch, pickle.HIGHEST_PROTOCOL)) / len(batch)
+        assert columnar * 2 <= pickled, (columnar, pickled)
+
+    def test_string_keyed_records_beat_pickle(self):
+        batch = [(f"user-{key % 5000}", key % 1024, None) for key in range(4096)]
+        columnar = len(encode_batch(batch))
+        pickled = len(pickle.dumps(batch, pickle.HIGHEST_PROTOCOL))
+        assert columnar < pickled
+
+
+class TestProcessEngineTransport:
+    SPEC = SamplerSpec(window="sequence", n=64, k=3)
+
+    def records(self):
+        return [(f"key-{index % 97}", index % 512) for index in range(8000)]
+
+    def test_both_transports_bit_identical_to_serial(self):
+        serial = ShardedEngine(self.SPEC, shards=4, seed=7)
+        serial.ingest(self.records())
+        reference = serial.state_dict()
+        for transport in ("columnar", "pickle"):
+            with ProcessEngine(
+                self.SPEC, shards=4, seed=7, workers=2, max_batch=512, transport=transport
+            ) as engine:
+                engine.ingest(self.records())
+                assert engine.state_dict() == reference, transport
+
+    def test_unknown_transport_rejected(self):
+        with pytest.raises(ConfigurationError, match="transport"):
+            ProcessEngine(self.SPEC, shards=2, workers=1, transport="carrier-pigeon")
+
+    def test_transport_report_breaks_down_stages(self):
+        with ProcessEngine(
+            self.SPEC, shards=4, seed=7, workers=2, max_batch=512
+        ) as engine:
+            engine.ingest(self.records())
+            report = engine.transport_report()
+        assert report["transport"] == "columnar"
+        assert report["records"] == 8000
+        assert report["batches"] >= 4  # 8000 records / 512 max_batch over shards
+        assert report["encoded_bytes"] > 0
+        for stage in ("encode_seconds", "dispatch_seconds", "decode_seconds", "apply_seconds"):
+            assert report[stage] >= 0.0
+        assert report["apply_seconds"] > 0.0
+
+    def test_pickle_transport_reports_no_encoded_bytes(self):
+        with ProcessEngine(
+            self.SPEC, shards=2, seed=7, workers=1, transport="pickle"
+        ) as engine:
+            engine.ingest(self.records()[:1000])
+            report = engine.transport_report()
+        assert report["encoded_bytes"] == 0
+        assert report["encode_seconds"] == 0.0
+        assert report["records"] == 1000
