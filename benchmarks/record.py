@@ -10,9 +10,10 @@ writes ``BENCH_E7.json`` / ``BENCH_E11.json``:
   skip-sampling path.
 * **E11** — keyed-engine ingest at fleet scale (zipf keys through
   ``ShardedEngine``), same three ways, plus the process-transport freight
-  (columnar vs pickled bytes per record — deterministic) and a
-  ``ProcessEngine`` per-stage timing breakdown (encode / dispatch / decode /
-  apply).
+  (columnar vs pickled bytes per record — deterministic) and ``ProcessEngine``
+  per-stage timing breakdowns (encode / dispatch / decode / apply) for both
+  the ``columnar`` and the shared-memory-ring (``shm``) transports over the
+  same decoded stream.
 
 The JSON files are committed, so the perf trajectory is recorded PR over PR.
 Absolute throughput depends on the machine; the *speedup ratios* and the
@@ -56,6 +57,12 @@ from repro.engine import (  # noqa: E402
     encode_batch,
 )
 from repro.engine.engine import _unpack_record  # noqa: E402
+from repro.engine.transport import (  # noqa: E402
+    HAS_SHARED_MEMORY,
+    ShmRingReader,
+    ShmRingWriter,
+    decode_batch,
+)
 from repro.streams.workloads import build_keyed_workload  # noqa: E402
 
 #: Metrics guarded by --baseline, per experiment file.  Direction "min" means
@@ -72,7 +79,9 @@ GUARDED_METRICS: Dict[str, List[tuple]] = {
         # comparisons exceed any honest tolerance.  Its correctness is gated
         # statistically and its floor is tested in tests/test_perf_baseline.py.
         ("ts-wr.speedup_batched", "min"),
+        ("ts-wr.speedup_fast", "min"),
         ("ts-wor.speedup_batched", "min"),
+        ("ts-wor.speedup_fast", "min"),
     ],
     "BENCH_E11.json": [
         ("serial.speedup_batched", "min"),
@@ -221,17 +230,154 @@ def bench_e11_transport(records: List[Any]) -> Dict[str, Any]:
     return result
 
 
-def bench_e11_process(records: List[Any], quick: bool) -> Dict[str, Any]:
+def _decode_proof(payloads: List[bytes]) -> tuple:
+    """Record count + key checksum over decoded payloads (the equal-output
+    proof both transport sinks reply with)."""
+    records = 0
+    checksum = 0
+    for payload in payloads:
+        batch = decode_batch(payload)
+        records += len(batch)
+        checksum += sum(record[0] for record in batch)
+    return records, checksum
+
+
+def _dispatch_sink_queue(inbox: Any, done: Any) -> None:
+    """Echo worker for the queue transport: receive every payload (held in
+    memory so the timed phase measures transport, not decoding), then decode
+    and prove the output with a record count and key checksum."""
+    held = []
+    while True:
+        message = inbox.get()
+        if message is None:
+            break
+        held.append(message[1])
+    done.put(_decode_proof(held))
+
+
+def _dispatch_sink_shm(inbox: Any, done: Any, ring_config: Any) -> None:
+    """Echo worker for the shm-ring transport (same proof of decoded output;
+    the per-message work is the real worker-side transport cost: descriptor
+    get, ring read, release)."""
+    reader = ShmRingReader(*ring_config)
+    held = []
+    while True:
+        message = inbox.get()
+        if message is None:
+            break
+        held.append(reader.read(message[1], message[2]))
+        reader.release(message[3])
+    done.put(_decode_proof(held))
+    reader.close()
+
+
+def bench_e11_transport_dispatch(records: List[Any], quick: bool) -> Dict[str, Any]:
+    """Dispatch-stage cost of the queue vs the shared-memory ring, isolated.
+
+    Inside the full engine rows the dispatch stage is dominated by sampler
+    apply time on the 1-core bench container, which buries the transport
+    difference in scheduler noise.  This benchmark ships the *same* encoded
+    E11 sub-batches (columnar payloads of ``payload_records`` records)
+    through the two real transports to an echo worker that decodes and
+    checksums every record once the stream ends, and times only the
+    coordinator's hand-off loop — exactly the engine's ``dispatch_seconds``
+    stage, backpressured by a depth-2 inbox so the hand-off includes each
+    transport's real drain cost.  Each transport runs twice and the faster
+    run is kept (the usual noise-floor treatment for sub-second timings).
+    """
+    import multiprocessing
+
+    payload_records = 65_536
+    rounds = 16 if quick else 32
+    payloads = []
+    low = 0
+    while low + payload_records <= len(records) and len(payloads) < 6:
+        chunk = records[low : low + payload_records]
+        payloads.append(
+            encode_batch([(key, value, None) for key, value in (r[:2] for r in chunk)])
+        )
+        low += payload_records
+    sends = len(payloads) * rounds
+    context = multiprocessing.get_context()
+    results: Dict[str, Any] = {
+        "payload_records": payload_records,
+        "payload_bytes_mean": round(sum(map(len, payloads)) / len(payloads), 1),
+        "sends": sends,
+    }
+    proofs = {}
+    for mode in ("columnar", "shm"):
+        if mode == "shm" and not HAS_SHARED_MEMORY:
+            results["shm"] = None  # documented fallback platform
+            continue
+        best = None
+        for _ in range(2):
+            inbox = context.Queue(maxsize=2)
+            done = context.Queue()
+            if mode == "columnar":
+                worker = context.Process(target=_dispatch_sink_queue, args=(inbox, done))
+                worker.start()
+                started = time.perf_counter()
+                for _ in range(rounds):
+                    for payload in payloads:
+                        inbox.put(("applyc", payload))
+                dispatch = time.perf_counter() - started
+            else:
+                ring = ShmRingWriter(context, 4 << 20)
+                worker = context.Process(
+                    target=_dispatch_sink_shm, args=(inbox, done, ring.worker_config())
+                )
+                worker.start()
+                started = time.perf_counter()
+                for _ in range(rounds):
+                    for payload in payloads:
+                        while True:
+                            slot = ring.offer(payload)
+                            if slot is not None:
+                                break
+                            time.sleep(0.0005)
+                        inbox.put(("applym", slot[0], len(payload), slot[1]))
+                dispatch = time.perf_counter() - started
+            inbox.put(None)
+            proof = done.get()
+            worker.join()
+            if mode == "shm":
+                ring.close()
+            proofs[mode] = proof
+            if best is None or dispatch < best:
+                best = dispatch
+        results[mode] = {"dispatch_seconds": round(best, 4)}
+    if results.get("shm") is not None:
+        if proofs["columnar"] != proofs["shm"]:
+            raise AssertionError(
+                f"transports decoded different streams: {proofs}"
+            )
+        results["decoded_records"] = proofs["columnar"][0]
+        results["shm_over_columnar_dispatch"] = round(
+            results["shm"]["dispatch_seconds"] / results["columnar"]["dispatch_seconds"], 3
+        )
+        print(
+            f"[E11] transport dispatch ({sends} x {results['payload_bytes_mean'] / 1024:.0f} KiB"
+            f" payloads): columnar {results['columnar']['dispatch_seconds']}s"
+            f" vs shm {results['shm']['dispatch_seconds']}s"
+            f" ({results['shm_over_columnar_dispatch']}x)"
+        )
+    return results
+
+
+def bench_e11_process(records: List[Any], quick: bool, transport: str = "columnar") -> Dict[str, Any]:
     subset = records[: 60_000 if quick else 200_000]
-    with ProcessEngine(e11_spec(), shards=8, seed=3, workers=2) as engine:
+    with ProcessEngine(e11_spec(), shards=8, seed=3, workers=2, transport=transport) as engine:
         elapsed = timed(lambda: (engine.ingest(subset), engine.flush()))
         report = engine.transport_report()
+        keys = engine.key_count
     stages = {
         stage: round(report[stage], 4)
         for stage in ("encode_seconds", "dispatch_seconds", "decode_seconds", "apply_seconds")
     }
     result = {
+        "transport": report["transport"],  # effective (shm may downgrade)
         "records": len(subset),
+        "keys": keys,
         "workers": 2,
         "cores": os.cpu_count() or 1,
         "krps": round(len(subset) / elapsed / 1e3, 1),
@@ -239,8 +385,8 @@ def bench_e11_process(records: List[Any], quick: bool) -> Dict[str, Any]:
         "stage_seconds": stages,
     }
     print(
-        f"[E11] process (workers=2, {result['cores']} core(s)): {result['krps']} krec/s,"
-        f" stages {stages}"
+        f"[E11] process/{result['transport']} (workers=2, {result['cores']} core(s)):"
+        f" {result['krps']} krec/s, stages {stages}"
     )
     return result
 
@@ -265,7 +411,18 @@ def run(quick: bool, out_dir: str, skip_process: bool = False) -> Dict[str, Dict
         "transport": bench_e11_transport(records),
     }
     if not skip_process:
+        e11_results["transport_dispatch"] = bench_e11_transport_dispatch(records, quick)
         e11_results["process"] = bench_e11_process(records, quick)
+        shm = bench_e11_process(records, quick, transport="shm")
+        e11_results["process_shm"] = shm
+        # The shm row is only comparable when both rows decoded the same
+        # stream into the same fleet shape.
+        for field in ("records", "keys"):
+            if shm[field] != e11_results["process"][field]:
+                raise AssertionError(
+                    f"shm and columnar process runs diverged on {field}:"
+                    f" {shm[field]} != {e11_results['process'][field]}"
+                )
     e11 = {"experiment": "E11", "meta": meta(quick), "results": e11_results}
     written = {"BENCH_E7.json": e7, "BENCH_E11.json": e11}
     os.makedirs(out_dir, exist_ok=True)

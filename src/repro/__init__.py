@@ -96,12 +96,21 @@ kept only as the reference semantics:
 * **Samplers** expose ``process_batch(values, timestamps)``.  The default
   mode hoists attribute lookups and generator bindings out of the inner
   loop while consuming randomness exactly like an ``append`` loop — states,
-  samples and checkpoints are bit-identical.  Constructing a sampler (or a
+  samples and checkpoints are bit-identical.  The timestamp samplers —
+  the paper's flagship machinery — batch the covering automata themselves:
+  the ``Incr`` merge cascade runs in place off a single O(1) merge probe
+  and window expiry pays one cached-threshold comparison per element with
+  a full Lemma 3.5 scan only at actual transitions, which takes
+  ``boz-ts-wr``/``boz-ts-wor`` ingest from ~1x to 4–5x over the append
+  loop while staying bit-identical.  Constructing a sampler (or a
   :class:`~repro.engine.SamplerSpec`) with ``fast=True`` switches the
-  sequence samplers to skip-counting (the Vitter Algorithm-Z lineage): one
+  sequence samplers to skip-counting (the Vitter Algorithm-Z lineage: one
   geometric skip per reservoir *acceptance* instead of one coin per
-  element — distributionally exact (gated by χ² and KS suites), but not
-  bit-identical, and rejected by the baseline algorithms.
+  element) and the timestamp samplers to pooled bucket-merge coins (the
+  fair merge coin makes the geometric skip a run length of a fair-bit
+  stream, so one draw buys a slab of coins) — distributionally exact
+  (gated by χ² and KS suites), but not bit-identical, and rejected by the
+  baseline algorithms.
 * **Engines** group each ingest batch per key in a single pass (hashing
   each distinct key once per chunk) and feed every key's run through its
   sampler's batched path; engines with an eviction policy fall back to
@@ -112,13 +121,21 @@ kept only as the reference semantics:
   tuple lists — roughly half the bytes per record on typical int-keyed
   feeds — and :meth:`~repro.engine.ProcessEngine.transport_report` breaks
   ingest cost into encode / dispatch / decode / apply stages.
+  ``ProcessEngine(transport="shm")`` additionally carries the buffers
+  through per-worker ``multiprocessing.shared_memory`` rings so the queue
+  ships only tiny descriptors, eliminating the feeder-thread pickle and
+  pipe copies on the dispatch path (payloads larger than the ring fall
+  back to the queue; interpreters without ``shared_memory`` silently
+  downgrade to ``"columnar"`` with identical results).
 
 The measured trajectory lives in ``BENCH_E7.json`` / ``BENCH_E11.json`` at
 the repo root, written by ``benchmarks/record.py`` (per-sampler and
 fleet-scale throughput for the per-record, batched and fast paths, plus
-transport bytes/record; see that module's docstring for how to read and
-regenerate them).  CI's ``bench-smoke`` job fails on a >25% regression of
-any guarded metric against those committed baselines.
+transport bytes/record and a dispatch-isolated queue-vs-shm comparison;
+see that module's docstring for how to read and regenerate them).  CI's
+``bench-smoke`` job fails on a >25% regression of any guarded metric —
+including the timestamp-sampler speedups — against those committed
+baselines.
 
 Quickstart
 ----------

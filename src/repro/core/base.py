@@ -183,10 +183,12 @@ class WindowSampler(abc.ABC):
 
         This base implementation simply loops :meth:`append`; the optimal
         samplers override it with a batched fast path that hoists attribute
-        lookups out of the inner loop and — with ``fast=True`` at
-        construction — replaces per-element coin flips with geometric skip
-        draws.  The default (``fast=False``) overrides are **bit-identical**
-        to the equivalent ``append`` loop: same retained candidates, same
+        lookups out of the inner loop (and, for the timestamp samplers,
+        amortises the covering automata's merge walks and expiry scans
+        across the batch) and — with ``fast=True`` at construction —
+        replaces per-element coin flips with geometric skip draws.  The
+        default (``fast=False``) overrides are **bit-identical** to the
+        equivalent ``append`` loop: same retained candidates, same
         generator positions, same checkpoints.
         """
         check_batch_lengths(values, timestamps)

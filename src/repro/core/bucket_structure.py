@@ -80,6 +80,30 @@ class BucketStructure:
         )
 
     @classmethod
+    def merge_fast(
+        cls,
+        left: "BucketStructure",
+        right: "BucketStructure",
+        r_sample: SampleCandidate,
+        q_sample: SampleCandidate,
+    ) -> "BucketStructure":
+        """Merge two adjacent equal-width buckets whose R/Q samples the caller
+        has already chosen (the batched ingest path draws the coins itself).
+
+        Skips the adjacency/width validation — the ``Incr`` cascade only
+        merges buckets Lemma 3.4 proves adjacent and equal-width — and the
+        observer notifications (batched ingest only runs observer-free).
+        """
+        bucket = cls.__new__(cls)
+        bucket.start = left.start
+        bucket.end = right.end
+        bucket.first_value = left.first_value
+        bucket.first_timestamp = left.first_timestamp
+        bucket.r_sample = r_sample
+        bucket.q_sample = q_sample
+        return bucket
+
+    @classmethod
     def merge(
         cls,
         left: "BucketStructure",

@@ -28,8 +28,9 @@ Both states use ``O(log n(t))`` memory words.
 
 from __future__ import annotations
 
+import math
 import random
-from typing import Any, Dict, Iterator, List, Optional, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..exceptions import EmptyWindowError, StreamOrderError
 from ..memory import MemoryMeter, WORD_MODEL
@@ -389,6 +390,165 @@ class WindowCoverage:
             )
         else:
             self._decomposition.incr(value, index, timestamp)
+
+    def observe_batch(
+        self,
+        values: Sequence[Any],
+        base_index: int,
+        stamps: Sequence[float],
+        clocks: Optional[Sequence[float]] = None,
+        fast: bool = False,
+    ) -> None:
+        """Process a whole chunk of arrivals: element ``p`` has stream index
+        ``base_index + p`` and timestamp ``stamps[p]``; ``clocks[p]`` (default
+        ``stamps[p]``) is the clock value advanced *before* observing it — the
+        delayed feeds of §4 observe old elements at the current arrival time.
+
+        Semantically this is exactly ``advance_time(clocks[p])`` followed by
+        ``observe(values[p], base_index + p, stamps[p])`` for every ``p``, but
+        the per-element costs are amortised across the chunk:
+
+        * **batched expiry** — the Lemma 3.5 transition can only fire once the
+          clock passes the front bucket's first timestamp plus ``t0``, so the
+          chunk pays one cached-threshold comparison per element and a full
+          expiry scan only when the threshold is actually crossed (one scan
+          per transition, not one per arrival);
+        * **in-place ``Incr``** — the merge cascade mutates the bucket list
+          directly instead of rebuilding it, and the "did ``⌊log(b+2-a)⌋``
+          step?" test collapses to a single power-of-two bit trick per bucket;
+        * observer/attribute lookups are hoisted out of the loop.
+
+        With ``fast=False`` the generator is consumed exactly as the
+        per-element path consumes it (two coins per merge, in cascade order),
+        so the resulting state — buckets, straddler, clock *and* generator
+        position — is bit-identical.  ``fast=True`` replaces the per-merge
+        coins with skip-sampling (the counterpart of PR 4's reservoir fast
+        path, specialised to the merge coin's ``p = 1/2``: the geometric skip
+        between right-keeps is exactly the run length of a fair-coin stream,
+        so one generator draw buys a whole slab of merge coins) and shares
+        one candidate record between a fresh singleton's R and Q slots (they
+        are deterministically the same element): distributionally exact,
+        memoryless per-chunk redraws, but a different generator trajectory.
+
+        Observer-carrying coverages fall back to the per-element path so the
+        selection/discard callbacks keep firing.
+        """
+        count = len(values)
+        if count == 0:
+            return
+        if self._observer is not None:
+            clock_track = stamps if clocks is None else clocks
+            for position in range(count):
+                self.advance_time(clock_track[position])
+                self.observe(values[position], base_index + position, stamps[position])
+            return
+        t0 = self._t0
+        now = self._now
+        rng_random = self._rng.random
+        merged = BucketStructure.merge_fast
+        new_bucket = BucketStructure.__new__
+        bucket_cls = BucketStructure
+        candidate_cls = SampleCandidate
+        buckets = self._decomposition._buckets
+        # Cached expiry threshold: no Lemma 3.5 transition can fire while
+        # ``now - front_first_ts < t0`` (the exact per-element comparison, so
+        # float rounding matches the reference path bit for bit).
+        front_ts = buckets[0].first_timestamp if buckets else math.inf
+        # Fast-mode coin slab: each byte of ``randbytes`` output is one fair
+        # merge coin (its high bit), so one generator call buys 512 coins.
+        # The unconsumed tail is discarded at the end of the chunk, which is
+        # exact because the coins are i.i.d.
+        if fast:
+            randbytes = self._rng.randbytes
+            slab = b""
+            slab_pos = 0
+        for position in range(count):
+            ts = stamps[position]
+            clock = ts if clocks is None else clocks[position]
+            if clock > now:
+                now = clock
+            if now - front_ts >= t0:
+                # Threshold crossed: run the full Lemma 3.5 transition (which
+                # may re-anchor on a straddler or empty the decomposition),
+                # then re-cache the bucket list and threshold.
+                self._now = now
+                self._refresh()
+                buckets = self._decomposition._buckets
+                front_ts = buckets[0].first_timestamp if buckets else math.inf
+            if now - ts >= t0:
+                # Lemma 4.1: a delayed element already expired on arrival is
+                # skipped (only possible while nothing active is stored).
+                continue
+            value = values[position]
+            index = base_index + position
+            if buckets:
+                # In-place Incr (Lemma 3.4).  The walk merges exactly where
+                # ``⌊log(b+2-a)⌋`` steps — where ``b+2-a`` is a power of two —
+                # and in a canonical decomposition those positions always form
+                # a stride-2 run ending at the third-from-last bucket (pinned
+                # exhaustively against the reference walk in
+                # tests/test_covering_decomposition.py).  One O(1) probe of
+                # that bucket therefore decides whether this arrival merges at
+                # all; most arrivals reduce to a plain append.  ``b`` is the
+                # previous newest index, so ``b + 1 == index``.
+                n = len(buckets)
+                if n >= 3 and buckets[n - 3].start == index - 3:
+                    # Find the front of the merge run: walk backward in steps
+                    # of two while the gap stays a power of two.
+                    first = n - 3
+                    while first >= 2:
+                        gap = index + 1 - buckets[first - 2].start
+                        if gap & (gap - 1):
+                            break
+                        first -= 2
+                    # Execute the run front-to-back so the merge coins are
+                    # drawn in exactly the reference walk's order.
+                    read = first
+                    write = first
+                    while read <= n - 3:
+                        bucket = buckets[read]
+                        right = buckets[read + 1]
+                        if fast:
+                            if slab_pos == len(slab):
+                                slab = randbytes(512)
+                                slab_pos = 0
+                            r_sample = (
+                                bucket.r_sample if slab[slab_pos] < 128 else right.r_sample
+                            )
+                            slab_pos += 1
+                            if slab_pos == len(slab):
+                                slab = randbytes(512)
+                                slab_pos = 0
+                            q_sample = (
+                                bucket.q_sample if slab[slab_pos] < 128 else right.q_sample
+                            )
+                            slab_pos += 1
+                        else:
+                            r_sample = bucket.r_sample if rng_random() < 0.5 else right.r_sample
+                            q_sample = bucket.q_sample if rng_random() < 0.5 else right.q_sample
+                        buckets[write] = merged(bucket, right, r_sample, q_sample)
+                        read += 2
+                        write += 1
+                    buckets[write] = buckets[n - 1]
+                    del buckets[write + 1 :]
+            else:
+                front_ts = ts
+            # Append the new singleton BS(index, index+1), inlined (this runs
+            # once per active arrival — the hottest allocation in the path).
+            # The default mode creates distinct R and Q candidates exactly
+            # like BucketStructure.singleton; fast mode shares one record.
+            appended = new_bucket(bucket_cls)
+            appended.start = index
+            appended.end = index + 1
+            appended.first_value = value
+            appended.first_timestamp = ts
+            if fast:
+                appended.r_sample = appended.q_sample = candidate_cls(value, index, ts)
+            else:
+                appended.r_sample = candidate_cls(value, index, ts)
+                appended.q_sample = candidate_cls(value, index, ts)
+            buckets.append(appended)
+        self._now = now
 
     # -- the Lemma 3.5 transitions ----------------------------------------------------------
 

@@ -54,9 +54,10 @@ class TimestampSamplerWR(TimestampWindowSampler):
     ) -> None:
         super().__init__(t0, k, observer)
         root = ensure_rng(rng)
-        #: Accepted for API symmetry with the sequence samplers; the covering
-        #: automata have no per-element coin to skip, so the batched path is
-        #: the same (bit-identical) one either way.
+        #: ``fast=True`` switches the batched path's bucket-merge coins to
+        #: geometric skip draws (distributionally exact, not bit-identical to
+        #: the ``append`` loop); the default consumes randomness exactly like
+        #: per-element appends.
         self._fast = bool(fast)
         self._coverages = [WindowCoverage(self._t0, spawn(root, lane), observer) for lane in range(self._k)]
         self._query_rng = spawn(root, self._k + 1)
@@ -97,8 +98,12 @@ class TimestampSamplerWR(TimestampWindowSampler):
         timestamps: Optional[Sequence[Optional[float]]] = None,
     ) -> int:
         """Batched :meth:`append`: timestamps are validated up front, then the
-        batch is fed lane-major (each covering automaton owns an independent
-        generator, so the result is bit-identical to the ``append`` loop).
+        batch is fed lane-major through
+        :meth:`~repro.core.covering.WindowCoverage.observe_batch` (each
+        covering automaton owns an independent generator, so the default mode
+        is bit-identical to the ``append`` loop; ``fast=True`` switches the
+        merge coins to geometric skip draws — distributionally exact, but a
+        different generator trajectory).
 
         Unlike per-element appends, an out-of-order timestamp raises
         *before* any element is applied.  Observer-carrying samplers fall
@@ -112,10 +117,9 @@ class TimestampSamplerWR(TimestampWindowSampler):
             return super().process_batch(values, timestamps)
         stamps = coerce_batch_timestamps(count, timestamps, self._now)
         start = self._arrivals
+        fast = self._fast
         for coverage in self._coverages:
-            observe = coverage.observe
-            for position in range(count):
-                observe(values[position], start + position, stamps[position])
+            coverage.observe_batch(values, start, stamps, fast=fast)
         self._now = stamps[-1]
         self._arrivals = start + count
         return count

@@ -65,9 +65,10 @@ class TimestampSamplerWOR(TimestampWindowSampler):
         super().__init__(t0, k, observer)
         root = ensure_rng(rng)
         self._allow_partial = bool(allow_partial)
-        #: Accepted for API symmetry with the sequence samplers; the covering
-        #: automata have no per-element coin to skip, so the batched path is
-        #: the same (bit-identical) one either way.
+        #: ``fast=True`` switches the batched path's bucket-merge coins to
+        #: geometric skip draws (distributionally exact, not bit-identical to
+        #: the ``append`` loop); the default consumes randomness exactly like
+        #: per-element appends.
         self._fast = bool(fast)
         # Coverage i receives elements delayed by i arrivals (Lemma 4.1).
         self._coverages = [WindowCoverage(self._t0, spawn(root, lane), observer) for lane in range(self._k)]
@@ -124,14 +125,17 @@ class TimestampSamplerWOR(TimestampWindowSampler):
     ) -> int:
         """Batched :meth:`append` for the delayed-copies construction.
 
-        Copy ``i`` observes element ``index - i`` at every arrival, so the
-        batch is fed lane-major against a materialised view of the auxiliary
-        array's evolution (old buffer + batch): each coverage automaton owns
-        an independent generator and sees exactly the per-element sequence,
-        making the result bit-identical to the ``append`` loop.  Timestamps
-        are validated up front (an out-of-order one raises before any element
-        is applied); observer-carrying samplers fall back to the per-element
-        loop.
+        Copy ``i`` observes element ``index - i`` at every arrival, so each
+        coverage is handed one contiguous slice of the materialised auxiliary
+        view (old buffer + batch) through
+        :meth:`~repro.core.covering.WindowCoverage.observe_batch`, with the
+        *arrival* timestamps as its clock track: each automaton owns an
+        independent generator and sees exactly the per-element sequence,
+        making the default mode bit-identical to the ``append`` loop
+        (``fast=True`` draws geometric merge skips instead — distributionally
+        exact, different generator trajectory).  Timestamps are validated up
+        front (an out-of-order one raises before any element is applied);
+        observer-carrying samplers fall back to the per-element loop.
         """
         check_batch_lengths(values, timestamps)
         count = len(values)
@@ -142,21 +146,33 @@ class TimestampSamplerWOR(TimestampWindowSampler):
         stamps = coerce_batch_timestamps(count, timestamps, self._now)
         start = self._arrivals
         held = list(self._recent)
-        combined = held + [
-            SampleCandidate(value=values[position], index=start + position, timestamp=stamps[position])
-            for position in range(count)
-        ]
         base = len(held)
+        combined_values = [candidate.value for candidate in held]
+        combined_values.extend(values)
+        combined_stamps = [candidate.timestamp for candidate in held]
+        combined_stamps.extend(stamps)
+        fast = self._fast
         for delay, coverage in enumerate(self._coverages):
-            advance = coverage.advance_time
-            observe = coverage.observe
-            for position in range(count):
-                if start + position - delay < 0:
-                    continue
-                delayed = combined[base + position - delay]
-                advance(stamps[position])
-                observe(delayed.value, delayed.index, delayed.timestamp)
-        self._recent.extend(combined[base:])
+            # Copy `delay` skips arrivals whose delayed target index would be
+            # negative; the rest observe the contiguous combined slice
+            # [base + first - delay, base + count - delay) — the held buffer
+            # holds exactly the last `base` arrivals, indexes consecutive.
+            first = delay - start
+            if first < 0:
+                first = 0
+            if first >= count:
+                continue
+            coverage.observe_batch(
+                combined_values[base + first - delay : base + count - delay],
+                start + first - delay,
+                combined_stamps[base + first - delay : base + count - delay],
+                clocks=stamps if first == 0 else stamps[first:],
+                fast=fast,
+            )
+        self._recent.extend(
+            SampleCandidate(value=values[position], index=start + position, timestamp=stamps[position])
+            for position in range(count - self._k if count > self._k else 0, count)
+        )
         self._now = stamps[-1]
         self._arrivals = start + count
         return count

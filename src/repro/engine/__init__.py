@@ -44,7 +44,10 @@ budget:
   transport: record sub-batches crossing the :class:`ProcessEngine` process
   boundary are struct-packed into one compact buffer per sub-batch instead
   of pickled tuple-by-tuple (format documented in
-  :mod:`repro.engine.transport`).
+  :mod:`repro.engine.transport`).  ``ProcessEngine(transport="shm")`` maps
+  those buffers into per-worker ``multiprocessing.shared_memory`` rings so
+  the queue carries only descriptors (falling back to ``"columnar"`` where
+  ``shared_memory`` is unavailable, with identical results).
 
 The whole ingest path is batched end to end: ``ingest()`` partitions records
 per shard (hashing each distinct key once per chunk),
@@ -52,7 +55,8 @@ per shard (hashing each distinct key once per chunk),
 and every optimal sampler applies a key's run through its ``process_batch``
 fast path — bit-identical to per-record appends by default, and with
 ``SamplerSpec(fast=True)`` switching the sequence samplers to geometric
-skip-sampling (statistically exact, χ²/KS-gated, not bit-identical).
+skip-sampling and the timestamp samplers' covering automata to pooled
+bucket-merge coins (statistically exact, χ²/KS-gated, not bit-identical).
 
 Sharding is by a *stable* hash (:func:`stable_key_hash`), never Python's
 salted ``hash()``, so routing — and therefore every per-key sampler's

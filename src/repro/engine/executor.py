@@ -104,7 +104,13 @@ from .engine import (
 from .hashing import stable_key_hash
 from .pool import KeyedSamplerPool
 from .spec import SamplerSpec
-from .transport import decode_batch, encode_batch
+from .transport import (
+    HAS_SHARED_MEMORY,
+    ShmRingReader,
+    ShmRingWriter,
+    decode_batch,
+    encode_batch,
+)
 
 __all__ = ["ParallelEngine", "ProcessEngine"]
 
@@ -159,6 +165,12 @@ class _ShardWorkerLoop:
         struct-packed buffer (see :mod:`repro.engine.transport`) and is
         decoded worker-side.  Used by the process transport to cut pickling
         freight.
+    ``("applym", shard, start, length, end_counter)``
+        Shared-memory form of ``applyc``: the columnar buffer sits at
+        ``[start, start+length)`` of this worker's payload ring and only
+        this descriptor travels through the queue.  The worker copies the
+        payload out, publishes ``end_counter`` as consumed (releasing ring
+        space back to the coordinator), then decodes and applies.
     ``("shutdown",)``
         Exit the loop.
     ``("barrier", rid)``
@@ -184,6 +196,8 @@ class _ShardWorkerLoop:
         self.clocked = spec.is_timestamp
         self.failures = failures if failures is not None else _FailureBox()
         self.on_applied = on_applied
+        #: Reader half of this worker's payload ring (shm transport only).
+        self.shm_reader: Optional[ShmRingReader] = None
         # Per-stage transport accounting, reported through the "perf" op.
         self.decode_seconds = 0.0
         self.apply_seconds = 0.0
@@ -214,6 +228,16 @@ class _ShardWorkerLoop:
             if kind == "applyc":
                 started = time.perf_counter()
                 batch = decode_batch(message[2])
+                self.decode_seconds += time.perf_counter() - started
+                self._apply(message[1], batch)
+                continue
+            if kind == "applym":
+                started = time.perf_counter()
+                payload = self.shm_reader.read(message[2], message[3])
+                # The read copied the payload; release the ring space before
+                # the (slower) decode+apply so the producer can refill.
+                self.shm_reader.release(message[4])
+                batch = decode_batch(payload)
                 self.decode_seconds += time.perf_counter() - started
                 self._apply(message[1], batch)
                 continue
@@ -341,6 +365,9 @@ def _process_worker_main(config: Dict[str, Any], inbox: Any, replies: Any) -> No
         for shard in config["shard_indexes"]
     }
     loop = _ShardWorkerLoop(pools, spec)
+    ring = config.get("shm_ring")
+    if ring is not None:
+        loop.shm_reader = ShmRingReader(*ring)
     try:
         loop.run(
             inbox,
@@ -350,6 +377,9 @@ def _process_worker_main(config: Dict[str, Any], inbox: Any, replies: Any) -> No
         )
     except (EOFError, OSError, KeyboardInterrupt):  # pragma: no cover - torn pipes
         pass
+    finally:
+        if loop.shm_reader is not None:
+            loop.shm_reader.close()
 
 
 def _reap_processes(processes: List[Any]) -> None:
@@ -364,6 +394,14 @@ def _reap_processes(processes: List[Any]) -> None:
             process.join(timeout=1.0)
             if process.is_alive():  # pragma: no cover - terminate() sufficed so far
                 process.kill()
+
+
+def _cleanup_fleet(processes: List[Any], rings: List[ShmRingWriter]) -> None:
+    """GC-finalizer cleanup: reap the workers, then unlink their payload
+    rings (in that order — a live worker may still hold its mapping)."""
+    _reap_processes(processes)
+    for ring in rings:
+        ring.close()
 
 
 class _WorkerBackedEngine(ShardedEngine):
@@ -809,10 +847,18 @@ class ProcessEngine(_WorkerBackedEngine):
     ``"columnar"`` (the default) struct-packs each sub-batch into one
     compact buffer (:mod:`repro.engine.transport`) so the queue pickles a
     single ``bytes`` object instead of thousands of small tuples;
-    ``"pickle"`` ships the raw tuple list (the pre-columnar wire form, kept
-    for comparison and as an escape hatch).  Results are bit-identical
-    either way; :meth:`transport_report` breaks the cost down per stage
-    (encode / dispatch / decode / apply).
+    ``"shm"`` additionally maps that buffer into a per-worker
+    ``multiprocessing.shared_memory`` ring so the queue carries only a tiny
+    descriptor — eliminating the feeder-thread pickle and pipe copy, the
+    dominant dispatch cost of the columnar transport (payloads larger than
+    the ring, sized by ``shm_ring_bytes``, fall back to the queue; on
+    interpreters without ``multiprocessing.shared_memory`` the whole engine
+    silently downgrades to ``"columnar"`` — check ``transport_report()`` for
+    the effective transport); ``"pickle"`` ships the raw tuple list (the
+    pre-columnar wire form, kept for comparison and as an escape hatch).
+    Results are bit-identical whichever transport carries the records;
+    :meth:`transport_report` breaks the cost down per stage (encode /
+    dispatch / decode / apply).
     """
 
     def __init__(
@@ -824,6 +870,7 @@ class ProcessEngine(_WorkerBackedEngine):
         max_batch: int = 4096,
         mp_context: Optional[str] = None,
         transport: str = "columnar",
+        shm_ring_bytes: int = 1 << 20,
         shards: int = 4,
         seed: int = 0,
         max_keys_per_shard: Optional[int] = None,
@@ -841,12 +888,20 @@ class ProcessEngine(_WorkerBackedEngine):
             idle_ttl=idle_ttl,
             track_occurrences=track_occurrences,
         )
-        if transport not in ("columnar", "pickle"):
+        if transport not in ("columnar", "pickle", "shm"):
             raise ConfigurationError(
-                f"transport must be 'columnar' or 'pickle', got {transport!r}"
+                f"transport must be 'columnar', 'shm' or 'pickle', got {transport!r}"
             )
+        if shm_ring_bytes <= 0:
+            raise ConfigurationError("shm_ring_bytes must be positive")
         context = multiprocessing.get_context(mp_context)
+        self._requested_transport = transport
+        if transport == "shm" and not HAS_SHARED_MEMORY:
+            # Documented fallback: same results, one more copy per sub-batch.
+            transport = "columnar"
         self._transport = transport
+        self._shm_ring_bytes = int(shm_ring_bytes)
+        self._rings: List[ShmRingWriter] = []
         self._failure: Optional[str] = None
         self._request_counter = 0
         self._unbarriered = False
@@ -857,6 +912,7 @@ class ProcessEngine(_WorkerBackedEngine):
         self._dispatch_seconds = 0.0
         self._dispatched_batches = 0
         self._dispatched_records = 0
+        self._ring_fallbacks = 0
         config = {
             "spec": spec.to_dict(),
             "seed": self._seed,
@@ -872,13 +928,14 @@ class ProcessEngine(_WorkerBackedEngine):
             for index in range(self._workers):
                 inbox = context.Queue(maxsize=self._queue_depth)
                 replies = context.Queue()
+                worker_config = {**config, "shard_indexes": self._shard_sets[index]}
+                if self._transport == "shm":
+                    ring = ShmRingWriter(context, self._shm_ring_bytes)
+                    self._rings.append(ring)
+                    worker_config["shm_ring"] = ring.worker_config()
                 process = context.Process(
                     target=_process_worker_main,
-                    args=(
-                        {**config, "shard_indexes": self._shard_sets[index]},
-                        inbox,
-                        replies,
-                    ),
+                    args=(worker_config, inbox, replies),
                     name=f"swsample-shard-worker-{index}",
                     daemon=True,
                 )
@@ -888,11 +945,15 @@ class ProcessEngine(_WorkerBackedEngine):
                 process.start()
         except BaseException:
             _reap_processes(self._processes)
+            for ring in self._rings:
+                ring.close()
             raise
-        # Belt and braces against orphans: terminate the fleet even if the
-        # engine is garbage-collected (or the interpreter exits) without a
-        # close() call.
-        self._finalizer = weakref.finalize(self, _reap_processes, list(self._processes))
+        # Belt and braces against orphans and leaked shm segments: clean up
+        # the fleet even if the engine is garbage-collected (or the
+        # interpreter exits) without a close() call.
+        self._finalizer = weakref.finalize(
+            self, _cleanup_fleet, list(self._processes), list(self._rings)
+        )
 
     def _create_pools(self) -> List[KeyedSamplerPool]:
         # The shards live in the worker processes; the coordinator keeps
@@ -1002,30 +1063,65 @@ class ProcessEngine(_WorkerBackedEngine):
 
     def _dispatch(self, shard: int, batch: List[Tuple[Any, Any, Optional[float]]]) -> None:
         perf = time.perf_counter
-        if self._transport == "columnar":
+        transport = self._transport
+        payload: Optional[bytes] = None
+        if transport == "pickle":
+            message: Optional[Tuple[Any, ...]] = ("apply", shard, batch)
+        else:
             started = perf()
             payload = encode_batch(batch)
             self._encode_seconds += perf() - started
             self._encoded_bytes += len(payload)
-            message: Tuple[Any, ...] = ("applyc", shard, payload)
-        else:
-            message = ("apply", shard, batch)
+            message = ("applyc", shard, payload) if transport != "shm" else None
         self._dispatched_batches += 1
         self._dispatched_records += len(batch)
+        worker = self._worker_of(shard)
+        # The dispatch stage covers the whole hand-off: for shm that is the
+        # ring write (and any ring-backpressure stall) plus the descriptor
+        # put, keeping the stage comparable across transports.
         started = perf()
-        self._send(self._worker_of(shard), message)
+        if message is None:
+            message = self._ring_message(worker, shard, payload)
+        self._send(worker, message)
         self._dispatch_seconds += perf() - started
         self._unbarriered = True
+
+    def _ring_message(
+        self, worker: int, shard: int, payload: bytes
+    ) -> Tuple[Any, ...]:
+        """Place ``payload`` in the worker's ring and build its descriptor
+        message; payloads too large for the ring fall back to the queue."""
+        ring = self._rings[worker]
+        if not ring.fits(len(payload)):
+            self._ring_fallbacks += 1
+            return ("applyc", shard, payload)
+        waited = 0.0
+        while True:
+            slot = ring.offer(payload)
+            if slot is not None:
+                return ("applym", shard, slot[0], len(payload), slot[1])
+            # Ring full: the worker is behind — byte-level backpressure.
+            time.sleep(0.001)
+            waited += 0.001
+            if waited >= _POLL_INTERVAL:
+                self._ensure_alive(worker)  # raises once the worker is gone
+                waited = 0.0
 
     def transport_report(self) -> Dict[str, Any]:
         """Cumulative per-stage transport cost of this fleet's ingest path.
 
         Returns a dict with the coordinator-side stages (``encode_seconds``
         — columnar packing; ``dispatch_seconds`` — time spent handing
-        messages to the bounded inboxes, which includes any backpressure
-        stalls) and the worker-side stages summed over the fleet
-        (``decode_seconds``, ``apply_seconds``), plus batch/record/byte
-        counters.  ``encoded_bytes`` is 0 under the ``"pickle"`` transport.
+        messages to the workers, which includes ring writes and any
+        backpressure stalls) and the worker-side stages summed over the
+        fleet (``decode_seconds``, ``apply_seconds``), plus
+        batch/record/byte counters.  ``transport`` is the *effective*
+        transport (``"shm"`` downgrades to ``"columnar"`` where
+        ``multiprocessing.shared_memory`` is unavailable;
+        ``requested_transport`` preserves what the caller asked for);
+        ``ring_fallbacks`` counts shm payloads that exceeded the ring and
+        travelled through the queue instead.  ``encoded_bytes`` is 0 under
+        the ``"pickle"`` transport.
         """
         with self._api_lock:
             self._check_query()
@@ -1037,6 +1133,7 @@ class ProcessEngine(_WorkerBackedEngine):
                 apply_seconds += partial["apply_seconds"]
             return {
                 "transport": self._transport,
+                "requested_transport": self._requested_transport,
                 "batches": self._dispatched_batches,
                 "records": self._dispatched_records,
                 "encoded_bytes": self._encoded_bytes,
@@ -1044,6 +1141,7 @@ class ProcessEngine(_WorkerBackedEngine):
                 "dispatch_seconds": self._dispatch_seconds,
                 "decode_seconds": decode_seconds,
                 "apply_seconds": apply_seconds,
+                "ring_fallbacks": self._ring_fallbacks,
             }
 
     def _barrier(self) -> None:
@@ -1087,6 +1185,8 @@ class ProcessEngine(_WorkerBackedEngine):
         for process in self._processes:
             process.join(timeout=_JOIN_TIMEOUT)
         _reap_processes(self._processes)
+        for ring in self._rings:
+            ring.close()  # unlink after the workers are gone
         self._finalizer.detach()  # fleet reaped; nothing left for GC to do
         for channel in self._inboxes + self._replies:
             channel.close()

@@ -38,7 +38,9 @@ class SamplerSpec:
     replacement: bool = True
     algorithm: str = "optimal"
     #: Enable the skip-sampling batched ingest mode (optimal algorithm only):
-    #: ``process_batch`` draws geometric skips instead of per-element coins.
+    #: ``process_batch`` draws geometric skips instead of per-element coins —
+    #: reservoir-acceptance skips for the sequence samplers, pooled
+    #: bucket-merge coins for the timestamp samplers' covering automata.
     #: Distributionally exact, but not bit-identical to the default path.
     fast: bool = False
     #: Normalised to a sorted tuple of ``(name, value)`` pairs so the frozen

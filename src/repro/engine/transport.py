@@ -29,6 +29,21 @@ The encoding is exact: ``decode_batch(encode_batch(batch)) == batch`` for
 every picklable batch (``bool`` deliberately falls through to the pickle tag
 so it round-trips as ``bool``, not ``int``).  Bit-identity of engine results
 therefore does not depend on which transport carried the records.
+
+Shared-memory ring (transport ``"shm"``)
+----------------------------------------
+Even as a single buffer, a columnar payload shipped through a
+``multiprocessing.Queue`` is pickled by the coordinator's feeder thread,
+squeezed through a pipe, and reassembled worker-side — two copies plus pipe
+syscalls per sub-batch.  :class:`ShmRingWriter`/:class:`ShmRingReader`
+eliminate that: the coordinator memcpys the payload into a per-worker
+``multiprocessing.shared_memory`` ring and the queue carries only a tiny
+``(start, length, counter)`` descriptor; the worker copies the payload
+straight out of the mapping.  Space is reclaimed through a monotonic
+consumed-bytes counter the worker advances after each read, which doubles as
+byte-level backpressure: a producer that outruns the worker waits for ring
+space.  Payloads larger than the ring fall back to the plain queue, so the
+ring bounds memory without limiting record size.
 """
 
 from __future__ import annotations
@@ -37,7 +52,25 @@ import pickle
 import struct
 from typing import Any, List, Optional, Sequence, Tuple
 
-__all__ = ["encode_batch", "decode_batch", "MAGIC"]
+try:  # pragma: no cover - import guard exercised via HAS_SHARED_MEMORY
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover - platforms without shm support
+    _shared_memory = None  # type: ignore[assignment]
+
+#: Whether ``multiprocessing.shared_memory`` is importable here.  When it is
+#: not (stripped-down or very old interpreters), ``ProcessEngine`` silently
+#: downgrades ``transport="shm"`` to ``"columnar"`` — same results, one more
+#: copy — and reports the effective transport in ``transport_report()``.
+HAS_SHARED_MEMORY = _shared_memory is not None
+
+__all__ = [
+    "encode_batch",
+    "decode_batch",
+    "MAGIC",
+    "HAS_SHARED_MEMORY",
+    "ShmRingWriter",
+    "ShmRingReader",
+]
 
 #: Format magic; bump the digit on incompatible changes.
 MAGIC = b"SWT1"
@@ -142,3 +175,118 @@ def decode_batch(buffer: bytes) -> List[Tuple[Any, Any, Optional[float]]]:
     values, offset = _decode_column(buffer, offset, count)
     stamps, offset = _decode_column(buffer, offset, count)
     return list(zip(keys, values, stamps))
+
+
+# -- shared-memory ring -------------------------------------------------------
+#
+# One writer (the coordinator) and one reader (the owning worker) share a
+# fixed-size mapping.  Positions are *monotonic byte counters* reduced modulo
+# the capacity on access: the writer tracks `reserved` locally, the reader
+# publishes `consumed` through a locked shared value after each read.  A
+# payload is stored contiguously — when it would straddle the physical end of
+# the mapping the writer skips (pads) to the start — so readers never stitch.
+# Because descriptors travel through the worker's FIFO inbox, payloads are
+# consumed in write order and one counter per side fully describes the ring.
+
+
+class ShmRingWriter:
+    """Coordinator half of one worker's payload ring."""
+
+    def __init__(self, context: Any, capacity: int) -> None:
+        if _shared_memory is None:  # pragma: no cover - guarded by callers
+            raise RuntimeError("multiprocessing.shared_memory is unavailable")
+        if capacity <= 0:
+            raise ValueError("ring capacity must be positive")
+        self._shm = _shared_memory.SharedMemory(create=True, size=capacity)
+        self._capacity = int(capacity)
+        self._consumed = context.Value("Q", 0)
+        self._reserved = 0
+        self._closed = False
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def worker_config(self) -> Tuple[str, Any, int]:
+        """What the worker process needs to build its :class:`ShmRingReader`:
+        the segment name, the shared consumed counter, and the capacity."""
+        return (self._shm.name, self._consumed, self._capacity)
+
+    def fits(self, length: int) -> bool:
+        """Whether a payload of this size can ever be carried by the ring."""
+        return length <= self._capacity
+
+    def offer(self, payload: bytes) -> Optional[Tuple[int, int]]:
+        """Try to write ``payload`` into the ring.
+
+        Returns ``(start, end_counter)`` for the descriptor message, or
+        ``None`` when the ring currently lacks space (the caller should check
+        worker liveness and retry).  Callers must pre-check :meth:`fits`.
+        """
+        length = len(payload)
+        reserved = self._reserved
+        start = reserved % self._capacity
+        if start + length > self._capacity:
+            # Straddles the physical end: pad to the start of the mapping.
+            reserved += self._capacity - start
+            start = 0
+        end = reserved + length
+        with self._consumed.get_lock():
+            consumed = self._consumed.value
+        if end - consumed > self._capacity:
+            return None
+        self._shm.buf[start : start + length] = payload
+        self._reserved = end
+        return start, end
+
+    def close(self) -> None:
+        """Release and unlink the segment (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._shm.close()
+            self._shm.unlink()
+        except (FileNotFoundError, OSError):  # pragma: no cover - already gone
+            pass
+
+
+class ShmRingReader:
+    """Worker half of one payload ring (attached by segment name)."""
+
+    def __init__(self, name: str, consumed: Any, capacity: int) -> None:
+        if _shared_memory is None:  # pragma: no cover - guarded by callers
+            raise RuntimeError("multiprocessing.shared_memory is unavailable")
+        try:
+            self._shm = _shared_memory.SharedMemory(name=name, track=False)
+        except TypeError:
+            # Pre-3.13 interpreters lack ``track=False`` and unconditionally
+            # register attachments with the resource tracker, which would
+            # later unlink (or warn about) a segment the coordinator still
+            # owns (bpo-39959).  Suppress the registration for the attach.
+            from multiprocessing import resource_tracker
+
+            original_register = resource_tracker.register
+            resource_tracker.register = lambda *args: None
+            try:
+                self._shm = _shared_memory.SharedMemory(name=name)
+            finally:
+                resource_tracker.register = original_register
+        self._consumed = consumed
+        self._capacity = int(capacity)
+
+    def read(self, start: int, length: int) -> bytes:
+        """Copy one payload out of the mapping."""
+        return bytes(self._shm.buf[start : start + length])
+
+    def release(self, end_counter: int) -> None:
+        """Publish that everything up to ``end_counter`` has been consumed
+        (call after :meth:`read` — the returned bytes are already a copy)."""
+        with self._consumed.get_lock():
+            self._consumed.value = end_counter
+
+    def close(self) -> None:
+        try:
+            self._shm.close()
+        except (BufferError, OSError):  # pragma: no cover - torn shutdown
+            pass

@@ -42,7 +42,7 @@ from repro.engine import (
     SamplerSpec,
     ShardedEngine,
 )
-from repro.exceptions import ConfigurationError, StreamOrderError
+from repro.exceptions import ConfigurationError, EmptyWindowError, StreamOrderError
 
 
 def poisson_timestamps(length, seed=23, rate=1.0):
@@ -375,3 +375,147 @@ class TestFastPathStatisticalGating:
             for key in range(keys)
         ]
         self._gate(observations, list(range(self.WINDOW)))
+
+
+class TestBatchedExpiry:
+    """Chunk-boundary invariance of the batched expiry threshold.
+
+    ``WindowCoverage.observe_batch`` replaces the per-arrival Lemma 3.5 scan
+    with a cached threshold that triggers one full transition scan exactly
+    when the per-element path would have transitioned.  These streams force
+    every transition mid-batch — straddler re-anchoring (case 2c) and
+    whole-window expiry (case 2b) — and pin state equality against the
+    append loop under several chunkings.
+    """
+
+    T0 = 30.0
+
+    def bursty(self, count=600, seed=31):
+        source = random.Random(seed)
+        clock, stamps = 0.0, []
+        for position in range(count):
+            if position % 97 == 96:
+                clock += 2.5 * self.T0  # empties the window mid-batch (2b)
+            elif position % 13 == 12:
+                clock += 0.3 * self.T0  # straddler churn (2c)
+            else:
+                clock += source.random()
+            stamps.append(clock)
+        return list(range(count)), stamps
+
+    TS_CASES = [
+        pytest.param(lambda: TimestampSamplerWR(t0=30.0, k=3, rng=17), id="ts-wr"),
+        pytest.param(lambda: TimestampSamplerWOR(t0=30.0, k=3, rng=17), id="ts-wor"),
+    ]
+
+    @pytest.mark.parametrize("make", TS_CASES)
+    def test_expiry_transitions_are_chunk_invariant(self, make):
+        values, stamps = self.bursty()
+        by_append = make()
+        for position, value in enumerate(values):
+            by_append.append(value, stamps[position])
+        whole = make()
+        whole.process_batch(values, stamps)
+        tiny, big = make(), make()
+        for low in range(0, len(values), 7):
+            tiny.process_batch(values[low : low + 7], stamps[low : low + 7])
+        for low in range(0, len(values), 256):
+            big.process_batch(values[low : low + 256], stamps[low : low + 256])
+        reference = by_append.state_dict()
+        assert whole.state_dict() == reference
+        assert tiny.state_dict() == reference
+        assert big.state_dict() == reference
+        assert whole.sample() == by_append.sample()
+
+    @pytest.mark.parametrize("make", TS_CASES)
+    def test_advance_time_between_batches_is_identical(self, make):
+        """A clock jump that expires the whole window between chunks must
+        leave the sampler exactly where the per-element path lands."""
+        values, stamps = self.bursty(count=200)
+        batched, looped = make(), make()
+        batched.process_batch(values[:120], stamps[:120])
+        for position in range(120):
+            looped.append(values[position], stamps[position])
+        jump = stamps[119] + 4 * self.T0
+        batched.advance_time(jump)
+        looped.advance_time(jump)
+        with pytest.raises(EmptyWindowError):  # the jump expired everything
+            batched.sample()
+        later = [stamp + jump - stamps[119] for stamp in stamps[120:]]
+        batched.process_batch(values[120:], later)
+        for position in range(80):
+            looped.append(values[120 + position], later[position])
+        assert batched.state_dict() == looped.state_dict()
+
+    def test_fast_mode_keeps_the_canonical_geometry(self):
+        """fast=True changes only which R/Q samples merges keep — the bucket
+        boundaries (and so memory accounting) are deterministic and must
+        match the default path exactly."""
+        values, stamps = self.bursty(count=400)
+        default = TimestampSamplerWR(t0=self.T0, k=2, rng=3)
+        fast = TimestampSamplerWR(t0=self.T0, k=2, rng=3, fast=True)
+        default.process_batch(values, stamps)
+        fast.process_batch(values, stamps)
+        for slow_coverage, fast_coverage in zip(default._coverages, fast._coverages):
+            assert (
+                slow_coverage.decomposition.boundaries()
+                == fast_coverage.decomposition.boundaries()
+            )
+            assert slow_coverage.decomposition.is_canonical()
+            assert fast_coverage.decomposition.is_canonical()
+        assert default.memory_words() == fast.memory_words()
+
+
+@pytest.mark.slow
+class TestTimestampFastEngineGating:
+    """Engine-level χ² + KS gates for fast timestamp specs, per executor.
+
+    The skip-sampling merge coins must keep every per-key timestamp sampler
+    uniform over its active window whichever executor hosts the pool —
+    serial, worker threads, or worker processes (the executors share the
+    batched `extend_batch` path, so one biased coin stream would show up in
+    all three; separate seeds keep the three gates independent)."""
+
+    WINDOW = 20
+    STREAM = 50
+    KEYS = 1000
+
+    def _observations(self, engine):
+        engine.ingest(
+            [
+                (f"lane-{key}", value, float(value))
+                for value in range(self.STREAM)
+                for key in range(self.KEYS)
+            ]
+        )
+        shift = self.STREAM - self.WINDOW
+        return [
+            engine.sample(f"lane-{key}")[0].value - shift for key in range(self.KEYS)
+        ]
+
+    def _gate(self, observations):
+        report = assess_uniformity(observations, list(range(self.WINDOW)))
+        assert report.passes, report
+        fractions = [(observation + 0.5) / self.WINDOW for observation in observations]
+        bound = 0.5 / self.WINDOW + 1.7 / (len(fractions) ** 0.5)
+        assert ks_uniformity(fractions) < bound
+
+    def spec(self):
+        return SamplerSpec(window="timestamp", t0=float(self.WINDOW), k=1, fast=True)
+
+    def test_serial_engine(self):
+        self._gate(self._observations(ShardedEngine(self.spec(), shards=8, seed=101)))
+
+    def test_thread_engine(self):
+        with ParallelEngine(self.spec(), shards=8, seed=202, workers=3) as engine:
+            self._gate(self._observations(engine))
+
+    def test_process_engine(self):
+        with ProcessEngine(self.spec(), shards=8, seed=303, workers=2) as engine:
+            self._gate(self._observations(engine))
+
+    def test_process_engine_shm_transport(self):
+        with ProcessEngine(
+            self.spec(), shards=8, seed=404, workers=2, transport="shm"
+        ) as engine:
+            self._gate(self._observations(engine))

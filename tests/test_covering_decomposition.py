@@ -164,3 +164,62 @@ class TestBookkeeping:
         decomposition = build_decomposition(20)
         assert len(decomposition) == decomposition.bucket_count
         assert len(list(decomposition.iter_candidates())) == 2 * decomposition.bucket_count
+
+
+class TestMergeRunGeometry:
+    """The structural fact the batched ``Incr`` fast path relies on.
+
+    ``WindowCoverage.observe_batch`` replaces the reference walk's full
+    front-to-back scan with an O(1) probe: in a canonical decomposition
+    ζ(a, b), the positions where ``Incr`` merges — those whose gap
+    ``b + 2 - a_p`` is a power of two — always form a contiguous stride-2
+    run ending at the third-from-last bucket, so "does this arrival merge at
+    all?" is answered by that single bucket and the run front is found by a
+    backward stride-2 gap scan.  This pins the claim against the reference
+    walk for every canonical geometry up to a few thousand elements wide
+    (every width is exercised, so every merge-cascade shape occurs).
+    """
+
+    @staticmethod
+    def reference_walk_merges(bounds, newest):
+        """Merge positions of ``CoveringDecomposition.incr``'s walk."""
+        merges = []
+        position = 0
+        while len(bounds) - position > 1:
+            a = bounds[position][0]
+            if floor_log2(newest + 2 - a) == floor_log2(newest + 1 - a):
+                position += 1
+            else:
+                merges.append(position)
+                position += 2
+        return merges
+
+    @pytest.mark.parametrize("start", [0, 1, 7, 64, 1023])
+    def test_merges_are_a_stride2_suffix_with_o1_detection(self, start):
+        for width in range(1, 2050):
+            newest = start + width - 1
+            bounds = canonical_boundaries(start, newest)
+            merges = self.reference_walk_merges(bounds, newest)
+            count = len(bounds)
+            # The O(1) probe used by observe_batch: a merge happens iff the
+            # third-from-last bucket starts at index - 3 (gap exactly 4),
+            # where index = newest + 1 is the arriving element.
+            probe = count >= 3 and bounds[count - 3][0] == (newest + 1) - 3
+            assert probe == bool(merges), (start, width, bounds[-4:], merges)
+            # Merge positions are exactly the power-of-two gaps, and they
+            # form the stride-2 run ending at position count - 3.
+            power_of_two_gaps = [
+                position
+                for position in range(count - 1)
+                if ((newest + 2 - bounds[position][0]) & (newest + 1 - bounds[position][0])) == 0
+            ]
+            assert merges == power_of_two_gaps, (start, width)
+            if merges:
+                assert merges[-1] == count - 3, (start, width, merges)
+                assert merges == list(range(merges[0], count - 2, 2)), (start, width, merges)
+
+    def test_incr_batch_shapes_still_canonical_after_mass_growth(self):
+        """Belt and braces: growing a decomposition far past the probe's
+        exercised widths keeps the stored boundaries canonical."""
+        decomposition = build_decomposition(5000)
+        assert decomposition.is_canonical()

@@ -63,6 +63,16 @@ class TestCommittedBaselines:
                 assert metric in entry, (sampler, metric)
                 assert entry[metric] > 0
 
+    def test_e7_timestamp_hot_path_headline_claims(self):
+        """The PR-5 acceptance headline: the paper's flagship timestamp
+        samplers must be >= 3x batched (bit-identical path), with the
+        skip-sampling fast mode strictly faster still."""
+        results = load_baseline("BENCH_E7.json")["results"]
+        for sampler in ("ts-wr", "ts-wor"):
+            entry = results[sampler]
+            assert entry["speedup_batched"] >= 3.0, (sampler, entry)
+            assert entry["speedup_fast"] > entry["speedup_batched"], (sampler, entry)
+
     def test_e11_baseline_structure_and_headline_claims(self):
         payload = load_baseline("BENCH_E11.json")
         assert payload["experiment"] == "E11"
@@ -77,6 +87,26 @@ class TestCommittedBaselines:
         process = payload["results"]["process"]
         for stage in ("encode_seconds", "dispatch_seconds", "decode_seconds", "apply_seconds"):
             assert stage in process["stage_seconds"]
+
+    def test_e11_shm_transport_rows(self):
+        """The PR-5 shm acceptance: the committed baseline carries both
+        ProcessEngine transport rows over the same decoded stream, and the
+        dispatch-isolated comparison shows the ring beating the queue."""
+        results = load_baseline("BENCH_E11.json")["results"]
+        process, process_shm = results["process"], results["process_shm"]
+        assert process["transport"] == "columnar"
+        assert process_shm["transport"] == "shm"
+        # Equal decoded output: same stream, same resulting fleet shape.
+        for field in ("records", "keys"):
+            assert process[field] == process_shm[field], field
+        for stage in ("encode_seconds", "dispatch_seconds", "decode_seconds", "apply_seconds"):
+            assert stage in process_shm["stage_seconds"]
+        dispatch = results["transport_dispatch"]
+        assert dispatch["decoded_records"] == dispatch["sends"] * dispatch["payload_records"]
+        assert (
+            dispatch["shm"]["dispatch_seconds"] < dispatch["columnar"]["dispatch_seconds"]
+        ), dispatch
+        assert dispatch["shm_over_columnar_dispatch"] < 1.0
 
     def test_guarded_metrics_all_resolvable(self):
         """Every metric the CI regression guard compares must exist in the
