@@ -137,6 +137,28 @@ see that module's docstring for how to read and regenerate them).  CI's
 including the timestamp-sampler speedups — against those committed
 baselines.
 
+Observability
+-------------
+:mod:`repro.obs` is a dependency-free metrics, tracing and structured-logging
+layer wired through the whole fleet.  A
+:class:`~repro.obs.MetricsRegistry` holds mergeable counters, gauges and
+fixed-bucket histograms; the process-wide default is a no-op
+:data:`~repro.obs.NULL_REGISTRY`, so uninstrumented runs pay nothing and
+ingest stays bit-identical either way (instrumentation observes at batch and
+chunk granularity, never per record).  Pass a registry to any engine (or
+:func:`~repro.obs.enable` the default) and ``engine.ingest``, the sampler
+pools (LRU/TTL eviction splits), the worker loops, the process transport and
+the checkpoint reader/writer all report into it.  Worker-process registries
+ship back over the request/reply protocol and
+:meth:`~repro.engine.ProcessEngine.metrics_snapshot` merges them with the
+coordinator's into one fleet-wide snapshot — which
+:func:`~repro.obs.to_prometheus_text` renders as Prometheus exposition text
+without a client library.  :func:`~repro.obs.span` gives nested wall-time
+tracing into histograms, and :func:`~repro.obs.configure_logging` turns on
+structured (optionally JSON-lines) logs that worker processes inherit.  The
+CLI surfaces all of it: ``swsample engine --metrics-out PATH
+[--metrics-format json|prom] --log-level debug --log-json``.
+
 Quickstart
 ----------
 >>> from repro import sliding_window_sampler

@@ -9,7 +9,11 @@ Installed as the ``swsample`` console script.  Four sub-commands:
   or stdin via ``--input``) through the sharded multi-stream engine, serially
   or on workers (``--workers N --executor thread|process``; process workers
   own their shards outright and scale across cores), print fleet statistics,
-  and optionally checkpoint/resume it (incremental checkpoint directories);
+  and optionally checkpoint/resume it (incremental checkpoint directories).
+  Observability: ``--metrics-out PATH`` dumps a fleet-merged metrics snapshot
+  (``--metrics-format json|prom``), and ``--log-level``/``--log-json``
+  configure structured logging via :mod:`repro.obs` (worker processes
+  inherit the configuration);
 * ``swsample experiment E3 --scale default`` — run one of the E1–E10
   experiments and print its result table (add ``--markdown`` or ``--csv``).
 """
@@ -17,6 +21,7 @@ Installed as the ``swsample`` console script.  Four sub-commands:
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from typing import List, Optional
@@ -104,6 +109,25 @@ def build_parser() -> argparse.ArgumentParser:
     engine_parser.add_argument("--seed", type=int, default=0)
     engine_parser.add_argument("--checkpoint", metavar="PATH", help="write an engine checkpoint at the end")
     engine_parser.add_argument("--resume", metavar="PATH", help="resume from an engine checkpoint first")
+    engine_parser.add_argument(
+        "--metrics-out", metavar="PATH",
+        help="write a fleet-merged metrics snapshot to PATH at the end"
+        " ('-' for stdout); enables metrics collection for the run",
+    )
+    engine_parser.add_argument(
+        "--metrics-format", choices=["json", "prom"], default="json",
+        help="snapshot format for --metrics-out: nested JSON or Prometheus"
+        " text exposition (default json)",
+    )
+    engine_parser.add_argument(
+        "--log-level", choices=["debug", "info", "warning", "error"], default=None,
+        help="enable structured logging on the 'repro' logger at this level"
+        " (worker processes inherit the configuration)",
+    )
+    engine_parser.add_argument(
+        "--log-json", action="store_true",
+        help="emit log records as JSON lines (implies --log-level info unless set)",
+    )
 
     experiment_parser = subparsers.add_parser("experiment", help="run one of the E1-E10 experiments")
     experiment_parser.add_argument("experiment", help="experiment id, e.g. E3, or 'all'")
@@ -168,6 +192,13 @@ def _command_engine(args: argparse.Namespace) -> int:
         load_checkpoint,
         write_checkpoint,
     )
+    from .obs import MetricsRegistry, configure_logging, to_prometheus_text
+
+    if args.log_level or args.log_json:
+        # Workers inherit this: the process engine ships the active config
+        # dict to every worker it spawns.
+        configure_logging(level=args.log_level or "info", json_lines=args.log_json)
+    registry = MetricsRegistry() if args.metrics_out else None
 
     workers = args.workers
     if workers is not None and workers <= 0:
@@ -220,7 +251,11 @@ def _command_engine(args: argparse.Namespace) -> int:
                 return 2
         try:
             engine = load_checkpoint(
-                args.resume, workers=workers, executor=executor, max_batch=args.max_batch
+                args.resume,
+                workers=workers,
+                executor=executor,
+                max_batch=args.max_batch,
+                registry=registry,
             )
         except (OSError, ConfigurationError) as error:
             print(f"error: cannot resume from {args.resume}: {error}", file=sys.stderr)
@@ -261,6 +296,7 @@ def _command_engine(args: argparse.Namespace) -> int:
             seed=args.seed,
             max_keys_per_shard=args.max_keys_per_shard,
             idle_ttl=args.idle_ttl,
+            registry=registry,
         )
         if workers is not None:
             engine_class = ProcessEngine if executor == "process" else ParallelEngine
@@ -311,7 +347,11 @@ def _command_engine(args: argparse.Namespace) -> int:
         print(f"shards          : {engine.shards}"
               + (f" ({engine.workers} {executor} workers)" if workers is not None else ""))
         print(f"ingest          : {elapsed:.3f}s ({rate / 1000.0:.1f} krec/s)")
-        print(f"live keys       : {engine.key_count} ({engine.evictions} evicted)")
+        evictions = engine.stats()["evictions"]
+        print(
+            f"live keys       : {engine.key_count} ({evictions['total']} evicted:"
+            f" {evictions['lru']} lru, {evictions['ttl']} ttl)"
+        )
         print(f"memory (words)  : {engine.memory_words()}")
         hottest = engine.hottest_keys(args.top)
         print(f"hottest {args.top} keys  :")
@@ -332,6 +372,25 @@ def _command_engine(args: argparse.Namespace) -> int:
                 f"checkpoint      : {result.path} ({result.segments_written} segments written,"
                 f" {result.segments_reused} reused)"
             )
+        if args.metrics_out:
+            snapshot = engine.metrics_snapshot()
+            if args.metrics_format == "prom":
+                rendered = to_prometheus_text(snapshot)
+            else:
+                rendered = json.dumps(snapshot, indent=2, sort_keys=True) + "\n"
+            if args.metrics_out == "-":
+                sys.stdout.write(rendered)
+            else:
+                try:
+                    with open(args.metrics_out, "w", encoding="utf-8") as handle:
+                        handle.write(rendered)
+                except OSError as error:
+                    print(
+                        f"error: cannot write --metrics-out {args.metrics_out}: {error}",
+                        file=sys.stderr,
+                    )
+                    return 2
+                print(f"metrics         : {args.metrics_out} ({args.metrics_format})")
         return 0
     finally:
         if workers is not None:

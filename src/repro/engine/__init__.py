@@ -61,6 +61,32 @@ bucket-merge coins (statistically exact, χ²/KS-gated, not bit-identical).
 Sharding is by a *stable* hash (:func:`stable_key_hash`), never Python's
 salted ``hash()``, so routing — and therefore every per-key sampler's
 randomness — is reproducible across processes and restarts.
+
+Observability
+-------------
+Every layer reports into a :class:`repro.obs.MetricsRegistry` when handed one
+(``registry=`` on any engine constructor or on :func:`load_checkpoint`;
+otherwise the process-wide default from :func:`repro.obs.get_registry`, which
+is a no-op until :func:`repro.obs.enable`):
+
+* engines count ingested records/batches and per-shard chunk latencies, and
+  expose live key/memory gauges via snapshot-time callbacks;
+* pools split eviction counters into LRU and TTL
+  (``pool.evictions.lru`` / ``pool.evictions.ttl``), also surfaced by
+  :meth:`ShardedEngine.stats`;
+* worker loops and executors count applied batches, queue stalls and
+  request/reply round trips; :meth:`ProcessEngine.transport_report` breaks
+  transport cost into per-worker encode/dispatch rows;
+* the checkpoint layer counts saves, segments written/reused and bytes, and
+  times ``checkpoint.write.seconds`` / ``checkpoint.restore.seconds`` spans.
+
+Worker processes build their own registry, and
+:meth:`ProcessEngine.metrics_snapshot` fetches each worker's snapshot over
+the request/reply protocol and merges the fleet into one dict (tolerating
+lost workers — a partial fleet yields a partial snapshot, never a hang).
+:meth:`ShardedEngine.metrics_snapshot` and the thread engine report from the
+single coordinator registry.  Render any snapshot with
+:func:`repro.obs.to_prometheus_text`.
 """
 
 from .checkpoint import (

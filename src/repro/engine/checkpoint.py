@@ -102,6 +102,7 @@ from typing import Any, Dict, List, Optional, Tuple, Union
 
 from ..core.serialization import STATE_FORMAT
 from ..exceptions import CheckpointError, ConfigurationError
+from ..obs import get_registry, span
 from .engine import ShardedEngine
 from .executor import ParallelEngine, ProcessEngine
 from .pool import KeyedSamplerPool
@@ -255,11 +256,23 @@ def write_checkpoint(engine: ShardedEngine, path: Union[str, os.PathLike]) -> Ch
             " remove the old single-file checkpoint first"
         )
     os.makedirs(path, exist_ok=True)
+    registry = getattr(engine, "_obs", None) or get_registry()
     # The guard flushes (worker-backed engines) and keeps concurrent
     # producers out for the duration of the save, so the written pools and
     # the recorded generations describe one consistent fleet.
     with engine._checkpoint_guard():
-        return _write_checkpoint_locked(engine, path)
+        with span("checkpoint.write", registry=registry):
+            result = _write_checkpoint_locked(engine, path)
+        if registry.enabled:
+            registry.counter("checkpoint.saves").inc()
+            registry.counter("checkpoint.segments.written").inc(result.segments_written)
+            registry.counter("checkpoint.segments.reused").inc(result.segments_reused)
+            registry.counter("checkpoint.bytes.written").inc(result.bytes_written)
+            if result.segments_total:
+                registry.gauge("checkpoint.dirty.shard.ratio").set(
+                    result.segments_written / result.segments_total
+                )
+        return result
 
 
 def _write_checkpoint_locked(engine: ShardedEngine, path: str) -> CheckpointResult:
@@ -399,6 +412,7 @@ def _engine_from_state(
     workers: Optional[int],
     executor: str,
     max_batch: Optional[int] = None,
+    registry: Optional[Any] = None,
 ) -> ShardedEngine:
     """Build a serial, thread- or process-backed engine and load ``state``.
 
@@ -406,7 +420,7 @@ def _engine_from_state(
     checkpoint can never leak worker threads or processes.
     """
     if workers is None:
-        return ShardedEngine.from_state_dict(state)
+        return ShardedEngine.from_state_dict(state, registry=registry)
     engine_class = _EXECUTORS[executor]
     extra = {} if max_batch is None else {"max_batch": max_batch}
     engine = engine_class(
@@ -418,6 +432,7 @@ def _engine_from_state(
         max_keys_per_shard=state.get("max_keys_per_shard"),
         idle_ttl=state.get("idle_ttl"),
         track_occurrences=bool(state.get("track_occurrences", False)),
+        registry=registry,
     )
     try:
         engine.load_state_dict(state)
@@ -435,6 +450,7 @@ def _load_directory_checkpoint(
     workers: Optional[int],
     executor: str,
     max_batch: Optional[int] = None,
+    registry: Optional[Any] = None,
 ) -> ShardedEngine:
     manifest_path = os.path.join(path, MANIFEST_NAME)
     try:
@@ -483,7 +499,7 @@ def _load_directory_checkpoint(
         "now": meta.get("now"),
         "pools": pool_states,
     }
-    engine = _engine_from_state(state, workers, executor, max_batch)
+    engine = _engine_from_state(state, workers, executor, max_batch, registry)
     # Seed the incremental-save memo: a just-restored engine's state *is*
     # the on-disk state, so its next save to this directory rewrites nothing
     # — unless someone else's save changes the digests in between.
@@ -502,6 +518,7 @@ def _load_legacy_checkpoint(
     workers: Optional[int],
     executor: str,
     max_batch: Optional[int] = None,
+    registry: Optional[Any] = None,
 ) -> ShardedEngine:
     with open(path, "rb") as handle:
         envelope = pickle.load(handle)
@@ -512,7 +529,7 @@ def _load_legacy_checkpoint(
             f"unsupported checkpoint version {envelope.get('version')!r}"
             f" (expected {LEGACY_CHECKPOINT_VERSION} for single-file checkpoints)"
         )
-    return _engine_from_state(envelope["engine"], workers, executor, max_batch)
+    return _engine_from_state(envelope["engine"], workers, executor, max_batch, registry)
 
 
 def checkpoint_shards(path: Union[str, os.PathLike]) -> Optional[int]:
@@ -545,6 +562,7 @@ def load_checkpoint(
     workers: Optional[int] = None,
     executor: str = "thread",
     max_batch: Optional[int] = None,
+    registry: Optional[Any] = None,
 ) -> ShardedEngine:
     """Rebuild an engine from a checkpoint directory (or a legacy file).
 
@@ -565,12 +583,20 @@ def load_checkpoint(
 
     Only load checkpoints you (or a process you trust) wrote: like every
     pickle, segment files can execute code when loaded.
+
+    ``registry`` is handed to the restored engine (see
+    :class:`~repro.engine.ShardedEngine`); the restore itself is traced as
+    a ``checkpoint.restore`` span on that registry (or the process default
+    when none is given), so restore latency lands in the
+    ``checkpoint.restore.seconds`` histogram.
     """
     if executor not in _EXECUTORS:
         raise ConfigurationError(
             f"executor must be one of {sorted(_EXECUTORS)}, got {executor!r}"
         )
     path = os.path.abspath(os.fspath(path))
-    if os.path.isdir(path):
-        return _load_directory_checkpoint(path, workers, executor, max_batch)
-    return _load_legacy_checkpoint(path, workers, executor, max_batch)
+    span_registry = registry if registry is not None else get_registry()
+    with span("checkpoint.restore", registry=span_registry):
+        if os.path.isdir(path):
+            return _load_directory_checkpoint(path, workers, executor, max_batch, registry)
+        return _load_legacy_checkpoint(path, workers, executor, max_batch, registry)

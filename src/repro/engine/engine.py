@@ -22,6 +22,7 @@ samplers' :class:`~repro.core.tracking.OccurrenceCounter` statistics through
 from __future__ import annotations
 
 import heapq
+import time
 from collections import Counter
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
 
@@ -34,7 +35,9 @@ from ..exceptions import (
     InsufficientSampleError,
     SamplingFailureError,
     StreamOrderError,
+    WorkerFailure,
 )
+from ..obs import get_registry
 from ..streams.element import StreamElement
 from .hashing import stable_key_hash
 from .pool import KeyedSamplerPool
@@ -258,6 +261,14 @@ class ShardedEngine:
         Attach an :class:`~repro.core.tracking.OccurrenceCounter` to every
         per-key sampler, enabling :meth:`per_key_moments` /
         :meth:`aggregate_moment` at one extra word per retained candidate.
+    registry:
+        A :class:`repro.obs.MetricsRegistry` receiving the engine's
+        instrumentation (ingest counters, chunk latencies, eviction counts,
+        active-key/memory gauges).  Defaults to the process-wide registry
+        from :func:`repro.obs.get_registry` — the no-op null registry unless
+        :func:`repro.obs.enable` was called.  Instrumentation lives at
+        batch/chunk granularity, never per record, and never touches sampler
+        randomness: ingest results are bit-identical with metrics on or off.
     """
 
     def __init__(
@@ -269,6 +280,7 @@ class ShardedEngine:
         max_keys_per_shard: Optional[int] = None,
         idle_ttl: Optional[int] = None,
         track_occurrences: bool = False,
+        registry: Optional[Any] = None,
     ) -> None:
         if shards <= 0:
             raise ConfigurationError("shards must be positive")
@@ -278,6 +290,12 @@ class ShardedEngine:
         self._max_keys_per_shard = max_keys_per_shard
         self._idle_ttl = idle_ttl
         self._track_occurrences = bool(track_occurrences)
+        self._obs = registry if registry is not None else get_registry()
+        self._m_ingest_records = self._obs.counter("engine.ingest.records")
+        self._m_ingest_batches = self._obs.counter("engine.ingest.batches")
+        self._m_chunks_grouped = self._obs.counter("engine.ingest.chunks.grouped")
+        self._m_chunks_partitioned = self._obs.counter("engine.ingest.chunks.partitioned")
+        self._m_chunk_seconds = self._obs.histogram("engine.ingest.chunk.seconds")
         self._pools = self._create_pools()
         self._now = float("-inf")
 
@@ -293,6 +311,7 @@ class ShardedEngine:
                 max_keys=self._max_keys_per_shard,
                 idle_ttl=self._idle_ttl,
                 observer_factory=observer_factory,
+                registry=self._obs,
             )
             for _ in range(self._shards)
         ]
@@ -364,8 +383,13 @@ class ShardedEngine:
         whose per-record fallback keeps eviction decisions exact.
         """
         if self._max_keys_per_shard is None and self._idle_ttl is None:
-            return self._ingest_grouped(records)
-        return self._ingest_partitioned(records)
+            count = self._ingest_grouped(records)
+        else:
+            count = self._ingest_partitioned(records)
+        if self._obs.enabled:
+            self._m_ingest_batches.inc()
+            self._m_ingest_records.inc(count)
+        return count
 
     def _ingest_grouped(self, records: Iterable[Any]) -> int:
         """The eviction-free hot path: one grouping pass, batched samplers."""
@@ -446,6 +470,7 @@ class ShardedEngine:
         mid-flush can never lead to the same group being applied twice (the
         ``finally`` in :meth:`_ingest_grouped` re-flushes on error paths).
         """
+        started = time.perf_counter() if self._obs.enabled else 0.0
         per_shard: List[List[Tuple[Any, int, List[Any], Optional[List[Any]]]]] = [
             [] for _ in shard_counts
         ]
@@ -457,6 +482,9 @@ class ShardedEngine:
                 count = shard_counts[shard]
                 shard_counts[shard] = 0
                 self._pools[shard].extend_grouped(shard_groups, count)
+        if self._obs.enabled:
+            self._m_chunks_grouped.inc()
+            self._m_chunk_seconds.observe(time.perf_counter() - started)
 
     def _ingest_partitioned(self, records: Iterable[Any]) -> int:
         """Ingest for engines with an eviction policy: partition per shard,
@@ -490,17 +518,28 @@ class ShardedEngine:
                 count += 1
                 pending += 1
                 if pending >= _INGEST_CHUNK:
-                    while buffers:
-                        index, chunk = buffers.popitem()
-                        pools[index].extend_batch(chunk)
+                    self._flush_partitioned(buffers, pools)
                     shard_memo.clear()
                     pending = 0
         finally:
             self._now = now
-            while buffers:
-                index, chunk = buffers.popitem()
-                pools[index].extend_batch(chunk)
+            if buffers:
+                self._flush_partitioned(buffers, pools)
         return count
+
+    def _flush_partitioned(
+        self,
+        buffers: Dict[int, List[Tuple[Any, Any, Optional[float]]]],
+        pools: List[KeyedSamplerPool],
+    ) -> None:
+        """Drain one chunk's per-shard buffers through ``extend_batch``."""
+        started = time.perf_counter() if self._obs.enabled else 0.0
+        while buffers:
+            index, chunk = buffers.popitem()
+            pools[index].extend_batch(chunk)
+        if self._obs.enabled:
+            self._m_chunks_partitioned.inc()
+            self._m_chunk_seconds.observe(time.perf_counter() - started)
 
     def append(self, key: Any, value: Any, timestamp: Optional[float] = None) -> None:
         """Single-record convenience form of :meth:`ingest` (same contract)."""
@@ -576,6 +615,41 @@ class ShardedEngine:
     def evictions(self) -> int:
         """Total keys evicted across all shards."""
         return sum(pool.evictions for pool in self._pools)
+
+    def stats(self) -> Dict[str, Any]:
+        """One fleet-wide statistics dict: live keys, arrivals, memory, and
+        the eviction breakdown (``total`` / ``lru`` / ``ttl`` — discards via
+        :meth:`KeyedSamplerPool.discard` count only toward the total).
+
+        Unlike :meth:`metrics_snapshot` this needs no registry: the numbers
+        come from the pools' own bookkeeping, so eviction pressure is
+        visible even on fully uninstrumented engines.
+        """
+        self.flush()
+        pools = self._pools
+        return {
+            "shards": self._shards,
+            "keys": sum(len(pool) for pool in pools),
+            "arrivals": sum(pool.ticks for pool in pools),
+            "memory_words": sum(pool.memory_words() for pool in pools),
+            "evictions": {
+                "total": sum(pool.evictions for pool in pools),
+                "lru": sum(pool.evictions_lru for pool in pools),
+                "ttl": sum(pool.evictions_ttl for pool in pools),
+            },
+        }
+
+    def metrics_snapshot(self) -> Dict[str, Any]:
+        """The engine's metrics registry snapshot (counters / gauges /
+        histograms as plain dicts).  Flushes first so queued work is
+        reflected; a dead worker fleet still yields the coordinator's view
+        rather than raising.  :class:`ProcessEngine` overrides this to merge
+        worker-resident registries into one fleet-wide snapshot."""
+        try:
+            self.flush()
+        except WorkerFailure:
+            pass
+        return self._obs.snapshot()
 
     def keys(self) -> List[Any]:
         """Every live key (shard by shard; no global order guarantee)."""
@@ -760,7 +834,9 @@ class ShardedEngine:
         return [pool.generation for pool in self._pools]
 
     @classmethod
-    def from_state_dict(cls, state: Dict[str, Any]) -> "ShardedEngine":
+    def from_state_dict(
+        cls, state: Dict[str, Any], *, registry: Optional[Any] = None
+    ) -> "ShardedEngine":
         """Rebuild a full engine from :meth:`state_dict` output."""
         require_state_fields(
             state,
@@ -774,6 +850,7 @@ class ShardedEngine:
             max_keys_per_shard=state.get("max_keys_per_shard"),
             idle_ttl=state.get("idle_ttl"),
             track_occurrences=bool(state.get("track_occurrences", False)),
+            registry=registry,
         )
         engine.load_state_dict(state)
         return engine

@@ -71,6 +71,7 @@ from __future__ import annotations
 
 import contextlib
 import heapq
+import logging
 import multiprocessing
 import os
 import pickle
@@ -89,6 +90,8 @@ from ..exceptions import (
     ExecutorError,
     WorkerFailure,
 )
+from ..obs import MetricsRegistry, NULL_REGISTRY, merge_snapshots
+from ..obs.logging import apply_logging_config, logging_config
 from ..streams.element import StreamElement
 from .engine import (
     _ROUTE_SALT,
@@ -187,6 +190,7 @@ class _ShardWorkerLoop:
         spec: SamplerSpec,
         failures: Optional[_FailureBox] = None,
         on_applied: Optional[Any] = None,
+        registry: Optional[Any] = None,
     ) -> None:
         #: Insertion order is ascending shard index (the constructor sorts),
         #: so iteration over ``pools.values()`` matches the serial engine's
@@ -203,6 +207,16 @@ class _ShardWorkerLoop:
         self.apply_seconds = 0.0
         self.applied_batches = 0
         self.applied_records = 0
+        #: Metrics registry: per-worker inside a process, the engine's own
+        #: registry on worker threads.  The plain attributes above remain
+        #: the source for the "perf" op; the registry mirrors them so they
+        #: participate in fleet-merged snapshots.
+        self.registry = registry if registry is not None else NULL_REGISTRY
+        self._m_apply_seconds = self.registry.counter("worker.apply.seconds")
+        self._m_decode_seconds = self.registry.counter("worker.decode.seconds")
+        self._m_applied_batches = self.registry.counter("worker.applied.batches")
+        self._m_applied_records = self.registry.counter("worker.applied.records")
+        self._m_failures = self.registry.counter("worker.failures")
 
     def run(
         self,
@@ -228,7 +242,9 @@ class _ShardWorkerLoop:
             if kind == "applyc":
                 started = time.perf_counter()
                 batch = decode_batch(message[2])
-                self.decode_seconds += time.perf_counter() - started
+                elapsed = time.perf_counter() - started
+                self.decode_seconds += elapsed
+                self._m_decode_seconds.inc(elapsed)
                 self._apply(message[1], batch)
                 continue
             if kind == "applym":
@@ -238,7 +254,9 @@ class _ShardWorkerLoop:
                 # the (slower) decode+apply so the producer can refill.
                 self.shm_reader.release(message[4])
                 batch = decode_batch(payload)
-                self.decode_seconds += time.perf_counter() - started
+                elapsed = time.perf_counter() - started
+                self.decode_seconds += elapsed
+                self._m_decode_seconds.inc(elapsed)
                 self._apply(message[1], batch)
                 continue
             if kind == "shutdown":
@@ -267,10 +285,15 @@ class _ShardWorkerLoop:
         except BaseException as error:  # surfaced at the next barrier
             if self.failures.error is None:
                 self.failures.error = error
+            self._m_failures.inc()
         finally:
-            self.apply_seconds += time.perf_counter() - started
+            elapsed = time.perf_counter() - started
+            self.apply_seconds += elapsed
             self.applied_batches += 1
             self.applied_records += len(batch)
+            self._m_apply_seconds.inc(elapsed)
+            self._m_applied_batches.inc()
+            self._m_applied_records.inc(len(batch))
             if self.on_applied is not None:
                 self.on_applied(shard)
 
@@ -284,7 +307,13 @@ class _ShardWorkerLoop:
                 sum(pool.ticks for pool in pools.values()),
                 sum(pool.evictions for pool in pools.values()),
                 sum(pool.memory_words() for pool in pools.values()),
+                sum(pool.evictions_lru for pool in pools.values()),
+                sum(pool.evictions_ttl for pool in pools.values()),
             )
+        if op == "metrics":
+            # This worker's registry as a plain dict; the coordinator merges
+            # every worker's reply into one fleet-wide snapshot.
+            return self.registry.snapshot()
         if op == "keys":
             return {shard: pool.keys() for shard, pool in pools.items()}
         if op == "generations":
@@ -350,8 +379,14 @@ def _process_worker_main(config: Dict[str, Any], inbox: Any, replies: Any) -> No
     Builds this worker's pools from the engine recipe (same constructor, same
     seed — so a process-resident pool is bit-identical to the pool a serial
     engine would have built) and serves the message loop until shutdown, a
-    torn pipe, or coordinator death.
+    torn pipe, or coordinator death.  The worker inherits the coordinator's
+    logging config (shipped as a plain dict) and, when the coordinator's
+    registry is enabled, keeps its own :class:`repro.obs.MetricsRegistry`
+    that the coordinator fetches and merges via the ``metrics`` op.
     """
+    apply_logging_config(config.get("log"))
+    logger = logging.getLogger("repro.engine.worker")
+    registry = MetricsRegistry() if config.get("obs") else NULL_REGISTRY
     spec = SamplerSpec.from_dict(config["spec"])
     observer_factory = OccurrenceCounter if config["track_occurrences"] else None
     pools = {
@@ -361,13 +396,20 @@ def _process_worker_main(config: Dict[str, Any], inbox: Any, replies: Any) -> No
             max_keys=config["max_keys_per_shard"],
             idle_ttl=config["idle_ttl"],
             observer_factory=observer_factory,
+            registry=registry,
         )
         for shard in config["shard_indexes"]
     }
-    loop = _ShardWorkerLoop(pools, spec)
+    loop = _ShardWorkerLoop(pools, spec, registry=registry)
     ring = config.get("shm_ring")
     if ring is not None:
         loop.shm_reader = ShmRingReader(*ring)
+    logger.info(
+        "shard worker online: pid=%s shards=%s transport=%s",
+        os.getpid(),
+        list(config["shard_indexes"]),
+        "shm" if ring is not None else "queue",
+    )
     try:
         loop.run(
             inbox,
@@ -380,6 +422,7 @@ def _process_worker_main(config: Dict[str, Any], inbox: Any, replies: Any) -> No
     finally:
         if loop.shm_reader is not None:
             loop.shm_reader.close()
+        logger.info("shard worker exiting: pid=%s", os.getpid())
 
 
 def _reap_processes(processes: List[Any]) -> None:
@@ -426,6 +469,7 @@ class _WorkerBackedEngine(ShardedEngine):
         max_keys_per_shard: Optional[int] = None,
         idle_ttl: Optional[int] = None,
         track_occurrences: bool = False,
+        registry: Optional[Any] = None,
     ) -> None:
         super().__init__(
             spec,
@@ -434,6 +478,7 @@ class _WorkerBackedEngine(ShardedEngine):
             max_keys_per_shard=max_keys_per_shard,
             idle_ttl=idle_ttl,
             track_occurrences=track_occurrences,
+            registry=registry,
         )
         if workers is None:
             workers = min(self.shards, os.cpu_count() or 1)
@@ -447,6 +492,12 @@ class _WorkerBackedEngine(ShardedEngine):
         self._queue_depth = int(queue_depth)
         self._max_batch = int(max_batch)
         self._closed = False
+        # Executor-stage instruments (no-ops on the null registry).  The
+        # process engine rebinds dispatch/backpressure onto its transport
+        # registry so transport_report() can read them even when disabled.
+        self._m_dispatched_batches = self._obs.counter("executor.dispatched.batches")
+        self._m_dispatched_records = self._obs.counter("executor.dispatched.records")
+        self._m_backpressure_seconds = self._obs.counter("executor.backpressure.seconds")
         # Caller lock: serialises the public surface (ingest/flush/queries)
         # across application threads.  RLock because queries call flush().
         self._api_lock = threading.RLock()
@@ -552,6 +603,9 @@ class _WorkerBackedEngine(ShardedEngine):
                 self._now = now
                 for shard, buffer in buffers.items():
                     self._dispatch(shard, buffer)
+            if self._obs.enabled:
+                self._m_ingest_batches.inc()
+                self._m_ingest_records.inc(count)
             return count
 
     def flush(self) -> None:
@@ -627,6 +681,14 @@ class _WorkerBackedEngine(ShardedEngine):
         with self._api_lock:
             self.flush()
             return super().memory_words()
+
+    def stats(self) -> Dict[str, Any]:
+        with self._api_lock:
+            return super().stats()  # the base flushes first
+
+    def metrics_snapshot(self) -> Dict[str, Any]:
+        with self._api_lock:
+            return super().metrics_snapshot()
 
     def merged_frequent_items(
         self, threshold: float, *, top: Optional[int] = None
@@ -712,6 +774,7 @@ class ParallelEngine(_WorkerBackedEngine):
         max_keys_per_shard: Optional[int] = None,
         idle_ttl: Optional[int] = None,
         track_occurrences: bool = False,
+        registry: Optional[Any] = None,
     ) -> None:
         super().__init__(
             spec,
@@ -723,6 +786,7 @@ class ParallelEngine(_WorkerBackedEngine):
             max_keys_per_shard=max_keys_per_shard,
             idle_ttl=idle_ttl,
             track_occurrences=track_occurrences,
+            registry=registry,
         )
         # One failure box shared by every loop: any worker failure poisons
         # the whole fleet (arrivals may have been lost).
@@ -730,6 +794,7 @@ class ParallelEngine(_WorkerBackedEngine):
         # Drain barrier state: number of dispatched-but-unapplied sub-batches.
         self._drain = threading.Condition()
         self._pending = 0
+        self._obs.register_callback("executor.inflight.batches", lambda: self._pending)
         # Backpressure: per-shard cap on in-flight sub-batches.
         self._shard_slots = [
             threading.BoundedSemaphore(self._queue_depth) for _ in range(self.shards)
@@ -737,12 +802,16 @@ class ParallelEngine(_WorkerBackedEngine):
         # One FIFO per worker; a shard's sub-batches all land in its owner's
         # queue, preserving per-shard (hence per-key) order.
         self._inboxes: List["queue.Queue"] = [queue.Queue() for _ in range(self._workers)]
+        self._obs.register_callback(
+            "executor.queue.depth", lambda: sum(inbox.qsize() for inbox in self._inboxes)
+        )
         self._loops = [
             _ShardWorkerLoop(
                 {shard: self._pools[shard] for shard in self._shard_sets[index]},
                 self._spec,
                 failures=self._failures,
                 on_applied=self._on_applied,
+                registry=self._obs,
             )
             for index in range(self._workers)
         ]
@@ -766,7 +835,18 @@ class ParallelEngine(_WorkerBackedEngine):
                 self._drain.notify_all()
 
     def _dispatch(self, shard: int, batch: List[Tuple[Any, Any, Optional[float]]]) -> None:
-        self._shard_slots[shard].acquire()  # blocks: per-shard backpressure
+        slot = self._shard_slots[shard]
+        if self._obs.enabled:
+            # Only a *blocked* acquire pays for timestamps: the uncontended
+            # fast path stays a single semaphore op, metrics on or off.
+            if not slot.acquire(blocking=False):
+                stalled = time.perf_counter()
+                slot.acquire()
+                self._m_backpressure_seconds.inc(time.perf_counter() - stalled)
+            self._m_dispatched_batches.inc()
+            self._m_dispatched_records.inc(len(batch))
+        else:
+            slot.acquire()  # blocks: per-shard backpressure
         with self._drain:
             self._pending += 1
         self._inboxes[self._worker_of(shard)].put(("apply", shard, batch))
@@ -876,6 +956,7 @@ class ProcessEngine(_WorkerBackedEngine):
         max_keys_per_shard: Optional[int] = None,
         idle_ttl: Optional[int] = None,
         track_occurrences: bool = False,
+        registry: Optional[Any] = None,
     ) -> None:
         super().__init__(
             spec,
@@ -887,6 +968,7 @@ class ProcessEngine(_WorkerBackedEngine):
             max_keys_per_shard=max_keys_per_shard,
             idle_ttl=idle_ttl,
             track_occurrences=track_occurrences,
+            registry=registry,
         )
         if transport not in ("columnar", "pickle", "shm"):
             raise ConfigurationError(
@@ -905,14 +987,20 @@ class ProcessEngine(_WorkerBackedEngine):
         self._failure: Optional[str] = None
         self._request_counter = 0
         self._unbarriered = False
-        self._stats_cache: Optional[Tuple[int, int, int, int]] = None
-        # Coordinator-side transport accounting (see transport_report()).
-        self._encode_seconds = 0.0
-        self._encoded_bytes = 0
-        self._dispatch_seconds = 0.0
-        self._dispatched_batches = 0
-        self._dispatched_records = 0
-        self._ring_fallbacks = 0
+        self._stats_cache: Optional[Tuple[int, int, int, int, int, int]] = None
+        # Coordinator-side transport accounting lives in a registry so
+        # transport_report() and metrics_snapshot() read the same numbers.
+        # transport_report() must work on uninstrumented engines too, so a
+        # disabled engine gets a private always-real registry for these.
+        self._tobs = self._obs if self._obs.enabled else MetricsRegistry()
+        self._m_encode_seconds = self._tobs.counter("transport.encode.seconds")
+        self._m_encoded_bytes = self._tobs.counter("transport.encoded.bytes")
+        self._m_dispatch_seconds = self._tobs.counter("transport.dispatch.seconds")
+        self._m_ring_fallbacks = self._tobs.counter("transport.ring.fallbacks")
+        self._m_dispatched_batches = self._tobs.counter("executor.dispatched.batches")
+        self._m_dispatched_records = self._tobs.counter("executor.dispatched.records")
+        self._m_backpressure_seconds = self._tobs.counter("executor.backpressure.seconds")
+        self._obs.register_callback("executor.queue.depth", self._queue_depth)
         config = {
             "spec": spec.to_dict(),
             "seed": self._seed,
@@ -920,6 +1008,11 @@ class ProcessEngine(_WorkerBackedEngine):
             "idle_ttl": self._idle_ttl,
             "track_occurrences": self._track_occurrences,
             "parent_pid": os.getpid(),
+            # Workers mirror the coordinator's observability settings: a
+            # real per-process registry when metrics are on, and the same
+            # logging level/format on their own stderr.
+            "obs": self._obs.enabled,
+            "log": logging_config(),
         }
         self._inboxes = []
         self._replies = []
@@ -994,22 +1087,42 @@ class ProcessEngine(_WorkerBackedEngine):
             )
             self._raise_failure()
 
+    def _queue_depth(self) -> int:
+        """Messages currently sitting in worker inboxes (callback gauge).
+        Best effort: ``qsize`` is unimplemented on some platforms and the
+        queues may already be closed when a late snapshot fires."""
+        total = 0
+        for inbox in self._inboxes:
+            try:
+                total += inbox.qsize()
+            except (NotImplementedError, OSError, ValueError):
+                pass
+        return total
+
     #: Ops that cannot change any fleet total.  Everything else ("apply",
     #: "applyc", "advance", "set_state", and the lazy-clock-advancing
     #: "sample"/"frequent") invalidates the cached stats.
     _NONMUTATING_OPS = frozenset(
         {"barrier", "stats", "keys", "generations", "contains", "sampler",
-         "items", "hottest", "moments", "get_state", "checkpoint", "perf"}
+         "items", "hottest", "moments", "get_state", "checkpoint", "perf",
+         "metrics"}
     )
 
     def _send(self, index: int, message: Tuple[Any, ...]) -> None:
         if message[0] not in self._NONMUTATING_OPS:
             self._stats_cache = None
+        stalled: Optional[float] = None
         while True:
             try:
                 self._inboxes[index].put(message, timeout=_POLL_INTERVAL)
+                if stalled is not None:
+                    self._m_backpressure_seconds.inc(time.perf_counter() - stalled)
                 return
             except queue.Full:
+                if stalled is None:
+                    # Backdate to the start of the first timed-out put: the
+                    # stall began when the queue first refused the message.
+                    stalled = time.perf_counter() - _POLL_INTERVAL
                 self._ensure_alive(index)  # raises once the worker is gone
 
     def _receive(self, index: int, rid: int) -> Tuple[Any, ...]:
@@ -1070,11 +1183,11 @@ class ProcessEngine(_WorkerBackedEngine):
         else:
             started = perf()
             payload = encode_batch(batch)
-            self._encode_seconds += perf() - started
-            self._encoded_bytes += len(payload)
+            self._m_encode_seconds.inc(perf() - started)
+            self._m_encoded_bytes.inc(len(payload))
             message = ("applyc", shard, payload) if transport != "shm" else None
-        self._dispatched_batches += 1
-        self._dispatched_records += len(batch)
+        self._m_dispatched_batches.inc()
+        self._m_dispatched_records.inc(len(batch))
         worker = self._worker_of(shard)
         # The dispatch stage covers the whole hand-off: for shm that is the
         # ring write (and any ring-backpressure stall) plus the descriptor
@@ -1083,7 +1196,7 @@ class ProcessEngine(_WorkerBackedEngine):
         if message is None:
             message = self._ring_message(worker, shard, payload)
         self._send(worker, message)
-        self._dispatch_seconds += perf() - started
+        self._m_dispatch_seconds.inc(perf() - started)
         self._unbarriered = True
 
     def _ring_message(
@@ -1093,19 +1206,25 @@ class ProcessEngine(_WorkerBackedEngine):
         message; payloads too large for the ring fall back to the queue."""
         ring = self._rings[worker]
         if not ring.fits(len(payload)):
-            self._ring_fallbacks += 1
+            self._m_ring_fallbacks.inc()
             return ("applyc", shard, payload)
         waited = 0.0
-        while True:
-            slot = ring.offer(payload)
-            if slot is not None:
-                return ("applym", shard, slot[0], len(payload), slot[1])
-            # Ring full: the worker is behind — byte-level backpressure.
-            time.sleep(0.001)
-            waited += 0.001
-            if waited >= _POLL_INTERVAL:
-                self._ensure_alive(worker)  # raises once the worker is gone
-                waited = 0.0
+        stalled = 0.0
+        try:
+            while True:
+                slot = ring.offer(payload)
+                if slot is not None:
+                    return ("applym", shard, slot[0], len(payload), slot[1])
+                # Ring full: the worker is behind — byte-level backpressure.
+                time.sleep(0.001)
+                waited += 0.001
+                stalled += 0.001
+                if waited >= _POLL_INTERVAL:
+                    self._ensure_alive(worker)  # raises once the worker is gone
+                    waited = 0.0
+        finally:
+            if stalled:
+                self._m_backpressure_seconds.inc(stalled)
 
     def transport_report(self) -> Dict[str, Any]:
         """Cumulative per-stage transport cost of this fleet's ingest path.
@@ -1115,33 +1234,45 @@ class ProcessEngine(_WorkerBackedEngine):
         messages to the workers, which includes ring writes and any
         backpressure stalls) and the worker-side stages summed over the
         fleet (``decode_seconds``, ``apply_seconds``), plus
-        batch/record/byte counters.  ``transport`` is the *effective*
-        transport (``"shm"`` downgrades to ``"columnar"`` where
+        batch/record/byte counters.  ``workers`` breaks the worker-side
+        stages down per worker (in worker order, each entry carrying
+        ``worker``/``decode_seconds``/``apply_seconds``/``batches``/
+        ``records``), so a straggler hiding inside a healthy fleet-wide sum
+        is visible directly.  ``transport`` is the *effective* transport
+        (``"shm"`` downgrades to ``"columnar"`` where
         ``multiprocessing.shared_memory`` is unavailable;
         ``requested_transport`` preserves what the caller asked for);
         ``ring_fallbacks`` counts shm payloads that exceeded the ring and
         travelled through the queue instead.  ``encoded_bytes`` is 0 under
         the ``"pickle"`` transport.
+
+        All of these numbers live and die with the engine instance: they
+        are not checkpointed, and ``close()`` discards them — in particular
+        ``ring_fallbacks`` resets to 0 on every fresh engine, so a restart
+        after heavy fallback traffic starts the count over.
         """
         with self._api_lock:
             self._check_query()
             self.flush()
             decode_seconds = 0.0
             apply_seconds = 0.0
-            for partial in self._broadcast("perf"):
+            workers: List[Dict[str, Any]] = []
+            for index, partial in enumerate(self._broadcast("perf")):
                 decode_seconds += partial["decode_seconds"]
                 apply_seconds += partial["apply_seconds"]
+                workers.append({"worker": index, **partial})
             return {
                 "transport": self._transport,
                 "requested_transport": self._requested_transport,
-                "batches": self._dispatched_batches,
-                "records": self._dispatched_records,
-                "encoded_bytes": self._encoded_bytes,
-                "encode_seconds": self._encode_seconds,
-                "dispatch_seconds": self._dispatch_seconds,
+                "batches": self._m_dispatched_batches.value,
+                "records": self._m_dispatched_records.value,
+                "encoded_bytes": self._m_encoded_bytes.value,
+                "encode_seconds": self._m_encode_seconds.value,
+                "dispatch_seconds": self._m_dispatch_seconds.value,
                 "decode_seconds": decode_seconds,
                 "apply_seconds": apply_seconds,
-                "ring_fallbacks": self._ring_fallbacks,
+                "ring_fallbacks": self._m_ring_fallbacks.value,
+                "workers": workers,
             }
 
     def _barrier(self) -> None:
@@ -1238,19 +1369,71 @@ class ProcessEngine(_WorkerBackedEngine):
                 self._worker_of(shard), "sample", shard, key, self._now
             )
 
-    def _stats(self) -> Tuple[int, int, int, int]:
-        # One broadcast returns all four fleet totals; they are cached until
+    def _stats(self) -> Tuple[int, int, int, int, int, int]:
+        # One broadcast returns all six fleet totals (keys, ticks, evictions,
+        # memory words, LRU evictions, TTL evictions); they are cached until
         # the next mutating message so the common read-them-all pattern
         # (key_count, evictions, memory_words back to back) pays one IPC
-        # round trip instead of three.
+        # round trip instead of several.
         self._check_query()
         self.flush()
         if self._stats_cache is None:
-            totals = (0, 0, 0, 0)
+            totals = (0, 0, 0, 0, 0, 0)
             for partial in self._broadcast("stats"):
                 totals = tuple(a + b for a, b in zip(totals, partial))
             self._stats_cache = totals  # type: ignore[assignment]
         return self._stats_cache
+
+    def stats(self) -> Dict[str, Any]:
+        """Fleet statistics (same shape as :meth:`ShardedEngine.stats`),
+        computed from one ``stats`` broadcast over the resident pools."""
+        with self._api_lock:
+            keys, arrivals, evictions, memory, lru, ttl = self._stats()
+            return {
+                "shards": self._shards,
+                "keys": keys,
+                "arrivals": arrivals,
+                "memory_words": memory,
+                "evictions": {"total": evictions, "lru": lru, "ttl": ttl},
+            }
+
+    def metrics_snapshot(self) -> Dict[str, Any]:
+        """One fleet-wide metrics snapshot: the coordinator's registry
+        merged with every worker process's resident registry (fetched over
+        the ``metrics`` op).
+
+        Deliberately lenient about worker death: a SIGKILL'd worker cannot
+        report, so its metrics are simply missing from the merge, and the
+        gauges ``fleet.workers`` / ``fleet.workers.reporting`` /
+        ``fleet.workers.lost`` record how complete the snapshot is.  Unlike
+        queries, this never raises :class:`WorkerFailure` — a partial
+        snapshot of a dying fleet is exactly when metrics matter most.
+        Raises :class:`ExecutorError` only on a closed engine.
+        """
+        with self._api_lock:
+            if self._closed:
+                raise ExecutorError(
+                    "engine is closed — a ProcessEngine's shards lived in its"
+                    " worker processes; snapshot metrics before close()"
+                )
+            try:
+                self._barrier()
+            except WorkerFailure:
+                pass  # dead fleet: merge whatever still answers
+            snapshots = [self._obs.snapshot()]
+            reporting = 0
+            for index in range(self._workers):
+                try:
+                    snapshots.append(self._request(index, "metrics"))
+                    reporting += 1
+                except (WorkerFailure, ExecutorError):
+                    continue
+            merged = merge_snapshots(snapshots)
+            if self._obs.enabled:
+                merged["gauges"]["fleet.workers"] = self._workers
+                merged["gauges"]["fleet.workers.reporting"] = reporting
+                merged["gauges"]["fleet.workers.lost"] = self._workers - reporting
+            return merged
 
     @property
     def key_count(self) -> int:

@@ -31,6 +31,7 @@ from ..core.serialization import STATE_FORMAT, require_state_fields
 from ..core.tracking import CandidateObserver
 from ..exceptions import ConfigurationError
 from ..memory import MemoryMeter, WORD_MODEL
+from ..obs import NULL_REGISTRY
 from ..sketches import ExponentialHistogramCounter
 from .hashing import stable_key_hash
 from .spec import SamplerSpec
@@ -76,6 +77,7 @@ class KeyedSamplerPool:
         idle_ttl: Optional[int] = None,
         sweep_interval: int = 4096,
         observer_factory: Optional[Callable[[], CandidateObserver]] = None,
+        registry: Optional[Any] = None,
     ) -> None:
         if max_keys is not None and max_keys <= 0:
             raise ConfigurationError("max_keys must be positive (or None for no cap)")
@@ -92,7 +94,16 @@ class KeyedSamplerPool:
         self._entries: "OrderedDict[Any, _KeyEntry]" = OrderedDict()
         self._ticks = 0
         self._evictions = 0
+        self._evictions_lru = 0
+        self._evictions_ttl = 0
         self._generation = 0
+        obs = registry if registry is not None else NULL_REGISTRY
+        self._m_evict_lru = obs.counter("pool.evictions.lru")
+        self._m_evict_ttl = obs.counter("pool.evictions.ttl")
+        # Live values are callback gauges: evaluated only when a snapshot is
+        # taken, so ingest pays nothing for them.
+        obs.register_callback("engine.keys.active", lambda: len(self._entries))
+        obs.register_callback("engine.memory.words", self.memory_words)
         # Whether per-key samplers need a companion window-size counter
         # (timestamp spec, sampler lacks active_count_estimate).  Decided
         # lazily at the first sampler build — None means "not yet known".
@@ -115,8 +126,18 @@ class KeyedSamplerPool:
 
     @property
     def evictions(self) -> int:
-        """Number of keys evicted so far (LRU cap plus TTL sweeps)."""
+        """Number of keys evicted so far (LRU cap, TTL sweeps, discards)."""
         return self._evictions
+
+    @property
+    def evictions_lru(self) -> int:
+        """Keys evicted by the ``max_keys`` LRU cap."""
+        return self._evictions_lru
+
+    @property
+    def evictions_ttl(self) -> int:
+        """Keys evicted by ``idle_ttl`` sweeps."""
+        return self._evictions_ttl
 
     @property
     def generation(self) -> int:
@@ -185,6 +206,8 @@ class KeyedSamplerPool:
         if self._max_keys is not None and len(self._entries) >= self._max_keys:
             self._entries.popitem(last=False)  # least recently ingested
             self._evictions += 1
+            self._evictions_lru += 1
+            self._m_evict_lru.inc()
         self._entries[key] = entry
         return entry
 
@@ -334,7 +357,9 @@ class KeyedSamplerPool:
         for key in stale:
             del self._entries[key]
         self._evictions += len(stale)
+        self._evictions_ttl += len(stale)
         if stale:
+            self._m_evict_ttl.inc(len(stale))
             self._generation += 1
         return len(stale)
 
@@ -397,6 +422,8 @@ class KeyedSamplerPool:
             "seed": self._seed,
             "ticks": self._ticks,
             "evictions": self._evictions,
+            "evictions_lru": self._evictions_lru,
+            "evictions_ttl": self._evictions_ttl,
             "entries": [
                 {
                     "key": key,
@@ -455,6 +482,11 @@ class KeyedSamplerPool:
         self._entries = entries
         self._ticks = int(state["ticks"])
         self._evictions = int(state["evictions"]) + overflow
+        # Pre-split snapshots carry only the total; the breakdown restarts
+        # from whatever they recorded (0 for legacy snapshots).  Overflow
+        # evictions above are LRU-cap evictions by definition.
+        self._evictions_lru = int(state.get("evictions_lru", 0)) + overflow
+        self._evictions_ttl = int(state.get("evictions_ttl", 0))
         self._generation += 1
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -44,6 +44,16 @@ consumed-bytes counter the worker advances after each read, which doubles as
 byte-level backpressure: a producer that outruns the worker waits for ring
 space.  Payloads larger than the ring fall back to the plain queue, so the
 ring bounds memory without limiting record size.
+
+Accounting
+----------
+This module stays measurement-free on purpose: encode/decode run on the
+hot path and the codec has no stable home for counters (it is called from
+both coordinator and workers).  Transport-stage accounting — encode time,
+encoded bytes, dispatch time, ring fallbacks — lives in the coordinator's
+metrics registry, maintained by :class:`~repro.engine.executor.ProcessEngine`
+and exposed via ``transport_report()`` / ``metrics_snapshot()`` (see
+:mod:`repro.obs`).
 """
 
 from __future__ import annotations

@@ -1,0 +1,85 @@
+"""repro.obs — dependency-free metrics, tracing, and structured logging.
+
+The observability layer for the sampling engine fleet.  Four pieces:
+
+* :mod:`repro.obs.registry` — ``Counter`` / ``Gauge`` / ``Histogram``
+  primitives behind a :class:`MetricsRegistry`, a process-wide default
+  registry (``NULL_REGISTRY`` until :func:`enable` is called, so
+  uninstrumented runs pay nothing), and :func:`merge_snapshots` to fold
+  per-worker snapshots into one fleet view.
+* :mod:`repro.obs.exposition` — :func:`to_prometheus_text` renders a
+  snapshot in the Prometheus text format with no client library;
+  :func:`parse_prometheus_text` validates it back.
+* :mod:`repro.obs.spans` — ``with span("checkpoint.write"):`` records a
+  duration histogram (nested spans produce dotted paths) and emits a
+  structured DEBUG log line.
+* :mod:`repro.obs.logging` — :func:`configure_logging` sets up the
+  ``repro`` logger (optionally JSON lines); the resulting config dict is
+  picklable so worker processes inherit it.
+
+Typical use::
+
+    from repro import obs
+
+    registry = obs.MetricsRegistry()
+    engine = ProcessEngine(spec, shards=8, workers=4, registry=registry)
+    engine.ingest(records)
+    snapshot = engine.metrics_snapshot()        # fleet-merged
+    print(obs.to_prometheus_text(snapshot))
+
+or globally, without threading a registry through call sites::
+
+    obs.enable()                                # installs a default registry
+    engine = ShardedEngine(spec, shards=8)      # picks it up automatically
+"""
+
+from .registry import (
+    Counter,
+    DEFAULT_LATENCY_BUCKETS,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_REGISTRY,
+    NullRegistry,
+    disable,
+    enable,
+    get_registry,
+    merge_snapshots,
+    set_registry,
+)
+from .exposition import parse_prometheus_text, sanitize_metric_name, to_prometheus_text
+from .spans import Span, span
+from .logging import (
+    JsonLineFormatter,
+    LOG_LEVELS,
+    apply_logging_config,
+    configure_logging,
+    logging_config,
+    reset_logging,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "DEFAULT_LATENCY_BUCKETS",
+    "merge_snapshots",
+    "get_registry",
+    "set_registry",
+    "enable",
+    "disable",
+    "to_prometheus_text",
+    "parse_prometheus_text",
+    "sanitize_metric_name",
+    "Span",
+    "span",
+    "configure_logging",
+    "apply_logging_config",
+    "logging_config",
+    "reset_logging",
+    "JsonLineFormatter",
+    "LOG_LEVELS",
+]

@@ -1,0 +1,176 @@
+"""Prometheus text exposition — writer *and* parser, no client library.
+
+:func:`to_prometheus_text` renders a registry snapshot (or a merged fleet
+snapshot) in the Prometheus text exposition format version 0.0.4: ``# TYPE``
+comments, counter/gauge samples, and cumulative ``_bucket{le="..."}`` /
+``_sum`` / ``_count`` series for histograms.  Dotted metric names
+(``engine.ingest.records``) become underscore names under a configurable
+namespace (``swsample_engine_ingest_records``).
+
+:func:`parse_prometheus_text` is the matching grammar-checking reader used
+by the test suite to assert the output is genuinely scrapeable — every
+sample line must parse, every referenced type must be declared, and
+histogram series must be cumulative and consistent.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Any, Dict, List, Tuple
+
+__all__ = ["to_prometheus_text", "parse_prometheus_text", "sanitize_metric_name"]
+
+_NAME_OK = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_NAME_BAD_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+_SAMPLE_LINE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>\S+)$"
+)
+_LABEL_PAIR = re.compile(r'^(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"$')
+
+
+def sanitize_metric_name(name: str, namespace: str = "") -> str:
+    """Map a dotted registry name onto the Prometheus name grammar."""
+    flat = _NAME_BAD_CHARS.sub("_", name.replace(".", "_"))
+    if namespace:
+        flat = f"{namespace}_{flat}"
+    if not flat or not _NAME_OK.match(flat):
+        flat = f"_{flat}"
+    return flat
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, bool):  # bools are ints; be explicit anyway
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float) and value.is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _format_bound(bound: float) -> str:
+    if bound == math.inf:
+        return "+Inf"
+    return _format_value(bound)
+
+
+def to_prometheus_text(snapshot: Dict[str, Any], namespace: str = "swsample") -> str:
+    """Render a ``MetricsRegistry.snapshot()`` dict as exposition text."""
+    lines: List[str] = []
+    for name in sorted(snapshot.get("counters", {})):
+        flat = sanitize_metric_name(name, namespace)
+        lines.append(f"# TYPE {flat} counter")
+        lines.append(f"{flat} {_format_value(snapshot['counters'][name])}")
+    for name in sorted(snapshot.get("gauges", {})):
+        flat = sanitize_metric_name(name, namespace)
+        lines.append(f"# TYPE {flat} gauge")
+        lines.append(f"{flat} {_format_value(snapshot['gauges'][name])}")
+    for name in sorted(snapshot.get("histograms", {})):
+        data = snapshot["histograms"][name]
+        flat = sanitize_metric_name(name, namespace)
+        lines.append(f"# TYPE {flat} histogram")
+        cumulative = 0
+        for bound, count in zip(
+            list(data["buckets"]) + [math.inf], data["counts"]
+        ):
+            cumulative += count
+            lines.append(
+                f'{flat}_bucket{{le="{_format_bound(bound)}"}} {cumulative}'
+            )
+        lines.append(f"{flat}_sum {_format_value(data['sum'])}")
+        lines.append(f"{flat}_count {_format_value(data['count'])}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def _parse_labels(raw: str) -> Dict[str, str]:
+    labels: Dict[str, str] = {}
+    if not raw.strip():
+        return labels
+    for pair in raw.split(","):
+        match = _LABEL_PAIR.match(pair.strip())
+        if match is None:
+            raise ValueError(f"malformed label pair: {pair!r}")
+        value = match.group("value")
+        value = (
+            value.replace("\\\\", "\x00")
+            .replace('\\"', '"')
+            .replace("\\n", "\n")
+            .replace("\x00", "\\")
+        )
+        labels[match.group("key")] = value
+    return labels
+
+
+def _parse_value(token: str) -> float:
+    if token == "+Inf":
+        return math.inf
+    if token == "-Inf":
+        return -math.inf
+    if token == "NaN":
+        return math.nan
+    return float(token)
+
+
+def parse_prometheus_text(text: str) -> Dict[str, Any]:
+    """Parse exposition text back into ``{"types": ..., "samples": ...}``.
+
+    ``types`` maps metric name to its declared type; ``samples`` is a list
+    of ``(name, labels_dict, value)`` tuples in document order.  Raises
+    ``ValueError`` on any line that is neither a well-formed comment nor a
+    well-formed sample, on samples for undeclared histogram series, and on
+    non-cumulative histogram buckets — i.e. this is a validator, not just a
+    scraper.
+    """
+    types: Dict[str, str] = {}
+    samples: List[Tuple[str, Dict[str, str], float]] = []
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 2 and parts[1] == "TYPE":
+                if len(parts) != 4:
+                    raise ValueError(f"malformed TYPE line: {raw_line!r}")
+                _, _, name, metric_type = parts
+                if metric_type not in ("counter", "gauge", "histogram", "summary", "untyped"):
+                    raise ValueError(f"unknown metric type: {metric_type!r}")
+                if name in types:
+                    raise ValueError(f"duplicate TYPE declaration for {name!r}")
+                types[name] = metric_type
+            continue
+        match = _SAMPLE_LINE.match(line)
+        if match is None:
+            raise ValueError(f"malformed sample line: {raw_line!r}")
+        labels = _parse_labels(match.group("labels") or "")
+        samples.append((match.group("name"), labels, _parse_value(match.group("value"))))
+
+    # Histogram series must be declared, cumulative, and internally consistent.
+    for name, metric_type in types.items():
+        if metric_type != "histogram":
+            continue
+        buckets = [
+            (labels.get("le"), value)
+            for sample_name, labels, value in samples
+            if sample_name == f"{name}_bucket"
+        ]
+        if not buckets:
+            raise ValueError(f"histogram {name!r} declared but has no buckets")
+        if buckets[-1][0] != "+Inf":
+            raise ValueError(f"histogram {name!r} missing +Inf bucket")
+        previous = -math.inf
+        for le, value in buckets:
+            if le is None:
+                raise ValueError(f"histogram {name!r} bucket missing le label")
+            if value < previous:
+                raise ValueError(f"histogram {name!r} buckets are not cumulative")
+            previous = value
+        counts = [v for n, _, v in samples if n == f"{name}_count"]
+        if not counts:
+            raise ValueError(f"histogram {name!r} missing _count sample")
+        if counts[0] != buckets[-1][1]:
+            raise ValueError(f"histogram {name!r} _count != +Inf bucket")
+    return {"types": types, "samples": samples}

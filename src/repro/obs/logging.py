@@ -1,0 +1,133 @@
+"""Structured logging configuration for the engine fleet.
+
+The engine never calls ``logging.basicConfig`` — that is the application's
+decision.  :func:`configure_logging` is that decision made explicit: it
+installs exactly one stream handler on the ``repro`` logger (idempotent —
+reconfiguring replaces the previous handler rather than stacking), sets the
+level, and optionally swaps the human-readable formatter for
+:class:`JsonLineFormatter`, which emits one JSON object per line with any
+``extra`` fields included.
+
+Worker processes cannot inherit handler objects, so the active settings are
+kept as a plain picklable dict: the coordinator ships
+:func:`logging_config` in each worker's config and the worker calls
+:func:`apply_logging_config` before its message loop starts.  Workers then
+log to their own stderr with the same level/format as the parent.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+from typing import Any, Dict, Optional, TextIO
+
+__all__ = [
+    "configure_logging",
+    "apply_logging_config",
+    "logging_config",
+    "reset_logging",
+    "JsonLineFormatter",
+    "LOG_LEVELS",
+]
+
+_LOGGER_NAME = "repro"
+
+LOG_LEVELS: Dict[str, int] = {
+    "debug": logging.DEBUG,
+    "info": logging.INFO,
+    "warning": logging.WARNING,
+    "error": logging.ERROR,
+}
+
+#: LogRecord attribute names that are formatter plumbing, not user fields.
+_RESERVED = frozenset(
+    vars(
+        logging.LogRecord("", 0, "", 0, "", (), None)
+    ).keys()
+) | {"message", "asctime", "taskName"}
+
+_current_config: Optional[Dict[str, Any]] = None
+
+
+class JsonLineFormatter(logging.Formatter):
+    """One JSON object per record: timestamp, level, logger, message, pid,
+    plus every ``extra`` field (non-serialisable values fall back to
+    ``repr``)."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload: Dict[str, Any] = {
+            "ts": round(record.created, 6),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "message": record.getMessage(),
+            "pid": record.process,
+        }
+        for key, value in record.__dict__.items():
+            if key in _RESERVED or key.startswith("_"):
+                continue
+            try:
+                json.dumps(value)
+            except (TypeError, ValueError):
+                value = repr(value)
+            payload[key] = value
+        if record.exc_info:
+            payload["exc"] = self.formatException(record.exc_info)
+        return json.dumps(payload, sort_keys=True)
+
+
+def configure_logging(
+    level: str = "info",
+    json_lines: bool = False,
+    stream: Optional[TextIO] = None,
+) -> Dict[str, Any]:
+    """Configure the ``repro`` logger; returns the picklable config dict."""
+    global _current_config
+    level_name = str(level).lower()
+    if level_name not in LOG_LEVELS:
+        raise ValueError(
+            f"unknown log level {level!r}; expected one of {sorted(LOG_LEVELS)}"
+        )
+    logger = logging.getLogger(_LOGGER_NAME)
+    for handler in list(logger.handlers):
+        if getattr(handler, "_repro_obs_handler", False):
+            logger.removeHandler(handler)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler._repro_obs_handler = True  # type: ignore[attr-defined]
+    if json_lines:
+        handler.setFormatter(JsonLineFormatter())
+    else:
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(levelname)s %(name)s %(message)s")
+        )
+    logger.addHandler(handler)
+    logger.setLevel(LOG_LEVELS[level_name])
+    logger.propagate = False
+    _current_config = {"level": level_name, "json": bool(json_lines)}
+    return dict(_current_config)
+
+
+def logging_config() -> Optional[Dict[str, Any]]:
+    """The active config as a picklable dict, or ``None`` if unconfigured.
+    This is what the coordinator ships to worker processes."""
+    return dict(_current_config) if _current_config is not None else None
+
+
+def apply_logging_config(config: Optional[Dict[str, Any]]) -> None:
+    """Worker-side entry point: apply a shipped config (no-op on ``None``)."""
+    if config:
+        configure_logging(
+            level=config.get("level", "info"), json_lines=config.get("json", False)
+        )
+
+
+def reset_logging() -> None:
+    """Remove obs-installed handlers and forget the config (test hygiene)."""
+    global _current_config
+    logger = logging.getLogger(_LOGGER_NAME)
+    for handler in list(logger.handlers):
+        if getattr(handler, "_repro_obs_handler", False):
+            logger.removeHandler(handler)
+    logger.propagate = True
+    logger.setLevel(logging.NOTSET)
+    _current_config = None

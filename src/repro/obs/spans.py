@@ -1,0 +1,86 @@
+"""A lightweight span API: timed blocks that land in duration histograms.
+
+``with span("checkpoint.write", registry=reg):`` times the block on
+``perf_counter`` and records the duration into a histogram named
+``checkpoint.write.seconds``.  Spans nest per-thread: a span opened inside
+another gets the parent's dotted path as a prefix, so
+``span("checkpoint") / span("segment")`` records into
+``checkpoint.segment.seconds`` — cheap hierarchical tracing without a
+tracing backend.
+
+Each finished span also emits a DEBUG record on the ``repro.obs.span``
+logger carrying the path, duration, and outcome as structured ``extra``
+fields, which the JSON formatter in :mod:`repro.obs.logging` renders as
+machine-readable lines.  At default log levels this costs one
+``isEnabledFor`` check.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+import time
+from typing import Any, Dict, Optional
+
+from .registry import get_registry
+
+__all__ = ["Span", "span"]
+
+_log = logging.getLogger("repro.obs.span")
+_stack = threading.local()
+
+
+class Span:
+    """Context manager for one timed block.  ``seconds`` and ``path`` are
+    populated on exit; histograms are only touched on enabled registries."""
+
+    __slots__ = ("name", "registry", "fields", "path", "seconds", "_started")
+
+    def __init__(
+        self,
+        name: str,
+        registry: Optional[Any] = None,
+        fields: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        if not name:
+            raise ValueError("span name must be non-empty")
+        self.name = name
+        self.registry = registry if registry is not None else get_registry()
+        self.fields = fields or {}
+        self.path = name
+        self.seconds = 0.0
+        self._started = 0.0
+
+    def __enter__(self) -> "Span":
+        frames = getattr(_stack, "frames", None)
+        if frames is None:
+            frames = _stack.frames = []
+        self.path = ".".join((*frames, self.name)) if frames else self.name
+        frames.append(self.name)
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.seconds = time.perf_counter() - self._started
+        frames = getattr(_stack, "frames", None)
+        if frames and frames[-1] == self.name:
+            frames.pop()
+        self.registry.histogram(f"{self.path}.seconds").observe(self.seconds)
+        if _log.isEnabledFor(logging.DEBUG):
+            _log.debug(
+                "span %s took %.6fs",
+                self.path,
+                self.seconds,
+                extra={
+                    "span": self.path,
+                    "seconds": round(self.seconds, 6),
+                    "failed": exc_type is not None,
+                    **self.fields,
+                },
+            )
+        return False
+
+
+def span(name: str, registry: Optional[Any] = None, **fields: Any) -> Span:
+    """Open a timed span; extra keyword fields ride on the log record."""
+    return Span(name, registry=registry, fields=fields or None)

@@ -337,3 +337,84 @@ class TestEngineStreamingAndWorkers:
                      "--workers", "2", "--checkpoint", "/tmp/never.ckpt"]) == 2
         assert "requires --algorithm optimal" in capsys.readouterr().err
         assert threading.active_count() == before  # worker threads joined
+
+
+class TestEngineObservability:
+    def teardown_method(self):
+        from repro.obs import reset_logging
+        reset_logging()
+
+    def test_metrics_out_json(self, capsys, tmp_path):
+        path = tmp_path / "metrics.json"
+        assert main(["engine", "--records", "2000", "--keys", "20", "--shards", "2",
+                     "--metrics-out", str(path)]) == 0
+        assert f"metrics         : {path} (json)" in capsys.readouterr().out
+        snapshot = json.loads(path.read_text())
+        assert snapshot["counters"]["engine.ingest.records"] == 2000
+        assert snapshot["gauges"]["engine.keys.active"] == 20
+
+    def test_metrics_out_prometheus_text(self, capsys, tmp_path):
+        from repro.obs import parse_prometheus_text
+
+        path = tmp_path / "metrics.prom"
+        assert main(["engine", "--records", "2000", "--keys", "20", "--shards", "2",
+                     "--workers", "2", "--executor", "process",
+                     "--metrics-out", str(path), "--metrics-format", "prom"]) == 0
+        capsys.readouterr()
+        parsed = parse_prometheus_text(path.read_text())
+        samples = {name: value for name, labels, value in parsed["samples"] if not labels}
+        assert samples["swsample_engine_ingest_records"] == 2000
+        assert samples["swsample_worker_applied_records"] == 2000
+        assert samples["swsample_fleet_workers"] == 2
+
+    def test_metrics_out_stdout(self, capsys):
+        assert main(["engine", "--records", "500", "--keys", "10",
+                     "--metrics-out", "-"]) == 0
+        output = capsys.readouterr().out
+        start = output.index("{")
+        snapshot = json.loads(output[start:])
+        assert snapshot["counters"]["engine.ingest.records"] == 500
+
+    def test_metrics_out_includes_checkpoint_counters(self, capsys, tmp_path):
+        metrics = tmp_path / "metrics.json"
+        assert main(["engine", "--records", "1000", "--keys", "10",
+                     "--checkpoint", str(tmp_path / "engine.ckpt"),
+                     "--metrics-out", str(metrics)]) == 0
+        capsys.readouterr()
+        snapshot = json.loads(metrics.read_text())
+        assert snapshot["counters"]["checkpoint.saves"] == 1
+        assert snapshot["histograms"]["checkpoint.write.seconds"]["count"] == 1
+
+    def test_metrics_out_unwritable_path_is_a_friendly_error(self, capsys):
+        assert main(["engine", "--records", "100", "--keys", "5",
+                     "--metrics-out", "/nonexistent/dir/metrics.json"]) == 2
+        assert "cannot write --metrics-out" in capsys.readouterr().err
+
+    def test_eviction_breakdown_in_fleet_statistics(self, capsys):
+        assert main(["engine", "--records", "3000", "--keys", "100", "--shards", "2",
+                     "--max-keys-per-shard", "10", "--workload", "keyed-uniform"]) == 0
+        output = capsys.readouterr().out
+        assert "evicted:" in output and "lru" in output and "ttl" in output
+
+    def test_log_level_configures_structured_logging(self, capfd):
+        from repro.obs import logging_config
+
+        assert main(["engine", "--records", "500", "--keys", "10",
+                     "--log-level", "debug", "--log-json"]) == 0
+        assert logging_config() == {"level": "debug", "json": True}
+
+    def test_log_json_implies_info(self):
+        from repro.obs import logging_config
+
+        assert main(["engine", "--records", "100", "--keys", "5", "--log-json"]) == 0
+        assert logging_config() == {"level": "info", "json": True}
+
+    def test_worker_processes_inherit_log_config(self, capfd):
+        assert main(["engine", "--records", "1000", "--keys", "10", "--shards", "2",
+                     "--workers", "2", "--executor", "process",
+                     "--log-level", "info", "--log-json"]) == 0
+        captured = capfd.readouterr().err
+        online = [json.loads(line) for line in captured.splitlines()
+                  if '"shard worker online' in line]
+        assert len(online) == 2
+        assert all(payload["logger"] == "repro.engine.worker" for payload in online)

@@ -115,8 +115,12 @@ class TestCommittedBaselines:
         record = record_module()
         for name, guards in record.GUARDED_METRICS.items():
             results = load_baseline(name)["results"]
-            for dotted, direction in guards:
-                assert direction in ("min", "max")
+            for guard in guards:
+                dotted, direction = guard[0], guard[1]
+                assert direction in ("min", "max", "cap")
+                if direction == "cap":
+                    # Absolute-ceiling guards carry their threshold inline.
+                    assert len(guard) == 3 and float(guard[2]) > 0, guard
                 value = record._lookup(results, dotted)
                 assert isinstance(value, (int, float)), (name, dotted)
 
