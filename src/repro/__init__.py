@@ -159,6 +159,25 @@ structured (optionally JSON-lines) logs that worker processes inherit.  The
 CLI surfaces all of it: ``swsample engine --metrics-out PATH
 [--metrics-format json|prom] --log-level debug --log-json``.
 
+Serving
+-------
+:mod:`repro.serve` keeps the engine alive between requests: ``swsample
+serve`` runs a standing asyncio daemon (stdlib-only — no web framework) with
+HTTP and raw-socket JSONL ingest, a per-tenant query API (``sample`` /
+``hottest`` / ``frequent`` / ``moments`` / ``stats``), ``/healthz`` and a
+Prometheus ``/metrics`` endpoint that folds every tenant's fleet-merged
+snapshot into one document via
+:func:`~repro.obs.labeled_prometheus_text` (``tenant="..."`` labels).  Each
+tenant name gets its own engine built from one shared recipe (the same
+spec/shards/workers flags as ``swsample engine``), its own metrics registry
+and a single engine thread, so the serial engine stays single-caller under
+concurrent traffic.  Backlogs are bounded: HTTP ingest answers ``429`` with
+``Retry-After`` once ``--max-pending`` records are in flight, while the raw
+socket simply stops reading (TCP pushes back on the sender).  SIGTERM/SIGINT
+drain in-flight batches, write one checkpoint directory per tenant under
+``--checkpoint-dir``, and ``--resume`` restores them losslessly on restart.
+See ``examples/serve_demo.py`` for the end-to-end loop.
+
 Quickstart
 ----------
 >>> from repro import sliding_window_sampler

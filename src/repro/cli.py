@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Installed as the ``swsample`` console script.  Four sub-commands:
+Installed as the ``swsample`` console script.  Five sub-commands:
 
 * ``swsample list`` — show the available algorithms, workloads and experiments;
 * ``swsample run`` — stream a workload through a sampler and print the sample
@@ -14,6 +14,11 @@ Installed as the ``swsample`` console script.  Four sub-commands:
   (``--metrics-format json|prom``), and ``--log-level``/``--log-json``
   configure structured logging via :mod:`repro.obs` (worker processes
   inherit the configuration);
+* ``swsample serve`` — the standing async daemon (:mod:`repro.serve`): HTTP
+  and raw-socket JSONL ingest, a per-tenant query API, ``/healthz`` and
+  Prometheus ``/metrics``, 429 backpressure, and graceful SIGTERM shutdown
+  with checkpoint-on-exit / ``--resume`` on restart.  Shares the engine
+  recipe flags with ``swsample engine``;
 * ``swsample experiment E3 --scale default`` — run one of the E1–E10
   experiments and print its result table (add ``--markdown`` or ``--csv``).
 """
@@ -22,12 +27,14 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from typing import List, Optional
 
 from .core.facade import algorithm_catalog, sliding_window_sampler
 from .engine.source import DEFAULT_BATCH_SIZE
+from .serve import DEFAULT_MAX_PENDING_RECORDS
 from .exceptions import ConfigurationError, SWSampleError
 from .harness import available_experiments, run_experiment
 from .harness.experiments import EXPERIMENTS, SCALES
@@ -39,6 +46,63 @@ from .streams.workloads import (
 )
 
 __all__ = ["main", "build_parser"]
+
+
+def _add_engine_recipe_arguments(parser: argparse.ArgumentParser) -> None:
+    """The engine recipe — sampler spec + sharding/worker layout — shared
+    verbatim by ``swsample engine`` and ``swsample serve``."""
+    parser.add_argument("--window", choices=["sequence", "timestamp"], default="sequence")
+    parser.add_argument("--n", type=int, default=500, help="per-key window size (sequence)")
+    parser.add_argument("--t0", type=float, default=500.0, help="per-key window span (timestamp)")
+    parser.add_argument("-k", type=int, default=4, help="samples per key")
+    parser.add_argument("--without-replacement", action="store_true")
+    parser.add_argument("--algorithm", default="optimal", help="optimal or a baseline name")
+    parser.add_argument("--shards", type=int, default=4, help="hash partitions")
+    parser.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="drive shards from N workers (default: serial engine)",
+    )
+    parser.add_argument(
+        "--executor", choices=["thread", "process"], default=None,
+        help="worker flavour for --workers: 'thread' (pipelining; the default)"
+        " or 'process' (shards resident in worker processes — scales across cores)",
+    )
+    parser.add_argument(
+        "--max-batch", type=int, default=None, metavar="N",
+        help="records per sub-batch dispatched to each shard worker (requires"
+        " --workers; default 4096)",
+    )
+    parser.add_argument(
+        "--fast", action="store_true",
+        help="use the skip-sampling batched ingest path (optimal algorithm only:"
+        " geometric skips instead of per-element coins; statistically exact but"
+        " not bit-identical to the default path)",
+    )
+    parser.add_argument("--max-keys-per-shard", type=int, default=None, help="LRU cap per shard")
+    parser.add_argument("--idle-ttl", type=int, default=None, help="evict keys idle this many ticks")
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _add_observability_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--metrics-out", metavar="PATH",
+        help="write a fleet-merged metrics snapshot to PATH at the end"
+        " ('-' for stdout); enables metrics collection for the run",
+    )
+    parser.add_argument(
+        "--metrics-format", choices=["json", "prom"], default="json",
+        help="snapshot format for --metrics-out: nested JSON or Prometheus"
+        " text exposition (default json)",
+    )
+    parser.add_argument(
+        "--log-level", choices=["debug", "info", "warning", "error"], default=None,
+        help="enable structured logging on the 'repro' logger at this level"
+        " (worker processes inherit the configuration)",
+    )
+    parser.add_argument(
+        "--log-json", action="store_true",
+        help="emit log records as JSON lines (implies --log-level info unless set)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -64,36 +128,10 @@ def build_parser() -> argparse.ArgumentParser:
     engine_parser = subparsers.add_parser(
         "engine", help="drive a keyed workload through the sharded multi-stream engine"
     )
-    engine_parser.add_argument("--window", choices=["sequence", "timestamp"], default="sequence")
-    engine_parser.add_argument("--n", type=int, default=500, help="per-key window size (sequence)")
-    engine_parser.add_argument("--t0", type=float, default=500.0, help="per-key window span (timestamp)")
-    engine_parser.add_argument("-k", type=int, default=4, help="samples per key")
-    engine_parser.add_argument("--without-replacement", action="store_true")
-    engine_parser.add_argument("--algorithm", default="optimal", help="optimal or a baseline name")
+    _add_engine_recipe_arguments(engine_parser)
     engine_parser.add_argument("--workload", default="keyed-zipf", choices=available_keyed_workloads())
     engine_parser.add_argument("--records", type=int, default=100_000, help="records to ingest")
     engine_parser.add_argument("--keys", type=int, default=1_000, help="size of the keyspace")
-    engine_parser.add_argument("--shards", type=int, default=4, help="hash partitions")
-    engine_parser.add_argument(
-        "--workers", type=int, default=None, metavar="N",
-        help="drive shards from N workers (default: serial engine)",
-    )
-    engine_parser.add_argument(
-        "--executor", choices=["thread", "process"], default=None,
-        help="worker flavour for --workers: 'thread' (pipelining; the default)"
-        " or 'process' (shards resident in worker processes — scales across cores)",
-    )
-    engine_parser.add_argument(
-        "--max-batch", type=int, default=None, metavar="N",
-        help="records per sub-batch dispatched to each shard worker (requires"
-        " --workers; default 4096)",
-    )
-    engine_parser.add_argument(
-        "--fast", action="store_true",
-        help="use the skip-sampling batched ingest path (optimal algorithm only:"
-        " geometric skips instead of per-element coins; statistically exact but"
-        " not bit-identical to the default path)",
-    )
     engine_parser.add_argument(
         "--input", metavar="PATH",
         help="stream JSONL records from PATH ('-' for stdin) instead of a synthetic workload;"
@@ -103,31 +141,60 @@ def build_parser() -> argparse.ArgumentParser:
         "--batch-size", type=int, default=DEFAULT_BATCH_SIZE,
         help="records per ingest batch for --input streams",
     )
-    engine_parser.add_argument("--max-keys-per-shard", type=int, default=None, help="LRU cap per shard")
-    engine_parser.add_argument("--idle-ttl", type=int, default=None, help="evict keys idle this many ticks")
     engine_parser.add_argument("--top", type=int, default=5, help="hottest keys to report")
-    engine_parser.add_argument("--seed", type=int, default=0)
     engine_parser.add_argument("--checkpoint", metavar="PATH", help="write an engine checkpoint at the end")
     engine_parser.add_argument("--resume", metavar="PATH", help="resume from an engine checkpoint first")
-    engine_parser.add_argument(
-        "--metrics-out", metavar="PATH",
-        help="write a fleet-merged metrics snapshot to PATH at the end"
-        " ('-' for stdout); enables metrics collection for the run",
+    _add_observability_arguments(engine_parser)
+
+    serve_parser = subparsers.add_parser(
+        "serve", help="run the standing async ingest/query daemon"
     )
-    engine_parser.add_argument(
-        "--metrics-format", choices=["json", "prom"], default="json",
-        help="snapshot format for --metrics-out: nested JSON or Prometheus"
-        " text exposition (default json)",
+    _add_engine_recipe_arguments(serve_parser)
+    serve_parser.add_argument("--host", default="127.0.0.1", help="bind address (default 127.0.0.1)")
+    serve_parser.add_argument(
+        "--port", type=int, default=9500,
+        help="HTTP port (0 picks an ephemeral port; default 9500)",
     )
-    engine_parser.add_argument(
-        "--log-level", choices=["debug", "info", "warning", "error"], default=None,
-        help="enable structured logging on the 'repro' logger at this level"
-        " (worker processes inherit the configuration)",
+    serve_parser.add_argument(
+        "--socket-port", type=int, default=None, metavar="PORT",
+        help="also listen for raw line-per-record TCP ingest on PORT"
+        " (0 picks an ephemeral port; default: disabled)",
     )
-    engine_parser.add_argument(
-        "--log-json", action="store_true",
-        help="emit log records as JSON lines (implies --log-level info unless set)",
+    serve_parser.add_argument(
+        "--tenant", action="append", default=None, metavar="NAME",
+        help="tenant namespace (repeatable; default: one tenant named 'default')",
     )
+    serve_parser.add_argument(
+        "--track-occurrences", action="store_true",
+        help="maintain per-candidate occurrence counts so /moments can answer",
+    )
+    serve_parser.add_argument(
+        "--checkpoint-dir", metavar="DIR",
+        help="write one checkpoint directory per tenant under DIR on shutdown"
+        " (and every --checkpoint-interval seconds)",
+    )
+    serve_parser.add_argument(
+        "--resume", action="store_true",
+        help="restore each tenant from its --checkpoint-dir checkpoint at startup",
+    )
+    serve_parser.add_argument(
+        "--checkpoint-interval", type=float, default=None, metavar="SECONDS",
+        help="also checkpoint every SECONDS while running (requires --checkpoint-dir)",
+    )
+    serve_parser.add_argument(
+        "--max-pending", type=int, default=DEFAULT_MAX_PENDING_RECORDS, metavar="N",
+        help="per-tenant backlog bound in records before ingest answers 429"
+        f" (default {DEFAULT_MAX_PENDING_RECORDS})",
+    )
+    serve_parser.add_argument(
+        "--batch-size", type=int, default=DEFAULT_BATCH_SIZE,
+        help="records per engine ingest batch",
+    )
+    serve_parser.add_argument(
+        "--ready-file", metavar="PATH",
+        help="write a JSON readiness file (pid + bound ports) once listening",
+    )
+    _add_observability_arguments(serve_parser)
 
     experiment_parser = subparsers.add_parser("experiment", help="run one of the E1-E10 experiments")
     experiment_parser.add_argument("experiment", help="experiment id, e.g. E3, or 'all'")
@@ -181,6 +248,29 @@ def _command_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _check_writable_path(path: str) -> Optional[str]:
+    """Probe that ``path`` can be written *now*, before hours of ingest.
+
+    Existing files are opened for append (no truncation — the probe must not
+    destroy anything); missing files are created exclusively and removed
+    again.  Returns the OS error message when the path is unwritable, else
+    ``None``.  ``"-"`` (stdout) always passes.
+    """
+    if path == "-":
+        return None
+    try:
+        if os.path.exists(path):
+            with open(path, "a", encoding="utf-8"):
+                pass
+        else:
+            with open(path, "x", encoding="utf-8"):
+                pass
+            os.unlink(path)
+    except OSError as error:
+        return str(error)
+    return None
+
+
 def _command_engine(args: argparse.Namespace) -> int:
     from .engine import (
         ParallelEngine,
@@ -198,6 +288,17 @@ def _command_engine(args: argparse.Namespace) -> int:
         # Workers inherit this: the process engine ships the active config
         # dict to every worker it spawns.
         configure_logging(level=args.log_level or "info", json_lines=args.log_json)
+    if args.metrics_out:
+        # Catch an unwritable path before the ingest run, not after it; the
+        # late-write error path below stays as a fallback (the filesystem can
+        # still change out from under a long run).
+        problem = _check_writable_path(args.metrics_out)
+        if problem is not None:
+            print(
+                f"error: --metrics-out {args.metrics_out} is not writable: {problem}",
+                file=sys.stderr,
+            )
+            return 2
     registry = MetricsRegistry() if args.metrics_out else None
 
     workers = args.workers
@@ -397,6 +498,111 @@ def _command_engine(args: argparse.Namespace) -> int:
             engine.close()
 
 
+def _command_serve(args: argparse.Namespace) -> int:
+    from .engine import SamplerSpec
+    from .obs import configure_logging
+    from .serve import EngineSettings, ServeApp, ServeConfig
+
+    if args.log_level or args.log_json:
+        configure_logging(level=args.log_level or "info", json_lines=args.log_json)
+    workers = args.workers
+    if workers is not None and workers <= 0:
+        print("error: --workers must be positive", file=sys.stderr)
+        return 2
+    if args.executor is not None and workers is None:
+        print(
+            f"error: --executor {args.executor} requires --workers N"
+            " (without workers the engine runs serially)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.max_batch is not None and workers is None:
+        print(
+            "error: --max-batch requires --workers N (the serial engine"
+            " applies batches directly, without dispatch sub-batching)",
+            file=sys.stderr,
+        )
+        return 2
+    if workers is not None and workers > args.shards:
+        print(
+            f"error: --workers {workers} exceeds --shards {args.shards}"
+            " (each worker owns at least one shard; extra workers would sit idle)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.resume and not args.checkpoint_dir:
+        print("error: --resume requires --checkpoint-dir", file=sys.stderr)
+        return 2
+    if args.fast and args.resume:
+        print(
+            "error: --fast cannot be combined with --resume (the sampler recipe"
+            " travels inside the checkpoint and must be restored unchanged)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.checkpoint_interval is not None and not args.checkpoint_dir:
+        print("error: --checkpoint-interval requires --checkpoint-dir", file=sys.stderr)
+        return 2
+    if args.checkpoint_dir and args.algorithm != "optimal":
+        print(
+            "error: --checkpoint-dir requires --algorithm optimal"
+            " (baseline samplers do not support state snapshots)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.metrics_out:
+        problem = _check_writable_path(args.metrics_out)
+        if problem is not None:
+            print(
+                f"error: --metrics-out {args.metrics_out} is not writable: {problem}",
+                file=sys.stderr,
+            )
+            return 2
+    try:
+        spec = SamplerSpec(
+            window=args.window,
+            k=args.k,
+            n=args.n if args.window == "sequence" else None,
+            t0=args.t0 if args.window == "timestamp" else None,
+            replacement=not args.without_replacement,
+            algorithm=args.algorithm,
+            fast=args.fast,
+        )
+        config = ServeConfig(
+            engine=EngineSettings(
+                spec=spec,
+                shards=args.shards,
+                seed=args.seed,
+                max_keys_per_shard=args.max_keys_per_shard,
+                idle_ttl=args.idle_ttl,
+                track_occurrences=args.track_occurrences,
+                workers=workers,
+                executor=args.executor or "thread",
+                max_batch=args.max_batch,
+            ),
+            host=args.host,
+            http_port=args.port,
+            socket_port=args.socket_port,
+            tenants=tuple(args.tenant) if args.tenant else ("default",),
+            checkpoint_dir=args.checkpoint_dir,
+            resume=args.resume,
+            checkpoint_interval=args.checkpoint_interval,
+            max_pending_records=args.max_pending,
+            batch_size=args.batch_size,
+            ready_file=args.ready_file,
+            metrics_out=args.metrics_out,
+            metrics_format=args.metrics_format,
+        )
+    except ConfigurationError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    try:
+        return ServeApp(config).run()
+    except (OSError, SWSampleError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
 def _command_experiment(args: argparse.Namespace) -> int:
     if args.experiment.lower() == "all":
         experiment_ids = available_experiments()
@@ -423,6 +629,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_run(args)
     if args.command == "engine":
         return _command_engine(args)
+    if args.command == "serve":
+        return _command_serve(args)
     if args.command == "experiment":
         return _command_experiment(args)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover - argparse guards this

@@ -100,7 +100,7 @@ from .engine import ShardedEngine
 from .executor import ParallelEngine, ProcessEngine
 from .hashing import stable_key_bytes, stable_key_hash
 from .pool import KeyedSamplerPool
-from .source import batched, ingest_jsonl, jsonl_records
+from .source import batched, freeze_key, ingest_jsonl, jsonl_records
 from .spec import SamplerSpec
 from .transport import decode_batch, encode_batch
 
@@ -118,6 +118,7 @@ __all__ = [
     "jsonl_records",
     "batched",
     "ingest_jsonl",
+    "freeze_key",
     "encode_batch",
     "decode_batch",
     "stable_key_hash",

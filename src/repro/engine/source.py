@@ -15,8 +15,10 @@ the engine's record tuples without ever materialising the stream:
   bounds producer-side memory.
 * :func:`ingest_jsonl` wires both to an engine and returns the record count.
 
-JSON arrays become tuples, so array-form keys keep the engine's stable-hash
-contract (lists are not hashable stream keys).
+Array-form keys become tuples **recursively** (:func:`freeze_key`), so even
+nested keys keep the engine's stable-hash contract; keys containing anything
+unhashable fail loudly with the offending line number instead of a
+``TypeError`` deep inside ingest.
 """
 
 from __future__ import annotations
@@ -26,10 +28,41 @@ from typing import Any, Iterable, Iterator, List, Optional, Tuple
 
 from ..exceptions import ConfigurationError
 
-__all__ = ["jsonl_records", "batched", "ingest_jsonl", "DEFAULT_BATCH_SIZE"]
+__all__ = [
+    "jsonl_records",
+    "batched",
+    "ingest_jsonl",
+    "freeze_key",
+    "DEFAULT_BATCH_SIZE",
+]
 
 #: Default records per ingest batch for streaming sources.
 DEFAULT_BATCH_SIZE = 8192
+
+
+def freeze_key(key: Any, *, line_number: Optional[int] = None) -> Any:
+    """Turn a JSON-shaped key into a hashable, stable-routable stream key.
+
+    Lists become tuples **recursively** — a nested key like
+    ``[["a", ["b"]], 4]`` must not smuggle an inner list past the engine's
+    stable-hash contract (lists are unhashable and have no stable byte
+    encoding).  Scalars that :func:`repro.engine.hashing.stable_key_bytes`
+    accepts (strings, bytes, ints, floats, bools, ``None``) pass through
+    unchanged; anything else — a JSON object, say — is refused *here*, with
+    the line number when one is known, instead of surfacing as an opaque
+    ``TypeError`` deep inside ingest.
+    """
+    if isinstance(key, (list, tuple)):
+        return tuple(freeze_key(item, line_number=line_number) for item in key)
+    if key is None or isinstance(key, (str, bytes, int, float)):
+        # bool is an int subclass, so it is covered too.
+        return key
+    context = f"line {line_number}: " if line_number is not None else ""
+    raise ConfigurationError(
+        f"{context}record key contains a {type(key).__name__}, which is not a"
+        " hashable stream key: keys must be strings, numbers, booleans, null,"
+        " or (nested) arrays of these"
+    )
 
 
 def _record_from_document(document: Any, line_number: int) -> Tuple[Any, ...]:
@@ -39,11 +72,9 @@ def _record_from_document(document: Any, line_number: int) -> Tuple[Any, ...]:
                 f"line {line_number}: JSONL record objects need 'key' and 'value' fields,"
                 f" got {sorted(document)!r}"
             )
-        key = document["key"]
+        key = freeze_key(document["key"], line_number=line_number)
         value = document["value"]
         timestamp = document.get("timestamp")
-        if isinstance(key, list):
-            key = tuple(key)
         if timestamp is None:
             return (key, value)
         return (key, value, timestamp)
@@ -53,9 +84,7 @@ def _record_from_document(document: Any, line_number: int) -> Tuple[Any, ...]:
                 f"line {line_number}: JSONL record arrays must have 2 or 3 items,"
                 f" got {len(document)}"
             )
-        if isinstance(document[0], list):
-            document = [tuple(document[0]), *document[1:]]
-        return tuple(document)
+        return (freeze_key(document[0], line_number=line_number), *document[1:])
     raise ConfigurationError(
         f"line {line_number}: each JSONL record must be an object or an array,"
         f" got {type(document).__name__}"
@@ -84,9 +113,20 @@ def jsonl_records(lines: Iterable[str]) -> Iterator[Tuple[Any, ...]]:
 
 
 def batched(records: Iterable[Any], size: int = DEFAULT_BATCH_SIZE) -> Iterator[List[Any]]:
-    """Slice any record iterator into lists of at most ``size`` records."""
+    """Slice any record iterator into lists of at most ``size`` records.
+
+    ``size`` is validated **eagerly**: ``batched(records, 0)`` raises
+    :class:`~repro.exceptions.ConfigurationError` at the call site.  (The
+    slicing itself is a generator; were the check inside it, a bad size
+    would surface only at first iteration — or never, if the result is
+    dropped unconsumed.)
+    """
     if size <= 0:
         raise ConfigurationError("batch size must be positive")
+    return _batched_iter(records, size)
+
+
+def _batched_iter(records: Iterable[Any], size: int) -> Iterator[List[Any]]:
     batch: List[Any] = []
     for record in records:
         batch.append(record)

@@ -9,7 +9,9 @@ The observability layer for the sampling engine fleet.  Four pieces:
   per-worker snapshots into one fleet view.
 * :mod:`repro.obs.exposition` — :func:`to_prometheus_text` renders a
   snapshot in the Prometheus text format with no client library;
-  :func:`parse_prometheus_text` validates it back.
+  :func:`labeled_prometheus_text` folds many snapshots (one per tenant,
+  say) into a single document distinguished by a constant label;
+  :func:`parse_prometheus_text` validates either back.
 * :mod:`repro.obs.spans` — ``with span("checkpoint.write"):`` records a
   duration histogram (nested spans produce dotted paths) and emits a
   structured DEBUG log line.
@@ -47,7 +49,12 @@ from .registry import (
     merge_snapshots,
     set_registry,
 )
-from .exposition import parse_prometheus_text, sanitize_metric_name, to_prometheus_text
+from .exposition import (
+    labeled_prometheus_text,
+    parse_prometheus_text,
+    sanitize_metric_name,
+    to_prometheus_text,
+)
 from .spans import Span, span
 from .logging import (
     JsonLineFormatter,
@@ -72,6 +79,7 @@ __all__ = [
     "enable",
     "disable",
     "to_prometheus_text",
+    "labeled_prometheus_text",
     "parse_prometheus_text",
     "sanitize_metric_name",
     "Span",

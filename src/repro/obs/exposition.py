@@ -7,19 +7,32 @@ comments, counter/gauge samples, and cumulative ``_bucket{le="..."}`` /
 (``engine.ingest.records``) become underscore names under a configurable
 namespace (``swsample_engine_ingest_records``).
 
+:func:`labeled_prometheus_text` renders *several* snapshots — one per
+tenant, say — into a single exposition document: each metric name is
+declared once and every sample carries a constant distinguishing label
+(``swsample_engine_ingest_records{tenant="acme"} 41``), which is how the
+``swsample serve`` daemon keeps per-tenant fleets apart on one ``/metrics``
+endpoint.
+
 :func:`parse_prometheus_text` is the matching grammar-checking reader used
 by the test suite to assert the output is genuinely scrapeable — every
 sample line must parse, every referenced type must be declared, and
-histogram series must be cumulative and consistent.
+histogram series must be cumulative and consistent *per label set* (a
+labeled document interleaves many series under one name).
 """
 
 from __future__ import annotations
 
 import math
 import re
-from typing import Any, Dict, List, Tuple
+from typing import Any, Dict, List, Mapping, Tuple
 
-__all__ = ["to_prometheus_text", "parse_prometheus_text", "sanitize_metric_name"]
+__all__ = [
+    "to_prometheus_text",
+    "labeled_prometheus_text",
+    "parse_prometheus_text",
+    "sanitize_metric_name",
+]
 
 _NAME_OK = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
 _NAME_BAD_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
@@ -82,6 +95,64 @@ def to_prometheus_text(snapshot: Dict[str, Any], namespace: str = "swsample") ->
             )
         lines.append(f"{flat}_sum {_format_value(data['sum'])}")
         lines.append(f"{flat}_count {_format_value(data['count'])}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def labeled_prometheus_text(
+    snapshots: Mapping[str, Dict[str, Any]],
+    label: str,
+    namespace: str = "swsample",
+) -> str:
+    """Render several registry snapshots as **one** exposition document.
+
+    ``snapshots`` maps a label value (e.g. a tenant name) to that party's
+    ``MetricsRegistry.snapshot()`` dict; every sample is emitted with the
+    constant ``label="value"`` pair attached, and each metric name gets a
+    single ``# TYPE`` declaration however many snapshots carry it (duplicate
+    declarations are a parse error).  Label values are escaped per the
+    exposition grammar.  Per-snapshot histograms stay separate series —
+    merge with :func:`repro.obs.merge_snapshots` first if a fleet-wide
+    histogram is wanted instead.
+    """
+    if not _LABEL_PAIR.match(f'{label}="x"'):
+        raise ValueError(f"invalid Prometheus label name: {label!r}")
+    kinds = {"counters": set(), "gauges": set(), "histograms": set()}
+    for snapshot in snapshots.values():
+        for kind, names in kinds.items():
+            names.update(snapshot.get(kind, {}))
+    lines: List[str] = []
+    ordered = sorted(snapshots)
+
+    def tag(value: str, extra: str = "") -> str:
+        pair = f'{label}="{_escape_label_value(value)}"'
+        return "{" + pair + ("," + extra if extra else "") + "}"
+
+    for kind, metric_type in (("counters", "counter"), ("gauges", "gauge")):
+        for name in sorted(kinds[kind]):
+            flat = sanitize_metric_name(name, namespace)
+            lines.append(f"# TYPE {flat} {metric_type}")
+            for value in ordered:
+                series = snapshots[value].get(kind, {})
+                if name in series:
+                    lines.append(f"{flat}{tag(value)} {_format_value(series[name])}")
+    for name in sorted(kinds["histograms"]):
+        flat = sanitize_metric_name(name, namespace)
+        lines.append(f"# TYPE {flat} histogram")
+        for value in ordered:
+            data = snapshots[value].get("histograms", {}).get(name)
+            if data is None:
+                continue
+            cumulative = 0
+            for bound, count in zip(list(data["buckets"]) + [math.inf], data["counts"]):
+                cumulative += count
+                le = f'le="{_format_bound(bound)}"'
+                lines.append(f"{flat}_bucket{tag(value, le)} {cumulative}")
+            lines.append(f"{flat}_sum{tag(value)} {_format_value(data['sum'])}")
+            lines.append(f"{flat}_count{tag(value)} {_format_value(data['count'])}")
     return "\n".join(lines) + "\n" if lines else ""
 
 
@@ -148,29 +219,37 @@ def parse_prometheus_text(text: str) -> Dict[str, Any]:
         labels = _parse_labels(match.group("labels") or "")
         samples.append((match.group("name"), labels, _parse_value(match.group("value"))))
 
-    # Histogram series must be declared, cumulative, and internally consistent.
+    # Histogram series must be declared, cumulative, and internally
+    # consistent — checked per label set, because a labeled document (one
+    # series per tenant, say) interleaves many series under one name.
     for name, metric_type in types.items():
         if metric_type != "histogram":
             continue
-        buckets = [
-            (labels.get("le"), value)
-            for sample_name, labels, value in samples
-            if sample_name == f"{name}_bucket"
-        ]
+        buckets: Dict[Tuple[Tuple[str, str], ...], List[Tuple[str, float]]] = {}
+        counts: Dict[Tuple[Tuple[str, str], ...], float] = {}
+        for sample_name, labels, value in samples:
+            group = tuple(sorted((k, v) for k, v in labels.items() if k != "le"))
+            if sample_name == f"{name}_bucket":
+                if "le" not in labels:
+                    raise ValueError(f"histogram {name!r} bucket missing le label")
+                buckets.setdefault(group, []).append((labels["le"], value))
+            elif sample_name == f"{name}_count" and group not in counts:
+                counts[group] = value
         if not buckets:
             raise ValueError(f"histogram {name!r} declared but has no buckets")
-        if buckets[-1][0] != "+Inf":
-            raise ValueError(f"histogram {name!r} missing +Inf bucket")
-        previous = -math.inf
-        for le, value in buckets:
-            if le is None:
-                raise ValueError(f"histogram {name!r} bucket missing le label")
-            if value < previous:
-                raise ValueError(f"histogram {name!r} buckets are not cumulative")
-            previous = value
-        counts = [v for n, _, v in samples if n == f"{name}_count"]
-        if not counts:
-            raise ValueError(f"histogram {name!r} missing _count sample")
-        if counts[0] != buckets[-1][1]:
-            raise ValueError(f"histogram {name!r} _count != +Inf bucket")
+        for group, series in buckets.items():
+            where = f" for label set {dict(group)!r}" if group else ""
+            if series[-1][0] != "+Inf":
+                raise ValueError(f"histogram {name!r} missing +Inf bucket{where}")
+            previous = -math.inf
+            for _, value in series:
+                if value < previous:
+                    raise ValueError(
+                        f"histogram {name!r} buckets are not cumulative{where}"
+                    )
+                previous = value
+            if group not in counts:
+                raise ValueError(f"histogram {name!r} missing _count sample{where}")
+            if counts[group] != series[-1][1]:
+                raise ValueError(f"histogram {name!r} _count != +Inf bucket{where}")
     return {"types": types, "samples": samples}

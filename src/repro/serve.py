@@ -1,0 +1,1099 @@
+"""``swsample serve`` — the standing async ingest/query daemon.
+
+The engine so far lives for one CLI invocation; this module keeps it alive.
+:class:`ServeApp` is an asyncio front-end over the existing transport-agnostic
+pieces — :mod:`repro.engine.source` parses records, any engine flavour
+(:class:`~repro.engine.ShardedEngine`, :class:`~repro.engine.ParallelEngine`,
+:class:`~repro.engine.ProcessEngine`) ingests them, :mod:`repro.obs` renders
+telemetry, and the checkpoint layer persists the fleet across restarts.
+
+Surface
+-------
+* **HTTP ingest** — ``POST /v1/<tenant>/ingest`` with a JSONL body (the same
+  line grammar as ``swsample engine --input``).  Admission is bounded: when a
+  tenant's pending backlog would exceed ``max_pending_records`` the request is
+  refused with ``429`` and a ``Retry-After`` header instead of buffering
+  without bound.
+* **Raw-socket ingest** — a line-per-record TCP listener (``--socket-port``).
+  ``#tenant NAME`` lines switch tenants mid-stream; backpressure here is
+  *blocking* (the reader simply stops consuming until the engine drains),
+  which propagates to the sender via TCP — the right behaviour for a pipe.
+* **Query API** — ``GET /v1/<tenant>/sample?key=K`` (``key`` is a JSON
+  document, or a bare string when it does not parse as JSON), ``/hottest``,
+  ``/frequent``, ``/moments``, ``/stats``; plus fleet-wide ``/healthz``
+  (loop-side only — never blocks on an engine), ``/v1/tenants`` and
+  ``/metrics`` (Prometheus text: server-level counters via
+  :func:`~repro.obs.to_prometheus_text` plus every tenant's fleet-merged
+  engine snapshot via :func:`~repro.obs.labeled_prometheus_text`, one
+  ``tenant="..."`` label per namespace).
+* **Multi-tenant namespaces** — one engine recipe instantiated per tenant
+  name, each with an isolated :class:`~repro.obs.MetricsRegistry` and its own
+  single-thread executor, so tenants cannot observe each other's state.
+* **Graceful shutdown** — SIGTERM/SIGINT stop accepting connections, drain
+  in-flight batches through the engine's ``flush`` barrier, write one
+  checkpoint directory per tenant (``<checkpoint_dir>/<tenant>``) and close
+  the engines.  ``--resume`` restores those checkpoints losslessly on the
+  next start (stable-hash routing makes the restored fleet bit-identical).
+
+Threading model
+---------------
+Every engine — including the serial :class:`~repro.engine.ShardedEngine`,
+which is single-caller by contract — is only ever touched from its tenant's
+one-thread executor.  Ingests and queries are submitted to that executor from
+the event loop, so they serialise in arrival order and the loop itself never
+blocks on sampler work.  The pending-records ledger that drives 429s is
+mutated only on the event loop (``run_in_executor`` completion callbacks run
+there), so it needs no lock.
+
+The module is stdlib-only (``asyncio`` + the existing package layers): no
+web framework, by design — the wire surface is small and the dependency
+budget is zero.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import io
+import json
+import os
+import signal
+import sys
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from .engine import (
+    ParallelEngine,
+    ProcessEngine,
+    SamplerSpec,
+    ShardedEngine,
+    checkpoint_shards,
+    freeze_key,
+    ingest_jsonl,
+    load_checkpoint,
+    write_checkpoint,
+)
+from .engine.source import DEFAULT_BATCH_SIZE
+from .exceptions import (
+    ConfigurationError,
+    EmptyWindowError,
+    InsufficientSampleError,
+    SamplingFailureError,
+    StreamOrderError,
+    SWSampleError,
+    WorkerFailure,
+)
+from .obs import MetricsRegistry, labeled_prometheus_text, to_prometheus_text
+
+__all__ = ["EngineSettings", "ServeConfig", "ServeApp", "ServeThread"]
+
+#: Default per-tenant backlog bound (records) before ingest returns 429.
+DEFAULT_MAX_PENDING_RECORDS = 100_000
+
+#: Largest accepted HTTP body; a JSONL batch bigger than this should be
+#: split by the client (or streamed over the raw socket instead).
+DEFAULT_MAX_BODY_BYTES = 64 * 1024 * 1024
+
+_HTTP_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    411: "Length Required",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class _HttpError(Exception):
+    """Internal: unwind request handling into an error response."""
+
+    def __init__(self, status: int, message: str, headers: Sequence[Tuple[str, str]] = ()):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+        self.headers = tuple(headers)
+
+
+@dataclass
+class EngineSettings:
+    """The per-tenant engine recipe: which sampler fleet each tenant gets.
+
+    ``build`` constructs a fresh engine (serial by default; thread or process
+    workers when ``workers`` is set), ``resume`` restores one from a
+    checkpoint directory — under *any* worker count, which the manifest is
+    validated against before paying for the restore, mirroring the CLI.
+    """
+
+    spec: SamplerSpec
+    shards: int = 4
+    seed: int = 0
+    max_keys_per_shard: Optional[int] = None
+    idle_ttl: Optional[int] = None
+    track_occurrences: bool = False
+    workers: Optional[int] = None
+    executor: str = "thread"
+    max_batch: Optional[int] = None
+
+    def build(self, registry: Any) -> Any:
+        config = dict(
+            shards=self.shards,
+            seed=self.seed,
+            max_keys_per_shard=self.max_keys_per_shard,
+            idle_ttl=self.idle_ttl,
+            track_occurrences=self.track_occurrences,
+            registry=registry,
+        )
+        if self.workers is not None:
+            engine_class = ProcessEngine if self.executor == "process" else ParallelEngine
+            if self.max_batch is not None:
+                config["max_batch"] = self.max_batch
+            return engine_class(self.spec, workers=self.workers, **config)
+        return ShardedEngine(self.spec, **config)
+
+    def resume(self, path: str, registry: Any) -> Any:
+        if self.workers is not None:
+            known_shards = checkpoint_shards(path)
+            if known_shards is not None and self.workers > known_shards:
+                raise ConfigurationError(
+                    f"workers={self.workers} exceeds the checkpoint's"
+                    f" {known_shards} shards (each worker owns at least one shard)"
+                )
+        return load_checkpoint(
+            path,
+            workers=self.workers,
+            executor=self.executor,
+            max_batch=self.max_batch,
+            registry=registry,
+        )
+
+
+@dataclass
+class ServeConfig:
+    """Everything :class:`ServeApp` needs to stand up a daemon."""
+
+    engine: EngineSettings
+    host: str = "127.0.0.1"
+    http_port: int = 0
+    socket_port: Optional[int] = None
+    tenants: Sequence[str] = ("default",)
+    checkpoint_dir: Optional[str] = None
+    resume: bool = False
+    checkpoint_interval: Optional[float] = None
+    max_pending_records: int = DEFAULT_MAX_PENDING_RECORDS
+    batch_size: int = DEFAULT_BATCH_SIZE
+    max_body_bytes: int = DEFAULT_MAX_BODY_BYTES
+    drain_timeout: float = 10.0
+    ready_file: Optional[str] = None
+    metrics_out: Optional[str] = None
+    metrics_format: str = "json"
+    #: Test hook: ``(tenant_name, registry) -> engine`` overrides
+    #: ``engine.build``/``engine.resume`` entirely.
+    engine_factory: Optional[Callable[[str, Any], Any]] = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if not self.tenants:
+            raise ConfigurationError("serve needs at least one tenant")
+        if len(set(self.tenants)) != len(self.tenants):
+            raise ConfigurationError("tenant names must be unique")
+        if self.max_pending_records <= 0:
+            raise ConfigurationError("max_pending_records must be positive")
+        if self.batch_size <= 0:
+            raise ConfigurationError("batch size must be positive")
+        if self.resume and not self.checkpoint_dir:
+            raise ConfigurationError("resume requires a checkpoint_dir")
+        if self.checkpoint_interval is not None and self.checkpoint_interval <= 0:
+            raise ConfigurationError("checkpoint_interval must be positive")
+        if self.metrics_format not in ("json", "prom"):
+            raise ConfigurationError("metrics_format must be 'json' or 'prom'")
+
+
+class _Tenant:
+    """One tenant's engine plus its single-thread access discipline.
+
+    All engine calls — ingest, queries, flush, checkpoint, close — go through
+    ``self._executor`` (one thread), which makes the serial engine safe under
+    concurrent HTTP traffic and gives worker-backed engines a single caller
+    for their public surface.  ``pending_records`` and ``_waiters`` are
+    event-loop state: touched only on the loop thread.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        engine: Any,
+        registry: MetricsRegistry,
+        loop: asyncio.AbstractEventLoop,
+        *,
+        max_pending: int,
+        batch_size: int,
+    ) -> None:
+        self.name = name
+        self.engine = engine
+        self.registry = registry
+        self._loop = loop
+        self._max_pending = max_pending
+        self._batch_size = batch_size
+        self.pending_records = 0
+        self.ingested_records = 0
+        self._waiters: List[asyncio.Future] = []
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix=f"swsample-serve-{name}"
+        )
+        self._accepted = registry.counter("serve.ingest.accepted.records")
+        self._rejected = registry.counter("serve.ingest.rejected.batches")
+        registry.register_callback("serve.pending.records", lambda: self.pending_records)
+
+    # -- ingest ----------------------------------------------------------------
+
+    def _ingest_sync(self, text: str) -> int:
+        return ingest_jsonl(self.engine, io.StringIO(text), batch_size=self._batch_size)
+
+    def try_ingest(self, text: str) -> Optional["asyncio.Future[int]"]:
+        """Admit a JSONL body, or return ``None`` when the backlog is full.
+
+        The estimate is the body's line count — exact for well-formed JSONL,
+        close enough for admission control otherwise.  A batch larger than
+        the whole budget is still admitted when the tenant is idle, so one
+        oversized client cannot deadlock itself.
+        """
+        estimate = text.count("\n") + (0 if text.endswith("\n") else 1)
+        if self.pending_records > 0 and self.pending_records + estimate > self._max_pending:
+            self._rejected.inc()
+            return None
+        self.pending_records += estimate
+        future = self._loop.run_in_executor(self._executor, self._ingest_sync, text)
+
+        def _settled(done: "asyncio.Future[int]", estimate: int = estimate) -> None:
+            self.pending_records -= estimate
+            if not done.cancelled() and done.exception() is None:
+                count = done.result()
+                self.ingested_records += count
+                self._accepted.inc(count)
+            waiters, self._waiters = self._waiters, []
+            for waiter in waiters:
+                if not waiter.done():
+                    waiter.set_result(None)
+
+        future.add_done_callback(_settled)
+        return future
+
+    async def admit(self, text: str) -> "asyncio.Future[int]":
+        """Blocking admission for the raw-socket path: wait for the backlog
+        to drain instead of refusing, then return the in-flight future.
+
+        The caller awaits *admission* before reading more input — that stalls
+        the TCP receive window, pushing backpressure to the sender — while
+        admitted batches still pipeline through the engine thread.
+        """
+        while True:
+            future = self.try_ingest(text)
+            if future is not None:
+                return future
+            waiter: asyncio.Future = self._loop.create_future()
+            self._waiters.append(waiter)
+            await waiter
+
+    async def ingest_wait(self, text: str) -> int:
+        """Blocking-admission ingest: admit, then await completion."""
+        return await (await self.admit(text))
+
+    # -- serialized engine access ---------------------------------------------
+
+    async def query(self, fn: Callable[..., Any], *args: Any) -> Any:
+        """Run ``fn(*args)`` on the tenant's engine thread, after any queued
+        ingests (single executor thread ⇒ strict arrival order)."""
+        return await self._loop.run_in_executor(self._executor, fn, *args)
+
+    async def drain(self) -> None:
+        await self.query(self.engine.flush)
+
+    async def checkpoint(self, path: str) -> Any:
+        return await self.query(lambda: write_checkpoint(self.engine, path))
+
+    async def metrics_snapshot(self) -> Dict[str, Any]:
+        return await self.query(self.engine.metrics_snapshot)
+
+    async def aclose(self) -> None:
+        close = getattr(self.engine, "close", None)
+        if close is not None:
+            await self.query(close)
+        self._executor.shutdown(wait=False)
+
+
+def _element_payload(element: Any) -> Dict[str, Any]:
+    return {
+        "index": element.index,
+        "timestamp": element.timestamp,
+        "value": element.value,
+    }
+
+
+def _parse_key(raw: str) -> Any:
+    """A query-string key: a JSON document, or a bare string when it isn't.
+
+    ``key=7`` is the integer key ``7``; the *string* ``"7"`` must be sent
+    JSON-quoted (``key=%227%22``).  Nested array keys arrive as JSON arrays
+    and are frozen recursively, exactly like ingest does.
+    """
+    try:
+        document = json.loads(raw)
+    except ValueError:
+        return raw
+    return freeze_key(document)
+
+
+class ServeApp:
+    """The daemon: tenants, listeners, lifecycle.  See the module docstring.
+
+    ``await start()`` inside a running loop (tests, :class:`ServeThread`);
+    ``run()`` from a main thread for the real daemon (installs SIGTERM/SIGINT
+    handlers, blocks until stopped, shuts down cleanly, returns an exit
+    code).
+    """
+
+    def __init__(self, config: ServeConfig) -> None:
+        self.config = config
+        self.http_port: Optional[int] = None
+        self.socket_port: Optional[int] = None
+        self._tenants: Dict[str, _Tenant] = {}
+        self._registry = MetricsRegistry()
+        self._http_server: Optional[asyncio.AbstractServer] = None
+        self._socket_server: Optional[asyncio.AbstractServer] = None
+        self._conn_tasks: "set[asyncio.Task]" = set()
+        self._checkpoint_task: Optional[asyncio.Task] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop_event: Optional[asyncio.Event] = None
+        self._shutdown_started = False
+        self._http_requests = self._registry.counter("serve.http.requests")
+        self._http_errors = self._registry.counter("serve.http.errors")
+        self._socket_conns = self._registry.counter("serve.socket.connections")
+
+    # -- lifecycle -------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Build the tenant engines (resuming when configured), bind the
+        listeners and write the ready file.  Idempotency is not attempted —
+        one app, one start."""
+        config = self.config
+        self._loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        if config.checkpoint_dir:
+            os.makedirs(config.checkpoint_dir, exist_ok=True)
+        for name in config.tenants:
+            registry = MetricsRegistry()
+            if config.engine_factory is not None:
+                engine = config.engine_factory(name, registry)
+            else:
+                checkpoint_path = self._tenant_checkpoint_path(name)
+                if (
+                    config.resume
+                    and checkpoint_path is not None
+                    and os.path.exists(checkpoint_path)
+                ):
+                    engine = config.engine.resume(checkpoint_path, registry)
+                else:
+                    engine = config.engine.build(registry)
+            self._tenants[name] = _Tenant(
+                name,
+                engine,
+                registry,
+                self._loop,
+                max_pending=config.max_pending_records,
+                batch_size=config.batch_size,
+            )
+        self._http_server = await asyncio.start_server(
+            self._on_http_connection, config.host, config.http_port
+        )
+        self.http_port = self._http_server.sockets[0].getsockname()[1]
+        if config.socket_port is not None:
+            self._socket_server = await asyncio.start_server(
+                self._on_socket_connection,
+                config.host,
+                config.socket_port,
+                limit=1 << 20,
+            )
+            self.socket_port = self._socket_server.sockets[0].getsockname()[1]
+        if config.checkpoint_interval is not None and config.checkpoint_dir:
+            self._checkpoint_task = self._loop.create_task(self._checkpoint_periodically())
+        self._write_ready_file()
+
+    def _tenant_checkpoint_path(self, name: str) -> Optional[str]:
+        if not self.config.checkpoint_dir:
+            return None
+        return os.path.join(self.config.checkpoint_dir, name)
+
+    def _write_ready_file(self) -> None:
+        path = self.config.ready_file
+        if not path:
+            return
+        payload = {
+            "pid": os.getpid(),
+            "host": self.config.host,
+            "http_port": self.http_port,
+            "socket_port": self.socket_port,
+            "tenants": list(self.config.tenants),
+        }
+        tmp = f"{path}.tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+            handle.write("\n")
+        os.replace(tmp, path)
+
+    async def _checkpoint_periodically(self) -> None:
+        assert self.config.checkpoint_interval is not None
+        while True:
+            await asyncio.sleep(self.config.checkpoint_interval)
+            for name, tenant in self._tenants.items():
+                path = self._tenant_checkpoint_path(name)
+                if path is None:
+                    return
+                try:
+                    await tenant.drain()
+                    await tenant.checkpoint(path)
+                except (SWSampleError, OSError) as error:
+                    print(
+                        f"warning: periodic checkpoint for tenant {name!r}"
+                        f" failed: {error}",
+                        file=sys.stderr,
+                    )
+
+    def request_stop(self) -> None:
+        """Thread-safe stop signal (what SIGTERM/SIGINT hook into)."""
+        if self._loop is not None and self._stop_event is not None:
+            self._loop.call_soon_threadsafe(self._stop_event.set)
+
+    async def shutdown(self) -> None:
+        """Stop listening, drain, checkpoint, persist metrics, close.
+
+        Safe to call twice (the second call is a no-op) and safe to call
+        even if ``start`` only partially completed.
+        """
+        if self._shutdown_started:
+            return
+        self._shutdown_started = True
+        if self._checkpoint_task is not None:
+            self._checkpoint_task.cancel()
+            try:
+                await self._checkpoint_task
+            except asyncio.CancelledError:
+                pass
+        for server in (self._http_server, self._socket_server):
+            if server is not None:
+                server.close()
+                await server.wait_closed()
+        if self._conn_tasks:
+            _, pending = await asyncio.wait(
+                list(self._conn_tasks), timeout=self.config.drain_timeout
+            )
+            for task in pending:
+                task.cancel()
+        # Drain, snapshot, checkpoint, close — best-effort per tenant, so one
+        # dead worker fleet cannot keep the others from persisting cleanly.
+        for name, tenant in self._tenants.items():
+            try:
+                await tenant.drain()
+            except SWSampleError as error:
+                print(f"warning: tenant {name!r} drain failed: {error}", file=sys.stderr)
+        snapshots: Optional[Dict[str, Dict[str, Any]]] = None
+        if self.config.metrics_out:
+            # Snapshot before closing: a ProcessEngine fleet cannot answer
+            # metrics queries once its workers are gone.
+            snapshots = {
+                name: await tenant.metrics_snapshot()
+                for name, tenant in self._tenants.items()
+            }
+        for name, tenant in self._tenants.items():
+            path = self._tenant_checkpoint_path(name)
+            if path is None:
+                continue
+            try:
+                await tenant.checkpoint(path)
+            except (SWSampleError, OSError) as error:
+                print(
+                    f"warning: tenant {name!r} shutdown checkpoint failed: {error}",
+                    file=sys.stderr,
+                )
+        for tenant in self._tenants.values():
+            await tenant.aclose()
+        if snapshots is not None:
+            self._write_metrics_out(snapshots)
+        if self.config.ready_file:
+            try:
+                os.unlink(self.config.ready_file)
+            except OSError:
+                pass
+
+    def _write_metrics_out(self, snapshots: Dict[str, Dict[str, Any]]) -> None:
+        if self.config.metrics_format == "prom":
+            rendered = to_prometheus_text(self._registry.snapshot())
+            rendered += labeled_prometheus_text(snapshots, "tenant")
+        else:
+            rendered = (
+                json.dumps(
+                    {"server": self._registry.snapshot(), "tenants": snapshots},
+                    indent=2,
+                    sort_keys=True,
+                )
+                + "\n"
+            )
+        assert self.config.metrics_out is not None
+        if self.config.metrics_out == "-":
+            sys.stdout.write(rendered)
+            return
+        try:
+            with open(self.config.metrics_out, "w", encoding="utf-8") as handle:
+                handle.write(rendered)
+        except OSError as error:
+            print(
+                f"error: cannot write metrics to {self.config.metrics_out}: {error}",
+                file=sys.stderr,
+            )
+
+    async def _serve_until_stopped(self) -> int:
+        await self.start()
+        assert self._loop is not None and self._stop_event is not None
+        installed: List[signal.Signals] = []
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                self._loop.add_signal_handler(signum, self._stop_event.set)
+                installed.append(signum)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover - non-POSIX
+                pass
+        listening = f"listening on http://{self.config.host}:{self.http_port}"
+        if self.socket_port is not None:
+            listening += f" (raw socket {self.config.host}:{self.socket_port})"
+        print(listening, flush=True)
+        try:
+            await self._stop_event.wait()
+        finally:
+            for signum in installed:
+                self._loop.remove_signal_handler(signum)
+            await self.shutdown()
+        return 0
+
+    def run(self) -> int:
+        """Run the daemon to completion on a fresh event loop (the CLI
+        entry point; must be the main thread for signal handling)."""
+        return asyncio.run(self._serve_until_stopped())
+
+    # -- HTTP ------------------------------------------------------------------
+
+    async def _on_http_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        try:
+            await self._handle_http(reader, writer)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            if task is not None:
+                self._conn_tasks.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover - peer reset
+                pass
+
+    async def _handle_http(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._http_requests.inc()
+        try:
+            request = await self._read_request(reader)
+            if request is None:
+                return
+            method, target, body = request
+            status, content_type, payload, headers = await self._route(method, target, body)
+        except _HttpError as error:
+            self._http_errors.inc()
+            status, content_type, payload, headers = (
+                error.status,
+                "application/json",
+                _json_body({"error": error.message}),
+                error.headers,
+            )
+        except (ConnectionError, asyncio.IncompleteReadError):
+            raise
+        except Exception as error:  # noqa: BLE001 - the daemon must not die per-request
+            self._http_errors.inc()
+            status, content_type, payload, headers = (
+                500,
+                "application/json",
+                _json_body({"error": f"{type(error).__name__}: {error}"}),
+                (),
+            )
+        reason = _HTTP_REASONS.get(status, "Unknown")
+        head = [f"HTTP/1.1 {status} {reason}"]
+        head.append(f"Content-Type: {content_type}")
+        head.append(f"Content-Length: {len(payload)}")
+        for key, value in headers:
+            head.append(f"{key}: {value}")
+        head.append("Connection: close")
+        writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1"))
+        writer.write(payload)
+        await writer.drain()
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> Optional[Tuple[str, str, bytes]]:
+        request_line = await reader.readline()
+        if not request_line:
+            return None
+        parts = request_line.decode("latin-1").split()
+        if len(parts) != 3 or not parts[2].startswith("HTTP/"):
+            raise _HttpError(400, "malformed request line")
+        method, target = parts[0].upper(), parts[1]
+        headers: Dict[str, str] = {}
+        for _ in range(100):
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            if b":" not in line:
+                raise _HttpError(400, "malformed header line")
+            key, _, value = line.decode("latin-1").partition(":")
+            headers[key.strip().lower()] = value.strip()
+        else:
+            raise _HttpError(400, "too many headers")
+        if "transfer-encoding" in headers:
+            raise _HttpError(411, "chunked bodies are not supported; send Content-Length")
+        raw_length = headers.get("content-length", "0")
+        try:
+            length = int(raw_length)
+        except ValueError:
+            raise _HttpError(400, f"bad Content-Length: {raw_length!r}") from None
+        if length < 0:
+            raise _HttpError(400, f"bad Content-Length: {raw_length!r}")
+        if length > self.config.max_body_bytes:
+            raise _HttpError(
+                413,
+                f"body of {length} bytes exceeds the {self.config.max_body_bytes}-byte"
+                " limit; split the batch or use the raw-socket listener",
+            )
+        body = await reader.readexactly(length) if length else b""
+        return method, target, body
+
+    def _tenant_or_404(self, name: str) -> _Tenant:
+        tenant = self._tenants.get(name)
+        if tenant is None:
+            raise _HttpError(404, f"unknown tenant {name!r}")
+        return tenant
+
+    async def _route(
+        self, method: str, target: str, body: bytes
+    ) -> Tuple[int, str, bytes, Sequence[Tuple[str, str]]]:
+        split = urlsplit(target)
+        path = split.path
+        params = parse_qs(split.query)
+        if path == "/healthz":
+            _require(method, "GET")
+            return _json_response(200, self._health_payload())
+        if path == "/metrics":
+            _require(method, "GET")
+            return await self._metrics_response()
+        if path == "/v1/tenants":
+            _require(method, "GET")
+            return _json_response(200, {"tenants": sorted(self._tenants)})
+        segments = [segment for segment in path.split("/") if segment]
+        if len(segments) == 3 and segments[0] == "v1":
+            _, tenant_name, action = segments
+            tenant = self._tenant_or_404(tenant_name)
+            if action == "ingest":
+                _require(method, "POST")
+                return await self._ingest_response(tenant, body)
+            if action == "checkpoint":
+                _require(method, "POST")
+                return await self._checkpoint_response(tenant)
+            handler = {
+                "sample": self._sample_response,
+                "hottest": self._hottest_response,
+                "frequent": self._frequent_response,
+                "moments": self._moments_response,
+                "stats": self._stats_response,
+            }.get(action)
+            if handler is not None:
+                _require(method, "GET")
+                return await handler(tenant, params)
+        raise _HttpError(404, f"no route for {path!r}")
+
+    def _health_payload(self) -> Dict[str, Any]:
+        # Loop-side state only: health must answer even when every engine
+        # thread is busy chewing a batch.
+        return {
+            "status": "ok" if not self._shutdown_started else "stopping",
+            "tenants": {
+                name: {
+                    "pending_records": tenant.pending_records,
+                    "ingested_records": tenant.ingested_records,
+                }
+                for name, tenant in self._tenants.items()
+            },
+        }
+
+    async def _metrics_response(self) -> Tuple[int, str, bytes, Sequence[Tuple[str, str]]]:
+        snapshots = {
+            name: await tenant.metrics_snapshot()
+            for name, tenant in self._tenants.items()
+        }
+        text = to_prometheus_text(self._registry.snapshot())
+        text += labeled_prometheus_text(snapshots, "tenant")
+        return 200, "text/plain; version=0.0.4", text.encode("utf-8"), ()
+
+    async def _ingest_response(
+        self, tenant: _Tenant, body: bytes
+    ) -> Tuple[int, str, bytes, Sequence[Tuple[str, str]]]:
+        try:
+            text = body.decode("utf-8")
+        except UnicodeDecodeError as error:
+            raise _HttpError(400, f"body is not UTF-8: {error}") from None
+        if not text.strip():
+            return _json_response(200, {"tenant": tenant.name, "ingested": 0})
+        future = tenant.try_ingest(text)
+        if future is None:
+            raise _HttpError(
+                429,
+                f"tenant {tenant.name!r} has {tenant.pending_records} records pending"
+                f" (limit {self.config.max_pending_records}); retry later",
+                headers=(("Retry-After", "1"),),
+            )
+        try:
+            ingested = await future
+        except (ConfigurationError, StreamOrderError) as error:
+            raise _HttpError(400, str(error)) from None
+        except WorkerFailure as error:
+            raise _HttpError(503, str(error)) from None
+        return _json_response(200, {"tenant": tenant.name, "ingested": ingested})
+
+    async def _checkpoint_response(
+        self, tenant: _Tenant
+    ) -> Tuple[int, str, bytes, Sequence[Tuple[str, str]]]:
+        path = self._tenant_checkpoint_path(tenant.name)
+        if path is None:
+            raise _HttpError(400, "server started without --checkpoint-dir")
+        await tenant.drain()
+        result = await tenant.checkpoint(path)
+        return _json_response(
+            200,
+            {
+                "tenant": tenant.name,
+                "path": str(result.path),
+                "segments_written": result.segments_written,
+                "segments_reused": result.segments_reused,
+            },
+        )
+
+    async def _sample_response(
+        self, tenant: _Tenant, params: Dict[str, List[str]]
+    ) -> Tuple[int, str, bytes, Sequence[Tuple[str, str]]]:
+        raw = _single_param(params, "key")
+        if raw is None:
+            raise _HttpError(400, "sample needs a ?key= parameter")
+        try:
+            key = _parse_key(raw)
+        except ConfigurationError as error:
+            raise _HttpError(400, str(error)) from None
+        try:
+            elements = await tenant.query(tenant.engine.sample, key)
+        except KeyError:
+            raise _HttpError(404, f"no live sampler for key {raw!r}") from None
+        except EmptyWindowError:
+            return _json_response(
+                200, {"tenant": tenant.name, "key": key, "sample": [], "expired": True}
+            )
+        except (InsufficientSampleError, SamplingFailureError) as error:
+            raise _HttpError(409, str(error)) from None
+        except WorkerFailure as error:
+            raise _HttpError(503, str(error)) from None
+        return _json_response(
+            200,
+            {
+                "tenant": tenant.name,
+                "key": key,
+                "sample": [_element_payload(element) for element in elements],
+                "expired": False,
+            },
+        )
+
+    async def _hottest_response(
+        self, tenant: _Tenant, params: Dict[str, List[str]]
+    ) -> Tuple[int, str, bytes, Sequence[Tuple[str, str]]]:
+        top = _int_param(params, "top", 10)
+        try:
+            hottest = await tenant.query(tenant.engine.hottest_keys, top)
+        except ConfigurationError as error:
+            raise _HttpError(400, str(error)) from None
+        except WorkerFailure as error:
+            raise _HttpError(503, str(error)) from None
+        return _json_response(
+            200,
+            {
+                "tenant": tenant.name,
+                "hottest": [
+                    {"key": key, "arrivals": arrivals} for key, arrivals in hottest
+                ],
+            },
+        )
+
+    async def _frequent_response(
+        self, tenant: _Tenant, params: Dict[str, List[str]]
+    ) -> Tuple[int, str, bytes, Sequence[Tuple[str, str]]]:
+        threshold = _float_param(params, "threshold", 0.01)
+        top = _int_param(params, "top", None)
+        try:
+            frequent = await tenant.query(
+                lambda: tenant.engine.merged_frequent_items(threshold, top=top)
+            )
+        except ConfigurationError as error:
+            raise _HttpError(400, str(error)) from None
+        except WorkerFailure as error:
+            raise _HttpError(503, str(error)) from None
+        return _json_response(
+            200,
+            {
+                "tenant": tenant.name,
+                "threshold": threshold,
+                "frequent": [
+                    {"value": value, "frequency": frequency}
+                    for value, frequency in frequent
+                ],
+            },
+        )
+
+    async def _moments_response(
+        self, tenant: _Tenant, params: Dict[str, List[str]]
+    ) -> Tuple[int, str, bytes, Sequence[Tuple[str, str]]]:
+        order = _float_param(params, "order", 2.0)
+        try:
+            moments = await tenant.query(tenant.engine.per_key_moments, order)
+        except ConfigurationError as error:
+            raise _HttpError(400, str(error)) from None
+        except WorkerFailure as error:
+            raise _HttpError(503, str(error)) from None
+        return _json_response(
+            200,
+            {
+                "tenant": tenant.name,
+                "order": order,
+                "moments": [
+                    {"key": key, "moment": moment} for key, moment in sorted(
+                        moments.items(), key=lambda item: repr(item[0])
+                    )
+                ],
+            },
+        )
+
+    async def _stats_response(
+        self, tenant: _Tenant, params: Dict[str, List[str]]
+    ) -> Tuple[int, str, bytes, Sequence[Tuple[str, str]]]:
+        try:
+            stats = await tenant.query(tenant.engine.stats)
+        except WorkerFailure as error:
+            raise _HttpError(503, str(error)) from None
+        payload = dict(stats)
+        payload["tenant"] = tenant.name
+        payload["pending_records"] = tenant.pending_records
+        return _json_response(200, payload)
+
+    # -- raw socket ------------------------------------------------------------
+
+    async def _on_socket_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        self._socket_conns.inc()
+        try:
+            await self._handle_socket(reader, writer)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            if task is not None:
+                self._conn_tasks.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover - peer reset
+                pass
+
+    async def _handle_socket(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """Line-per-record ingest: buffer ``batch_size`` lines, push each
+        batch with *blocking* admission, answer one JSON status line at EOF.
+
+        ``#tenant NAME`` switches the target namespace (the pending buffer is
+        flushed first, so records never leak across tenants).
+        """
+        tenant = self._tenants[self.config.tenants[0]]
+        buffered: List[str] = []
+        futures: List["asyncio.Future[int]"] = []
+        error: Optional[str] = None
+
+        async def _flush_buffer(target: _Tenant) -> None:
+            if buffered:
+                text = "\n".join(buffered) + "\n"
+                buffered.clear()
+                # Await *admission* (not completion): a full backlog stalls
+                # the read loop here, so TCP pushes back on the sender.
+                futures.append(await target.admit(text))
+
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                stripped = line.decode("utf-8").strip()
+                if not stripped:
+                    continue
+                if stripped.startswith("#tenant "):
+                    name = stripped[len("#tenant "):].strip()
+                    next_tenant = self._tenants.get(name)
+                    await _flush_buffer(tenant)
+                    if next_tenant is None:
+                        # The valid prefix still lands (ingested-prefix
+                        # contract); everything after the bad directive dies.
+                        error = f"unknown tenant {name!r}"
+                        break
+                    tenant = next_tenant
+                    continue
+                if stripped.startswith("#"):
+                    continue
+                buffered.append(stripped)
+                if len(buffered) >= self.config.batch_size:
+                    await _flush_buffer(tenant)
+        except UnicodeDecodeError as decode_error:
+            error = f"stream is not UTF-8: {decode_error}"
+        if error is None:
+            await _flush_buffer(tenant)
+        ingested = 0
+        for future in futures:
+            try:
+                ingested += await future
+            except SWSampleError as ingest_error:
+                if error is None:
+                    error = str(ingest_error)
+        payload: Dict[str, Any] = {"ok": error is None, "ingested": ingested}
+        if error is not None:
+            payload["error"] = error
+        writer.write((json.dumps(payload, sort_keys=True) + "\n").encode("utf-8"))
+        await writer.drain()
+
+
+class ServeThread:
+    """Host a :class:`ServeApp` on a private event loop in a daemon thread.
+
+    The in-process harness for tests and examples: ``start()`` returns once
+    the listeners are bound (raising whatever ``ServeApp.start`` raised),
+    ``stop()`` triggers the same graceful shutdown as SIGTERM and joins the
+    thread.  Also a context manager.
+    """
+
+    def __init__(self, config: ServeConfig) -> None:
+        self.app = ServeApp(config)
+        self._thread: Optional[threading.Thread] = None
+        self._ready = threading.Event()
+        self._error: Optional[BaseException] = None
+
+    def start(self) -> "ServeThread":
+        self._thread = threading.Thread(
+            target=lambda: asyncio.run(self._main()),
+            name="swsample-serve",
+            daemon=True,
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout=60):  # pragma: no cover - hang guard
+            raise RuntimeError("serve thread did not come up within 60s")
+        if self._error is not None:
+            self._thread.join(timeout=10)
+            raise self._error
+        return self
+
+    async def _main(self) -> None:
+        try:
+            await self.app.start()
+        except BaseException as error:  # noqa: BLE001 - surfaced to start()
+            self._error = error
+            self._ready.set()
+            return
+        self._ready.set()
+        assert self.app._stop_event is not None
+        await self.app._stop_event.wait()
+        await self.app.shutdown()
+
+    @property
+    def http_port(self) -> int:
+        assert self.app.http_port is not None
+        return self.app.http_port
+
+    @property
+    def socket_port(self) -> Optional[int]:
+        return self.app.socket_port
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        self.app.request_stop()
+        self._thread.join(timeout=60)
+        if self._thread.is_alive():  # pragma: no cover - hang guard
+            raise RuntimeError("serve thread did not shut down within 60s")
+        self._thread = None
+
+    def __enter__(self) -> "ServeThread":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+
+
+# -- small response helpers ---------------------------------------------------
+
+
+def _json_body(payload: Any) -> bytes:
+    return (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+
+
+def _json_response(
+    status: int, payload: Any
+) -> Tuple[int, str, bytes, Sequence[Tuple[str, str]]]:
+    return status, "application/json", _json_body(payload), ()
+
+
+def _require(method: str, expected: str) -> None:
+    if method != expected:
+        raise _HttpError(405, f"use {expected} for this endpoint")
+
+
+def _single_param(params: Dict[str, List[str]], name: str) -> Optional[str]:
+    values = params.get(name)
+    if not values:
+        return None
+    return values[-1]
+
+
+def _int_param(params: Dict[str, List[str]], name: str, default: Optional[int]) -> Any:
+    raw = _single_param(params, name)
+    if raw is None:
+        return default
+    try:
+        return int(raw)
+    except ValueError:
+        raise _HttpError(400, f"{name} must be an integer, got {raw!r}") from None
+
+
+def _float_param(params: Dict[str, List[str]], name: str, default: Optional[float]) -> Any:
+    raw = _single_param(params, name)
+    if raw is None:
+        return default
+    try:
+        return float(raw)
+    except ValueError:
+        raise _HttpError(400, f"{name} must be a number, got {raw!r}") from None

@@ -26,6 +26,61 @@ class TestParser:
         assert args.scale == "smoke"
         assert args.markdown is True
 
+    def test_serve_defaults_share_the_engine_recipe(self):
+        args = build_parser().parse_args(["serve"])
+        engine_args = build_parser().parse_args(["engine"])
+        # One recipe, two front-ends: the spec/sharding flags must agree.
+        for name in ("window", "n", "t0", "k", "algorithm", "shards", "seed"):
+            assert getattr(args, name) == getattr(engine_args, name)
+        assert args.host == "127.0.0.1"
+        assert args.port == 9500
+        assert args.socket_port is None
+        assert args.tenant is None
+        assert args.resume is False
+        assert args.max_pending > 0
+
+    def test_serve_arguments(self):
+        args = build_parser().parse_args(
+            ["serve", "--port", "0", "--socket-port", "0", "--tenant", "a",
+             "--tenant", "b", "--checkpoint-dir", "/tmp/x", "--resume",
+             "--max-pending", "500", "--ready-file", "/tmp/r.json"]
+        )
+        assert args.tenant == ["a", "b"]
+        assert args.resume is True
+        assert args.max_pending == 500
+
+
+class TestServeCommandValidation:
+    def test_resume_requires_checkpoint_dir(self, capsys):
+        assert main(["serve", "--resume"]) == 2
+        assert "--resume requires --checkpoint-dir" in capsys.readouterr().err
+
+    def test_executor_requires_workers(self, capsys):
+        assert main(["serve", "--executor", "process"]) == 2
+        assert "requires --workers" in capsys.readouterr().err
+
+    def test_workers_cannot_exceed_shards(self, capsys):
+        assert main(["serve", "--shards", "2", "--workers", "3"]) == 2
+        assert "exceeds --shards" in capsys.readouterr().err
+
+    def test_fast_cannot_combine_with_resume(self, capsys, tmp_path):
+        assert main(["serve", "--fast", "--resume",
+                     "--checkpoint-dir", str(tmp_path)]) == 2
+        assert "--fast cannot be combined with --resume" in capsys.readouterr().err
+
+    def test_checkpoint_interval_requires_checkpoint_dir(self, capsys):
+        assert main(["serve", "--checkpoint-interval", "5"]) == 2
+        assert "requires --checkpoint-dir" in capsys.readouterr().err
+
+    def test_checkpointing_baselines_is_refused(self, capsys, tmp_path):
+        assert main(["serve", "--algorithm", "periodic",
+                     "--checkpoint-dir", str(tmp_path)]) == 2
+        assert "requires --algorithm optimal" in capsys.readouterr().err
+
+    def test_unwritable_metrics_out_fails_up_front(self, capsys):
+        assert main(["serve", "--metrics-out", "/nonexistent/dir/m.json"]) == 2
+        assert "is not writable" in capsys.readouterr().err
+
 
 class TestListCommand:
     def test_lists_algorithms_workloads_experiments(self, capsys):
@@ -388,7 +443,34 @@ class TestEngineObservability:
     def test_metrics_out_unwritable_path_is_a_friendly_error(self, capsys):
         assert main(["engine", "--records", "100", "--keys", "5",
                      "--metrics-out", "/nonexistent/dir/metrics.json"]) == 2
-        assert "cannot write --metrics-out" in capsys.readouterr().err
+        assert "is not writable" in capsys.readouterr().err
+
+    def test_metrics_out_unwritable_path_fails_before_ingest(self, capsys, monkeypatch):
+        # Regression: the path used to be probed only after the full ingest
+        # run, throwing away all the work.  Now it fails before any records
+        # are generated or ingested.
+        import repro.cli as cli_module
+
+        def exploding(*args, **kwargs):
+            raise AssertionError("ingest ran despite an unwritable --metrics-out")
+
+        monkeypatch.setattr(cli_module, "build_keyed_workload", exploding)
+        assert main(["engine", "--records", "100", "--keys", "5",
+                     "--metrics-out", "/nonexistent/dir/metrics.json"]) == 2
+        assert "is not writable" in capsys.readouterr().err
+
+    def test_metrics_out_probe_does_not_truncate_existing_files(self, capsys, tmp_path):
+        path = tmp_path / "metrics.json"
+        path.write_text("precious")
+        from repro.cli import _check_writable_path
+
+        assert _check_writable_path(str(path)) is None
+        assert path.read_text() == "precious"  # append-mode probe, no truncation
+        missing = tmp_path / "new.json"
+        assert _check_writable_path(str(missing)) is None
+        assert not missing.exists()  # create-probe cleans up after itself
+        assert _check_writable_path("-") is None
+        assert _check_writable_path("/nonexistent/dir/m.json") is not None
 
     def test_eviction_breakdown_in_fleet_statistics(self, capsys):
         assert main(["engine", "--records", "3000", "--keys", "100", "--shards", "2",

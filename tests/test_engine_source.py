@@ -9,10 +9,27 @@ from repro.engine import (
     SamplerSpec,
     ShardedEngine,
     batched,
+    freeze_key,
     ingest_jsonl,
     jsonl_records,
 )
 from repro.exceptions import ConfigurationError
+
+
+class TestFreezeKey:
+    def test_scalars_pass_through(self):
+        for key in ("a", b"a", 7, 7.5, True, None):
+            assert freeze_key(key) is key
+
+    def test_nested_lists_become_nested_tuples(self):
+        assert freeze_key([["a", ["b"]], 4]) == (("a", ("b",)), 4)
+        assert freeze_key([]) == ()
+
+    def test_rejects_unhashable_leaves_with_line_number(self):
+        with pytest.raises(ConfigurationError, match="line 12.*dict"):
+            freeze_key(["a", {"b": 1}], line_number=12)
+        with pytest.raises(ConfigurationError, match="dict"):
+            freeze_key({"b": 1})
 
 
 class TestJsonlRecords:
@@ -40,6 +57,24 @@ class TestJsonlRecords:
         engine = ShardedEngine(SamplerSpec(window="sequence", n=8, k=1))
         engine.ingest(records)
         assert engine.key_count == 2
+
+    def test_nested_array_keys_become_nested_tuples(self):
+        # Regression: the conversion used to be shallow (`tuple(key)`), so a
+        # nested key smuggled an inner list past parsing and blew up with an
+        # opaque TypeError inside ingest.
+        records = list(
+            jsonl_records(['{"key": [["a", ["b"]], 4], "value": 1}', '[[["x"], 2], 9]'])
+        )
+        assert records == [((("a", ("b",)), 4), 1), ((("x",), 2), 9)]
+        engine = ShardedEngine(SamplerSpec(window="sequence", n=8, k=1))
+        engine.ingest(records)
+        assert engine.key_count == 2
+        assert engine.sample_values((("a", ("b",)), 4)) == [1]
+
+    def test_unhashable_keys_fail_loudly_with_line_number(self):
+        for bad in ('{"key": {"a": 1}, "value": 1}', '[["ok", {"a": 1}], 2]'):
+            with pytest.raises(ConfigurationError, match="line 2.*dict"):
+                list(jsonl_records(['["fine", 0]', bad]))
 
     def test_invalid_json_reports_line_number(self):
         with pytest.raises(ConfigurationError, match="line 2"):
@@ -69,6 +104,24 @@ class TestBatched:
     def test_rejects_nonpositive_size(self):
         with pytest.raises(ConfigurationError):
             list(batched([1], 0))
+
+    def test_rejects_nonpositive_size_eagerly(self):
+        # Regression: batched() was a plain generator, so the size check was
+        # deferred until first iteration — an unconsumed batched(records, 0)
+        # failed silently.  The wrapper must raise at the call site.
+        with pytest.raises(ConfigurationError):
+            batched([1], 0)
+        with pytest.raises(ConfigurationError):
+            batched([1], -3)
+
+    def test_stays_lazy_after_eager_validation(self):
+        def exploding():
+            raise AssertionError("source must not be consumed at call time")
+            yield  # pragma: no cover
+
+        batches = batched(exploding(), 2)  # no error: source untouched
+        with pytest.raises(AssertionError):
+            next(iter(batches))
 
 
 class TestIngestJsonl:

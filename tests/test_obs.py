@@ -44,6 +44,7 @@ from repro.obs import (
     disable,
     enable,
     get_registry,
+    labeled_prometheus_text,
     logging_config,
     merge_snapshots,
     parse_prometheus_text,
@@ -287,6 +288,79 @@ class TestExposition:
     def test_parser_reads_special_values(self):
         parsed = parse_prometheus_text("# TYPE g gauge\ng +Inf\n")
         assert parsed["samples"][0][2] == math.inf
+
+
+class TestLabeledExposition:
+    @staticmethod
+    def snapshots():
+        out = {}
+        for name, count in (("acme", 41), ("beta", 7)):
+            registry = MetricsRegistry()
+            registry.counter("engine.ingest.records").inc(count)
+            histogram = registry.histogram("chunk.seconds", buckets=(0.01,))
+            histogram.observe(0.001)
+            histogram.observe(1.0)
+            out[name] = registry.snapshot()
+        return out
+
+    def test_one_document_many_tenants(self):
+        text = labeled_prometheus_text(self.snapshots(), "tenant")
+        # A single TYPE declaration per metric (duplicates are a parse error,
+        # which is the whole reason naive per-tenant concatenation fails)...
+        assert text.count("# TYPE swsample_engine_ingest_records counter") == 1
+        assert text.count("# TYPE swsample_chunk_seconds histogram") == 1
+        # ... with each tenant's samples distinguished by the label.
+        parsed = parse_prometheus_text(text)
+        values = {
+            (name, labels.get("tenant"), labels.get("le")): value
+            for name, labels, value in parsed["samples"]
+        }
+        assert values[("swsample_engine_ingest_records", "acme", None)] == 41
+        assert values[("swsample_engine_ingest_records", "beta", None)] == 7
+        assert values[("swsample_chunk_seconds_bucket", "acme", "+Inf")] == 2
+        assert values[("swsample_chunk_seconds_count", "beta", None)] == 2
+
+    def test_uneven_snapshots_and_escaping(self):
+        lean = MetricsRegistry()
+        lean.gauge("only.here").set(1)
+        snapshots = dict(self.snapshots())
+        snapshots['we"ird\\ten\nant'] = lean.snapshot()
+        text = labeled_prometheus_text(snapshots, "tenant")
+        parsed = parse_prometheus_text(text)
+        tenants = {labels.get("tenant") for _, labels, _ in parsed["samples"]}
+        assert 'we"ird\\ten\nant' in tenants
+        only = [s for s in parsed["samples"] if s[0] == "swsample_only_here"]
+        assert len(only) == 1 and only[0][2] == 1
+
+    def test_rejects_bad_label_name(self):
+        with pytest.raises(ValueError):
+            labeled_prometheus_text({}, "not-a-label")
+        assert labeled_prometheus_text({}, "tenant") == ""
+
+    def test_parser_checks_histograms_per_label_set(self):
+        # Two interleaved labeled series, each internally cumulative — valid.
+        good = (
+            "# TYPE h histogram\n"
+            'h_bucket{tenant="a",le="1"} 5\nh_bucket{tenant="a",le="+Inf"} 5\n'
+            'h_sum{tenant="a"} 1\nh_count{tenant="a"} 5\n'
+            'h_bucket{tenant="b",le="1"} 1\nh_bucket{tenant="b",le="+Inf"} 2\n'
+            'h_sum{tenant="b"} 1\nh_count{tenant="b"} 2\n'
+        )
+        parse_prometheus_text(good)
+        # One series broken (non-cumulative) must still be caught.
+        with pytest.raises(ValueError, match="cumulative"):
+            parse_prometheus_text(
+                "# TYPE h histogram\n"
+                'h_bucket{tenant="a",le="1"} 5\nh_bucket{tenant="a",le="+Inf"} 4\n'
+                'h_count{tenant="a"} 4\n'
+            )
+        # A labeled series missing its _count must be caught per label set.
+        with pytest.raises(ValueError, match="_count"):
+            parse_prometheus_text(
+                "# TYPE h histogram\n"
+                'h_bucket{tenant="a",le="+Inf"} 1\nh_count{tenant="a"} 1\n'
+                'h_bucket{tenant="b",le="+Inf"} 1\n'
+            )
 
 
 class TestSpans:

@@ -1,0 +1,463 @@
+"""The standing daemon: ingest/query over HTTP and raw sockets, backpressure,
+checkpoint-on-SIGTERM / --resume, and /metrics scrapeability.
+
+In-process tests host the app with :class:`repro.serve.ServeThread` (a private
+event loop on a daemon thread — no pytest-asyncio needed); the lifecycle tests
+drive the real ``python -m repro.cli serve`` process and speak SIGTERM.
+"""
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.engine import SamplerSpec, ShardedEngine
+from repro.obs import parse_prometheus_text
+from repro.serve import EngineSettings, ServeConfig, ServeThread
+
+SPEC = SamplerSpec(window="sequence", n=64, k=4, replacement=True)
+
+
+def serve_config(**overrides):
+    settings = overrides.pop("engine", EngineSettings(spec=SPEC, shards=2, seed=11))
+    return ServeConfig(engine=settings, http_port=0, **overrides)
+
+
+def http_get(port, path, timeout=30):
+    try:
+        with urllib.request.urlopen(
+            f"http://127.0.0.1:{port}{path}", timeout=timeout
+        ) as response:
+            return response.status, json.loads(response.read().decode()), response.headers
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read().decode()), error.headers
+
+
+def http_post(port, path, body, timeout=30):
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{port}{path}",
+        data=body if isinstance(body, bytes) else body.encode(),
+        method="POST",
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return response.status, json.loads(response.read().decode()), response.headers
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read().decode()), error.headers
+
+
+def jsonl(records):
+    return "\n".join(json.dumps(record) for record in records) + "\n"
+
+
+def keyed_lines(prefix, count, keys=5):
+    return jsonl(
+        [{"key": f"{prefix}-{i % keys}", "value": i} for i in range(count)]
+    )
+
+
+class TestHttpSurface:
+    def test_healthz_tenants_and_basic_flow(self):
+        with ServeThread(serve_config(tenants=("default", "acme"))) as server:
+            port = server.http_port
+            status, health, _ = http_get(port, "/healthz")
+            assert status == 200 and health["status"] == "ok"
+            assert set(health["tenants"]) == {"default", "acme"}
+
+            status, listing, _ = http_get(port, "/v1/tenants")
+            assert status == 200 and listing["tenants"] == ["acme", "default"]
+
+            status, reply, _ = http_post(port, "/v1/default/ingest", keyed_lines("u", 100))
+            assert status == 200 and reply["ingested"] == 100
+
+            status, sample, _ = http_get(port, "/v1/default/sample?key=%22u-1%22")
+            assert status == 200 and not sample["expired"]
+            assert 1 <= len(sample["sample"]) <= 4
+            for element in sample["sample"]:
+                assert element["value"] % 5 == 1
+
+            status, hottest, _ = http_get(port, "/v1/default/hottest?top=3")
+            assert status == 200 and len(hottest["hottest"]) == 3
+
+            status, frequent, _ = http_get(
+                port, "/v1/default/frequent?threshold=0.001&top=5"
+            )
+            assert status == 200 and len(frequent["frequent"]) <= 5
+
+            status, stats, _ = http_get(port, "/v1/default/stats")
+            assert status == 200 and stats["arrivals"] == 100 and stats["keys"] == 5
+
+            # Tenants are isolated: acme saw none of default's traffic.
+            status, stats, _ = http_get(port, "/v1/acme/stats")
+            assert status == 200 and stats["arrivals"] == 0
+
+    def test_error_surface(self):
+        with ServeThread(serve_config()) as server:
+            port = server.http_port
+            status, body, _ = http_get(port, "/v1/nope/stats")
+            assert status == 404 and "unknown tenant" in body["error"]
+            status, body, _ = http_get(port, "/v1/default/sample?key=%22ghost%22")
+            assert status == 404 and "no live sampler" in body["error"]
+            status, body, _ = http_get(port, "/v1/default/sample")
+            assert status == 400 and "key" in body["error"]
+            status, body, _ = http_get(port, "/v1/default/ingest")
+            assert status == 405
+            status, body, _ = http_post(port, "/v1/default/ingest", '{"broken": true}\n')
+            assert status == 400 and "line 1" in body["error"]
+            status, body, _ = http_get(port, "/v1/default/hottest?top=0")
+            assert status == 400
+            status, body, _ = http_get(port, "/v1/default/hottest?top=wibble")
+            assert status == 400
+            status, body, _ = http_get(port, "/no/such/route")
+            assert status == 404
+            # Unhashable key documents are refused loudly, not 500.
+            status, body, _ = http_get(port, "/v1/default/sample?key=%7B%22a%22:1%7D")
+            assert status == 400 and "dict" in body["error"]
+
+    def test_ingest_error_keeps_the_prefix(self):
+        # batch_size=2: the first two records form a complete batch and land
+        # before line 3 aborts the stream — the engine's ingested-prefix
+        # contract, surfaced at batch granularity.
+        with ServeThread(serve_config(batch_size=2)) as server:
+            port = server.http_port
+            bad = '["ok-1", 1]\n["ok-2", 2]\n{"key only": true}\n'
+            status, body, _ = http_post(port, "/v1/default/ingest", bad)
+            assert status == 400 and "line 3" in body["error"]
+            status, stats, _ = http_get(port, "/v1/default/stats")
+            assert stats["arrivals"] == 2
+
+    def test_nested_keys_round_trip(self):
+        with ServeThread(serve_config()) as server:
+            port = server.http_port
+            lines = jsonl([{"key": [["a", ["b"]], 4], "value": 1}])
+            status, reply, _ = http_post(port, "/v1/default/ingest", lines)
+            assert status == 200 and reply["ingested"] == 1
+            raw = urllib.request.quote(json.dumps([["a", ["b"]], 4]))
+            status, sample, _ = http_get(port, f"/v1/default/sample?key={raw}")
+            assert status == 200
+            # k=4 with replacement over a single-record window: four copies.
+            assert {element["value"] for element in sample["sample"]} == {1}
+
+    def test_metrics_endpoint_is_scrapeable(self):
+        with ServeThread(serve_config(tenants=("default", "acme"))) as server:
+            port = server.http_port
+            http_post(port, "/v1/default/ingest", keyed_lines("u", 50))
+            http_post(port, "/v1/acme/ingest", keyed_lines("v", 20))
+            with urllib.request.urlopen(
+                f"http://127.0.0.1:{port}/metrics", timeout=30
+            ) as response:
+                assert response.status == 200
+                assert response.headers["Content-Type"].startswith("text/plain")
+                text = response.read().decode()
+            parsed = parse_prometheus_text(text)  # the validator raises on bad text
+            by_tenant = {
+                labels.get("tenant"): value
+                for name, labels, value in parsed["samples"]
+                if name == "swsample_engine_ingest_records"
+            }
+            assert by_tenant == {"default": 50, "acme": 20}
+            accepted = {
+                labels["tenant"]: value
+                for name, labels, value in parsed["samples"]
+                if name == "swsample_serve_ingest_accepted_records"
+            }
+            assert accepted == {"default": 50, "acme": 20}
+            # Server-level counters render unlabeled alongside.
+            assert "swsample_serve_http_requests" in parsed["types"]
+
+
+class TestOracleEquivalence:
+    def test_concurrent_ingest_and_query_match_a_serial_oracle(self):
+        posters, per_poster, keys = 4, 300, 3
+        config = serve_config(engine=EngineSettings(spec=SPEC, shards=2, seed=23))
+        with ServeThread(config) as server:
+            port = server.http_port
+            errors = []
+
+            def post(index):
+                # Disjoint key ranges per poster: cross-poster interleaving
+                # cannot change any single key's record order.
+                try:
+                    for start in range(0, per_poster, 50):
+                        lines = jsonl(
+                            [
+                                {"key": f"p{index}-{i % keys}", "value": i}
+                                for i in range(start, start + 50)
+                            ]
+                        )
+                        status, reply, _ = http_post(port, f"/v1/default/ingest", lines)
+                        assert status == 200, reply
+                except Exception as error:  # pragma: no cover - surfaced below
+                    errors.append(error)
+
+            def read_loop(stop):
+                # Concurrent readers: correctness is checked after the dust
+                # settles; these must simply never crash the daemon.
+                while not stop.is_set():
+                    http_get(port, "/healthz")
+                    http_get(port, "/v1/default/hottest?top=5")
+
+            threads = [
+                threading.Thread(target=post, args=(index,)) for index in range(posters)
+            ]
+            stop = threading.Event()
+            reader = threading.Thread(target=read_loop, args=(stop,))
+            reader.start()
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            stop.set()
+            reader.join()
+            assert errors == []
+
+            oracle = ShardedEngine(SPEC, shards=2, seed=23)
+            for index in range(posters):
+                oracle.ingest(
+                    [(f"p{index}-{i % keys}", i) for i in range(per_poster)]
+                )
+            status, stats, _ = http_get(port, "/v1/default/stats")
+            assert stats["arrivals"] == posters * per_poster
+            assert stats["keys"] == posters * keys
+            for index in range(posters):
+                for key_index in range(keys):
+                    key = f"p{index}-{key_index}"
+                    raw = urllib.request.quote(json.dumps(key))
+                    status, sample, _ = http_get(port, f"/v1/default/sample?key={raw}")
+                    assert status == 200
+                    expected = [
+                        {"index": e.index, "timestamp": e.timestamp, "value": e.value}
+                        for e in oracle.sample(key)
+                    ]
+                    assert sample["sample"] == expected, key
+
+
+class _StallableEngine(ShardedEngine):
+    """A serial engine whose ingest blocks until released — the test's way
+    of making the backlog pile up deterministically."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.release = threading.Event()
+
+    def ingest(self, records):
+        assert self.release.wait(timeout=60)
+        return super().ingest(records)
+
+
+class TestBackpressure:
+    def test_429_with_retry_after_under_backlog(self):
+        engines = {}
+
+        def factory(name, registry):
+            engines[name] = _StallableEngine(SPEC, shards=2, seed=3, registry=registry)
+            return engines[name]
+
+        config = serve_config(max_pending_records=30, engine_factory=factory)
+        with ServeThread(config) as server:
+            port = server.http_port
+            first = threading.Thread(
+                target=http_post,
+                args=(port, "/v1/default/ingest", keyed_lines("a", 25)),
+            )
+            first.start()
+            # Wait until the stalled batch occupies the backlog.
+            deadline = time.time() + 30
+            while time.time() < deadline:
+                _, health, _ = http_get(port, "/healthz")
+                if health["tenants"]["default"]["pending_records"] == 25:
+                    break
+                time.sleep(0.01)
+            else:  # pragma: no cover - hang guard
+                pytest.fail("backlog never filled")
+
+            status, body, headers = http_post(
+                port, "/v1/default/ingest", keyed_lines("b", 25)
+            )
+            assert status == 429
+            assert headers["Retry-After"] == "1"
+            assert "retry" in body["error"]
+
+            engines["default"].release.set()
+            first.join(timeout=30)
+            assert not first.is_alive()
+            # Backlog drained: the same batch is welcome again.
+            status, reply, _ = http_post(port, "/v1/default/ingest", keyed_lines("b", 25))
+            assert status == 200 and reply["ingested"] == 25
+            status, stats, _ = http_get(port, "/v1/default/stats")
+            assert stats["arrivals"] == 50
+
+    def test_oversized_batch_admitted_when_idle(self):
+        # A single batch larger than the whole budget must not deadlock: it
+        # is admitted alone, and only concurrent traffic is refused.
+        config = serve_config(max_pending_records=10)
+        with ServeThread(config) as server:
+            status, reply, _ = http_post(
+                server.http_port, "/v1/default/ingest", keyed_lines("big", 50)
+            )
+            assert status == 200 and reply["ingested"] == 50
+
+
+class TestRawSocket:
+    def test_line_protocol_with_tenant_directive(self):
+        config = serve_config(tenants=("default", "acme"), socket_port=0)
+        with ServeThread(config) as server:
+            conn = socket.create_connection(("127.0.0.1", server.socket_port), timeout=30)
+            payload = (
+                '["d-1", 1]\n'
+                "\n"
+                "# a comment line\n"
+                '#tenant acme\n'
+                '["a-1", 2]\n'
+                '["a-1", 3]\n'
+            )
+            conn.sendall(payload.encode())
+            conn.shutdown(socket.SHUT_WR)
+            reply = json.loads(conn.makefile().readline())
+            conn.close()
+            assert reply == {"ingested": 3, "ok": True}
+            _, stats, _ = http_get(server.http_port, "/v1/default/stats")
+            assert stats["arrivals"] == 1
+            _, stats, _ = http_get(server.http_port, "/v1/acme/stats")
+            assert stats["arrivals"] == 2
+
+    def test_unknown_tenant_and_bad_records_reported(self):
+        with ServeThread(serve_config(socket_port=0)) as server:
+            conn = socket.create_connection(("127.0.0.1", server.socket_port), timeout=30)
+            conn.sendall(b'["ok", 1]\n#tenant ghost\n["dropped", 2]\n')
+            conn.shutdown(socket.SHUT_WR)
+            reply = json.loads(conn.makefile().readline())
+            conn.close()
+            assert reply["ok"] is False
+            assert "unknown tenant" in reply["error"]
+            assert reply["ingested"] == 1
+
+            conn = socket.create_connection(("127.0.0.1", server.socket_port), timeout=30)
+            conn.sendall(b'["fine", 1]\n{"not a record": 1}\n')
+            conn.shutdown(socket.SHUT_WR)
+            reply = json.loads(conn.makefile().readline())
+            conn.close()
+            assert reply["ok"] is False and "line" in reply["error"]
+
+
+class TestCheckpointing:
+    def test_checkpoint_endpoint_and_shutdown_metrics(self, tmp_path):
+        metrics_path = tmp_path / "final.prom"
+        config = serve_config(
+            checkpoint_dir=str(tmp_path / "ckpt"),
+            metrics_out=str(metrics_path),
+            metrics_format="prom",
+        )
+        with ServeThread(config) as server:
+            port = server.http_port
+            http_post(port, "/v1/default/ingest", keyed_lines("u", 40))
+            status, reply, _ = http_post(port, "/v1/default/checkpoint", b"")
+            assert status == 200 and reply["segments_written"] >= 1
+            assert os.path.isdir(tmp_path / "ckpt" / "default")
+        # Shutdown wrote the final metrics document, and it is scrapeable.
+        parsed = parse_prometheus_text(metrics_path.read_text())
+        ingested = [
+            value
+            for name, labels, value in parsed["samples"]
+            if name == "swsample_engine_ingest_records"
+            and labels.get("tenant") == "default"
+        ]
+        assert ingested == [40]
+
+    def test_checkpoint_without_dir_is_refused(self):
+        with ServeThread(serve_config()) as server:
+            status, body, _ = http_post(server.http_port, "/v1/default/checkpoint", b"")
+            assert status == 400 and "checkpoint-dir" in body["error"]
+
+    def test_serve_thread_resume_round_trip(self, tmp_path):
+        checkpoint_dir = str(tmp_path / "ckpt")
+        settings = EngineSettings(spec=SPEC, shards=2, seed=31)
+        with ServeThread(
+            serve_config(engine=settings, checkpoint_dir=checkpoint_dir)
+        ) as server:
+            http_post(server.http_port, "/v1/default/ingest", keyed_lines("u", 80))
+            _, before, _ = http_get(server.http_port, "/v1/default/sample?key=%22u-2%22")
+        with ServeThread(
+            serve_config(engine=settings, checkpoint_dir=checkpoint_dir, resume=True)
+        ) as server:
+            _, after, _ = http_get(server.http_port, "/v1/default/sample?key=%22u-2%22")
+            _, stats, _ = http_get(server.http_port, "/v1/default/stats")
+        assert after["sample"] == before["sample"]
+        assert stats["arrivals"] == 80
+
+
+def _wait_for_ready(path, process, deadline=60):
+    start = time.time()
+    while time.time() - start < deadline:
+        if process.poll() is not None:
+            raise AssertionError(
+                f"serve exited early ({process.returncode}): {process.stderr.read()}"
+            )
+        if os.path.exists(path):
+            with open(path, "r", encoding="utf-8") as handle:
+                return json.load(handle)
+        time.sleep(0.05)
+    raise AssertionError("ready file never appeared")  # pragma: no cover
+
+
+class TestDaemonLifecycle:
+    def _spawn(self, tmp_path, *extra):
+        ready = tmp_path / "ready.json"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = "src" + os.pathsep * bool(env.get("PYTHONPATH")) + env.get(
+            "PYTHONPATH", ""
+        )
+        process = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.cli", "serve",
+                "--port", "0", "--ready-file", str(ready),
+                "--n", "64", "-k", "4", "--seed", "17",
+                "--checkpoint-dir", str(tmp_path / "ckpt"), *extra,
+            ],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        return process, ready
+
+    def test_sigterm_checkpoints_and_resume_restores_losslessly(self, tmp_path):
+        process, ready = self._spawn(tmp_path)
+        try:
+            info = _wait_for_ready(str(ready), process)
+            assert info["pid"] == process.pid
+            assert sorted(info["tenants"]) == ["default"]
+            port = info["http_port"]
+            status, reply, _ = http_post(port, "/v1/default/ingest", keyed_lines("u", 200))
+            assert status == 200 and reply["ingested"] == 200
+            _, before, _ = http_get(port, "/v1/default/sample?key=%22u-3%22")
+            assert before["sample"]
+        finally:
+            process.send_signal(signal.SIGTERM)
+            stdout, stderr = process.communicate(timeout=60)
+        assert process.returncode == 0, stderr
+        assert "listening on http://127.0.0.1" in stdout
+        assert not ready.exists()  # readiness is withdrawn on shutdown
+        manifest = tmp_path / "ckpt" / "default" / "MANIFEST.json"
+        assert manifest.exists(), stderr
+
+        process, ready = self._spawn(tmp_path, "--resume")
+        try:
+            info = _wait_for_ready(str(ready), process)
+            port = info["http_port"]
+            _, after, _ = http_get(port, "/v1/default/sample?key=%22u-3%22")
+            _, stats, _ = http_get(port, "/v1/default/stats")
+        finally:
+            process.send_signal(signal.SIGTERM)
+            _, stderr = process.communicate(timeout=60)
+        assert process.returncode == 0, stderr
+        assert after["sample"] == before["sample"]
+        assert stats["arrivals"] == 200
