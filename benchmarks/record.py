@@ -7,7 +7,10 @@ writes ``BENCH_E7.json`` / ``BENCH_E11.json``:
 * **E7** — per-element ingest cost of the four optimal samplers, measured
   three ways: the per-element ``append`` loop (the *before*), the batched
   default ``process_batch`` path (bit-identical), and the ``fast=True``
-  skip-sampling path.
+  skip-sampling path.  Each path is timed best-of-3 on a fresh sampler,
+  with the three paths interleaved within each round — single-shot
+  timings taken seconds apart made the guarded ratios flaky on 1-core CI
+  runners (see ``timed_best_grouped``).
 * **E11** — keyed-engine ingest at fleet scale (zipf keys through
   ``ShardedEngine``), same three ways, plus the process-transport freight
   (columnar vs pickled bytes per record — deterministic) and ``ProcessEngine``
@@ -16,7 +19,11 @@ writes ``BENCH_E7.json`` / ``BENCH_E11.json``:
   same decoded stream.  The ``obs`` row measures the metrics-enabled ingest
   overhead (hard-capped at 5% by the baseline guard), the process rows embed
   their fleet-merged ``repro.obs`` snapshots, and a standalone
-  ``METRICS.json`` lands in ``--out`` for the CI artifact.
+  ``METRICS.json`` lands in ``--out`` for the CI artifact.  The ``query``
+  row measures the fleet-wide query path on a ``ProcessEngine``: a ≥1k-key
+  per-key ``sample`` loop (one request/reply round per key) vs one
+  ``query_batch`` (one round per worker) vs a cached repeat through
+  ``QueryCache`` — the batched speedup is guarded at the usual tolerance.
 
 The JSON files are committed, so the perf trajectory is recorded PR over PR.
 Absolute throughput depends on the machine; the *speedup ratios* and the
@@ -56,6 +63,7 @@ from repro.core import (  # noqa: E402
 )
 from repro.engine import (  # noqa: E402
     ProcessEngine,
+    QueryCache,
     SamplerSpec,
     ShardedEngine,
     encode_batch,
@@ -97,6 +105,7 @@ GUARDED_METRICS: Dict[str, List[tuple]] = {
         ("transport.columnar_bytes_per_record", "max"),
         ("transport.pickle_over_columnar", "min"),
         ("obs.enabled_over_disabled", "cap", 1.05),
+        ("query.speedup_batched", "min"),
     ],
 }
 
@@ -105,6 +114,27 @@ def timed(action: Callable[[], Any]) -> float:
     started = time.perf_counter()
     action()
     return time.perf_counter() - started
+
+
+def timed_best_grouped(
+    setups: Dict[str, Callable[[], Callable[[], Any]]], repeats: int = 3
+) -> Dict[str, float]:
+    """Best-of-N wall time per path, with the paths interleaved within each
+    round.  ``setup`` builds fresh state (samplers are stateful) outside the
+    timed region, once per repeat.  Two defenses against 1-core CI runners,
+    where the guarded metrics are *ratios* of these timings: the minimum is
+    the standard microbenchmark estimator (a single scheduler hiccup cannot
+    poison a path), and interleaving samples every path across the same wall
+    window (machine speed drifts minute to minute; timing path A's repeats
+    seconds apart from path B's turns that drift into ratio noise the
+    regression guard cannot tell from a real regression)."""
+    best = {name: float("inf") for name in setups}
+    for _ in range(repeats):
+        for name, setup in setups.items():
+            action = setup()
+            gc.collect()
+            best[name] = min(best[name], timed(action))
+    return best
 
 
 def poisson_timestamps(length: int, seed: int = 0) -> List[float]:
@@ -135,20 +165,29 @@ def bench_e7(quick: bool) -> Dict[str, Any]:
     for name, make, values, stamps in cases:
         count = len(values)
 
-        def append_loop(sampler=make(False), values=values, stamps=stamps):
+        def append_action(make=make, values=values, stamps=stamps):
+            sampler = make(False)
             append = sampler.append
             if stamps is None:
-                for value in values:
-                    append(value)
+                def run():
+                    for value in values:
+                        append(value)
             else:
-                for position, value in enumerate(values):
-                    append(value, stamps[position])
+                def run():
+                    for position, value in enumerate(values):
+                        append(value, stamps[position])
+            return run
 
-        t_append = timed(append_loop)
-        batched = make(False)
-        t_batched = timed(lambda: batched.process_batch(values, stamps))
-        fast = make(True)
-        t_fast = timed(lambda: fast.process_batch(values, stamps))
+        def batch_action(fast, make=make, values=values, stamps=stamps):
+            sampler = make(fast)
+            return lambda: sampler.process_batch(values, stamps)
+
+        best = timed_best_grouped({
+            "append": append_action,
+            "batched": lambda: batch_action(False),
+            "fast": lambda: batch_action(True),
+        })
+        t_append, t_batched, t_fast = best["append"], best["batched"], best["fast"]
         results[name] = {
             "elements": count,
             "append_kel_per_s": round(count / t_append / 1e3, 1),
@@ -479,6 +518,69 @@ def bench_e11_process(records: List[Any], quick: bool, transport: str = "columna
     return result
 
 
+def bench_query(records: List[Any], quick: bool) -> Dict[str, Any]:
+    """Fleet-wide query cost on a :class:`ProcessEngine`, measured three ways.
+
+    The per-key loop (the *before*) pays one flush plus one request/reply
+    round per key — the query-side analogue of per-record ingest.  The
+    batched ``query_batch`` resolves the same ≥1k keys in one round per
+    worker, and the cached repeat answers the identical unchanged batch out
+    of the generation-stamped :class:`QueryCache` without touching the
+    workers at all.  All three produce bit-identical samples (asserted).
+    The per-key/batched ratio is guarded by ``--baseline``; the acceptance
+    floor is 3x.
+    """
+    subset = records[: 60_000 if quick else 200_000]
+    with ProcessEngine(e11_spec(), shards=8, seed=3, workers=2) as engine:
+        engine.ingest(subset)
+        engine.flush()
+        query_keys = sorted(engine.keys(), key=repr)[:1_000]
+        if len(query_keys) < 1_000:
+            raise AssertionError(f"only {len(query_keys)} live keys; need >= 1000")
+        ops = [("sample", key) for key in query_keys]
+
+        def per_key_loop():
+            for key in query_keys:
+                engine.sample(key)
+
+        # Interleaved best-of-3, same reasoning as timed_best_grouped: the
+        # guarded metric is the loop/batched *ratio*, so both paths must
+        # sample the same wall window of a drifting 1-core runner.
+        t_loop = t_batched = float("inf")
+        for _ in range(3):
+            t_loop = min(t_loop, timed(per_key_loop))
+            t_batched = min(t_batched, timed(lambda: engine.query_batch(ops)))
+        # Equal-output proof: the batch is the per-key answers, bit for bit.
+        batched_outcomes = engine.query_batch(ops)
+        if batched_outcomes != [("ok", engine.sample(key)) for key in query_keys]:
+            raise AssertionError("batched query diverged from the per-key loop")
+        cache = QueryCache(max_entries=4 * len(ops))
+        engine.query_cache = cache
+        cold = engine.query_batch(ops)  # fills the cache
+        t_cached = timed(lambda: engine.query_batch(ops))
+        if cache.hits < len(ops):
+            raise AssertionError(f"cached repeat missed: {cache.stats()}")
+        if engine.query_batch(ops) != cold:
+            raise AssertionError("cached batch diverged from the cold batch")
+    result = {
+        "records": len(subset),
+        "queried_keys": len(query_keys),
+        "per_key_qps": round(len(query_keys) / t_loop, 1),
+        "batched_qps": round(len(query_keys) / t_batched, 1),
+        "cached_qps": round(len(query_keys) / t_cached, 1),
+        "speedup_batched": round(t_loop / t_batched, 3),
+        "speedup_cached_over_batched": round(t_batched / t_cached, 3),
+        "cache": cache.stats(),
+    }
+    print(
+        f"[E11] query (1k keys, workers=2): per-key {result['per_key_qps']} q/s"
+        f" | batched {result['batched_qps']} q/s ({result['speedup_batched']:.2f}x)"
+        f" | cached {result['cached_qps']} q/s"
+        f" ({result['speedup_cached_over_batched']:.2f}x over batched)"
+    )
+    return result
+
+
 # -- recording & regression guard ---------------------------------------------
 
 
@@ -501,6 +603,7 @@ def run(quick: bool, out_dir: str, skip_process: bool = False) -> Dict[str, Dict
     }
     if not skip_process:
         e11_results["transport_dispatch"] = bench_e11_transport_dispatch(records, quick)
+        e11_results["query"] = bench_query(records, quick)
         e11_results["process"] = bench_e11_process(records, quick)
         shm = bench_e11_process(records, quick, transport="shm")
         e11_results["process_shm"] = shm

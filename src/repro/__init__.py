@@ -178,6 +178,40 @@ drain in-flight batches, write one checkpoint directory per tenant under
 ``--checkpoint-dir``, and ``--resume`` restores them losslessly on restart.
 See ``examples/serve_demo.py`` for the end-to-end loop.
 
+Querying
+--------
+Reads have a fleet-wide path of their own, layered like ingest:
+
+* **Batched queries.**  ``engine.query_batch(ops)`` answers a list of
+  ``(name, *args)`` ops — ``("sample", key)``, ``("contains", key)``,
+  ``("hottest", top)``, ``("frequent", threshold[, top])``,
+  ``("moments", order)``, ``("stats",)`` — in one fleet pass: one
+  request/reply round per worker instead of one per key, with per-op
+  runtime failures (a missing key, an expired window) captured inline as
+  ``("error", type, message)`` so one bad key never aborts the batch.
+  Malformed op shapes are refused up front with
+  :class:`~repro.exceptions.ConfigurationError` before anything runs.  The
+  daemon exposes the same batch as ``POST /v1/<tenant>/query`` and the CLI
+  as ``swsample engine --query-file OPS.jsonl``.
+* **Result caching.**  A :class:`~repro.engine.QueryCache` (attach one via
+  ``query_cache=`` on any engine; ``swsample serve`` attaches one per
+  tenant) memoises query results keyed on the op *and the per-shard
+  ``generation`` counters*, which bump on every mutation — ingest, LRU/TTL
+  eviction, restore — so a cached answer is served only while it is
+  provably still current; there is no staleness window to tune, and TTL
+  plus an LRU bound keep the cache itself small.  Hit/miss/invalidation
+  counters flow into the tenant's metrics registry (``querycache.*`` in
+  ``/metrics``).
+* **Continuous queries.**  ``POST /v1/<tenant>/subscribe`` registers a
+  standing query (one op plus an ``interval``); the daemon re-evaluates it
+  through the cache and streams JSONL deltas — only when the answer
+  changes — until the client disconnects or SIGTERM drains the stream with
+  a final ``{"event": "end"}`` line.
+
+Because ranked reports break count ties on a stable byte encoding of the
+key, batched, cached and scalar reads are bit-identical across the serial,
+thread and process executors.
+
 Quickstart
 ----------
 >>> from repro import sliding_window_sampler
@@ -207,6 +241,7 @@ from .engine import (
     KeyedSamplerPool,
     ParallelEngine,
     ProcessEngine,
+    QueryCache,
     SamplerSpec,
     ShardedEngine,
     load_checkpoint,
@@ -235,6 +270,7 @@ __all__ = [
     "ShardedEngine",
     "ParallelEngine",
     "ProcessEngine",
+    "QueryCache",
     "save_checkpoint",
     "load_checkpoint",
     "write_checkpoint",

@@ -9,6 +9,8 @@ Installed as the ``swsample`` console script.  Five sub-commands:
   or stdin via ``--input``) through the sharded multi-stream engine, serially
   or on workers (``--workers N --executor thread|process``; process workers
   own their shards outright and scale across cores), print fleet statistics,
+  resolve a batch of queries in one fleet pass (``--query-file`` with JSONL
+  op documents, the same wire shapes as serve's ``POST /v1/<t>/query``),
   and optionally checkpoint/resume it (incremental checkpoint directories).
   Observability: ``--metrics-out PATH`` dumps a fleet-merged metrics snapshot
   (``--metrics-format json|prom``), and ``--log-level``/``--log-json``
@@ -34,7 +36,7 @@ from typing import List, Optional
 
 from .core.facade import algorithm_catalog, sliding_window_sampler
 from .engine.source import DEFAULT_BATCH_SIZE
-from .serve import DEFAULT_MAX_PENDING_RECORDS
+from .serve import DEFAULT_MAX_PENDING_RECORDS, _query_op_from_json, _query_outcome_payload
 from .exceptions import ConfigurationError, SWSampleError
 from .harness import available_experiments, run_experiment
 from .harness.experiments import EXPERIMENTS, SCALES
@@ -142,6 +144,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="records per ingest batch for --input streams",
     )
     engine_parser.add_argument("--top", type=int, default=5, help="hottest keys to report")
+    engine_parser.add_argument(
+        "--query-file", metavar="PATH",
+        help="after ingest, resolve a batch of queries in one fleet pass: JSONL op"
+        ' documents ({"op": "sample", "key": ...}, {"op": "hottest", "top": 5}, ...;'
+        " '-' for stdin), one JSON result line each",
+    )
     engine_parser.add_argument("--checkpoint", metavar="PATH", help="write an engine checkpoint at the end")
     engine_parser.add_argument("--resume", metavar="PATH", help="resume from an engine checkpoint first")
     _add_observability_arguments(engine_parser)
@@ -269,6 +277,56 @@ def _check_writable_path(path: str) -> Optional[str]:
     except OSError as error:
         return str(error)
     return None
+
+
+def _run_query_file(engine: "object", path: str, *, stdin_taken: bool) -> int:
+    """Resolve a ``--query-file`` batch against a just-ingested engine.
+
+    The file is JSONL: one op document per line (blank lines and ``#``
+    comments skipped), the same wire shapes the serve daemon's
+    ``POST /v1/<tenant>/query`` accepts.  The whole batch resolves in one
+    fleet pass via ``query_batch``; each op prints one JSON result line.
+    """
+    try:
+        if path == "-":
+            if stdin_taken:
+                print("error: --input - and --query-file - cannot share stdin", file=sys.stderr)
+                return 2
+            lines = sys.stdin.read().splitlines()
+        else:
+            with open(path, "r", encoding="utf-8") as handle:
+                lines = handle.read().splitlines()
+    except OSError as error:
+        print(f"error: cannot read --query-file {path}: {error}", file=sys.stderr)
+        return 2
+    documents = []
+    for number, line in enumerate(lines, 1):
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        try:
+            documents.append(json.loads(stripped))
+        except ValueError as error:
+            print(
+                f"error: --query-file {path} line {number} is not JSON: {error}",
+                file=sys.stderr,
+            )
+            return 2
+    if not documents:
+        print(f"error: --query-file {path} contains no ops", file=sys.stderr)
+        return 2
+    try:
+        ops = [_query_op_from_json(document) for document in documents]
+        outcomes = engine.query_batch(ops)
+    except ConfigurationError as error:
+        print(f"error: bad query op: {error}", file=sys.stderr)
+        return 2
+    print(f"query batch     : {len(ops)} ops, one fleet pass")
+    for op, outcome in zip(ops, outcomes):
+        payload = {"op": op[0]}
+        payload.update(_query_outcome_payload(op, outcome))
+        print(json.dumps(payload, sort_keys=True, default=repr))
+    return 0
 
 
 def _command_engine(args: argparse.Namespace) -> int:
@@ -463,6 +521,10 @@ def _command_engine(args: argparse.Namespace) -> int:
             print(f"sample of hottest key {key!r}: {engine.sample_values(key)}")
         merged = engine.merged_frequent_items(0.01, top=args.top)
         print(f"merged frequent values (>=1%): {[(value, round(freq, 4)) for value, freq in merged]}")
+        if args.query_file:
+            code = _run_query_file(engine, args.query_file, stdin_taken=args.input == "-")
+            if code != 0:
+                return code
         if args.checkpoint:
             try:
                 result = write_checkpoint(engine, args.checkpoint)

@@ -62,6 +62,35 @@ Sharding is by a *stable* hash (:func:`stable_key_hash`), never Python's
 salted ``hash()``, so routing — and therefore every per-key sampler's
 randomness — is reproducible across processes and restarts.
 
+Querying
+--------
+The query surface mirrors the ingest surface's batching discipline:
+
+* **Batched queries.**  :meth:`ShardedEngine.query_batch` resolves many
+  queries in one pass — a sequence of ``(name, *args)`` ops (``sample``,
+  ``contains``, ``hottest``, ``frequent``, ``moments``, ``stats``) returns
+  one ``("ok", value)`` / ``("error", type, message)`` outcome per op, so a
+  missing key never aborts the batch.  On :class:`ProcessEngine` the whole
+  batch costs **one request/reply round per worker**: per-key ops ship only
+  to the worker owning their shard, aggregates are computed as per-worker
+  partials and merged coordinator-side — the query-side analogue of how
+  ``extend_batch`` groups ingest.  Batched, scalar, serial, thread and
+  process results are all bit-identical, ties included (ranked reports
+  break ties on a stable byte encoding of the key, never on dict order).
+* **Result caching.**  Pass ``query_cache=QueryCache(...)`` to any engine
+  and the query surface consults it.  Entries are stamped with the
+  per-shard ``generation`` tuple — the checkpoint layer's dirty-tracking
+  counter, bumped on every append/eviction/advance/restore — so any
+  mutation invalidates exactly the answers it could have changed, and a
+  TTL (optional) bounds staleness against out-of-band mutation.  Hits,
+  misses, invalidations and evictions count into ``querycache.*`` metrics.
+  Cached and uncached results are bit-identical.
+* **Continuous queries.**  :mod:`repro.serve` builds standing queries on
+  top of this: ``POST /v1/<tenant>/subscribe`` registers a query plus an
+  interval, an asyncio task re-evaluates it through the tenant's cache
+  (unchanged fleets are pure cache hits) and pushes a JSONL delta whenever
+  the answer changes, closing the stream cleanly on SIGTERM.
+
 Observability
 -------------
 Every layer reports into a :class:`repro.obs.MetricsRegistry` when handed one
@@ -100,6 +129,7 @@ from .engine import ShardedEngine
 from .executor import ParallelEngine, ProcessEngine
 from .hashing import stable_key_bytes, stable_key_hash
 from .pool import KeyedSamplerPool
+from .querycache import QueryCache
 from .source import batched, freeze_key, ingest_jsonl, jsonl_records
 from .spec import SamplerSpec
 from .transport import decode_batch, encode_batch
@@ -110,6 +140,7 @@ __all__ = [
     "ShardedEngine",
     "ParallelEngine",
     "ProcessEngine",
+    "QueryCache",
     "save_checkpoint",
     "load_checkpoint",
     "write_checkpoint",

@@ -39,8 +39,9 @@ from ..exceptions import (
 )
 from ..obs import get_registry
 from ..streams.element import StreamElement
-from .hashing import stable_key_hash
+from .hashing import stable_key_bytes, stable_key_hash
 from .pool import KeyedSamplerPool
+from .querycache import QueryCache
 from .spec import SamplerSpec
 
 __all__ = ["ShardedEngine"]
@@ -144,6 +145,37 @@ def _advance_and_sample(
     return sampler.sample()
 
 
+def _tie_break_bytes(value: Any) -> bytes:
+    """A deterministic total-order tiebreak for ranked reports.
+
+    Keys engine-routable values through :func:`stable_key_bytes` (the same
+    canonical encoding shard routing hashes), and falls back to ``repr`` for
+    arbitrary sampled *values* outside that domain — deterministic for any
+    value with a content-based repr, which is what makes tied ranks order
+    identically whether a report was computed serially or merged from
+    worker partials.
+    """
+    try:
+        return stable_key_bytes(value)
+    except ConfigurationError:
+        return repr(value).encode("utf-8", "backslashreplace")
+
+
+def _hottest_order(pair: Tuple[Any, int]) -> Tuple[int, bytes]:
+    """Selection key for hottest-keys ranking: arrival count, then the
+    stable tiebreak — a total order, so top-N of worker-local top-Ns equals
+    top-N of the union (keys are shard-partitioned, hence distinct)."""
+    return (pair[1], _tie_break_bytes(pair[0]))
+
+
+def _rank_hottest(pairs: Iterable[Tuple[Any, int]], top: int) -> List[Tuple[Any, int]]:
+    """Select and order the ``top`` hottest pairs deterministically:
+    hottest first, ties in ascending tiebreak order."""
+    result = heapq.nlargest(top, pairs, key=_hottest_order)
+    result.sort(key=lambda pair: (-pair[1], _tie_break_bytes(pair[0])))
+    return result
+
+
 def _hottest_partial(
     pools: Iterable[KeyedSamplerPool], top: int
 ) -> List[Tuple[Any, int]]:
@@ -151,7 +183,7 @@ def _hottest_partial(
     pairs = (
         (key, sampler.total_arrivals) for pool in pools for key, sampler in pool.items()
     )
-    return heapq.nlargest(top, pairs, key=lambda pair: pair[1])
+    return _rank_hottest(pairs, top)
 
 
 def _frequent_partial(
@@ -193,7 +225,10 @@ def _frequent_report(
         for value, mass in pooled.items()
         if mass / total_weight >= threshold
     ]
-    report.sort(key=lambda item: item[1], reverse=True)
+    # Most frequent first; tied frequencies order by the stable tiebreak so
+    # serial and worker-merged reports are identical (Counter iteration
+    # order would otherwise leak shard-partitioning into tie order).
+    report.sort(key=lambda item: (-item[1], _tie_break_bytes(item[0])))
     return report if top is None else report[:top]
 
 
@@ -216,6 +251,32 @@ def _moment_partial(pools: Iterable[KeyedSamplerPool], order: float) -> Dict[Any
                 continue
             estimates[key] = ams_estimate_from_counts(counts, window_size, order)
     return estimates
+
+
+def _query_error(error: BaseException) -> Tuple[str, str, str]:
+    """The per-op error encoding of :meth:`ShardedEngine.query_batch`:
+    ``("error", type_name, message)`` — picklable, JSON-mappable, and
+    comparable across executors (unlike exception instances)."""
+    return ("error", type(error).__name__, str(error))
+
+
+def _copy_query_result(value: Any) -> Any:
+    """A defensive copy of a cached query result.
+
+    Cached values must not alias what callers receive (a caller sorting a
+    hottest-keys list in place would otherwise poison every later hit).
+    Query results are lists of immutable rows (samples, reports) or one
+    level of dict (moments, stats with its nested eviction split), so a
+    shallow copy with one nested-dict level is exact.
+    """
+    if isinstance(value, list):
+        return list(value)
+    if isinstance(value, dict):
+        return {
+            key: dict(item) if isinstance(item, dict) else item
+            for key, item in value.items()
+        }
+    return value
 
 
 def _stamp_timestamp(timestamp: Any, now: float) -> float:
@@ -269,6 +330,14 @@ class ShardedEngine:
         :func:`repro.obs.enable` was called.  Instrumentation lives at
         batch/chunk granularity, never per record, and never touches sampler
         randomness: ingest results are bit-identical with metrics on or off.
+    query_cache:
+        An optional :class:`~repro.engine.querycache.QueryCache` consulted
+        by the query surface (``sample``, ``hottest_keys``,
+        ``merged_frequent_items``, ``per_key_moments``, ``query_batch``).
+        Entries are stamped with the per-shard ``generation`` tuple, so any
+        mutation (ingest, eviction, clock advance, restore) invalidates
+        exactly the answers it could have changed; cached and uncached
+        results are bit-identical.  ``None`` (default) disables caching.
     """
 
     def __init__(
@@ -281,6 +350,7 @@ class ShardedEngine:
         idle_ttl: Optional[int] = None,
         track_occurrences: bool = False,
         registry: Optional[Any] = None,
+        query_cache: Optional[QueryCache] = None,
     ) -> None:
         if shards <= 0:
             raise ConfigurationError("shards must be positive")
@@ -296,6 +366,7 @@ class ShardedEngine:
         self._m_chunks_grouped = self._obs.counter("engine.ingest.chunks.grouped")
         self._m_chunks_partitioned = self._obs.counter("engine.ingest.chunks.partitioned")
         self._m_chunk_seconds = self._obs.histogram("engine.ingest.chunk.seconds")
+        self._query_cache = query_cache
         self._pools = self._create_pools()
         self._now = float("-inf")
 
@@ -591,8 +662,11 @@ class ShardedEngine:
         evicted) and :class:`~repro.exceptions.EmptyWindowError` when the
         key's window has expired.
         """
-        return _advance_and_sample(
-            self._pool_of(key), key, self._now, self._spec.is_timestamp
+        return self._cached_query(
+            ("sample", key),
+            lambda: _advance_and_sample(
+                self._pool_of(key), key, self._now, self._spec.is_timestamp
+            ),
         )
 
     def sample_values(self, key: Any) -> List[Any]:
@@ -626,6 +700,11 @@ class ShardedEngine:
         visible even on fully uninstrumented engines.
         """
         self.flush()
+        return self._query_stats()
+
+    def _query_stats(self) -> Dict[str, Any]:
+        """The :meth:`stats` payload, computed from already-flushed pools
+        (shared with the batched query path, which flushes once up front)."""
         pools = self._pools
         return {
             "shards": self._shards,
@@ -687,7 +766,9 @@ class ShardedEngine:
         if top <= 0:
             raise ConfigurationError("top must be positive")
         self.flush()
-        return _hottest_partial(self._pools, top)
+        return self._cached_query(
+            ("hottest", int(top)), lambda: _hottest_partial(self._pools, top)
+        )
 
     def merged_frequent_items(
         self, threshold: float, *, top: Optional[int] = None
@@ -703,9 +784,13 @@ class ShardedEngine:
         if not 0 < threshold < 1:
             raise ConfigurationError("threshold must lie strictly between 0 and 1")
         self.flush()
-        clocked = self._spec.is_timestamp and self._now != float("-inf")
-        pooled, total_weight = _frequent_partial(self._pools, self._now, clocked)
-        return _frequent_report(pooled, total_weight, threshold, top)
+
+        def compute() -> List[Tuple[Any, float]]:
+            clocked = self._spec.is_timestamp and self._now != float("-inf")
+            pooled, total_weight = _frequent_partial(self._pools, self._now, clocked)
+            return _frequent_report(pooled, total_weight, threshold, top)
+
+        return self._cached_query(("frequent", float(threshold), top), compute)
 
     def _check_moment_config(self) -> None:
         if not self._track_occurrences:
@@ -730,7 +815,9 @@ class ShardedEngine:
         """
         self._check_moment_config()
         self.flush()
-        return _moment_partial(self._pools, order)
+        return self._cached_query(
+            ("moments", float(order)), lambda: _moment_partial(self._pools, order)
+        )
 
     def aggregate_moment(self, order: float) -> float:
         """The summed per-key moment — ``sum_key F_order(key's window)``.
@@ -740,6 +827,196 @@ class ShardedEngine:
         "total moment" and keeps the sum exact in expectation.
         """
         return sum(self.per_key_moments(order).values())
+
+    # -- batched & cached queries ----------------------------------------------
+
+    @property
+    def query_cache(self) -> Optional[QueryCache]:
+        """The engine's result cache, or ``None`` when caching is off."""
+        return self._query_cache
+
+    @query_cache.setter
+    def query_cache(self, cache: Optional[QueryCache]) -> None:
+        # Settable so hosts that build engines through factories that do not
+        # thread the constructor argument (``load_checkpoint``, the serve
+        # daemon's recipe) can still attach a cache before serving traffic.
+        self._query_cache = cache
+
+    def _cached_query(self, cache_key: Tuple[Any, ...], compute: Any) -> Any:
+        """Run one query through the result cache.
+
+        Lookups use the *pre*-compute generation tuple; stores use the
+        *post*-compute tuple when the spec is clocked, because the lazy
+        clock advance inside ``sample``/``frequent`` may legitimately bump
+        generations while computing — the freshly computed answer is valid
+        for the settled post-compute state (the engine clock is fixed for
+        the duration of a query).  Errors are never cached.  Hit values are
+        defensively copied so callers cannot mutate cache contents.
+        """
+        cache = self._query_cache
+        if cache is None:
+            return compute()
+        generations = tuple(self._segment_generations())
+        hit, value = cache.lookup(cache_key, generations)
+        if hit:
+            return _copy_query_result(value)
+        value = compute()
+        if self._spec.is_timestamp:
+            generations = tuple(self._segment_generations())
+        cache.store(cache_key, generations, value)
+        return _copy_query_result(value)
+
+    #: Operations understood by :meth:`query_batch`, with their canonical
+    #: argument shapes (after normalisation).
+    _QUERY_OPS = ("sample", "contains", "hottest", "frequent", "moments", "stats")
+
+    def _normalize_query_op(self, op: Any) -> Tuple[Any, ...]:
+        """Validate one batched-query op and return its canonical tuple.
+
+        Accepted shapes (``op`` may be a tuple or list):
+
+        * ``("sample", key)`` — the key's window sample
+        * ``("contains", key)`` — whether the key has a live sampler
+        * ``("hottest", top)`` — fleet-wide hottest keys
+        * ``("frequent", threshold[, top])`` — merged frequent items
+        * ``("moments", order)`` — per-key AMS moments
+        * ``("stats",)`` — the fleet statistics dict
+
+        Malformed ops raise :class:`~repro.exceptions.ConfigurationError`
+        before anything executes (a batch is all-or-nothing on shape);
+        per-key *runtime* failures are captured per op instead.
+        """
+        if isinstance(op, list):
+            op = tuple(op)
+        if not isinstance(op, tuple) or not op or not isinstance(op[0], str):
+            raise ConfigurationError(
+                f"query ops must be (name, *args) tuples, got {op!r}"
+            )
+        kind = op[0]
+        if kind in ("sample", "contains"):
+            if len(op) != 2:
+                raise ConfigurationError(f"{kind!r} takes exactly one key, got {op!r}")
+            return (kind, op[1])
+        if kind == "hottest":
+            if len(op) != 2:
+                raise ConfigurationError(f"'hottest' takes (top,), got {op!r}")
+            top = int(op[1])
+            if top <= 0:
+                raise ConfigurationError("top must be positive")
+            return ("hottest", top)
+        if kind == "frequent":
+            if len(op) not in (2, 3):
+                raise ConfigurationError(
+                    f"'frequent' takes (threshold[, top]), got {op!r}"
+                )
+            threshold = float(op[1])
+            if not 0 < threshold < 1:
+                raise ConfigurationError("threshold must lie strictly between 0 and 1")
+            top = None if len(op) == 2 or op[2] is None else int(op[2])
+            if top is not None and top <= 0:
+                raise ConfigurationError("top must be positive")
+            return ("frequent", threshold, top)
+        if kind == "moments":
+            if len(op) != 2:
+                raise ConfigurationError(f"'moments' takes (order,), got {op!r}")
+            self._check_moment_config()
+            return ("moments", float(op[1]))
+        if kind == "stats":
+            if len(op) != 1:
+                raise ConfigurationError(f"'stats' takes no arguments, got {op!r}")
+            return ("stats",)
+        raise ConfigurationError(
+            f"unknown query op {kind!r} (expected one of {self._QUERY_OPS})"
+        )
+
+    def _query_plans(self, ops: Iterable[Any]) -> List[Tuple[Any, ...]]:
+        return [self._normalize_query_op(op) for op in ops]
+
+    def query_batch(self, ops: Iterable[Any]) -> List[Tuple[Any, ...]]:
+        """Resolve many queries in one pass over the fleet.
+
+        ``ops`` is a sequence of ``(name, *args)`` tuples (see
+        :meth:`_normalize_query_op` for the vocabulary).  Returns one result
+        per op, in order: ``("ok", value)`` on success or ``("error",
+        type_name, message)`` for per-op runtime failures (unknown key,
+        empty window) — one missing key never aborts the rest of the batch.
+
+        This is the fleet-wide query hot path: the whole batch pays one
+        flush barrier, one cache-generation fetch, and — on the process
+        executor — **one request/reply round per worker** instead of one
+        per key, with per-key ops shipped only to the worker owning their
+        shard and aggregates merged coordinator-side from per-worker
+        partials (the query-side analogue of how ``extend_batch`` groups
+        ingest).  Results are bit-identical to issuing the equivalent
+        scalar calls in order.
+        """
+        plans = self._query_plans(ops)
+        self.flush()
+        return self._query_batch_resolve(plans)
+
+    def _query_batch_resolve(self, plans: List[Tuple[Any, ...]]) -> List[Tuple[Any, ...]]:
+        """Serve a normalised batch through the cache; compute the misses."""
+        cache = self._query_cache
+        results: List[Optional[Tuple[Any, ...]]] = [None] * len(plans)
+        if cache is None:
+            miss_indexes = list(range(len(plans)))
+            generations: Tuple[int, ...] = ()
+        else:
+            generations = tuple(self._segment_generations())
+            miss_indexes = []
+            for index, plan in enumerate(plans):
+                hit, value = cache.lookup(plan, generations)
+                if hit:
+                    results[index] = ("ok", _copy_query_result(value))
+                else:
+                    miss_indexes.append(index)
+        if miss_indexes:
+            computed = self._compute_query_ops([plans[i] for i in miss_indexes])
+            if cache is not None and self._spec.is_timestamp:
+                # Lazy clock advances during compute may have bumped
+                # generations; stamp stores with the settled signal.
+                generations = tuple(self._segment_generations())
+            for index, outcome in zip(miss_indexes, computed):
+                if cache is not None and outcome[0] == "ok":
+                    cache.store(plans[index], generations, outcome[1])
+                    outcome = ("ok", _copy_query_result(outcome[1]))
+                results[index] = outcome
+        return results  # type: ignore[return-value]
+
+    def _compute_query_ops(
+        self, plans: List[Tuple[Any, ...]]
+    ) -> List[Tuple[Any, ...]]:
+        """Execute normalised ops against local pools (serial and thread
+        engines; :class:`ProcessEngine` overrides this with a one-round
+        request/reply fan-out)."""
+        clocked = self._spec.is_timestamp
+        now = self._now
+        outcomes: List[Tuple[Any, ...]] = []
+        for plan in plans:
+            kind = plan[0]
+            try:
+                if kind == "sample":
+                    value: Any = _advance_and_sample(
+                        self._pool_of(plan[1]), plan[1], now, clocked
+                    )
+                elif kind == "contains":
+                    value = plan[1] in self._pool_of(plan[1])
+                elif kind == "hottest":
+                    value = _hottest_partial(self._pools, plan[1])
+                elif kind == "frequent":
+                    pooled, total_weight = _frequent_partial(
+                        self._pools, now, clocked and now != float("-inf")
+                    )
+                    value = _frequent_report(pooled, total_weight, plan[1], plan[2])
+                elif kind == "moments":
+                    value = _moment_partial(self._pools, plan[1])
+                else:  # "stats"
+                    value = self._query_stats()
+            except Exception as error:
+                outcomes.append(_query_error(error))
+            else:
+                outcomes.append(("ok", value))
+        return outcomes
 
     # -- checkpointing ---------------------------------------------------------
 

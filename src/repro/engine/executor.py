@@ -70,7 +70,6 @@ caller lock, so any number of application threads may ``ingest``/``sample``/
 from __future__ import annotations
 
 import contextlib
-import heapq
 import logging
 import multiprocessing
 import os
@@ -101,11 +100,14 @@ from .engine import (
     _frequent_report,
     _hottest_partial,
     _moment_partial,
+    _query_error,
+    _rank_hottest,
     _stamp_timestamp,
     _unpack_record,
 )
 from .hashing import stable_key_hash
 from .pool import KeyedSamplerPool
+from .querycache import QueryCache
 from .spec import SamplerSpec
 from .transport import (
     HAS_SHARED_MEMORY,
@@ -370,6 +372,40 @@ class _ShardWorkerLoop:
                 shard: write_shard_segment(path, shard, pool, plan.get(shard))
                 for shard, pool in pools.items()
             }
+        if op == "qbatch":
+            # One batched-query round: this worker's per-key ops (shipped
+            # only to the shard owner) plus the aggregate ops (broadcast to
+            # every worker; the coordinator merges the partials).  Per-key
+            # runtime failures are encoded per slot, never poisoning the
+            # rest of the batch.
+            perkey, aggregates, now, frequent_clocked = args
+            key_results: List[Tuple[int, Tuple[Any, ...]]] = []
+            for slot, kind, shard, key in perkey:
+                try:
+                    if kind == "contains":
+                        value = key in pools[shard]
+                    else:  # "sample"
+                        value = _advance_and_sample(pools[shard], key, now, self.clocked)
+                except Exception as error:
+                    key_results.append((slot, _query_error(error)))
+                else:
+                    key_results.append((slot, ("ok", value)))
+            agg_results: List[Tuple[int, Any]] = []
+            for entry in aggregates:
+                slot, kind = entry[0], entry[1]
+                if kind == "hottest":
+                    partial: Any = _hottest_partial(pools.values(), entry[2])
+                elif kind == "frequent":
+                    pooled, weight = _frequent_partial(
+                        pools.values(), now, frequent_clocked
+                    )
+                    partial = (dict(pooled), weight)
+                elif kind == "moments":
+                    partial = _moment_partial(pools.values(), entry[2])
+                else:  # "stats"
+                    partial = self._execute("stats")
+                agg_results.append((slot, partial))
+            return key_results, agg_results
         raise ExecutorError(f"unknown worker operation {op!r}")
 
 
@@ -470,6 +506,7 @@ class _WorkerBackedEngine(ShardedEngine):
         idle_ttl: Optional[int] = None,
         track_occurrences: bool = False,
         registry: Optional[Any] = None,
+        query_cache: Optional[QueryCache] = None,
     ) -> None:
         super().__init__(
             spec,
@@ -479,6 +516,7 @@ class _WorkerBackedEngine(ShardedEngine):
             idle_ttl=idle_ttl,
             track_occurrences=track_occurrences,
             registry=registry,
+            query_cache=query_cache,
         )
         if workers is None:
             workers = min(self.shards, os.cpu_count() or 1)
@@ -705,6 +743,10 @@ class _WorkerBackedEngine(ShardedEngine):
         with self._api_lock:
             return super().per_key_moments(order)
 
+    def query_batch(self, ops: Iterable[Any]) -> List[Tuple[Any, ...]]:
+        with self._api_lock:
+            return super().query_batch(ops)  # the base flushes first
+
     # -- checkpointing -------------------------------------------------------
 
     @contextlib.contextmanager
@@ -775,6 +817,7 @@ class ParallelEngine(_WorkerBackedEngine):
         idle_ttl: Optional[int] = None,
         track_occurrences: bool = False,
         registry: Optional[Any] = None,
+        query_cache: Optional[QueryCache] = None,
     ) -> None:
         super().__init__(
             spec,
@@ -787,6 +830,7 @@ class ParallelEngine(_WorkerBackedEngine):
             idle_ttl=idle_ttl,
             track_occurrences=track_occurrences,
             registry=registry,
+            query_cache=query_cache,
         )
         # One failure box shared by every loop: any worker failure poisons
         # the whole fleet (arrivals may have been lost).
@@ -957,6 +1001,7 @@ class ProcessEngine(_WorkerBackedEngine):
         idle_ttl: Optional[int] = None,
         track_occurrences: bool = False,
         registry: Optional[Any] = None,
+        query_cache: Optional[QueryCache] = None,
     ) -> None:
         super().__init__(
             spec,
@@ -969,6 +1014,7 @@ class ProcessEngine(_WorkerBackedEngine):
             idle_ttl=idle_ttl,
             track_occurrences=track_occurrences,
             registry=registry,
+            query_cache=query_cache,
         )
         if transport not in ("columnar", "pickle", "shm"):
             raise ConfigurationError(
@@ -988,6 +1034,11 @@ class ProcessEngine(_WorkerBackedEngine):
         self._request_counter = 0
         self._unbarriered = False
         self._stats_cache: Optional[Tuple[int, int, int, int, int, int]] = None
+        # Coordinator-side memo of the per-shard generation tuple: the
+        # query cache reads generations before and after every consult, so
+        # without a memo each cached query would pay an extra broadcast.
+        # Invalidated by every mutating send (same rule as _stats_cache).
+        self._generations_cache: Optional[List[int]] = None
         # Coordinator-side transport accounting lives in a registry so
         # transport_report() and metrics_snapshot() read the same numbers.
         # transport_report() must work on uninstrumented engines too, so a
@@ -1111,6 +1162,7 @@ class ProcessEngine(_WorkerBackedEngine):
     def _send(self, index: int, message: Tuple[Any, ...]) -> None:
         if message[0] not in self._NONMUTATING_OPS:
             self._stats_cache = None
+            self._generations_cache = None
         stalled: Optional[float] = None
         while True:
             try:
@@ -1365,8 +1417,11 @@ class ProcessEngine(_WorkerBackedEngine):
             self._check_query()
             self.flush()
             shard = self.shard_of(key)
-            return self._request(
-                self._worker_of(shard), "sample", shard, key, self._now
+            return self._cached_query(
+                ("sample", key),
+                lambda: self._request(
+                    self._worker_of(shard), "sample", shard, key, self._now
+                ),
             )
 
     def _stats(self) -> Tuple[int, int, int, int, int, int]:
@@ -1478,18 +1533,21 @@ class ProcessEngine(_WorkerBackedEngine):
             return iter(result)
 
     def hottest_keys(self, top: int = 10) -> List[Tuple[Any, int]]:
-        """Same counts as the serial engine; like
-        :meth:`merged_frequent_items`, keys *tied* on arrival count may
-        order differently (each worker ranks its own shards, the merge is
-        stable per worker, not per shard)."""
+        """Bit-identical to the serial engine, ties included: workers rank
+        their shards and the coordinator re-ranks the partials under the
+        same total order (arrival count, then the stable key tiebreak)."""
         if top <= 0:
             raise ConfigurationError("top must be positive")
         with self._api_lock:
             self._check_query()
             self.flush()
-            partials = self._broadcast("hottest", top)
-        pairs = (pair for partial in partials for pair in partial)
-        return heapq.nlargest(top, pairs, key=lambda pair: pair[1])
+
+            def compute() -> List[Tuple[Any, int]]:
+                partials = self._broadcast("hottest", top)
+                pairs = (pair for partial in partials for pair in partial)
+                return _rank_hottest(pairs, top)
+
+            return self._cached_query(("hottest", int(top)), compute)
 
     def merged_frequent_items(
         self, threshold: float, *, top: Optional[int] = None
@@ -1499,24 +1557,124 @@ class ProcessEngine(_WorkerBackedEngine):
         with self._api_lock:
             self._check_query()
             self.flush()
-            clocked = self._spec.is_timestamp and self._now != float("-inf")
-            pooled: Counter = Counter()
-            total_weight = 0.0
-            for partial, weight in self._broadcast("frequent", self._now, clocked):
-                for value, mass in partial.items():
-                    pooled[value] += mass
-                total_weight += weight
-        return _frequent_report(pooled, total_weight, threshold, top)
+
+            def compute() -> List[Tuple[Any, float]]:
+                clocked = self._spec.is_timestamp and self._now != float("-inf")
+                pooled: Counter = Counter()
+                total_weight = 0.0
+                for partial, weight in self._broadcast("frequent", self._now, clocked):
+                    for value, mass in partial.items():
+                        pooled[value] += mass
+                    total_weight += weight
+                return _frequent_report(pooled, total_weight, threshold, top)
+
+            return self._cached_query(("frequent", float(threshold), top), compute)
 
     def per_key_moments(self, order: float) -> Dict[Any, float]:
         self._check_moment_config()
         with self._api_lock:
             self._check_query()
             self.flush()
-            estimates: Dict[Any, float] = {}
-            for partial in self._broadcast("moments", order):
-                estimates.update(partial)
-            return estimates
+
+            def compute() -> Dict[Any, float]:
+                estimates: Dict[Any, float] = {}
+                for partial in self._broadcast("moments", order):
+                    estimates.update(partial)
+                return estimates
+
+            return self._cached_query(("moments", float(order)), compute)
+
+    def query_batch(self, ops: Iterable[Any]) -> List[Tuple[Any, ...]]:
+        plans = self._query_plans(ops)
+        with self._api_lock:
+            self._check_query()
+            self.flush()
+            return self._query_batch_resolve(plans)
+
+    def _compute_query_ops(
+        self, plans: List[Tuple[Any, ...]]
+    ) -> List[Tuple[Any, ...]]:
+        """One ``qbatch`` round over the fleet: per-key ops ship only to the
+        worker owning their shard, aggregate ops ship to every worker, and
+        all workers compute concurrently (send-all-then-receive).  Aggregate
+        partials merge coordinator-side under the same total orders as the
+        scalar paths, so batched results are bit-identical to scalar ones.
+        """
+        perkey_by_worker: Dict[int, List[Tuple[int, str, int, Any]]] = {
+            index: [] for index in range(self._workers)
+        }
+        aggregates: List[Tuple[Any, ...]] = []
+        for slot, plan in enumerate(plans):
+            kind = plan[0]
+            if kind in ("sample", "contains"):
+                shard = self.shard_of(plan[1])
+                perkey_by_worker[self._worker_of(shard)].append(
+                    (slot, kind, shard, plan[1])
+                )
+            else:
+                aggregates.append((slot,) + plan)
+        now = self._now
+        frequent_clocked = self._spec.is_timestamp and now != float("-inf")
+        rid = self._next_rid()
+        for index in range(self._workers):
+            self._send(
+                index,
+                (
+                    "qbatch",
+                    rid,
+                    perkey_by_worker[index],
+                    aggregates,
+                    now,
+                    frequent_clocked,
+                ),
+            )
+        outcomes: List[Optional[Tuple[Any, ...]]] = [None] * len(plans)
+        partials_by_slot: Dict[int, List[Any]] = {entry[0]: [] for entry in aggregates}
+        errors: List[BaseException] = []
+        for index in range(self._workers):
+            reply = self._receive(index, rid)
+            if reply[0] == "error":
+                errors.append(reply[2])
+                continue
+            key_results, agg_results = reply[2]
+            for slot, outcome in key_results:
+                outcomes[slot] = outcome
+            for slot, partial in agg_results:
+                partials_by_slot[slot].append(partial)
+        if errors:
+            raise errors[0]
+        for entry in aggregates:
+            slot, kind = entry[0], entry[1]
+            partials = partials_by_slot[slot]
+            if kind == "hottest":
+                pairs = (pair for partial in partials for pair in partial)
+                value: Any = _rank_hottest(pairs, entry[2])
+            elif kind == "frequent":
+                pooled: Counter = Counter()
+                total_weight = 0.0
+                for partial, weight in partials:
+                    for item, mass in partial.items():
+                        pooled[item] += mass
+                    total_weight += weight
+                value = _frequent_report(pooled, total_weight, entry[2], entry[3])
+            elif kind == "moments":
+                value = {}
+                for partial in partials:
+                    value.update(partial)
+            else:  # "stats"
+                totals = (0, 0, 0, 0, 0, 0)
+                for partial in partials:
+                    totals = tuple(a + b for a, b in zip(totals, partial))
+                keys, arrivals, evictions, memory, lru, ttl = totals
+                value = {
+                    "shards": self._shards,
+                    "keys": keys,
+                    "arrivals": arrivals,
+                    "memory_words": memory,
+                    "evictions": {"total": evictions, "lru": lru, "ttl": ttl},
+                }
+            outcomes[slot] = ("ok", value)
+        return outcomes  # type: ignore[return-value]
 
     # -- state & checkpointing -----------------------------------------------
 
@@ -1562,8 +1720,12 @@ class ProcessEngine(_WorkerBackedEngine):
         with self._api_lock:
             self._check_query()
             self.flush()
-            by_shard = self._merged("generations")
-            return [by_shard[shard] for shard in range(self._shards)]
+            if self._generations_cache is None:
+                by_shard = self._merged("generations")
+                self._generations_cache = [
+                    by_shard[shard] for shard in range(self._shards)
+                ]
+            return list(self._generations_cache)
 
     @contextlib.contextmanager
     def _checkpoint_guard(self):

@@ -1,0 +1,169 @@
+"""Generation-invalidated TTL cache for fleet-wide query results.
+
+Every :class:`~repro.engine.pool.KeyedSamplerPool` maintains a monotone
+``generation`` counter, bumped on every mutation that could change a query
+answer (append, grouped extend, eviction sweep, discard, clock advance,
+``load_state_dict``) — the same dirty-tracking signal the incremental
+checkpoint layer uses to skip unchanged shards.  The tuple of per-shard
+generations is therefore an *exact* invalidation signal for any fleet-wide
+query result: if no shard's generation moved, no sampler state moved, and
+the cached answer is still bit-identical to a recomputation.
+
+:class:`QueryCache` stores ``(op, args) -> result`` entries stamped with the
+generation tuple they were computed under (plus an optional wall-clock TTL
+as a belt-and-braces bound for callers that mutate pools out of band).  A
+lookup whose stored generations differ from the fleet's current generations
+counts as an *invalidation* and evicts the entry; bounded capacity evicts
+least-recently-used entries.  Hit/miss/invalidation/expiration/eviction
+counts report into a :class:`repro.obs.MetricsRegistry` (``querycache.*``)
+and are mirrored as plain integers for registry-less callers.
+
+The cache never recomputes anything itself — engines consult it inside
+their query methods (``ShardedEngine(query_cache=...)``), and the serve
+daemon keeps one per tenant so repeated dashboard queries between ingest
+batches are served without touching the pools.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from ..exceptions import ConfigurationError
+from ..obs import get_registry
+
+__all__ = ["QueryCache"]
+
+
+class QueryCache:
+    """A bounded, generation-invalidated, optionally-TTL'd result cache.
+
+    Parameters
+    ----------
+    max_entries:
+        Capacity bound; storing beyond it evicts least-recently-used
+        entries.
+    ttl:
+        Optional wall-clock lifetime (seconds) per entry.  Generations are
+        the primary invalidation signal; the TTL exists for deployments
+        that want a hard staleness ceiling regardless of ingest activity.
+        ``None`` (default) disables it.
+    clock:
+        Time source for the TTL (monotonic by default; injectable for
+        tests).
+    registry:
+        A :class:`repro.obs.MetricsRegistry` receiving the
+        ``querycache.hits`` / ``.misses`` / ``.invalidations`` /
+        ``.expirations`` / ``.evictions`` counters.  Defaults to the
+        process-wide registry (a no-op unless :func:`repro.obs.enable`
+        ran).
+
+    Thread-safety: all operations take an internal lock, so one cache may
+    be shared by an engine and a serving layer on different threads.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_entries: int = 1024,
+        ttl: Optional[float] = None,
+        clock: Callable[[], float] = time.monotonic,
+        registry: Optional[Any] = None,
+    ) -> None:
+        if max_entries <= 0:
+            raise ConfigurationError("max_entries must be positive")
+        if ttl is not None and ttl <= 0:
+            raise ConfigurationError("ttl must be positive (or None to disable)")
+        self._max_entries = int(max_entries)
+        self._ttl = None if ttl is None else float(ttl)
+        self._clock = clock
+        self._lock = threading.Lock()
+        #: key -> (generations, expires_at_or_None, value); OrderedDict
+        #: recency order implements the LRU bound.
+        self._entries: "OrderedDict[Any, Tuple[Tuple[int, ...], Optional[float], Any]]"
+        self._entries = OrderedDict()
+        obs = registry if registry is not None else get_registry()
+        self._m_hits = obs.counter("querycache.hits")
+        self._m_misses = obs.counter("querycache.misses")
+        self._m_invalidations = obs.counter("querycache.invalidations")
+        self._m_expirations = obs.counter("querycache.expirations")
+        self._m_evictions = obs.counter("querycache.evictions")
+        # Plain mirrors so stats() works on the null registry too.
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+        self.expirations = 0
+        self.evictions = 0
+
+    # -- core protocol -------------------------------------------------------
+
+    def lookup(self, key: Any, generations: Tuple[int, ...]) -> Tuple[bool, Any]:
+        """``(True, value)`` when ``key`` is cached *and* its stored
+        generation tuple equals ``generations`` (and its TTL, if any, has
+        not lapsed); ``(False, None)`` otherwise.  A generation mismatch
+        evicts the entry and counts as an invalidation; a lapsed TTL evicts
+        and counts as an expiration; both then count as the miss they are.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                stored, expires_at, value = entry
+                if expires_at is not None and self._clock() >= expires_at:
+                    del self._entries[key]
+                    self.expirations += 1
+                    self._m_expirations.inc()
+                elif stored != tuple(generations):
+                    del self._entries[key]
+                    self.invalidations += 1
+                    self._m_invalidations.inc()
+                else:
+                    self._entries.move_to_end(key)
+                    self.hits += 1
+                    self._m_hits.inc()
+                    return True, value
+            self.misses += 1
+            self._m_misses.inc()
+            return False, None
+
+    def store(self, key: Any, generations: Tuple[int, ...], value: Any) -> None:
+        """Record ``value`` as the answer for ``key`` under ``generations``."""
+        with self._lock:
+            expires_at = None if self._ttl is None else self._clock() + self._ttl
+            self._entries[key] = (tuple(generations), expires_at, value)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self._max_entries:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+                self._m_evictions.inc()
+
+    # -- maintenance ---------------------------------------------------------
+
+    def clear(self) -> None:
+        """Drop every entry (counters are cumulative and survive)."""
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> Dict[str, int]:
+        """Cumulative counters plus the current entry count, as plain ints
+        (available even on the null registry)."""
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+                "invalidations": self.invalidations,
+                "expirations": self.expirations,
+                "evictions": self.evictions,
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"QueryCache(entries={len(self)}, max_entries={self._max_entries}, "
+            f"ttl={self._ttl}, hits={self.hits}, misses={self.misses})"
+        )

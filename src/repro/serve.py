@@ -26,6 +26,22 @@ Surface
   :func:`~repro.obs.to_prometheus_text` plus every tenant's fleet-merged
   engine snapshot via :func:`~repro.obs.labeled_prometheus_text`, one
   ``tenant="..."`` label per namespace).
+* **Batched queries** — ``POST /v1/<tenant>/query`` with a JSON body
+  ``{"ops": [{"op": "sample", "key": ...}, {"op": "hottest", "top": 5},
+  ...]}`` resolves the whole list through the engine's
+  :meth:`~repro.engine.ShardedEngine.query_batch` in one engine-thread trip
+  (one request/reply round per worker on a :class:`ProcessEngine` fleet).
+  Each op yields ``{"ok": true, ...}`` or ``{"ok": false, "error": ...}``
+  independently — one missing key never fails the batch.
+* **Result caching** — every tenant engine gets a
+  :class:`~repro.engine.QueryCache` stamped with per-shard generations, so
+  repeated dashboard queries between ingest batches are cache hits
+  (``querycache.*`` counters surface per tenant in ``/metrics``).
+* **Continuous queries** — ``POST /v1/<tenant>/subscribe`` registers a
+  standing query (typically ``hottest`` or ``frequent``) plus an
+  ``interval``; the response streams JSONL deltas (close-delimited, no
+  Content-Length) whenever the re-evaluated answer changes, with a final
+  ``{"event": "end"}`` line when the daemon drains on SIGTERM.
 * **Multi-tenant namespaces** — one engine recipe instantiated per tenant
   name, each with an isolated :class:`~repro.obs.MetricsRegistry` and its own
   single-thread executor, so tenants cannot observe each other's state.
@@ -55,10 +71,12 @@ from __future__ import annotations
 import asyncio
 import io
 import json
+import math
 import os
 import signal
 import sys
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
@@ -67,6 +85,7 @@ from urllib.parse import parse_qs, urlsplit
 from .engine import (
     ParallelEngine,
     ProcessEngine,
+    QueryCache,
     SamplerSpec,
     ShardedEngine,
     checkpoint_shards,
@@ -95,6 +114,16 @@ DEFAULT_MAX_PENDING_RECORDS = 100_000
 #: Largest accepted HTTP body; a JSONL batch bigger than this should be
 #: split by the client (or streamed over the raw socket instead).
 DEFAULT_MAX_BODY_BYTES = 64 * 1024 * 1024
+
+#: ``Retry-After`` clamp for 429 responses: never tell a client to come back
+#: sooner than 1s, never make it sit out longer than 30s even when the drain
+#: estimate says the backlog needs minutes.
+RETRY_AFTER_MIN_SECONDS = 1
+RETRY_AFTER_MAX_SECONDS = 30
+
+#: Default re-evaluation interval (seconds) for ``/subscribe`` standing
+#: queries when the request does not name one.
+DEFAULT_SUBSCRIBE_INTERVAL = 1.0
 
 _HTTP_REASONS = {
     200: "OK",
@@ -245,8 +274,14 @@ class _Tenant:
         self._executor = ThreadPoolExecutor(
             max_workers=1, thread_name_prefix=f"swsample-serve-{name}"
         )
+        # EWMA of the engine's drain throughput (records/second), fed by
+        # batch completions; drives the 429 Retry-After estimate.  Zero
+        # until the first batch settles — i.e. "no evidence it drains".
+        self._drain_rate = 0.0
+        self._last_settled: Optional[float] = None
         self._accepted = registry.counter("serve.ingest.accepted.records")
         self._rejected = registry.counter("serve.ingest.rejected.batches")
+        self.checkpoint_failures = registry.counter("serve.checkpoint.failures")
         registry.register_callback("serve.pending.records", lambda: self.pending_records)
 
     # -- ingest ----------------------------------------------------------------
@@ -271,6 +306,7 @@ class _Tenant:
 
         def _settled(done: "asyncio.Future[int]", estimate: int = estimate) -> None:
             self.pending_records -= estimate
+            self._observe_drain(estimate)
             if not done.cancelled() and done.exception() is None:
                 count = done.result()
                 self.ingested_records += count
@@ -282,6 +318,34 @@ class _Tenant:
 
         future.add_done_callback(_settled)
         return future
+
+    def _observe_drain(self, records: int) -> None:
+        """Fold one settled batch into the drain-rate EWMA.
+
+        A batch that settles counts as drained regardless of outcome — a
+        failed parse also leaves the backlog.  Runs on the event loop (done
+        callbacks), so no lock.
+        """
+        now = time.monotonic()
+        if self._last_settled is not None:
+            elapsed = now - self._last_settled
+            if elapsed > 0:
+                rate = records / elapsed
+                if self._drain_rate > 0:
+                    self._drain_rate = 0.7 * self._drain_rate + 0.3 * rate
+                else:
+                    self._drain_rate = rate
+        self._last_settled = now
+
+    def retry_after(self) -> int:
+        """Seconds a 429'd client should wait: backlog over observed drain
+        rate, clamped to [1, 30].  A tenant with no drain evidence yet — a
+        stalled engine, or a first oversized burst — gets the upper clamp
+        rather than an optimistic ``1``."""
+        if self._drain_rate <= 0:
+            return RETRY_AFTER_MAX_SECONDS
+        estimate = math.ceil(self.pending_records / self._drain_rate)
+        return max(RETRY_AFTER_MIN_SECONDS, min(RETRY_AFTER_MAX_SECONDS, estimate))
 
     async def admit(self, text: str) -> "asyncio.Future[int]":
         """Blocking admission for the raw-socket path: wait for the backlog
@@ -348,6 +412,82 @@ def _parse_key(raw: str) -> Any:
     return freeze_key(document)
 
 
+#: Sentinel for "the standing query has not produced a first answer yet" —
+#: distinct from every real outcome, so the first evaluation always pushes.
+_UNEVALUATED = object()
+
+
+def _json_document(body: bytes) -> Any:
+    try:
+        return json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as error:
+        raise _HttpError(400, f"body is not valid JSON: {error}") from None
+
+
+def _query_op_from_json(document: Any) -> Tuple[Any, ...]:
+    """One wire-format op document → the engine's canonical op tuple.
+
+    ``{"op": "sample", "key": K}`` / ``{"op": "contains", "key": K}`` /
+    ``{"op": "hottest", "top": N}`` / ``{"op": "frequent", "threshold": T,
+    "top": N?}`` / ``{"op": "moments", "order": P}`` / ``{"op": "stats"}``.
+    Keys are frozen exactly like ingest keys (JSON arrays become tuples).
+    Argument *values* are validated engine-side; this only maps shapes.
+    """
+    if not isinstance(document, dict) or not isinstance(document.get("op"), str):
+        raise ConfigurationError(
+            f'each op must be an object with an "op" name, got {document!r}'
+        )
+    kind = document["op"]
+    if kind in ("sample", "contains"):
+        if "key" not in document:
+            raise ConfigurationError(f'{kind!r} needs a "key"')
+        return (kind, freeze_key(document["key"]))
+    if kind == "hottest":
+        return ("hottest", document.get("top", 10))
+    if kind == "frequent":
+        return ("frequent", document.get("threshold", 0.01), document.get("top"))
+    if kind == "moments":
+        return ("moments", document.get("order", 2.0))
+    if kind == "stats":
+        return ("stats",)
+    raise ConfigurationError(f"unknown query op {kind!r}")
+
+
+def _query_outcome_payload(op: Tuple[Any, ...], outcome: Tuple[Any, ...]) -> Dict[str, Any]:
+    """One ``query_batch`` outcome → its JSON wire shape, mirroring the
+    scalar endpoints' payloads (samples as element objects, hottest as
+    key/arrivals pairs, ...)."""
+    if outcome[0] == "error":
+        return {"ok": False, "error": outcome[1], "message": outcome[2]}
+    value = outcome[1]
+    kind = op[0]
+    if kind == "sample":
+        return {"ok": True, "sample": [_element_payload(element) for element in value]}
+    if kind == "contains":
+        return {"ok": True, "contains": bool(value)}
+    if kind == "hottest":
+        return {
+            "ok": True,
+            "hottest": [{"key": key, "arrivals": arrivals} for key, arrivals in value],
+        }
+    if kind == "frequent":
+        return {
+            "ok": True,
+            "frequent": [
+                {"value": item, "frequency": frequency} for item, frequency in value
+            ],
+        }
+    if kind == "moments":
+        return {
+            "ok": True,
+            "moments": [
+                {"key": key, "moment": moment}
+                for key, moment in sorted(value.items(), key=lambda item: repr(item[0]))
+            ],
+        }
+    return {"ok": True, "stats": value}
+
+
 class ServeApp:
     """The daemon: tenants, listeners, lifecycle.  See the module docstring.
 
@@ -369,10 +509,13 @@ class ServeApp:
         self._checkpoint_task: Optional[asyncio.Task] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._stop_event: Optional[asyncio.Event] = None
+        self._subs_stop: Optional[asyncio.Event] = None
         self._shutdown_started = False
         self._http_requests = self._registry.counter("serve.http.requests")
         self._http_errors = self._registry.counter("serve.http.errors")
         self._socket_conns = self._registry.counter("serve.socket.connections")
+        self._sub_conns = self._registry.counter("serve.subscribe.connections")
+        self._sub_deltas = self._registry.counter("serve.subscribe.deltas")
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -383,6 +526,7 @@ class ServeApp:
         config = self.config
         self._loop = asyncio.get_running_loop()
         self._stop_event = asyncio.Event()
+        self._subs_stop = asyncio.Event()
         if config.checkpoint_dir:
             os.makedirs(config.checkpoint_dir, exist_ok=True)
         for name in config.tenants:
@@ -399,6 +543,13 @@ class ServeApp:
                     engine = config.engine.resume(checkpoint_path, registry)
                 else:
                     engine = config.engine.build(registry)
+            # Every tenant queries through a generation-invalidated result
+            # cache: repeated dashboard hits between ingest batches never
+            # touch the pools, and the hit/miss counters land in this
+            # tenant's registry (visible under /metrics).  Factory-built
+            # stubs without the property simply go uncached.
+            if hasattr(type(engine), "query_cache") and engine.query_cache is None:
+                engine.query_cache = QueryCache(registry=registry)
             self._tenants[name] = _Tenant(
                 name,
                 engine,
@@ -446,20 +597,30 @@ class ServeApp:
         os.replace(tmp, path)
 
     async def _checkpoint_periodically(self) -> None:
+        """The periodic-checkpoint loop.  Deliberately unkillable short of
+        cancellation: *any* per-tenant failure — transient
+        ``CheckpointError``, full disk, even a bug in the checkpoint layer —
+        is logged, counted in that tenant's registry
+        (``serve.checkpoint.failures``), and survived.  A loop that dies
+        silently means no further checkpoints with no signal, which is the
+        one unacceptable outcome."""
         assert self.config.checkpoint_interval is not None
         while True:
             await asyncio.sleep(self.config.checkpoint_interval)
             for name, tenant in self._tenants.items():
                 path = self._tenant_checkpoint_path(name)
-                if path is None:
-                    return
+                if path is None:  # pragma: no cover - task only starts with a dir
+                    continue
                 try:
                     await tenant.drain()
                     await tenant.checkpoint(path)
-                except (SWSampleError, OSError) as error:
+                except asyncio.CancelledError:
+                    raise
+                except Exception as error:  # noqa: BLE001 - loop must stay alive
+                    tenant.checkpoint_failures.inc()
                     print(
                         f"warning: periodic checkpoint for tenant {name!r}"
-                        f" failed: {error}",
+                        f" failed: {type(error).__name__}: {error}",
                         file=sys.stderr,
                     )
 
@@ -487,6 +648,11 @@ class ServeApp:
             if server is not None:
                 server.close()
                 await server.wait_closed()
+        # Release standing subscriptions *before* waiting on connection
+        # tasks: each subscriber writes its final "end" line and closes, so
+        # the wait below is a real drain rather than a timeout.
+        if self._subs_stop is not None:
+            self._subs_stop.set()
         if self._conn_tasks:
             _, pending = await asyncio.wait(
                 list(self._conn_tasks), timeout=self.config.drain_timeout
@@ -612,6 +778,14 @@ class ServeApp:
             if request is None:
                 return
             method, target, body = request
+            subscribe = self._subscribe_target(target)
+            if subscribe is not None:
+                # Streaming response: headers + JSONL deltas until shutdown
+                # or disconnect, delimited by connection close (no
+                # Content-Length).  Setup errors (_HttpError) raised before
+                # the status line fall through to the normal error path.
+                await self._handle_subscribe(method, subscribe, body, writer)
+                return
             status, content_type, payload, headers = await self._route(method, target, body)
         except _HttpError as error:
             self._http_errors.inc()
@@ -709,6 +883,9 @@ class ServeApp:
             if action == "ingest":
                 _require(method, "POST")
                 return await self._ingest_response(tenant, body)
+            if action == "query":
+                _require(method, "POST")
+                return await self._query_response(tenant, body)
             if action == "checkpoint":
                 _require(method, "POST")
                 return await self._checkpoint_response(tenant)
@@ -762,7 +939,7 @@ class ServeApp:
                 429,
                 f"tenant {tenant.name!r} has {tenant.pending_records} records pending"
                 f" (limit {self.config.max_pending_records}); retry later",
-                headers=(("Retry-After", "1"),),
+                headers=(("Retry-After", str(tenant.retry_after())),),
             )
         try:
             ingested = await future
@@ -771,6 +948,121 @@ class ServeApp:
         except WorkerFailure as error:
             raise _HttpError(503, str(error)) from None
         return _json_response(200, {"tenant": tenant.name, "ingested": ingested})
+
+    async def _query_response(
+        self, tenant: _Tenant, body: bytes
+    ) -> Tuple[int, str, bytes, Sequence[Tuple[str, str]]]:
+        """``POST /v1/<tenant>/query``: a multi-op batch in one engine trip.
+
+        Body: ``{"ops": [...]}`` (or a bare JSON array of ops).  Shape
+        errors fail the whole request with 400 — batches are all-or-nothing
+        on shape — while per-op *runtime* failures (missing key, empty
+        window) come back inline as ``{"ok": false, ...}`` results.
+        """
+        document = _json_document(body)
+        ops_json = document.get("ops") if isinstance(document, dict) else document
+        if not isinstance(ops_json, list) or not ops_json:
+            raise _HttpError(400, 'query body needs a non-empty "ops" array')
+        try:
+            ops = [_query_op_from_json(item) for item in ops_json]
+        except ConfigurationError as error:
+            raise _HttpError(400, str(error)) from None
+        try:
+            outcomes = await tenant.query(tenant.engine.query_batch, ops)
+        except ConfigurationError as error:
+            raise _HttpError(400, str(error)) from None
+        except WorkerFailure as error:
+            raise _HttpError(503, str(error)) from None
+        results = [
+            _query_outcome_payload(op, outcome)
+            for op, outcome in zip(ops, outcomes)
+        ]
+        return _json_response(200, {"tenant": tenant.name, "results": results})
+
+    def _subscribe_target(self, target: str) -> Optional[str]:
+        """The tenant name when ``target`` is ``/v1/<tenant>/subscribe``."""
+        segments = [seg for seg in urlsplit(target).path.split("/") if seg]
+        if len(segments) == 3 and segments[0] == "v1" and segments[2] == "subscribe":
+            return segments[1]
+        return None
+
+    async def _handle_subscribe(
+        self,
+        method: str,
+        tenant_name: str,
+        body: bytes,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        """``POST /v1/<tenant>/subscribe``: a standing query pushed as JSONL.
+
+        Body: one op document (same vocabulary as ``/query``) plus an
+        optional ``"interval"`` in seconds.  The first evaluation always
+        pushes a snapshot delta; afterwards a line is pushed only when the
+        re-evaluated answer *changes* — between ingest batches every
+        re-evaluation is a pure cache hit.  The stream ends with an
+        ``{"event": "end"}`` line on daemon shutdown (or silently when the
+        consumer disconnects).  All validation happens before the status
+        line goes out, so setup failures still produce clean HTTP errors.
+        """
+        _require(method, "POST")
+        tenant = self._tenant_or_404(tenant_name)
+        document = _json_document(body)
+        if not isinstance(document, dict):
+            raise _HttpError(400, "subscribe body must be a JSON object")
+        interval = document.get("interval", DEFAULT_SUBSCRIBE_INTERVAL)
+        if not isinstance(interval, (int, float)) or not interval > 0:
+            raise _HttpError(400, f"interval must be a positive number, got {interval!r}")
+        interval = float(interval)
+        try:
+            op = _query_op_from_json(document)
+            # Validate shape now (coordinator-side, no pool access) so a
+            # malformed op is a 400, not a mid-stream error line.
+            tenant.engine._normalize_query_op(op)
+        except ConfigurationError as error:
+            raise _HttpError(400, str(error)) from None
+        except AttributeError:
+            raise _HttpError(503, "tenant engine does not support batched queries") from None
+        self._sub_conns.inc()
+        writer.write(
+            b"HTTP/1.1 200 OK\r\n"
+            b"Content-Type: application/x-ndjson\r\n"
+            b"Cache-Control: no-store\r\n"
+            b"Connection: close\r\n\r\n"
+        )
+        await writer.drain()
+        stop = self._subs_stop
+        assert stop is not None
+        seq = 0
+        last: Any = _UNEVALUATED
+        while not stop.is_set() and not writer.is_closing():
+            try:
+                outcome = (await tenant.query(tenant.engine.query_batch, [op]))[0]
+            except SWSampleError as error:
+                # A sticky fleet failure ends the stream with an error line;
+                # the consumer re-subscribes once the daemon is healthy.
+                writer.write(_json_body({"event": "error", "error": str(error)}))
+                await writer.drain()
+                return
+            if outcome != last:
+                last = outcome
+                seq += 1
+                self._sub_deltas.inc()
+                writer.write(
+                    _json_body(
+                        {
+                            "seq": seq,
+                            "tenant": tenant.name,
+                            "result": _query_outcome_payload(op, outcome),
+                        }
+                    )
+                )
+                await writer.drain()
+            try:
+                await asyncio.wait_for(stop.wait(), timeout=interval)
+            except asyncio.TimeoutError:
+                pass
+        writer.write(_json_body({"event": "end", "deltas": seq}))
+        await writer.drain()
 
     async def _checkpoint_response(
         self, tenant: _Tenant

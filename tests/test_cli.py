@@ -393,6 +393,61 @@ class TestEngineStreamingAndWorkers:
         assert "requires --algorithm optimal" in capsys.readouterr().err
         assert threading.active_count() == before  # worker threads joined
 
+    def test_engine_query_file_resolves_a_batch(self, capsys, tmp_path):
+        stream = tmp_path / "records.jsonl"
+        stream.write_text(
+            "\n".join(json.dumps({"key": f"u{i % 5}", "value": i}) for i in range(300))
+        )
+        ops = tmp_path / "ops.jsonl"
+        ops.write_text(
+            "# standing report, one fleet pass\n"
+            '{"op": "hottest", "top": 3}\n'
+            "\n"
+            '{"op": "contains", "key": "u1"}\n'
+            '{"op": "sample", "key": "never-seen"}\n'
+            '{"op": "stats"}\n'
+        )
+        assert main(["engine", "--input", str(stream), "--workers", "2",
+                     "--query-file", str(ops)]) == 0
+        output = capsys.readouterr().out
+        assert "query batch     : 4 ops, one fleet pass" in output
+        lines = [json.loads(line) for line in output.splitlines()
+                 if line.startswith("{")]
+        assert len(lines) == 4
+        hottest, contains, missing, stats = lines
+        assert hottest["ok"] and len(hottest["hottest"]) == 3
+        assert contains == {"op": "contains", "ok": True, "contains": True}
+        # A missing key is an inline per-op error, not a dead batch.
+        assert missing["ok"] is False and missing["error"] == "KeyError"
+        assert stats["ok"] and stats["stats"]["arrivals"] == 300
+
+    def test_engine_query_file_cannot_share_stdin_and_reports_missing_files(
+        self, capsys, monkeypatch
+    ):
+        monkeypatch.setattr(sys, "stdin", io.StringIO('["a", 1]\n'))
+        assert main(["engine", "--input", "-", "--query-file", "-"]) == 2
+        assert "cannot share stdin" in capsys.readouterr().err
+        assert main(["engine", "--records", "50", "--keys", "3",
+                     "--query-file", "/nonexistent/ops.jsonl"]) == 2
+        assert "cannot read --query-file" in capsys.readouterr().err
+
+    def test_engine_query_file_bad_ops_are_friendly_errors(self, capsys, tmp_path):
+        bad_json = tmp_path / "bad.jsonl"
+        bad_json.write_text('{"op": "stats"}\n{broken\n')
+        assert main(["engine", "--records", "50", "--keys", "3",
+                     "--query-file", str(bad_json)]) == 2
+        assert "line 2 is not JSON" in capsys.readouterr().err
+        bad_op = tmp_path / "badop.jsonl"
+        bad_op.write_text('{"op": "wibble"}\n')
+        assert main(["engine", "--records", "50", "--keys", "3",
+                     "--query-file", str(bad_op)]) == 2
+        assert "bad query op" in capsys.readouterr().err
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("# nothing here\n\n")
+        assert main(["engine", "--records", "50", "--keys", "3",
+                     "--query-file", str(empty)]) == 2
+        assert "contains no ops" in capsys.readouterr().err
+
 
 class TestEngineObservability:
     def teardown_method(self):

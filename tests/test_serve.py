@@ -283,7 +283,9 @@ class TestBackpressure:
                 port, "/v1/default/ingest", keyed_lines("b", 25)
             )
             assert status == 429
-            assert headers["Retry-After"] == "1"
+            # A stalled engine has produced no drain evidence, so the header
+            # is the conservative upper clamp — not an optimistic "1".
+            assert headers["Retry-After"] == "30"
             assert "retry" in body["error"]
 
             engines["default"].release.set()
@@ -392,6 +394,272 @@ class TestCheckpointing:
             _, stats, _ = http_get(server.http_port, "/v1/default/stats")
         assert after["sample"] == before["sample"]
         assert stats["arrivals"] == 80
+
+
+class TestBatchedQuery:
+    def test_multi_op_batch_matches_scalar_endpoints(self):
+        with ServeThread(serve_config()) as server:
+            port = server.http_port
+            http_post(port, "/v1/default/ingest", keyed_lines("u", 200))
+            ops = {
+                "ops": [
+                    {"op": "sample", "key": "u-1"},
+                    {"op": "contains", "key": "u-2"},
+                    {"op": "contains", "key": "ghost"},
+                    {"op": "hottest", "top": 3},
+                    {"op": "frequent", "threshold": 0.001, "top": 5},
+                    {"op": "stats"},
+                    {"op": "sample", "key": "ghost"},
+                ]
+            }
+            status, reply, _ = http_post(port, "/v1/default/query", json.dumps(ops))
+            assert status == 200
+            results = reply["results"]
+            assert [r["ok"] for r in results] == [
+                True, True, True, True, True, True, False,
+            ]
+            # Each batched result equals its scalar endpoint's payload.
+            _, sample, _ = http_get(port, "/v1/default/sample?key=%22u-1%22")
+            assert results[0]["sample"] == sample["sample"]
+            assert results[1]["contains"] is True
+            assert results[2]["contains"] is False
+            _, hottest, _ = http_get(port, "/v1/default/hottest?top=3")
+            assert results[3]["hottest"] == hottest["hottest"]
+            _, frequent, _ = http_get(port, "/v1/default/frequent?threshold=0.001&top=5")
+            assert results[4]["frequent"] == frequent["frequent"]
+            _, stats, _ = http_get(port, "/v1/default/stats")
+            assert results[5]["stats"]["arrivals"] == stats["arrivals"]
+            # The missing key fails its own op only, not the batch.
+            assert results[6]["error"] == "KeyError"
+
+    def test_shape_errors_fail_the_whole_batch(self):
+        with ServeThread(serve_config()) as server:
+            port = server.http_port
+            for body in (
+                "not json",
+                json.dumps({"ops": []}),
+                json.dumps({"ops": "nope"}),
+                json.dumps({"ops": [{"no-op": 1}]}),
+                json.dumps({"ops": [{"op": "wibble"}]}),
+                json.dumps({"ops": [{"op": "sample"}]}),
+                json.dumps({"ops": [{"op": "hottest", "top": 0}]}),
+            ):
+                status, reply, _ = http_post(port, "/v1/default/query", body)
+                assert status == 400, body
+            status, _, _ = http_get(port, "/v1/default/query")
+            assert status == 405
+
+    def test_repeated_query_is_served_from_cache(self):
+        with ServeThread(serve_config()) as server:
+            port = server.http_port
+            http_post(port, "/v1/default/ingest", keyed_lines("u", 100))
+            ops = json.dumps({"ops": [{"op": "hottest", "top": 3}, {"op": "stats"}]})
+
+            def cache_counters():
+                with urllib.request.urlopen(
+                    f"http://127.0.0.1:{port}/metrics", timeout=30
+                ) as response:
+                    text = response.read().decode()
+                parsed = parse_prometheus_text(text)
+                return {
+                    name: value
+                    for name, labels, value in parsed["samples"]
+                    if name.startswith("swsample_querycache") and labels.get("tenant") == "default"
+                }
+
+            first = http_post(port, "/v1/default/query", ops)
+            assert first[0] == 200
+            before = cache_counters()
+            assert before["swsample_querycache_misses"] >= 2
+            second = http_post(port, "/v1/default/query", ops)
+            assert second[0] == 200
+            assert second[1] == first[1]  # bit-identical payload
+            after = cache_counters()
+            assert after["swsample_querycache_hits"] >= before.get(
+                "swsample_querycache_hits", 0
+            ) + 2
+            # New ingest moves shard generations: the cached answers die.
+            http_post(port, "/v1/default/ingest", keyed_lines("u", 10))
+            third = http_post(port, "/v1/default/query", ops)
+            assert third[0] == 200
+            final = cache_counters()
+            assert final["swsample_querycache_invalidations"] >= 1
+
+
+class TestSubscribe:
+    def _subscribe_raw(self, port, body, collected, connected):
+        conn = socket.create_connection(("127.0.0.1", port), timeout=60)
+        payload = body.encode()
+        conn.sendall(
+            (
+                f"POST /v1/default/subscribe HTTP/1.1\r\nHost: t\r\n"
+                f"Content-Length: {len(payload)}\r\n\r\n"
+            ).encode()
+            + payload
+        )
+        data = b""
+        while b"\r\n\r\n" not in data:
+            data += conn.recv(65536)
+        head, _, rest = data.partition(b"\r\n\r\n")
+        collected.append(head.decode().split("\r\n")[0])
+        connected.set()
+        buffer = rest
+        while True:
+            while b"\n" in buffer:
+                line, _, buffer = buffer.partition(b"\n")
+                if line.strip():
+                    collected.append(line.decode())
+            chunk = conn.recv(65536)
+            if not chunk:
+                break
+            buffer += chunk
+        conn.close()
+        if buffer.strip():
+            collected.append(buffer.decode().strip())
+
+    def test_snapshot_change_deltas_and_clean_end(self):
+        with ServeThread(serve_config()) as server:
+            port = server.http_port
+            http_post(port, "/v1/default/ingest", keyed_lines("u", 50))
+            collected, connected = [], threading.Event()
+            body = json.dumps({"op": "hottest", "top": 2, "interval": 0.05})
+            reader = threading.Thread(
+                target=self._subscribe_raw, args=(port, body, collected, connected)
+            )
+            reader.start()
+            assert connected.wait(timeout=30)
+            # Let the first evaluation land, then change the answer.
+            deadline = time.time() + 30
+            while time.time() < deadline and not collected[1:]:
+                time.sleep(0.02)
+            hot = jsonl([{"key": "blazing", "value": 1} for _ in range(200)])
+            http_post(port, "/v1/default/ingest", hot)
+            deadline = time.time() + 30
+            while time.time() < deadline and len(collected) < 3:
+                time.sleep(0.02)
+        reader.join(timeout=30)
+        assert not reader.is_alive()
+        assert collected[0].startswith("HTTP/1.1 200")
+        lines = [json.loads(line) for line in collected[1:]]
+        deltas = [line for line in lines if "seq" in line]
+        assert len(deltas) >= 2
+        assert deltas[0]["seq"] == 1
+        assert deltas[0]["result"]["ok"] is True
+        # The ingest burst changed the top-2: a change delta was pushed.
+        assert any(
+            entry["key"] == "blazing"
+            for delta in deltas[1:]
+            for entry in delta["result"]["hottest"]
+        )
+        # Shutdown closed the stream with the end line, not a cut socket.
+        assert lines[-1]["event"] == "end"
+        assert lines[-1]["deltas"] == deltas[-1]["seq"]
+
+    def test_subscribe_validation_is_plain_http(self):
+        with ServeThread(serve_config()) as server:
+            port = server.http_port
+            for body in (
+                "not json",
+                json.dumps(["not", "an", "object"]),
+                json.dumps({"op": "wibble"}),
+                json.dumps({"op": "hottest", "top": 2, "interval": 0}),
+                json.dumps({"op": "hottest", "top": 2, "interval": "fast"}),
+            ):
+                status, reply, _ = http_post(port, "/v1/default/subscribe", body)
+                assert status == 400, body
+            status, _, _ = http_get(port, "/v1/ghost/subscribe")
+            assert status in (404, 405)
+
+
+class TestRetryAfterEstimate:
+    def test_clamped_backlog_over_drain_rate(self):
+        with ServeThread(serve_config()) as server:
+            tenant = server.app._tenants["default"]
+            # No drain evidence yet: the conservative upper clamp.
+            assert tenant.retry_after() == 30
+            # 1000 pending at 100 rec/s -> 10s, inside the clamp.
+            tenant._drain_rate = 100.0
+            tenant.pending_records = 1000
+            assert tenant.retry_after() == 10
+            # Fast drain: never below 1s.
+            tenant._drain_rate = 1e9
+            assert tenant.retry_after() == 1
+            # Glacial drain: never above 30s.
+            tenant._drain_rate = 0.001
+            assert tenant.retry_after() == 30
+            tenant.pending_records = 0
+
+    def test_drain_rate_learned_from_settled_batches(self):
+        with ServeThread(serve_config()) as server:
+            port = server.http_port
+            for _ in range(5):
+                http_post(port, "/v1/default/ingest", keyed_lines("u", 100))
+            tenant = server.app._tenants["default"]
+            assert tenant._drain_rate > 0
+
+
+class _FlakyCheckpointEngine(ShardedEngine):
+    """Checkpoint attempts fail (injected OSError) while ``failing`` is set;
+    every attempt is counted so the test can see the loop still running."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.failing = threading.Event()
+        self.attempts = 0
+
+    def _checkpoint_guard(self):
+        self.attempts += 1
+        if self.failing.is_set():
+            raise OSError("disk full (injected)")
+        return super()._checkpoint_guard()
+
+
+class TestCheckpointLoopResilience:
+    def test_failing_periodic_checkpoint_keeps_the_loop_alive(self, tmp_path, capfd):
+        engines = {}
+
+        def factory(name, registry):
+            engines[name] = _FlakyCheckpointEngine(
+                SPEC, shards=2, seed=5, registry=registry
+            )
+            return engines[name]
+
+        config = serve_config(
+            checkpoint_dir=str(tmp_path / "ckpt"),
+            checkpoint_interval=0.05,
+            engine_factory=factory,
+        )
+        with ServeThread(config) as server:
+            engine = engines["default"]
+            engine.failing.set()
+            # Several failing rounds: were the task dead, attempts would stop.
+            deadline = time.time() + 30
+            while time.time() < deadline and engine.attempts < 3:
+                time.sleep(0.02)
+            assert engine.attempts >= 3
+            # The failures are counted in the tenant's registry (/metrics).
+            with urllib.request.urlopen(
+                f"http://127.0.0.1:{server.http_port}/metrics", timeout=30
+            ) as response:
+                text = response.read().decode()
+            parsed = parse_prometheus_text(text)
+            failures = [
+                value
+                for name, labels, value in parsed["samples"]
+                if name == "swsample_serve_checkpoint_failures"
+                and labels.get("tenant") == "default"
+            ]
+            assert failures and failures[0] >= 3
+            # Recovery: once writes succeed again, a checkpoint lands.
+            engine.failing.clear()
+            manifest = tmp_path / "ckpt" / "default" / "MANIFEST.json"
+            deadline = time.time() + 30
+            while time.time() < deadline and not manifest.exists():
+                time.sleep(0.02)
+            assert manifest.exists()
+        captured = capfd.readouterr()
+        assert "periodic checkpoint" in captured.err
+        assert "disk full (injected)" in captured.err
 
 
 def _wait_for_ready(path, process, deadline=60):
