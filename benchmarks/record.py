@@ -36,6 +36,14 @@ Usage::
 
     PYTHONPATH=src python benchmarks/record.py [--quick] [--out DIR]
                                                [--baseline DIR] [--tolerance PCT]
+                                               [--kernel python|numpy|auto]
+                                               [--cores N]
+
+``--kernel numpy`` (requires the ``[fast]`` extra) adds the vectorized-kernel
+rows: an E7 ``kernel`` timing per sampler family with the floor-guarded
+``speedup_numpy`` ratio, an E11 serial kernel row, and the process-engine
+apply-seconds split before/after the kernel.  ``--cores N`` appends an
+advisory multi-core process row (skipped with a note on smaller hosts).
 """
 
 from __future__ import annotations
@@ -69,6 +77,8 @@ from repro.engine import (  # noqa: E402
     encode_batch,
 )
 from repro.engine.engine import _unpack_record  # noqa: E402
+from repro.engine.kernels import HAS_NUMPY, resolve_kernel  # noqa: E402
+from repro.exceptions import ConfigurationError  # noqa: E402
 from repro.engine.transport import (  # noqa: E402
     HAS_SHARED_MEMORY,
     ShmRingReader,
@@ -84,7 +94,10 @@ from repro.streams.workloads import build_keyed_workload  # noqa: E402
 #: (bytes per record).  A three-element ``(dotted, "cap", ceiling)`` guard is
 #: baseline-independent: the fresh value must stay at or below the absolute
 #: ceiling regardless of what was committed (used for the metrics-enabled
-#: ingest overhead, which must never exceed 5%).
+#: ingest overhead, which must never exceed 5%).  ``(dotted, "floor", min)``
+#: is the cap's mirror for optional rows: the fresh value must be at or
+#: above the floor when present, and a ``null`` row (the optional path was
+#: inactive, e.g. the numpy kernel on a numpy-free host) skips the guard.
 GUARDED_METRICS: Dict[str, List[tuple]] = {
     "BENCH_E7.json": [
         ("seq-wr.speedup_batched", "min"),
@@ -98,6 +111,12 @@ GUARDED_METRICS: Dict[str, List[tuple]] = {
         ("ts-wr.speedup_fast", "min"),
         ("ts-wor.speedup_batched", "min"),
         ("ts-wor.speedup_fast", "min"),
+        # The vectorized-kernel acceptance floors (PR 9): the numpy kernel
+        # must beat the committed python fast path >= 2x on seq-WR and a
+        # timestamp sampler.  "floor" guards are baseline-independent and
+        # skipped when the row is null (the bench ran without the kernel).
+        ("seq-wr.speedup_numpy", "floor", 2.0),
+        ("ts-wr.speedup_numpy", "floor", 2.0),
     ],
     "BENCH_E11.json": [
         ("serial.speedup_batched", "min"),
@@ -149,17 +168,17 @@ def poisson_timestamps(length: int, seed: int = 0) -> List[float]:
 # -- E7: per-sampler ingest cost ---------------------------------------------
 
 
-def bench_e7(quick: bool) -> Dict[str, Any]:
+def bench_e7(quick: bool, kernel: str = "python") -> Dict[str, Any]:
     seq_length = 60_000 if quick else 200_000
     ts_length = 15_000 if quick else 40_000
     seq_values = list(range(seq_length))
     ts_values = list(range(ts_length))
     ts_stamps = poisson_timestamps(ts_length)
     cases = [
-        ("seq-wr", lambda fast: SequenceSamplerWR(n=1000, k=8, rng=1, fast=fast), seq_values, None),
-        ("seq-wor", lambda fast: SequenceSamplerWOR(n=1000, k=16, rng=1, fast=fast), seq_values, None),
-        ("ts-wr", lambda fast: TimestampSamplerWR(t0=1000.0, k=4, rng=1, fast=fast), ts_values, ts_stamps),
-        ("ts-wor", lambda fast: TimestampSamplerWOR(t0=1000.0, k=4, rng=1, fast=fast), ts_values, ts_stamps),
+        ("seq-wr", lambda fast, kernel="python": SequenceSamplerWR(n=1000, k=8, rng=1, fast=fast, kernel=kernel), seq_values, None),
+        ("seq-wor", lambda fast, kernel="python": SequenceSamplerWOR(n=1000, k=16, rng=1, fast=fast, kernel=kernel), seq_values, None),
+        ("ts-wr", lambda fast, kernel="python": TimestampSamplerWR(t0=1000.0, k=4, rng=1, fast=fast, kernel=kernel), ts_values, ts_stamps),
+        ("ts-wor", lambda fast, kernel="python": TimestampSamplerWOR(t0=1000.0, k=4, rng=1, fast=fast, kernel=kernel), ts_values, ts_stamps),
     ]
     results: Dict[str, Any] = {}
     for name, make, values, stamps in cases:
@@ -178,31 +197,49 @@ def bench_e7(quick: bool) -> Dict[str, Any]:
                         append(value, stamps[position])
             return run
 
-        def batch_action(fast, make=make, values=values, stamps=stamps):
-            sampler = make(fast)
+        def batch_action(fast, kernel="python", make=make, values=values, stamps=stamps):
+            sampler = make(fast, kernel)
             return lambda: sampler.process_batch(values, stamps)
 
-        best = timed_best_grouped({
+        setups = {
             "append": append_action,
             "batched": lambda: batch_action(False),
             "fast": lambda: batch_action(True),
-        })
+        }
+        if kernel == "numpy":
+            # The vectorized lane-batch kernel, timed over the *same*
+            # fast-path draws it replaces (fast=True is where the lanes are
+            # wide enough to vectorize; the default path stays bit-identical
+            # python by contract).
+            setups["kernel"] = lambda: batch_action(True, "numpy")
+        best = timed_best_grouped(setups)
         t_append, t_batched, t_fast = best["append"], best["batched"], best["fast"]
+        t_kernel = best.get("kernel")
         results[name] = {
             "elements": count,
             "append_kel_per_s": round(count / t_append / 1e3, 1),
             "batched_kel_per_s": round(count / t_batched / 1e3, 1),
             "fast_kel_per_s": round(count / t_fast / 1e3, 1),
+            "kernel_kel_per_s": round(count / t_kernel / 1e3, 1) if t_kernel else None,
             "speedup_batched": round(t_append / t_batched, 3),
             "speedup_fast": round(t_append / t_fast, 3),
+            # numpy-kernel fast path vs the committed python fast path —
+            # the PR 9 acceptance ratio (floor-guarded for seq-wr / ts-wr).
+            "speedup_numpy": round(t_fast / t_kernel, 3) if t_kernel else None,
         }
-        print(
+        line = (
             f"[E7] {name:<8} append {results[name]['append_kel_per_s']:>8.1f} kel/s"
             f" | batched {results[name]['batched_kel_per_s']:>8.1f}"
             f" ({results[name]['speedup_batched']:.2f}x)"
             f" | fast {results[name]['fast_kel_per_s']:>8.1f}"
             f" ({results[name]['speedup_fast']:.2f}x)"
         )
+        if t_kernel:
+            line += (
+                f" | kernel {results[name]['kernel_kel_per_s']:>8.1f}"
+                f" ({results[name]['speedup_numpy']:.2f}x over fast)"
+            )
+        print(line)
     return results
 
 
@@ -221,8 +258,8 @@ def e11_records(quick: bool) -> List[Any]:
     return warmup + bulk
 
 
-def e11_spec(fast: bool = False) -> SamplerSpec:
-    return SamplerSpec(window="sequence", n=256, k=4, replacement=True, fast=fast)
+def e11_spec(fast: bool = False, kernel: str = "python") -> SamplerSpec:
+    return SamplerSpec(window="sequence", n=256, k=4, replacement=True, fast=fast, kernel=kernel)
 
 
 def per_record_ingest(engine: ShardedEngine, records: List[Any]) -> None:
@@ -238,7 +275,7 @@ def per_record_ingest(engine: ShardedEngine, records: List[Any]) -> None:
 _OBS_SLICE = 32_768
 
 
-def bench_e11_serial(records: List[Any]) -> Dict[str, Any]:
+def bench_e11_serial(records: List[Any], kernel: str = "python") -> Dict[str, Any]:
     count = len(records)
     before = ShardedEngine(e11_spec(), shards=8, seed=3)
     t_before = timed(lambda: per_record_ingest(before, records))
@@ -248,20 +285,34 @@ def bench_e11_serial(records: List[Any]) -> Dict[str, Any]:
         raise AssertionError("batched ingest diverged from the per-record reference")
     fast = ShardedEngine(e11_spec(fast=True), shards=8, seed=3)
     t_fast = timed(lambda: fast.ingest(records))
+    t_kernel = None
+    if kernel == "numpy":
+        kern = ShardedEngine(e11_spec(fast=True, kernel="numpy"), shards=8, seed=3)
+        t_kernel = timed(lambda: kern.ingest(records))
     result = {
         "records": count,
         "keys": batched.key_count,
         "per_record_krps": round(count / t_before / 1e3, 1),
         "batched_krps": round(count / t_batched / 1e3, 1),
         "fast_krps": round(count / t_fast / 1e3, 1),
+        "kernel_krps": round(count / t_kernel / 1e3, 1) if t_kernel else None,
         "speedup_batched": round(t_before / t_batched, 3),
         "speedup_fast": round(t_before / t_fast, 3),
+        # Informational only (not guarded): the keyed-engine stream spreads
+        # records over ~10k samplers, so per-key lane batches are a few
+        # records wide and numpy's per-call overhead can eat the win
+        # entirely (<= 1x is normal here).  The guarded floors live in E7,
+        # where the lanes are wide enough to vectorize.
+        "speedup_numpy": round(t_fast / t_kernel, 3) if t_kernel else None,
     }
-    print(
+    line = (
         f"[E11] serial: per-record {result['per_record_krps']} krec/s"
         f" | batched {result['batched_krps']} krec/s ({result['speedup_batched']:.2f}x)"
         f" | fast {result['fast_krps']} krec/s ({result['speedup_fast']:.2f}x)"
     )
+    if t_kernel:
+        line += f" | kernel {result['kernel_krps']} krec/s ({result['speedup_numpy']:.2f}x over fast)"
+    print(line)
     return result
 
 
@@ -484,11 +535,20 @@ def bench_e11_transport_dispatch(records: List[Any], quick: bool) -> Dict[str, A
     return results
 
 
-def bench_e11_process(records: List[Any], quick: bool, transport: str = "columnar") -> Dict[str, Any]:
+def bench_e11_process(
+    records: List[Any],
+    quick: bool,
+    transport: str = "columnar",
+    fast: bool = False,
+    kernel: str = "python",
+    workers: int = 2,
+    embed_metrics: bool = True,
+) -> Dict[str, Any]:
     subset = records[: 60_000 if quick else 200_000]
     registry = MetricsRegistry()
     with ProcessEngine(
-        e11_spec(), shards=8, seed=3, workers=2, transport=transport, registry=registry
+        e11_spec(fast=fast, kernel=kernel), shards=8, seed=3, workers=workers,
+        transport=transport, registry=registry,
     ) as engine:
         elapsed = timed(lambda: (engine.ingest(subset), engine.flush()))
         report = engine.transport_report()
@@ -502,19 +562,78 @@ def bench_e11_process(records: List[Any], quick: bool, transport: str = "columna
         "transport": report["transport"],  # effective (shm may downgrade)
         "records": len(subset),
         "keys": keys,
-        "workers": 2,
+        "workers": workers,
         "cores": os.cpu_count() or 1,
+        "fast": fast,
+        "kernel": report["kernel"],
+        "cascade_compiled": report["cascade_compiled"],
         "krps": round(len(subset) / elapsed / 1e3, 1),
         "encoded_bytes_per_record": round(report["encoded_bytes"] / report["records"], 3),
         "stage_seconds": stages,
+    }
+    if embed_metrics:
         # The fleet-merged observability snapshot for this run, embedded so
         # every committed bench row carries its own metrics provenance.
-        "metrics": snapshot,
-    }
+        result["metrics"] = snapshot
     print(
-        f"[E11] process/{result['transport']} (workers=2, {result['cores']} core(s)):"
+        f"[E11] process/{result['transport']}"
+        f" (workers={workers}, {result['cores']} core(s), kernel={result['kernel']}):"
         f" {result['krps']} krec/s, stages {stages}"
     )
+    return result
+
+
+def bench_e11_kernel_apply(records: List[Any], quick: bool) -> Dict[str, Any]:
+    """Apply-seconds split before/after the vectorized kernel, on the real
+    ProcessEngine fast path: the same stream through ``fast=True`` workers
+    with the python kernel (the *before*) and the numpy kernel (the
+    *after*).  Advisory — the guarded kernel floors live in E7, where the
+    lanes are wide enough for the ratio to be stable on 1-core runners."""
+    before = bench_e11_process(records, quick, fast=True, embed_metrics=False)
+    after = bench_e11_process(records, quick, fast=True, kernel="numpy", embed_metrics=False)
+    apply_before = before["stage_seconds"]["apply_seconds"]
+    apply_after = after["stage_seconds"]["apply_seconds"]
+    result = {
+        "python_fast": {"krps": before["krps"], "apply_seconds": apply_before},
+        "numpy_fast": {"krps": after["krps"], "apply_seconds": apply_after},
+        "apply_speedup_numpy": round(apply_before / apply_after, 3) if apply_after else None,
+        "cascade_compiled": after["cascade_compiled"],
+    }
+    print(
+        f"[E11] kernel apply split: python-fast {apply_before}s"
+        f" vs numpy-fast {apply_after}s"
+        f" ({result['apply_speedup_numpy']}x apply)"
+    )
+    return result
+
+
+def bench_multicore(records: List[Any], quick: bool, workers: int) -> Dict[str, Any]:
+    """Advisory multi-core row (``--cores N``): the two process transports at
+    N workers.  Skipped with a printed note when the host has fewer cores
+    than requested — no ratio guard until a multi-core baseline is
+    committed, so the row records the trajectory without gating CI on
+    whatever runner class happens to execute it."""
+    available = os.cpu_count() or 1
+    if available < workers:
+        print(
+            f"[E11] multicore: skipped (requested {workers} workers,"
+            f" {available} core(s) available)"
+        )
+        return {"requested_workers": workers, "available_cores": available, "skipped": True}
+    result: Dict[str, Any] = {
+        "requested_workers": workers,
+        "available_cores": available,
+        "skipped": False,
+    }
+    for transport in ("columnar", "shm"):
+        row = bench_e11_process(
+            records, quick, transport=transport, workers=workers, embed_metrics=False
+        )
+        result[transport] = {
+            "transport": row["transport"],
+            "krps": row["krps"],
+            "stage_seconds": row["stage_seconds"],
+        }
     return result
 
 
@@ -584,20 +703,32 @@ def bench_query(records: List[Any], quick: bool) -> Dict[str, Any]:
 # -- recording & regression guard ---------------------------------------------
 
 
-def meta(quick: bool) -> Dict[str, Any]:
+def meta(quick: bool, kernel: str = "python") -> Dict[str, Any]:
     return {
         "quick": quick,
         "python": platform.python_version(),
         "platform": platform.platform(),
         "cpu_count": os.cpu_count() or 1,
+        # The *resolved* kernel the run was invoked with ("auto" never lands
+        # here).  The default process/serial rows always use the python
+        # kernel so they stay comparable across baselines; kernel rows are
+        # additive.
+        "kernel": kernel,
+        "numpy_available": HAS_NUMPY,
     }
 
 
-def run(quick: bool, out_dir: str, skip_process: bool = False) -> Dict[str, Dict[str, Any]]:
-    e7 = {"experiment": "E7", "meta": meta(quick), "results": bench_e7(quick)}
+def run(
+    quick: bool,
+    out_dir: str,
+    skip_process: bool = False,
+    kernel: str = "python",
+    cores: int | None = None,
+) -> Dict[str, Dict[str, Any]]:
+    e7 = {"experiment": "E7", "meta": meta(quick, kernel), "results": bench_e7(quick, kernel)}
     records = e11_records(quick)
     e11_results: Dict[str, Any] = {
-        "serial": bench_e11_serial(records),
+        "serial": bench_e11_serial(records, kernel),
         "obs": bench_obs(records),
         "transport": bench_e11_transport(records),
     }
@@ -615,7 +746,11 @@ def run(quick: bool, out_dir: str, skip_process: bool = False) -> Dict[str, Dict
                     f"shm and columnar process runs diverged on {field}:"
                     f" {shm[field]} != {e11_results['process'][field]}"
                 )
-    e11 = {"experiment": "E11", "meta": meta(quick), "results": e11_results}
+        if kernel == "numpy":
+            e11_results["process_kernel"] = bench_e11_kernel_apply(records, quick)
+        if cores is not None:
+            e11_results["multicore"] = bench_multicore(records, quick, cores)
+    e11 = {"experiment": "E11", "meta": meta(quick, kernel), "results": e11_results}
     written = {"BENCH_E7.json": e7, "BENCH_E11.json": e11}
     os.makedirs(out_dir, exist_ok=True)
     for name, payload in written.items():
@@ -666,8 +801,27 @@ def check_against_baseline(
         for guard in guards:
             dotted, direction = guard[0], guard[1]
             try:
-                fresh_value = float(_lookup(fresh[name]["results"], dotted))
+                raw_value = _lookup(fresh[name]["results"], dotted)
             except (KeyError, TypeError) as error:
+                failures.append(f"{name}: cannot compare {dotted}: {error!r}")
+                continue
+            if direction == "floor":
+                # Baseline-independent acceptance floor for *optional* rows:
+                # null means the optional path was not active in this run
+                # (e.g. the numpy kernel on a numpy-free host) and the guard
+                # is skipped; an active row below the floor fails outright.
+                if raw_value is None:
+                    continue
+                floor = float(guard[2])
+                if float(raw_value) < floor:
+                    failures.append(
+                        f"{name}: {dotted} is {raw_value},"
+                        f" below the acceptance floor {floor}"
+                    )
+                continue
+            try:
+                fresh_value = float(raw_value)
+            except (TypeError, ValueError) as error:
                 failures.append(f"{name}: cannot compare {dotted}: {error!r}")
                 continue
             if direction == "cap":
@@ -717,8 +871,26 @@ def main(argv: List[str] | None = None) -> int:
         "--skip-process", action="store_true",
         help="skip the ProcessEngine stage-timing run (e.g. sandboxes without mp)",
     )
+    parser.add_argument(
+        "--kernel", choices=["python", "numpy", "auto"], default="python",
+        help="apply-path kernel for the additive kernel rows (default: python;"
+        " 'numpy' fails loudly without the [fast] extra, 'auto' detects)",
+    )
+    parser.add_argument(
+        "--cores", type=int, default=None, metavar="N",
+        help="record an advisory multi-core process row at N workers"
+        " (skipped with a note when the host has fewer cores)",
+    )
     args = parser.parse_args(argv)
-    fresh = run(args.quick, args.out, skip_process=args.skip_process)
+    try:
+        kernel = resolve_kernel(args.kernel)
+    except ConfigurationError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    fresh = run(
+        args.quick, args.out, skip_process=args.skip_process,
+        kernel=kernel, cores=args.cores,
+    )
     if args.baseline is not None:
         failures = check_against_baseline(fresh, args.baseline, args.tolerance / 100.0)
         if failures:

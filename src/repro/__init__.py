@@ -116,6 +116,25 @@ kept only as the reference semantics:
   sampler's batched path; engines with an eviction policy fall back to
   per-record routing so LRU/TTL decisions never change.  Worker-backed
   engines apply the same grouping inside each shard worker.
+* **Vectorized kernels (optional).**  ``pip install 'swsample[fast]'``
+  pulls in numpy and unlocks :mod:`repro.engine.kernels`: constructing a
+  sampler or :class:`~repro.engine.SamplerSpec` with ``kernel="numpy"``
+  (or ``"auto"``, which detects numpy; CLI: ``swsample engine/serve
+  --kernel``) vectorizes the ``fast=True`` draws across whole lanes —
+  closed-form reservoir-transition draws for seq-WR, hypergeometric
+  splits for WOR, width-weighted canonical rebuilds plus searchsorted
+  run-splitting for the timestamp automata — and decodes columnar
+  transport payloads straight into numpy arrays
+  (:func:`~repro.engine.kernels.decode_batch_arrays`, zero-copy over the
+  shm ring).  The default ``kernel="python"`` is the bit-identity
+  reference and the only path tier-1 CI needs; numpy results are
+  distributionally exact (the same χ²+KS gates as ``fast=True``) but
+  draw different randomness, and ``kernel="numpy"`` without numpy fails
+  loudly at construction.  Engines report the active kernel in
+  ``stats()`` / ``transport_report()`` and as the ``engine.kernel.numpy``
+  gauge.  Independently, the timestamp bucket cascade lives in
+  :mod:`repro.core._cascade`, a mypyc-compatible module that can be
+  compiled ahead of time without touching randomness or results.
 * **Process transport** packs each dispatched sub-batch into one columnar
   struct-packed buffer (:mod:`repro.engine.transport`) instead of pickling
   tuple lists — roughly half the bytes per record on typical int-keyed
@@ -135,7 +154,9 @@ transport bytes/record and a dispatch-isolated queue-vs-shm comparison;
 see that module's docstring for how to read and regenerate them).  CI's
 ``bench-smoke`` job fails on a >25% regression of any guarded metric —
 including the timestamp-sampler speedups — against those committed
-baselines.
+baselines, and the ``--kernel numpy`` rows carry baseline-independent
+acceptance floors: the vectorized kernel must stay ≥2x over the python
+fast path on seq-WR and ts-WR or the smoke fails.
 
 Observability
 -------------

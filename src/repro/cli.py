@@ -80,6 +80,13 @@ def _add_engine_recipe_arguments(parser: argparse.ArgumentParser) -> None:
         " geometric skips instead of per-element coins; statistically exact but"
         " not bit-identical to the default path)",
     )
+    parser.add_argument(
+        "--kernel", choices=["python", "numpy", "auto"], default="python",
+        help="batched-ingest kernel for the optimal samplers: 'python' (the"
+        " bit-identity reference), 'numpy' (vectorized fast-path kernels;"
+        " requires the [fast] extra and fails loudly without it), or 'auto'"
+        " (numpy when available)",
+    )
     parser.add_argument("--max-keys-per-shard", type=int, default=None, help="LRU cap per shard")
     parser.add_argument("--idle-ttl", type=int, default=None, help="evict keys idle this many ticks")
     parser.add_argument("--seed", type=int, default=0)
@@ -388,9 +395,10 @@ def _command_engine(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return 2
-    if args.fast and args.resume:
+    if (args.fast or args.kernel != "python") and args.resume:
+        flag = "--fast" if args.fast else "--kernel"
         print(
-            "error: --fast cannot be combined with --resume (the sampler recipe"
+            f"error: {flag} cannot be combined with --resume (the sampler recipe"
             " travels inside the checkpoint and must be restored unchanged)",
             file=sys.stderr,
         )
@@ -445,6 +453,7 @@ def _command_engine(args: argparse.Namespace) -> int:
                 replacement=not args.without_replacement,
                 algorithm=args.algorithm,
                 fast=args.fast,
+                kernel=args.kernel,
             )
         except ConfigurationError as error:
             # e.g. --fast with a baseline algorithm: fail loudly up front.
@@ -595,9 +604,10 @@ def _command_serve(args: argparse.Namespace) -> int:
     if args.resume and not args.checkpoint_dir:
         print("error: --resume requires --checkpoint-dir", file=sys.stderr)
         return 2
-    if args.fast and args.resume:
+    if (args.fast or args.kernel != "python") and args.resume:
+        flag = "--fast" if args.fast else "--kernel"
         print(
-            "error: --fast cannot be combined with --resume (the sampler recipe"
+            f"error: {flag} cannot be combined with --resume (the sampler recipe"
             " travels inside the checkpoint and must be restored unchanged)",
             file=sys.stderr,
         )
@@ -629,6 +639,7 @@ def _command_serve(args: argparse.Namespace) -> int:
             replacement=not args.without_replacement,
             algorithm=args.algorithm,
             fast=args.fast,
+            kernel=args.kernel,
         )
         config = ServeConfig(
             engine=EngineSettings(

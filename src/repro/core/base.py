@@ -40,7 +40,31 @@ __all__ = [
     "candidate_to_element",
     "check_batch_lengths",
     "coerce_batch_timestamps",
+    "init_sampler_kernel",
 ]
+
+
+def init_sampler_kernel(kernel: str, root: Any) -> tuple:
+    """Resolve a sampler's ``kernel`` argument into ``(name, numpy_gen)``.
+
+    ``"python"`` (the default) resolves without touching
+    :mod:`repro.engine.kernels` at all — the stdlib-only path stays free of
+    any engine/numpy import.  ``"numpy"`` and ``"auto"`` are resolved there
+    (``"numpy"`` raises :class:`~repro.exceptions.ConfigurationError` on a
+    numpy-free host; ``"auto"`` downgrades) and, when numpy wins, a
+    dedicated ``numpy.random.Generator`` is seeded from the sampler's root
+    generator.  Callers must invoke this *after* every stdlib ``spawn`` so
+    the python lanes' streams are unchanged by the kernel choice.
+    """
+    name = str(kernel).lower()
+    if name == "python":
+        return "python", None
+    from ..engine.kernels import make_generator, resolve_kernel
+
+    name = resolve_kernel(name)
+    if name == "python":
+        return "python", None
+    return "numpy", make_generator(root)
 
 
 def check_batch_lengths(
@@ -136,6 +160,13 @@ class WindowSampler(abc.ABC):
     @property
     def observer(self) -> Optional[CandidateObserver]:
         return self._observer
+
+    @property
+    def kernel(self) -> str:
+        """The active batched-ingest kernel: ``"python"`` (the bit-identity
+        reference; all baselines) or ``"numpy"`` (the vectorized ``fast``
+        path of the optimal samplers, see :mod:`repro.engine.kernels`)."""
+        return getattr(self, "_kernel", "python")
 
     # -- stream ingestion -------------------------------------------------
 

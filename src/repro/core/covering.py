@@ -35,6 +35,7 @@ from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 from ..exceptions import EmptyWindowError, StreamOrderError
 from ..memory import MemoryMeter, WORD_MODEL
 from ..rng import ensure_rng
+from ._cascade import CoinSlab, merge_cascade, merge_cascade_fast
 from .bucket_structure import BucketStructure
 from .serialization import decode_rng_into, encode_rng, require_state_fields
 from .tracking import CandidateObserver, SampleCandidate
@@ -445,7 +446,6 @@ class WindowCoverage:
         t0 = self._t0
         now = self._now
         rng_random = self._rng.random
-        merged = BucketStructure.merge_fast
         new_bucket = BucketStructure.__new__
         bucket_cls = BucketStructure
         candidate_cls = SampleCandidate
@@ -459,9 +459,7 @@ class WindowCoverage:
         # The unconsumed tail is discarded at the end of the chunk, which is
         # exact because the coins are i.i.d.
         if fast:
-            randbytes = self._rng.randbytes
-            slab = b""
-            slab_pos = 0
+            coins = CoinSlab(self._rng.randbytes)
         for position in range(count):
             ts = stamps[position]
             clock = ts if clocks is None else clocks[position]
@@ -493,44 +491,13 @@ class WindowCoverage:
                 # previous newest index, so ``b + 1 == index``.
                 n = len(buckets)
                 if n >= 3 and buckets[n - 3].start == index - 3:
-                    # Find the front of the merge run: walk backward in steps
-                    # of two while the gap stays a power of two.
-                    first = n - 3
-                    while first >= 2:
-                        gap = index + 1 - buckets[first - 2].start
-                        if gap & (gap - 1):
-                            break
-                        first -= 2
-                    # Execute the run front-to-back so the merge coins are
-                    # drawn in exactly the reference walk's order.
-                    read = first
-                    write = first
-                    while read <= n - 3:
-                        bucket = buckets[read]
-                        right = buckets[read + 1]
-                        if fast:
-                            if slab_pos == len(slab):
-                                slab = randbytes(512)
-                                slab_pos = 0
-                            r_sample = (
-                                bucket.r_sample if slab[slab_pos] < 128 else right.r_sample
-                            )
-                            slab_pos += 1
-                            if slab_pos == len(slab):
-                                slab = randbytes(512)
-                                slab_pos = 0
-                            q_sample = (
-                                bucket.q_sample if slab[slab_pos] < 128 else right.q_sample
-                            )
-                            slab_pos += 1
-                        else:
-                            r_sample = bucket.r_sample if rng_random() < 0.5 else right.r_sample
-                            q_sample = bucket.q_sample if rng_random() < 0.5 else right.q_sample
-                        buckets[write] = merged(bucket, right, r_sample, q_sample)
-                        read += 2
-                        write += 1
-                    buckets[write] = buckets[n - 1]
-                    del buckets[write + 1 :]
+                    # Delegate the cascade itself to repro.core._cascade
+                    # (optionally mypyc-compiled); both variants consume the
+                    # generator exactly as the historical inline loop did.
+                    if fast:
+                        merge_cascade_fast(buckets, index, coins)
+                    else:
+                        merge_cascade(buckets, index, rng_random)
             else:
                 front_ts = ts
             # Append the new singleton BS(index, index+1), inlined (this runs

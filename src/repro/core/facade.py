@@ -81,6 +81,7 @@ def sliding_window_sampler(
     rng: RngLike = None,
     observer: Optional[CandidateObserver] = None,
     fast: bool = False,
+    kernel: str = "python",
     **kwargs: Any,
 ) -> WindowSampler:
     """Create a sliding-window sampler.
@@ -110,6 +111,15 @@ def sliding_window_sampler(
         coins — distributionally exact, but not bit-identical to the default
         path).  Baselines do not support it and raise
         :class:`~repro.exceptions.ConfigurationError`.
+    kernel:
+        Batched-ingest kernel for the optimal samplers: ``"python"`` (the
+        default bit-identity reference), ``"numpy"`` (the vectorized
+        ``fast``-path kernels of :mod:`repro.engine.kernels`; requires the
+        optional ``[fast]`` extra and fails loudly without it), or
+        ``"auto"`` (numpy when available, python otherwise).  Only the
+        ``fast=True`` batched path changes behaviour — ``fast=False`` stays
+        bit-identical regardless of kernel.  Baselines support only
+        ``"python"``.
     kwargs:
         Extra keyword arguments passed to the concrete sampler (for example
         ``allow_partial`` or a baseline's over-sampling factor).
@@ -125,16 +135,26 @@ def sliding_window_sampler(
             raise ConfigurationError("timestamp windows require the window span t0")
 
     algorithm = algorithm.lower()
+    kernel = str(kernel).lower()
     if algorithm == "optimal":
         sampler_class = _optimal_sampler_class(window, replacement)
         if window == "sequence":
-            return sampler_class(n=n, k=k, rng=rng, observer=observer, fast=fast, **kwargs)
-        return sampler_class(t0=t0, k=k, rng=rng, observer=observer, fast=fast, **kwargs)
+            return sampler_class(
+                n=n, k=k, rng=rng, observer=observer, fast=fast, kernel=kernel, **kwargs
+            )
+        return sampler_class(
+            t0=t0, k=k, rng=rng, observer=observer, fast=fast, kernel=kernel, **kwargs
+        )
 
     if fast:
         raise ConfigurationError(
             f"fast (skip-sampling) batched ingest is only supported by the optimal"
             f" samplers, not by algorithm={algorithm!r}"
+        )
+    if kernel not in ("python", "auto"):
+        raise ConfigurationError(
+            f"kernel={kernel!r} is only supported by the optimal samplers,"
+            f" not by algorithm={algorithm!r}"
         )
     baselines = _baseline_classes()
     if algorithm == "chain":

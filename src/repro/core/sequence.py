@@ -27,7 +27,7 @@ from typing import Any, Dict, Iterator, List, Optional, Sequence
 from ..exceptions import ConfigurationError, EmptyWindowError
 from ..memory import MemoryMeter, WORD_MODEL
 from ..rng import RngLike, ensure_rng, spawn
-from .base import SequenceWindowSampler, check_batch_lengths
+from .base import SequenceWindowSampler, check_batch_lengths, init_sampler_kernel
 from .reservoir import ReservoirWithoutReplacement, SingleReservoir
 from .serialization import (
     decode_candidate,
@@ -134,12 +134,16 @@ class SequenceSamplerWR(SequenceWindowSampler):
         rng: RngLike = None,
         observer: Optional[CandidateObserver] = None,
         fast: bool = False,
+        kernel: str = "python",
     ) -> None:
         super().__init__(n, k, observer)
         root = ensure_rng(rng)
         self._fast = bool(fast)
         self._lanes = [_SingleSampleLane(spawn(root, lane), observer) for lane in range(self._k)]
         self._query_rng = spawn(root, self._k + 1)
+        # Resolved last: the numpy generator seed is drawn from the root
+        # *after* every spawn, so kernel choice never perturbs the lanes.
+        self._kernel, self._np_gen = init_sampler_kernel(kernel, root)
 
     # -- ingestion ----------------------------------------------------------
 
@@ -174,9 +178,17 @@ class SequenceSamplerWR(SequenceWindowSampler):
             return 0
         if self._observer is not None:
             return super().process_batch(values, timestamps)
+        fast = self._fast
+        if fast and self._np_gen is not None:
+            # Vectorized kernel: whole-batch closed-form lane updates
+            # (distributionally exact, like the python fast path; see
+            # repro.engine.kernels.seq_wr_process_batch).
+            from ..engine.kernels import seq_wr_process_batch
+
+            seq_wr_process_batch(self, values, timestamps, count)
+            return count
         n = self._n
         start = self._arrivals
-        fast = self._fast
         for lane in self._lanes:
             position = 0
             while position < count:
@@ -281,6 +293,7 @@ class SequenceSamplerWOR(SequenceWindowSampler):
         observer: Optional[CandidateObserver] = None,
         allow_partial: bool = True,
         fast: bool = False,
+        kernel: str = "python",
     ) -> None:
         super().__init__(n, k, observer)
         root = ensure_rng(rng)
@@ -288,6 +301,8 @@ class SequenceSamplerWOR(SequenceWindowSampler):
         self._fast = bool(fast)
         self._reservoir_rng = spawn(root, 0)
         self._query_rng = spawn(root, 1)
+        # Resolved after both spawns so kernel choice never perturbs them.
+        self._kernel, self._np_gen = init_sampler_kernel(kernel, root)
         self._active_slots: List[SampleCandidate] = []
         self._active_bucket: Optional[int] = None
         self._partial = ReservoirWithoutReplacement(self._k, rng=self._reservoir_rng, observer=observer)
@@ -326,9 +341,17 @@ class SequenceSamplerWOR(SequenceWindowSampler):
             return 0
         if self._observer is not None:
             return super().process_batch(values, timestamps)
+        fast = self._fast
+        if fast and self._np_gen is not None:
+            # Vectorized kernel: one hypergeometric split per reservoir
+            # transition instead of per-element/per-skip loops (see
+            # repro.engine.kernels.seq_wor_process_batch).
+            from ..engine.kernels import seq_wor_process_batch
+
+            seq_wor_process_batch(self, values, timestamps, count)
+            return count
         n = self._n
         start = self._arrivals
-        fast = self._fast
         position = 0
         while position < count:
             index = start + position

@@ -23,7 +23,12 @@ from typing import Any, Dict, Iterator, List, Optional, Sequence
 from ..exceptions import ConfigurationError, EmptyWindowError, StreamOrderError
 from ..memory import MemoryMeter, WORD_MODEL
 from ..rng import RngLike, ensure_rng, spawn
-from .base import TimestampWindowSampler, check_batch_lengths, coerce_batch_timestamps
+from .base import (
+    TimestampWindowSampler,
+    check_batch_lengths,
+    coerce_batch_timestamps,
+    init_sampler_kernel,
+)
 from .covering import WindowCoverage, estimate_active_count
 from .serialization import decode_rng_into, encode_rng, require_state_fields
 from .tracking import CandidateObserver, SampleCandidate
@@ -51,6 +56,7 @@ class TimestampSamplerWR(TimestampWindowSampler):
         rng: RngLike = None,
         observer: Optional[CandidateObserver] = None,
         fast: bool = False,
+        kernel: str = "python",
     ) -> None:
         super().__init__(t0, k, observer)
         root = ensure_rng(rng)
@@ -61,6 +67,8 @@ class TimestampSamplerWR(TimestampWindowSampler):
         self._fast = bool(fast)
         self._coverages = [WindowCoverage(self._t0, spawn(root, lane), observer) for lane in range(self._k)]
         self._query_rng = spawn(root, self._k + 1)
+        # Resolved after every spawn so kernel choice never perturbs them.
+        self._kernel, self._np_gen = init_sampler_kernel(kernel, root)
         self._now = float("-inf")
 
     # -- clock -----------------------------------------------------------------
@@ -118,8 +126,20 @@ class TimestampSamplerWR(TimestampWindowSampler):
         stamps = coerce_batch_timestamps(count, timestamps, self._now)
         start = self._arrivals
         fast = self._fast
-        for coverage in self._coverages:
-            coverage.observe_batch(values, start, stamps, fast=fast)
+        if fast and self._np_gen is not None:
+            # Vectorized kernel: per expiry run, the covering decomposition
+            # is rebuilt structurally instead of cascading per element (see
+            # repro.engine.kernels.coverage_observe_batch).
+            from ..engine.kernels import as_float_array, coverage_observe_batch
+
+            stamp_array = as_float_array(stamps)
+            for coverage in self._coverages:
+                coverage_observe_batch(
+                    coverage, values, 0, start, stamp_array, stamp_array, self._np_gen
+                )
+        else:
+            for coverage in self._coverages:
+                coverage.observe_batch(values, start, stamps, fast=fast)
         self._now = stamps[-1]
         self._arrivals = start + count
         return count

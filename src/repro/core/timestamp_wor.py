@@ -25,7 +25,12 @@ from typing import Any, Deque, Dict, Iterator, List, Optional, Sequence
 from ..exceptions import ConfigurationError, EmptyWindowError, InsufficientSampleError, StreamOrderError
 from ..memory import MemoryMeter, WORD_MODEL
 from ..rng import RngLike, ensure_rng, spawn
-from .base import TimestampWindowSampler, check_batch_lengths, coerce_batch_timestamps
+from .base import (
+    TimestampWindowSampler,
+    check_batch_lengths,
+    coerce_batch_timestamps,
+    init_sampler_kernel,
+)
 from .covering import WindowCoverage, estimate_active_count
 from .reduction import build_k_sample
 from .serialization import (
@@ -61,6 +66,7 @@ class TimestampSamplerWOR(TimestampWindowSampler):
         observer: Optional[CandidateObserver] = None,
         allow_partial: bool = True,
         fast: bool = False,
+        kernel: str = "python",
     ) -> None:
         super().__init__(t0, k, observer)
         root = ensure_rng(rng)
@@ -73,6 +79,8 @@ class TimestampSamplerWOR(TimestampWindowSampler):
         # Coverage i receives elements delayed by i arrivals (Lemma 4.1).
         self._coverages = [WindowCoverage(self._t0, spawn(root, lane), observer) for lane in range(self._k)]
         self._query_rng = spawn(root, self._k + 1)
+        # Resolved after every spawn so kernel choice never perturbs them.
+        self._kernel, self._np_gen = init_sampler_kernel(kernel, root)
         # Auxiliary array of the last k arrived elements (§4: "we maintain an
         # auxiliary array with the last i elements ... we can use the same
         # array for every i").
@@ -152,6 +160,12 @@ class TimestampSamplerWOR(TimestampWindowSampler):
         combined_stamps = [candidate.timestamp for candidate in held]
         combined_stamps.extend(stamps)
         fast = self._fast
+        use_kernel = fast and self._np_gen is not None
+        if use_kernel:
+            from ..engine.kernels import as_float_array, coverage_observe_batch
+
+            combined_array = as_float_array(combined_stamps)
+            clock_array = combined_array[base:]
         for delay, coverage in enumerate(self._coverages):
             # Copy `delay` skips arrivals whose delayed target index would be
             # negative; the rest observe the contiguous combined slice
@@ -161,6 +175,17 @@ class TimestampSamplerWOR(TimestampWindowSampler):
             if first < 0:
                 first = 0
             if first >= count:
+                continue
+            if use_kernel:
+                coverage_observe_batch(
+                    coverage,
+                    combined_values,
+                    base + first - delay,
+                    start + first - delay,
+                    combined_array[base + first - delay : base + count - delay],
+                    clock_array[first:],
+                    self._np_gen,
+                )
                 continue
             coverage.observe_batch(
                 combined_values[base + first - delay : base + count - delay],

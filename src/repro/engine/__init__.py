@@ -62,6 +62,37 @@ Sharding is by a *stable* hash (:func:`stable_key_hash`), never Python's
 salted ``hash()``, so routing — and therefore every per-key sampler's
 randomness — is reproducible across processes and restarts.
 
+Performance
+-----------
+The apply path has an optional vectorized kernel layer on top of the
+batching above, kept strictly additive to the bit-exact reference:
+
+* :mod:`repro.engine.kernels` holds every numpy-facing routine behind one
+  import guard (``HAS_NUMPY``).  ``SamplerSpec(kernel="numpy")`` — or
+  ``"auto"``, which resolves to numpy exactly when it is importable —
+  switches the ``fast=True`` draws from per-run python loops to whole-lane
+  array math, and :func:`repro.engine.kernels.decode_batch_arrays` decodes
+  a columnar transport payload into column arrays without per-record tuple
+  building (zero-copy from the shm ring's memoryview).  numpy is the
+  ``[fast]`` optional extra; requesting ``kernel="numpy"`` without it
+  raises :class:`~repro.exceptions.ConfigurationError` at sampler/engine
+  construction, never mid-stream.  ``"auto"`` travels unresolved inside
+  specs and checkpoints, so one checkpoint restores on hosts with and
+  without numpy.
+* The contract is layered exactly like ``fast``: ``kernel="python"`` (the
+  default) is byte-identical to the seed reference; ``kernel="numpy"``
+  with ``fast=False`` is *also* bit-identical (the kernel only re-routes
+  fast-path draws); ``fast=True`` under either kernel is distributionally
+  exact, gated by the χ²+KS suites.  Baseline algorithms reject
+  ``kernel="numpy"``.
+* The timestamp merge cascade (the Lemma 3.4 ``Incr`` step) is factored
+  into :mod:`repro.core._cascade`, a mypyc-compatible module: compiling it
+  (``python -m mypyc src/repro/core/_cascade.py``) changes neither
+  randomness nor results, and ``transport_report()`` reports whether the
+  compiled form is active (``cascade_compiled``) alongside the resolved
+  ``kernel``, which also appears in ``stats()`` and as the
+  ``engine.kernel.numpy`` gauge.
+
 Querying
 --------
 The query surface mirrors the ingest surface's batching discipline:

@@ -40,6 +40,7 @@ from ..exceptions import (
 from ..obs import get_registry
 from ..streams.element import StreamElement
 from .hashing import stable_key_bytes, stable_key_hash
+from .kernels import resolve_kernel
 from .pool import KeyedSamplerPool
 from .querycache import QueryCache
 from .spec import SamplerSpec
@@ -366,6 +367,13 @@ class ShardedEngine:
         self._m_chunks_grouped = self._obs.counter("engine.ingest.chunks.grouped")
         self._m_chunks_partitioned = self._obs.counter("engine.ingest.chunks.partitioned")
         self._m_chunk_seconds = self._obs.histogram("engine.ingest.chunk.seconds")
+        # The batched-ingest kernel this host will actually run ("auto"
+        # resolves here, and kernel="numpy" without numpy fails at engine
+        # construction instead of at first ingest).  Exposed through
+        # stats()/transport_report() and mirrored as a 0/1 gauge so /metrics
+        # shows which kernel produced the apply-path numbers.
+        self._kernel = resolve_kernel(spec.kernel)
+        self._obs.gauge("engine.kernel.numpy").set(1.0 if self._kernel == "numpy" else 0.0)
         self._query_cache = query_cache
         self._pools = self._create_pools()
         self._now = float("-inf")
@@ -708,6 +716,7 @@ class ShardedEngine:
         pools = self._pools
         return {
             "shards": self._shards,
+            "kernel": self._kernel,
             "keys": sum(len(pool) for pool in pools),
             "arrivals": sum(pool.ticks for pool in pools),
             "memory_words": sum(pool.memory_words() for pool in pools),

@@ -81,6 +81,7 @@ import weakref
 from collections import Counter
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
 
+from ..core._cascade import COMPILED as _CASCADE_COMPILED
 from ..core.base import WindowSampler
 from ..core.tracking import OccurrenceCounter
 from ..exceptions import (
@@ -251,11 +252,17 @@ class _ShardWorkerLoop:
                 continue
             if kind == "applym":
                 started = time.perf_counter()
-                payload = self.shm_reader.read(message[2], message[3])
-                # The read copied the payload; release the ring space before
-                # the (slower) decode+apply so the producer can refill.
-                self.shm_reader.release(message[4])
-                batch = decode_batch(payload)
+                # Zero-copy decode: parse straight out of the ring mapping
+                # and only then release the slot — the coordinator must not
+                # reuse these bytes while they are being parsed.  The view
+                # itself is released before the ring release so a teardown
+                # never trips the exported-buffer guard in shm close().
+                view = self.shm_reader.view(message[2], message[3])
+                try:
+                    batch = decode_batch(view)
+                finally:
+                    view.release()
+                    self.shm_reader.release(message[4])
                 elapsed = time.perf_counter() - started
                 self.decode_seconds += elapsed
                 self._m_decode_seconds.inc(elapsed)
@@ -603,6 +610,11 @@ class _WorkerBackedEngine(ShardedEngine):
             # dispatch window) so hot keys hash once, not once per record.
             shard_memo: Dict[Any, int] = {}
             buffers: Dict[int, List[Tuple[Any, Any, Optional[float]]]] = {}
+            # Chunk instrumentation mirroring the serial path: every dispatch
+            # window is one partitioned chunk, timed from the previous
+            # dispatch (grouping + routing + handoff).
+            instrumented = self._obs.enabled
+            chunk_started = time.perf_counter() if instrumented else 0.0
             try:
                 for record in records:
                     if isinstance(record, tuple):
@@ -637,10 +649,20 @@ class _WorkerBackedEngine(ShardedEngine):
                     if len(buffer) >= max_batch:
                         del buffers[shard]
                         self._dispatch(shard, buffer)
+                        if instrumented:
+                            dispatched_at = time.perf_counter()
+                            self._m_chunks_partitioned.inc()
+                            self._m_chunk_seconds.observe(dispatched_at - chunk_started)
+                            chunk_started = dispatched_at
             finally:
                 self._now = now
                 for shard, buffer in buffers.items():
                     self._dispatch(shard, buffer)
+                    if instrumented:
+                        dispatched_at = time.perf_counter()
+                        self._m_chunks_partitioned.inc()
+                        self._m_chunk_seconds.observe(dispatched_at - chunk_started)
+                        chunk_started = dispatched_at
             if self._obs.enabled:
                 self._m_ingest_batches.inc()
                 self._m_ingest_records.inc(count)
@@ -1296,7 +1318,12 @@ class ProcessEngine(_WorkerBackedEngine):
         ``requested_transport`` preserves what the caller asked for);
         ``ring_fallbacks`` counts shm payloads that exceeded the ring and
         travelled through the queue instead.  ``encoded_bytes`` is 0 under
-        the ``"pickle"`` transport.
+        the ``"pickle"`` transport.  ``kernel`` is the *resolved*
+        batched-ingest kernel running in the workers (``"auto"`` already
+        resolved per host) and ``cascade_compiled`` reports whether the
+        ``repro.core._cascade`` merge-cascade module is the mypyc-compiled
+        extension — together they say which apply-path implementation
+        produced ``apply_seconds``.
 
         All of these numbers live and die with the engine instance: they
         are not checkpointed, and ``close()`` discards them — in particular
@@ -1316,6 +1343,8 @@ class ProcessEngine(_WorkerBackedEngine):
             return {
                 "transport": self._transport,
                 "requested_transport": self._requested_transport,
+                "kernel": self._kernel,
+                "cascade_compiled": _CASCADE_COMPILED,
                 "batches": self._m_dispatched_batches.value,
                 "records": self._m_dispatched_records.value,
                 "encoded_bytes": self._m_encoded_bytes.value,
@@ -1446,6 +1475,7 @@ class ProcessEngine(_WorkerBackedEngine):
             keys, arrivals, evictions, memory, lru, ttl = self._stats()
             return {
                 "shards": self._shards,
+                "kernel": self._kernel,
                 "keys": keys,
                 "arrivals": arrivals,
                 "memory_words": memory,
@@ -1668,6 +1698,7 @@ class ProcessEngine(_WorkerBackedEngine):
                 keys, arrivals, evictions, memory, lru, ttl = totals
                 value = {
                     "shards": self._shards,
+                    "kernel": self._kernel,
                     "keys": keys,
                     "arrivals": arrivals,
                     "memory_words": memory,

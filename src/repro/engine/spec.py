@@ -43,6 +43,14 @@ class SamplerSpec:
     #: bucket-merge coins for the timestamp samplers' covering automata.
     #: Distributionally exact, but not bit-identical to the default path.
     fast: bool = False
+    #: Batched-ingest kernel: ``"python"`` (the bit-identity reference),
+    #: ``"numpy"`` (the vectorized ``fast``-path kernels of
+    #: :mod:`repro.engine.kernels`; requires the optional ``[fast]`` extra and
+    #: fails loudly without it), or ``"auto"`` (numpy when available).  Only
+    #: the ``fast=True`` path changes behaviour; ``fast=False`` ingest stays
+    #: bit-identical to the python kernel.  ``"auto"`` is resolved at sampler
+    #: construction, per host — a checkpointed spec stays portable.
+    kernel: str = "python"
     #: Normalised to a sorted tuple of ``(name, value)`` pairs so the frozen
     #: spec stays hashable (usable in sets / as dict keys); accepts a mapping.
     options: Any = field(default_factory=tuple)
@@ -66,6 +74,16 @@ class SamplerSpec:
         if self.fast and self.algorithm != "optimal":
             raise ConfigurationError(
                 f"fast=True (skip-sampling batched ingest) requires algorithm='optimal';"
+                f" the {self.algorithm!r} baseline does not support it"
+            )
+        object.__setattr__(self, "kernel", str(self.kernel).lower())
+        if self.kernel not in ("python", "numpy", "auto"):
+            raise ConfigurationError(
+                f"kernel must be 'python', 'numpy' or 'auto', got {self.kernel!r}"
+            )
+        if self.kernel == "numpy" and self.algorithm != "optimal":
+            raise ConfigurationError(
+                f"kernel='numpy' requires algorithm='optimal';"
                 f" the {self.algorithm!r} baseline does not support it"
             )
         object.__setattr__(self, "options", tuple(sorted(dict(self.options).items())))
@@ -95,6 +113,7 @@ class SamplerSpec:
             rng=rng,
             observer=observer,
             fast=self.fast,
+            kernel=self.kernel,
             **dict(self.options),
         )
 
@@ -108,6 +127,7 @@ class SamplerSpec:
             "replacement": self.replacement,
             "algorithm": self.algorithm,
             "fast": self.fast,
+            "kernel": self.kernel,
             "options": dict(self.options),
         }
 
@@ -128,6 +148,7 @@ class SamplerSpec:
             replacement=bool(data.get("replacement", True)),
             algorithm=data.get("algorithm", "optimal"),
             fast=bool(data.get("fast", False)),
+            kernel=data.get("kernel", "python"),
             options=dict(data.get("options", {})),
         )
 
@@ -136,4 +157,6 @@ class SamplerSpec:
         window = f"n={self.n}" if self.window == "sequence" else f"t0={self.t0}"
         mode = "WR" if self.replacement else "WoR"
         suffix = ", fast" if self.fast else ""
+        if self.kernel != "python":
+            suffix += f", kernel={self.kernel}"
         return f"{self.window} window ({window}), k={self.k} {mode}, algorithm={self.algorithm}{suffix}"

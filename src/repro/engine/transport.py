@@ -60,7 +60,9 @@ from __future__ import annotations
 
 import pickle
 import struct
-from typing import Any, List, Optional, Sequence, Tuple
+from typing import Any, List, Optional, Sequence, Tuple, Union
+
+from ..exceptions import TransportError
 
 try:  # pragma: no cover - import guard exercised via HAS_SHARED_MEMORY
     from multiprocessing import shared_memory as _shared_memory
@@ -76,6 +78,7 @@ HAS_SHARED_MEMORY = _shared_memory is not None
 __all__ = [
     "encode_batch",
     "decode_batch",
+    "decode_columns",
     "MAGIC",
     "HAS_SHARED_MEMORY",
     "ShmRingWriter",
@@ -141,49 +144,114 @@ def encode_batch(batch: Sequence[Tuple[Any, Any, Optional[float]]]) -> bytes:
     )
 
 
-def _decode_column(buffer: bytes, offset: int, count: int) -> Tuple[Sequence[Any], int]:
-    tag = buffer[offset : offset + 1]
+#: Buffers the codec accepts.  ``memoryview`` matters: the shm ring reader
+#: hands decode a zero-copy view over the shared mapping (see
+#: :meth:`ShmRingReader.view`), so every slice below must go through
+#: ``bytes()`` / ``struct.unpack_from`` rather than assuming ``bytes`` methods.
+Buffer = Union[bytes, bytearray, memoryview]
+
+#: Decode-side failures worth translating into :class:`TransportError`:
+#: truncated fixed-width columns (``struct.error``), corrupt utf-8 blobs,
+#: and torn pickle payloads.
+_DECODE_ERRORS = (struct.error, UnicodeDecodeError, pickle.UnpicklingError, EOFError)
+
+
+def _decode_column(buffer: Buffer, offset: int, count: int) -> Tuple[Sequence[Any], int]:
+    fmt = chr(buffer[offset])
     offset += 1
-    fmt = tag.decode("ascii")
     if fmt in _INT_SIZE:
         size = _INT_SIZE[fmt] * count
         column = struct.unpack_from(f"<{count}{fmt}", buffer, offset)
         return column, offset + size
-    if tag == b"d":
+    if fmt == "d":
         column = struct.unpack_from(f"<{count}d", buffer, offset)
         return column, offset + 8 * count
-    if tag == b"u":
+    if fmt == "u":
         lengths = struct.unpack_from(f"<{count}I", buffer, offset)
         offset += 4 * count
         (blob_length,) = struct.unpack_from("<I", buffer, offset)
         offset += 4
-        text = buffer[offset : offset + blob_length].decode("utf-8")
+        blob = buffer[offset : offset + blob_length]
+        if len(blob) != blob_length:
+            raise TransportError(
+                f"truncated utf-8 column blob at offset {offset}:"
+                f" need {blob_length} bytes, have {len(blob)}"
+            )
+        text = (blob if isinstance(blob, bytes) else bytes(blob)).decode("utf-8")
         column_list: List[str] = []
         cursor = 0
         for length in lengths:
             column_list.append(text[cursor : cursor + length])
             cursor += length
         return column_list, offset + blob_length
-    if tag == b"n":
+    if fmt == "n":
         return (None,) * count, offset
-    if tag == b"p":
+    if fmt == "p":
         (payload_length,) = struct.unpack_from("<I", buffer, offset)
         offset += 4
         return pickle.loads(buffer[offset : offset + payload_length]), offset + payload_length
-    raise ValueError(f"unknown transport column tag {tag!r}")
+    raise TransportError(f"unknown transport column tag {fmt!r} at offset {offset - 1}")
 
 
-def decode_batch(buffer: bytes) -> List[Tuple[Any, Any, Optional[float]]]:
-    """Decode :func:`encode_batch` output back into record tuples."""
-    if buffer[:4] != MAGIC:
-        raise ValueError(f"bad transport magic {buffer[:4]!r} (expected {MAGIC!r})")
+def decode_columns(
+    buffer: Buffer,
+    column_decoder: Any = None,
+) -> Tuple[Sequence[Any], Sequence[Any], Sequence[Any], int]:
+    """Decode one payload into its three raw columns plus the record count.
+
+    The column-major twin of :func:`decode_batch` — used by
+    :func:`repro.engine.kernels.decode_batch_arrays` to reach the typed
+    columns without paying the ``list(zip(...))`` re-tupling.  Raises
+    :class:`~repro.exceptions.TransportError` (a ``ValueError``) on a bad
+    magic or a malformed/truncated buffer, with byte-offset context.
+
+    ``column_decoder`` swaps the per-column decoder (same signature as the
+    default ``_decode_column``); the kernels module passes a numpy-aware one
+    that materialises numeric columns as zero-copy typed arrays while
+    reusing this function's header parsing and error context.
+    """
+    decode_one = _decode_column if column_decoder is None else column_decoder
+    if len(buffer) < 8:
+        raise TransportError(
+            f"truncated transport header: {len(buffer)} bytes (need >= 8)"
+        )
+    if bytes(buffer[:4]) != MAGIC:
+        raise TransportError(
+            f"bad transport magic {bytes(buffer[:4])!r} (expected {MAGIC!r})"
+        )
     (count,) = struct.unpack_from("<I", buffer, 4)
     if count == 0:
-        return []
+        return (), (), (), 0
     offset = 8
-    keys, offset = _decode_column(buffer, offset, count)
-    values, offset = _decode_column(buffer, offset, count)
-    stamps, offset = _decode_column(buffer, offset, count)
+    columns: List[Sequence[Any]] = []
+    for name in ("keys", "values", "timestamps"):
+        started = offset
+        try:
+            column, offset = decode_one(buffer, offset, count)
+        except IndexError:
+            raise TransportError(
+                f"truncated {name} column: tag byte missing at offset {started}"
+                f" (buffer is {len(buffer)} bytes)"
+            ) from None
+        except _DECODE_ERRORS as error:
+            raise TransportError(
+                f"malformed {name} column at offset {started}"
+                f" (buffer is {len(buffer)} bytes, {count} records): {error}"
+            ) from error
+        columns.append(column)
+    return columns[0], columns[1], columns[2], count
+
+
+def decode_batch(buffer: Buffer) -> List[Tuple[Any, Any, Optional[float]]]:
+    """Decode :func:`encode_batch` output back into record tuples.
+
+    Accepts any bytes-like buffer — in particular the zero-copy
+    ``memoryview`` handed out by :meth:`ShmRingReader.view`.  Malformed or
+    truncated payloads raise :class:`~repro.exceptions.TransportError`.
+    """
+    keys, values, stamps, count = decode_columns(buffer)
+    if count == 0:
+        return []
     return list(zip(keys, values, stamps))
 
 
@@ -286,12 +354,32 @@ class ShmRingReader:
         self._capacity = int(capacity)
 
     def read(self, start: int, length: int) -> bytes:
-        """Copy one payload out of the mapping."""
+        """Copy one payload out of the mapping.
+
+        Kept for callers that need the payload to outlive the ring slot;
+        the hot decode path uses :meth:`view` instead and skips the copy.
+        """
         return bytes(self._shm.buf[start : start + length])
 
+    def view(self, start: int, length: int) -> "memoryview":
+        """A zero-copy ``memoryview`` over one payload in the mapping.
+
+        The view aliases ring memory that the coordinator will reuse once
+        :meth:`release` publishes the payload's ``end_counter`` — so decode
+        from the view first, release after, and ``release()`` the view
+        object itself before :meth:`close` (an exported view blocks the
+        mapping's ``close()`` with ``BufferError``).
+        """
+        return self._shm.buf[start : start + length]
+
     def release(self, end_counter: int) -> None:
-        """Publish that everything up to ``end_counter`` has been consumed
-        (call after :meth:`read` — the returned bytes are already a copy)."""
+        """Publish that everything up to ``end_counter`` has been consumed.
+
+        Call after the payload bytes are done with: immediately after
+        :meth:`read` (the returned bytes are a copy), but only *after
+        decode* when working from a zero-copy :meth:`view` — releasing
+        earlier would let the coordinator overwrite bytes still being
+        parsed."""
         with self._consumed.get_lock():
             self._consumed.value = end_counter
 

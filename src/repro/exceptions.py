@@ -17,6 +17,7 @@ __all__ = [
     "CheckpointError",
     "ExecutorError",
     "WorkerFailure",
+    "TransportError",
 ]
 
 
@@ -74,6 +75,18 @@ class CheckpointError(ConfigurationError):
     bad-checkpoint condition as a configuration problem keep working, while
     recovery tooling can distinguish "the file is damaged" from "the
     arguments are wrong".
+    """
+
+
+class TransportError(SWSampleError, ValueError):
+    """Raised when a columnar transport payload cannot be decoded: a bad
+    magic, an unknown column tag, or a truncated/corrupt buffer.
+
+    Carries enough context (byte offset, column index) to diagnose a corrupt
+    shared-memory frame or a torn queue message.  Subclasses
+    :class:`ValueError` because the codec historically raised bare
+    ``ValueError`` for bad magics — existing ``except ValueError`` handlers
+    keep working.
     """
 
 

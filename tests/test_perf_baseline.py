@@ -117,11 +117,19 @@ class TestCommittedBaselines:
             results = load_baseline(name)["results"]
             for guard in guards:
                 dotted, direction = guard[0], guard[1]
-                assert direction in ("min", "max", "cap")
-                if direction == "cap":
-                    # Absolute-ceiling guards carry their threshold inline.
+                assert direction in ("min", "max", "cap", "floor")
+                if direction in ("cap", "floor"):
+                    # Absolute-threshold guards carry their bound inline.
                     assert len(guard) == 3 and float(guard[2]) > 0, guard
                 value = record._lookup(results, dotted)
+                if direction == "floor":
+                    # Floor-guarded rows are optional at *run* time (null
+                    # without the numpy kernel), but the committed baseline
+                    # is recorded with --kernel numpy and must itself meet
+                    # the acceptance floor.
+                    assert isinstance(value, (int, float)), (name, dotted)
+                    assert value >= float(guard[2]), (name, dotted, value)
+                    continue
                 assert isinstance(value, (int, float)), (name, dotted)
 
     def test_transport_bytes_per_record_matches_committed(self):
