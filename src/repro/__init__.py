@@ -80,6 +80,26 @@ Three layers take the engine from one thread and one pickle to fleet scale:
   and identical future randomness
   (``load_checkpoint(path, workers=N, executor="thread"|"process")``).
 
+Fault tolerance
+---------------
+The process fleet can *heal itself* instead of going sticky-failed.
+``ProcessEngine(supervise=True, wal_dir=...)`` (CLI: ``swsample engine/serve
+--supervise --wal-dir PATH``) journals every dispatched sub-batch to a
+per-shard write-ahead log (:mod:`repro.engine.wal`; columnar wire format,
+length+crc32 framing, ``wal_fsync`` durability knob) before the worker sees
+it.  A supervisor thread detects worker death, restarts the worker under a
+bounded :class:`~repro.engine.RestartPolicy` (exponential backoff), restores
+its shards from the last checkpoint's digest-verified segments, replays the
+journal tail in dispatch order, and re-admits traffic — the recovered fleet
+is bit-identical to one that never crashed, because shard routing and
+per-key seeds are deterministic.  While recovery runs, healthy-shard
+queries answer normally and recovering-shard queries raise the retryable
+:class:`~repro.exceptions.ShardRecovering` (mapped by ``swsample serve`` to
+HTTP 503 + ``Retry-After``); a committed checkpoint truncates the journal.
+Only an exhausted restart budget degrades to the sticky
+:class:`~repro.exceptions.WorkerFailure`.  The failure windows themselves
+are testable via the deterministic injectors in :mod:`repro.engine.chaos`.
+
 >>> from repro import ParallelEngine
 >>> with ParallelEngine(SamplerSpec(window="sequence", n=500, k=4),
 ...                     shards=8, workers=4, seed=7) as fleet:
@@ -263,6 +283,7 @@ from .engine import (
     ParallelEngine,
     ProcessEngine,
     QueryCache,
+    RestartPolicy,
     SamplerSpec,
     ShardedEngine,
     load_checkpoint,
@@ -276,8 +297,10 @@ from .exceptions import (
     ExecutorError,
     InsufficientSampleError,
     SamplingFailureError,
+    ShardRecovering,
     StreamOrderError,
     SWSampleError,
+    TransportError,
     WorkerFailure,
 )
 from .streams.element import KeyedRecord, StreamElement
@@ -292,6 +315,7 @@ __all__ = [
     "ParallelEngine",
     "ProcessEngine",
     "QueryCache",
+    "RestartPolicy",
     "save_checkpoint",
     "load_checkpoint",
     "write_checkpoint",
@@ -317,4 +341,6 @@ __all__ = [
     "CheckpointError",
     "ExecutorError",
     "WorkerFailure",
+    "ShardRecovering",
+    "TransportError",
 ]

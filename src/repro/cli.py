@@ -90,6 +90,31 @@ def _add_engine_recipe_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--max-keys-per-shard", type=int, default=None, help="LRU cap per shard")
     parser.add_argument("--idle-ttl", type=int, default=None, help="evict keys idle this many ticks")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--wal-dir", metavar="DIR", default=None,
+        help="journal every dispatched sub-batch to a per-shard write-ahead"
+        " log under DIR before the worker applies it (requires --executor"
+        " process with --workers; a committed checkpoint truncates it)",
+    )
+    parser.add_argument(
+        "--wal-fsync", choices=["off", "batch", "always"], default=None,
+        help="WAL durability (requires --wal-dir): 'off' (buffered; survives"
+        " worker death), 'batch' (flush per append; survives coordinator"
+        " crash — the default), 'always' (fsync per append; survives power"
+        " loss)",
+    )
+    parser.add_argument(
+        "--supervise", action="store_true",
+        help="self-heal dead worker processes: restart with bounded backoff,"
+        " restore their shards from the last checkpoint and replay the WAL"
+        " tail (requires --wal-dir; queries touching a mid-recovery shard"
+        " get a retryable error instead of a sticky failure)",
+    )
+    parser.add_argument(
+        "--max-restarts", type=int, default=None, metavar="N",
+        help="per-incident restart budget for --supervise before the fleet"
+        " goes sticky-failed (default 3)",
+    )
 
 
 def _add_observability_arguments(parser: argparse.ArgumentParser) -> None:
@@ -336,6 +361,35 @@ def _run_query_file(engine: "object", path: str, *, stdin_taken: bool) -> int:
     return 0
 
 
+def _validate_durability_flags(args: argparse.Namespace, workers, executor) -> Optional[str]:
+    """Cross-flag validation for --wal-dir / --wal-fsync / --supervise /
+    --max-restarts (shared by ``engine`` and ``serve``); returns the error
+    message for the rc-2 path, or None when the combination is coherent."""
+    if args.wal_dir is not None and (workers is None or executor != "process"):
+        return (
+            "--wal-dir requires --executor process with --workers N"
+            " (the journal guards worker processes)"
+        )
+    if args.wal_fsync is not None and args.wal_dir is None:
+        return "--wal-fsync requires --wal-dir DIR"
+    if args.supervise and args.wal_dir is None:
+        return "--supervise requires --wal-dir DIR (recovery replays the journal)"
+    if args.max_restarts is not None:
+        if not args.supervise:
+            return "--max-restarts requires --supervise"
+        if args.max_restarts < 0:
+            return "--max-restarts must be >= 0"
+    return None
+
+
+def _restart_policy_from_args(args: argparse.Namespace):
+    if args.max_restarts is None:
+        return None
+    from .engine import RestartPolicy
+
+    return RestartPolicy(max_restarts=args.max_restarts)
+
+
 def _command_engine(args: argparse.Namespace) -> int:
     from .engine import (
         ParallelEngine,
@@ -381,6 +435,18 @@ def _command_engine(args: argparse.Namespace) -> int:
         )
         return 2
     executor = args.executor or "thread"
+    durability_problem = _validate_durability_flags(args, workers, executor)
+    if durability_problem is not None:
+        print(f"error: {durability_problem}", file=sys.stderr)
+        return 2
+    durability = {}
+    if args.wal_dir is not None:
+        durability = dict(
+            supervise=args.supervise,
+            wal_dir=args.wal_dir,
+            wal_fsync=args.wal_fsync or "batch",
+            restart_policy=_restart_policy_from_args(args),
+        )
     if args.batch_size <= 0:
         print("error: --batch-size must be positive", file=sys.stderr)
         return 2
@@ -423,10 +489,14 @@ def _command_engine(args: argparse.Namespace) -> int:
                 executor=executor,
                 max_batch=args.max_batch,
                 registry=registry,
+                **durability,
             )
         except (OSError, ConfigurationError) as error:
             print(f"error: cannot resume from {args.resume}: {error}", file=sys.stderr)
             return 2
+        replayed = engine.replay_wal()
+        if replayed:
+            print(f"wal replay      : {replayed} journaled records re-applied")
         if workers is not None and workers > engine.shards:
             message = (
                 f"error: --workers {workers} exceeds the checkpoint's"
@@ -470,7 +540,12 @@ def _command_engine(args: argparse.Namespace) -> int:
             engine_class = ProcessEngine if executor == "process" else ParallelEngine
             if args.max_batch is not None:
                 config["max_batch"] = args.max_batch
+            if engine_class is ProcessEngine:
+                config.update(durability)
             engine = engine_class(spec, workers=workers, **config)
+            # A fresh (non-resuming) run over an old WAL directory: the stale
+            # journal covers state this fleet never held — drop it loudly.
+            engine.discard_wal()
         else:
             engine = ShardedEngine(spec, **config)
     try:
@@ -601,6 +676,10 @@ def _command_serve(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    durability_problem = _validate_durability_flags(args, workers, args.executor or "thread")
+    if durability_problem is not None:
+        print(f"error: {durability_problem}", file=sys.stderr)
+        return 2
     if args.resume and not args.checkpoint_dir:
         print("error: --resume requires --checkpoint-dir", file=sys.stderr)
         return 2
@@ -652,6 +731,10 @@ def _command_serve(args: argparse.Namespace) -> int:
                 workers=workers,
                 executor=args.executor or "thread",
                 max_batch=args.max_batch,
+                supervise=args.supervise,
+                wal_dir=args.wal_dir,
+                wal_fsync=args.wal_fsync or "batch",
+                max_restarts=args.max_restarts,
             ),
             host=args.host,
             http_port=args.port,

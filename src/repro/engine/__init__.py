@@ -122,6 +122,47 @@ The query surface mirrors the ingest surface's batching discipline:
   (unchanged fleets are pure cache hits) and pushes a JSONL delta whenever
   the answer changes, closing the stream cleanly on SIGTERM.
 
+Fault tolerance
+---------------
+:class:`ProcessEngine` can heal worker death instead of going sticky-failed:
+
+* **Write-ahead journal.**  ``ProcessEngine(wal_dir=...)`` appends every
+  dispatched sub-batch — in the columnar transport's exact wire form — to a
+  per-shard journal (:mod:`repro.engine.wal`) *before* handing it to the
+  worker, so no acknowledged record exists only in a worker's memory.  The
+  ``wal_fsync`` knob trades durability for append cost (``"off"`` — worker
+  death safe; ``"batch"``, the default — coordinator-crash safe; ``"always"``
+  — power-loss safe).  A committed checkpoint covers everything journaled so
+  far and truncates the journal; a torn final record (crash mid-append) is
+  detected by length+checksum framing and dropped with a warning, while any
+  deeper corruption raises :class:`~repro.exceptions.TransportError` with
+  file and byte-offset context rather than replaying garbage.
+* **Supervised restarts.**  ``ProcessEngine(supervise=True, wal_dir=...)``
+  runs a supervisor thread that notices a dead worker, restarts it under a
+  bounded :class:`RestartPolicy` (max restarts, exponential backoff),
+  rebuilds its shards from the last checkpoint's digest-verified segments,
+  replays the journal tail in original dispatch order, and re-admits
+  ingest.  Shard routing, per-shard FIFO order and key-derived sampler
+  seeds are deterministic, so a recovered fleet is *bit-identical* to one
+  that never crashed.  Only when the restart budget is exhausted does the
+  engine degrade to the sticky :class:`~repro.exceptions.WorkerFailure`.
+* **Degraded-mode queries.**  While a worker is mid-recovery, queries
+  touching only healthy shards answer normally; queries needing a
+  recovering shard raise the *retryable*
+  :class:`~repro.exceptions.ShardRecovering` (carrying the affected shards
+  and a ``retry_after`` estimate) instead of blocking or guessing —
+  ``swsample serve`` maps it to HTTP 503 with a ``Retry-After`` header.
+  ``stats()`` stays available with healthy-worker totals plus a
+  ``degraded`` marker, ``liveness()`` reports per-worker health without
+  taking any locks, and ``write_checkpoint`` waits briefly for recovery to
+  drain rather than snapshotting a half-restored fleet (failing loudly
+  with :class:`~repro.exceptions.CheckpointError` if it cannot).
+* **Deterministic chaos.**  :mod:`repro.engine.chaos` injects the failure
+  windows on purpose — kill at the Nth dispatched sub-batch, kill during a
+  checkpoint's segment fan-out, kill the replacement mid-replay, corrupt a
+  segment, tear or forge a journal record — so every recovery path above is
+  pinned by tests instead of trusted.
+
 Observability
 -------------
 Every layer reports into a :class:`repro.obs.MetricsRegistry` when handed one
@@ -149,6 +190,7 @@ single coordinator registry.  Render any snapshot with
 :func:`repro.obs.to_prometheus_text`.
 """
 
+from . import chaos
 from .checkpoint import (
     CheckpointResult,
     checkpoint_shards,
@@ -157,7 +199,8 @@ from .checkpoint import (
     write_checkpoint,
 )
 from .engine import ShardedEngine
-from .executor import ParallelEngine, ProcessEngine
+from .executor import ParallelEngine, ProcessEngine, RestartPolicy
+from .wal import WriteAheadLog
 from .hashing import stable_key_bytes, stable_key_hash
 from .pool import KeyedSamplerPool
 from .querycache import QueryCache
@@ -171,6 +214,9 @@ __all__ = [
     "ShardedEngine",
     "ParallelEngine",
     "ProcessEngine",
+    "RestartPolicy",
+    "WriteAheadLog",
+    "chaos",
     "QueryCache",
     "save_checkpoint",
     "load_checkpoint",

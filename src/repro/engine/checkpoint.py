@@ -114,6 +114,8 @@ __all__ = [
     "write_checkpoint",
     "write_shard_segment",
     "checkpoint_shards",
+    "load_shard_states",
+    "forget_saved_segments",
     "CheckpointResult",
     "CHECKPOINT_MAGIC",
     "CHECKPOINT_VERSION",
@@ -140,6 +142,62 @@ MANIFEST_NAME = "MANIFEST.json"
 _SAVE_MEMO: "weakref.WeakKeyDictionary[ShardedEngine, Tuple[str, List[Tuple[int, str]]]]" = (
     weakref.WeakKeyDictionary()
 )
+
+
+def forget_saved_segments(engine: ShardedEngine, shards: Any) -> None:
+    """Drop the incremental-save memo for ``shards`` of ``engine``.
+
+    The supervisor calls this when it rebuilds a dead worker's pools: the
+    replacement pools restart generation counting, so a matching generation
+    number no longer proves the on-disk segment reflects the live state —
+    the next save must rewrite those shards, not re-reference them.
+    """
+    memo = _SAVE_MEMO.get(engine)
+    if memo is None:
+        return
+    path, entries = memo
+    refreshed = [
+        (-1, "") if index in set(shards) else entry
+        for index, entry in enumerate(entries)
+    ]
+    _SAVE_MEMO[engine] = (path, refreshed)
+
+
+def load_shard_states(
+    path: Union[str, os.PathLike], shards: Any, expected_shards: int
+) -> Dict[int, Dict[str, Any]]:
+    """Load just ``shards``' pool states from the checkpoint at ``path``
+    (digest-verified, same validation as a full restore) — the recovery
+    path's restore primitive: a supervisor rebuilding one dead worker needs
+    that worker's shard set only, not the whole fleet.
+
+    Raises :class:`~repro.exceptions.CheckpointError` on a missing/corrupt
+    manifest or segment, or when the manifest's shard count does not match
+    ``expected_shards``.
+    """
+    path = os.path.abspath(os.fspath(path))
+    wanted = set(shards)
+    manifest = _read_manifest(path)
+    if manifest is None:
+        raise CheckpointError(f"{path} has no readable {MANIFEST_NAME}")
+    meta = manifest.get("engine")
+    declared = meta.get("shards") if isinstance(meta, dict) else None
+    if declared != expected_shards:
+        raise CheckpointError(
+            f"checkpoint at {path} declares {declared!r} shards but this"
+            f" engine has {expected_shards} — not the same fleet"
+        )
+    states: Dict[int, Dict[str, Any]] = {}
+    for entry in manifest.get("segments", []):
+        if isinstance(entry, dict) and int(entry.get("shard", -1)) in wanted:
+            index, pool_state = _load_segment(path, entry, expected_shards)
+            states[index] = pool_state
+    missing = wanted - set(states)
+    if missing:
+        raise CheckpointError(
+            f"checkpoint at {path} has no segments for shards {sorted(missing)}"
+        )
+    return states
 
 
 @dataclass(frozen=True)
@@ -352,6 +410,10 @@ def _write_checkpoint_locked(engine: ShardedEngine, path: str) -> CheckpointResu
                 pass
 
     _SAVE_MEMO[engine] = (path, memo_entries)
+    # The manifest swap committed: tell the engine (the supervised process
+    # engine records the path for recovery restores and truncates its
+    # write-ahead journal, now fully covered by these segments).
+    engine._checkpoint_committed(path)
     return CheckpointResult(
         path=path, segments_written=written, segments_reused=reused, bytes_written=bytes_written
     )
@@ -413,6 +475,7 @@ def _engine_from_state(
     executor: str,
     max_batch: Optional[int] = None,
     registry: Optional[Any] = None,
+    engine_kwargs: Optional[Dict[str, Any]] = None,
 ) -> ShardedEngine:
     """Build a serial, thread- or process-backed engine and load ``state``.
 
@@ -423,6 +486,8 @@ def _engine_from_state(
         return ShardedEngine.from_state_dict(state, registry=registry)
     engine_class = _EXECUTORS[executor]
     extra = {} if max_batch is None else {"max_batch": max_batch}
+    if engine_kwargs:
+        extra.update(engine_kwargs)
     engine = engine_class(
         SamplerSpec.from_dict(state["spec"]),
         workers=workers,
@@ -451,6 +516,7 @@ def _load_directory_checkpoint(
     executor: str,
     max_batch: Optional[int] = None,
     registry: Optional[Any] = None,
+    engine_kwargs: Optional[Dict[str, Any]] = None,
 ) -> ShardedEngine:
     manifest_path = os.path.join(path, MANIFEST_NAME)
     try:
@@ -499,7 +565,7 @@ def _load_directory_checkpoint(
         "now": meta.get("now"),
         "pools": pool_states,
     }
-    engine = _engine_from_state(state, workers, executor, max_batch, registry)
+    engine = _engine_from_state(state, workers, executor, max_batch, registry, engine_kwargs)
     # Seed the incremental-save memo: a just-restored engine's state *is*
     # the on-disk state, so its next save to this directory rewrites nothing
     # — unless someone else's save changes the digests in between.
@@ -510,6 +576,8 @@ def _load_directory_checkpoint(
             for index, generation in enumerate(engine._segment_generations())
         ],
     )
+    # A restored engine's recovery baseline is the checkpoint it came from.
+    engine._restored_from(path)
     return engine
 
 
@@ -519,6 +587,7 @@ def _load_legacy_checkpoint(
     executor: str,
     max_batch: Optional[int] = None,
     registry: Optional[Any] = None,
+    engine_kwargs: Optional[Dict[str, Any]] = None,
 ) -> ShardedEngine:
     with open(path, "rb") as handle:
         envelope = pickle.load(handle)
@@ -529,7 +598,10 @@ def _load_legacy_checkpoint(
             f"unsupported checkpoint version {envelope.get('version')!r}"
             f" (expected {LEGACY_CHECKPOINT_VERSION} for single-file checkpoints)"
         )
-    return _engine_from_state(envelope["engine"], workers, executor, max_batch, registry)
+    # No _restored_from here: the legacy layout has no per-shard segments a
+    # supervisor could restore from, so the recovery baseline stays unset
+    # until the first directory-format save.
+    return _engine_from_state(envelope["engine"], workers, executor, max_batch, registry, engine_kwargs)
 
 
 def checkpoint_shards(path: Union[str, os.PathLike]) -> Optional[int]:
@@ -563,6 +635,10 @@ def load_checkpoint(
     executor: str = "thread",
     max_batch: Optional[int] = None,
     registry: Optional[Any] = None,
+    supervise: bool = False,
+    wal_dir: Optional[Union[str, os.PathLike]] = None,
+    wal_fsync: str = "batch",
+    restart_policy: Optional[Any] = None,
 ) -> ShardedEngine:
     """Rebuild an engine from a checkpoint directory (or a legacy file).
 
@@ -589,14 +665,40 @@ def load_checkpoint(
     a ``checkpoint.restore`` span on that registry (or the process default
     when none is given), so restore latency lands in the
     ``checkpoint.restore.seconds`` histogram.
+
+    ``supervise`` / ``wal_dir`` / ``wal_fsync`` / ``restart_policy``
+    (process executor only) rebuild the engine with the self-healing
+    supervision layer attached — the restored checkpoint becomes the
+    recovery baseline immediately.  A non-empty journal left in ``wal_dir``
+    by the previous coordinator is **not** replayed automatically; call
+    :meth:`~repro.engine.ProcessEngine.replay_wal` on the returned engine
+    (the CLI/serve resume paths do).
     """
     if executor not in _EXECUTORS:
         raise ConfigurationError(
             f"executor must be one of {sorted(_EXECUTORS)}, got {executor!r}"
         )
+    engine_kwargs: Dict[str, Any] = {}
+    if wal_dir is not None or supervise:
+        if workers is None or executor != "process":
+            raise ConfigurationError(
+                "supervise/wal_dir apply to process-backed restores only"
+                " (pass workers=N and executor='process')"
+            )
+        if wal_dir is not None:
+            engine_kwargs["wal_dir"] = os.fspath(wal_dir)
+            engine_kwargs["wal_fsync"] = wal_fsync
+        if supervise:
+            engine_kwargs["supervise"] = True
+        if restart_policy is not None:
+            engine_kwargs["restart_policy"] = restart_policy
     path = os.path.abspath(os.fspath(path))
     span_registry = registry if registry is not None else get_registry()
     with span("checkpoint.restore", registry=span_registry):
         if os.path.isdir(path):
-            return _load_directory_checkpoint(path, workers, executor, max_batch, registry)
-        return _load_legacy_checkpoint(path, workers, executor, max_batch, registry)
+            return _load_directory_checkpoint(
+                path, workers, executor, max_batch, registry, engine_kwargs
+            )
+        return _load_legacy_checkpoint(
+            path, workers, executor, max_batch, registry, engine_kwargs
+        )

@@ -725,7 +725,42 @@ class ShardedEngine:
                 "lru": sum(pool.evictions_lru for pool in pools),
                 "ttl": sum(pool.evictions_ttl for pool in pools),
             },
+            # In-process pools can never be mid-recovery; the supervised
+            # ProcessEngine flips this while a worker restart is in flight.
+            "degraded": False,
         }
+
+    def liveness(self) -> Dict[str, Any]:
+        """Degradation/liveness report for health endpoints.  In-process
+        engines are never degraded; the supervised :class:`ProcessEngine`
+        overrides this with per-worker rows (lock-free, best effort)."""
+        return {
+            "degraded": False,
+            "failed": False,
+            "recovering_shards": [],
+            "restarts": 0,
+            "workers": [],
+        }
+
+    def discard_wal(self) -> int:
+        """Drop a stale write-ahead journal.  Only the process executor
+        keeps one; everywhere else this is a no-op so fresh-start paths can
+        call it unconditionally."""
+        return 0
+
+    def replay_wal(self) -> int:
+        """Re-apply a write-ahead journal left by a previous run.  Only the
+        process executor keeps one; everywhere else this is a no-op so
+        resume paths can call it unconditionally."""
+        return 0
+
+    def _checkpoint_committed(self, path: str) -> None:
+        """Hook: a checkpoint manifest for this engine just swapped into
+        place at ``path`` (the supervised engine truncates its journal)."""
+
+    def _restored_from(self, path: str) -> None:
+        """Hook: this engine's state was just loaded from the checkpoint at
+        ``path`` (recovery restores dead workers' shards from it)."""
 
     def metrics_snapshot(self) -> Dict[str, Any]:
         """The engine's metrics registry snapshot (counters / gauges /

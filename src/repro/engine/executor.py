@@ -53,14 +53,29 @@ differ only in how messages travel and where the pools live.
 
 Failure model
 -------------
-A worker failure is **sticky**: once a worker thread raises, or a worker
-process dies (crash, OOM kill, SIGKILL), the fleet may have lost arrivals,
-so the engine raises :class:`~repro.exceptions.WorkerFailure` on all further
-ingest, flushes and queries instead of serving from suspect state.  Recover
-by loading the last checkpoint into a fresh engine.  ``close()`` always
-reaps worker processes (shutdown message, then join, then terminate/kill),
-and a finalizer terminates them even if the engine is garbage-collected
-without ``close()`` — no orphaned processes.
+A worker failure is **sticky** by default: once a worker thread raises, or a
+worker process dies (crash, OOM kill, SIGKILL), the fleet may have lost
+arrivals, so the engine raises :class:`~repro.exceptions.WorkerFailure` on
+all further ingest, flushes and queries instead of serving from suspect
+state.  Recover by loading the last checkpoint into a fresh engine.
+``close()`` always reaps worker processes (shutdown message, then join, then
+terminate/kill), and a finalizer terminates them even if the engine is
+garbage-collected without ``close()`` — no orphaned processes.
+
+Supervision (``ProcessEngine(supervise=True, wal_dir=...)``) upgrades that
+contract to *self-healing*: every dispatched sub-batch is journaled to a
+per-shard write-ahead log (:mod:`repro.engine.wal`) before it is sent, and a
+supervisor thread detects worker death, restarts the process under a bounded
+:class:`RestartPolicy`, restores the dead worker's shards from the last
+checkpoint segments, replays their WAL tails in original order — bit-
+identical to an uninterrupted run, because per-key sampler seeds are
+key-derived — and re-admits ingest.  While a recovery is in flight the fleet
+runs *degraded*: healthy-shard queries answer normally, operations touching
+recovering shards raise the retryable
+:class:`~repro.exceptions.ShardRecovering`, ingest for recovering shards is
+parked coordinator-side and drained after replay, and ``stats()`` /
+``liveness()`` report ``degraded: true`` with per-worker detail.  Only an
+exhausted restart budget degrades to the sticky ``WorkerFailure``.
 
 Thread-safety contract: each engine's public surface is serialised by one
 caller lock, so any number of application threads may ``ingest``/``sample``/
@@ -70,6 +85,7 @@ caller lock, so any number of application threads may ``ingest``/``sample``/
 from __future__ import annotations
 
 import contextlib
+import dataclasses
 import logging
 import multiprocessing
 import os
@@ -79,7 +95,7 @@ import threading
 import time
 import weakref
 from collections import Counter
-from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
 from ..core._cascade import COMPILED as _CASCADE_COMPILED
 from ..core.base import WindowSampler
@@ -88,9 +104,10 @@ from ..exceptions import (
     CheckpointError,
     ConfigurationError,
     ExecutorError,
+    ShardRecovering,
     WorkerFailure,
 )
-from ..obs import MetricsRegistry, NULL_REGISTRY, merge_snapshots
+from ..obs import MetricsRegistry, NULL_REGISTRY, merge_snapshots, span
 from ..obs.logging import apply_logging_config, logging_config
 from ..streams.element import StreamElement
 from .engine import (
@@ -117,8 +134,11 @@ from .transport import (
     decode_batch,
     encode_batch,
 )
+from .wal import WriteAheadLog
 
-__all__ = ["ParallelEngine", "ProcessEngine"]
+__all__ = ["ParallelEngine", "ProcessEngine", "RestartPolicy"]
+
+logger = logging.getLogger("repro.engine.executor")
 
 #: How often blocked queue operations wake up to check worker liveness.
 _POLL_INTERVAL = 0.2
@@ -128,6 +148,47 @@ _JOIN_TIMEOUT = 5.0
 #: Worker-side inbox poll period (lets an orphaned worker notice that its
 #: coordinator process died and exit instead of blocking forever).
 _WORKER_POLL = 1.0
+#: Supervisor liveness-scan period; worker death is also signalled eagerly
+#: by any API thread that trips over it, so this is only the ceiling.
+_SUPERVISOR_POLL = 0.05
+#: How long ``write_checkpoint`` waits for an in-flight recovery to drain
+#: before failing loudly (monkeypatchable in tests).
+_CHECKPOINT_DRAIN_TIMEOUT = 10.0
+#: Parked sub-batches per recovering worker before ingest blocks, in units
+#: of ``queue_depth`` (mirrors the bounded-inbox backpressure contract).
+_PENDING_DEPTH_FACTOR = 4
+
+
+@dataclasses.dataclass(frozen=True)
+class RestartPolicy:
+    """Bounds on supervised worker restarts.
+
+    ``max_restarts`` caps consecutive restart attempts per worker (the
+    counter resets after a successful recovery, so a long-lived fleet is
+    budgeted per *incident*, not per lifetime).  The delay before attempt
+    ``n`` is ``min(backoff_cap, backoff_base * 2**(n - 2))`` — the first
+    restart is immediate, later ones back off exponentially.
+    """
+
+    max_restarts: int = 3
+    backoff_base: float = 0.05
+    backoff_cap: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_restarts <= 0:
+            raise ConfigurationError("max_restarts must be positive")
+        if self.backoff_base < 0 or self.backoff_cap < 0:
+            raise ConfigurationError("backoff delays must be non-negative")
+
+    def delay(self, attempt: int) -> float:
+        """Seconds to wait before the 1-based ``attempt``-th restart."""
+        if attempt <= 1:
+            return 0.0
+        return min(self.backoff_cap, self.backoff_base * (2 ** (attempt - 2)))
+
+
+class _RecoveryAborted(Exception):
+    """Internal: the engine closed (or went sticky-failed) mid-recovery."""
 
 
 class _FailureBox:
@@ -1024,6 +1085,10 @@ class ProcessEngine(_WorkerBackedEngine):
         track_occurrences: bool = False,
         registry: Optional[Any] = None,
         query_cache: Optional[QueryCache] = None,
+        supervise: bool = False,
+        wal_dir: Optional[str] = None,
+        wal_fsync: str = "batch",
+        restart_policy: Optional[RestartPolicy] = None,
     ) -> None:
         super().__init__(
             spec,
@@ -1044,7 +1109,13 @@ class ProcessEngine(_WorkerBackedEngine):
             )
         if shm_ring_bytes <= 0:
             raise ConfigurationError("shm_ring_bytes must be positive")
+        if supervise and wal_dir is None:
+            raise ConfigurationError(
+                "supervise=True requires wal_dir: recovery restores from the"
+                " last checkpoint and replays the write-ahead journal tail"
+            )
         context = multiprocessing.get_context(mp_context)
+        self._mp_context = context
         self._requested_transport = transport
         if transport == "shm" and not HAS_SHARED_MEMORY:
             # Documented fallback: same results, one more copy per sub-batch.
@@ -1074,6 +1145,31 @@ class ProcessEngine(_WorkerBackedEngine):
         self._m_dispatched_records = self._tobs.counter("executor.dispatched.records")
         self._m_backpressure_seconds = self._tobs.counter("executor.backpressure.seconds")
         self._obs.register_callback("executor.queue.depth", self._queue_depth)
+        # Supervision state.  `_recover_cond` guards `_recovering` (worker
+        # indexes mid-recovery) and the per-worker `_pending` park buffers;
+        # everything else is only touched under the API lock or by the
+        # single supervisor thread.
+        self._supervise = bool(supervise)
+        self._restart_policy = restart_policy or RestartPolicy()
+        self._wal: Optional[WriteAheadLog] = (
+            WriteAheadLog(wal_dir, fsync=wal_fsync, registry=self._obs)
+            if wal_dir is not None
+            else None
+        )
+        self._recover_cond = threading.Condition()
+        self._recovering: Set[int] = set()
+        self._restart_counts: List[int] = [0] * self._workers
+        self._total_restarts = 0
+        self._pending: List[List[Tuple[int, bytes]]] = [
+            [] for _ in range(self._workers)
+        ]
+        self._last_checkpoint_path: Optional[str] = None
+        self._supervisor_wake = threading.Event()
+        self._supervisor: Optional[threading.Thread] = None
+        self._m_restarts = self._obs.counter("supervisor.restarts")
+        self._obs.register_callback(
+            "fleet.workers.recovering", lambda: len(self._recovering)
+        )
         config = {
             "spec": spec.to_dict(),
             "seed": self._seed,
@@ -1087,28 +1183,18 @@ class ProcessEngine(_WorkerBackedEngine):
             "obs": self._obs.enabled,
             "log": logging_config(),
         }
+        self._worker_config = config
         self._inboxes = []
         self._replies = []
         self._processes = []
         try:
             for index in range(self._workers):
-                inbox = context.Queue(maxsize=self._queue_depth)
-                replies = context.Queue()
-                worker_config = {**config, "shard_indexes": self._shard_sets[index]}
-                if self._transport == "shm":
-                    ring = ShmRingWriter(context, self._shm_ring_bytes)
-                    self._rings.append(ring)
-                    worker_config["shm_ring"] = ring.worker_config()
-                process = context.Process(
-                    target=_process_worker_main,
-                    args=(worker_config, inbox, replies),
-                    name=f"swsample-shard-worker-{index}",
-                    daemon=True,
-                )
+                inbox, replies, ring, process = self._spawn_worker(index)
                 self._inboxes.append(inbox)
                 self._replies.append(replies)
                 self._processes.append(process)
-                process.start()
+                if ring is not None:
+                    self._rings.append(ring)
         except BaseException:
             _reap_processes(self._processes)
             for ring in self._rings:
@@ -1120,6 +1206,44 @@ class ProcessEngine(_WorkerBackedEngine):
         self._finalizer = weakref.finalize(
             self, _cleanup_fleet, list(self._processes), list(self._rings)
         )
+        if self._supervise:
+            self._supervisor = threading.Thread(
+                target=self._supervisor_loop,
+                name="swsample-supervisor",
+                daemon=True,
+            )
+            self._supervisor.start()
+
+    def _spawn_worker(
+        self, index: int
+    ) -> Tuple[Any, Any, Optional[ShmRingWriter], Any]:
+        """Build one worker's channels (plus an shm ring under that
+        transport) and start its process; the caller wires the pieces into
+        the fleet lists (initial spawn) or swaps them in (recovery)."""
+        context = self._mp_context
+        inbox = context.Queue(maxsize=self._queue_depth)
+        replies = context.Queue()
+        worker_config = {
+            **self._worker_config,
+            "shard_indexes": self._shard_sets[index],
+        }
+        ring: Optional[ShmRingWriter] = None
+        if self._transport == "shm":
+            ring = ShmRingWriter(context, self._shm_ring_bytes)
+            worker_config["shm_ring"] = ring.worker_config()
+        process = context.Process(
+            target=_process_worker_main,
+            args=(worker_config, inbox, replies),
+            name=f"swsample-shard-worker-{index}",
+            daemon=True,
+        )
+        try:
+            process.start()
+        except BaseException:
+            if ring is not None:
+                ring.close()
+            raise
+        return inbox, replies, ring, process
 
     def _create_pools(self) -> List[KeyedSamplerPool]:
         # The shards live in the worker processes; the coordinator keeps
@@ -1143,6 +1267,10 @@ class ProcessEngine(_WorkerBackedEngine):
     def _note_failure(self, text: str) -> None:
         if self._failure is None:
             self._failure = text
+            # Wake anything parked on recovery state (parked ingest, the
+            # checkpoint drain wait): the fleet just went sticky-failed.
+            with self._recover_cond:
+                self._recover_cond.notify_all()
 
     def _raise_failure(self) -> None:
         if self._failure is not None:
@@ -1151,9 +1279,34 @@ class ProcessEngine(_WorkerBackedEngine):
                 f" {self._failure}"
             )
 
+    def _raise_recovering(self, indexes: Iterable[int]) -> None:
+        """Raise the retryable degraded-mode error for these workers."""
+        chosen = sorted(set(indexes))
+        shards = tuple(
+            sorted(
+                shard for index in chosen for shard in self._shard_sets[index]
+            )
+        )
+        attempt = max(self._restart_counts[index] for index in chosen) + 1
+        retry_after = self._restart_policy.delay(attempt) + 1.0
+        raise ShardRecovering(
+            f"worker(s) {', '.join(map(str, chosen))} are being restarted;"
+            f" shards {list(shards)} are mid-recovery — retry shortly",
+            shards=shards,
+            retry_after=retry_after,
+        )
+
     def _ensure_alive(self, index: int) -> None:
+        self._raise_failure()
+        if index in self._recovering:
+            self._raise_recovering((index,))
         process = self._processes[index]
         if not process.is_alive():
+            if self._supervise and not self._closed:
+                # Kick the supervisor (it also polls) and report the
+                # condition as retryable: recovery is about to begin.
+                self._supervisor_wake.set()
+                self._raise_recovering((index,))
             self._note_failure(
                 f"worker process {index} (pid {process.pid}) died"
                 f" with exit code {process.exitcode}"
@@ -1182,6 +1335,11 @@ class ProcessEngine(_WorkerBackedEngine):
     )
 
     def _send(self, index: int, message: Tuple[Any, ...]) -> None:
+        if index in self._recovering:
+            # Defence in depth: every caller checks first (dispatch parks,
+            # queries raise, barriers skip), but nothing may interleave with
+            # a recovery drain on the fresh worker's queue.
+            self._raise_recovering((index,))
         if message[0] not in self._NONMUTATING_OPS:
             self._stats_cache = None
             self._generations_cache = None
@@ -1198,6 +1356,11 @@ class ProcessEngine(_WorkerBackedEngine):
                     # stall began when the queue first refused the message.
                     stalled = time.perf_counter() - _POLL_INTERVAL
                 self._ensure_alive(index)  # raises once the worker is gone
+            except (ValueError, OSError):
+                # The channel was torn down (worker death noticed elsewhere,
+                # or a recovery replaced the queues under a racing caller).
+                self._ensure_alive(index)
+                raise ExecutorError(f"channel to worker {index} is closed")
 
     def _receive(self, index: int, rid: int) -> Tuple[Any, ...]:
         while True:
@@ -1206,6 +1369,9 @@ class ProcessEngine(_WorkerBackedEngine):
             except queue.Empty:
                 self._ensure_alive(index)
                 continue
+            except (ValueError, OSError):
+                self._ensure_alive(index)
+                raise ExecutorError(f"channel to worker {index} is closed")
             if reply[1] != rid:
                 # Stale reply from an exchange interrupted by a failure;
                 # everything after a failure raises anyway, so just drop it.
@@ -1252,25 +1418,46 @@ class ProcessEngine(_WorkerBackedEngine):
         perf = time.perf_counter
         transport = self._transport
         payload: Optional[bytes] = None
+        message: Optional[Tuple[Any, ...]] = None
         if transport == "pickle":
-            message: Optional[Tuple[Any, ...]] = ("apply", shard, batch)
+            message = ("apply", shard, batch)
+            if self._wal is not None:
+                # The journal always holds the columnar wire form, whatever
+                # the live transport: replay goes through the exact codec.
+                payload = encode_batch(batch)
         else:
             started = perf()
             payload = encode_batch(batch)
             self._m_encode_seconds.inc(perf() - started)
             self._m_encoded_bytes.inc(len(payload))
-            message = ("applyc", shard, payload) if transport != "shm" else None
+            if transport != "shm":
+                message = ("applyc", shard, payload)
         self._m_dispatched_batches.inc()
         self._m_dispatched_records.inc(len(batch))
         worker = self._worker_of(shard)
+        if self._supervise and self._park_dispatch(worker, shard, payload):
+            self._unbarriered = True
+            return
+        # Journal-before-send: once appended, the sub-batch survives worker
+        # death — the supervisor's tail read is serialised behind this
+        # ingest's API lock, so it replays exactly the journaled prefix.
+        if self._wal is not None:
+            self._wal.append(shard, payload, records=len(batch))
         # The dispatch stage covers the whole hand-off: for shm that is the
         # ring write (and any ring-backpressure stall) plus the descriptor
         # put, keeping the stage comparable across transports.
         started = perf()
-        if message is None:
-            message = self._ring_message(worker, shard, payload)
-        self._send(worker, message)
-        self._m_dispatch_seconds.inc(perf() - started)
+        try:
+            if message is None:
+                message = self._ring_message(worker, shard, payload)
+            self._send(worker, message)
+        except ShardRecovering:
+            # The worker died under our feet, after the journal append:
+            # abandon the send — the record is in the tail the supervisor
+            # replays, so delivering it here too would double-apply.
+            pass
+        finally:
+            self._m_dispatch_seconds.inc(perf() - started)
         self._unbarriered = True
 
     def _ring_message(
@@ -1332,6 +1519,7 @@ class ProcessEngine(_WorkerBackedEngine):
         """
         with self._api_lock:
             self._check_query()
+            self._check_fleet_ready()
             self.flush()
             decode_seconds = 0.0
             apply_seconds = 0.0
@@ -1359,16 +1547,24 @@ class ProcessEngine(_WorkerBackedEngine):
     def _barrier(self) -> None:
         if self._failure is not None or not self._unbarriered:
             return  # sticky failures re-raise in flush(); nothing in flight
+        # Recovering workers are skipped: their parked/journaled work drains
+        # through the supervisor, and the fleet stays unbarriered until then
+        # so the first post-recovery flush barriers the drained records.
+        targets = [
+            index
+            for index in range(self._workers)
+            if index not in self._recovering
+        ]
         rid = self._next_rid()
-        for index in range(self._workers):
+        for index in targets:
             self._send(index, ("barrier", rid))
-        for index in range(self._workers):
+        for index in targets:
             reply = self._receive(index, rid)
             if reply[2] is not None:
                 self._note_failure(
                     f"a shard worker failed while applying records: {reply[2]}"
                 )
-        self._unbarriered = False
+        self._unbarriered = bool(self._recovering)
 
     def close(self) -> None:
         """Drain outstanding work and reap the worker processes (idempotent).
@@ -1382,11 +1578,28 @@ class ProcessEngine(_WorkerBackedEngine):
                 return
             try:
                 if self._failure is None:
-                    self._barrier()
+                    try:
+                        self._barrier()
+                    except ShardRecovering:
+                        pass  # recovering worker: reap it without draining
             finally:
                 self._closed = True
+                with self._recover_cond:
+                    self._recover_cond.notify_all()
+                self._stop_supervisor()
                 self._shutdown_fleet()
+                if self._wal is not None:
+                    self._wal.close()
             self._raise_failure()
+
+    def _stop_supervisor(self) -> None:
+        supervisor = self._supervisor
+        if supervisor is None:
+            return
+        self._supervisor_wake.set()
+        if supervisor is not threading.current_thread():
+            supervisor.join(timeout=_JOIN_TIMEOUT)
+        self._supervisor = None
 
     def _shutdown_fleet(self) -> None:
         for inbox in self._inboxes:
@@ -1406,6 +1619,391 @@ class ProcessEngine(_WorkerBackedEngine):
             # if a dead worker left pipe buffers full.
             channel.cancel_join_thread()
 
+    # -- supervision (self-healing worker restarts) ---------------------------
+
+    def _supervisor_loop(self) -> None:
+        """Daemon loop: notice dead workers and recover them in place.
+
+        API threads that trip over a corpse first set ``_supervisor_wake``
+        so detection is immediate under traffic; the poll is only the
+        ceiling for an otherwise idle fleet.
+        """
+        while True:
+            self._supervisor_wake.wait(timeout=_SUPERVISOR_POLL)
+            self._supervisor_wake.clear()
+            if self._closed or self._failure is not None:
+                return
+            for index in range(self._workers):
+                if self._closed or self._failure is not None:
+                    return
+                if index in self._recovering:
+                    continue
+                if not self._processes[index].is_alive():
+                    self._recover_worker(index)
+
+    def _recover_worker(self, index: int) -> None:
+        """Restart one dead worker within the restart budget; on success the
+        fleet is healthy again, on exhaustion it goes sticky-failed."""
+        with span("recovery", registry=self._obs):
+            last_error: Optional[BaseException] = None
+            while not self._closed and self._failure is None:
+                self._restart_counts[index] += 1
+                attempt = self._restart_counts[index]
+                if attempt > self._restart_policy.max_restarts:
+                    self._give_up(
+                        index,
+                        f"restart budget exhausted after"
+                        f" {self._restart_policy.max_restarts} attempt(s)"
+                        f" (last error: {last_error})",
+                    )
+                    return
+                self._m_restarts.inc()
+                self._total_restarts += 1
+                delay = self._restart_policy.delay(attempt)
+                if delay:
+                    time.sleep(delay)
+                try:
+                    self._restart_and_replay(index)
+                except _RecoveryAborted:
+                    return
+                except Exception as error:
+                    last_error = error
+                    logger.warning(
+                        "restart attempt %d for worker %d failed: %s",
+                        attempt,
+                        index,
+                        error,
+                    )
+                    continue
+                logger.info("worker %d recovered on attempt %d", index, attempt)
+                return
+
+    def _lock_api_for_supervisor(self) -> None:
+        """Take the API lock from the supervisor thread, bailing out if the
+        engine closes or goes sticky-failed while waiting."""
+        while not self._api_lock.acquire(timeout=_POLL_INTERVAL):
+            if self._closed or self._failure is not None:
+                raise _RecoveryAborted
+        if self._closed or self._failure is not None:
+            self._api_lock.release()
+            raise _RecoveryAborted
+
+    def _restart_and_replay(self, index: int) -> None:
+        """One restart attempt: mark, restore from checkpoint, replay the
+        journal tail, swap the fresh worker in, drain parked dispatches.
+
+        Exactly-once reasoning: the mark-and-read-tail step holds the API
+        lock, so every dispatch either journaled *before* the tail was read
+        (its queued copy dies with the old worker and the tail replays it)
+        or observes ``recovering`` afterwards and parks.  Parked entries are
+        journaled one by one as the drain sends them, keeping the journal in
+        true dispatch order for any *subsequent* crash.
+        """
+        from .checkpoint import forget_saved_segments
+
+        # Phase 1 — mark the worker recovering and freeze its journal tail,
+        # serialised against the whole public surface.
+        self._lock_api_for_supervisor()
+        try:
+            with self._recover_cond:
+                self._recovering.add(index)
+            self._stats_cache = None
+            self._generations_cache = None
+            shard_set = self._shard_sets[index]
+            tails = {shard: self._wal.tail(shard) for shard in shard_set}
+            checkpoint_path = self._last_checkpoint_path
+            # The rebuilt pools restart generation counting, so a later
+            # incremental save must rewrite these shards' segments rather
+            # than reuse entries memoised from the dead worker's lifetime.
+            forget_saved_segments(self, shard_set)
+        finally:
+            self._api_lock.release()
+        # Phase 2 — reap the corpse and its channels (outside the API lock:
+        # ingest and queries keep flowing to the healthy workers).
+        _reap_processes([self._processes[index]])
+        for channel in (self._inboxes[index], self._replies[index]):
+            try:
+                channel.close()
+                channel.cancel_join_thread()
+            except (OSError, ValueError):  # pragma: no cover - already torn
+                pass
+        if self._transport == "shm":
+            try:
+                self._rings[index].close()
+            except (OSError, ValueError):  # pragma: no cover - already torn
+                pass
+        # Phase 3 — spawn the replacement and rebuild its shard state.
+        inbox, replies, ring, process = self._spawn_worker(index)
+        swapped = False
+        try:
+            states: Dict[int, Any] = {}
+            if checkpoint_path is not None:
+                states = self._segment_states(checkpoint_path, shard_set)
+            if states:
+                self._recovery_put(process, inbox, ("set_state", -1, states))
+                reply = self._recovery_get(process, replies, -1)
+                if reply[0] == "error":
+                    raise reply[2]
+            # Phase 4 — replay the journal tail in original dispatch order.
+            for shard in shard_set:
+                for payload in tails.get(shard, ()):
+                    self._recovery_put(process, inbox, ("applyc", shard, payload))
+            self._recovery_put(process, inbox, ("barrier", -2))
+            reply = self._recovery_get(process, replies, -2)
+            if reply[2] is not None:
+                raise ExecutorError(
+                    f"worker {index} failed while replaying its journal:"
+                    f" {reply[2]}"
+                )
+            # Phase 5 — swap the fresh worker into the fleet.
+            with self._recover_cond:
+                self._processes[index] = process
+                self._inboxes[index] = inbox
+                self._replies[index] = replies
+                if ring is not None:
+                    self._rings[index] = ring
+                swapped = True
+            self._rebuild_finalizer()
+        except BaseException:
+            if not swapped:
+                _reap_processes([process])
+                for channel in (inbox, replies):
+                    try:
+                        channel.close()
+                        channel.cancel_join_thread()
+                    except (OSError, ValueError):  # pragma: no cover
+                        pass
+                if ring is not None:
+                    ring.close()
+            raise
+        # Phase 6 — drain parked dispatches, then mark the worker healthy.
+        self._drain_pending(index, process, inbox)
+
+    def _segment_states(
+        self, path: str, shard_set: Tuple[int, ...]
+    ) -> Dict[int, Any]:
+        """Load this worker's shard states from the last checkpoint's
+        digest-verified segments (coordinator-side; only these shards)."""
+        from .checkpoint import load_shard_states
+
+        return load_shard_states(path, shard_set, self.shards)
+
+    def _recovery_put(self, process: Any, inbox: Any, message: Tuple[Any, ...]) -> None:
+        while True:
+            if self._closed:
+                raise _RecoveryAborted
+            try:
+                inbox.put(message, timeout=_POLL_INTERVAL)
+                return
+            except queue.Full:
+                if not process.is_alive():
+                    raise ExecutorError(
+                        f"worker process died again during recovery"
+                        f" (exit code {process.exitcode})"
+                    )
+
+    def _recovery_get(self, process: Any, replies: Any, rid: int) -> Tuple[Any, ...]:
+        while True:
+            if self._closed:
+                raise _RecoveryAborted
+            try:
+                reply = replies.get(timeout=_POLL_INTERVAL)
+            except queue.Empty:
+                if not process.is_alive():
+                    raise ExecutorError(
+                        f"worker process died again during recovery"
+                        f" (exit code {process.exitcode})"
+                    )
+                continue
+            if reply[1] != rid:
+                continue  # residue from an abandoned earlier exchange
+            return reply
+
+    def _drain_pending(self, index: int, process: Any, inbox: Any) -> None:
+        """Flush the park buffer to the fresh worker, journaling each entry
+        as it goes out, then clear the recovering mark."""
+        while True:
+            with self._recover_cond:
+                pending = self._pending[index]
+                if not pending:
+                    # Degraded-mode reads never cached, but invalidate too:
+                    # the recovered worker changed the fleet totals.
+                    self._stats_cache = None
+                    self._generations_cache = None
+                    self._unbarriered = True
+                    self._recovering.discard(index)
+                    self._restart_counts[index] = 0
+                    self._recover_cond.notify_all()
+                    return
+                shard, payload = pending[0]
+                # Journal before popping: if the send below fails, the entry
+                # is already in the tail the next attempt replays — and no
+                # longer pending.  Exactly once either way.
+                self._wal.append(shard, payload)
+                pending.pop(0)
+                self._recover_cond.notify_all()
+            self._recovery_put(process, inbox, ("applyc", shard, payload))
+
+    def _give_up(self, index: int, reason: str) -> None:
+        logger.error("giving up on worker %d: %s", index, reason)
+        with self._recover_cond:
+            self._note_failure(
+                f"supervised worker {index} could not be recovered: {reason}"
+            )
+            self._recovering.discard(index)
+            self._pending[index].clear()
+            self._recover_cond.notify_all()
+
+    def _rebuild_finalizer(self) -> None:
+        """Re-arm the GC finalizer over the post-recovery fleet (the old one
+        captured the dead process and its ring)."""
+        self._finalizer.detach()
+        self._finalizer = weakref.finalize(
+            self, _cleanup_fleet, list(self._processes), list(self._rings)
+        )
+
+    def _park_dispatch(self, worker: int, shard: int, payload: bytes) -> bool:
+        """Hold a sub-batch for a recovering worker (bounded, blocking).
+
+        Parked entries are journaled by the drain, not here, so the journal
+        stays in true dispatch order.  Returns ``False`` when the worker is
+        healthy (the caller dispatches normally)."""
+        with self._recover_cond:
+            while True:
+                if self._failure is not None:
+                    self._raise_failure()
+                if worker not in self._recovering:
+                    return False
+                if len(self._pending[worker]) < self._queue_depth * _PENDING_DEPTH_FACTOR:
+                    self._pending[worker].append((shard, payload))
+                    return True
+                started = time.perf_counter()
+                self._recover_cond.wait(timeout=_POLL_INTERVAL)
+                self._m_backpressure_seconds.inc(time.perf_counter() - started)
+
+    def _check_recovering_for(self, shard: int) -> None:
+        """Per-key queries: retryable error when this shard's owner is
+        mid-recovery (healthy shards keep answering)."""
+        if not self._recovering:
+            return
+        worker = self._worker_of(shard)
+        if worker in self._recovering:
+            self._raise_recovering((worker,))
+
+    def _check_fleet_ready(self) -> None:
+        """Fleet-wide operations need every shard: raise the retryable
+        :class:`ShardRecovering` rather than a silently-partial answer."""
+        if self._recovering:
+            self._raise_recovering(tuple(self._recovering))
+
+    def liveness(self) -> Dict[str, Any]:
+        """Lock-free per-worker liveness report (drives ``/healthz``):
+        ``degraded`` plus one row per worker with pid / alive / recovering /
+        current-incident restart count / owned shards.  Best effort — it
+        deliberately does not take the API lock, so a row can be a moment
+        stale, but it can never block behind a slow query or a recovery."""
+        recovering = set(self._recovering)
+        workers: List[Dict[str, Any]] = []
+        for index in range(self._workers):
+            process = self._processes[index]
+            try:
+                alive = bool(process.is_alive())
+            except (OSError, ValueError):  # pragma: no cover - torn process
+                alive = False
+            workers.append(
+                {
+                    "worker": index,
+                    "pid": process.pid,
+                    "alive": alive,
+                    "recovering": index in recovering,
+                    "restarts": self._restart_counts[index],
+                    "shards": list(self._shard_sets[index]),
+                }
+            )
+        return {
+            "degraded": bool(recovering),
+            "failed": self._failure is not None,
+            "recovering_shards": sorted(
+                shard for index in recovering for shard in self._shard_sets[index]
+            ),
+            "restarts": self._total_restarts,
+            "workers": workers,
+        }
+
+    def replay_wal(self) -> int:
+        """Re-apply every journaled sub-batch left behind by a previous
+        coordinator (call after resuming from a checkpoint whose WAL
+        directory outlived it).  Returns the number of records re-applied.
+
+        The journal is *not* truncated afterwards — the records are not yet
+        covered by a checkpoint; the next committed save truncates it.
+        """
+        with self._api_lock:
+            self._check_query()
+            self._check_fleet_ready()
+            self.flush()
+            if self._wal is None:
+                return 0
+            replayed = 0
+            max_ts: Optional[float] = None
+            clocked = self._spec.is_timestamp
+            for shard, payloads in self._wal.replay():
+                if shard >= self.shards:
+                    raise ConfigurationError(
+                        f"journal names shard {shard} but this engine has"
+                        f" {self.shards} shards — the WAL directory belongs"
+                        f" to a different engine recipe"
+                    )
+                worker = self._worker_of(shard)
+                for payload in payloads:
+                    batch = decode_batch(payload)
+                    replayed += len(batch)
+                    if clocked and batch:
+                        stamp = batch[-1][2]
+                        if stamp is not None and (max_ts is None or stamp > max_ts):
+                            max_ts = stamp
+                    self._send(worker, ("applyc", shard, payload))
+                    self._unbarriered = True
+            if max_ts is not None and max_ts > self._now:
+                self._now = max_ts
+            self.flush()
+            return replayed
+
+    def discard_wal(self) -> int:
+        """Drop any journal left behind by a previous coordinator; returns
+        the bytes discarded.
+
+        A fresh (non-resuming) start over an old WAL directory must call
+        this: the stale records belong to state this fleet never held, and
+        a later recovery would otherwise replay them into the wrong window.
+        Resume paths call :meth:`replay_wal` instead and keep the journal.
+        """
+        with self._api_lock:
+            self._check_query()
+            if self._wal is None:
+                return 0
+            stale = self._wal.bytes_on_disk()
+            if stale:
+                logger.warning(
+                    "discarding %d byte(s) of stale WAL in %s (fresh start,"
+                    " not resuming)",
+                    stale,
+                    self._wal.directory,
+                )
+            self._wal.truncate()
+            return stale
+
+    def _checkpoint_committed(self, path: str) -> None:
+        # Called by write_checkpoint after the manifest swap: the journal is
+        # now fully covered by on-disk segments, so recovery restarts from
+        # this checkpoint and the journal resets.
+        self._last_checkpoint_path = path
+        if self._wal is not None:
+            self._wal.truncate()
+
+    def _restored_from(self, path: str) -> None:
+        self._last_checkpoint_path = path
+
     # -- queries (request/reply; workers compute, results travel) ------------
 
     def _check_query(self) -> None:
@@ -1419,6 +2017,7 @@ class ProcessEngine(_WorkerBackedEngine):
     def advance_time(self, now: float) -> None:
         with self._api_lock:
             self._check_query()
+            self._check_fleet_ready()
             self.flush()
             if now > self._now:
                 self._now = now
@@ -1432,6 +2031,7 @@ class ProcessEngine(_WorkerBackedEngine):
             self._check_query()
             self.flush()
             shard = self.shard_of(key)
+            self._check_recovering_for(shard)
             return self._request(self._worker_of(shard), "sampler", shard, key)
 
     def __contains__(self, key: Any) -> bool:
@@ -1439,6 +2039,7 @@ class ProcessEngine(_WorkerBackedEngine):
             self._check_query()
             self.flush()
             shard = self.shard_of(key)
+            self._check_recovering_for(shard)
             return self._request(self._worker_of(shard), "contains", shard, key)
 
     def sample(self, key: Any) -> List[StreamElement]:
@@ -1446,6 +2047,7 @@ class ProcessEngine(_WorkerBackedEngine):
             self._check_query()
             self.flush()
             shard = self.shard_of(key)
+            self._check_recovering_for(shard)
             return self._cached_query(
                 ("sample", key),
                 lambda: self._request(
@@ -1453,34 +2055,81 @@ class ProcessEngine(_WorkerBackedEngine):
                 ),
             )
 
-    def _stats(self) -> Tuple[int, int, int, int, int, int]:
+    def _stats(self, strict: bool = True) -> Tuple[int, int, int, int, int, int]:
         # One broadcast returns all six fleet totals (keys, ticks, evictions,
         # memory words, LRU evictions, TTL evictions); they are cached until
         # the next mutating message so the common read-them-all pattern
         # (key_count, evictions, memory_words back to back) pays one IPC
-        # round trip instead of several.
+        # round trip instead of several.  Strict callers (the scalar
+        # properties) refuse to answer from a degraded fleet; ``stats()``
+        # passes strict=False and labels the partial totals ``degraded``.
         self._check_query()
+        if strict:
+            self._check_fleet_ready()
         self.flush()
-        if self._stats_cache is None:
-            totals = (0, 0, 0, 0, 0, 0)
-            for partial in self._broadcast("stats"):
-                totals = tuple(a + b for a, b in zip(totals, partial))
+        if self._stats_cache is not None:
+            return self._stats_cache
+        recovering = set(self._recovering)
+        targets = [
+            index for index in range(self._workers) if index not in recovering
+        ]
+        totals = (0, 0, 0, 0, 0, 0)
+        rid = self._next_rid()
+        for index in targets:
+            self._send(index, ("stats", rid))
+        errors: List[BaseException] = []
+        for index in targets:
+            reply = self._receive(index, rid)
+            if reply[0] == "error":
+                errors.append(reply[2])
+            else:
+                totals = tuple(a + b for a, b in zip(totals, reply[2]))
+        if errors:
+            raise errors[0]
+        if not recovering and not self._recovering:
+            # Partial (degraded) totals are never cached: the fleet totals
+            # jump when the recovered worker rejoins.
             self._stats_cache = totals  # type: ignore[assignment]
-        return self._stats_cache
+        return totals  # type: ignore[return-value]
+
+    def _degraded_stats_fields(self, recovering: List[int]) -> Dict[str, Any]:
+        return {
+            "degraded": True,
+            "workers": {
+                "recovering": sorted(recovering),
+                "recovering_shards": sorted(
+                    shard
+                    for index in recovering
+                    for shard in self._shard_sets[index]
+                ),
+                "restarts": self._total_restarts,
+            },
+        }
 
     def stats(self) -> Dict[str, Any]:
         """Fleet statistics (same shape as :meth:`ShardedEngine.stats`),
-        computed from one ``stats`` broadcast over the resident pools."""
+        computed from one ``stats`` broadcast over the resident pools.
+
+        While a worker restart is in flight the totals cover only the
+        healthy workers and the payload carries ``degraded: True`` plus a
+        ``workers`` block naming the recovering workers/shards — a health
+        answer, never a silent partial masquerading as the whole fleet.
+        """
         with self._api_lock:
-            keys, arrivals, evictions, memory, lru, ttl = self._stats()
-            return {
+            recovering = sorted(self._recovering)
+            keys, arrivals, evictions, memory, lru, ttl = self._stats(strict=False)
+            payload: Dict[str, Any] = {
                 "shards": self._shards,
                 "kernel": self._kernel,
                 "keys": keys,
                 "arrivals": arrivals,
                 "memory_words": memory,
                 "evictions": {"total": evictions, "lru": lru, "ttl": ttl},
+                "degraded": False,
             }
+            if recovering:
+                payload.update(self._degraded_stats_fields(recovering))
+            return payload
 
     def metrics_snapshot(self) -> Dict[str, Any]:
         """One fleet-wide metrics snapshot: the coordinator's registry
@@ -1503,11 +2152,13 @@ class ProcessEngine(_WorkerBackedEngine):
                 )
             try:
                 self._barrier()
-            except WorkerFailure:
-                pass  # dead fleet: merge whatever still answers
+            except (WorkerFailure, ShardRecovering):
+                pass  # dead or healing fleet: merge whatever still answers
             snapshots = [self._obs.snapshot()]
             reporting = 0
             for index in range(self._workers):
+                if index in self._recovering:
+                    continue  # mid-recovery: nothing to ask yet
                 try:
                     snapshots.append(self._request(index, "metrics"))
                     reporting += 1
@@ -1542,6 +2193,7 @@ class ProcessEngine(_WorkerBackedEngine):
     def keys(self) -> List[Any]:
         with self._api_lock:
             self._check_query()
+            self._check_fleet_ready()
             self.flush()
             by_shard = self._merged("keys")
             result: List[Any] = []
@@ -1555,6 +2207,7 @@ class ProcessEngine(_WorkerBackedEngine):
         engine's shard order."""
         with self._api_lock:
             self._check_query()
+            self._check_fleet_ready()
             self.flush()
             by_shard = self._merged("items")
             result: List[Tuple[Any, WindowSampler]] = []
@@ -1570,6 +2223,7 @@ class ProcessEngine(_WorkerBackedEngine):
             raise ConfigurationError("top must be positive")
         with self._api_lock:
             self._check_query()
+            self._check_fleet_ready()
             self.flush()
 
             def compute() -> List[Tuple[Any, int]]:
@@ -1586,6 +2240,7 @@ class ProcessEngine(_WorkerBackedEngine):
             raise ConfigurationError("threshold must lie strictly between 0 and 1")
         with self._api_lock:
             self._check_query()
+            self._check_fleet_ready()
             self.flush()
 
             def compute() -> List[Tuple[Any, float]]:
@@ -1604,6 +2259,7 @@ class ProcessEngine(_WorkerBackedEngine):
         self._check_moment_config()
         with self._api_lock:
             self._check_query()
+            self._check_fleet_ready()
             self.flush()
 
             def compute() -> Dict[Any, float]:
@@ -1614,11 +2270,23 @@ class ProcessEngine(_WorkerBackedEngine):
 
             return self._cached_query(("moments", float(order)), compute)
 
+    def _cached_query(self, cache_key: Tuple[Any, ...], compute: Any) -> Any:
+        if self._recovering:
+            # Degraded: generations are in flux (and fetching them would
+            # need the recovering worker anyway) — compute without memoising.
+            return compute()
+        return super()._cached_query(cache_key, compute)
+
     def query_batch(self, ops: Iterable[Any]) -> List[Tuple[Any, ...]]:
         plans = self._query_plans(ops)
         with self._api_lock:
             self._check_query()
             self.flush()
+            if self._recovering:
+                # Degraded: bypass the result cache (its generation fetch
+                # needs every worker); per-op ShardRecovering errors are
+                # captured inline below, healthy-shard ops answer normally.
+                return self._compute_query_ops(plans)
             return self._query_batch_resolve(plans)
 
     def _compute_query_ops(
@@ -1629,7 +2297,32 @@ class ProcessEngine(_WorkerBackedEngine):
         all workers compute concurrently (send-all-then-receive).  Aggregate
         partials merge coordinator-side under the same total orders as the
         scalar paths, so batched results are bit-identical to scalar ones.
+
+        While a worker is mid-recovery the batch degrades per op: per-key
+        ops for recovering shards and ranked/merged aggregates (which need
+        every shard) capture :class:`ShardRecovering` inline; ``stats``
+        answers with healthy-worker totals labelled ``degraded``.
         """
+        recovering_set = frozenset(self._recovering)
+        recovering = sorted(recovering_set)
+        degraded_outcome: Optional[Tuple[Any, ...]] = None
+        if recovering:
+            shards = tuple(
+                sorted(
+                    shard
+                    for index in recovering
+                    for shard in self._shard_sets[index]
+                )
+            )
+            attempt = max(self._restart_counts[index] for index in recovering) + 1
+            degraded_outcome = _query_error(
+                ShardRecovering(
+                    f"shards {list(shards)} are mid-recovery — retry shortly",
+                    shards=shards,
+                    retry_after=self._restart_policy.delay(attempt) + 1.0,
+                )
+            )
+        outcomes: List[Optional[Tuple[Any, ...]]] = [None] * len(plans)
         perkey_by_worker: Dict[int, List[Tuple[int, str, int, Any]]] = {
             index: [] for index in range(self._workers)
         }
@@ -1638,15 +2331,27 @@ class ProcessEngine(_WorkerBackedEngine):
             kind = plan[0]
             if kind in ("sample", "contains"):
                 shard = self.shard_of(plan[1])
-                perkey_by_worker[self._worker_of(shard)].append(
-                    (slot, kind, shard, plan[1])
-                )
+                worker = self._worker_of(shard)
+                if worker in recovering_set:
+                    outcomes[slot] = degraded_outcome
+                else:
+                    perkey_by_worker[worker].append((slot, kind, shard, plan[1]))
+            elif degraded_outcome is not None and kind != "stats":
+                # Ranked/merged aggregates need every shard; a partial
+                # answer would be silently wrong — degrade to the
+                # retryable error instead.
+                outcomes[slot] = degraded_outcome
             else:
                 aggregates.append((slot,) + plan)
         now = self._now
         frequent_clocked = self._spec.is_timestamp and now != float("-inf")
+        targets = [
+            index
+            for index in range(self._workers)
+            if index not in recovering_set
+        ]
         rid = self._next_rid()
-        for index in range(self._workers):
+        for index in targets:
             self._send(
                 index,
                 (
@@ -1658,10 +2363,9 @@ class ProcessEngine(_WorkerBackedEngine):
                     frequent_clocked,
                 ),
             )
-        outcomes: List[Optional[Tuple[Any, ...]]] = [None] * len(plans)
         partials_by_slot: Dict[int, List[Any]] = {entry[0]: [] for entry in aggregates}
         errors: List[BaseException] = []
-        for index in range(self._workers):
+        for index in targets:
             reply = self._receive(index, rid)
             if reply[0] == "error":
                 errors.append(reply[2])
@@ -1703,7 +2407,10 @@ class ProcessEngine(_WorkerBackedEngine):
                     "arrivals": arrivals,
                     "memory_words": memory,
                     "evictions": {"total": evictions, "lru": lru, "ttl": ttl},
+                    "degraded": False,
                 }
+                if recovering:
+                    value.update(self._degraded_stats_fields(recovering))
             outcomes[slot] = ("ok", value)
         return outcomes  # type: ignore[return-value]
 
@@ -1712,6 +2419,7 @@ class ProcessEngine(_WorkerBackedEngine):
     def state_dict(self) -> Dict[str, Any]:
         with self._api_lock:
             self._check_query()
+            self._check_fleet_ready()
             self.flush()
             by_shard = self._merged("get_state")
             return {
@@ -1722,6 +2430,7 @@ class ProcessEngine(_WorkerBackedEngine):
     def load_state_dict(self, state: Dict[str, Any]) -> None:
         with self._api_lock:
             self._check_query()
+            self._check_fleet_ready()
             self.flush()
             self._validate_state(state)
             # Send-all-then-receive (the _broadcast pattern, with per-worker
@@ -1750,6 +2459,7 @@ class ProcessEngine(_WorkerBackedEngine):
     def _segment_generations(self) -> List[int]:
         with self._api_lock:
             self._check_query()
+            self._check_fleet_ready()
             self.flush()
             if self._generations_cache is None:
                 by_shard = self._merged("generations")
@@ -1761,6 +2471,29 @@ class ProcessEngine(_WorkerBackedEngine):
     @contextlib.contextmanager
     def _checkpoint_guard(self):
         with self._api_lock:
+            if self._recovering:
+                # A snapshot now would capture a stale segment for the
+                # recovering shards (their live state is mid-rebuild).  Wait
+                # for the drain; if it does not finish in time, fail loudly
+                # naming the shards rather than write a wrong checkpoint.
+                with self._recover_cond:
+                    self._recover_cond.wait_for(
+                        lambda: not self._recovering
+                        or self._failure is not None
+                        or self._closed,
+                        timeout=_CHECKPOINT_DRAIN_TIMEOUT,
+                    )
+                if self._recovering:
+                    shards = sorted(
+                        shard
+                        for index in self._recovering
+                        for shard in self._shard_sets[index]
+                    )
+                    raise CheckpointError(
+                        f"cannot checkpoint while shards {shards} are"
+                        f" mid-recovery: the snapshot would capture stale"
+                        f" segments — wait for recovery to drain and retry"
+                    )
             try:
                 self._check_query()
                 self.flush()

@@ -1,0 +1,311 @@
+"""Per-shard write-ahead log for supervised :class:`ProcessEngine` fleets.
+
+A SIGKILL'd worker process takes its resident shard pools with it.  The
+checkpoint layer bounds the loss to "everything since the last save"; this
+module closes the remaining gap.  Before a sub-batch is dispatched to a
+worker, the coordinator appends it here — encoded with the existing columnar
+transport codec (:func:`repro.engine.transport.encode_batch`), which is
+already an exact, self-describing record wire format — and the supervisor
+replays the journal tail after restoring the dead worker's shards from the
+last checkpoint.  Because shard routing, per-shard FIFO order and per-key
+sampler seeds are all deterministic, checkpoint-restore + in-order replay is
+bit-identical to an uninterrupted run.
+
+On-disk layout
+--------------
+One journal file per shard under the WAL directory::
+
+    wal_dir/shard-00000.wal
+    wal_dir/shard-00001.wal
+    ...
+
+Each file is a sequence of framed records::
+
+    record := uint32 payload_length | uint32 crc32(payload) | payload
+
+where ``payload`` is one :func:`encode_batch` buffer (``SWT1`` columnar
+format).  The framing exists so a *torn* final record — a crash mid-append —
+is detected structurally (short header, short payload, or a checksum
+mismatch confined to the file tail) and truncated with a warning instead of
+being decoded as garbage.  Corruption that is **not** explainable as a torn
+append (a checksum mismatch with more journal after it, or a checksum-valid
+payload the codec rejects) raises
+:class:`~repro.exceptions.TransportError` with file and byte-offset
+context, mirroring the transport module's decode errors.
+
+Durability knob (``fsync``)
+---------------------------
+``"off"``
+    Appends stay in the process's stdio buffer.  Fastest; a coordinator
+    *crash* (not just worker death) can lose buffered batches.  Worker
+    death alone loses nothing — the coordinator is still alive to flush.
+``"batch"`` (default)
+    ``flush()`` to the OS after every append.  Survives coordinator crash;
+    an OS/power failure can still lose page-cache residue.
+``"always"``
+    ``flush()`` + ``os.fsync`` per append.  Survives power loss; pays a
+    device round-trip per sub-batch (see the ``bench_recovery`` row).
+
+Truncation
+----------
+A committed checkpoint supersedes the journal: every record the WAL holds
+is covered by the manifest's segments, so :meth:`WriteAheadLog.truncate`
+resets every shard file to empty.  The engine calls this from its
+``_checkpoint_committed`` hook — strictly *after* the manifest swap, never
+after segment writes alone, so a crash between the two loses nothing.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import struct
+import zlib
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from ..exceptions import ConfigurationError, TransportError
+from ..obs import NULL_REGISTRY
+from .transport import decode_batch
+
+__all__ = [
+    "WriteAheadLog",
+    "FSYNC_MODES",
+    "RECORD_HEADER",
+    "frame_record",
+    "shard_wal_name",
+]
+
+logger = logging.getLogger("repro.engine.wal")
+
+#: Accepted values for the durability knob, weakest first.
+FSYNC_MODES = ("off", "batch", "always")
+
+#: Per-record frame header: payload byte length, then crc32 of the payload.
+RECORD_HEADER = struct.Struct("<II")
+
+
+def shard_wal_name(shard: int) -> str:
+    """Journal file name for one shard (``shard-00042.wal``)."""
+    return f"shard-{shard:05d}.wal"
+
+
+def frame_record(payload: bytes) -> bytes:
+    """One framed journal record: length + crc32 header, then the payload."""
+    return RECORD_HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+def _scan_records(raw: bytes, path: str) -> Tuple[List[Tuple[int, bytes]], int]:
+    """Walk one journal image, returning ``[(offset, payload), ...]`` and the
+    byte offset where the last *intact* record ends.
+
+    A structurally incomplete tail (short header, short payload, or a
+    bad checksum on the file's final frame) is reported by returning early —
+    the caller truncates.  A checksum mismatch that is *followed by more
+    journal* cannot be a torn append and raises :class:`TransportError`.
+    """
+    records: List[Tuple[int, bytes]] = []
+    offset = 0
+    size = len(raw)
+    while offset < size:
+        if size - offset < RECORD_HEADER.size:
+            break  # torn header at the tail
+        length, checksum = RECORD_HEADER.unpack_from(raw, offset)
+        body_start = offset + RECORD_HEADER.size
+        if size - body_start < length:
+            break  # torn payload at the tail
+        payload = raw[body_start : body_start + length]
+        if zlib.crc32(payload) != checksum:
+            if body_start + length == size:
+                break  # checksum damage confined to the final frame: torn
+            raise TransportError(
+                f"corrupt WAL record in {path} at offset {offset}:"
+                f" crc mismatch (stored {checksum:#010x},"
+                f" computed {zlib.crc32(payload):#010x}) with"
+                f" {size - body_start - length} journal bytes following —"
+                " not a torn tail; restore from checkpoint"
+            )
+        records.append((offset, payload))
+        offset = body_start + length
+    return records, offset
+
+
+class WriteAheadLog:
+    """Append/replay access to one engine's per-shard journal directory.
+
+    The coordinator owns exactly one instance; appends go through per-shard
+    file handles opened lazily in append mode, replay reads a fresh handle.
+    All methods are called under the engine's API lock — the class itself
+    adds no locking.
+    """
+
+    def __init__(
+        self,
+        directory: str,
+        *,
+        fsync: str = "batch",
+        registry: Any = None,
+    ) -> None:
+        if fsync not in FSYNC_MODES:
+            raise ConfigurationError(
+                f"unknown WAL fsync policy {fsync!r}"
+                f" (choose from {', '.join(FSYNC_MODES)})"
+            )
+        self.directory = os.fspath(directory)
+        self.fsync = fsync
+        os.makedirs(self.directory, exist_ok=True)
+        registry = NULL_REGISTRY if registry is None else registry
+        self._m_records = registry.counter("wal.records")
+        self._m_bytes = registry.counter("wal.bytes")
+        self._m_truncations = registry.counter("wal.truncations")
+        self._handles: Dict[int, Any] = {}
+        self._closed = False
+
+    # -- paths ----------------------------------------------------------------
+
+    def path_for(self, shard: int) -> str:
+        return os.path.join(self.directory, shard_wal_name(shard))
+
+    def shards_on_disk(self) -> List[int]:
+        """Shard indexes with a non-empty journal file, sorted."""
+        shards = []
+        try:
+            names = os.listdir(self.directory)
+        except FileNotFoundError:
+            return []
+        for name in names:
+            if name.startswith("shard-") and name.endswith(".wal"):
+                try:
+                    shard = int(name[len("shard-") : -len(".wal")])
+                except ValueError:
+                    continue
+                if os.path.getsize(os.path.join(self.directory, name)) > 0:
+                    shards.append(shard)
+        return sorted(shards)
+
+    def bytes_on_disk(self) -> int:
+        return sum(
+            os.path.getsize(self.path_for(shard)) for shard in self.shards_on_disk()
+        )
+
+    # -- append path ----------------------------------------------------------
+
+    def _handle(self, shard: int):
+        handle = self._handles.get(shard)
+        if handle is None:
+            handle = open(self.path_for(shard), "ab")
+            self._handles[shard] = handle
+        return handle
+
+    def append(self, shard: int, payload: bytes, records: Optional[int] = None) -> int:
+        """Journal one encoded sub-batch for ``shard``; returns bytes written.
+
+        ``payload`` must be :func:`encode_batch` output.  ``records`` is the
+        record count for metrics; when omitted it is read from the payload's
+        own ``SWT1`` header.
+        """
+        if self._closed:
+            raise ConfigurationError("write-ahead log is closed")
+        frame = frame_record(payload)
+        handle = self._handle(shard)
+        handle.write(frame)
+        if self.fsync == "batch":
+            handle.flush()
+        elif self.fsync == "always":
+            handle.flush()
+            os.fsync(handle.fileno())
+        if records is None:
+            (records,) = struct.unpack_from("<I", payload, 4)
+        self._m_records.inc(records)
+        self._m_bytes.inc(len(frame))
+        return len(frame)
+
+    def sync(self) -> None:
+        """Flush every open handle to the OS (plus fsync under ``always``)."""
+        for handle in self._handles.values():
+            handle.flush()
+            if self.fsync == "always":
+                os.fsync(handle.fileno())
+
+    # -- replay path ----------------------------------------------------------
+
+    def tail(self, shard: int) -> List[bytes]:
+        """The journal tail for one shard: every intact payload, in append
+        order, each validated to decode cleanly.
+
+        A torn final record is truncated away with a warning.  Mid-journal
+        corruption, or a frame whose checksum passes but whose payload the
+        columnar codec rejects, raises :class:`TransportError` naming the
+        file and byte offset — the journal cannot be trusted past that point.
+        """
+        path = self.path_for(shard)
+        # Flush our own buffered appends first so replay sees them.
+        handle = self._handles.get(shard)
+        if handle is not None:
+            handle.flush()
+        try:
+            with open(path, "rb") as reader:
+                raw = reader.read()
+        except FileNotFoundError:
+            return []
+        records, intact_end = _scan_records(raw, path)
+        if intact_end < len(raw):
+            logger.warning(
+                "truncating torn WAL tail in %s: dropping %d byte(s) of a"
+                " partial record at offset %d (crash mid-append)",
+                path, len(raw) - intact_end, intact_end,
+            )
+            self._truncate_file(shard, intact_end)
+            self._m_truncations.inc()
+        payloads: List[bytes] = []
+        for offset, payload in records:
+            try:
+                decode_batch(payload)
+            except TransportError as error:
+                raise TransportError(
+                    f"undecodable WAL record in {path} at offset {offset}"
+                    f" ({len(payload)} payload bytes, checksum valid): {error}"
+                ) from error
+            payloads.append(payload)
+        return payloads
+
+    def replay(self) -> Iterator[Tuple[int, List[bytes]]]:
+        """Iterate ``(shard, payloads)`` over every journaled shard."""
+        for shard in self.shards_on_disk():
+            yield shard, self.tail(shard)
+
+    # -- truncation -----------------------------------------------------------
+
+    def _truncate_file(self, shard: int, size: int) -> None:
+        handle = self._handles.get(shard)
+        if handle is not None:
+            handle.flush()
+            handle.truncate(size)
+            if self.fsync == "always":
+                os.fsync(handle.fileno())
+        else:
+            try:
+                os.truncate(self.path_for(shard), size)
+            except FileNotFoundError:
+                pass
+
+    def truncate(self, shards: Optional[List[int]] = None) -> None:
+        """Reset journal files to empty — call only once a checkpoint manifest
+        covering the journaled records has been atomically committed."""
+        if shards is None:
+            targets = set(self.shards_on_disk()) | set(self._handles)
+        else:
+            targets = set(shards)
+        for shard in targets:
+            self._truncate_file(shard, 0)
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for handle in self._handles.values():
+            try:
+                handle.flush()
+                handle.close()
+            except (OSError, ValueError):  # pragma: no cover - torn shutdown
+                pass
+        self._handles.clear()

@@ -17,6 +17,7 @@ __all__ = [
     "CheckpointError",
     "ExecutorError",
     "WorkerFailure",
+    "ShardRecovering",
     "TransportError",
 ]
 
@@ -104,5 +105,35 @@ class WorkerFailure(ExecutorError):
 
     The failure is sticky — the engine refuses all further ingest and
     queries rather than serving from a fleet that may have lost arrivals.
-    Recover by loading the last checkpoint into a fresh engine.
+    Recover by loading the last checkpoint into a fresh engine, or enable
+    supervision (``ProcessEngine(supervise=True, wal_dir=...)``) so worker
+    death is repaired automatically; supervision only degrades to this
+    sticky failure once its :class:`RestartPolicy` budget is exhausted.
     """
+
+
+class ShardRecovering(ExecutorError):
+    """Raised while a supervised worker is being restarted: the operation
+    touches shards whose owner died and is mid-recovery (checkpoint restore
+    plus WAL replay), so answering now could be wrong or lose arrivals.
+
+    Unlike :class:`WorkerFailure` this is *retryable* — the fleet is healing
+    itself and the same call will succeed once recovery drains.  ``shards``
+    names the affected shard indexes and ``retry_after`` is the engine's
+    estimate (seconds) of when to try again; the serve layer maps this to
+    HTTP 503 with a ``Retry-After`` header.
+    """
+
+    def __init__(self, message: str, *, shards: tuple = (), retry_after: float = 1.0):
+        super().__init__(message)
+        self.shards = tuple(shards)
+        self.retry_after = float(retry_after)
+
+    def __reduce__(self):
+        # Keyword-only attributes need explicit pickle support so the error
+        # survives multiprocessing reply queues intact.
+        return (_rebuild_shard_recovering, (self.args[0] if self.args else "", self.shards, self.retry_after))
+
+
+def _rebuild_shard_recovering(message, shards, retry_after):
+    return ShardRecovering(message, shards=shards, retry_after=retry_after)

@@ -86,6 +86,7 @@ from .engine import (
     ParallelEngine,
     ProcessEngine,
     QueryCache,
+    RestartPolicy,
     SamplerSpec,
     ShardedEngine,
     checkpoint_shards,
@@ -100,6 +101,7 @@ from .exceptions import (
     EmptyWindowError,
     InsufficientSampleError,
     SamplingFailureError,
+    ShardRecovering,
     StreamOrderError,
     SWSampleError,
     WorkerFailure,
@@ -149,6 +151,17 @@ class _HttpError(Exception):
         self.headers = tuple(headers)
 
 
+def _degraded_error(error: ShardRecovering) -> _HttpError:
+    """503 for a query that needs a mid-recovery shard: unlike the sticky
+    ``WorkerFailure`` 503, this one carries ``Retry-After`` — the fleet is
+    healing itself and the same request will succeed shortly."""
+    retry = max(
+        RETRY_AFTER_MIN_SECONDS,
+        min(RETRY_AFTER_MAX_SECONDS, math.ceil(error.retry_after)),
+    )
+    return _HttpError(503, str(error), headers=(("Retry-After", str(retry)),))
+
+
 @dataclass
 class EngineSettings:
     """The per-tenant engine recipe: which sampler fleet each tenant gets.
@@ -168,8 +181,47 @@ class EngineSettings:
     workers: Optional[int] = None
     executor: str = "thread"
     max_batch: Optional[int] = None
+    supervise: bool = False
+    wal_dir: Optional[str] = None
+    wal_fsync: str = "batch"
+    max_restarts: Optional[int] = None
 
-    def build(self, registry: Any) -> Any:
+    def __post_init__(self) -> None:
+        if (self.supervise or self.wal_dir is not None) and (
+            self.workers is None or self.executor != "process"
+        ):
+            raise ConfigurationError(
+                "supervise/wal_dir need process workers"
+                " (set workers=N and executor='process')"
+            )
+        if self.supervise and self.wal_dir is None:
+            raise ConfigurationError(
+                "supervise needs a wal_dir — recovery replays the journal"
+            )
+        if self.max_restarts is not None and not self.supervise:
+            raise ConfigurationError("max_restarts only applies with supervise")
+
+    def _restart_policy(self) -> Optional[RestartPolicy]:
+        if self.max_restarts is None:
+            return None
+        return RestartPolicy(max_restarts=self.max_restarts)
+
+    def _durability(self, wal_dir: Optional[str]) -> Dict[str, Any]:
+        """Supervision kwargs for one tenant; ``wal_dir`` is the per-tenant
+        journal path (each tenant fleet needs its own shard files), falling
+        back to the recipe's own ``wal_dir`` for direct single-fleet use."""
+        if wal_dir is None:
+            wal_dir = self.wal_dir
+        if wal_dir is None:
+            return {}
+        return dict(
+            supervise=self.supervise,
+            wal_dir=wal_dir,
+            wal_fsync=self.wal_fsync,
+            restart_policy=self._restart_policy(),
+        )
+
+    def build(self, registry: Any, wal_dir: Optional[str] = None) -> Any:
         config = dict(
             shards=self.shards,
             seed=self.seed,
@@ -182,10 +234,12 @@ class EngineSettings:
             engine_class = ProcessEngine if self.executor == "process" else ParallelEngine
             if self.max_batch is not None:
                 config["max_batch"] = self.max_batch
+            if engine_class is ProcessEngine:
+                config.update(self._durability(wal_dir))
             return engine_class(self.spec, workers=self.workers, **config)
         return ShardedEngine(self.spec, **config)
 
-    def resume(self, path: str, registry: Any) -> Any:
+    def resume(self, path: str, registry: Any, wal_dir: Optional[str] = None) -> Any:
         if self.workers is not None:
             known_shards = checkpoint_shards(path)
             if known_shards is not None and self.workers > known_shards:
@@ -199,6 +253,7 @@ class EngineSettings:
             executor=self.executor,
             max_batch=self.max_batch,
             registry=registry,
+            **self._durability(wal_dir),
         )
 
 
@@ -535,14 +590,24 @@ class ServeApp:
                 engine = config.engine_factory(name, registry)
             else:
                 checkpoint_path = self._tenant_checkpoint_path(name)
+                wal_path = self._tenant_wal_path(name)
                 if (
                     config.resume
                     and checkpoint_path is not None
                     and os.path.exists(checkpoint_path)
                 ):
-                    engine = config.engine.resume(checkpoint_path, registry)
+                    engine = config.engine.resume(
+                        checkpoint_path, registry, wal_dir=wal_path
+                    )
+                    # Records journaled after the checkpoint the daemon died
+                    # on are re-applied here; the journal stays on disk until
+                    # the next committed save truncates it.
+                    engine.replay_wal()
                 else:
-                    engine = config.engine.build(registry)
+                    engine = config.engine.build(registry, wal_dir=wal_path)
+                    # Fresh start: any journal a previous daemon left covers
+                    # state this fleet never held — drop it, loudly.
+                    engine.discard_wal()
             # Every tenant queries through a generation-invalidated result
             # cache: repeated dashboard hits between ingest batches never
             # touch the pools, and the hit/miss counters land in this
@@ -578,6 +643,12 @@ class ServeApp:
         if not self.config.checkpoint_dir:
             return None
         return os.path.join(self.config.checkpoint_dir, name)
+
+    def _tenant_wal_path(self, name: str) -> Optional[str]:
+        wal_dir = getattr(self.config.engine, "wal_dir", None)
+        if not wal_dir:
+            return None
+        return os.path.join(wal_dir, name)
 
     def _write_ready_file(self) -> None:
         path = self.config.ready_file
@@ -686,7 +757,17 @@ class ServeApp:
                     file=sys.stderr,
                 )
         for tenant in self._tenants.values():
-            await tenant.aclose()
+            try:
+                await tenant.aclose()
+            except SWSampleError as error:
+                # close() re-raises a sticky WorkerFailure so callers cannot
+                # miss it; at shutdown the fleet is already reaped — log it
+                # and keep closing the other tenants.
+                print(
+                    f"warning: tenant {tenant.name!r} closed with a failure:"
+                    f" {error}",
+                    file=sys.stderr,
+                )
         if snapshots is not None:
             self._write_metrics_out(snapshots)
         if self.config.ready_file:
@@ -903,17 +984,29 @@ class ServeApp:
 
     def _health_payload(self) -> Dict[str, Any]:
         # Loop-side state only: health must answer even when every engine
-        # thread is busy chewing a batch.
-        return {
-            "status": "ok" if not self._shutdown_started else "stopping",
-            "tenants": {
-                name: {
-                    "pending_records": tenant.pending_records,
-                    "ingested_records": tenant.ingested_records,
-                }
-                for name, tenant in self._tenants.items()
-            },
-        }
+        # thread is busy chewing a batch.  ``liveness()`` is explicitly
+        # lock-free on every engine flavour, so a mid-recovery fleet — the
+        # moment health matters most — still answers instantly.
+        degraded = False
+        tenants: Dict[str, Any] = {}
+        for name, tenant in self._tenants.items():
+            entry: Dict[str, Any] = {
+                "pending_records": tenant.pending_records,
+                "ingested_records": tenant.ingested_records,
+            }
+            liveness = getattr(tenant.engine, "liveness", None)
+            if callable(liveness):
+                try:
+                    entry["liveness"] = liveness()
+                except Exception:  # pragma: no cover - torn engine
+                    entry["liveness"] = {"degraded": True, "error": "unavailable"}
+                if entry["liveness"].get("degraded") or entry["liveness"].get("failed"):
+                    degraded = True
+            tenants[name] = entry
+        status = "ok" if not self._shutdown_started else "stopping"
+        if degraded and status == "ok":
+            status = "degraded"
+        return {"status": status, "degraded": degraded, "tenants": tenants}
 
     async def _metrics_response(self) -> Tuple[int, str, bytes, Sequence[Tuple[str, str]]]:
         snapshots = {
@@ -945,6 +1038,8 @@ class ServeApp:
             ingested = await future
         except (ConfigurationError, StreamOrderError) as error:
             raise _HttpError(400, str(error)) from None
+        except ShardRecovering as error:
+            raise _degraded_error(error) from None
         except WorkerFailure as error:
             raise _HttpError(503, str(error)) from None
         return _json_response(200, {"tenant": tenant.name, "ingested": ingested})
@@ -971,6 +1066,8 @@ class ServeApp:
             outcomes = await tenant.query(tenant.engine.query_batch, ops)
         except ConfigurationError as error:
             raise _HttpError(400, str(error)) from None
+        except ShardRecovering as error:
+            raise _degraded_error(error) from None
         except WorkerFailure as error:
             raise _HttpError(503, str(error)) from None
         results = [
@@ -1102,6 +1199,8 @@ class ServeApp:
             )
         except (InsufficientSampleError, SamplingFailureError) as error:
             raise _HttpError(409, str(error)) from None
+        except ShardRecovering as error:
+            raise _degraded_error(error) from None
         except WorkerFailure as error:
             raise _HttpError(503, str(error)) from None
         return _json_response(
@@ -1122,6 +1221,8 @@ class ServeApp:
             hottest = await tenant.query(tenant.engine.hottest_keys, top)
         except ConfigurationError as error:
             raise _HttpError(400, str(error)) from None
+        except ShardRecovering as error:
+            raise _degraded_error(error) from None
         except WorkerFailure as error:
             raise _HttpError(503, str(error)) from None
         return _json_response(
@@ -1145,6 +1246,8 @@ class ServeApp:
             )
         except ConfigurationError as error:
             raise _HttpError(400, str(error)) from None
+        except ShardRecovering as error:
+            raise _degraded_error(error) from None
         except WorkerFailure as error:
             raise _HttpError(503, str(error)) from None
         return _json_response(
@@ -1167,6 +1270,8 @@ class ServeApp:
             moments = await tenant.query(tenant.engine.per_key_moments, order)
         except ConfigurationError as error:
             raise _HttpError(400, str(error)) from None
+        except ShardRecovering as error:
+            raise _degraded_error(error) from None
         except WorkerFailure as error:
             raise _HttpError(503, str(error)) from None
         return _json_response(
@@ -1187,6 +1292,8 @@ class ServeApp:
     ) -> Tuple[int, str, bytes, Sequence[Tuple[str, str]]]:
         try:
             stats = await tenant.query(tenant.engine.stats)
+        except ShardRecovering as error:
+            raise _degraded_error(error) from None
         except WorkerFailure as error:
             raise _HttpError(503, str(error)) from None
         payload = dict(stats)

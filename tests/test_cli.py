@@ -555,3 +555,59 @@ class TestEngineObservability:
                   if '"shard worker online' in line]
         assert len(online) == 2
         assert all(payload["logger"] == "repro.engine.worker" for payload in online)
+
+
+class TestDurabilityFlags:
+    """--wal-dir / --supervise / --max-restarts validation, shared by the
+    engine and serve front-ends (one recipe, one rulebook)."""
+
+    @pytest.mark.parametrize("command", ["engine", "serve"])
+    def test_wal_dir_requires_process_workers(self, capsys, command, tmp_path):
+        assert main([command, "--wal-dir", str(tmp_path / "wal")]) == 2
+        assert "--wal-dir requires --executor process" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("command", ["engine", "serve"])
+    def test_wal_fsync_requires_wal_dir(self, capsys, command):
+        assert main([command, "--wal-fsync", "always"]) == 2
+        assert "--wal-fsync requires --wal-dir" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("command", ["engine", "serve"])
+    def test_supervise_requires_wal_dir(self, capsys, command):
+        assert main([command, "--supervise"]) == 2
+        assert "--supervise requires --wal-dir" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("command", ["engine", "serve"])
+    def test_max_restarts_requires_supervise(self, capsys, command, tmp_path):
+        assert main([command, "--wal-dir", str(tmp_path / "wal"), "--workers", "2",
+                     "--executor", "process", "--max-restarts", "3"]) == 2
+        assert "--max-restarts requires --supervise" in capsys.readouterr().err
+
+    def test_max_restarts_must_be_non_negative(self, capsys, tmp_path):
+        assert main(["engine", "--wal-dir", str(tmp_path / "wal"), "--workers", "2",
+                     "--executor", "process", "--supervise", "--max-restarts", "-1"]) == 2
+        assert "--max-restarts must be >= 0" in capsys.readouterr().err
+
+    def test_supervised_engine_run_journals_to_wal_dir(self, capsys, tmp_path):
+        wal = tmp_path / "wal"
+        assert main(["engine", "--records", "2000", "--keys", "20", "--shards", "4",
+                     "--workers", "2", "--executor", "process",
+                     "--supervise", "--wal-dir", str(wal),
+                     "--max-restarts", "3"]) == 0
+        assert "live keys       : 20" in capsys.readouterr().out
+        journals = sorted(wal.glob("shard-*.wal"))
+        assert journals and any(path.stat().st_size > 0 for path in journals)
+
+    def test_checkpointed_supervised_run_truncates_the_journal(self, capsys, tmp_path):
+        wal = tmp_path / "wal"
+        path = str(tmp_path / "engine.ckpt")
+        assert main(["engine", "--records", "1000", "--keys", "10", "--shards", "2",
+                     "--workers", "2", "--executor", "process",
+                     "--supervise", "--wal-dir", str(wal),
+                     "--checkpoint", path]) == 0
+        capsys.readouterr()
+        # The final checkpoint superseded the journal: nothing left to replay.
+        assert all(p.stat().st_size == 0 for p in wal.glob("shard-*.wal"))
+        assert main(["engine", "--resume", path, "--records", "500", "--keys", "10",
+                     "--workers", "2", "--executor", "process",
+                     "--supervise", "--wal-dir", str(wal)]) == 0
+        assert "resumed" in capsys.readouterr().out

@@ -20,6 +20,7 @@ import urllib.request
 import pytest
 
 from repro.engine import SamplerSpec, ShardedEngine
+from repro.exceptions import ConfigurationError, ShardRecovering
 from repro.obs import parse_prometheus_text
 from repro.serve import EngineSettings, ServeConfig, ServeThread
 
@@ -729,3 +730,143 @@ class TestDaemonLifecycle:
         assert process.returncode == 0, stderr
         assert after["sample"] == before["sample"]
         assert stats["arrivals"] == 200
+
+
+class _RecoveringEngine(ShardedEngine):
+    """Serial engine with a switchable fake mid-recovery window, so the
+    daemon's degraded-mode surface is testable without real worker death
+    (the genuine article is exercised end-to-end in test_chaos.py)."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.recovering = False
+        self.retry_after = 0.25
+
+    def _gate(self):
+        if self.recovering:
+            raise ShardRecovering(
+                "shards [0] are mid-recovery — retry shortly",
+                shards=(0,),
+                retry_after=self.retry_after,
+            )
+
+    def ingest(self, records):
+        self._gate()
+        return super().ingest(records)
+
+    def sample(self, key):
+        self._gate()
+        return super().sample(key)
+
+    def hottest_keys(self, top=10):
+        self._gate()
+        return super().hottest_keys(top)
+
+    def query_batch(self, ops):
+        self._gate()
+        return super().query_batch(ops)
+
+    def liveness(self):
+        return {
+            "degraded": self.recovering,
+            "failed": False,
+            "recovering_shards": [0] if self.recovering else [],
+            "restarts": 1 if self.recovering else 0,
+            "workers": [],
+        }
+
+
+class TestDegradedServing:
+    """While a tenant's fleet is mid-recovery the daemon must keep running:
+    recovering-shard requests get a retryable 503 with a Retry-After hint,
+    /healthz reports the incident, and nothing is ever answered wrong."""
+
+    def degraded_server(self):
+        engines = {}
+
+        def factory(name, registry):
+            engines[name] = _RecoveringEngine(SPEC, shards=2, seed=3, registry=registry)
+            return engines[name]
+
+        return engines, serve_config(engine_factory=factory)
+
+    def test_503_with_retry_after_on_recovering_shards(self):
+        engines, config = self.degraded_server()
+        with ServeThread(config) as server:
+            port = server.http_port
+            status, _, _ = http_post(port, "/v1/default/ingest", keyed_lines("u", 50))
+            assert status == 200
+            engines["default"].recovering = True
+            for method, path in [
+                ("GET", "/v1/default/sample?key=%22u-1%22"),
+                ("GET", "/v1/default/hottest?top=3"),
+                ("POST", "/v1/default/ingest"),
+                ("POST", "/v1/default/query"),
+            ]:
+                if method == "GET":
+                    status, body, headers = http_get(port, path)
+                else:
+                    payload = (
+                        keyed_lines("v", 5)
+                        if path.endswith("ingest")
+                        else json.dumps({"ops": [{"op": "hottest", "top": 2}]})
+                    )
+                    status, body, headers = http_post(port, path, payload)
+                assert status == 503, path
+                assert "mid-recovery" in body["error"]
+                # retry_after=0.25s rounds up to the 1-second floor.
+                assert headers["Retry-After"] == "1"
+            # Recovery over: the same requests answer again.
+            engines["default"].recovering = False
+            status, sample, _ = http_get(port, "/v1/default/sample?key=%22u-1%22")
+            assert status == 200 and sample["sample"]
+
+    def test_retry_after_clamped_to_upper_bound(self):
+        engines, config = self.degraded_server()
+        with ServeThread(config) as server:
+            engines["default"].recovering = True
+            engines["default"].retry_after = 1e6  # silly backoff: clamp to 30
+            status, _, headers = http_get(
+                server.http_port, "/v1/default/sample?key=%22u-1%22"
+            )
+            assert status == 503
+            assert headers["Retry-After"] == "30"
+
+    def test_healthz_reports_degraded_then_recovers(self):
+        engines, config = self.degraded_server()
+        with ServeThread(config) as server:
+            port = server.http_port
+            status, health, _ = http_get(port, "/healthz")
+            assert status == 200
+            assert health["status"] == "ok" and health["degraded"] is False
+            engines["default"].recovering = True
+            status, health, _ = http_get(port, "/healthz")
+            # Health stays 200 — load balancers read the body, and a
+            # degraded fleet is still serving healthy shards.
+            assert status == 200
+            assert health["status"] == "degraded" and health["degraded"] is True
+            liveness = health["tenants"]["default"]["liveness"]
+            assert liveness["recovering_shards"] == [0]
+            assert liveness["restarts"] == 1
+            engines["default"].recovering = False
+            status, health, _ = http_get(port, "/healthz")
+            assert health["status"] == "ok" and health["degraded"] is False
+
+
+class TestDurabilitySettings:
+    def test_supervise_needs_process_workers(self):
+        with pytest.raises(ConfigurationError, match="process workers"):
+            EngineSettings(spec=SPEC, supervise=True, wal_dir="/tmp/x")
+        with pytest.raises(ConfigurationError, match="process workers"):
+            EngineSettings(spec=SPEC, wal_dir="/tmp/x", workers=2, executor="thread")
+
+    def test_supervise_needs_wal_dir(self):
+        with pytest.raises(ConfigurationError, match="wal_dir"):
+            EngineSettings(spec=SPEC, supervise=True, workers=2, executor="process")
+
+    def test_max_restarts_needs_supervise(self):
+        with pytest.raises(ConfigurationError, match="max_restarts"):
+            EngineSettings(
+                spec=SPEC, wal_dir="/tmp/x", workers=2,
+                executor="process", max_restarts=3,
+            )
